@@ -1,0 +1,148 @@
+//! Shared machinery for the baseline generative models.
+//!
+//! All four baselines share the paper's §5.0.1 extensions: attributes are
+//! drawn from the empirical multinomial of the training data (there is no
+//! natural way to jointly model them), the first record is drawn from a
+//! fitted Gaussian, and variable lengths use the same generation-flag
+//! technique as DoppelGANger (§4.1.1).
+
+use dg_data::{Dataset, TimeSeriesObject, Value};
+use dg_nn::tensor::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Samples attribute rows from the empirical (multinomial) distribution of a
+/// training set, by uniform draws over the observed rows.
+#[derive(Debug, Clone)]
+pub struct EmpiricalAttributes {
+    rows: Vec<Vec<Value>>,
+}
+
+impl EmpiricalAttributes {
+    /// Captures the attribute rows of a dataset.
+    pub fn fit(dataset: &Dataset) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit attributes on an empty dataset");
+        EmpiricalAttributes { rows: dataset.objects.iter().map(|o| o.attributes.clone()).collect() }
+    }
+
+    /// Draws one attribute row.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Value> {
+        self.rows[rng.gen_range(0..self.rows.len())].clone()
+    }
+
+    /// Draws `n` attribute rows.
+    pub fn sample_many<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Vec<Value>> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Per-dimension Gaussian fitted to the *first encoded record* of each
+/// training series — the paper's "R1 is drawn from a Gaussian distribution
+/// learned from training data".
+#[derive(Debug, Clone)]
+pub struct FirstRecordGaussian {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl FirstRecordGaussian {
+    /// Fits on rows of encoded first records (`N x dim`).
+    pub fn fit(rows: &Tensor) -> Self {
+        let n = rows.rows().max(1) as f32;
+        let d = rows.cols();
+        let mut mean = vec![0.0_f32; d];
+        for r in 0..rows.rows() {
+            for (m, &v) in mean.iter_mut().zip(rows.row_slice(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0_f32; d];
+        for r in 0..rows.rows() {
+            for ((s, &v), m) in var.iter_mut().zip(rows.row_slice(r)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std = var.into_iter().map(|v| (v / n).sqrt().max(1e-4)).collect();
+        FirstRecordGaussian { mean, std }
+    }
+
+    /// Dimensionality of the fitted record.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Draws one encoded first record.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f32> {
+        self.mean
+            .iter()
+            .zip(&self.std)
+            .map(|(&m, &s)| {
+                let n = Normal::new(m, s).expect("valid normal");
+                n.sample(rng)
+            })
+            .collect()
+    }
+}
+
+/// A trained generative model that can synthesize datasets — the common
+/// interface of DoppelGANger and all baselines in the experiment harness.
+pub trait GenerativeModel {
+    /// Human-readable model name used in tables ("DoppelGANger", "AR", ...).
+    fn name(&self) -> &'static str;
+
+    /// Generates `n` synthetic objects.
+    fn generate_objects(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<TimeSeriesObject>;
+
+    /// Generates `n` objects as a dataset with the training schema.
+    fn generate_dataset(&self, schema: &dg_data::Schema, n: usize, rng: &mut dyn rand::RngCore) -> Dataset {
+        Dataset::new(schema.clone(), self.generate_objects(n, rng))
+    }
+}
+
+/// Extracts the per-step encoded feature matrix (steps x step_width) of one
+/// sample from a flattened encoded row.
+pub fn steps_of_row(row: &[f32], step_width: usize) -> Vec<&[f32]> {
+    row.chunks(step_width).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_datasets::sine::{self, SineConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_attributes_resample_training_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = sine::generate(&SineConfig::default(), &mut rng);
+        let emp = EmpiricalAttributes::fit(&data);
+        for row in emp.sample_many(50, &mut rng) {
+            assert!(data.objects.iter().any(|o| o.attributes == row));
+        }
+    }
+
+    #[test]
+    fn first_record_gaussian_matches_moments() {
+        let rows = Tensor::from_vec(4, 2, vec![0.0, 10.0, 2.0, 10.0, 4.0, 10.0, 6.0, 10.0]);
+        let g = FirstRecordGaussian::fit(&rows);
+        assert_eq!(g.dim(), 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<Vec<f32>> = (0..2000).map(|_| g.sample(&mut rng)).collect();
+        let mean0: f32 = samples.iter().map(|s| s[0]).sum::<f32>() / 2000.0;
+        let mean1: f32 = samples.iter().map(|s| s[1]).sum::<f32>() / 2000.0;
+        assert!((mean0 - 3.0).abs() < 0.3, "mean0 {mean0}");
+        assert!((mean1 - 10.0).abs() < 0.1, "mean1 {mean1}");
+    }
+
+    #[test]
+    fn steps_of_row_chunks_cleanly() {
+        let row = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let steps = steps_of_row(&row, 3);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[1], &[4.0, 5.0, 6.0]);
+    }
+}

@@ -1,0 +1,395 @@
+//! Hidden Markov model baseline (§5.0.1).
+//!
+//! A Gaussian-emission HMM fitted with Baum-Welch on the globally-normalized
+//! encoded features. As in the paper, attributes are drawn independently
+//! from the empirical multinomial of the training data. Variable lengths are
+//! reproduced by sampling from the empirical length distribution — for a
+//! memoryless model this is the exact equivalent of the generation-flag
+//! technique (a per-step termination flag marginalizes to the empirical
+//! length histogram).
+
+use crate::common::{EmpiricalAttributes, GenerativeModel};
+use dg_data::{Dataset, Encoder, EncoderConfig, Range, TimeSeriesObject};
+use dg_nn::tensor::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// HMM hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct HmmConfig {
+    /// Number of hidden states.
+    pub num_states: usize,
+    /// Baum-Welch (EM) iterations.
+    pub em_iterations: usize,
+    /// Variance floor for the diagonal Gaussian emissions.
+    pub var_floor: f32,
+}
+
+impl Default for HmmConfig {
+    fn default() -> Self {
+        HmmConfig { num_states: 10, em_iterations: 15, var_floor: 1e-4 }
+    }
+}
+
+/// A fitted Gaussian HMM over encoded feature steps.
+#[derive(Debug, Clone)]
+pub struct HmmModel {
+    config: HmmConfig,
+    encoder: Encoder,
+    attrs: EmpiricalAttributes,
+    lengths: Vec<usize>,
+    /// Initial state distribution, length `K`.
+    pi: Vec<f32>,
+    /// Row-stochastic transition matrix, `K x K`.
+    trans: Tensor,
+    /// Emission means, `K x D`.
+    means: Tensor,
+    /// Emission variances (diagonal), `K x D`.
+    vars: Tensor,
+}
+
+impl HmmModel {
+    /// Fits the HMM on a dataset.
+    pub fn fit<R: Rng + ?Sized>(dataset: &Dataset, config: HmmConfig, rng: &mut R) -> Self {
+        let enc_cfg = EncoderConfig { auto_normalize: false, range: Range::ZeroOne };
+        let encoder = Encoder::fit(dataset, enc_cfg);
+        let encoded = encoder.encode(dataset);
+        let d = encoder.schema.feature_encoded_width();
+        let sw = encoder.step_width();
+
+        // Collect sequences of encoded feature vectors (flags stripped).
+        let mut seqs: Vec<Vec<Vec<f32>>> = Vec::with_capacity(dataset.len());
+        for (i, &len) in encoded.lengths.iter().enumerate() {
+            let row = encoded.features.row_slice(i);
+            let seq: Vec<Vec<f32>> = (0..len).map(|t| row[t * sw..t * sw + d].to_vec()).collect();
+            if !seq.is_empty() {
+                seqs.push(seq);
+            }
+        }
+        assert!(!seqs.is_empty(), "HMM requires at least one non-empty series");
+
+        let k = config.num_states;
+        // Initialize means from random records, uniform transitions.
+        let all_records: Vec<&Vec<f32>> = seqs.iter().flatten().collect();
+        let mut means = Tensor::zeros(k, d);
+        for s in 0..k {
+            let r = all_records[rng.gen_range(0..all_records.len())];
+            for (j, &v) in r.iter().enumerate() {
+                means.set(s, j, v + 0.01 * rng.gen_range(-1.0..1.0_f32));
+            }
+        }
+        let mut vars = Tensor::full(k, d, 0.05);
+        let mut pi = vec![1.0 / k as f32; k];
+        let mut trans = Tensor::full(k, k, 1.0 / k as f32);
+
+        for _ in 0..config.em_iterations {
+            // Accumulators.
+            let mut pi_acc = vec![1e-6_f32; k];
+            let mut trans_acc = Tensor::full(k, k, 1e-6);
+            let mut mean_acc = Tensor::zeros(k, d);
+            let mut sq_acc = Tensor::zeros(k, d);
+            let mut gamma_acc = vec![1e-6_f32; k];
+
+            for seq in &seqs {
+                let t_len = seq.len();
+                // Emission likelihoods b[t][s] with per-step scaling.
+                let mut b = vec![vec![0.0_f32; k]; t_len];
+                for (t, x) in seq.iter().enumerate() {
+                    for s in 0..k {
+                        b[t][s] = emission_prob(x, means.row_slice(s), vars.row_slice(s), config.var_floor);
+                    }
+                }
+                // Scaled forward.
+                let mut alpha = vec![vec![0.0_f32; k]; t_len];
+                let mut scale = vec![0.0_f32; t_len];
+                for s in 0..k {
+                    alpha[0][s] = pi[s] * b[0][s];
+                }
+                normalize(&mut alpha[0], &mut scale[0]);
+                for t in 1..t_len {
+                    for s in 0..k {
+                        let mut acc = 0.0;
+                        for sp in 0..k {
+                            acc += alpha[t - 1][sp] * trans.get(sp, s);
+                        }
+                        alpha[t][s] = acc * b[t][s];
+                    }
+                    let (prev, cur) = alpha.split_at_mut(t);
+                    let _ = prev;
+                    normalize(&mut cur[0], &mut scale[t]);
+                }
+                // Scaled backward.
+                let mut beta = vec![vec![1.0_f32; k]; t_len];
+                for t in (0..t_len - 1).rev() {
+                    for s in 0..k {
+                        let mut acc = 0.0;
+                        for sn in 0..k {
+                            acc += trans.get(s, sn) * b[t + 1][sn] * beta[t + 1][sn];
+                        }
+                        beta[t][s] = acc / scale[t + 1].max(1e-30);
+                    }
+                }
+                // Accumulate statistics.
+                for t in 0..t_len {
+                    let mut gamma = vec![0.0_f32; k];
+                    let mut gsum = 0.0;
+                    for s in 0..k {
+                        gamma[s] = alpha[t][s] * beta[t][s];
+                        gsum += gamma[s];
+                    }
+                    if gsum <= 0.0 {
+                        continue;
+                    }
+                    for s in 0..k {
+                        gamma[s] /= gsum;
+                        if t == 0 {
+                            pi_acc[s] += gamma[s];
+                        }
+                        gamma_acc[s] += gamma[s];
+                        for (j, &x) in seq[t].iter().enumerate() {
+                            mean_acc.set(s, j, mean_acc.get(s, j) + gamma[s] * x);
+                            sq_acc.set(s, j, sq_acc.get(s, j) + gamma[s] * x * x);
+                        }
+                    }
+                    if t + 1 < t_len {
+                        // xi accumulation (unnormalized then renormalized).
+                        let mut xsum = 0.0;
+                        let mut xi = vec![0.0_f32; k * k];
+                        for s in 0..k {
+                            for sn in 0..k {
+                                let v = alpha[t][s] * trans.get(s, sn) * b[t + 1][sn] * beta[t + 1][sn];
+                                xi[s * k + sn] = v;
+                                xsum += v;
+                            }
+                        }
+                        if xsum > 0.0 {
+                            for s in 0..k {
+                                for sn in 0..k {
+                                    trans_acc.set(s, sn, trans_acc.get(s, sn) + xi[s * k + sn] / xsum);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // M step.
+            let pisum: f32 = pi_acc.iter().sum();
+            for (p, a) in pi.iter_mut().zip(&pi_acc) {
+                *p = a / pisum;
+            }
+            for s in 0..k {
+                let rowsum: f32 = (0..k).map(|sn| trans_acc.get(s, sn)).sum();
+                for sn in 0..k {
+                    trans.set(s, sn, trans_acc.get(s, sn) / rowsum);
+                }
+                for j in 0..d {
+                    let m = mean_acc.get(s, j) / gamma_acc[s];
+                    means.set(s, j, m);
+                    let v = (sq_acc.get(s, j) / gamma_acc[s] - m * m).max(config.var_floor);
+                    vars.set(s, j, v);
+                }
+            }
+        }
+
+        HmmModel {
+            config,
+            encoder,
+            attrs: EmpiricalAttributes::fit(dataset),
+            lengths: dataset.lengths(),
+            pi,
+            trans,
+            means,
+            vars,
+        }
+    }
+
+    /// Average per-record log-likelihood of a dataset under the fitted HMM
+    /// (useful as a fit diagnostic).
+    pub fn avg_log_likelihood(&self, dataset: &Dataset) -> f64 {
+        let encoded = self.encoder.encode(dataset);
+        let d = self.encoder.schema.feature_encoded_width();
+        let sw = self.encoder.step_width();
+        let k = self.config.num_states;
+        let mut total = 0.0_f64;
+        let mut count = 0usize;
+        for (i, &len) in encoded.lengths.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let row = encoded.features.row_slice(i);
+            let mut alpha = vec![0.0_f32; k];
+            let mut ll = 0.0_f64;
+            for t in 0..len {
+                let x = &row[t * sw..t * sw + d];
+                let mut next = vec![0.0_f32; k];
+                for s in 0..k {
+                    let prior = if t == 0 {
+                        self.pi[s]
+                    } else {
+                        (0..k).map(|sp| alpha[sp] * self.trans.get(sp, s)).sum()
+                    };
+                    next[s] = prior
+                        * emission_prob(x, self.means.row_slice(s), self.vars.row_slice(s), self.config.var_floor);
+                }
+                let scale: f32 = next.iter().sum();
+                ll += (scale.max(1e-30) as f64).ln();
+                for v in &mut next {
+                    *v /= scale.max(1e-30);
+                }
+                alpha = next;
+            }
+            total += ll;
+            count += len;
+        }
+        total / count.max(1) as f64
+    }
+
+    fn sample_sequence<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Vec<Vec<f32>> {
+        let k = self.config.num_states;
+        let mut out = Vec::with_capacity(len);
+        let mut state = sample_categorical(&self.pi, rng);
+        for t in 0..len {
+            if t > 0 {
+                let row: Vec<f32> = (0..k).map(|sn| self.trans.get(state, sn)).collect();
+                state = sample_categorical(&row, rng);
+            }
+            let step: Vec<f32> = (0..self.means.cols())
+                .map(|j| {
+                    let n = Normal::new(self.means.get(state, j), self.vars.get(state, j).sqrt())
+                        .expect("valid normal");
+                    n.sample(rng)
+                })
+                .collect();
+            out.push(step);
+        }
+        out
+    }
+}
+
+impl GenerativeModel for HmmModel {
+    fn name(&self) -> &'static str {
+        "HMM"
+    }
+
+    fn generate_objects(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<TimeSeriesObject> {
+        let sw = self.encoder.step_width();
+        let d = self.encoder.schema.feature_encoded_width();
+        let t_max = self.encoder.max_len();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let attrs = self.attrs.sample(rng);
+            let len = self.lengths[rng.gen_range(0..self.lengths.len())].min(t_max).max(1);
+            let seq = self.sample_sequence(len, rng);
+            let mut frow = vec![0.0_f32; t_max * sw];
+            for (t, step) in seq.iter().enumerate() {
+                frow[t * sw..t * sw + d].copy_from_slice(step);
+                if t + 1 == len {
+                    frow[t * sw + d + 1] = 1.0;
+                } else {
+                    frow[t * sw + d] = 1.0;
+                }
+            }
+            let a = self.encoder.encode_attribute_rows(&[attrs]);
+            let f = Tensor::from_vec(1, t_max * sw, frow);
+            let m = Tensor::zeros(1, 0);
+            out.extend(self.encoder.decode(&a, &m, &f));
+        }
+        out
+    }
+}
+
+fn emission_prob(x: &[f32], mean: &[f32], var: &[f32], floor: f32) -> f32 {
+    let mut logp = 0.0_f32;
+    for ((&xv, &m), &v) in x.iter().zip(mean).zip(var) {
+        let v = v.max(floor);
+        logp += -0.5 * ((xv - m) * (xv - m) / v + v.ln() + (2.0 * std::f32::consts::PI).ln());
+    }
+    logp.exp().max(1e-30)
+}
+
+fn normalize(v: &mut [f32], scale: &mut f32) {
+    let s: f32 = v.iter().sum();
+    *scale = s.max(1e-30);
+    for x in v {
+        *x /= s.max(1e-30);
+    }
+}
+
+fn sample_categorical<R: Rng + ?Sized>(probs: &[f32], rng: &mut R) -> usize {
+    let total: f32 = probs.iter().sum();
+    let mut u = rng.gen_range(0.0..total.max(1e-30));
+    for (i, &p) in probs.iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_datasets::sine::{self, SineConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_data(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        sine::generate(
+            &SineConfig { num_objects: 30, length: 20, periods: vec![5, 10], noise_sigma: 0.05 },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn fit_and_generate_valid_objects() {
+        let data = tiny_data(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let hmm = HmmModel::fit(&data, HmmConfig { num_states: 4, em_iterations: 5, var_floor: 1e-4 }, &mut rng);
+        let objs = hmm.generate_objects(10, &mut rng);
+        assert_eq!(objs.len(), 10);
+        for o in &objs {
+            assert!(o.len() >= 1 && o.len() <= 20);
+            assert!(o.records.iter().all(|r| r[0].cont().is_finite()));
+        }
+        // Generated objects validate against the schema.
+        let _ = hmm.generate_dataset(&data.schema, 5, &mut rng);
+    }
+
+    #[test]
+    fn em_improves_likelihood() {
+        let data = tiny_data(3);
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let h0 = HmmModel::fit(&data, HmmConfig { num_states: 4, em_iterations: 1, var_floor: 1e-4 }, &mut rng1);
+        let h1 = HmmModel::fit(&data, HmmConfig { num_states: 4, em_iterations: 10, var_floor: 1e-4 }, &mut rng2);
+        let ll0 = h0.avg_log_likelihood(&data);
+        let ll1 = h1.avg_log_likelihood(&data);
+        assert!(ll1 >= ll0 - 0.05, "EM should not hurt likelihood much: {ll0} -> {ll1}");
+    }
+
+    #[test]
+    fn lengths_are_resampled_from_training() {
+        let data = tiny_data(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let hmm = HmmModel::fit(&data, HmmConfig { num_states: 3, em_iterations: 2, var_floor: 1e-4 }, &mut rng);
+        // Training data is constant-length 20, so generated must be too.
+        let objs = hmm.generate_objects(8, &mut rng);
+        assert!(objs.iter().all(|o| o.len() == 20));
+    }
+
+    #[test]
+    fn transition_rows_are_stochastic() {
+        let data = tiny_data(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let hmm = HmmModel::fit(&data, HmmConfig { num_states: 5, em_iterations: 3, var_floor: 1e-4 }, &mut rng);
+        for s in 0..5 {
+            let rowsum: f32 = (0..5).map(|sn| hmm.trans.get(s, sn)).sum();
+            assert!((rowsum - 1.0).abs() < 1e-4, "row {s} sums to {rowsum}");
+        }
+        let pisum: f32 = hmm.pi.iter().sum();
+        assert!((pisum - 1.0).abs() < 1e-4);
+    }
+}

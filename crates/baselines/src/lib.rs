@@ -1,0 +1,29 @@
+//! # dg-baselines — the paper's four baseline generative models (§5.0.1)
+//!
+//! Each baseline implements the shared [`common::GenerativeModel`] trait so
+//! the experiment harness can swap models freely:
+//!
+//! * [`hmm`] — Gaussian-emission hidden Markov model (Baum-Welch);
+//! * [`ar`] — nonlinear auto-regressive model (`R_t = f(A, R_{t-1..t-p})`
+//!   with an MLP `f`);
+//! * [`rnn`] — teacher-forced LSTM fed the attributes at every step;
+//! * [`naive_gan`] — the §3.3 strawman: a joint MLP WGAN-GP over
+//!   `[attributes | flattened series]`.
+//!
+//! All models use the paper's extensions: attributes drawn from the
+//! empirical multinomial, the first record from a fitted Gaussian, and the
+//! §4.1.1 generation-flag technique for variable lengths.
+
+#![warn(missing_docs)]
+
+pub mod ar;
+pub mod common;
+pub mod hmm;
+pub mod naive_gan;
+pub mod rnn;
+
+pub use ar::{ArConfig, ArModel};
+pub use common::GenerativeModel;
+pub use hmm::{HmmConfig, HmmModel};
+pub use naive_gan::{NaiveGanConfig, NaiveGanModel};
+pub use rnn::{RnnConfig, RnnModel};

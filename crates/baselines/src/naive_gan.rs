@@ -1,0 +1,285 @@
+//! Naive GAN baseline (§3.3, Appendix B).
+//!
+//! The "first GAN architecture one might think of": an MLP generator that
+//! emits attributes and the whole flattened time series *jointly*, an MLP
+//! discriminator, Wasserstein loss with gradient penalty. No conditional
+//! structure, no batched RNN generation, no auto-normalization — the
+//! configuration whose failures (Fig. 1, Fig. 8) motivate DoppelGANger.
+//!
+//! As in the paper, "the generated time series after the first presence of
+//! `p1 < p2` will be discarded" — which is exactly what flag-based decoding
+//! does.
+
+use crate::common::GenerativeModel;
+use dg_data::{BatchIter, Dataset, EncodedDataset, Encoder, EncoderConfig, Range, TimeSeriesObject};
+use dg_nn::graph::Graph;
+use dg_nn::layers::{Activation, Mlp};
+use dg_nn::optim::Adam;
+use dg_nn::params::ParamStore;
+use dg_nn::penalty::gradient_penalty;
+use dg_nn::tensor::Tensor;
+use doppelganger::layout::OutputLayout;
+use rand::Rng;
+
+/// Naive GAN hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct NaiveGanConfig {
+    /// Noise width.
+    pub noise_dim: usize,
+    /// Generator hidden width (paper: 200).
+    pub gen_hidden: usize,
+    /// Generator hidden depth (paper: 4).
+    pub gen_depth: usize,
+    /// Discriminator hidden width (paper: 200).
+    pub disc_hidden: usize,
+    /// Discriminator hidden depth (paper: 4).
+    pub disc_depth: usize,
+    /// Gradient-penalty weight (paper: 10).
+    pub gp_lambda: f32,
+    /// Adam learning rate (paper: 0.001).
+    pub lr: f32,
+    /// Minibatch size (paper: 100).
+    pub batch: usize,
+    /// Training iterations (one d step + one g step each).
+    pub train_steps: usize,
+}
+
+impl Default for NaiveGanConfig {
+    fn default() -> Self {
+        NaiveGanConfig {
+            noise_dim: 16,
+            gen_hidden: 96,
+            gen_depth: 3,
+            disc_hidden: 96,
+            disc_depth: 3,
+            gp_lambda: 10.0,
+            lr: 1e-3,
+            batch: 32,
+            train_steps: 400,
+        }
+    }
+}
+
+impl NaiveGanConfig {
+    /// The paper's Appendix-B configuration (4x200 MLPs, batch 100).
+    pub fn paper() -> Self {
+        NaiveGanConfig {
+            noise_dim: 32,
+            gen_hidden: 200,
+            gen_depth: 4,
+            disc_hidden: 200,
+            disc_depth: 4,
+            gp_lambda: 10.0,
+            lr: 1e-3,
+            batch: 100,
+            train_steps: 4000,
+        }
+    }
+}
+
+/// A fitted naive (joint MLP) WGAN-GP.
+#[derive(Debug, Clone)]
+pub struct NaiveGanModel {
+    config: NaiveGanConfig,
+    encoder: Encoder,
+    gen: Mlp,
+    disc: Mlp,
+    store: ParamStore,
+    layout: OutputLayout,
+}
+
+impl NaiveGanModel {
+    /// Fits the naive GAN on a dataset.
+    pub fn fit<R: Rng + ?Sized>(dataset: &Dataset, config: NaiveGanConfig, rng: &mut R) -> Self {
+        let enc_cfg = EncoderConfig { auto_normalize: false, range: Range::ZeroOne };
+        let encoder = Encoder::fit(dataset, enc_cfg);
+        let encoded = encoder.encode(dataset);
+        let mut model = Self::initialized(encoder, config, rng);
+        model.train(&encoded, rng);
+        model
+    }
+
+    /// Builds an untrained model (exposed for incremental-training
+    /// experiments).
+    pub fn initialized<R: Rng + ?Sized>(encoder: Encoder, config: NaiveGanConfig, rng: &mut R) -> Self {
+        // Joint output layout: attribute blocks followed by all steps.
+        let attr_layout = OutputLayout::attributes(&encoder.schema, encoder.config.range);
+        let step_layout = OutputLayout::step(&encoder.schema, encoder.config.range).tiled(encoder.max_len());
+        let mut blocks = attr_layout.blocks.clone();
+        for &(s, e, a) in &step_layout.blocks {
+            blocks.push((attr_layout.width + s, attr_layout.width + e, a));
+        }
+        let layout = OutputLayout {
+            blocks,
+            width: attr_layout.width + step_layout.width,
+            range: encoder.config.range,
+        };
+
+        let mut store = ParamStore::new();
+        let gen = Mlp::new(
+            &mut store,
+            "naive_gen",
+            config.noise_dim,
+            config.gen_hidden,
+            config.gen_depth,
+            layout.width,
+            Activation::LeakyRelu(0.2),
+            Activation::Linear,
+            rng,
+        );
+        let disc = Mlp::new(
+            &mut store,
+            "naive_disc",
+            layout.width,
+            config.disc_hidden,
+            config.disc_depth,
+            1,
+            Activation::LeakyRelu(0.2),
+            Activation::Linear,
+            rng,
+        );
+        NaiveGanModel { config, encoder, gen, disc, store, layout }
+    }
+
+    /// Runs `config.train_steps` WGAN-GP iterations on encoded data.
+    pub fn train<R: Rng + ?Sized>(&mut self, encoded: &EncodedDataset, rng: &mut R) {
+        let mut d_opt = Adam::with_betas(self.config.lr, 0.5, 0.9);
+        let mut g_opt = Adam::with_betas(self.config.lr, 0.5, 0.9);
+        let mut batches = BatchIter::new(encoded.num_samples(), self.config.batch);
+        for _ in 0..self.config.train_steps {
+            // ---- discriminator step ----
+            let idx = batches.next_batch(rng).to_vec();
+            let real = encoded.full_rows(&idx);
+            let fake = self.sample_encoded(idx.len(), rng);
+            {
+                let mut g = Graph::new();
+                let rv = g.constant(real.clone());
+                let fv = g.constant(fake.clone());
+                let dr = self.disc.forward(&mut g, &self.store, rv);
+                let df = self.disc.forward(&mut g, &self.store, fv);
+                let mr = g.mean_all(dr);
+                let mf = g.mean_all(df);
+                let w = g.sub(mf, mr);
+                let gp = gradient_penalty(&mut g, &self.store, &self.disc, &real, &fake, rng);
+                let gp_term = g.scale(gp, self.config.gp_lambda);
+                let loss = g.add(w, gp_term);
+                g.backward(loss);
+                d_opt.step(&mut self.store, &g.param_grads());
+            }
+            // ---- generator step ----
+            {
+                let mut g = Graph::new();
+                let z = g.constant(Tensor::randn(self.config.batch, self.config.noise_dim, 1.0, rng));
+                let raw = self.gen.forward(&mut g, &self.store, z);
+                let out = self.layout.apply(&mut g, raw);
+                let score = self.disc.forward_frozen(&mut g, &self.store, out);
+                let ms = g.mean_all(score);
+                let loss = g.scale(ms, -1.0);
+                g.backward(loss);
+                g_opt.step(&mut self.store, &g.param_grads());
+            }
+        }
+    }
+
+    /// Generates a batch of encoded full rows from the frozen generator.
+    pub fn sample_encoded<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Tensor {
+        let mut g = Graph::new();
+        let z = g.constant(Tensor::randn(n, self.config.noise_dim, 1.0, rng));
+        let raw = self.gen.forward_frozen(&mut g, &self.store, z);
+        let out = self.layout.apply(&mut g, raw);
+        g.value(out).clone()
+    }
+
+    /// Critic score for given encoded full rows (used by membership
+    /// inference experiments).
+    pub fn critic_scores(&self, rows: &Tensor) -> Vec<f32> {
+        let mut g = Graph::new();
+        let rv = g.constant(rows.clone());
+        let s = self.disc.forward_frozen(&mut g, &self.store, rv);
+        g.value(s).as_slice().to_vec()
+    }
+}
+
+impl GenerativeModel for NaiveGanModel {
+    fn name(&self) -> &'static str {
+        "Naive GAN"
+    }
+
+    fn generate_objects(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<TimeSeriesObject> {
+        let aw = self.encoder.attr_width();
+        let full = self.sample_encoded(n, rng);
+        let attrs = full.slice_cols(0, aw);
+        let feats = full.slice_cols(aw, full.cols());
+        let m = Tensor::zeros(n, 0);
+        self.encoder.decode(&attrs, &m, &feats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_datasets::sine::{self, SineConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_config() -> NaiveGanConfig {
+        NaiveGanConfig {
+            noise_dim: 8,
+            gen_hidden: 24,
+            gen_depth: 2,
+            disc_hidden: 24,
+            disc_depth: 2,
+            gp_lambda: 10.0,
+            lr: 1e-3,
+            batch: 8,
+            train_steps: 20,
+        }
+    }
+
+    #[test]
+    fn fit_and_generate_valid_objects() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = sine::generate(
+            &SineConfig { num_objects: 16, length: 12, periods: vec![4], noise_sigma: 0.05 },
+            &mut rng,
+        );
+        let gan = NaiveGanModel::fit(&data, tiny_config(), &mut rng);
+        let objs = gan.generate_objects(6, &mut rng);
+        assert_eq!(objs.len(), 6);
+        for o in &objs {
+            assert!(o.len() <= 12);
+            assert!(o.records.iter().all(|r| r[0].cont().is_finite()));
+        }
+        let _ = gan.generate_dataset(&data.schema, 3, &mut rng);
+    }
+
+    #[test]
+    fn layout_covers_attrs_and_steps() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = sine::generate(
+            &SineConfig { num_objects: 8, length: 6, periods: vec![3], noise_sigma: 0.0 },
+            &mut rng,
+        );
+        let enc_cfg = EncoderConfig { auto_normalize: false, range: Range::ZeroOne };
+        let encoder = Encoder::fit(&data, enc_cfg);
+        let encoded = encoder.encode(&data);
+        let gan = NaiveGanModel::initialized(encoder, tiny_config(), &mut rng);
+        assert_eq!(gan.layout.width, encoded.full_width());
+        let s = gan.sample_encoded(3, &mut rng);
+        assert_eq!(s.shape(), (3, encoded.full_width()));
+    }
+
+    #[test]
+    fn critic_scores_have_one_per_row() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = sine::generate(
+            &SineConfig { num_objects: 8, length: 6, periods: vec![3], noise_sigma: 0.0 },
+            &mut rng,
+        );
+        let gan = NaiveGanModel::fit(&data, tiny_config(), &mut rng);
+        let rows = gan.sample_encoded(5, &mut rng);
+        let scores = gan.critic_scores(&rows);
+        assert_eq!(scores.len(), 5);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

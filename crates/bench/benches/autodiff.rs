@@ -1,0 +1,74 @@
+//! Criterion benches for autodiff forward+backward passes (MLP, LSTM, and
+//! the WGAN-GP double-backprop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dg_nn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_mlp_fwd_bwd(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let mlp = Mlp::new(&mut store, "m", 128, 200, 4, 1, Activation::LeakyRelu(0.2), Activation::Linear, &mut rng);
+    let x = Tensor::randn(100, 128, 1.0, &mut rng);
+    c.bench_function("autodiff/mlp_4x200_fwd_bwd_b100", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let y = mlp.forward(&mut g, &store, xv);
+            let loss = g.mean_all(y);
+            g.backward(loss);
+            black_box(g.param_grads())
+        });
+    });
+}
+
+fn bench_lstm_unroll(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let cell = LstmCell::new(&mut store, "l", 32, 100, &mut rng);
+    let head = Linear::new(&mut store, "h", 100, 16, &mut rng);
+    let steps = 50;
+    let batch = 32;
+    c.bench_function("autodiff/lstm100_unroll50_fwd_bwd_b32", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let mut state = cell.zero_state(&mut g, batch);
+            let mut acc = None;
+            for _ in 0..steps {
+                let x = g.constant(Tensor::zeros(batch, 32));
+                state = cell.step(&mut g, &store, x, state);
+                let out = head.forward(&mut g, &store, state.h);
+                let s = g.sum_all(out);
+                acc = Some(match acc {
+                    None => s,
+                    Some(a) => g.add(a, s),
+                });
+            }
+            let loss = acc.expect("non-empty");
+            g.backward(loss);
+            black_box(g.param_grads())
+        });
+    });
+}
+
+fn bench_gradient_penalty(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let critic = Mlp::new(&mut store, "c", 256, 200, 4, 1, Activation::LeakyRelu(0.2), Activation::Linear, &mut rng);
+    let real = Tensor::randn(100, 256, 1.0, &mut rng);
+    let fake = Tensor::randn(100, 256, 1.0, &mut rng);
+    c.bench_function("autodiff/wgan_gp_double_backprop_b100", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let mut r2 = StdRng::seed_from_u64(3);
+            let p = gradient_penalty(&mut g, &store, &critic, &real, &fake, &mut r2);
+            g.backward(p);
+            black_box(g.param_grads())
+        });
+    });
+}
+
+criterion_group!(benches, bench_mlp_fwd_bwd, bench_lstm_unroll, bench_gradient_penalty);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches for downstream classifier/regressor fit+predict.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dg_downstream::{standard_classifiers, standard_regressors};
+use std::hint::black_box;
+
+fn blobs(n: usize) -> (Vec<f64>, Vec<usize>) {
+    let mut x = Vec::with_capacity(n * 8);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % 3;
+        for j in 0..8 {
+            x.push((c as f64) * 2.0 + ((i * 31 + j * 7) as f64 * 0.377).sin());
+        }
+        y.push(c);
+    }
+    (x, y)
+}
+
+fn bench_classifiers(c: &mut Criterion) {
+    let (x, y) = blobs(300);
+    let mut group = c.benchmark_group("classifier_fit_predict");
+    group.sample_size(10);
+    for clf_proto in standard_classifiers() {
+        let name = clf_proto.name().to_string();
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                // Recreate a fresh classifier of the same kind each iteration.
+                let mut clf = standard_classifiers()
+                    .into_iter()
+                    .find(|m| m.name() == name)
+                    .expect("known classifier");
+                clf.fit(&x, &y, 300, 8, 3);
+                black_box(clf.predict(&x, 300, 8))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_regressors(c: &mut Criterion) {
+    let n = 200;
+    let dim = 16;
+    let mut x = Vec::with_capacity(n * dim);
+    let mut y = Vec::with_capacity(n * 4);
+    for i in 0..n {
+        for j in 0..dim {
+            x.push(((i * 13 + j * 5) as f64 * 0.21).sin());
+        }
+        for j in 0..4 {
+            y.push(((i + j) as f64 * 0.37).cos());
+        }
+    }
+    let mut group = c.benchmark_group("regressor_fit_predict");
+    group.sample_size(10);
+    for reg_proto in standard_regressors() {
+        let name = reg_proto.name().to_string();
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut reg = standard_regressors()
+                    .into_iter()
+                    .find(|m| m.name() == name)
+                    .expect("known regressor");
+                reg.fit(&x, n, dim, &y, 4);
+                black_box(reg.predict(&x, n, dim))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers, bench_regressors);
+criterion_main!(benches);

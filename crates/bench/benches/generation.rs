@@ -1,0 +1,44 @@
+//! Criterion benches for sampling throughput (trained-model inference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_bench::presets::{Preset, Scale};
+use dg_datasets::{sine, wwt};
+use doppelganger::DoppelGanger;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let preset = Preset::new(Scale::Smoke);
+    let mut rng = StdRng::seed_from_u64(0);
+    let datasets = vec![
+        ("sine_len24", sine::generate(&preset.sine, &mut rng)),
+        ("wwt_len64", wwt::generate(&preset.wwt, &mut rng)),
+    ];
+    let mut group = c.benchmark_group("generate_100");
+    group.sample_size(10);
+    for (name, data) in datasets {
+        let cfg = preset.dg_config(data.schema.max_len);
+        let model = DoppelGanger::new(&data, cfg, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |bench, model| {
+            let mut grng = StdRng::seed_from_u64(1);
+            bench.iter(|| black_box(model.generate(100, &mut grng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let preset = Preset::new(Scale::Smoke);
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = wwt::generate(&preset.wwt, &mut rng);
+    let model = DoppelGanger::new(&data, preset.dg_config(data.schema.max_len), &mut rng);
+    c.bench_function("encode_wwt_smoke", |bench| bench.iter(|| black_box(model.encode(&data))));
+    let enc = model.encode(&data);
+    c.bench_function("decode_wwt_smoke", |bench| {
+        bench.iter(|| black_box(model.encoder.decode(&enc.attributes, &enc.minmax, &enc.features)))
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for the fidelity metrics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dg_bench::presets::{Preset, Scale};
+use dg_datasets::wwt;
+use dg_metrics::{autocorrelation, average_autocorrelation, jsd_counts, nearest_neighbours, spearman, wasserstein1};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_metrics(c: &mut Criterion) {
+    let preset = Preset::new(Scale::Smoke);
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = wwt::generate(&preset.wwt, &mut rng);
+
+    let series: Vec<f64> = (0..550).map(|t| ((t as f64) * 0.9).sin()).collect();
+    c.bench_function("metrics/autocorrelation_len550", |b| {
+        b.iter(|| black_box(autocorrelation(&series, 548)))
+    });
+    c.bench_function("metrics/avg_autocorr_wwt_smoke", |b| {
+        b.iter(|| black_box(average_autocorrelation(&data, 0, 62, 16)))
+    });
+
+    let a: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.317).sin() * 10.0).collect();
+    let bb: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.173).cos() * 12.0).collect();
+    c.bench_function("metrics/wasserstein1_2000", |b| b.iter(|| black_box(wasserstein1(&a, &bb))));
+
+    let h1: Vec<usize> = (0..50).map(|i| 10 + i * 3).collect();
+    let h2: Vec<usize> = (0..50).map(|i| 5 + i * 4).collect();
+    c.bench_function("metrics/jsd_50", |b| b.iter(|| black_box(jsd_counts(&h1, &h2))));
+
+    c.bench_function("metrics/spearman_2000", |b| b.iter(|| black_box(spearman(&a, &bb))));
+
+    let gen: Vec<_> = data.objects.iter().take(10).cloned().collect();
+    c.bench_function("metrics/nearest_neighbours_10xN", |b| {
+        b.iter(|| black_box(nearest_neighbours(&gen, &data, 0, 3)))
+    });
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

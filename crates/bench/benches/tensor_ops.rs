@@ -1,0 +1,52 @@
+//! Criterion benches for the dense tensor kernels in `dg-nn`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(0);
+    for &(m, k, n) in &[(32usize, 64usize, 64usize), (100, 200, 200), (100, 500, 200)] {
+        let a = Tensor::randn(m, k, 1.0, &mut rng);
+        let b = Tensor::randn(k, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}x{n}")), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(a.matmul(b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_transposed(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Tensor::randn(100, 200, 1.0, &mut rng);
+    let b = Tensor::randn(150, 200, 1.0, &mut rng);
+    c.bench_function("matmul_bt/100x200x150", |bench| bench.iter(|| black_box(a.matmul_bt(&b))));
+    let a2 = Tensor::randn(200, 100, 1.0, &mut rng);
+    let b2 = Tensor::randn(200, 150, 1.0, &mut rng);
+    c.bench_function("matmul_at/100x200x150", |bench| bench.iter(|| black_box(a2.matmul_at(&b2))));
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = Tensor::randn(100, 500, 1.0, &mut rng);
+    let b = Tensor::randn(100, 500, 1.0, &mut rng);
+    c.bench_function("elementwise/add_100x500", |bench| bench.iter(|| black_box(a.add(&b))));
+    c.bench_function("elementwise/tanh_map_100x500", |bench| bench.iter(|| black_box(a.map(f32::tanh))));
+    c.bench_function("elementwise/sum_rows_100x500", |bench| bench.iter(|| black_box(a.sum_rows())));
+}
+
+fn bench_concat_gather(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let parts: Vec<Tensor> = (0..10).map(|_| Tensor::randn(100, 50, 1.0, &mut rng)).collect();
+    let refs: Vec<&Tensor> = parts.iter().collect();
+    c.bench_function("concat_cols/10x(100x50)", |bench| bench.iter(|| black_box(Tensor::concat_cols(&refs))));
+    let big = Tensor::randn(1000, 200, 1.0, &mut rng);
+    let idx: Vec<usize> = (0..100).map(|i| (i * 7) % 1000).collect();
+    c.bench_function("gather_rows/100_of_1000x200", |bench| bench.iter(|| black_box(big.gather_rows(&idx))));
+}
+
+criterion_group!(benches, bench_matmul, bench_matmul_transposed, bench_elementwise, bench_concat_gather);
+criterion_main!(benches);

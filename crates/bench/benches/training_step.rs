@@ -1,0 +1,57 @@
+//! Criterion benches for full DoppelGANger training steps on each dataset
+//! shape (the cost a user actually pays per iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_bench::presets::{Preset, Scale};
+use dg_datasets::{gcut, mba, sine, wwt};
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_dg_steps(c: &mut Criterion) {
+    let preset = Preset::new(Scale::Smoke);
+    let mut rng = StdRng::seed_from_u64(0);
+    let datasets = vec![
+        ("sine", sine::generate(&preset.sine, &mut rng)),
+        ("wwt", wwt::generate(&preset.wwt, &mut rng)),
+        ("mba", mba::generate(&preset.mba, &mut rng)),
+        ("gcut", gcut::generate(&preset.gcut, &mut rng)),
+    ];
+    let mut group = c.benchmark_group("dg_train_step");
+    group.sample_size(10);
+    for (name, data) in datasets {
+        let cfg = preset.dg_config(data.schema.max_len);
+        let model = DoppelGanger::new(&data, cfg, &mut rng);
+        let encoded = model.encode(&data);
+        let mut trainer = Trainer::new(model);
+        let mut srng = StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |bench, _| {
+            bench.iter(|| {
+                trainer.fit(&encoded, 1, &mut srng, |_| {});
+                black_box(trainer.d_updates)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_step(c: &mut Criterion) {
+    let preset = Preset::new(Scale::Smoke);
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = sine::generate(&preset.sine, &mut rng);
+    let cfg = preset.dg_config(data.schema.max_len);
+    let model = DoppelGanger::new(&data, cfg, &mut rng);
+    let encoded = model.encode(&data);
+    let mut trainer = Trainer::new(model).with_dp(DpConfig::moderate());
+    let idx: Vec<usize> = (0..8).collect();
+    let mut group = c.benchmark_group("dg_dp_step");
+    group.sample_size(10);
+    group.bench_function("sine_b8", |bench| {
+        bench.iter(|| black_box(trainer.d_step_dp(&encoded, &idx, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dg_steps, bench_dp_step);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Runs the complete experiment battery (every table and figure of the
+//! paper's evaluation) and saves each report under `results/`.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_all -- [smoke|quick|paper]`
+
+use dg_bench::experiments::all_experiments;
+use dg_bench::presets::{Preset, Scale};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running the full battery at scale '{}'", scale.name());
+    let t0 = Instant::now();
+    for (id, run) in all_experiments() {
+        let t = Instant::now();
+        eprintln!("[{:>7.1?}] starting {id}", t0.elapsed());
+        let result = run(&preset);
+        result.emit(scale.name());
+        eprintln!("[{:>7.1?}] finished {id} in {:.1?}", t0.elapsed(), t.elapsed());
+    }
+    eprintln!("battery complete in {:.1?}", t0.elapsed());
+}

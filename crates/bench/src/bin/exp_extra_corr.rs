@@ -1,0 +1,15 @@
+//! Extension experiment: feature-attribute correlation preservation on GCUT
+//! (the paper's §1 motivating dependence, quantified with a correlation
+//! ratio).
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = fidelity::extra_attr_feature_correlation(&preset);
+    result.emit(scale.name());
+}

@@ -1,0 +1,15 @@
+//! Fig. 1: WWT autocorrelation, DoppelGANger vs all baselines.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig01_autocorrelation -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = fidelity::fig01_autocorrelation(&preset);
+    result.emit(scale.name());
+}

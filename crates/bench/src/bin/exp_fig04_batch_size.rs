@@ -1,0 +1,15 @@
+//! Fig. 4: feature batch size S vs autocorrelation MSE.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig04_batch_size -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = fidelity::fig04_batch_size(&preset);
+    result.emit(scale.name());
+}

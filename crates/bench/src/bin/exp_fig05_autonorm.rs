@@ -1,0 +1,15 @@
+//! Fig. 5: auto-normalization vs dynamic-range mode collapse.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig05_autonorm -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = fidelity::fig05_autonorm(&preset);
+    result.emit(scale.name());
+}

@@ -1,0 +1,15 @@
+//! Figs. 7/14: GCUT task-duration histograms.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig07_duration -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = fidelity::fig07_duration(&preset);
+    result.emit(scale.name());
+}

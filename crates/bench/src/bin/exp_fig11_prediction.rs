@@ -1,0 +1,15 @@
+//! Fig. 11: end-event prediction, train-on-generated test-on-real.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig11_prediction -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = downstream::fig11_prediction(&preset);
+    result.emit(scale.name());
+}

@@ -1,0 +1,15 @@
+//! Figs. 12/31: membership-inference success vs training size.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig12_membership -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = privacy::fig12_membership(&preset);
+    result.emit(scale.name());
+}

@@ -1,0 +1,15 @@
+//! Figs. 13/32: DP-SGD fidelity cost on WWT autocorrelation.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig13_dp -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = privacy::fig13_dp(&preset);
+    result.emit(scale.name());
+}

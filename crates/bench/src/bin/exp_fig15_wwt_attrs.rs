@@ -1,0 +1,15 @@
+//! Figs. 15-17: WWT attribute histograms and JSD.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig15_wwt_attrs -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = fidelity::fig15_wwt_attrs(&preset);
+    result.emit(scale.name());
+}

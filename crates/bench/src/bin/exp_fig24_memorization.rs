@@ -1,0 +1,15 @@
+//! Figs. 24-26: nearest-neighbour memorization probe.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig24_memorization -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = fidelity::fig24_memorization(&preset);
+    result.emit(scale.name());
+}

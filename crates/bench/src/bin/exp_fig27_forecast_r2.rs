@@ -1,0 +1,15 @@
+//! Fig. 27: WWT forecasting R2, train-on-generated test-on-real.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig27_forecast_r2 -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = downstream::fig27_forecast_r2(&preset);
+    result.emit(scale.name());
+}

@@ -1,0 +1,15 @@
+//! Fig. 30: attribute retraining to a target joint distribution.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig30_flexibility -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = flexibility::fig30_flexibility(&preset);
+    result.emit(scale.name());
+}

@@ -1,0 +1,15 @@
+//! Fig. 33: S sweep across training progress.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig33_s_sweep -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = fidelity::fig33_s_sweep(&preset);
+    result.emit(scale.name());
+}

@@ -1,0 +1,15 @@
+//! Figs. 34/35: auxiliary-discriminator ablation.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_fig34_aux_disc -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = fidelity::fig34_aux_disc(&preset);
+    result.emit(scale.name());
+}

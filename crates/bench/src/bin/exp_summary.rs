@@ -1,0 +1,208 @@
+//! Collates saved experiment numbers (`results/*.json`) into a one-screen
+//! verdict table: per experiment, the paper's claim and whether the measured
+//! numbers support it.
+//!
+//! Run the battery first (`exp_all`), then:
+//! `cargo run --release -p dg-bench --bin exp_summary -- quick`
+
+use dg_bench::harness::{format_table, ExpResult};
+use dg_bench::presets::Scale;
+
+struct Check {
+    id: &'static str,
+    claim: &'static str,
+    verdict: fn(&dyn Fn(&str, &str) -> Option<f64>) -> Option<bool>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let get = move |id: &str, key: &str| -> Option<f64> {
+        ExpResult::load_numbers(id, scale.name())?
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    };
+
+    let checks: Vec<Check> = vec![
+        Check {
+            id: "fig01",
+            claim: "DG has the lowest autocorrelation MSE",
+            verdict: |g| Some(g("fig01", "dg_wins")? > 0.5),
+        },
+        Check {
+            id: "fig04",
+            claim: "batched generation (S>1) beats S=1",
+            verdict: |g| {
+                let s1 = g("fig04", "mse_s1")?;
+                let batched: Vec<f64> = ["mse_s5", "mse_s10", "mse_s25", "mse_s50"]
+                    .iter()
+                    .filter_map(|k| g("fig04", k))
+                    .collect();
+                if batched.is_empty() {
+                    return None;
+                }
+                Some(batched.iter().copied().fold(f64::INFINITY, f64::min) < s1)
+            },
+        },
+        Check {
+            id: "fig05",
+            claim: "auto-normalization reduces range-distribution error",
+            verdict: |g| Some(g("fig05", "range_w1_auto")? < g("fig05", "range_w1_raw")?),
+        },
+        Check {
+            id: "fig07",
+            claim: "DG captures the bimodal durations, AR/RNN do not",
+            verdict: |g| {
+                Some(
+                    g("fig07", "modes_doppelganger")? >= 2.0
+                        && g("fig07", "modes_ar")? < 2.0
+                        && g("fig07", "modes_rnn")? < 2.0,
+                )
+            },
+        },
+        Check {
+            id: "fig08",
+            claim: "DG's event histogram beats the naive GAN's (JSD)",
+            verdict: |g| Some(g("fig08", "jsd_doppelganger")? < g("fig08", "jsd_naive_gan")?),
+        },
+        Check {
+            id: "tab03",
+            claim: "DG closest to real bandwidth CDF (DSL + cable)",
+            verdict: |g| {
+                let dg = g("tab03", "w1_dsl_doppelganger")? + g("tab03", "w1_cable_doppelganger")?;
+                let best_other = ["ar", "rnn", "hmm", "naive_gan"]
+                    .iter()
+                    .filter_map(|m| {
+                        Some(g("tab03", &format!("w1_dsl_{m}"))? + g("tab03", &format!("w1_cable_{m}"))?)
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                Some(dg < best_other)
+            },
+        },
+        Check {
+            id: "fig11",
+            claim: "classifiers trained on DG data beat all baselines (MLP)",
+            verdict: |g| Some(g("fig11", "dg_mlp_minus_best_baseline")? > 0.0),
+        },
+        Check {
+            id: "tab04",
+            claim: "DG's algorithm ranking correlates with ground truth",
+            verdict: |g| Some(g("tab04", "rank_gcut_doppelganger")? > 0.5),
+        },
+        Check {
+            id: "fig12",
+            claim: "membership attack weakens with more training data (WWT)",
+            verdict: |g| {
+                let nums = ExpResult::load_numbers("fig12", Scale::from_env().name())?;
+                let mut wwt: Vec<(usize, f64)> = nums
+                    .iter()
+                    .filter_map(|(k, v)| {
+                        k.strip_prefix("attack_wwt_").and_then(|n| n.parse().ok()).map(|n: usize| (n, *v))
+                    })
+                    .collect();
+                wwt.sort_by_key(|&(n, _)| n);
+                let _ = g;
+                Some(wwt.len() >= 2 && wwt.first()?.1 >= wwt.last()?.1)
+            },
+        },
+        Check {
+            id: "fig13",
+            claim: "stronger DP (smaller eps) destroys autocorrelation",
+            verdict: |g| Some(g("fig13", "mse_eps_0.55")? > g("fig13", "mse_eps_inf")?),
+        },
+        Check {
+            id: "fig15",
+            claim: "DG's WWT attribute histograms beat the naive GAN's",
+            verdict: |g| {
+                let dg: Vec<f64> = (0..3).filter_map(|i| g("fig15", &format!("jsd_attr{i}_doppelganger"))).collect();
+                let ng: Vec<f64> = (0..3).filter_map(|i| g("fig15", &format!("jsd_attr{i}_naive_gan"))).collect();
+                if dg.is_empty() || ng.is_empty() {
+                    return None;
+                }
+                Some(dg.iter().sum::<f64>() < ng.iter().sum::<f64>())
+            },
+        },
+        Check {
+            id: "fig18",
+            claim: "DG's MBA attribute JSD beats the naive GAN's",
+            verdict: |g| {
+                let dg: Vec<f64> = ["technology", "isp", "state"]
+                    .iter()
+                    .filter_map(|a| g("fig18", &format!("jsd_{a}_doppelganger")))
+                    .collect();
+                let ng: Vec<f64> = ["technology", "isp", "state"]
+                    .iter()
+                    .filter_map(|a| g("fig18", &format!("jsd_{a}_naive_gan")))
+                    .collect();
+                if dg.is_empty() || ng.is_empty() {
+                    return None;
+                }
+                Some(dg.iter().sum::<f64>() < ng.iter().sum::<f64>())
+            },
+        },
+        Check {
+            id: "fig24",
+            claim: "no memorization (median NN distance > 0)",
+            verdict: |g| Some(g("fig24", "nn_median_wwt")? > 1e-4),
+        },
+        Check {
+            id: "fig27",
+            claim: "regressors trained on DG data transfer best to real",
+            verdict: |g| {
+                let dg = g("fig27", "r2_doppelganger_mlp_5_layers")?;
+                let best_other = ["ar", "rnn", "hmm", "naive_gan"]
+                    .iter()
+                    .filter_map(|m| g("fig27", &format!("r2_{m}_mlp_5_layers")))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                Some(dg > best_other)
+            },
+        },
+        Check {
+            id: "fig30",
+            claim: "attribute retraining hits the target, features frozen",
+            verdict: |g| {
+                Some(g("fig30", "feature_generator_unchanged")? > 0.5 && g("fig30", "target_vs_achieved_jsd")? < 0.2)
+            },
+        },
+        Check {
+            id: "fig33",
+            claim: "recommended-S runs reach low MSE by end of training",
+            verdict: |g| Some(g("fig33", "mse_s10_cp3")? < g("fig33", "mse_s1_cp0")?),
+        },
+        Check {
+            id: "fig34",
+            claim: "auxiliary critic improves min/max fidelity",
+            verdict: |g| {
+                Some(
+                    g("fig34", "center_w1_aux")? + g("fig34", "half_w1_aux")?
+                        < g("fig34", "center_w1_noaux")? + g("fig34", "half_w1_noaux")?,
+                )
+            },
+        },
+    ];
+
+    let mut rows = Vec::new();
+    let mut pass = 0;
+    let mut total = 0;
+    for c in &checks {
+        let verdict = (c.verdict)(&get);
+        let mark = match verdict {
+            Some(true) => {
+                pass += 1;
+                total += 1;
+                "PASS"
+            }
+            Some(false) => {
+                total += 1;
+                "FAIL"
+            }
+            None => "missing (run exp_all first)",
+        };
+        rows.push(vec![c.id.to_string(), c.claim.to_string(), mark.to_string()]);
+    }
+    println!("paper-claim verdicts at scale '{}':\n", scale.name());
+    for line in format_table(&["experiment", "paper claim", "verdict"], &rows) {
+        println!("{line}");
+    }
+    println!("\n{pass}/{total} claims reproduced (details in results/*.{}.txt)", scale.name());
+}

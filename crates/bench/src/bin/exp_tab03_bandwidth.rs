@@ -1,0 +1,15 @@
+//! Table 3 + Fig. 9: MBA total-bandwidth Wasserstein-1 distances.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_tab03_bandwidth -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = fidelity::tab03_bandwidth(&preset);
+    result.emit(scale.name());
+}

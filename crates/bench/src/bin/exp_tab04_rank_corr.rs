@@ -1,0 +1,15 @@
+//! Table 4 + Figs. 28/29: algorithm-ranking rank correlation.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin exp_tab04_rank_corr -- [smoke|quick|paper]`
+
+#[allow(unused_imports)]
+use dg_bench::experiments::{downstream, fidelity, flexibility, privacy};
+use dg_bench::presets::{Preset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let preset = Preset::new(scale);
+    eprintln!("running at scale '{}'", scale.name());
+    let result = downstream::tab04_rank_correlation(&preset);
+    result.emit(scale.name());
+}

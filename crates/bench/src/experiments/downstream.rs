@@ -1,0 +1,243 @@
+//! Downstream-task experiments (§5.1.1): Fig. 11 (end-event prediction),
+//! Table 4 + Figs. 28/29 (algorithm-ranking preservation), and Fig. 27
+//! (forecasting R²).
+
+use crate::harness::{format_table, ExpResult};
+use crate::models::{generate_per_model, train_all, ModelSet};
+use crate::presets::Preset;
+use dg_data::Dataset;
+use dg_datasets::{gcut, wwt};
+use dg_downstream::{
+    accuracy, classification_task, forecast_task, r2_score, standard_classifiers, standard_regressors,
+};
+use dg_metrics::spearman;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The evaluation split of Fig. 10: real data halved into train (A) and test
+/// (A'); each generative model is trained on A and asked for a synthetic
+/// train set B (|A| samples) and synthetic test set B' (|A'| samples).
+struct EvalSplit {
+    a: Dataset,
+    a_test: Dataset,
+}
+
+fn gcut_split(preset: &Preset) -> EvalSplit {
+    let mut rng = StdRng::seed_from_u64(preset.seed ^ 0x6C);
+    let data = gcut::generate(&preset.gcut, &mut rng);
+    let (a, a_test) = data.split(0.5, &mut rng);
+    EvalSplit { a, a_test }
+}
+
+fn wwt_split(preset: &Preset) -> EvalSplit {
+    let mut rng = StdRng::seed_from_u64(preset.seed);
+    let data = wwt::generate(&preset.wwt, &mut rng);
+    let (a, a_test) = data.split(0.5, &mut rng);
+    EvalSplit { a, a_test }
+}
+
+/// Fig. 11: end-event-type prediction accuracy — classifiers trained on each
+/// model's generated data (B), tested on real held-out data (A').
+pub fn fig11_prediction(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("fig11", "GCUT end-event prediction: train on generated, test on real");
+    let split = gcut_split(preset);
+    let test = classification_task(&split.a_test, 0);
+    let models = train_all(&split.a, preset, ModelSet::All);
+    let generated = generate_per_model(&models, &split.a.schema, split.a.len(), preset.seed ^ 0x11);
+
+    // Training sources: real A first, then each model's B.
+    let mut sources: Vec<(String, Dataset)> = vec![("real".to_string(), split.a.clone())];
+    sources.extend(generated.into_iter().map(|(n, d)| (n.to_string(), d)));
+
+    let clf_names: Vec<&str> = standard_classifiers().iter().map(|c| c.name()).collect();
+    let mut rows = Vec::new();
+    for (source, train_data) in &sources {
+        let task = classification_task(train_data, 0);
+        let mut row = vec![source.clone()];
+        for mut clf in standard_classifiers() {
+            let n_train = task.y.len();
+            clf.fit(&task.x, &task.y, n_train, task.dim, task.num_classes);
+            let pred = clf.predict(&test.x, test.y.len(), test.dim);
+            let acc = accuracy(&pred, &test.y);
+            row.push(format!("{acc:.3}"));
+            r.numbers.push((format!("acc_{}_{}", slug(source), slug(clf.name())), acc));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["train source"];
+    header.extend(clf_names.iter().copied());
+    for line in format_table(&header, &rows) {
+        r.line(line);
+    }
+    r.blank();
+    // Paper headline: DoppelGANger beats the other baselines on the MLP.
+    let dg = r.get("acc_doppelganger_mlp").unwrap_or(0.0);
+    let best_baseline = ["ar", "rnn", "hmm", "naive_gan"]
+        .iter()
+        .filter_map(|b| r.get(&format!("acc_{b}_mlp")))
+        .fold(f64::NEG_INFINITY, f64::max);
+    r.number("dg_mlp_minus_best_baseline", dg - best_baseline);
+    r
+}
+
+/// Table 4 + Figs. 28/29: Spearman rank correlation of algorithm rankings on
+/// generated data vs the real ground-truth ranking.
+pub fn tab04_rank_correlation(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("tab04", "rank correlation of prediction algorithms (GCUT & WWT)");
+
+    // ---- GCUT: classification ranking ----
+    let split = gcut_split(preset);
+    let truth_accs = gcut_accuracies(&split.a, &split.a_test);
+    r.line("GCUT ground-truth classifier accuracies (train A, test A'):");
+    r.line(format!("  {:?}", pretty(&truth_accs)));
+    let models = train_all(&split.a, preset, ModelSet::All);
+    let n_b = split.a.len();
+    let n_bp = split.a_test.len();
+    let mut gcut_rows = Vec::new();
+    for m in &models {
+        let mut rng = StdRng::seed_from_u64(preset.seed ^ 0x22);
+        let b = m.generate_dataset(&split.a.schema, n_b, &mut rng);
+        let bp = m.generate_dataset(&split.a.schema, n_bp, &mut rng);
+        let accs = gcut_accuracies(&b, &bp);
+        let rho = spearman(&truth_accs, &accs);
+        gcut_rows.push(vec![m.name().to_string(), format!("{rho:.2}"), pretty(&accs)]);
+        r.numbers.push((format!("rank_gcut_{}", slug(m.name())), rho));
+    }
+    for line in format_table(&["model", "Spearman rho", "accuracies (MLP/NB/LR/DT/SVM)"], &gcut_rows) {
+        r.line(line);
+    }
+    r.blank();
+
+    // ---- WWT: forecasting ranking ----
+    let wsplit = wwt_split(preset);
+    let horizon = (preset.wwt.length / 10).max(2);
+    let history = preset.wwt.length - horizon;
+    let truth_r2 = wwt_r2s(&wsplit.a, &wsplit.a_test, history, horizon);
+    r.line(format!("WWT ground-truth forecasting R2 (history {history}, horizon {horizon}):"));
+    r.line(format!("  {:?}", pretty(&truth_r2)));
+    let wmodels = train_all(&wsplit.a, preset, ModelSet::All);
+    let mut wwt_rows = Vec::new();
+    for m in &wmodels {
+        let mut rng = StdRng::seed_from_u64(preset.seed ^ 0x33);
+        let b = m.generate_dataset(&wsplit.a.schema, wsplit.a.len(), &mut rng);
+        let bp = m.generate_dataset(&wsplit.a.schema, wsplit.a_test.len(), &mut rng);
+        let r2s = wwt_r2s(&b, &bp, history, horizon);
+        let rho = spearman(&truth_r2, &r2s);
+        wwt_rows.push(vec![m.name().to_string(), format!("{rho:.2}"), pretty(&r2s)]);
+        r.numbers.push((format!("rank_wwt_{}", slug(m.name())), rho));
+    }
+    for line in format_table(&["model", "Spearman rho", "R2 (KR/LinR/MLP1/MLP5)"], &wwt_rows) {
+        r.line(line);
+    }
+    r
+}
+
+/// Fig. 27: forecasting R² — regressors trained on each model's generated
+/// data, tested on real held-out data.
+pub fn fig27_forecast_r2(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("fig27", "WWT forecasting R2: train on generated, test on real");
+    let split = wwt_split(preset);
+    let horizon = (preset.wwt.length / 10).max(2);
+    let history = preset.wwt.length - horizon;
+    let test = forecast_task(&split.a_test, 0, history, horizon);
+    let models = train_all(&split.a, preset, ModelSet::All);
+    let generated = generate_per_model(&models, &split.a.schema, split.a.len(), preset.seed ^ 0x44);
+
+    let mut sources: Vec<(String, Dataset)> = vec![("real".to_string(), split.a.clone())];
+    sources.extend(generated.into_iter().map(|(n, d)| (n.to_string(), d)));
+
+    let reg_names: Vec<&str> = standard_regressors().iter().map(|m| m.name()).collect();
+    let mut rows = Vec::new();
+    for (source, train_data) in &sources {
+        let task = forecast_task(train_data, 0, history, horizon);
+        let mut row = vec![source.clone()];
+        if task.n == 0 {
+            row.extend(std::iter::repeat("n/a".to_string()).take(reg_names.len()));
+            rows.push(row);
+            continue;
+        }
+        for mut reg in standard_regressors() {
+            reg.fit(&task.x, task.n, task.history, &task.y, task.horizon);
+            let pred = reg.predict(&test.x, test.n, test.history);
+            let r2 = r2_score(&pred, &test.y).max(-1.0); // clamp for readability
+            row.push(format!("{r2:.3}"));
+            r.numbers.push((format!("r2_{}_{}", slug(source), slug(reg.name())), r2));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["train source"];
+    header.extend(reg_names.iter().copied());
+    for line in format_table(&header, &rows) {
+        r.line(line);
+    }
+    r
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+/// Accuracies of the five standard classifiers trained on `train`, tested on
+/// `test`.
+fn gcut_accuracies(train: &Dataset, test: &Dataset) -> Vec<f64> {
+    let task = classification_task(train, 0);
+    let tt = classification_task(test, 0);
+    standard_classifiers()
+        .into_iter()
+        .map(|mut clf| {
+            clf.fit(&task.x, &task.y, task.y.len(), task.dim, task.num_classes);
+            let pred = clf.predict(&tt.x, tt.y.len(), tt.dim);
+            accuracy(&pred, &tt.y)
+        })
+        .collect()
+}
+
+/// R² of the four standard regressors trained on `train`, tested on `test`.
+fn wwt_r2s(train: &Dataset, test: &Dataset, history: usize, horizon: usize) -> Vec<f64> {
+    let task = forecast_task(train, 0, history, horizon);
+    let tt = forecast_task(test, 0, history, horizon);
+    standard_regressors()
+        .into_iter()
+        .map(|mut reg| {
+            if task.n == 0 || tt.n == 0 {
+                return f64::NEG_INFINITY;
+            }
+            reg.fit(&task.x, task.n, task.history, &task.y, task.horizon);
+            let pred = reg.predict(&tt.x, tt.n, tt.history);
+            r2_score(&pred, &tt.y).max(-5.0)
+        })
+        .collect()
+}
+
+fn slug(name: &str) -> String {
+    name.to_lowercase()
+        .replace([' ', '-', '(', ')'], "_")
+        .replace('.', "")
+        .replace("__", "_")
+        .trim_matches('_')
+        .to_string()
+}
+
+fn pretty(xs: &[f64]) -> String {
+    let parts: Vec<String> = xs.iter().map(|v| format!("{v:.2}")).collect();
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Scale;
+
+    #[test]
+    fn slug_normalizes_names() {
+        assert_eq!(slug("Naive GAN"), "naive_gan");
+        assert_eq!(slug("MLP (5 layers)"), "mlp_5_layers");
+        assert_eq!(slug("LogisticRegr."), "logisticregr");
+    }
+
+    #[test]
+    fn smoke_fig11_runs_end_to_end() {
+        let preset = Preset::new(Scale::Smoke);
+        let r = fig11_prediction(&preset);
+        assert!(r.get("acc_real_mlp").is_some());
+        assert!(r.get("acc_doppelganger_mlp").is_some());
+    }
+}

@@ -1,0 +1,555 @@
+//! Fidelity experiments (§5.1): Figs. 1, 4, 5, 7, 8, 14–26, 33–35 and
+//! Table 3.
+
+use crate::harness::{downsample, format_table, sparkline, ExpResult};
+use crate::models::{generate_per_model, train_all, train_dg_with, ModelSet};
+use crate::presets::Preset;
+use dg_data::Dataset;
+use dg_datasets::{gcut, mba, wwt};
+use dg_metrics::{
+    attribute_histogram, average_autocorrelation, count_modes, curve_mse, jsd_counts, length_histogram,
+    nearest_distance_summary, nearest_neighbours, wasserstein1, EmpiricalCdf,
+};
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Minimum series length for inclusion in autocorrelation averages.
+const AC_MIN_LEN: usize = 16;
+
+fn wwt_data(preset: &Preset) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(preset.seed);
+    wwt::generate(&preset.wwt, &mut rng)
+}
+
+fn gcut_data(preset: &Preset) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(preset.seed ^ 0x6C);
+    gcut::generate(&preset.gcut, &mut rng)
+}
+
+fn mba_data(preset: &Preset) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(preset.seed ^ 0x3B);
+    mba::generate(&preset.mba, &mut rng)
+}
+
+fn ac_of(data: &Dataset, max_lag: usize) -> Vec<f64> {
+    average_autocorrelation(data, 0, max_lag, AC_MIN_LEN)
+}
+
+/// Fig. 1: average autocorrelation of WWT daily page views, real vs all five
+/// models, plus the autocorrelation MSE each model achieves.
+pub fn fig01_autocorrelation(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("fig01", "WWT autocorrelation: DoppelGANger vs baselines");
+    let data = wwt_data(preset);
+    let max_lag = preset.wwt.length - 2;
+    let real_ac = ac_of(&data, max_lag);
+    r.line(format!(
+        "real data: weekly period {} / long period {} (length {})",
+        preset.wwt.short_period, preset.wwt.long_period, preset.wwt.length
+    ));
+    r.line(format!("  real  {}", sparkline(&downsample(&real_ac, 64))));
+
+    let models = train_all(&data, preset, ModelSet::All);
+    let generated = generate_per_model(&models, &data.schema, preset.gen_samples, preset.seed);
+    let mut rows = Vec::new();
+    let mut best: Option<(&str, f64)> = None;
+    for (name, gen) in &generated {
+        let ac = ac_of(gen, max_lag);
+        let mse = curve_mse(&real_ac[1..], &ac[1..]);
+        r.line(format!("  {:<13} {}", name, sparkline(&downsample(&ac, 64))));
+        rows.push(vec![name.to_string(), format!("{mse:.5}")]);
+        r.numbers.push((format!("mse_{}", slug(name)), mse));
+        if best.map(|(_, b)| mse < b).unwrap_or(true) {
+            best = Some((name, mse));
+        }
+    }
+    r.blank();
+    for line in format_table(&["model", "autocorr MSE"], &rows) {
+        r.line(line);
+    }
+    let (best_name, _) = best.expect("non-empty");
+    r.blank();
+    r.line(format!("lowest autocorrelation MSE: {best_name}"));
+    r.number("dg_wins", f64::from(best_name == "DoppelGANger"));
+    r
+}
+
+/// Fig. 4: batching parameter `S` vs autocorrelation MSE on WWT.
+pub fn fig04_batch_size(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("fig04", "feature batch size S vs autocorrelation MSE (WWT)");
+    let data = wwt_data(preset);
+    let max_lag = preset.wwt.length - 2;
+    let real_ac = ac_of(&data, max_lag);
+    let candidates = [1usize, 2, 5, 10, 25, 50];
+    let mut rows = Vec::new();
+    for &s in candidates.iter().filter(|&&s| s <= preset.wwt.length) {
+        let cfg = preset.dg_config(data.schema.max_len).with_s(s);
+        let model = train_dg_with(&data, preset, cfg, preset.dg_iterations);
+        let mut rng = StdRng::seed_from_u64(preset.seed ^ s as u64);
+        let gen = model.generate_dataset(preset.gen_samples, &mut rng);
+        let mse = curve_mse(&real_ac[1..], &ac_of(&gen, max_lag)[1..]);
+        rows.push(vec![s.to_string(), format!("{mse:.5}")]);
+        r.numbers.push((format!("mse_s{s}"), mse));
+    }
+    for line in format_table(&["S", "autocorr MSE"], &rows) {
+        r.line(line);
+    }
+    r.line(format!(
+        "(paper recommendation: S ≈ T/50 = {} for T = {})",
+        DgConfig::recommended_s(preset.wwt.length),
+        preset.wwt.length
+    ));
+    r
+}
+
+/// Fig. 5: auto-normalization ablation — dynamic-range mode collapse.
+///
+/// Reports the spread of per-sample ranges (max - min of raw page views) in
+/// generated data relative to the real spread, with and without the min/max
+/// generator. Mode collapse shows up as generated ranges bunching together.
+pub fn fig05_autonorm(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("fig05", "auto-normalization vs dynamic-range mode collapse (WWT)");
+    let data = wwt_data(preset);
+    let real_ranges = sample_ranges(&data);
+    let real_cdf_spread = spread(&real_ranges);
+    r.line(format!(
+        "real per-sample range: p10 {:.1}, median {:.1}, p90 {:.1}",
+        quantile(&real_ranges, 0.1),
+        quantile(&real_ranges, 0.5),
+        quantile(&real_ranges, 0.9)
+    ));
+    let mut rows = Vec::new();
+    for (label, auto) in [("auto-normalized", true), ("unnormalized", false)] {
+        let mut cfg = preset.dg_config(data.schema.max_len);
+        if !auto {
+            cfg = cfg.without_auto_normalization();
+        }
+        let model = train_dg_with(&data, preset, cfg, preset.dg_iterations);
+        let mut rng = StdRng::seed_from_u64(preset.seed ^ auto as u64);
+        let gen = model.generate_dataset(preset.gen_samples, &mut rng);
+        let ranges = sample_ranges(&gen);
+        let w1 = wasserstein1(&real_ranges, &ranges);
+        let rel_spread = spread(&ranges) / real_cdf_spread.max(1e-9);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", quantile(&ranges, 0.5)),
+            format!("{rel_spread:.3}"),
+            format!("{w1:.2}"),
+        ]);
+        r.numbers.push((format!("range_w1_{}", if auto { "auto" } else { "raw" }), w1));
+        r.numbers.push((format!("rel_spread_{}", if auto { "auto" } else { "raw" }), rel_spread));
+    }
+    for line in format_table(&["config", "median range", "spread ratio (1 = real)", "range W1"], &rows) {
+        r.line(line);
+    }
+    r.line("mode collapse = spread ratio near 0 (all samples share one dynamic range)");
+    r
+}
+
+/// Figs. 7 / 14: GCUT task-duration histograms for all models.
+pub fn fig07_duration(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("fig07", "GCUT task-duration histogram (bimodality capture)");
+    let data = gcut_data(preset);
+    let max_len = preset.gcut.max_len;
+    let real_h = length_histogram(&data, max_len);
+    let real_modes = count_modes(&real_h, 0.2);
+    r.line(format!("  real         {}  modes={real_modes}", sparkline(&to_f64(&real_h))));
+    let models = train_all(&data, preset, ModelSet::All);
+    let generated = generate_per_model(&models, &data.schema, preset.gen_samples, preset.seed ^ 0x77);
+    let mut rows = Vec::new();
+    for (name, gen) in &generated {
+        let h = length_histogram(gen, max_len);
+        let modes = count_modes(&h, 0.2);
+        let w1 = wasserstein1(&lengths_f64(&data), &lengths_f64(gen));
+        r.line(format!("  {:<13}{}  modes={modes}", name, sparkline(&to_f64(&h))));
+        rows.push(vec![name.to_string(), modes.to_string(), format!("{w1:.2}")]);
+        r.numbers.push((format!("modes_{}", slug(name)), modes as f64));
+        r.numbers.push((format!("len_w1_{}", slug(name)), w1));
+    }
+    r.blank();
+    for line in format_table(&["model", "modes", "length W1"], &rows) {
+        r.line(line);
+    }
+    r.number("real_modes", real_modes as f64);
+    r
+}
+
+/// Fig. 8: GCUT end-event-type histograms (category mode collapse probe).
+pub fn fig08_end_events(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("fig08", "GCUT end-event-type histograms");
+    let data = gcut_data(preset);
+    let real_h = attribute_histogram(&data, 0);
+    let models = train_all(&data, preset, ModelSet::GansOnly);
+    let generated = generate_per_model(&models, &data.schema, preset.gen_samples, preset.seed ^ 0x88);
+    let mut rows = vec![histogram_row("real", &real_h)];
+    for (name, gen) in &generated {
+        let h = attribute_histogram(gen, 0);
+        let jsd = jsd_counts(&real_h, &h);
+        let mut row = histogram_row(name, &h);
+        row.push(format!("{jsd:.4}"));
+        rows[0].resize(6, String::new());
+        rows.push(row);
+        r.numbers.push((format!("jsd_{}", slug(name)), jsd));
+        let missing = h.iter().filter(|&&c| c == 0).count();
+        r.numbers.push((format!("missing_categories_{}", slug(name)), missing as f64));
+    }
+    let mut header = vec!["model"];
+    header.extend(gcut::END_EVENTS);
+    header.push("JSD vs real");
+    for line in format_table(&header, &rows) {
+        r.line(line);
+    }
+    r
+}
+
+/// Table 3 + Fig. 9: Wasserstein-1 of total bandwidth per technology (MBA).
+pub fn tab03_bandwidth(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("tab03", "MBA total-bandwidth W1 distance (DSL & cable users)");
+    let data = mba_data(preset);
+    let techs = [("DSL", 0usize), ("Cable", 3usize)];
+    let models = train_all(&data, preset, ModelSet::All);
+    let generated = generate_per_model(&models, &data.schema, preset.gen_samples, preset.seed ^ 0x99);
+
+    let real_bw: Vec<Vec<f64>> = techs
+        .iter()
+        .map(|&(_, t)| bandwidths(&data.filter_by_attribute(0, t)))
+        .collect();
+    let mut rows = Vec::new();
+    for (name, gen) in &generated {
+        let mut row = vec![name.to_string()];
+        for (i, &(tech_name, t)) in techs.iter().enumerate() {
+            let g = gen.filter_by_attribute(0, t);
+            let w1 = if g.is_empty() {
+                f64::NAN
+            } else {
+                wasserstein1(&real_bw[i], &bandwidths(&g))
+            };
+            row.push(format!("{w1:.2}"));
+            r.numbers.push((format!("w1_{}_{}", tech_name.to_lowercase(), slug(name)), w1));
+        }
+        rows.push(row);
+    }
+    for line in format_table(&["model", "DSL W1", "Cable W1"], &rows) {
+        r.line(line);
+    }
+    // Fig. 9 companion: CDF sketches.
+    r.blank();
+    r.line("total-bandwidth CDFs (Fig. 9 companion, 0..60 GB):");
+    for (i, &(tech_name, t)) in techs.iter().enumerate() {
+        let cdf = EmpiricalCdf::new(&real_bw[i]);
+        let curve: Vec<f64> = cdf.curve(0.0, 60.0, 48).into_iter().map(|(_, y)| y).collect();
+        r.line(format!("  real/{tech_name:<6} {}", sparkline(&curve)));
+        for (name, gen) in &generated {
+            let g = gen.filter_by_attribute(0, t);
+            if g.is_empty() {
+                continue;
+            }
+            let cdf = EmpiricalCdf::new(&bandwidths(&g));
+            let curve: Vec<f64> = cdf.curve(0.0, 60.0, 48).into_iter().map(|(_, y)| y).collect();
+            r.line(format!("  {:<4}/{tech_name:<6} {}", short(name), sparkline(&curve)));
+        }
+    }
+    r
+}
+
+/// Figs. 15–17: WWT attribute histograms (domain / access / agent), real vs
+/// DoppelGANger vs naive GAN.
+pub fn fig15_wwt_attrs(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("fig15", "WWT attribute histograms + JSD (DG vs naive GAN)");
+    let data = wwt_data(preset);
+    let models = train_all(&data, preset, ModelSet::GansOnly);
+    let generated = generate_per_model(&models, &data.schema, preset.gen_samples, preset.seed ^ 0xAA);
+    for (ai, attr) in ["Wikipedia domain", "access type", "agent"].iter().enumerate() {
+        r.line(format!("attribute: {attr}"));
+        let real_h = attribute_histogram(&data, ai);
+        r.line(format!("  real          {}", sparkline(&to_f64(&real_h))));
+        for (name, gen) in &generated {
+            let h = attribute_histogram(gen, ai);
+            let jsd = jsd_counts(&real_h, &h);
+            r.line(format!("  {:<13} {}  JSD={jsd:.4}", name, sparkline(&to_f64(&h))));
+            r.numbers.push((format!("jsd_attr{ai}_{}", slug(name)), jsd));
+        }
+        r.blank();
+    }
+    r
+}
+
+/// Figs. 18–23: MBA attribute histograms and the JSD bar chart for all
+/// models.
+pub fn fig18_mba_attrs(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("fig18", "MBA attribute JSD (ISP / technology / state), all models");
+    let data = mba_data(preset);
+    let models = train_all(&data, preset, ModelSet::All);
+    let generated = generate_per_model(&models, &data.schema, preset.gen_samples, preset.seed ^ 0xBB);
+    let attrs = ["technology", "ISP", "state"];
+    let mut rows = Vec::new();
+    for (name, gen) in &generated {
+        let mut row = vec![name.to_string()];
+        for (ai, _) in attrs.iter().enumerate() {
+            let jsd = jsd_counts(&attribute_histogram(&data, ai), &attribute_histogram(gen, ai));
+            row.push(format!("{jsd:.4}"));
+            r.numbers.push((format!("jsd_{}_{}", attrs[ai].to_lowercase(), slug(name)), jsd));
+        }
+        rows.push(row);
+    }
+    for line in format_table(&["model", "tech JSD", "ISP JSD", "state JSD"], &rows) {
+        r.line(line);
+    }
+    r.blank();
+    r.line("technology histograms:");
+    let real_h = attribute_histogram(&data, 0);
+    r.line(format!("  real          {}", sparkline(&to_f64(&real_h))));
+    for (name, gen) in &generated {
+        r.line(format!("  {:<13} {}", name, sparkline(&to_f64(&attribute_histogram(gen, 0)))));
+    }
+    r
+}
+
+/// Figs. 24–26: memorization probe — nearest-training-neighbour distances of
+/// generated samples.
+pub fn fig24_memorization(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("fig24", "nearest-neighbour memorization probe");
+    let mut rows = Vec::new();
+    for (ds_name, data) in [
+        ("WWT", wwt_data(preset)),
+        ("GCUT", gcut_data(preset)),
+        ("MBA", mba_data(preset)),
+    ] {
+        let model = crate::models::train_dg(&data, preset);
+        let mut rng = StdRng::seed_from_u64(preset.seed ^ 0xCC);
+        let gen = model.generate(preset.gen_samples.min(50), &mut rng);
+        let reports = nearest_neighbours(&gen, &data, 0, 3);
+        let (min, median, mean) = nearest_distance_summary(&reports);
+        rows.push(vec![
+            ds_name.to_string(),
+            format!("{min:.4}"),
+            format!("{median:.4}"),
+            format!("{mean:.4}"),
+        ]);
+        r.numbers.push((format!("nn_median_{}", ds_name.to_lowercase()), median));
+    }
+    for line in format_table(&["dataset", "min NN dist", "median", "mean"], &rows) {
+        r.line(line);
+    }
+    r.line("memorization would show up as distances collapsing to ~0");
+    r
+}
+
+/// Fig. 33: `S` sweep across training progress (autocorrelation MSE at
+/// checkpoints).
+pub fn fig33_s_sweep(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("fig33", "S sweep x training progress (autocorrelation MSE, WWT)");
+    let data = wwt_data(preset);
+    let max_lag = preset.wwt.length - 2;
+    let real_ac = ac_of(&data, max_lag);
+    let s_values: Vec<usize> = [1usize, 5, 10, 25, 50]
+        .into_iter()
+        .filter(|&s| s <= preset.wwt.length)
+        .collect();
+    let checkpoints = 4usize;
+    let mut rows = Vec::new();
+    for &s in &s_values {
+        let cfg = preset.dg_config(data.schema.max_len).with_s(s);
+        let mut rng = StdRng::seed_from_u64(preset.seed ^ 0xDD ^ s as u64);
+        let model = DoppelGanger::new(&data, cfg, &mut rng);
+        let encoded = model.encode(&data);
+        let mut trainer = Trainer::new(model);
+        let per_chunk = (preset.dg_iterations / checkpoints).max(1);
+        let mut row = vec![format!("S={s}")];
+        for cp in 0..checkpoints {
+            trainer.fit(&encoded, per_chunk, &mut rng, |_| {});
+            let mut grng = StdRng::seed_from_u64(preset.seed ^ cp as u64);
+            let gen = trainer.model.generate_dataset(preset.gen_samples.min(150), &mut grng);
+            let mse = curve_mse(&real_ac[1..], &ac_of(&gen, max_lag)[1..]);
+            row.push(format!("{mse:.5}"));
+            r.numbers.push((format!("mse_s{s}_cp{cp}"), mse));
+        }
+        rows.push(row);
+    }
+    let header = ["S \\ progress", "25%", "50%", "75%", "100%"];
+    for line in format_table(&header, &rows) {
+        r.line(line);
+    }
+    r
+}
+
+/// Figs. 34–35: auxiliary-discriminator ablation — distributions of the
+/// generated `(max+min)/2` and `(max-min)/2` fake attributes vs real.
+pub fn fig34_aux_disc(preset: &Preset) -> ExpResult {
+    let mut r = ExpResult::new("fig34", "auxiliary discriminator vs min/max fidelity (WWT)");
+    let data = wwt_data(preset);
+    let (real_centers, real_halves) = minmax_stats(&data);
+    let mut rows = Vec::new();
+    for (label, aux) in [("with aux disc", true), ("without aux disc", false)] {
+        let mut cfg = preset.dg_config(data.schema.max_len);
+        if !aux {
+            cfg = cfg.without_auxiliary_discriminator();
+        }
+        let model = train_dg_with(&data, preset, cfg, preset.dg_iterations);
+        let mut rng = StdRng::seed_from_u64(preset.seed ^ 0xEE ^ aux as u64);
+        let gen = model.generate_dataset(preset.gen_samples, &mut rng);
+        let (centers, halves) = minmax_stats(&gen);
+        let w1_c = wasserstein1(&real_centers, &centers);
+        let w1_h = wasserstein1(&real_halves, &halves);
+        rows.push(vec![label.to_string(), format!("{w1_c:.2}"), format!("{w1_h:.2}")]);
+        let key = if aux { "aux" } else { "noaux" };
+        r.numbers.push((format!("center_w1_{key}"), w1_c));
+        r.numbers.push((format!("half_w1_{key}"), w1_h));
+    }
+    for line in format_table(&["config", "(max+min)/2 W1", "(max-min)/2 W1"], &rows) {
+        r.line(line);
+    }
+    r
+}
+
+/// Extension experiment (beyond the paper's figures): does generated GCUT
+/// data preserve the §1 motivating dependence — "as the memory usage of a
+/// task increases over time, its likelihood of failure increases"?
+///
+/// Measures (a) the attribute→feature correlation ratio η between the end
+/// event and the memory *slope*, and (b) the FAIL-vs-FINISH gap in mean
+/// memory trend, for real data and every model.
+pub fn extra_attr_feature_correlation(preset: &Preset) -> ExpResult {
+    use dg_metrics::attribute_feature_eta;
+    let mut r = ExpResult::new("extra_corr", "feature-attribute correlation preservation (GCUT, §1)");
+    let data = gcut_data(preset);
+    // Memory feature index: 1 in the 3-feature quick layout, 3 in the full
+    // 9-feature layout (canonical memory usage).
+    let mem_idx = data
+        .schema
+        .feature_index("canonical memory usage")
+        .expect("GCUT schema includes canonical memory");
+    let fail_gap = |d: &Dataset| -> f64 {
+        let trend = |d: &Dataset, event: usize| {
+            let f = d.filter_by_attribute(0, event);
+            let mut total = 0.0;
+            let mut n = 0;
+            for o in &f.objects {
+                if o.len() >= 4 {
+                    let s = o.feature_series(mem_idx);
+                    total += s[s.len() - 1] - s[0];
+                    n += 1;
+                }
+            }
+            total / n.max(1) as f64
+        };
+        trend(d, 1) - trend(d, 2) // FAIL minus FINISH
+    };
+
+    let real_eta = attribute_feature_eta(&data, 0, mem_idx);
+    let real_gap = fail_gap(&data);
+    let mut rows = vec![vec!["real".to_string(), format!("{real_eta:.3}"), format!("{real_gap:+.3}")]];
+    r.number("real_eta", real_eta);
+    r.number("real_fail_gap", real_gap);
+
+    let models = train_all(&data, preset, ModelSet::All);
+    let generated = generate_per_model(&models, &data.schema, preset.gen_samples, preset.seed ^ 0xE1);
+    for (name, gen) in &generated {
+        let eta = attribute_feature_eta(gen, 0, mem_idx);
+        let gap = fail_gap(gen);
+        rows.push(vec![name.to_string(), format!("{eta:.3}"), format!("{gap:+.3}")]);
+        r.numbers.push((format!("eta_{}", slug(name)), eta));
+        r.numbers.push((format!("fail_gap_{}", slug(name)), gap));
+    }
+    for line in format_table(&["source", "eta(event, memory)", "FAIL-FINISH memory-trend gap"], &rows) {
+        r.line(line);
+    }
+    r.line("a faithful model keeps the gap positive (failing tasks leak memory) and eta > 0");
+    r
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+fn slug(name: &str) -> String {
+    name.to_lowercase().replace([' ', '-'], "_")
+}
+
+fn short(name: &str) -> &str {
+    match name {
+        "DoppelGANger" => "DG",
+        "Naive GAN" => "NGAN",
+        other => other,
+    }
+}
+
+fn to_f64(counts: &[usize]) -> Vec<f64> {
+    counts.iter().map(|&c| c as f64).collect()
+}
+
+fn lengths_f64(d: &Dataset) -> Vec<f64> {
+    d.lengths().into_iter().map(|l| l as f64).collect()
+}
+
+fn bandwidths(d: &Dataset) -> Vec<f64> {
+    d.objects.iter().map(mba::total_bandwidth).collect()
+}
+
+fn sample_ranges(d: &Dataset) -> Vec<f64> {
+    d.objects
+        .iter()
+        .filter(|o| !o.is_empty())
+        .map(|o| {
+            let s = o.feature_series(0);
+            let mx = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mn = s.iter().copied().fold(f64::INFINITY, f64::min);
+            mx - mn
+        })
+        .collect()
+}
+
+fn minmax_stats(d: &Dataset) -> (Vec<f64>, Vec<f64>) {
+    let mut centers = Vec::new();
+    let mut halves = Vec::new();
+    for o in &d.objects {
+        if o.is_empty() {
+            continue;
+        }
+        let s = o.feature_series(0);
+        let mx = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mn = s.iter().copied().fold(f64::INFINITY, f64::min);
+        centers.push((mx + mn) / 2.0);
+        halves.push((mx - mn) / 2.0);
+    }
+    (centers, halves)
+}
+
+fn spread(xs: &[f64]) -> f64 {
+    quantile(xs, 0.9) - quantile(xs, 0.1)
+}
+
+fn quantile(xs: &[f64], q: f64) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    if v.is_empty() {
+        return 0.0;
+    }
+    v[(((v.len() - 1) as f64) * q).round() as usize]
+}
+
+fn histogram_row(name: &str, h: &[usize]) -> Vec<String> {
+    let mut row = vec![name.to_string()];
+    row.extend(h.iter().map(|c| c.to_string()));
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Scale;
+
+    #[test]
+    fn smoke_fig08_runs_end_to_end() {
+        let preset = Preset::new(Scale::Smoke);
+        let r = fig08_end_events(&preset);
+        assert!(r.get("jsd_doppelganger").is_some());
+        assert!(!r.render().is_empty());
+    }
+
+    #[test]
+    fn helpers_behave() {
+        assert_eq!(slug("Naive GAN"), "naive_gan");
+        assert_eq!(short("DoppelGANger"), "DG");
+        let q = quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.5);
+        assert_eq!(q, 3.0);
+    }
+}

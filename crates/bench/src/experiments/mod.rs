@@ -1,0 +1,38 @@
+//! Experiment implementations, one function per paper table/figure.
+//!
+//! Each function takes a [`crate::presets::Preset`] and returns an
+//! [`crate::harness::ExpResult`] whose lines reproduce the rows /
+//! series the paper reports. Thin binaries under `src/bin/` wrap each
+//! function; `exp_all` runs the full battery.
+
+pub mod downstream;
+pub mod fidelity;
+pub mod flexibility;
+pub mod privacy;
+
+use crate::harness::ExpResult;
+use crate::presets::Preset;
+
+/// Every experiment in index order: `(id, runner)`.
+pub fn all_experiments() -> Vec<(&'static str, fn(&Preset) -> ExpResult)> {
+    vec![
+        ("fig01", fidelity::fig01_autocorrelation as fn(&Preset) -> ExpResult),
+        ("fig04", fidelity::fig04_batch_size),
+        ("fig05", fidelity::fig05_autonorm),
+        ("fig07", fidelity::fig07_duration),
+        ("fig08", fidelity::fig08_end_events),
+        ("tab03", fidelity::tab03_bandwidth),
+        ("fig11", downstream::fig11_prediction),
+        ("tab04", downstream::tab04_rank_correlation),
+        ("fig12", privacy::fig12_membership),
+        ("fig13", privacy::fig13_dp),
+        ("fig15", fidelity::fig15_wwt_attrs),
+        ("fig18", fidelity::fig18_mba_attrs),
+        ("fig24", fidelity::fig24_memorization),
+        ("fig27", downstream::fig27_forecast_r2),
+        ("fig30", flexibility::fig30_flexibility),
+        ("fig33", fidelity::fig33_s_sweep),
+        ("fig34", fidelity::fig34_aux_disc),
+        ("extra_corr", fidelity::extra_attr_feature_correlation),
+    ]
+}

@@ -1,0 +1,200 @@
+//! Shared experiment-harness plumbing: result recording, table printing,
+//! and results-directory output.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The output of one experiment: the printable report plus machine-readable
+/// key numbers.
+#[derive(Debug, Clone, Default)]
+pub struct ExpResult {
+    /// Experiment id (e.g. `"fig01"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Report lines (already formatted).
+    pub lines: Vec<String>,
+    /// Named key numbers (for EXPERIMENTS.md and assertions).
+    pub numbers: Vec<(String, f64)>,
+}
+
+impl ExpResult {
+    /// Creates an empty result.
+    pub fn new(id: &str, title: &str) -> Self {
+        ExpResult { id: id.into(), title: title.into(), ..Default::default() }
+    }
+
+    /// Appends a report line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        self.lines.push(String::new());
+    }
+
+    /// Records a named number (also printed).
+    pub fn number(&mut self, name: &str, value: f64) {
+        self.numbers.push((name.to_string(), value));
+        self.lines.push(format!("  {name} = {value:.6}"));
+    }
+
+    /// Looks up a recorded number.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.numbers.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Renders the full report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for l in &self.lines {
+            let _ = writeln!(out, "{l}");
+        }
+        out
+    }
+
+    /// Prints to stdout and saves the report under
+    /// `results/<id>.<scale>.txt` plus the key numbers as
+    /// `results/<id>.<scale>.json` (consumed by `exp_summary`).
+    pub fn emit(&self, scale_name: &str) {
+        let report = self.render();
+        println!("{report}");
+        let dir = results_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.{}.txt", self.id, scale_name));
+            let _ = std::fs::write(path, &report);
+            let json = dir.join(format!("{}.{}.json", self.id, scale_name));
+            let map: std::collections::BTreeMap<&str, f64> =
+                self.numbers.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            if let Ok(s) = serde_json::to_string_pretty(&map) {
+                let _ = std::fs::write(json, s);
+            }
+        }
+    }
+
+    /// Loads the key numbers previously written by [`ExpResult::emit`].
+    pub fn load_numbers(id: &str, scale_name: &str) -> Option<Vec<(String, f64)>> {
+        let path = results_dir().join(format!("{id}.{scale_name}.json"));
+        let s = std::fs::read_to_string(path).ok()?;
+        let map: std::collections::BTreeMap<String, f64> = serde_json::from_str(&s).ok()?;
+        Some(map.into_iter().collect())
+    }
+}
+
+/// The `results/` directory at the workspace root (overridable via
+/// `DG_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("DG_RESULTS_DIR") {
+        return PathBuf::from(d);
+    }
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// Formats an aligned table: a header row plus data rows.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> Vec<String> {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = Vec::with_capacity(rows.len() + 2);
+    out.push(render_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push(widths.iter().map(|&w| "-".repeat(w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        out.push(render_row(row));
+    }
+    out
+}
+
+/// Renders a compact sparkline of a numeric series (for eyeballing curves in
+/// terminal reports).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let mn = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let mx = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (mx - mn).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - mn) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Downsamples a curve to at most `n` points (for compact reports).
+pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
+    if values.len() <= n || n == 0 {
+        return values.to_vec();
+    }
+    (0..n)
+        .map(|i| values[i * (values.len() - 1) / (n - 1).max(1)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_records_and_renders() {
+        let mut r = ExpResult::new("figX", "demo");
+        r.line("hello");
+        r.number("metric", 1.25);
+        assert_eq!(r.get("metric"), Some(1.25));
+        let s = r.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("hello"));
+        assert!(s.contains("metric = 1.25"));
+    }
+
+    #[test]
+    fn tables_align() {
+        let rows = vec![
+            vec!["DoppelGANger".to_string(), "0.68".to_string()],
+            vec!["AR".to_string(), "1.34".to_string()],
+        ];
+        let t = format_table(&["model", "W1"], &rows);
+        assert_eq!(t.len(), 4);
+        // Header and rows share the first column width.
+        let w = t[0].find("  ").unwrap();
+        assert!(t[2].len() >= w);
+    }
+
+    #[test]
+    fn sparkline_length_matches_input() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn downsample_preserves_endpoints() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(&v, 10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[9], 99.0);
+    }
+}

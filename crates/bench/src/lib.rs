@@ -1,0 +1,22 @@
+//! # dg-bench — experiment harness and performance benches
+//!
+//! Regenerates every table and figure of the DoppelGANger paper's
+//! evaluation (see `DESIGN.md` §5 for the experiment index). Structure:
+//!
+//! * [`presets`] — smoke/quick/paper workload scales;
+//! * [`models`] — shared model-training helpers (DoppelGANger + the four
+//!   baselines under one [`dg_baselines::GenerativeModel`] interface);
+//! * [`harness`] — result recording, aligned tables, terminal sparklines;
+//! * [`experiments`] — one function per table/figure;
+//! * `src/bin/exp_*` — one binary per experiment
+//!   (`cargo run --release -p dg-bench --bin exp_fig01_autocorrelation -- quick`);
+//! * `benches/` — Criterion performance benches for the substrate
+//!   (tensor ops, autodiff, training steps, generation, metrics, baselines,
+//!   downstream models).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod models;
+pub mod presets;

@@ -1,0 +1,118 @@
+//! Model-training helpers shared by all experiments: fit DoppelGANger and
+//! every baseline on a dataset under a [`crate::presets::Preset`].
+
+use crate::presets::Preset;
+use dg_baselines::{ArModel, GenerativeModel, HmmModel, NaiveGanModel, RnnModel};
+use dg_data::{Dataset, TimeSeriesObject};
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Newtype making a trained [`DoppelGanger`] usable through the shared
+/// [`GenerativeModel`] interface.
+pub struct TrainedDg(pub DoppelGanger);
+
+impl GenerativeModel for TrainedDg {
+    fn name(&self) -> &'static str {
+        "DoppelGANger"
+    }
+
+    fn generate_objects(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<TimeSeriesObject> {
+        self.0.generate(n, rng)
+    }
+}
+
+/// Trains a DoppelGANger model on `data` under the preset (config, iteration
+/// budget, seed).
+pub fn train_dg(data: &Dataset, preset: &Preset) -> DoppelGanger {
+    train_dg_with(data, preset, preset.dg_config(data.schema.max_len), preset.dg_iterations)
+}
+
+/// Trains DoppelGANger with an explicit config (for ablations).
+pub fn train_dg_with(data: &Dataset, preset: &Preset, config: DgConfig, iterations: usize) -> DoppelGanger {
+    let mut rng = StdRng::seed_from_u64(preset.seed ^ 0xD6);
+    let model = DoppelGanger::new(data, config, &mut rng);
+    let encoded = model.encode(data);
+    let mut trainer = Trainer::new(model);
+    trainer.fit(&encoded, iterations, &mut rng, |_| {});
+    trainer.into_model()
+}
+
+/// Which models to fit in [`train_all`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSet {
+    /// DoppelGANger + all four baselines.
+    All,
+    /// DoppelGANger and the naive GAN only (for the GAN-vs-GAN figures).
+    GansOnly,
+}
+
+/// Trains the requested model set on `data`, returning them in the paper's
+/// reporting order (DoppelGANger first).
+pub fn train_all(data: &Dataset, preset: &Preset, set: ModelSet) -> Vec<Box<dyn GenerativeModel>> {
+    let mut models: Vec<Box<dyn GenerativeModel>> = Vec::new();
+    models.push(Box::new(TrainedDg(train_dg(data, preset))));
+    if set == ModelSet::All {
+        let mut rng = StdRng::seed_from_u64(preset.seed ^ 0xA1);
+        models.push(Box::new(ArModel::fit(data, preset.ar_config(), &mut rng)));
+        let mut rng = StdRng::seed_from_u64(preset.seed ^ 0xA2);
+        models.push(Box::new(RnnModel::fit(data, preset.rnn_config(), &mut rng)));
+        let mut rng = StdRng::seed_from_u64(preset.seed ^ 0xA3);
+        models.push(Box::new(HmmModel::fit(data, preset.hmm_config(), &mut rng)));
+    }
+    let mut rng = StdRng::seed_from_u64(preset.seed ^ 0xA4);
+    models.push(Box::new(NaiveGanModel::fit(data, preset.naive_gan_config(), &mut rng)));
+    models
+}
+
+/// Generates one synthetic dataset per model (same size each), returning
+/// `(model name, dataset)` pairs.
+pub fn generate_per_model(
+    models: &[Box<dyn GenerativeModel>],
+    schema: &dg_data::Schema,
+    n: usize,
+    seed: u64,
+) -> Vec<(&'static str, Dataset)> {
+    models
+        .iter()
+        .map(|m| {
+            let mut rng = StdRng::seed_from_u64(seed ^ fxhash(m.name()));
+            (m.name(), m.generate_dataset(schema, n, &mut rng))
+        })
+        .collect()
+}
+
+fn fxhash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf29ce484222325_u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{Preset, Scale};
+    use dg_datasets::sine;
+
+    #[test]
+    fn train_all_produces_five_models_at_smoke_scale() {
+        let preset = Preset::new(Scale::Smoke);
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = sine::generate(&preset.sine, &mut rng);
+        let models = train_all(&data, &preset, ModelSet::All);
+        assert_eq!(models.len(), 5);
+        let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["DoppelGANger", "AR", "RNN", "HMM", "Naive GAN"]);
+        let gen = generate_per_model(&models, &data.schema, 5, 1);
+        for (name, d) in &gen {
+            assert_eq!(d.len(), 5, "{name} generated wrong count");
+        }
+    }
+
+    #[test]
+    fn gans_only_trains_two_models() {
+        let preset = Preset::new(Scale::Smoke);
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = sine::generate(&preset.sine, &mut rng);
+        let models = train_all(&data, &preset, ModelSet::GansOnly);
+        assert_eq!(models.len(), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Experiment scale presets.
+//!
+//! Every experiment runs at one of three scales:
+//!
+//! * `smoke` — seconds; used by integration tests to exercise the full
+//!   pipeline;
+//! * `quick` — minutes on a laptop CPU; the default for
+//!   `cargo run --release --bin exp_*`, sized to show the paper's *shape*
+//!   (who wins, where the crossovers are);
+//! * `paper` — hours; closest to the paper's dataset/training sizes that a CPU
+//!   build can reasonably attempt.
+
+use dg_datasets::{GcutConfig, MbaConfig, SineConfig, WwtConfig};
+use doppelganger::DgConfig;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds; integration-test sized.
+    Smoke,
+    /// Minutes; the default experiment preset.
+    Quick,
+    /// Hours; paper-sized (CPU permitting).
+    Paper,
+}
+
+impl Scale {
+    /// Parses from a CLI argument / env string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Reads the scale from the first CLI argument or the `DG_SCALE`
+    /// environment variable, defaulting to `Quick`.
+    pub fn from_env() -> Scale {
+        if let Some(arg) = std::env::args().nth(1) {
+            if let Some(s) = Scale::parse(&arg) {
+                return s;
+            }
+        }
+        if let Ok(v) = std::env::var("DG_SCALE") {
+            if let Some(s) = Scale::parse(&v) {
+                return s;
+            }
+        }
+        Scale::Quick
+    }
+
+    /// Short name for filenames and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// All workload parameters for one scale.
+#[derive(Debug, Clone)]
+pub struct Preset {
+    /// The scale this preset was built for.
+    pub scale: Scale,
+    /// WWT simulator configuration.
+    pub wwt: WwtConfig,
+    /// MBA simulator configuration.
+    pub mba: MbaConfig,
+    /// GCUT simulator configuration.
+    pub gcut: GcutConfig,
+    /// Sine toy configuration (smoke tests).
+    pub sine: SineConfig,
+    /// DoppelGANger training iterations.
+    pub dg_iterations: usize,
+    /// Naive-GAN training iterations.
+    pub naive_gan_iterations: usize,
+    /// AR training steps.
+    pub ar_steps: usize,
+    /// RNN training steps.
+    pub rnn_steps: usize,
+    /// HMM EM iterations.
+    pub hmm_iterations: usize,
+    /// Synthetic samples generated per model for fidelity metrics.
+    pub gen_samples: usize,
+    /// Attribute-retraining iterations (flexibility experiments).
+    pub retrain_iterations: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Preset {
+    /// Builds the preset for a scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => Preset {
+                scale,
+                wwt: WwtConfig { num_objects: 40, length: 64, short_period: 7, long_period: 24, ..WwtConfig::default() },
+                mba: MbaConfig::quick(60),
+                gcut: GcutConfig::quick(60),
+                sine: SineConfig { num_objects: 40, length: 24, periods: vec![6, 12], noise_sigma: 0.05 },
+                dg_iterations: 30,
+                naive_gan_iterations: 30,
+                ar_steps: 60,
+                rnn_steps: 30,
+                hmm_iterations: 3,
+                gen_samples: 40,
+                retrain_iterations: 40,
+                seed: 7,
+            },
+            Scale::Quick => Preset {
+                scale,
+                wwt: WwtConfig::quick(300),
+                mba: MbaConfig::quick(400),
+                gcut: GcutConfig::quick(400),
+                sine: SineConfig::default(),
+                dg_iterations: 900,
+                naive_gan_iterations: 900,
+                ar_steps: 800,
+                rnn_steps: 300,
+                hmm_iterations: 12,
+                gen_samples: 300,
+                retrain_iterations: 400,
+                seed: 7,
+            },
+            Scale::Paper => Preset {
+                scale,
+                wwt: WwtConfig { num_objects: 2000, ..WwtConfig::default() }, // length 550, periods 7/365
+                mba: MbaConfig::default(),
+                gcut: GcutConfig { num_objects: 2000, max_len: 50, num_features: 9 },
+                sine: SineConfig::default(),
+                dg_iterations: 6000,
+                naive_gan_iterations: 6000,
+                ar_steps: 4000,
+                rnn_steps: 1500,
+                hmm_iterations: 20,
+                gen_samples: 2000,
+                retrain_iterations: 2000,
+                seed: 7,
+            },
+        }
+    }
+
+    /// DoppelGANger config matched to this scale for a dataset of length
+    /// `max_len` (the recommended `S` rule applied).
+    pub fn dg_config(&self, max_len: usize) -> DgConfig {
+        let base = match self.scale {
+            Scale::Smoke => {
+                let mut c = DgConfig::quick();
+                c.attr_hidden = 16;
+                c.lstm_hidden = 16;
+                c.head_hidden = 16;
+                c.disc_hidden = 24;
+                c.disc_depth = 2;
+                c.batch_size = 16;
+                c
+            }
+            Scale::Quick => DgConfig::quick(),
+            Scale::Paper => DgConfig::paper(),
+        };
+        base.with_recommended_s(max_len)
+    }
+
+    /// AR config matched to this scale.
+    pub fn ar_config(&self) -> dg_baselines::ArConfig {
+        let mut c = match self.scale {
+            Scale::Paper => dg_baselines::ArConfig::paper(),
+            _ => dg_baselines::ArConfig::default(),
+        };
+        c.train_steps = self.ar_steps;
+        if self.scale == Scale::Smoke {
+            c.hidden = 24;
+            c.depth = 2;
+        }
+        c
+    }
+
+    /// RNN config matched to this scale.
+    pub fn rnn_config(&self) -> dg_baselines::RnnConfig {
+        let mut c = match self.scale {
+            Scale::Paper => dg_baselines::RnnConfig::paper(),
+            _ => dg_baselines::RnnConfig::default(),
+        };
+        c.train_steps = self.rnn_steps;
+        if self.scale == Scale::Smoke {
+            c.hidden = 16;
+        }
+        c
+    }
+
+    /// HMM config matched to this scale.
+    pub fn hmm_config(&self) -> dg_baselines::HmmConfig {
+        dg_baselines::HmmConfig {
+            num_states: if self.scale == Scale::Smoke { 4 } else { 10 },
+            em_iterations: self.hmm_iterations,
+            var_floor: 1e-4,
+        }
+    }
+
+    /// Naive-GAN config matched to this scale.
+    pub fn naive_gan_config(&self) -> dg_baselines::NaiveGanConfig {
+        let mut c = match self.scale {
+            Scale::Paper => dg_baselines::NaiveGanConfig::paper(),
+            _ => dg_baselines::NaiveGanConfig::default(),
+        };
+        c.train_steps = self.naive_gan_iterations;
+        if self.scale == Scale::Smoke {
+            c.gen_hidden = 24;
+            c.gen_depth = 2;
+            c.disc_hidden = 24;
+            c.disc_depth = 2;
+            c.batch = 16;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_parse() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn presets_scale_monotonically() {
+        let s = Preset::new(Scale::Smoke);
+        let q = Preset::new(Scale::Quick);
+        let p = Preset::new(Scale::Paper);
+        assert!(s.dg_iterations < q.dg_iterations && q.dg_iterations < p.dg_iterations);
+        assert!(s.wwt.num_objects < q.wwt.num_objects && q.wwt.num_objects < p.wwt.num_objects);
+        assert_eq!(p.wwt.length, 550);
+        assert_eq!(p.wwt.long_period, 365);
+    }
+
+    #[test]
+    fn dg_config_applies_recommended_s() {
+        let p = Preset::new(Scale::Paper);
+        assert_eq!(p.dg_config(550).feature_batch_size, 11);
+        let q = Preset::new(Scale::Quick);
+        assert_eq!(q.dg_config(160).feature_batch_size, 4);
+    }
+}

@@ -1,0 +1,395 @@
+//! # dg-cli — command-line workflow for DoppelGANger
+//!
+//! Implements the paper's Fig. 2 workflow as a CLI: the data holder trains
+//! on a JSON dataset and releases a JSON model; the data consumer generates
+//! synthetic JSON datasets from the released model and evaluates fidelity.
+//!
+//! ```text
+//! dg demo      --out data.json                      # write a demo dataset
+//! dg schema    --data data.json                     # inspect a dataset
+//! dg train     --data data.json --out model.json    # train + release
+//! dg generate  --model model.json -n 500 --out synth.json
+//! dg retrain   --model model.json --target target.json --out masked.json
+//! dg evaluate  --real data.json --synthetic synth.json
+//! ```
+//!
+//! Datasets are `dg_data::Dataset` serialized as JSON; models are released
+//! [`doppelganger::DoppelGanger`] parameters as JSON.
+
+#![warn(missing_docs)]
+
+use dg_data::Dataset;
+use dg_metrics::{attribute_histogram, average_autocorrelation, curve_mse, jsd_counts, wasserstein1};
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A parsed command line: subcommand plus `--flag value` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// The subcommand (`train`, `generate`, ...).
+    pub command: String,
+    /// Flag/value pairs (leading dashes stripped).
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv[1..]`.
+    ///
+    /// Flags are `--name value` (or `-n value`); a flag without a following
+    /// value gets `"true"`.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+        let mut it = argv.into_iter().peekable();
+        let command = it.next().ok_or("missing subcommand; try `dg help`")?;
+        let mut options = HashMap::new();
+        while let Some(tok) = it.next() {
+            let name = tok.trim_start_matches('-').to_string();
+            if !tok.starts_with('-') {
+                return Err(format!("unexpected positional argument '{tok}'"));
+            }
+            let value = match it.peek() {
+                Some(v) if !v.starts_with('-') => it.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
+            options.insert(name, value);
+        }
+        Ok(Args { command, options })
+    }
+
+    /// A required option.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.options
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    /// An optional option with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.options.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A numeric option with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: '{v}'")),
+        }
+    }
+}
+
+/// Runs a parsed command, returning the report to print.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => Ok(usage()),
+        "demo" => cmd_demo(args),
+        "schema" => cmd_schema(args),
+        "train" => cmd_train(args),
+        "generate" => cmd_generate(args),
+        "retrain" => cmd_retrain(args),
+        "evaluate" => cmd_evaluate(args),
+        other => Err(format!("unknown subcommand '{other}'\n{}", usage())),
+    }
+}
+
+/// The CLI usage text.
+pub fn usage() -> String {
+    "dg — DoppelGANger for networked time series (paper workflow, Fig. 2)\n\
+     \n\
+     subcommands:\n\
+     \x20 demo      --out <data.json> [--objects N] [--length T]     write a demo dataset\n\
+     \x20 schema    --data <data.json>                               inspect a dataset\n\
+     \x20 train     --data <data.json> --out <model.json>\n\
+     \x20           [--iterations N=500] [--seed S=0] [--batch B]\n\
+     \x20           [--dp-sigma x --dp-clip c]                       train + release a model\n\
+     \x20 generate  --model <model.json> --out <synth.json>\n\
+     \x20           [-n N=100] [--seed S=0]\n\
+     \x20           [--conditioned <attrs.json>]                     generate synthetic data\n\
+     \x20 retrain   --model <model.json> --target <data.json>\n\
+     \x20           --out <model2.json> [--iterations N=300]         mask/shift attributes\n\
+     \x20 evaluate  --real <data.json> --synthetic <synth.json>      fidelity report\n"
+        .to_string()
+}
+
+fn cmd_demo(args: &Args) -> Result<String, String> {
+    let out = args.required("out")?;
+    let objects = args.num_or("objects", 200usize)?;
+    let length = args.num_or("length", 48usize)?;
+    let seed = args.num_or("seed", 0u64)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = dg_datasets::SineConfig { num_objects: objects, length, periods: vec![8, 16], noise_sigma: 0.05 };
+    let data = dg_datasets::sine::generate(&cfg, &mut rng);
+    write_json(out, &data)?;
+    Ok(format!("wrote demo dataset ({objects} objects, length {length}) to {out}"))
+}
+
+fn cmd_schema(args: &Args) -> Result<String, String> {
+    let data: Dataset = read_json(args.required("data")?)?;
+    let mut s = String::new();
+    let _ = writeln!(s, "objects: {}", data.len());
+    let _ = writeln!(s, "max length: {} ({})", data.schema.max_len, data.schema.timescale.as_deref().unwrap_or("unspecified timescale"));
+    let _ = writeln!(s, "attributes ({}):", data.schema.num_attributes());
+    for (i, a) in data.schema.attributes.iter().enumerate() {
+        let extra = if a.kind.is_categorical() {
+            format!("categorical, {} values, counts {:?}", a.kind.num_categories(), data.attribute_counts(i))
+        } else {
+            "continuous".to_string()
+        };
+        let _ = writeln!(s, "  {} — {extra}", a.name);
+    }
+    let _ = writeln!(s, "features ({}):", data.schema.num_features());
+    for (i, f) in data.schema.features.iter().enumerate() {
+        if f.kind.is_categorical() {
+            let _ = writeln!(s, "  {} — categorical, {} values", f.name, f.kind.num_categories());
+        } else {
+            let (mn, mx) = data.feature_range(i);
+            let _ = writeln!(s, "  {} — continuous, observed range [{mn:.3}, {mx:.3}]", f.name);
+        }
+    }
+    let lengths = data.lengths();
+    let (mn, mx) = (lengths.iter().min().copied().unwrap_or(0), lengths.iter().max().copied().unwrap_or(0));
+    let _ = writeln!(s, "series lengths: {mn}..{mx}");
+    Ok(s)
+}
+
+fn cmd_train(args: &Args) -> Result<String, String> {
+    let data: Dataset = read_json(args.required("data")?)?;
+    let out = args.required("out")?;
+    let iterations = args.num_or("iterations", 500usize)?;
+    let seed = args.num_or("seed", 0u64)?;
+    let mut config = DgConfig::quick().with_recommended_s(data.schema.max_len);
+    config.batch_size = args.num_or("batch", config.batch_size)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = DoppelGanger::new(&data, config, &mut rng);
+    let encoded = model.encode(&data);
+    let mut trainer = Trainer::new(model);
+    if let Some(sigma) = args.options.get("dp-sigma") {
+        let sigma: f32 = sigma.parse().map_err(|_| "invalid --dp-sigma")?;
+        let clip: f32 = args.num_or("dp-clip", 1.0f32)?;
+        trainer = trainer.with_dp(DpConfig { clip_norm: clip, noise_multiplier: sigma });
+    }
+    let mut last = StepMetrics::default();
+    trainer.fit(&encoded, iterations, &mut rng, |m| last = *m);
+    let model = trainer.into_model();
+    std::fs::write(out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!(
+        "trained {iterations} iterations (final W~{:.3}); released model to {out}",
+        last.wasserstein
+    ))
+}
+
+fn cmd_generate(args: &Args) -> Result<String, String> {
+    let model = load_model(args.required("model")?)?;
+    let out = args.required("out")?;
+    let seed = args.num_or("seed", 0u64)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Optional conditional generation: --conditioned <attrs.json> holds a
+    // JSON array of attribute rows (the §3.1 "desired attribute
+    // distribution" interface); otherwise n unconditional samples.
+    let (synth, how) = if let Some(path) = args.options.get("conditioned") {
+        let rows: Vec<Vec<dg_data::Value>> = read_json(path)?;
+        let objects = model.generate_conditioned(&rows, &mut rng);
+        let n = objects.len();
+        (
+            Dataset::new(model.encoder.schema.clone(), objects),
+            format!("{n} objects conditioned on {path}"),
+        )
+    } else {
+        let n = args.num_or("n", 100usize)?;
+        (model.generate_dataset(n, &mut rng), format!("{n} objects"))
+    };
+    write_json(out, &synth)?;
+    Ok(format!("generated {how} to {out}"))
+}
+
+fn cmd_retrain(args: &Args) -> Result<String, String> {
+    let mut model = load_model(args.required("model")?)?;
+    let target_data: Dataset = read_json(args.required("target")?)?;
+    let out = args.required("out")?;
+    let iterations = args.num_or("iterations", 300usize)?;
+    let seed = args.num_or("seed", 0u64)?;
+    let target = AttributeDistribution::from_dataset(&target_data);
+    let mut rng = StdRng::seed_from_u64(seed);
+    retrain_attribute_generator(&mut model, &target, iterations, &mut rng);
+    std::fs::write(out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!(
+        "retrained the attribute generator for {iterations} iterations toward {} combos; wrote {out}",
+        target.combos.len()
+    ))
+}
+
+fn cmd_evaluate(args: &Args) -> Result<String, String> {
+    let real: Dataset = read_json(args.required("real")?)?;
+    let synth: Dataset = read_json(args.required("synthetic")?)?;
+    if real.schema != synth.schema {
+        return Err("real and synthetic datasets have different schemas".into());
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "fidelity report ({} real vs {} synthetic objects)", real.len(), synth.len());
+
+    // Attribute marginals.
+    for (i, a) in real.schema.attributes.iter().enumerate() {
+        if a.kind.is_categorical() {
+            let jsd = jsd_counts(&attribute_histogram(&real, i), &attribute_histogram(&synth, i));
+            let _ = writeln!(s, "  attribute '{}' JSD: {jsd:.4} (0 = identical, {:.4} = disjoint)", a.name, std::f64::consts::LN_2);
+        }
+    }
+    // Length distribution.
+    let rl: Vec<f64> = real.lengths().into_iter().map(|l| l as f64).collect();
+    let sl: Vec<f64> = synth.lengths().into_iter().map(|l| l as f64).collect();
+    let _ = writeln!(s, "  length W1: {:.3}", wasserstein1(&rl, &sl));
+    // Per-feature: autocorrelation MSE + per-sample-mean W1.
+    let max_lag = real.schema.max_len.saturating_sub(2).max(1);
+    for (i, f) in real.schema.features.iter().enumerate() {
+        if f.kind.is_categorical() {
+            continue;
+        }
+        let rac = average_autocorrelation(&real, i, max_lag, 8);
+        let sac = average_autocorrelation(&synth, i, max_lag, 8);
+        let mse = curve_mse(&rac[1..], &sac[1..]);
+        let rmeans: Vec<f64> = feature_means(&real, i);
+        let smeans: Vec<f64> = feature_means(&synth, i);
+        let w1 = wasserstein1(&rmeans, &smeans);
+        let _ = writeln!(s, "  feature '{}': autocorr MSE {mse:.5}, sample-mean W1 {w1:.4}", f.name);
+    }
+    Ok(s)
+}
+
+fn feature_means(d: &Dataset, i: usize) -> Vec<f64> {
+    d.objects
+        .iter()
+        .filter(|o| !o.is_empty())
+        .map(|o| {
+            let s = o.feature_series(i);
+            s.iter().sum::<f64>() / s.len() as f64
+        })
+        .collect()
+}
+
+fn load_model(path: &str) -> Result<DoppelGanger, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    DoppelGanger::from_json(&json).map_err(|e| format!("parsing model {path}: {e}"))
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string(value).map_err(|e| format!("serializing: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_flags_and_values() {
+        let a = Args::parse(argv("train --data d.json --out m.json --iterations 50")).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.required("data").unwrap(), "d.json");
+        assert_eq!(a.num_or("iterations", 0usize).unwrap(), 50);
+        assert_eq!(a.num_or("seed", 9u64).unwrap(), 9);
+    }
+
+    #[test]
+    fn parse_rejects_positional_and_missing() {
+        assert!(Args::parse(argv("train stray")).is_err());
+        assert!(Args::parse(Vec::new()).is_err());
+        let a = Args::parse(argv("train --flag")).unwrap();
+        assert_eq!(a.get_or("flag", "x"), "true");
+    }
+
+    #[test]
+    fn unknown_subcommand_reports_usage() {
+        let a = Args::parse(argv("bogus")).unwrap();
+        let err = run(&a).unwrap_err();
+        assert!(err.contains("unknown subcommand"));
+        assert!(err.contains("subcommands:"));
+    }
+
+    #[test]
+    fn full_workflow_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dg-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+        // demo -> schema
+        let out = run(&Args::parse(argv(&format!(
+            "demo --out {} --objects 24 --length 12",
+            p("data.json")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("wrote demo dataset"));
+        let schema = run(&Args::parse(argv(&format!("schema --data {}", p("data.json")))).unwrap()).unwrap();
+        assert!(schema.contains("objects: 24"));
+
+        // train (tiny) -> generate -> evaluate
+        let out = run(&Args::parse(argv(&format!(
+            "train --data {} --out {} --iterations 5 --batch 8",
+            p("data.json"),
+            p("model.json")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("released model"));
+        let out = run(&Args::parse(argv(&format!(
+            "generate --model {} --out {} --n 10",
+            p("model.json"),
+            p("synth.json")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("generated 10"));
+        let report = run(&Args::parse(argv(&format!(
+            "evaluate --real {} --synthetic {}",
+            p("data.json"),
+            p("synth.json")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(report.contains("fidelity report"));
+        assert!(report.contains("autocorr MSE"));
+
+        // conditional generation with fixed attribute rows
+        let attrs: Vec<Vec<dg_data::Value>> =
+            vec![vec![dg_data::Value::Cat(0)], vec![dg_data::Value::Cat(1)]];
+        std::fs::write(p("attrs.json"), serde_json::to_string(&attrs).unwrap()).unwrap();
+        let out = run(&Args::parse(argv(&format!(
+            "generate --model {} --out {} --conditioned {}",
+            p("model.json"),
+            p("cond.json"),
+            p("attrs.json")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("conditioned"));
+        let cond: dg_data::Dataset =
+            serde_json::from_str(&std::fs::read_to_string(p("cond.json")).unwrap()).unwrap();
+        assert_eq!(cond.len(), 2);
+        assert_eq!(cond.objects[0].attributes, vec![dg_data::Value::Cat(0)]);
+        assert_eq!(cond.objects[1].attributes, vec![dg_data::Value::Cat(1)]);
+
+        // retrain against the dataset's own empirical distribution
+        let out = run(&Args::parse(argv(&format!(
+            "retrain --model {} --target {} --out {} --iterations 3",
+            p("model.json"),
+            p("data.json"),
+            p("masked.json")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("retrained"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

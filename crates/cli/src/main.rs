@@ -1,0 +1,20 @@
+//! The `dg` binary: see [`dg_cli::usage`] or run `dg help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match dg_cli::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", dg_cli::usage());
+            std::process::exit(2);
+        }
+    };
+    match dg_cli::run(&args) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! DoppelGANger hyper-parameters and the paper's recommended presets.
+
+use dg_data::EncoderConfig;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the DoppelGANger model (§4, Appendix B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DgConfig {
+    /// Feature batch size `S` (§4.1.1): records emitted per LSTM pass. The
+    /// paper recommends choosing `S` so the LSTM unrolls ~50 times
+    /// ([`DgConfig::recommended_s`]); prior time series GANs use `S = 1`.
+    pub feature_batch_size: usize,
+    /// Noise width fed to the attribute generator.
+    pub attr_noise_dim: usize,
+    /// Noise width fed to the min/max generator.
+    pub minmax_noise_dim: usize,
+    /// Noise width fed to the feature generator at each LSTM step.
+    pub feature_noise_dim: usize,
+    /// Hidden width of the attribute generator MLP (paper: 100).
+    pub attr_hidden: usize,
+    /// Hidden depth of the attribute generator MLP (paper: 2).
+    pub attr_depth: usize,
+    /// Hidden width of the min/max generator MLP (paper: 100).
+    pub minmax_hidden: usize,
+    /// Hidden depth of the min/max generator MLP (paper: 2).
+    pub minmax_depth: usize,
+    /// LSTM hidden width of the feature generator (paper: 100).
+    pub lstm_hidden: usize,
+    /// Hidden width of the MLP head mapping LSTM output to `S` records.
+    pub head_hidden: usize,
+    /// Hidden width of both discriminators (paper: 200).
+    pub disc_hidden: usize,
+    /// Hidden depth of both discriminators (paper: 4).
+    pub disc_depth: usize,
+    /// Enables the auxiliary attribute discriminator (§4.2).
+    pub auxiliary_discriminator: bool,
+    /// Weight `α` of the auxiliary discriminator's loss (Eq. 2).
+    pub alpha: f32,
+    /// Gradient-penalty weight `λ` (paper: 10, following Gulrajani et al.).
+    pub gp_lambda: f32,
+    /// Discriminator learning rate (paper: 0.001).
+    pub d_lr: f32,
+    /// Generator learning rate (paper: 0.001).
+    pub g_lr: f32,
+    /// Adam `β1` (WGAN-GP convention: 0.5).
+    pub beta1: f32,
+    /// Adam `β2` (WGAN-GP convention: 0.9).
+    pub beta2: f32,
+    /// Minibatch size (paper: 100).
+    pub batch_size: usize,
+    /// Discriminator updates per generator update.
+    pub d_steps_per_g: usize,
+    /// Leaky-ReLU slope of the discriminators (must stay piecewise-linear
+    /// for the exact gradient penalty — see `dg_nn::penalty`).
+    pub disc_leak: f32,
+    /// Encoding configuration (auto-normalization toggle, output range).
+    pub encoder: EncoderConfig,
+}
+
+impl Default for DgConfig {
+    fn default() -> Self {
+        DgConfig::quick()
+    }
+}
+
+impl DgConfig {
+    /// The paper's Appendix-B configuration: 2x100 MLP generators, 100-unit
+    /// LSTM, 4x200 MLP discriminators, Adam(lr = 0.001), batch 100.
+    pub fn paper() -> Self {
+        DgConfig {
+            feature_batch_size: 1, // callers should set via recommended_s(max_len)
+            attr_noise_dim: 10,
+            minmax_noise_dim: 10,
+            feature_noise_dim: 10,
+            attr_hidden: 100,
+            attr_depth: 2,
+            minmax_hidden: 100,
+            minmax_depth: 2,
+            lstm_hidden: 100,
+            head_hidden: 100,
+            disc_hidden: 200,
+            disc_depth: 4,
+            auxiliary_discriminator: true,
+            alpha: 1.0,
+            gp_lambda: 10.0,
+            d_lr: 1e-3,
+            g_lr: 1e-3,
+            beta1: 0.5,
+            beta2: 0.9,
+            batch_size: 100,
+            d_steps_per_g: 1,
+            disc_leak: 0.2,
+            encoder: EncoderConfig::default(),
+        }
+    }
+
+    /// A CPU-scale configuration used by tests and quick experiment presets:
+    /// same architecture shape, smaller widths.
+    pub fn quick() -> Self {
+        DgConfig {
+            attr_hidden: 48,
+            attr_depth: 2,
+            minmax_hidden: 32,
+            minmax_depth: 2,
+            lstm_hidden: 48,
+            head_hidden: 48,
+            disc_hidden: 96,
+            disc_depth: 3,
+            batch_size: 32,
+            attr_noise_dim: 8,
+            minmax_noise_dim: 8,
+            feature_noise_dim: 8,
+            ..DgConfig::paper()
+        }
+    }
+
+    /// The paper's rule of thumb: pick `S` so the LSTM takes about 50 passes
+    /// over a length-`max_len` series (§4.4), with a floor of 1.
+    pub fn recommended_s(max_len: usize) -> usize {
+        max_len.div_ceil(50).max(1)
+    }
+
+    /// Sets `feature_batch_size` from the dataset length via
+    /// [`DgConfig::recommended_s`].
+    pub fn with_recommended_s(mut self, max_len: usize) -> Self {
+        self.feature_batch_size = Self::recommended_s(max_len);
+        self
+    }
+
+    /// Sets `feature_batch_size` explicitly (for the Fig. 4 / Fig. 33 sweep).
+    pub fn with_s(mut self, s: usize) -> Self {
+        assert!(s > 0, "feature batch size must be positive");
+        self.feature_batch_size = s;
+        self
+    }
+
+    /// Disables auto-normalization (the Fig. 5 "before" configuration).
+    pub fn without_auto_normalization(mut self) -> Self {
+        self.encoder.auto_normalize = false;
+        self
+    }
+
+    /// Disables the auxiliary discriminator (the Figs. 34–35 ablation).
+    pub fn without_auxiliary_discriminator(mut self) -> Self {
+        self.auxiliary_discriminator = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommended_s_targets_50_passes() {
+        assert_eq!(DgConfig::recommended_s(550), 11);
+        assert_eq!(DgConfig::recommended_s(50), 1);
+        assert_eq!(DgConfig::recommended_s(51), 2);
+        assert_eq!(DgConfig::recommended_s(1), 1);
+        assert_eq!(DgConfig::recommended_s(500), 10);
+    }
+
+    #[test]
+    fn builders_modify_expected_fields() {
+        let c = DgConfig::paper().with_recommended_s(550);
+        assert_eq!(c.feature_batch_size, 11);
+        let c = c.without_auto_normalization();
+        assert!(!c.encoder.auto_normalize);
+        let c = c.without_auxiliary_discriminator();
+        assert!(!c.auxiliary_discriminator);
+        let c = c.with_s(25);
+        assert_eq!(c.feature_batch_size, 25);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = DgConfig::paper();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: DgConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

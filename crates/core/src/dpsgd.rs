@@ -1,0 +1,39 @@
+//! DP-SGD configuration for differentially-private discriminator training.
+//!
+//! Following Abadi et al. (2016) as applied to GAN discriminators in the
+//! paper's §5.3.1: per-sample gradients are clipped to an L2 norm `C` and
+//! Gaussian noise with standard deviation `σ·C` is added to the summed
+//! gradient. Privacy accounting (the `(σ, q, T) → ε` conversion) lives in
+//! the `dg-privacy` crate's Rényi-DP accountant.
+
+use serde::{Deserialize, Serialize};
+
+/// DP-SGD noise/clipping parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpConfig {
+    /// Per-sample gradient clipping norm `C`.
+    pub clip_norm: f32,
+    /// Noise multiplier `σ` (noise stddev is `σ·C`).
+    pub noise_multiplier: f32,
+}
+
+impl DpConfig {
+    /// A moderate default: `C = 1`, `σ = 1.1` (roughly the TF-Privacy
+    /// tutorial setting the paper used).
+    pub fn moderate() -> Self {
+        DpConfig { clip_norm: 1.0, noise_multiplier: 1.1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = DpConfig::moderate();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: DpConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

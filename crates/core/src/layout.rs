@@ -1,0 +1,182 @@
+//! Mixed-type output layouts.
+//!
+//! Generator outputs mix one-hot categorical blocks (softmax), continuous
+//! values (tanh/sigmoid, per the encoder range) and generation-flag pairs
+//! (softmax over 2). An [`OutputLayout`] records the block structure of one
+//! output vector and applies the right activation to each block.
+
+use dg_data::{Encoder, Range, Schema};
+use dg_nn::graph::{Graph, Var};
+use serde::{Deserialize, Serialize};
+
+/// Activation class of one output block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockAct {
+    /// Row-wise softmax over the block (categorical one-hot / flags).
+    Softmax,
+    /// Continuous output: tanh for `[-1, 1]` or sigmoid for `[0, 1]`.
+    Continuous,
+}
+
+/// The block structure of one generator output vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputLayout {
+    /// `(start, end, activation)` triples covering `[0, width)`.
+    pub blocks: Vec<(usize, usize, BlockAct)>,
+    /// Total width.
+    pub width: usize,
+    /// Continuous activation range.
+    pub range: Range,
+}
+
+impl OutputLayout {
+    /// Layout of the encoded attribute vector.
+    pub fn attributes(schema: &Schema, range: Range) -> Self {
+        let mut blocks = Vec::new();
+        let mut off = 0;
+        for spec in &schema.attributes {
+            let w = spec.kind.encoded_width();
+            let act = if spec.kind.is_categorical() { BlockAct::Softmax } else { BlockAct::Continuous };
+            blocks.push((off, off + w, act));
+            off += w;
+        }
+        OutputLayout { blocks, width: off, range }
+    }
+
+    /// Layout of the min/max fake-attribute vector (all continuous).
+    pub fn minmax(encoder: &Encoder, range: Range) -> Self {
+        let w = encoder.minmax_width();
+        let blocks = if w > 0 { vec![(0, w, BlockAct::Continuous)] } else { Vec::new() };
+        OutputLayout { blocks, width: w, range }
+    }
+
+    /// Layout of one encoded step: feature blocks followed by the 2-wide
+    /// generation-flag softmax.
+    pub fn step(schema: &Schema, range: Range) -> Self {
+        let mut blocks = Vec::new();
+        let mut off = 0;
+        for spec in &schema.features {
+            let w = spec.kind.encoded_width();
+            let act = if spec.kind.is_categorical() { BlockAct::Softmax } else { BlockAct::Continuous };
+            blocks.push((off, off + w, act));
+            off += w;
+        }
+        blocks.push((off, off + 2, BlockAct::Softmax));
+        OutputLayout { blocks, width: off + 2, range }
+    }
+
+    /// Tiles this layout `n` times (the MLP head emits `S` consecutive
+    /// steps per LSTM pass).
+    pub fn tiled(&self, n: usize) -> OutputLayout {
+        let mut blocks = Vec::with_capacity(self.blocks.len() * n);
+        for i in 0..n {
+            let off = i * self.width;
+            for &(s, e, a) in &self.blocks {
+                blocks.push((off + s, off + e, a));
+            }
+        }
+        OutputLayout { blocks, width: self.width * n, range: self.range }
+    }
+
+    /// Applies per-block activations to a raw (linear) output var.
+    pub fn apply(&self, g: &mut Graph, raw: Var) -> Var {
+        assert_eq!(g.value(raw).cols(), self.width, "layout width mismatch");
+        if self.blocks.is_empty() {
+            return raw;
+        }
+        // Fast path: a single block avoids the slice/concat round trip.
+        if self.blocks.len() == 1 && self.blocks[0] == (0, self.width, self.blocks[0].2) {
+            return self.activate_block(g, raw, self.blocks[0].2);
+        }
+        let mut parts = Vec::with_capacity(self.blocks.len());
+        for &(s, e, a) in &self.blocks {
+            let sl = g.slice_cols(raw, s, e);
+            parts.push(self.activate_block(g, sl, a));
+        }
+        g.concat_cols(&parts)
+    }
+
+    fn activate_block(&self, g: &mut Graph, x: Var, act: BlockAct) -> Var {
+        match act {
+            BlockAct::Softmax => g.softmax(x),
+            BlockAct::Continuous => match self.range {
+                Range::SymmetricOne => g.tanh(x),
+                Range::ZeroOne => g.sigmoid(x),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_data::{FieldKind, FieldSpec};
+    use dg_nn::tensor::Tensor;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                FieldSpec::new("cat", FieldKind::categorical(["a", "b", "c"])),
+                FieldSpec::new("num", FieldKind::continuous(0.0, 1.0)),
+            ],
+            vec![
+                FieldSpec::new("x", FieldKind::continuous(0.0, 1.0)),
+                FieldSpec::new("proto", FieldKind::categorical(["t", "u"])),
+            ],
+            8,
+        )
+    }
+
+    #[test]
+    fn attribute_layout_blocks() {
+        let l = OutputLayout::attributes(&schema(), Range::SymmetricOne);
+        assert_eq!(l.width, 4);
+        assert_eq!(l.blocks, vec![(0, 3, BlockAct::Softmax), (3, 4, BlockAct::Continuous)]);
+    }
+
+    #[test]
+    fn step_layout_appends_flags() {
+        let l = OutputLayout::step(&schema(), Range::SymmetricOne);
+        assert_eq!(l.width, 5); // 1 cont + 2 one-hot + 2 flags
+        assert_eq!(l.blocks.last().unwrap(), &(3, 5, BlockAct::Softmax));
+    }
+
+    #[test]
+    fn tiled_repeats_blocks_with_offset() {
+        let l = OutputLayout::step(&schema(), Range::SymmetricOne).tiled(3);
+        assert_eq!(l.width, 15);
+        assert_eq!(l.blocks.len(), 9);
+        assert_eq!(l.blocks[3], (5, 6, BlockAct::Continuous));
+        assert_eq!(l.blocks[8], (13, 15, BlockAct::Softmax));
+    }
+
+    #[test]
+    fn apply_activates_each_block() {
+        let l = OutputLayout::attributes(&schema(), Range::SymmetricOne);
+        let mut g = Graph::new();
+        let raw = g.input(Tensor::from_vec(2, 4, vec![5.0, 1.0, 1.0, 3.0, 0.0, 0.0, 9.0, -3.0]));
+        let out = l.apply(&mut g, raw);
+        let v = g.value(out);
+        // Softmax block sums to 1 per row.
+        for r in 0..2 {
+            let s: f32 = v.row_slice(r)[..3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Continuous block is tanh-bounded.
+        assert!(v.get(0, 3) > 0.99 && v.get(1, 3) < -0.99);
+        // Gradient flows through the composite activation.
+        let loss = g.sum_all(out);
+        g.backward(loss);
+        assert!(g.grad(raw).is_some());
+    }
+
+    #[test]
+    fn zero_one_range_uses_sigmoid() {
+        let l = OutputLayout { blocks: vec![(0, 2, BlockAct::Continuous)], width: 2, range: Range::ZeroOne };
+        let mut g = Graph::new();
+        let raw = g.constant(Tensor::from_vec(1, 2, vec![-10.0, 10.0]));
+        let out = l.apply(&mut g, raw);
+        assert!(g.value(out).get(0, 0) < 0.01);
+        assert!(g.value(out).get(0, 1) > 0.99);
+    }
+}

@@ -1,0 +1,67 @@
+//! # doppelganger — GANs for sharing networked time series data
+//!
+//! A from-scratch Rust implementation of **DoppelGANger** (Lin, Jain, Wang,
+//! Fanti, Sekar — *"Using GANs for Sharing Networked Time Series Data:
+//! Challenges, Initial Promise, and Open Questions"*, IMC 2020).
+//!
+//! DoppelGANger generates synthetic datasets of objects `O = (A, R)` —
+//! metadata attributes plus variable-length multi-dimensional time series —
+//! with three design moves that set it apart from naive GANs:
+//!
+//! * **decoupled, conditional generation**: `P(O) = P(A)·P(R|A)`, with a
+//!   dedicated attribute generator whose output conditions the feature
+//!   generator at every step ([`model`]);
+//! * **batched RNN generation**: the LSTM emits `S` records per pass so long
+//!   series need only ~50 recurrence steps ([`config::DgConfig`]);
+//! * **auto-normalization**: per-sample min/max are generated as fake
+//!   attributes, defeating wide-dynamic-range mode collapse (implemented in
+//!   `dg_data::encode`, driven from here).
+//!
+//! Training uses WGAN-GP on two critics ([`trainer`]), optionally under
+//! DP-SGD ([`dpsgd`]). After training, the attribute generator alone can be
+//! retrained to any target distribution ([`retrain`]) — the paper's
+//! flexibility and business-secret masking mechanisms.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use doppelganger::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let data = dg_datasets::sine::generate(&dg_datasets::SineConfig::default(), &mut rng);
+//! let config = DgConfig::quick().with_recommended_s(data.schema.max_len);
+//! let model = DoppelGanger::new(&data, config, &mut rng);
+//! let encoded = model.encode(&data);
+//! let mut trainer = Trainer::new(model);
+//! trainer.fit(&encoded, 400, &mut rng, |m| {
+//!     if m.iteration % 100 == 0 { println!("iter {} W≈{:.3}", m.iteration, m.wasserstein); }
+//! });
+//! let model = trainer.into_model();
+//! let synthetic = model.generate_dataset(1000, &mut rng);
+//! println!("generated {} objects", synthetic.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod config;
+pub mod dpsgd;
+pub mod layout;
+pub mod model;
+pub mod retrain;
+pub mod trainer;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::checkpoint::Checkpoint;
+    pub use crate::config::DgConfig;
+    pub use crate::dpsgd::DpConfig;
+    pub use crate::model::DoppelGanger;
+    pub use crate::retrain::{retrain_attribute_generator, AttributeDistribution};
+    pub use crate::trainer::{StepMetrics, Trainer};
+}
+
+pub use config::DgConfig;
+pub use model::DoppelGanger;
+pub use trainer::Trainer;

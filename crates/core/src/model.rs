@@ -1,0 +1,592 @@
+//! The DoppelGANger model (§4, Fig. 6).
+//!
+//! Three-stage conditional generator + two Wasserstein critics:
+//!
+//! 1. **Attribute generator** — MLP mapping noise to the encoded attribute
+//!    vector `A` (one-hot blocks through softmax);
+//! 2. **Min/max generator** — MLP mapping `[A, noise]` to the per-sample
+//!    `(max±min)/2` fake attributes (auto-normalization, §4.1.3);
+//! 3. **Feature generator** — an LSTM conditioned on `[A, minmax, noise]`
+//!    at *every* step whose MLP head emits `S` consecutive records per pass
+//!    (batched generation, §4.1.1), each record carrying its generation
+//!    flag pair;
+//!
+//! plus the **primary discriminator** on the whole object
+//! `[A | minmax | features]` and the optional **auxiliary discriminator** on
+//! `[A | minmax]` only (§4.2).
+
+use crate::config::DgConfig;
+use crate::layout::OutputLayout;
+use dg_data::{Dataset, EncodedDataset, Encoder, TimeSeriesObject};
+use dg_nn::graph::{Graph, Var};
+use dg_nn::layers::{Activation, LstmCell, Mlp};
+use dg_nn::params::{ParamId, ParamStore};
+use dg_nn::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A trained (or trainable) DoppelGANger model.
+///
+/// The whole struct — parameters included — is serde-serializable: the
+/// paper's workflow (Fig. 2) has the data holder release exactly these model
+/// parameters to the data consumer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DoppelGanger {
+    /// Hyper-parameters.
+    pub config: DgConfig,
+    /// Fitted encoder (scaling constants, schema).
+    pub encoder: Encoder,
+    /// All trainable parameters.
+    pub store: ParamStore,
+    /// Attribute generator MLP.
+    pub attr_gen: Mlp,
+    /// Min/max generator MLP (absent when auto-normalization is off).
+    pub minmax_gen: Option<Mlp>,
+    /// Feature-generator LSTM cell.
+    pub feat_lstm: LstmCell,
+    /// Feature-generator MLP head (LSTM hidden -> `S` records).
+    pub feat_head: Mlp,
+    /// Primary discriminator.
+    pub disc: Mlp,
+    /// Auxiliary discriminator (§4.2), when enabled.
+    pub aux_disc: Option<Mlp>,
+    attr_layout: OutputLayout,
+    minmax_layout: OutputLayout,
+    head_layout: OutputLayout,
+    /// Number of LSTM passes (`ceil(max_len / S)`).
+    pub num_steps: usize,
+}
+
+impl DoppelGanger {
+    /// Builds a model for `dataset`, fitting the encoder and initializing all
+    /// networks.
+    pub fn new<R: Rng + ?Sized>(dataset: &Dataset, config: DgConfig, rng: &mut R) -> Self {
+        let encoder = Encoder::fit(dataset, config.encoder);
+        Self::with_encoder(encoder, config, rng)
+    }
+
+    /// Builds a model from an already-fitted encoder.
+    pub fn with_encoder<R: Rng + ?Sized>(encoder: Encoder, config: DgConfig, rng: &mut R) -> Self {
+        let schema = &encoder.schema;
+        assert!(schema.attr_encoded_width() > 0, "DoppelGANger requires at least one attribute");
+        let range = config.encoder.range;
+        let attr_layout = OutputLayout::attributes(schema, range);
+        let minmax_layout = OutputLayout::minmax(&encoder, range);
+        let step_layout = OutputLayout::step(schema, range);
+        let s = config.feature_batch_size.max(1);
+        let head_layout = step_layout.tiled(s);
+        let num_steps = schema.max_len.div_ceil(s);
+
+        let mut store = ParamStore::new();
+        let gen_act = Activation::LeakyRelu(0.2);
+        let attr_gen = Mlp::new(
+            &mut store,
+            "attr_gen",
+            config.attr_noise_dim,
+            config.attr_hidden,
+            config.attr_depth,
+            attr_layout.width,
+            gen_act,
+            Activation::Linear,
+            rng,
+        );
+        let minmax_gen = if minmax_layout.width > 0 {
+            Some(Mlp::new(
+                &mut store,
+                "minmax_gen",
+                attr_layout.width + config.minmax_noise_dim,
+                config.minmax_hidden,
+                config.minmax_depth,
+                minmax_layout.width,
+                gen_act,
+                Activation::Linear,
+                rng,
+            ))
+        } else {
+            None
+        };
+        let cond_width = attr_layout.width + minmax_layout.width;
+        let feat_lstm = LstmCell::new(
+            &mut store,
+            "feat_lstm",
+            cond_width + config.feature_noise_dim,
+            config.lstm_hidden,
+            rng,
+        );
+        let feat_head = Mlp::new(
+            &mut store,
+            "feat_head",
+            config.lstm_hidden,
+            config.head_hidden,
+            1,
+            head_layout.width,
+            gen_act,
+            Activation::Linear,
+            rng,
+        );
+        let disc_in = cond_width + schema.max_len * step_layout.width;
+        let disc = Mlp::new(
+            &mut store,
+            "disc",
+            disc_in,
+            config.disc_hidden,
+            config.disc_depth,
+            1,
+            Activation::LeakyRelu(config.disc_leak),
+            Activation::Linear,
+            rng,
+        );
+        let aux_disc = if config.auxiliary_discriminator {
+            Some(Mlp::new(
+                &mut store,
+                "aux_disc",
+                cond_width,
+                config.disc_hidden,
+                config.disc_depth,
+                1,
+                Activation::LeakyRelu(config.disc_leak),
+                Activation::Linear,
+                rng,
+            ))
+        } else {
+            None
+        };
+
+        DoppelGanger {
+            config,
+            encoder,
+            store,
+            attr_gen,
+            minmax_gen,
+            feat_lstm,
+            feat_head,
+            disc,
+            aux_disc,
+            attr_layout,
+            minmax_layout,
+            head_layout,
+            num_steps,
+        }
+    }
+
+    /// Width of the primary discriminator's input.
+    pub fn disc_input_width(&self) -> usize {
+        self.encoder.attr_width() + self.encoder.minmax_width() + self.encoder.max_len() * self.encoder.step_width()
+    }
+
+    /// Width of the auxiliary discriminator's input (`[A | minmax]`).
+    pub fn aux_input_width(&self) -> usize {
+        self.encoder.attr_width() + self.encoder.minmax_width()
+    }
+
+    // ---- parameter groups -------------------------------------------------
+
+    /// Parameters of the attribute generator only (the retrainable subset of
+    /// §5.2 / §5.3.2).
+    pub fn attr_gen_params(&self) -> Vec<ParamId> {
+        self.attr_gen.params()
+    }
+
+    /// Parameters of the full generator (attribute + min/max + feature).
+    pub fn generator_params(&self) -> Vec<ParamId> {
+        let mut p = self.attr_gen.params();
+        if let Some(m) = &self.minmax_gen {
+            p.extend(m.params());
+        }
+        p.extend(self.feat_lstm.params());
+        p.extend(self.feat_head.params());
+        p
+    }
+
+    /// Parameters of both discriminators.
+    pub fn discriminator_params(&self) -> Vec<ParamId> {
+        let mut p = self.disc.params();
+        if let Some(a) = &self.aux_disc {
+            p.extend(a.params());
+        }
+        p
+    }
+
+    /// Parameters of the auxiliary discriminator (empty when disabled).
+    pub fn aux_disc_params(&self) -> Vec<ParamId> {
+        self.aux_disc.as_ref().map(|a| a.params()).unwrap_or_default()
+    }
+
+    // ---- graph builders ----------------------------------------------------
+
+    /// Records attribute generation for a batch; `frozen` stops gradients at
+    /// the generator weights.
+    pub fn gen_attributes<R: Rng + ?Sized>(&self, g: &mut Graph, batch: usize, rng: &mut R, frozen: bool) -> Var {
+        let z = g.constant(Tensor::randn(batch, self.config.attr_noise_dim, 1.0, rng));
+        let raw = if frozen {
+            self.attr_gen.forward_frozen(g, &self.store, z)
+        } else {
+            self.attr_gen.forward(g, &self.store, z)
+        };
+        self.attr_layout.apply(g, raw)
+    }
+
+    /// Records min/max generation conditioned on (generated or encoded)
+    /// attributes. Returns a zero-width var when auto-normalization is off.
+    pub fn gen_minmax<R: Rng + ?Sized>(&self, g: &mut Graph, attrs: Var, rng: &mut R, frozen: bool) -> Var {
+        let batch = g.value(attrs).rows();
+        match &self.minmax_gen {
+            None => g.constant(Tensor::zeros(batch, 0)),
+            Some(mm) => {
+                let z = g.constant(Tensor::randn(batch, self.config.minmax_noise_dim, 1.0, rng));
+                let inp = g.concat_cols(&[attrs, z]);
+                let raw = if frozen {
+                    mm.forward_frozen(g, &self.store, inp)
+                } else {
+                    mm.forward(g, &self.store, inp)
+                };
+                self.minmax_layout.apply(g, raw)
+            }
+        }
+    }
+
+    /// Records feature generation conditioned on attributes and min/max.
+    /// Produces the full flattened `[B, max_len * step_width]` feature block
+    /// (records + generation flags).
+    pub fn gen_features<R: Rng + ?Sized>(
+        &self,
+        g: &mut Graph,
+        attrs: Var,
+        minmax: Var,
+        rng: &mut R,
+        frozen: bool,
+    ) -> Var {
+        let batch = g.value(attrs).rows();
+        let mut state = self.feat_lstm.zero_state(g, batch);
+        let mut outs = Vec::with_capacity(self.num_steps);
+        for _ in 0..self.num_steps {
+            let z = g.constant(Tensor::randn(batch, self.config.feature_noise_dim, 1.0, rng));
+            let inp = if g.value(minmax).cols() > 0 {
+                g.concat_cols(&[attrs, minmax, z])
+            } else {
+                g.concat_cols(&[attrs, z])
+            };
+            state = if frozen {
+                self.feat_lstm.step_frozen(g, &self.store, inp, state)
+            } else {
+                self.feat_lstm.step(g, &self.store, inp, state)
+            };
+            let raw = if frozen {
+                self.feat_head.forward_frozen(g, &self.store, state.h)
+            } else {
+                self.feat_head.forward(g, &self.store, state.h)
+            };
+            outs.push(self.head_layout.apply(g, raw));
+        }
+        let full = g.concat_cols(&outs);
+        let want = self.encoder.max_len() * self.encoder.step_width();
+        if g.value(full).cols() > want {
+            g.slice_cols(full, 0, want)
+        } else {
+            full
+        }
+    }
+
+    /// Records full-object generation, returning
+    /// `(attributes, minmax, features, [A | minmax | features])`.
+    pub fn gen_full<R: Rng + ?Sized>(
+        &self,
+        g: &mut Graph,
+        batch: usize,
+        rng: &mut R,
+        frozen: bool,
+    ) -> (Var, Var, Var, Var) {
+        let attrs = self.gen_attributes(g, batch, rng, frozen);
+        let minmax = self.gen_minmax(g, attrs, rng, frozen);
+        let feats = self.gen_features(g, attrs, minmax, rng, frozen);
+        let full = if g.value(minmax).cols() > 0 {
+            g.concat_cols(&[attrs, minmax, feats])
+        } else {
+            g.concat_cols(&[attrs, feats])
+        };
+        (attrs, minmax, feats, full)
+    }
+
+    /// Scores a batch with the primary discriminator; `frozen` stops
+    /// gradients at the discriminator weights (generator updates).
+    pub fn discriminate(&self, g: &mut Graph, full: Var, frozen: bool) -> Var {
+        if frozen {
+            self.disc.forward_frozen(g, &self.store, full)
+        } else {
+            self.disc.forward(g, &self.store, full)
+        }
+    }
+
+    /// Scores `[A | minmax]` with the auxiliary discriminator.
+    ///
+    /// # Panics
+    /// Panics if the auxiliary discriminator is disabled.
+    pub fn discriminate_aux(&self, g: &mut Graph, attrs_minmax: Var, frozen: bool) -> Var {
+        let aux = self.aux_disc.as_ref().expect("auxiliary discriminator is disabled");
+        if frozen {
+            aux.forward_frozen(g, &self.store, attrs_minmax)
+        } else {
+            aux.forward(g, &self.store, attrs_minmax)
+        }
+    }
+
+    // ---- sampling ----------------------------------------------------------
+
+    /// Generates `n` encoded samples with the frozen model, in chunks of the
+    /// training batch size to bound graph memory.
+    pub fn generate_encoded<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> (Tensor, Tensor, Tensor) {
+        let chunk = self.config.batch_size.max(1);
+        let mut attrs = Vec::new();
+        let mut minmaxes = Vec::new();
+        let mut feats = Vec::new();
+        let mut left = n;
+        while left > 0 {
+            let b = left.min(chunk);
+            let mut g = Graph::new();
+            let (a, m, f, _) = self.gen_full(&mut g, b, rng, true);
+            attrs.push(g.value(a).clone());
+            minmaxes.push(g.value(m).clone());
+            feats.push(g.value(f).clone());
+            left -= b;
+        }
+        let ar: Vec<&Tensor> = attrs.iter().collect();
+        let mr: Vec<&Tensor> = minmaxes.iter().collect();
+        let fr: Vec<&Tensor> = feats.iter().collect();
+        (
+            Tensor::concat_rows(&ar),
+            Tensor::concat_rows(&mr),
+            Tensor::concat_rows(&fr),
+        )
+    }
+
+    /// Generates `n` synthetic objects (decoded).
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<TimeSeriesObject> {
+        let (a, m, f) = self.generate_encoded(n, rng);
+        self.encoder.decode(&a, &m, &f)
+    }
+
+    /// Generates one synthetic object per supplied attribute row,
+    /// *conditioned* on those attributes: the attribute generator is skipped
+    /// and the min/max + feature generators run on the encoded rows.
+    ///
+    /// This is the "desired attribute distribution" interface of §3.1 in its
+    /// purest form — the consumer dictates the attributes, the model supplies
+    /// `P(R | A)`. (The §5.2 retraining mechanism is the *trainable* variant
+    /// of the same idea; see [`crate::retrain`].)
+    pub fn generate_conditioned<R: Rng + ?Sized>(
+        &self,
+        attribute_rows: &[Vec<dg_data::Value>],
+        rng: &mut R,
+    ) -> Vec<TimeSeriesObject> {
+        let chunk = self.config.batch_size.max(1);
+        let mut out = Vec::with_capacity(attribute_rows.len());
+        for rows in attribute_rows.chunks(chunk) {
+            let attrs = self.encoder.encode_attribute_rows(rows);
+            let mut g = Graph::new();
+            let a = g.constant(attrs.clone());
+            let m = self.gen_minmax(&mut g, a, rng, true);
+            let f = self.gen_features(&mut g, a, m, rng, true);
+            let minmax = g.value(m).clone();
+            let feats = g.value(f).clone();
+            let mut objs = self.encoder.decode(&attrs, &minmax, &feats);
+            // Force the requested attributes verbatim (decode argmaxes the
+            // one-hot blocks, which is exact here, but continuous attributes
+            // would round-trip through scaling).
+            for (o, want) in objs.iter_mut().zip(rows) {
+                o.attributes = want.clone();
+            }
+            out.extend(objs);
+        }
+        out
+    }
+
+    /// Generates `n` synthetic objects as a [`Dataset`] sharing the training
+    /// schema.
+    pub fn generate_dataset<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Dataset {
+        Dataset::new(self.encoder.schema.clone(), self.generate(n, rng))
+    }
+
+    /// Encodes a real dataset with this model's fitted encoder.
+    pub fn encode(&self, dataset: &Dataset) -> EncodedDataset {
+        self.encoder.encode(dataset)
+    }
+
+    /// Serializes the released model parameters (Fig. 2 workflow) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Restores a model from [`DoppelGanger::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_data::Value;
+    use dg_datasets::sine::{self, SineConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> (DoppelGanger, Dataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SineConfig { num_objects: 30, length: 24, periods: vec![6, 12], noise_sigma: 0.05 };
+        let data = sine::generate(&cfg, &mut rng);
+        let mut dg_cfg = DgConfig::quick().with_recommended_s(24);
+        dg_cfg.attr_hidden = 16;
+        dg_cfg.lstm_hidden = 16;
+        dg_cfg.head_hidden = 16;
+        dg_cfg.disc_hidden = 24;
+        dg_cfg.disc_depth = 2;
+        dg_cfg.batch_size = 8;
+        let model = DoppelGanger::new(&data, dg_cfg, &mut rng);
+        (model, data)
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let (model, data) = tiny_model(1);
+        let enc = model.encode(&data);
+        assert_eq!(enc.full_width(), model.disc_input_width());
+        assert_eq!(model.aux_input_width(), enc.attr_width + enc.minmax_width);
+
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = Graph::new();
+        let (a, m, f, full) = model.gen_full(&mut g, 5, &mut rng, true);
+        assert_eq!(g.value(a).shape(), (5, enc.attr_width));
+        assert_eq!(g.value(m).shape(), (5, enc.minmax_width));
+        assert_eq!(g.value(f).shape(), (5, enc.max_len * enc.step_width));
+        assert_eq!(g.value(full).shape(), (5, enc.full_width()));
+    }
+
+    #[test]
+    fn generated_attributes_are_simplex_blocks() {
+        let (model, _) = tiny_model(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut g = Graph::new();
+        let a = model.gen_attributes(&mut g, 6, &mut rng, true);
+        let v = g.value(a);
+        for r in 0..6 {
+            let s: f32 = v.row_slice(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "one-hot block should sum to 1, got {s}");
+            assert!(v.row_slice(r).iter().all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    #[test]
+    fn generated_objects_decode_with_valid_schema() {
+        let (model, data) = tiny_model(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let objs = model.generate(12, &mut rng);
+        assert_eq!(objs.len(), 12);
+        for o in &objs {
+            assert_eq!(o.attributes.len(), 1);
+            assert!(matches!(o.attributes[0], Value::Cat(c) if c < 2));
+            assert!(o.len() <= data.schema.max_len);
+            for r in &o.records {
+                assert!(r[0].cont().is_finite());
+            }
+        }
+        // Dataset constructor re-validates everything.
+        let _ = model.generate_dataset(5, &mut rng);
+    }
+
+    #[test]
+    fn frozen_generation_leaves_no_param_grads() {
+        let (model, _) = tiny_model(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut g = Graph::new();
+        let (_, _, _, full) = model.gen_full(&mut g, 3, &mut rng, true);
+        let score = model.discriminate(&mut g, full, false);
+        let loss = g.mean_all(score);
+        g.backward(loss);
+        let grads = g.param_grads();
+        // Only discriminator params receive gradients.
+        for id in model.generator_params() {
+            assert!(grads.get(id).is_none(), "frozen generator leaked grads");
+        }
+        assert!(model.disc.params().iter().any(|&id| grads.get(id).is_some()));
+    }
+
+    #[test]
+    fn trainable_generation_reaches_generator_params() {
+        let (model, _) = tiny_model(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut g = Graph::new();
+        let (_, _, _, full) = model.gen_full(&mut g, 3, &mut rng, false);
+        let score = model.discriminate(&mut g, full, true);
+        let loss = g.mean_all(score);
+        g.backward(loss);
+        let grads = g.param_grads();
+        for id in model.disc.params() {
+            assert!(grads.get(id).is_none(), "frozen discriminator leaked grads");
+        }
+        // Every generator component receives gradients.
+        let hit = |ids: Vec<ParamId>| ids.iter().any(|&id| grads.get(id).is_some());
+        assert!(hit(model.attr_gen.params()), "attr gen");
+        assert!(hit(model.feat_lstm.params()), "lstm");
+        assert!(hit(model.feat_head.params()), "head");
+        assert!(hit(model.minmax_gen.as_ref().unwrap().params()), "minmax gen");
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_generation() {
+        let (model, _) = tiny_model(11);
+        let json = model.to_json();
+        let back = DoppelGanger::from_json(&json).unwrap();
+        let mut r1 = StdRng::seed_from_u64(12);
+        let mut r2 = StdRng::seed_from_u64(12);
+        let (a1, _, f1) = model.generate_encoded(4, &mut r1);
+        let (a2, _, f2) = back.generate_encoded(4, &mut r2);
+        assert_eq!(a1, a2);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn no_auto_norm_has_no_minmax_generator() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg = SineConfig { num_objects: 10, length: 12, periods: vec![4], noise_sigma: 0.0 };
+        let data = sine::generate(&cfg, &mut rng);
+        let dg_cfg = DgConfig::quick().with_recommended_s(12).without_auto_normalization();
+        let model = DoppelGanger::new(&data, dg_cfg, &mut rng);
+        assert!(model.minmax_gen.is_none());
+        assert_eq!(model.encoder.minmax_width(), 0);
+        let objs = model.generate(3, &mut rng);
+        assert_eq!(objs.len(), 3);
+    }
+
+    #[test]
+    fn conditioned_generation_respects_requested_attributes() {
+        let (model, _) = tiny_model(15);
+        let mut rng = StdRng::seed_from_u64(16);
+        let rows = vec![
+            vec![Value::Cat(0)],
+            vec![Value::Cat(1)],
+            vec![Value::Cat(1)],
+            vec![Value::Cat(0)],
+        ];
+        let objs = model.generate_conditioned(&rows, &mut rng);
+        assert_eq!(objs.len(), 4);
+        for (o, want) in objs.iter().zip(&rows) {
+            assert_eq!(&o.attributes, want);
+            assert!(!o.records.is_empty() || o.records.is_empty()); // decoded without panic
+            for r in &o.records {
+                assert!(r[0].cont().is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn s_larger_than_len_still_works() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let cfg = SineConfig { num_objects: 10, length: 10, periods: vec![5], noise_sigma: 0.0 };
+        let data = sine::generate(&cfg, &mut rng);
+        let dg_cfg = DgConfig::quick().with_s(16); // S > max_len: one pass, sliced
+        let model = DoppelGanger::new(&data, dg_cfg, &mut rng);
+        assert_eq!(model.num_steps, 1);
+        let (_, _, f) = model.generate_encoded(2, &mut rng);
+        assert_eq!(f.cols(), 10 * model.encoder.step_width());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests over random DoppelGANger configurations: for any
+//! (reasonable) architecture and dataset shape, construction, generation and
+//! decoding must produce schema-valid output with the right invariants —
+//! no training required.
+
+use dg_data::{Dataset, FieldKind, FieldSpec, Schema, TimeSeriesObject, Value};
+use dg_nn::graph::Graph;
+use doppelganger::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random small dataset with `cats` attribute categories, `feats`
+/// continuous features and series of up to `max_len` records.
+fn make_dataset(seed: u64, cats: usize, feats: usize, max_len: usize, n: usize) -> Dataset {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::new(
+        vec![FieldSpec::new("class", FieldKind::categorical((0..cats).map(|i| format!("c{i}"))))],
+        (0..feats)
+            .map(|j| FieldSpec::new(format!("f{j}"), FieldKind::continuous(-10.0, 10.0)))
+            .collect(),
+        max_len,
+    );
+    let objects = (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..=max_len);
+            TimeSeriesObject {
+                attributes: vec![Value::Cat(rng.gen_range(0..cats))],
+                records: (0..len)
+                    .map(|_| (0..feats).map(|_| Value::Cont(rng.gen_range(-10.0..10.0))).collect())
+                    .collect(),
+            }
+        })
+        .collect();
+    Dataset::new(schema, objects)
+}
+
+fn tiny_config(s: usize, auto: bool, aux: bool) -> DgConfig {
+    let mut c = DgConfig::quick().with_s(s);
+    c.attr_hidden = 8;
+    c.attr_depth = 1;
+    c.minmax_hidden = 8;
+    c.minmax_depth = 1;
+    c.lstm_hidden = 8;
+    c.head_hidden = 8;
+    c.disc_hidden = 10;
+    c.disc_depth = 2;
+    c.batch_size = 4;
+    c.attr_noise_dim = 4;
+    c.minmax_noise_dim = 4;
+    c.feature_noise_dim = 4;
+    if !auto {
+        c = c.without_auto_normalization();
+    }
+    if !aux {
+        c = c.without_auxiliary_discriminator();
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_config_generates_schema_valid_objects(
+        seed in 0u64..1000,
+        cats in 2usize..5,
+        feats in 1usize..4,
+        max_len in 2usize..10,
+        s in 1usize..12,
+        auto in any::<bool>(),
+        aux in any::<bool>(),
+    ) {
+        let data = make_dataset(seed, cats, feats, max_len, 8);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF0);
+        let model = DoppelGanger::new(&data, tiny_config(s, auto, aux), &mut rng);
+        // num_steps covers the padded length.
+        prop_assert!(model.num_steps * model.config.feature_batch_size >= max_len);
+
+        let objs = model.generate(6, &mut rng);
+        prop_assert_eq!(objs.len(), 6);
+        for o in &objs {
+            prop_assert!(o.len() <= max_len);
+            prop_assert_eq!(o.attributes.len(), 1);
+            match o.attributes[0] {
+                Value::Cat(c) => prop_assert!(c < cats),
+                _ => prop_assert!(false, "attribute must be categorical"),
+            }
+            for r in &o.records {
+                prop_assert_eq!(r.len(), feats);
+                for v in r {
+                    prop_assert!(v.cont().is_finite());
+                }
+            }
+        }
+        // Dataset::new revalidates everything against the schema.
+        let _ = model.generate_dataset(3, &mut rng);
+    }
+
+    #[test]
+    fn generated_attribute_blocks_are_simplices(
+        seed in 0u64..500,
+        cats in 2usize..6,
+    ) {
+        let data = make_dataset(seed, cats, 1, 6, 8);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1);
+        let model = DoppelGanger::new(&data, tiny_config(2, true, true), &mut rng);
+        let mut g = Graph::new();
+        let a = model.gen_attributes(&mut g, 5, &mut rng, true);
+        let v = g.value(a);
+        prop_assert_eq!(v.shape(), (5, cats));
+        for r in 0..5 {
+            let sum: f32 = v.row_slice(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn one_training_step_keeps_everything_finite(
+        seed in 0u64..200,
+        s in 1usize..6,
+        auto in any::<bool>(),
+        aux in any::<bool>(),
+    ) {
+        let data = make_dataset(seed, 3, 2, 6, 8);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF2);
+        let model = DoppelGanger::new(&data, tiny_config(s, auto, aux), &mut rng);
+        let encoded = model.encode(&data);
+        let mut trainer = Trainer::new(model);
+        trainer.fit(&encoded, 2, &mut rng, |m| {
+            assert!(m.d_loss.is_finite() && m.g_loss.is_finite() && m.gp.is_finite());
+        });
+        for (_, _, t) in trainer.model.store.iter() {
+            prop_assert!(t.is_finite());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_for_random_configs(seed in 0u64..200, aux in any::<bool>()) {
+        let data = make_dataset(seed, 2, 1, 5, 6);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF3);
+        let model = DoppelGanger::new(&data, tiny_config(2, true, aux), &mut rng);
+        let restored = DoppelGanger::from_json(&model.to_json()).expect("roundtrip");
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let (a1, _, f1) = model.generate_encoded(3, &mut r1);
+        let (a2, _, f2) = restored.generate_encoded(3, &mut r2);
+        prop_assert_eq!(a1, a2);
+        prop_assert_eq!(f1, f2);
+    }
+}

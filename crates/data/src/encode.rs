@@ -1,0 +1,678 @@
+//! Encoding between [`Dataset`]s and the flat tensors GANs train on.
+//!
+//! The encoder implements three pieces of the paper's design:
+//!
+//! * one-hot encoding of categorical fields and min-max scaling of
+//!   continuous fields (the "data schema" input, §3.1);
+//! * **auto-normalization** (§4.1.3): each continuous feature is normalized
+//!   *per sample*, and the per-sample `(max+min)/2` and `(max-min)/2` are
+//!   appended as two "fake" attributes so the min/max generator can learn
+//!   realistic dynamic ranges — the fix for the wide-dynamic-range mode
+//!   collapse the paper documents;
+//! * **generation flags** (§4.1.1): every encoded step carries a `[p1, p2]`
+//!   flag pair; `[1,0]` means the series continues, `[0,1]` marks the final
+//!   record, and fully padded steps are `[0,0]`.
+
+use crate::object::{Dataset, TimeSeriesObject, Value};
+use crate::schema::{FieldKind, Schema};
+use dg_nn::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Target range for scaled continuous values (determines whether the
+/// generator's continuous outputs use `sigmoid` or `tanh`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Range {
+    /// Scale to `[0, 1]` (pair with sigmoid outputs).
+    ZeroOne,
+    /// Scale to `[-1, 1]` (pair with tanh outputs).
+    SymmetricOne,
+}
+
+impl Range {
+    /// Scales `v` from `[mn, mx]` into the range.
+    pub fn scale(self, v: f64, mn: f64, mx: f64) -> f32 {
+        let span = (mx - mn).max(f64::EPSILON);
+        let z = ((v - mn) / span).clamp(0.0, 1.0);
+        match self {
+            Range::ZeroOne => z as f32,
+            Range::SymmetricOne => (2.0 * z - 1.0) as f32,
+        }
+    }
+
+    /// Inverse of [`Range::scale`].
+    pub fn unscale(self, v: f32, mn: f64, mx: f64) -> f64 {
+        let z = match self {
+            Range::ZeroOne => v as f64,
+            Range::SymmetricOne => (v as f64 + 1.0) / 2.0,
+        }
+        .clamp(0.0, 1.0);
+        mn + z * (mx - mn)
+    }
+}
+
+/// Encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Enables per-sample auto-normalization + min/max fake attributes
+    /// (§4.1.3). When disabled, features are scaled by their global range —
+    /// the configuration shown to mode-collapse in Fig. 5 (left).
+    pub auto_normalize: bool,
+    /// Target range for continuous values.
+    pub range: Range,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        EncoderConfig { auto_normalize: true, range: Range::SymmetricOne }
+    }
+}
+
+/// Per-sample normalization floor: half-ranges below this are clamped so
+/// constant series stay invertible.
+const MIN_HALF_RANGE: f64 = 1e-6;
+
+/// A fitted encoder holding the global scaling constants needed to invert
+/// generated tensors back into [`TimeSeriesObject`]s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Encoder {
+    /// Configuration used at fit time.
+    pub config: EncoderConfig,
+    /// Schema of the encoded dataset.
+    pub schema: Schema,
+    /// Global `(min, max)` per feature index (entries for categorical
+    /// features are `(0, 1)` placeholders).
+    feat_ranges: Vec<(f64, f64)>,
+    /// Global `(min, max)` per attribute index (placeholders for categorical
+    /// attributes).
+    attr_ranges: Vec<(f64, f64)>,
+}
+
+/// A dataset encoded into flat tensors, ready for GAN training.
+#[derive(Debug, Clone)]
+pub struct EncodedDataset {
+    /// `N x attr_width` encoded real attributes.
+    pub attributes: Tensor,
+    /// `N x minmax_width` encoded per-sample min/max fake attributes
+    /// (zero-width when auto-normalization is off).
+    pub minmax: Tensor,
+    /// `N x (max_len * step_width)` encoded features + generation flags,
+    /// zero-padded past each sample's length.
+    pub features: Tensor,
+    /// True series lengths.
+    pub lengths: Vec<usize>,
+    /// Width of the encoded attribute block.
+    pub attr_width: usize,
+    /// Width of the min/max block.
+    pub minmax_width: usize,
+    /// Width of one encoded step (features + 2 flag slots).
+    pub step_width: usize,
+    /// Maximum (padded) length.
+    pub max_len: usize,
+}
+
+impl EncodedDataset {
+    /// Number of encoded samples.
+    pub fn num_samples(&self) -> usize {
+        self.attributes.rows()
+    }
+
+    /// Gathers rows into `(attributes, minmax, features)` batch tensors.
+    pub fn gather(&self, idx: &[usize]) -> (Tensor, Tensor, Tensor) {
+        (
+            self.attributes.gather_rows(idx),
+            self.minmax.gather_rows(idx),
+            self.features.gather_rows(idx),
+        )
+    }
+
+    /// Concatenates `[attributes | minmax | features]` for the given rows —
+    /// the input layout of the primary discriminator.
+    pub fn full_rows(&self, idx: &[usize]) -> Tensor {
+        let (a, m, f) = self.gather(idx);
+        Tensor::concat_cols(&[&a, &m, &f])
+    }
+
+    /// Width of a full discriminator input row.
+    pub fn full_width(&self) -> usize {
+        self.attr_width + self.minmax_width + self.max_len * self.step_width
+    }
+}
+
+impl Encoder {
+    /// Fits scaling constants on a dataset.
+    pub fn fit(dataset: &Dataset, config: EncoderConfig) -> Self {
+        let schema = dataset.schema.clone();
+        let feat_ranges = schema
+            .features
+            .iter()
+            .enumerate()
+            .map(|(j, spec)| match &spec.kind {
+                FieldKind::Categorical { .. } => (0.0, 1.0),
+                FieldKind::Continuous { min, max } => {
+                    if dataset.is_empty() {
+                        (*min, *max)
+                    } else {
+                        let (mn, mx) = dataset.feature_range(j);
+                        if mn < mx {
+                            (mn, mx)
+                        } else {
+                            (*min, *max)
+                        }
+                    }
+                }
+            })
+            .collect();
+        let attr_ranges = schema
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(j, spec)| match &spec.kind {
+                FieldKind::Categorical { .. } => (0.0, 1.0),
+                FieldKind::Continuous { min, max } => {
+                    let mut mn = f64::INFINITY;
+                    let mut mx = f64::NEG_INFINITY;
+                    for o in &dataset.objects {
+                        let v = o.attributes[j].cont();
+                        mn = mn.min(v);
+                        mx = mx.max(v);
+                    }
+                    if mn < mx {
+                        (mn, mx)
+                    } else {
+                        (*min, *max)
+                    }
+                }
+            })
+            .collect();
+        Encoder { config, schema, feat_ranges, attr_ranges }
+    }
+
+    /// Width of the encoded attribute block.
+    pub fn attr_width(&self) -> usize {
+        self.schema.attr_encoded_width()
+    }
+
+    /// Width of the min/max fake-attribute block (2 per continuous feature).
+    pub fn minmax_width(&self) -> usize {
+        if self.config.auto_normalize {
+            2 * self.schema.num_continuous_features()
+        } else {
+            0
+        }
+    }
+
+    /// Width of one encoded step, including the two generation-flag slots.
+    pub fn step_width(&self) -> usize {
+        self.schema.feature_encoded_width() + 2
+    }
+
+    /// Padded series length.
+    pub fn max_len(&self) -> usize {
+        self.schema.max_len
+    }
+
+    /// Index ranges `(start, end)` of each categorical attribute's one-hot
+    /// block inside the encoded attribute vector.
+    pub fn attr_blocks(&self) -> Vec<(usize, usize)> {
+        let mut blocks = Vec::new();
+        let mut off = 0;
+        for spec in &self.schema.attributes {
+            let w = spec.kind.encoded_width();
+            blocks.push((off, off + w));
+            off += w;
+        }
+        blocks
+    }
+
+    /// Encodes a dataset. Objects must match the fitted schema.
+    pub fn encode(&self, dataset: &Dataset) -> EncodedDataset {
+        assert_eq!(dataset.schema, self.schema, "dataset schema differs from fitted schema");
+        let n = dataset.len();
+        let aw = self.attr_width();
+        let mw = self.minmax_width();
+        let sw = self.step_width();
+        let t = self.max_len();
+        let mut attributes = Tensor::zeros(n, aw.max(1));
+        let mut minmax = Tensor::zeros(n, mw.max(1));
+        let mut features = Tensor::zeros(n, t * sw);
+        let mut lengths = Vec::with_capacity(n);
+
+        for (i, o) in dataset.objects.iter().enumerate() {
+            self.encode_attributes(o, attributes.row_slice_mut(i));
+            let halves = self.sample_norms(o);
+            if self.config.auto_normalize {
+                self.encode_minmax(&halves, minmax.row_slice_mut(i));
+            }
+            self.encode_features(o, &halves, features.row_slice_mut(i));
+            lengths.push(o.len());
+        }
+        // Degenerate zero-width blocks keep a 1-column tensor internally but
+        // report their true width; trim for consistency.
+        if aw == 0 {
+            attributes = Tensor::zeros(n, 0);
+        }
+        if mw == 0 {
+            minmax = Tensor::zeros(n, 0);
+        }
+        EncodedDataset {
+            attributes,
+            minmax,
+            features,
+            lengths,
+            attr_width: aw,
+            minmax_width: mw,
+            step_width: sw,
+            max_len: t,
+        }
+    }
+
+    /// Encodes bare attribute rows (no features) into an `N x attr_width`
+    /// tensor. Used when retraining the attribute generator toward a target
+    /// distribution (§5.2 / §5.3.2 of the paper).
+    pub fn encode_attribute_rows(&self, rows: &[Vec<Value>]) -> Tensor {
+        let aw = self.attr_width();
+        let mut out = Tensor::zeros(rows.len(), aw);
+        for (i, attrs) in rows.iter().enumerate() {
+            assert_eq!(attrs.len(), self.schema.num_attributes(), "attribute arity mismatch");
+            let tmp = TimeSeriesObject { attributes: attrs.clone(), records: Vec::new() };
+            self.encode_attributes(&tmp, out.row_slice_mut(i));
+        }
+        out
+    }
+
+    /// Per-sample `(center, half_range)` for each continuous feature.
+    fn sample_norms(&self, o: &TimeSeriesObject) -> Vec<(f64, f64)> {
+        let mut halves = Vec::new();
+        if !self.config.auto_normalize {
+            return halves;
+        }
+        for (j, spec) in self.schema.features.iter().enumerate() {
+            if spec.kind.is_categorical() {
+                continue;
+            }
+            let mut mn = f64::INFINITY;
+            let mut mx = f64::NEG_INFINITY;
+            for r in &o.records {
+                let v = r[j].cont();
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+            if o.is_empty() {
+                mn = 0.0;
+                mx = 0.0;
+            }
+            let center = (mx + mn) / 2.0;
+            let half = ((mx - mn) / 2.0).max(MIN_HALF_RANGE);
+            halves.push((center, half));
+        }
+        halves
+    }
+
+    fn encode_attributes(&self, o: &TimeSeriesObject, out: &mut [f32]) {
+        let mut off = 0;
+        for (j, spec) in self.schema.attributes.iter().enumerate() {
+            match &spec.kind {
+                FieldKind::Categorical { categories } => {
+                    out[off + o.attributes[j].cat()] = 1.0;
+                    off += categories.len();
+                }
+                FieldKind::Continuous { .. } => {
+                    let (mn, mx) = self.attr_ranges[j];
+                    out[off] = self.config.range.scale(o.attributes[j].cont(), mn, mx);
+                    off += 1;
+                }
+            }
+        }
+    }
+
+    fn encode_minmax(&self, halves: &[(f64, f64)], out: &mut [f32]) {
+        let mut h = 0;
+        let mut off = 0;
+        for (j, spec) in self.schema.features.iter().enumerate() {
+            if spec.kind.is_categorical() {
+                continue;
+            }
+            let (gmn, gmx) = self.feat_ranges[j];
+            let (center, half) = halves[h];
+            h += 1;
+            // Center scaled over the global feature range; half-range scaled
+            // over [0, global span].
+            out[off] = self.config.range.scale(center, gmn, gmx);
+            out[off + 1] = self.config.range.scale(half, 0.0, (gmx - gmn).max(f64::EPSILON));
+            off += 2;
+        }
+    }
+
+    fn encode_features(&self, o: &TimeSeriesObject, halves: &[(f64, f64)], out: &mut [f32]) {
+        let sw = self.step_width();
+        let len = o.len();
+        for (t, r) in o.records.iter().enumerate() {
+            let step = &mut out[t * sw..(t + 1) * sw];
+            let mut off = 0;
+            let mut h = 0;
+            for (j, spec) in self.schema.features.iter().enumerate() {
+                match &spec.kind {
+                    FieldKind::Categorical { categories } => {
+                        step[off + r[j].cat()] = 1.0;
+                        off += categories.len();
+                    }
+                    FieldKind::Continuous { .. } => {
+                        let v = r[j].cont();
+                        step[off] = if self.config.auto_normalize {
+                            let (center, half) = halves[h];
+                            h += 1;
+                            let z = ((v - center) / half).clamp(-1.0, 1.0);
+                            match self.config.range {
+                                Range::SymmetricOne => z as f32,
+                                Range::ZeroOne => ((z + 1.0) / 2.0) as f32,
+                            }
+                        } else {
+                            let (gmn, gmx) = self.feat_ranges[j];
+                            self.config.range.scale(v, gmn, gmx)
+                        };
+                        off += 1;
+                    }
+                }
+            }
+            // Generation flags: [1,0] = continues, [0,1] = last record.
+            if t + 1 == len {
+                step[off + 1] = 1.0;
+            } else {
+                step[off] = 1.0;
+            }
+        }
+    }
+
+    /// Decodes generated tensors back into objects.
+    ///
+    /// Categorical blocks are decoded by argmax; generation flags determine
+    /// lengths (the series ends at the first step whose `p2 >= p1`, or at
+    /// `max_len`). Steps past the decoded length are discarded, matching the
+    /// paper's padding rule.
+    pub fn decode(&self, attributes: &Tensor, minmax: &Tensor, features: &Tensor) -> Vec<TimeSeriesObject> {
+        let n = attributes.rows();
+        assert_eq!(features.rows(), n, "attribute/feature row mismatch");
+        let sw = self.step_width();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let attrs = self.decode_attributes(attributes.row_slice(i));
+            let halves = if self.config.auto_normalize {
+                self.decode_minmax(minmax.row_slice(i))
+            } else {
+                Vec::new()
+            };
+            let frow = features.row_slice(i);
+            let len = decode_length(frow, sw, self.schema.feature_encoded_width(), self.max_len());
+            let mut records = Vec::with_capacity(len);
+            for t in 0..len {
+                let step = &frow[t * sw..(t + 1) * sw];
+                records.push(self.decode_record(step, &halves));
+            }
+            out.push(TimeSeriesObject { attributes: attrs, records });
+        }
+        out
+    }
+
+    fn decode_attributes(&self, row: &[f32]) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.schema.num_attributes());
+        let mut off = 0;
+        for (j, spec) in self.schema.attributes.iter().enumerate() {
+            match &spec.kind {
+                FieldKind::Categorical { categories } => {
+                    let block = &row[off..off + categories.len()];
+                    out.push(Value::Cat(argmax(block)));
+                    off += categories.len();
+                }
+                FieldKind::Continuous { .. } => {
+                    let (mn, mx) = self.attr_ranges[j];
+                    out.push(Value::Cont(self.config.range.unscale(row[off], mn, mx)));
+                    off += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn decode_minmax(&self, row: &[f32]) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let mut off = 0;
+        for (j, spec) in self.schema.features.iter().enumerate() {
+            if spec.kind.is_categorical() {
+                continue;
+            }
+            let (gmn, gmx) = self.feat_ranges[j];
+            let center = self.config.range.unscale(row[off], gmn, gmx);
+            let half = self
+                .config
+                .range
+                .unscale(row[off + 1], 0.0, (gmx - gmn).max(f64::EPSILON))
+                .max(MIN_HALF_RANGE);
+            out.push((center, half));
+            off += 2;
+        }
+        out
+    }
+
+    fn decode_record(&self, step: &[f32], halves: &[(f64, f64)]) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.schema.num_features());
+        let mut off = 0;
+        let mut h = 0;
+        for (j, spec) in self.schema.features.iter().enumerate() {
+            match &spec.kind {
+                FieldKind::Categorical { categories } => {
+                    out.push(Value::Cat(argmax(&step[off..off + categories.len()])));
+                    off += categories.len();
+                }
+                FieldKind::Continuous { .. } => {
+                    let raw = step[off];
+                    let v = if self.config.auto_normalize {
+                        let (center, half) = halves[h];
+                        h += 1;
+                        let z = match self.config.range {
+                            Range::SymmetricOne => raw as f64,
+                            Range::ZeroOne => 2.0 * raw as f64 - 1.0,
+                        };
+                        center + z.clamp(-1.0, 1.0) * half
+                    } else {
+                        let (gmn, gmx) = self.feat_ranges[j];
+                        self.config.range.unscale(raw, gmn, gmx)
+                    };
+                    out.push(Value::Cont(v));
+                    off += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Decodes the series length from the generation flags of one encoded row.
+pub fn decode_length(feature_row: &[f32], step_width: usize, flag_offset: usize, max_len: usize) -> usize {
+    for t in 0..max_len {
+        let p1 = feature_row[t * step_width + flag_offset];
+        let p2 = feature_row[t * step_width + flag_offset + 1];
+        if p1 <= 0.0 && p2 <= 0.0 {
+            // Fully padded step: series ended earlier than flags indicated.
+            return t;
+        }
+        if p2 >= p1 {
+            return t + 1;
+        }
+    }
+    max_len
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldSpec;
+
+    fn demo_dataset() -> Dataset {
+        let schema = Schema::new(
+            vec![FieldSpec::new("kind", FieldKind::categorical(["a", "b", "c"]))],
+            vec![FieldSpec::new("x", FieldKind::continuous(0.0, 1000.0))],
+            6,
+        );
+        let objects = vec![
+            TimeSeriesObject {
+                attributes: vec![Value::Cat(1)],
+                records: vec![
+                    vec![Value::Cont(10.0)],
+                    vec![Value::Cont(20.0)],
+                    vec![Value::Cont(30.0)],
+                ],
+            },
+            TimeSeriesObject {
+                attributes: vec![Value::Cat(2)],
+                records: vec![vec![Value::Cont(500.0)], vec![Value::Cont(900.0)]],
+            },
+        ];
+        Dataset::new(schema, objects)
+    }
+
+    #[test]
+    fn widths_are_consistent() {
+        let d = demo_dataset();
+        let enc = Encoder::fit(&d, EncoderConfig::default());
+        assert_eq!(enc.attr_width(), 3);
+        assert_eq!(enc.minmax_width(), 2);
+        assert_eq!(enc.step_width(), 3); // 1 feature + 2 flags
+        let e = enc.encode(&d);
+        assert_eq!(e.attributes.shape(), (2, 3));
+        assert_eq!(e.minmax.shape(), (2, 2));
+        assert_eq!(e.features.shape(), (2, 18));
+        assert_eq!(e.full_width(), 3 + 2 + 18);
+        assert_eq!(e.full_rows(&[0, 1]).shape(), (2, 23));
+    }
+
+    #[test]
+    fn attributes_are_one_hot() {
+        let d = demo_dataset();
+        let enc = Encoder::fit(&d, EncoderConfig::default());
+        let e = enc.encode(&d);
+        assert_eq!(e.attributes.row_slice(0), &[0.0, 1.0, 0.0]);
+        assert_eq!(e.attributes.row_slice(1), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn flags_mark_last_record_and_padding() {
+        let d = demo_dataset();
+        let enc = Encoder::fit(&d, EncoderConfig::default());
+        let e = enc.encode(&d);
+        let row = e.features.row_slice(0); // length 3 of max 6
+        // Steps 0,1 continue; step 2 is the last; steps 3.. are zero.
+        assert_eq!(&row[1..3], &[1.0, 0.0]);
+        assert_eq!(&row[4..6], &[1.0, 0.0]);
+        assert_eq!(&row[7..9], &[0.0, 1.0]);
+        assert!(row[9..].iter().all(|&v| v == 0.0));
+        assert_eq!(e.lengths, vec![3, 2]);
+    }
+
+    #[test]
+    fn auto_normalized_features_span_unit_range() {
+        let d = demo_dataset();
+        let enc = Encoder::fit(&d, EncoderConfig::default());
+        let e = enc.encode(&d);
+        let row = e.features.row_slice(0);
+        // Sample 0 has values 10..30 -> normalized to -1, 0, 1.
+        assert!((row[0] + 1.0).abs() < 1e-5);
+        assert!(row[3].abs() < 1e-5);
+        assert!((row[6] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let d = demo_dataset();
+        for auto in [true, false] {
+            for range in [Range::SymmetricOne, Range::ZeroOne] {
+                let cfg = EncoderConfig { auto_normalize: auto, range };
+                let enc = Encoder::fit(&d, cfg);
+                let e = enc.encode(&d);
+                let back = enc.decode(&e.attributes, &e.minmax, &e.features);
+                assert_eq!(back.len(), 2);
+                for (orig, dec) in d.objects.iter().zip(&back) {
+                    assert_eq!(orig.attributes, dec.attributes, "auto={auto} range={range:?}");
+                    assert_eq!(orig.len(), dec.len());
+                    for (r0, r1) in orig.records.iter().zip(&dec.records) {
+                        let a = r0[0].cont();
+                        let b = r1[0].cont();
+                        assert!(
+                            (a - b).abs() < 1e-2 * (1.0 + a.abs()),
+                            "roundtrip {a} vs {b} (auto={auto}, range={range:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_length_handles_all_cases() {
+        // step_width 3, flag offset 1, max_len 3.
+        // Case: ends at step 1 ([0,1] flag).
+        let row = vec![0.5, 1.0, 0.0, 0.4, 0.2, 0.8, 0.0, 0.0, 0.0];
+        assert_eq!(decode_length(&row, 3, 1, 3), 2);
+        // Case: never ends -> max_len.
+        let row = vec![0.5, 1.0, 0.0, 0.4, 1.0, 0.0, 0.3, 1.0, 0.0];
+        assert_eq!(decode_length(&row, 3, 1, 3), 3);
+        // Case: all-zero padding right away -> length 0.
+        let row = vec![0.0; 9];
+        assert_eq!(decode_length(&row, 3, 1, 3), 0);
+    }
+
+    #[test]
+    fn constant_series_is_invertible() {
+        let schema = Schema::new(
+            vec![],
+            vec![FieldSpec::new("x", FieldKind::continuous(0.0, 10.0))],
+            3,
+        );
+        let objects = vec![TimeSeriesObject {
+            attributes: vec![],
+            records: vec![vec![Value::Cont(5.0)]; 3],
+        }];
+        let d = Dataset::new(schema, objects);
+        let enc = Encoder::fit(&d, EncoderConfig::default());
+        let e = enc.encode(&d);
+        let back = enc.decode(&e.attributes, &e.minmax, &e.features);
+        for r in &back[0].records {
+            assert!((r[0].cont() - 5.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn categorical_features_roundtrip() {
+        let schema = Schema::new(
+            vec![],
+            vec![FieldSpec::new("proto", FieldKind::categorical(["tcp", "udp", "icmp"]))],
+            4,
+        );
+        let objects = vec![TimeSeriesObject {
+            attributes: vec![],
+            records: vec![
+                vec![Value::Cat(2)],
+                vec![Value::Cat(0)],
+                vec![Value::Cat(1)],
+            ],
+        }];
+        let d = Dataset::new(schema, objects);
+        let enc = Encoder::fit(&d, EncoderConfig::default());
+        assert_eq!(enc.minmax_width(), 0);
+        let e = enc.encode(&d);
+        let back = enc.decode(&e.attributes, &e.minmax, &e.features);
+        assert_eq!(back[0].records.len(), 3);
+        assert_eq!(back[0].records[0][0], Value::Cat(2));
+        assert_eq!(back[0].records[1][0], Value::Cat(0));
+        assert_eq!(back[0].records[2][0], Value::Cat(1));
+    }
+}

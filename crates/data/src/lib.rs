@@ -1,0 +1,32 @@
+//! # dg-data — the networked-time-series data model
+//!
+//! Implements the dataset abstraction of §3 of the DoppelGANger paper: a
+//! dataset is a set of objects `O_i = (A_i, R_i)` combining `m` metadata
+//! attributes with a variable-length, `K`-dimensional time series of
+//! records. The crate provides:
+//!
+//! * [`schema`] — field specifications (categorical / continuous) and the
+//!   schema auxiliary input of §3.1;
+//! * [`object`] — [`object::TimeSeriesObject`] / [`object::Dataset`] with
+//!   validation, splitting and attribute filtering;
+//! * [`encode`] — the [`encode::Encoder`] mapping datasets to the flat
+//!   tensors GANs consume, including the paper's auto-normalization
+//!   (per-sample min/max fake attributes, §4.1.3) and generation flags
+//!   (§4.1.1), and back;
+//! * [`batch`] — seeded minibatch iteration;
+//! * [`timestamps`] — the paper's unequal-timestamps extension
+//!   (inter-arrival deltas as a leading continuous feature).
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod encode;
+pub mod object;
+pub mod schema;
+pub mod timestamps;
+
+pub use batch::BatchIter;
+pub use encode::{decode_length, EncodedDataset, Encoder, EncoderConfig, Range};
+pub use object::{Dataset, TimeSeriesObject, Value};
+pub use schema::{FieldKind, FieldSpec, Schema};
+pub use timestamps::{from_interarrival, to_interarrival, TimestampedObject, INTERARRIVAL_FEATURE};

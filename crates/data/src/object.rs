@@ -1,0 +1,303 @@
+//! The dataset abstraction of §3: objects `O_i = (A_i, R_i)`.
+
+use crate::schema::{FieldKind, Schema};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single attribute or per-record feature value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Index into the field's category list.
+    Cat(usize),
+    /// Raw (unnormalized) numeric value.
+    Cont(f64),
+}
+
+impl Value {
+    /// The category index; panics for continuous values.
+    pub fn cat(&self) -> usize {
+        match self {
+            Value::Cat(c) => *c,
+            Value::Cont(_) => panic!("expected a categorical value"),
+        }
+    }
+
+    /// The numeric value; panics for categorical values.
+    pub fn cont(&self) -> f64 {
+        match self {
+            Value::Cont(v) => *v,
+            Value::Cat(_) => panic!("expected a continuous value"),
+        }
+    }
+}
+
+/// One object: attributes plus a variable-length time series of records.
+///
+/// Timestamps are implicit (records are equally spaced), matching the
+/// paper's treatment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeriesObject {
+    /// Attribute values `A_1..A_m` in schema order.
+    pub attributes: Vec<Value>,
+    /// Records `R_1..R_T`, each holding `K` feature values in schema order.
+    pub records: Vec<Vec<Value>>,
+}
+
+impl TimeSeriesObject {
+    /// Series length `T^i`.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True for an empty series.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Extracts one continuous feature as an `f64` series.
+    pub fn feature_series(&self, feature_idx: usize) -> Vec<f64> {
+        self.records.iter().map(|r| r[feature_idx].cont()).collect()
+    }
+}
+
+/// A collection of objects plus their schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Shared schema.
+    pub schema: Schema,
+    /// Objects.
+    pub objects: Vec<TimeSeriesObject>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating every object against the schema.
+    ///
+    /// # Panics
+    /// Panics when an object violates the schema (wrong arity, category out
+    /// of range, series longer than `max_len`, kind mismatch).
+    pub fn new(schema: Schema, objects: Vec<TimeSeriesObject>) -> Self {
+        for (i, o) in objects.iter().enumerate() {
+            validate_object(&schema, o).unwrap_or_else(|e| panic!("object {i}: {e}"));
+        }
+        Dataset { schema, objects }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the dataset holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Splits into two datasets of `frac` / `1 - frac` of the objects after a
+    /// seeded shuffle (the paper's A / A' split, Fig. 10).
+    pub fn split<R: Rng + ?Sized>(&self, frac: f64, rng: &mut R) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&frac), "split fraction out of range");
+        let mut idx: Vec<usize> = (0..self.objects.len()).collect();
+        idx.shuffle(rng);
+        let cut = ((self.objects.len() as f64) * frac).round() as usize;
+        let first = idx[..cut].iter().map(|&i| self.objects[i].clone()).collect();
+        let second = idx[cut..].iter().map(|&i| self.objects[i].clone()).collect();
+        (
+            Dataset { schema: self.schema.clone(), objects: first },
+            Dataset { schema: self.schema.clone(), objects: second },
+        )
+    }
+
+    /// Draws `n` objects uniformly with replacement (bootstrap sample).
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Dataset {
+        let objects = (0..n)
+            .map(|_| self.objects[rng.gen_range(0..self.objects.len())].clone())
+            .collect();
+        Dataset { schema: self.schema.clone(), objects }
+    }
+
+    /// Keeps the first `n` objects (deterministic subset).
+    pub fn truncated(&self, n: usize) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            objects: self.objects.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Series lengths of all objects.
+    pub fn lengths(&self) -> Vec<usize> {
+        self.objects.iter().map(|o| o.len()).collect()
+    }
+
+    /// Global `(min, max)` of one continuous feature across all records.
+    pub fn feature_range(&self, feature_idx: usize) -> (f64, f64) {
+        let mut mn = f64::INFINITY;
+        let mut mx = f64::NEG_INFINITY;
+        for o in &self.objects {
+            for r in &o.records {
+                let v = r[feature_idx].cont();
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+        }
+        (mn, mx)
+    }
+
+    /// Empirical distribution of one categorical attribute (counts per
+    /// category).
+    pub fn attribute_counts(&self, attr_idx: usize) -> Vec<usize> {
+        let k = self.schema.attributes[attr_idx].kind.num_categories();
+        let mut counts = vec![0; k];
+        for o in &self.objects {
+            counts[o.attributes[attr_idx].cat()] += 1;
+        }
+        counts
+    }
+
+    /// Objects whose categorical attribute `attr_idx` equals `category`.
+    pub fn filter_by_attribute(&self, attr_idx: usize, category: usize) -> Dataset {
+        let objects = self
+            .objects
+            .iter()
+            .filter(|o| matches!(o.attributes[attr_idx], Value::Cat(c) if c == category))
+            .cloned()
+            .collect();
+        Dataset { schema: self.schema.clone(), objects }
+    }
+}
+
+/// Checks an object against a schema.
+pub fn validate_object(schema: &Schema, o: &TimeSeriesObject) -> Result<(), String> {
+    if o.attributes.len() != schema.num_attributes() {
+        return Err(format!(
+            "expected {} attributes, got {}",
+            schema.num_attributes(),
+            o.attributes.len()
+        ));
+    }
+    for (v, spec) in o.attributes.iter().zip(&schema.attributes) {
+        validate_value(v, &spec.kind).map_err(|e| format!("attribute '{}': {e}", spec.name))?;
+    }
+    if o.records.len() > schema.max_len {
+        return Err(format!("series length {} exceeds max_len {}", o.records.len(), schema.max_len));
+    }
+    for (t, r) in o.records.iter().enumerate() {
+        if r.len() != schema.num_features() {
+            return Err(format!("record {t}: expected {} features, got {}", schema.num_features(), r.len()));
+        }
+        for (v, spec) in r.iter().zip(&schema.features) {
+            validate_value(v, &spec.kind).map_err(|e| format!("record {t}, feature '{}': {e}", spec.name))?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_value(v: &Value, kind: &FieldKind) -> Result<(), String> {
+    match (v, kind) {
+        (Value::Cat(c), FieldKind::Categorical { categories }) => {
+            if *c < categories.len() {
+                Ok(())
+            } else {
+                Err(format!("category index {c} out of range {}", categories.len()))
+            }
+        }
+        (Value::Cont(x), FieldKind::Continuous { .. }) => {
+            if x.is_finite() {
+                Ok(())
+            } else {
+                Err("non-finite continuous value".into())
+            }
+        }
+        (Value::Cat(_), FieldKind::Continuous { .. }) => Err("categorical value for continuous field".into()),
+        (Value::Cont(_), FieldKind::Categorical { .. }) => Err("continuous value for categorical field".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo() -> Dataset {
+        let schema = Schema::new(
+            vec![FieldSpec::new("kind", FieldKind::categorical(["a", "b"]))],
+            vec![FieldSpec::new("x", FieldKind::continuous(0.0, 100.0))],
+            8,
+        );
+        let objects = (0..10)
+            .map(|i| TimeSeriesObject {
+                attributes: vec![Value::Cat(i % 2)],
+                records: (0..(i % 8) + 1).map(|t| vec![Value::Cont(t as f64 + i as f64)]).collect(),
+            })
+            .collect();
+        Dataset::new(schema, objects)
+    }
+
+    #[test]
+    fn validation_accepts_demo() {
+        let d = demo();
+        assert_eq!(d.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "category index")]
+    fn validation_rejects_bad_category() {
+        let mut d = demo();
+        d.objects[0].attributes[0] = Value::Cat(7);
+        let _ = Dataset::new(d.schema, d.objects);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_len")]
+    fn validation_rejects_long_series() {
+        let mut d = demo();
+        d.objects[0].records = (0..9).map(|t| vec![Value::Cont(t as f64)]).collect();
+        let _ = Dataset::new(d.schema, d.objects);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let d = demo();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (a, b) = d.split(0.5, &mut rng);
+        assert_eq!(a.len() + b.len(), d.len());
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn attribute_counts_and_filter() {
+        let d = demo();
+        let counts = d.attribute_counts(0);
+        assert_eq!(counts, vec![5, 5]);
+        let f = d.filter_by_attribute(0, 1);
+        assert_eq!(f.len(), 5);
+        assert!(f.objects.iter().all(|o| o.attributes[0] == Value::Cat(1)));
+    }
+
+    #[test]
+    fn feature_range_covers_all_records() {
+        let d = demo();
+        let (mn, mx) = d.feature_range(0);
+        assert_eq!(mn, 0.0);
+        // Object 9 has records 9..=16? i=9 -> (9%8)+1=2 records: 9,10. Max over all:
+        // object 7 has 8 records 7..14 -> max 14? object 9 max 10. So 14.
+        assert_eq!(mx, 14.0);
+    }
+
+    #[test]
+    fn sample_with_replacement_has_requested_size() {
+        let d = demo();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = d.sample(25, &mut rng);
+        assert_eq!(s.len(), 25);
+    }
+
+    #[test]
+    fn feature_series_extracts_column() {
+        let d = demo();
+        let s = d.objects[3].feature_series(0);
+        assert_eq!(s, vec![3.0, 4.0, 5.0, 6.0]);
+    }
+}

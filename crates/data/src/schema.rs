@@ -1,0 +1,198 @@
+//! Dataset schemas: the paper's §3.1 "data schema" auxiliary input.
+//!
+//! A [`Schema`] describes attribute and feature dimensionality and whether
+//! each field is categorical or numeric — exactly the information
+//! DoppelGANger requires from the data holder before training.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind (and domain) of a single attribute or feature field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldKind {
+    /// A categorical field with a fixed set of named categories, encoded
+    /// one-hot.
+    Categorical {
+        /// Category names, in encoding order.
+        categories: Vec<String>,
+    },
+    /// A numeric field with (approximate) physical bounds used for global
+    /// min-max scaling.
+    Continuous {
+        /// Smallest physically-meaningful value.
+        min: f64,
+        /// Largest physically-meaningful value.
+        max: f64,
+    },
+}
+
+impl FieldKind {
+    /// Convenience constructor for a categorical kind.
+    pub fn categorical<S: Into<String>>(categories: impl IntoIterator<Item = S>) -> Self {
+        FieldKind::Categorical { categories: categories.into_iter().map(Into::into).collect() }
+    }
+
+    /// Convenience constructor for a continuous kind.
+    pub fn continuous(min: f64, max: f64) -> Self {
+        assert!(min < max, "continuous field requires min < max");
+        FieldKind::Continuous { min, max }
+    }
+
+    /// Width of the encoded representation (one-hot width or 1).
+    pub fn encoded_width(&self) -> usize {
+        match self {
+            FieldKind::Categorical { categories } => categories.len(),
+            FieldKind::Continuous { .. } => 1,
+        }
+    }
+
+    /// True for categorical fields.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, FieldKind::Categorical { .. })
+    }
+
+    /// Number of categories (0 for continuous fields).
+    pub fn num_categories(&self) -> usize {
+        match self {
+            FieldKind::Categorical { categories } => categories.len(),
+            FieldKind::Continuous { .. } => 0,
+        }
+    }
+}
+
+/// A named attribute or feature field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldSpec {
+    /// Human-readable field name (e.g. `"Wikipedia domain"`, `"CPU rate"`).
+    pub name: String,
+    /// Field kind and domain.
+    pub kind: FieldKind,
+}
+
+impl FieldSpec {
+    /// Creates a field spec.
+    pub fn new(name: impl Into<String>, kind: FieldKind) -> Self {
+        FieldSpec { name: name.into(), kind }
+    }
+}
+
+/// Full description of a networked time series dataset.
+///
+/// Mirrors the paper's abstraction (§3): `m` attributes per object plus `K`
+/// features per record, a maximum series length `T`, and the optional
+/// collection-frequency hint used to pick the feature batch size `S`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Object-level attribute fields `A_1..A_m`.
+    pub attributes: Vec<FieldSpec>,
+    /// Per-record feature fields `f_1..f_K`.
+    pub features: Vec<FieldSpec>,
+    /// Maximum time series length `T` (series are padded to this).
+    pub max_len: usize,
+    /// Optional human-readable collection timescale (e.g. `"daily"`),
+    /// the §3.1 "time series collection frequency" auxiliary input.
+    pub timescale: Option<String>,
+}
+
+impl Schema {
+    /// Creates a schema.
+    pub fn new(attributes: Vec<FieldSpec>, features: Vec<FieldSpec>, max_len: usize) -> Self {
+        assert!(max_len > 0, "schema requires max_len > 0");
+        Schema { attributes, features, max_len, timescale: None }
+    }
+
+    /// Sets the collection-timescale hint.
+    pub fn with_timescale(mut self, ts: impl Into<String>) -> Self {
+        self.timescale = Some(ts.into());
+        self
+    }
+
+    /// Number of attributes `m`.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of features `K`.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Width of the one-hot/scaled encoding of all attributes.
+    pub fn attr_encoded_width(&self) -> usize {
+        self.attributes.iter().map(|f| f.kind.encoded_width()).sum()
+    }
+
+    /// Width of the encoding of one record's features (excluding generation
+    /// flags).
+    pub fn feature_encoded_width(&self) -> usize {
+        self.features.iter().map(|f| f.kind.encoded_width()).sum()
+    }
+
+    /// Number of *continuous* feature fields (these get per-sample min/max
+    /// fake attributes under auto-normalization).
+    pub fn num_continuous_features(&self) -> usize {
+        self.features.iter().filter(|f| !f.kind.is_categorical()).count()
+    }
+
+    /// Looks up an attribute index by name.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|f| f.name == name)
+    }
+
+    /// Looks up a feature index by name.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.features.iter().position(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Schema {
+        Schema::new(
+            vec![
+                FieldSpec::new("domain", FieldKind::categorical(["en", "de", "fr"])),
+                FieldSpec::new("weight", FieldKind::continuous(0.0, 10.0)),
+            ],
+            vec![
+                FieldSpec::new("views", FieldKind::continuous(0.0, 1e6)),
+                FieldSpec::new("proto", FieldKind::categorical(["tcp", "udp"])),
+            ],
+            64,
+        )
+        .with_timescale("daily")
+    }
+
+    #[test]
+    fn widths() {
+        let s = demo_schema();
+        assert_eq!(s.num_attributes(), 2);
+        assert_eq!(s.num_features(), 2);
+        assert_eq!(s.attr_encoded_width(), 4); // 3 one-hot + 1 continuous
+        assert_eq!(s.feature_encoded_width(), 3); // 1 continuous + 2 one-hot
+        assert_eq!(s.num_continuous_features(), 1);
+    }
+
+    #[test]
+    fn lookups() {
+        let s = demo_schema();
+        assert_eq!(s.attribute_index("weight"), Some(1));
+        assert_eq!(s.feature_index("views"), Some(0));
+        assert_eq!(s.feature_index("nope"), None);
+        assert_eq!(s.timescale.as_deref(), Some("daily"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = demo_schema();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "min < max")]
+    fn continuous_requires_order() {
+        let _ = FieldKind::continuous(5.0, 5.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Unequally-spaced timestamps (§3 of the paper).
+//!
+//! The core abstraction treats records as equally spaced. The paper notes
+//! the extension for irregular sampling: *"we can easily extend this to
+//! unequally spaced timestamps by treating time as a continuous feature and
+//! generating inter-arrival times along with other features."* This module
+//! implements that extension as a reversible dataset transform: timestamps
+//! become an extra leading continuous feature holding the inter-arrival
+//! delta, so any generative model in the workspace learns and generates them
+//! like any other feature.
+
+use crate::object::{Dataset, TimeSeriesObject, Value};
+use crate::schema::{FieldKind, FieldSpec, Schema};
+
+/// Name of the synthetic inter-arrival feature inserted at index 0.
+pub const INTERARRIVAL_FEATURE: &str = "inter-arrival time";
+
+/// One object with explicit per-record timestamps (sorted ascending).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimestampedObject {
+    /// Attribute values in schema order.
+    pub attributes: Vec<Value>,
+    /// `(timestamp, features)` records, timestamps strictly increasing.
+    pub records: Vec<(f64, Vec<Value>)>,
+}
+
+impl TimestampedObject {
+    /// Validates that timestamps are finite and strictly increasing.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.records.windows(2) {
+            let (t0, t1) = (w[0].0, w[1].0);
+            if !t0.is_finite() || !t1.is_finite() {
+                return Err("non-finite timestamp".into());
+            }
+            if t1 <= t0 {
+                return Err(format!("timestamps must be strictly increasing: {t0} then {t1}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Converts timestamped objects into the equally-spaced abstraction by
+/// inserting the inter-arrival delta as a leading continuous feature. The
+/// first record's delta is 0 (its absolute offset is carried by the caller
+/// if needed).
+///
+/// `max_gap` bounds the declared domain of the new feature (used for global
+/// scaling); it is clamped up to the largest observed gap.
+///
+/// # Panics
+/// Panics if any object fails [`TimestampedObject::validate`] or violates
+/// the base schema.
+pub fn to_interarrival(base_schema: &Schema, objects: &[TimestampedObject], max_gap: f64) -> Dataset {
+    let mut observed_max: f64 = max_gap.max(f64::EPSILON);
+    for o in objects {
+        o.validate().unwrap_or_else(|e| panic!("invalid timestamped object: {e}"));
+        for w in o.records.windows(2) {
+            observed_max = observed_max.max(w[1].0 - w[0].0);
+        }
+    }
+    let mut features = vec![FieldSpec::new(INTERARRIVAL_FEATURE, FieldKind::continuous(0.0, observed_max))];
+    features.extend(base_schema.features.iter().cloned());
+    let schema = Schema {
+        attributes: base_schema.attributes.clone(),
+        features,
+        max_len: base_schema.max_len,
+        timescale: Some("irregular (inter-arrival encoded)".into()),
+    };
+    let converted = objects
+        .iter()
+        .map(|o| {
+            let mut prev_t = o.records.first().map(|r| r.0).unwrap_or(0.0);
+            let records = o
+                .records
+                .iter()
+                .map(|(t, feats)| {
+                    let mut row = Vec::with_capacity(feats.len() + 1);
+                    row.push(Value::Cont((t - prev_t).max(0.0)));
+                    row.extend(feats.iter().copied());
+                    prev_t = *t;
+                    row
+                })
+                .collect();
+            TimeSeriesObject { attributes: o.attributes.clone(), records }
+        })
+        .collect();
+    Dataset::new(schema, converted)
+}
+
+/// Inverts [`to_interarrival`]: reconstructs timestamps by cumulative sum of
+/// the leading feature, starting each object at `t0`. Non-positive generated
+/// deltas (possible from an imperfect model) are floored at `min_gap` so the
+/// output remains strictly increasing, matching the abstraction's
+/// `t_j < t_{j+1}` requirement.
+pub fn from_interarrival(dataset: &Dataset, t0: f64, min_gap: f64) -> Vec<TimestampedObject> {
+    assert_eq!(
+        dataset.schema.features.first().map(|f| f.name.as_str()),
+        Some(INTERARRIVAL_FEATURE),
+        "dataset was not produced by to_interarrival"
+    );
+    assert!(min_gap > 0.0, "min_gap must be positive");
+    dataset
+        .objects
+        .iter()
+        .map(|o| {
+            let mut t = t0;
+            let mut first = true;
+            let records = o
+                .records
+                .iter()
+                .map(|r| {
+                    let delta = r[0].cont();
+                    if first {
+                        first = false;
+                        t = t0 + delta.max(0.0);
+                    } else {
+                        t += delta.max(min_gap);
+                    }
+                    (t, r[1..].to_vec())
+                })
+                .collect();
+            TimestampedObject { attributes: o.attributes.clone(), records }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_schema() -> Schema {
+        Schema::new(
+            vec![FieldSpec::new("kind", FieldKind::categorical(["a", "b"]))],
+            vec![FieldSpec::new("x", FieldKind::continuous(0.0, 10.0))],
+            8,
+        )
+    }
+
+    fn demo_objects() -> Vec<TimestampedObject> {
+        vec![
+            TimestampedObject {
+                attributes: vec![Value::Cat(0)],
+                records: vec![
+                    (100.0, vec![Value::Cont(1.0)]),
+                    (100.5, vec![Value::Cont(2.0)]),
+                    (103.0, vec![Value::Cont(3.0)]),
+                ],
+            },
+            TimestampedObject {
+                attributes: vec![Value::Cat(1)],
+                records: vec![(7.0, vec![Value::Cont(4.0)])],
+            },
+        ]
+    }
+
+    #[test]
+    fn interarrival_feature_is_prepended() {
+        let d = to_interarrival(&base_schema(), &demo_objects(), 1.0);
+        assert_eq!(d.schema.features[0].name, INTERARRIVAL_FEATURE);
+        assert_eq!(d.schema.num_features(), 2);
+        let deltas = d.objects[0].feature_series(0);
+        assert_eq!(deltas, vec![0.0, 0.5, 2.5]);
+        // Original features preserved at index 1.
+        assert_eq!(d.objects[0].feature_series(1), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn roundtrip_reconstructs_timestamps() {
+        let objs = demo_objects();
+        let d = to_interarrival(&base_schema(), &objs, 1.0);
+        let back = from_interarrival(&d, 100.0, 1e-9);
+        let ts: Vec<f64> = back[0].records.iter().map(|r| r.0).collect();
+        assert_eq!(ts, vec![100.0, 100.5, 103.0]);
+        assert_eq!(back[0].records[2].1, vec![Value::Cont(3.0)]);
+        assert_eq!(back[1].records[0].0, 100.0); // single record starts at t0
+    }
+
+    #[test]
+    fn max_gap_grows_to_observed() {
+        let d = to_interarrival(&base_schema(), &demo_objects(), 0.1);
+        match &d.schema.features[0].kind {
+            FieldKind::Continuous { max, .. } => assert!(*max >= 2.5),
+            _ => panic!("expected continuous"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_non_monotonic_timestamps() {
+        let bad = TimestampedObject {
+            attributes: vec![Value::Cat(0)],
+            records: vec![(5.0, vec![Value::Cont(0.0)]), (5.0, vec![Value::Cont(1.0)])],
+        };
+        let _ = to_interarrival(&base_schema(), &[bad], 1.0);
+    }
+
+    #[test]
+    fn negative_generated_deltas_are_floored() {
+        let d0 = to_interarrival(&base_schema(), &demo_objects(), 1.0);
+        // Corrupt a delta to simulate an imperfect generator.
+        let mut d = d0.clone();
+        d.objects[0].records[1][0] = Value::Cont(-3.0);
+        let back = from_interarrival(&d, 0.0, 0.25);
+        let ts: Vec<f64> = back[0].records.iter().map(|r| r.0).collect();
+        assert!(ts.windows(2).all(|w| w[1] > w[0]), "monotone: {ts:?}");
+        assert_eq!(ts[1] - ts[0], 0.25);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the data layer: schema validation, splits,
+//! batching and the encoder across random mixed-type datasets.
+
+use dg_data::{
+    BatchIter, Dataset, Encoder, EncoderConfig, FieldKind, FieldSpec, Range, Schema, TimeSeriesObject, Value,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random mixed-type dataset: one categorical + one continuous attribute,
+/// one continuous + one categorical feature, variable lengths.
+fn arb_mixed_dataset() -> impl Strategy<Value = Dataset> {
+    let max_len = 5usize;
+    let obj = (
+        0usize..4,
+        0.0f64..10.0,
+        prop::collection::vec((0.0f64..100.0, 0usize..2), 1..=max_len),
+    )
+        .prop_map(|(cat, weight, rows)| TimeSeriesObject {
+            attributes: vec![Value::Cat(cat), Value::Cont(weight)],
+            records: rows
+                .into_iter()
+                .map(|(x, proto)| vec![Value::Cont(x), Value::Cat(proto)])
+                .collect(),
+        });
+    prop::collection::vec(obj, 2..10).prop_map(move |objects| {
+        let schema = Schema::new(
+            vec![
+                FieldSpec::new("class", FieldKind::categorical(["a", "b", "c", "d"])),
+                FieldSpec::new("weight", FieldKind::continuous(0.0, 10.0)),
+            ],
+            vec![
+                FieldSpec::new("x", FieldKind::continuous(0.0, 100.0)),
+                FieldSpec::new("proto", FieldKind::categorical(["tcp", "udp"])),
+            ],
+            max_len,
+        );
+        Dataset::new(schema, objects)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mixed_type_encode_decode_roundtrips(data in arb_mixed_dataset(), auto in any::<bool>()) {
+        let cfg = EncoderConfig { auto_normalize: auto, range: Range::SymmetricOne };
+        let enc = Encoder::fit(&data, cfg);
+        let e = enc.encode(&data);
+        prop_assert_eq!(e.attr_width, 5); // 4 one-hot + 1 continuous
+        prop_assert_eq!(e.step_width, 5); // 1 cont + 2 one-hot + 2 flags
+        let back = enc.decode(&e.attributes, &e.minmax, &e.features);
+        for (orig, dec) in data.objects.iter().zip(&back) {
+            // Categorical attribute exact; continuous within scaling error.
+            prop_assert_eq!(orig.attributes[0], dec.attributes[0]);
+            let (a, b) = (orig.attributes[1].cont(), dec.attributes[1].cont());
+            prop_assert!((a - b).abs() < 0.01 * 10.0 + 1e-3, "{} vs {}", a, b);
+            prop_assert_eq!(orig.len(), dec.len());
+            for (r0, r1) in orig.records.iter().zip(&dec.records) {
+                prop_assert_eq!(r0[1], r1[1], "categorical feature must round-trip exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn full_rows_width_is_consistent(data in arb_mixed_dataset()) {
+        let enc = Encoder::fit(&data, EncoderConfig::default());
+        let e = enc.encode(&data);
+        let idx: Vec<usize> = (0..e.num_samples()).collect();
+        let rows = e.full_rows(&idx);
+        prop_assert_eq!(rows.cols(), e.full_width());
+        prop_assert_eq!(rows.rows(), data.len());
+    }
+
+    #[test]
+    fn split_partitions_objects(data in arb_mixed_dataset(), frac in 0.0f64..1.0, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = data.split(frac, &mut rng);
+        prop_assert_eq!(a.len() + b.len(), data.len());
+        // Every original object appears exactly once across the halves.
+        let mut all: Vec<_> = a.objects.iter().chain(b.objects.iter()).collect();
+        let mut orig: Vec<_> = data.objects.iter().collect();
+        let key = |o: &&TimeSeriesObject| format!("{o:?}");
+        all.sort_by_key(key);
+        orig.sort_by_key(key);
+        prop_assert_eq!(format!("{all:?}"), format!("{orig:?}"));
+    }
+
+    #[test]
+    fn batch_iter_yields_valid_indices_forever(n in 1usize..40, batch in 1usize..50, seed in 0u64..50) {
+        let mut it = BatchIter::new(n, batch);
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(it.batch_size() <= n);
+        let bs = it.batch_size();
+        for _ in 0..20 {
+            let b = it.next_batch(&mut rng).to_vec();
+            prop_assert_eq!(b.len(), bs);
+            prop_assert!(b.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn attribute_counts_sum_to_len(data in arb_mixed_dataset()) {
+        let counts = data.attribute_counts(0);
+        prop_assert_eq!(counts.iter().sum::<usize>(), data.len());
+        for (cat, &count) in counts.iter().enumerate() {
+            prop_assert_eq!(data.filter_by_attribute(0, cat).len(), count);
+        }
+    }
+}

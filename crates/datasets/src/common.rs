@@ -1,0 +1,77 @@
+//! Shared helpers for the synthetic dataset generators.
+
+use rand::Rng;
+
+/// Samples an index from an (unnormalized) weight vector.
+pub fn sample_weighted<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// A smooth day-of-week style multiplicative profile of the given period:
+/// high on "weekdays", low on the final two slots, with per-instance jitter.
+pub fn weekly_profile<R: Rng + ?Sized>(period: usize, depth: f64, rng: &mut R) -> Vec<f64> {
+    let mut profile = Vec::with_capacity(period);
+    for d in 0..period {
+        let weekend = d + 2 >= period; // last two slots
+        let base = if weekend { 1.0 - depth } else { 1.0 + depth * 0.4 };
+        let jitter = 1.0 + rng.gen_range(-0.05..0.05);
+        profile.push((base * jitter).max(0.05));
+    }
+    profile
+}
+
+/// Clamps to a non-negative value.
+pub fn non_negative(v: f64) -> f64 {
+    v.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_sampling_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_weighted(&weights, &mut rng)] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        for (c, w) in counts.iter().zip(&weights) {
+            let p = *c as f64 / total as f64;
+            let expect = w / 10.0;
+            assert!((p - expect).abs() < 0.02, "p={p} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_degenerate_single_bucket() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            assert_eq!(sample_weighted(&[2.5], &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn weekly_profile_has_weekend_dip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = weekly_profile(7, 0.5, &mut rng);
+        assert_eq!(p.len(), 7);
+        let weekday_avg: f64 = p[..5].iter().sum::<f64>() / 5.0;
+        let weekend_avg: f64 = p[5..].iter().sum::<f64>() / 2.0;
+        assert!(weekday_avg > weekend_avg, "weekdays {weekday_avg} vs weekend {weekend_avg}");
+        assert!(p.iter().all(|&v| v > 0.0));
+    }
+}

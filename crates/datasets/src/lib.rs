@@ -1,0 +1,33 @@
+//! # dg-datasets — synthetic substitutes for the paper's evaluation datasets
+//!
+//! The three datasets evaluated in the DoppelGANger paper are external
+//! downloads (Kaggle Wikipedia Web Traffic, FCC Measuring Broadband America,
+//! Google cluster traces) that cannot be redistributed here. Following the
+//! reproduction's substitution policy (see `DESIGN.md` §4), each module
+//! simulates a generator that reproduces the *documented structural
+//! properties* the paper's experiments measure — seasonality periods,
+//! dynamic-range heterogeneity, duration bimodality, attribute/feature
+//! correlations and marginal skew — so every figure and table can be
+//! regenerated shape-faithfully.
+//!
+//! * [`wwt`] — Wikipedia Web Traffic: 550-day page-view series, weekly +
+//!   annual seasonality, heavy-tailed scales, 3 categorical attributes.
+//! * [`mba`] — FCC broadband measurements: 56 six-hour epochs, ping loss +
+//!   traffic, technology/ISP/state attributes.
+//! * [`gcut`] — Google cluster tasks: variable-length resource usage with a
+//!   bimodal duration distribution and an end-event attribute correlated
+//!   with the dynamics.
+//! * [`sine`] — a closed-form toy dataset for fast deterministic tests.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod gcut;
+pub mod mba;
+pub mod sine;
+pub mod wwt;
+
+pub use gcut::GcutConfig;
+pub use mba::MbaConfig;
+pub use sine::SineConfig;
+pub use wwt::WwtConfig;

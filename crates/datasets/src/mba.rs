@@ -1,0 +1,241 @@
+//! Synthetic substitute for the FCC Measuring Broadband America (MBA)
+//! dataset.
+//!
+//! The real dataset contains hourly traffic measurements from home
+//! measurement units; the paper aggregates them into 56 six-hour epochs over
+//! two weeks, with two features (UDP ping loss rate, total traffic bytes)
+//! and three attributes (connection technology, ISP, US state). We simulate:
+//!
+//! * **technology-dependent bandwidth scales** — cable/fiber users consume
+//!   more than DSL/satellite users, the structure behind Table 3 and Fig. 9;
+//! * a **diurnal usage pattern** (period 4 = one day of six-hour epochs);
+//! * **bursty ping loss**, higher for satellite links;
+//! * attribute marginals with realistic skew for the JSD probes
+//!   (Figs. 18–23).
+
+use crate::common::{non_negative, sample_weighted};
+use dg_data::{Dataset, FieldKind, FieldSpec, Schema, TimeSeriesObject, Value};
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Normal};
+
+/// Connection technologies (Fig. 19 of the paper).
+pub const TECHNOLOGIES: [&str; 5] = ["DSL", "Fiber", "Satellite", "Cable", "IPBB"];
+
+/// Internet service providers (Fig. 18).
+pub const ISPS: [&str; 14] = [
+    "Charter",
+    "Verizon",
+    "Frontier",
+    "Hawaiian Telcom",
+    "Cox",
+    "Mediacom",
+    "Hughes",
+    "Windstream",
+    "Wildblue/ViaSat",
+    "Cincinnati Bell",
+    "Comcast",
+    "AT&T",
+    "CenturyLink",
+    "Optimum",
+];
+
+/// Number of US states in the state attribute (Fig. 22 uses ~51 values).
+pub const NUM_STATES: usize = 51;
+
+/// Configuration of the MBA simulator.
+#[derive(Debug, Clone)]
+pub struct MbaConfig {
+    /// Number of measurement units (paper: 600 after cleaning).
+    pub num_objects: usize,
+    /// Series length (paper: 56 six-hour epochs = two weeks).
+    pub length: usize,
+    /// Diurnal period in epochs (4 six-hour epochs per day).
+    pub diurnal_period: usize,
+    /// Depth of the diurnal modulation.
+    pub diurnal_depth: f64,
+}
+
+impl Default for MbaConfig {
+    fn default() -> Self {
+        MbaConfig { num_objects: 600, length: 56, diurnal_period: 4, diurnal_depth: 0.45 }
+    }
+}
+
+impl MbaConfig {
+    /// CI-sized preset.
+    pub fn quick(num_objects: usize) -> Self {
+        MbaConfig { num_objects, ..MbaConfig::default() }
+    }
+}
+
+/// Mean traffic (GB per six-hour epoch) by technology index.
+fn tech_traffic_scale(tech: usize) -> f64 {
+    match tech {
+        0 => 0.35, // DSL
+        1 => 1.4,  // Fiber
+        2 => 0.12, // Satellite
+        3 => 1.0,  // Cable
+        4 => 0.6,  // IPBB
+        _ => unreachable!(),
+    }
+}
+
+/// Baseline ping-loss rate by technology index.
+fn tech_loss_base(tech: usize) -> f64 {
+    match tech {
+        2 => 0.02, // Satellite
+        0 => 0.006,
+        _ => 0.002,
+    }
+}
+
+/// The schema of the (simulated) MBA dataset — Table 7 of the paper.
+pub fn schema(cfg: &MbaConfig) -> Schema {
+    let states: Vec<String> = (0..NUM_STATES).map(|i| format!("S{i:02}")).collect();
+    Schema::new(
+        vec![
+            FieldSpec::new("technology", FieldKind::categorical(TECHNOLOGIES)),
+            FieldSpec::new("ISP", FieldKind::categorical(ISPS)),
+            FieldSpec::new("state", FieldKind::categorical(states)),
+        ],
+        vec![
+            FieldSpec::new("ping loss rate", FieldKind::continuous(0.0, 1.0)),
+            FieldSpec::new("traffic bytes (GB)", FieldKind::continuous(0.0, 20.0)),
+        ],
+        cfg.length,
+    )
+    .with_timescale("six-hourly")
+}
+
+/// Generates a simulated MBA dataset.
+pub fn generate<R: Rng + ?Sized>(cfg: &MbaConfig, rng: &mut R) -> Dataset {
+    let schema = schema(cfg);
+    // Technology marginals: cable and DSL dominate (Fig. 19).
+    let tech_weights = [30.0, 12.0, 8.0, 38.0, 12.0];
+    // ISP priors conditioned on technology: satellite -> Hughes/ViaSat,
+    // fiber -> Verizon/Frontier, cable -> Comcast/Charter/Cox, etc.
+    let isp_given_tech: [&[f64]; 5] = [
+        &[2.0, 4.0, 8.0, 2.0, 1.0, 2.0, 0.2, 9.0, 0.2, 5.0, 1.0, 12.0, 11.0, 2.0], // DSL
+        &[1.0, 14.0, 6.0, 3.0, 1.0, 0.5, 0.1, 1.0, 0.1, 3.0, 1.0, 4.0, 2.0, 1.0],  // Fiber
+        &[0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 12.0, 0.1, 9.0, 0.1, 0.1, 0.2, 0.2, 0.1],  // Satellite
+        &[12.0, 1.0, 1.0, 1.0, 8.0, 5.0, 0.1, 1.0, 0.1, 1.0, 14.0, 1.0, 1.0, 6.0], // Cable
+        &[2.0, 3.0, 1.0, 1.0, 2.0, 1.0, 0.2, 2.0, 0.2, 1.0, 3.0, 6.0, 3.0, 2.0],   // IPBB
+    ];
+    let state_weights: Vec<f64> = (0..NUM_STATES).map(|i| 1.0 + (i % 7) as f64).collect();
+
+    let user_scale = LogNormal::new(0.0_f64, 0.55).expect("valid lognormal");
+    let noise = Normal::new(0.0_f64, 0.25).expect("valid normal");
+
+    let mut objects = Vec::with_capacity(cfg.num_objects);
+    for _ in 0..cfg.num_objects {
+        let tech = sample_weighted(&tech_weights, rng);
+        let isp = sample_weighted(isp_given_tech[tech], rng);
+        let state = sample_weighted(&state_weights, rng);
+
+        let level = tech_traffic_scale(tech) * user_scale.sample(rng);
+        let loss_base = tech_loss_base(tech) * (1.0 + rng.gen_range(0.0..1.0));
+        let phase: usize = rng.gen_range(0..cfg.diurnal_period);
+
+        let records = (0..cfg.length)
+            .map(|t| {
+                let slot = (t + phase) % cfg.diurnal_period;
+                // Evenings (slot 3) peak, early mornings (slot 1) dip.
+                let diurnal = match slot {
+                    3 => 1.0 + cfg.diurnal_depth,
+                    1 => 1.0 - cfg.diurnal_depth,
+                    _ => 1.0,
+                };
+                let eps = noise.sample(rng).exp();
+                let traffic = non_negative(level * diurnal * eps).min(20.0);
+                // Loss: small baseline with occasional bursts.
+                let burst = if rng.gen_bool(0.03) { rng.gen_range(0.05..0.5) } else { 0.0 };
+                let loss = (loss_base * rng.gen_range(0.2..2.0) + burst).clamp(0.0, 1.0);
+                vec![Value::Cont(loss), Value::Cont(traffic)]
+            })
+            .collect();
+
+        objects.push(TimeSeriesObject {
+            attributes: vec![Value::Cat(tech), Value::Cat(isp), Value::Cat(state)],
+            records,
+        });
+    }
+    Dataset::new(schema, objects)
+}
+
+/// Total traffic (feature 1) summed over a unit's series — the "total
+/// bandwidth usage in 2 weeks" quantity of Table 3 / Fig. 9.
+pub fn total_bandwidth(o: &TimeSeriesObject) -> f64 {
+    o.feature_series(1).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = MbaConfig::quick(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = generate(&cfg, &mut rng);
+        assert_eq!(d.len(), 50);
+        assert!(d.objects.iter().all(|o| o.len() == 56));
+        assert_eq!(d.schema.num_features(), 2);
+    }
+
+    #[test]
+    fn cable_outconsumes_dsl() {
+        let cfg = MbaConfig::quick(400);
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = generate(&cfg, &mut rng);
+        let mean_bw = |tech: usize| {
+            let f = d.filter_by_attribute(0, tech);
+            assert!(!f.is_empty());
+            f.objects.iter().map(total_bandwidth).sum::<f64>() / f.len() as f64
+        };
+        let dsl = mean_bw(0);
+        let cable = mean_bw(3);
+        assert!(cable > 1.5 * dsl, "cable {cable} vs DSL {dsl}");
+    }
+
+    #[test]
+    fn loss_rates_are_valid_probabilities() {
+        let cfg = MbaConfig::quick(60);
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = generate(&cfg, &mut rng);
+        for o in &d.objects {
+            for v in o.feature_series(0) {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn satellite_links_are_lossier() {
+        let cfg = MbaConfig::quick(600);
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = generate(&cfg, &mut rng);
+        let mean_loss = |tech: usize| {
+            let f = d.filter_by_attribute(0, tech);
+            let total: f64 = f.objects.iter().map(|o| o.feature_series(0).iter().sum::<f64>()).sum();
+            let n: usize = f.objects.iter().map(|o| o.len()).sum();
+            total / n as f64
+        };
+        assert!(mean_loss(2) > mean_loss(3), "satellite should exceed cable loss");
+    }
+
+    #[test]
+    fn satellite_users_get_satellite_isps() {
+        let cfg = MbaConfig::quick(500);
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = generate(&cfg, &mut rng);
+        let sat = d.filter_by_attribute(0, 2);
+        let hughes_or_viasat = sat
+            .objects
+            .iter()
+            .filter(|o| matches!(o.attributes[1], Value::Cat(6) | Value::Cat(8)))
+            .count();
+        assert!(hughes_or_viasat as f64 > 0.8 * sat.len() as f64);
+    }
+}

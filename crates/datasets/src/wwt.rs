@@ -1,0 +1,240 @@
+//! Synthetic substitute for the Wikipedia Web Traffic (WWT) dataset.
+//!
+//! The real dataset (Kaggle "web-traffic-time-series-forecasting") tracks
+//! daily page views of Wikipedia articles over 550 days with three
+//! categorical attributes (domain, access type, agent). We simulate the
+//! structural properties the paper's experiments measure:
+//!
+//! * **short-period seasonality** (weekly, lag-7 autocorrelation spikes) and
+//!   **long-period seasonality** (annual, the lag-365 bump of Fig. 1);
+//! * **heavy-tailed per-page scale** (log-normal): some pages get 0–100
+//!   views/day, others 1k–5k — the wide dynamic range behind the Fig. 5 mode
+//!   collapse;
+//! * skewed attribute marginals (Figs. 15–17) with attribute-dependent level
+//!   shifts (spiders see less traffic, `en.wikipedia.org` more).
+
+use crate::common::{non_negative, sample_weighted, weekly_profile};
+use dg_data::{Dataset, FieldKind, FieldSpec, Schema, TimeSeriesObject, Value};
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Normal};
+
+/// The nine Wikipedia domains of the real dataset.
+pub const DOMAINS: [&str; 9] = [
+    "commons.wikimedia.org",
+    "de.wikipedia.org",
+    "en.wikipedia.org",
+    "es.wikipedia.org",
+    "fr.wikipedia.org",
+    "ja.wikipedia.org",
+    "ru.wikipedia.org",
+    "www.mediawiki.org",
+    "zh.wikipedia.org",
+];
+
+/// Access-type attribute values.
+pub const ACCESS_TYPES: [&str; 3] = ["all-access", "desktop", "mobile-web"];
+
+/// Agent attribute values.
+pub const AGENTS: [&str; 2] = ["all-agents", "spider"];
+
+/// Configuration of the WWT simulator.
+#[derive(Debug, Clone)]
+pub struct WwtConfig {
+    /// Number of page objects (paper: 100k; quick presets use hundreds).
+    pub num_objects: usize,
+    /// Series length in days (paper: 550).
+    pub length: usize,
+    /// Short seasonality period (paper: 7 = weekly).
+    pub short_period: usize,
+    /// Long seasonality period (paper: 365 = annual). Quick presets shrink
+    /// it proportionally with `length`.
+    pub long_period: usize,
+    /// Strength of the weekly modulation.
+    pub weekly_depth: f64,
+    /// Strength of the annual modulation.
+    pub annual_depth: f64,
+    /// Log-normal sigma of the per-page scale (controls dynamic-range
+    /// heterogeneity).
+    pub scale_sigma: f64,
+    /// Multiplicative observation noise sigma.
+    pub noise_sigma: f64,
+}
+
+impl Default for WwtConfig {
+    fn default() -> Self {
+        WwtConfig {
+            num_objects: 500,
+            length: 550,
+            short_period: 7,
+            long_period: 365,
+            weekly_depth: 0.3,
+            annual_depth: 0.35,
+            scale_sigma: 1.6,
+            noise_sigma: 0.08,
+        }
+    }
+}
+
+impl WwtConfig {
+    /// A CI-sized preset: shorter series with the long period shrunk
+    /// proportionally (length 160, periods 7 / 56) so the two-peak
+    /// autocorrelation shape survives at a fraction of the compute.
+    pub fn quick(num_objects: usize) -> Self {
+        WwtConfig {
+            num_objects,
+            length: 160,
+            short_period: 7,
+            long_period: 56,
+            ..WwtConfig::default()
+        }
+    }
+}
+
+/// The schema of the (simulated) WWT dataset — Table 6 of the paper.
+pub fn schema(cfg: &WwtConfig) -> Schema {
+    Schema::new(
+        vec![
+            FieldSpec::new("Wikipedia domain", FieldKind::categorical(DOMAINS)),
+            FieldSpec::new("access type", FieldKind::categorical(ACCESS_TYPES)),
+            FieldSpec::new("agent", FieldKind::categorical(AGENTS)),
+        ],
+        vec![FieldSpec::new("views", FieldKind::continuous(0.0, 50_000.0))],
+        cfg.length,
+    )
+    .with_timescale("daily")
+}
+
+/// Generates a simulated WWT dataset.
+pub fn generate<R: Rng + ?Sized>(cfg: &WwtConfig, rng: &mut R) -> Dataset {
+    let schema = schema(cfg);
+    // Skewed attribute marginals, loosely matching the real histograms:
+    // en.wikipedia dominates, spiders are the minority agent.
+    let domain_weights = [8.0, 9.0, 24.0, 7.0, 9.0, 9.0, 8.0, 4.0, 7.0];
+    let access_weights = [46.0, 33.0, 21.0];
+    let agent_weights = [77.0, 23.0];
+
+    let scale_dist = LogNormal::new(4.0, cfg.scale_sigma).expect("valid lognormal");
+    let noise = Normal::new(0.0, cfg.noise_sigma).expect("valid normal");
+
+    let mut objects = Vec::with_capacity(cfg.num_objects);
+    for _ in 0..cfg.num_objects {
+        let domain = sample_weighted(&domain_weights, rng);
+        let access = sample_weighted(&access_weights, rng);
+        let agent = sample_weighted(&agent_weights, rng);
+
+        // Attribute-dependent level: big wikis get more traffic, spiders less.
+        let domain_boost = match domain {
+            2 => 2.2,           // en
+            1 | 4 | 5 => 1.4,   // de, fr, ja
+            7 => 0.6,           // mediawiki
+            _ => 1.0,
+        };
+        let agent_boost = if agent == 1 { 0.25 } else { 1.0 };
+        let level = scale_dist.sample(rng) * domain_boost * agent_boost;
+
+        let week = weekly_profile(cfg.short_period, cfg.weekly_depth, rng);
+        let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let trend: f64 = rng.gen_range(-0.1..0.25); // mild growth/decay over the window
+
+        let records = (0..cfg.length)
+            .map(|t| {
+                let weekly = week[t % cfg.short_period];
+                let annual = 1.0
+                    + cfg.annual_depth
+                        * (std::f64::consts::TAU * t as f64 / cfg.long_period as f64 + phase).sin();
+                let drift = 1.0 + trend * t as f64 / cfg.length as f64;
+                let eps = noise.sample(rng).exp();
+                let v = non_negative(level * weekly * annual * drift * eps);
+                vec![Value::Cont(v)]
+            })
+            .collect();
+
+        objects.push(TimeSeriesObject {
+            attributes: vec![Value::Cat(domain), Value::Cat(access), Value::Cat(agent)],
+            records,
+        });
+    }
+    Dataset::new(schema, objects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = WwtConfig::quick(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = generate(&cfg, &mut rng);
+        assert_eq!(d.len(), 20);
+        assert!(d.objects.iter().all(|o| o.len() == cfg.length));
+        assert_eq!(d.schema.num_attributes(), 3);
+        assert_eq!(d.schema.num_features(), 1);
+    }
+
+    #[test]
+    fn views_are_non_negative_and_heavy_tailed() {
+        let cfg = WwtConfig::quick(120);
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = generate(&cfg, &mut rng);
+        let mut maxima: Vec<f64> = d
+            .objects
+            .iter()
+            .map(|o| o.feature_series(0).into_iter().fold(0.0, f64::max))
+            .collect();
+        assert!(maxima.iter().all(|&m| m >= 0.0));
+        maxima.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Heavy tail: the largest page dwarfs the median page.
+        let median = maxima[maxima.len() / 2];
+        let top = maxima[maxima.len() - 1];
+        assert!(top > 10.0 * median, "expected heavy tail: top {top} vs median {median}");
+    }
+
+    #[test]
+    fn weekly_seasonality_is_visible_in_autocovariance() {
+        let cfg = WwtConfig::quick(40);
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = generate(&cfg, &mut rng);
+        // Average the lag-7 vs lag-3 autocorrelation across pages; weekly
+        // structure should make lag-7 clearly larger.
+        let mut ac7 = 0.0;
+        let mut ac3 = 0.0;
+        for o in &d.objects {
+            let s = o.feature_series(0);
+            ac7 += autocorr(&s, 7);
+            ac3 += autocorr(&s, 3);
+        }
+        assert!(ac7 > ac3 + 0.05, "lag-7 {ac7} should exceed lag-3 {ac3}");
+    }
+
+    #[test]
+    fn spiders_see_less_traffic() {
+        let cfg = WwtConfig::quick(300);
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = generate(&cfg, &mut rng);
+        let mean_views = |agent: usize| -> f64 {
+            let f = d.filter_by_attribute(2, agent);
+            let mut total = 0.0;
+            let mut n = 0.0;
+            for o in &f.objects {
+                total += o.feature_series(0).iter().sum::<f64>();
+                n += o.len() as f64;
+            }
+            total / n
+        };
+        assert!(mean_views(0) > mean_views(1) * 1.5);
+    }
+
+    fn autocorr(s: &[f64], lag: usize) -> f64 {
+        let n = s.len();
+        let mean = s.iter().sum::<f64>() / n as f64;
+        let var: f64 = s.iter().map(|v| (v - mean).powi(2)).sum::<f64>();
+        if var == 0.0 {
+            return 0.0;
+        }
+        let cov: f64 = (0..n - lag).map(|i| (s[i] - mean) * (s[i + lag] - mean)).sum();
+        cov / var
+    }
+}

@@ -1,0 +1,695 @@
+//! Classifiers for the downstream prediction experiments (Fig. 11): MLP,
+//! Gaussian naive Bayes, multinomial logistic regression, CART decision
+//! tree, and a linear SVM — all from scratch.
+
+use dg_nn::graph::Graph;
+use dg_nn::layers::{Activation, Mlp};
+use dg_nn::optim::Adam;
+use dg_nn::params::ParamStore;
+use dg_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A trainable multi-class classifier over flat feature vectors.
+pub trait Classifier {
+    /// Model name as it appears in the paper's figures.
+    fn name(&self) -> &'static str;
+    /// Fits on `n` rows of `dim` features with labels in `0..k`.
+    fn fit(&mut self, x: &[f64], y: &[usize], n: usize, dim: usize, k: usize);
+    /// Predicts labels for `n` rows.
+    fn predict(&self, x: &[f64], n: usize, dim: usize) -> Vec<usize>;
+}
+
+/// Per-dimension standardization fitted on training data.
+#[derive(Debug, Clone, Default)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits mean/std per dimension.
+    pub fn fit(x: &[f64], n: usize, dim: usize) -> Self {
+        let mut mean = vec![0.0; dim];
+        for r in 0..n {
+            for (m, &v) in mean.iter_mut().zip(&x[r * dim..(r + 1) * dim]) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n.max(1) as f64;
+        }
+        let mut var = vec![0.0; dim];
+        for r in 0..n {
+            for ((s, &v), m) in var.iter_mut().zip(&x[r * dim..(r + 1) * dim]).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std = var.into_iter().map(|v| (v / n.max(1) as f64).sqrt().max(1e-9)).collect();
+        Standardizer { mean, std }
+    }
+
+    /// Applies the transform.
+    pub fn transform(&self, x: &[f64], n: usize, dim: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n * dim);
+        for r in 0..n {
+            for (j, &v) in x[r * dim..(r + 1) * dim].iter().enumerate() {
+                out.push((v - self.mean[j]) / self.std[j]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gaussian naive Bayes
+// ---------------------------------------------------------------------------
+
+/// Gaussian naive Bayes with per-class diagonal Gaussians.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveBayes {
+    priors: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+}
+
+impl Classifier for NaiveBayes {
+    fn name(&self) -> &'static str {
+        "NaiveBayes"
+    }
+
+    fn fit(&mut self, x: &[f64], y: &[usize], n: usize, dim: usize, k: usize) {
+        let mut counts = vec![0usize; k];
+        let mut means = vec![vec![0.0; dim]; k];
+        for r in 0..n {
+            counts[y[r]] += 1;
+            for (m, &v) in means[y[r]].iter_mut().zip(&x[r * dim..(r + 1) * dim]) {
+                *m += v;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c.max(1) as f64;
+            }
+        }
+        let mut vars = vec![vec![0.0; dim]; k];
+        for r in 0..n {
+            for ((s, &v), m) in vars[y[r]].iter_mut().zip(&x[r * dim..(r + 1) * dim]).zip(&means[y[r]]) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for (s, &c) in vars.iter_mut().zip(&counts) {
+            for v in s.iter_mut() {
+                *v = (*v / c.max(1) as f64).max(1e-9);
+            }
+        }
+        self.priors = counts.iter().map(|&c| (c.max(1) as f64) / n as f64).collect();
+        self.means = means;
+        self.vars = vars;
+    }
+
+    fn predict(&self, x: &[f64], n: usize, dim: usize) -> Vec<usize> {
+        (0..n)
+            .map(|r| {
+                let row = &x[r * dim..(r + 1) * dim];
+                let mut best = 0;
+                let mut best_lp = f64::NEG_INFINITY;
+                for c in 0..self.priors.len() {
+                    let mut lp = self.priors[c].ln();
+                    for ((&v, &m), &s2) in row.iter().zip(&self.means[c]).zip(&self.vars[c]) {
+                        lp += -0.5 * ((v - m) * (v - m) / s2 + s2.ln());
+                    }
+                    if lp > best_lp {
+                        best_lp = lp;
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multinomial logistic regression
+// ---------------------------------------------------------------------------
+
+/// Multinomial (softmax) logistic regression trained by full-batch gradient
+/// descent with L2 regularization.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    std: Standardizer,
+    w: Vec<f64>, // (dim + 1) x k, last row is the bias
+    k: usize,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        LogisticRegression { iterations: 300, lr: 0.5, l2: 1e-4, std: Standardizer::default(), w: Vec::new(), k: 0 }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "LogisticRegr."
+    }
+
+    fn fit(&mut self, x: &[f64], y: &[usize], n: usize, dim: usize, k: usize) {
+        self.std = Standardizer::fit(x, n, dim);
+        let xs = self.std.transform(x, n, dim);
+        let d1 = dim + 1;
+        self.k = k;
+        self.w = vec![0.0; d1 * k];
+        for _ in 0..self.iterations {
+            let mut grad = vec![0.0; d1 * k];
+            for r in 0..n {
+                let row = &xs[r * dim..(r + 1) * dim];
+                let probs = self.softmax_row(row, dim);
+                for c in 0..k {
+                    let err = probs[c] - if y[r] == c { 1.0 } else { 0.0 };
+                    for (j, &v) in row.iter().enumerate() {
+                        grad[j * k + c] += err * v;
+                    }
+                    grad[dim * k + c] += err;
+                }
+            }
+            let scale = self.lr / n.max(1) as f64;
+            for (wi, gi) in self.w.iter_mut().zip(&grad) {
+                *wi -= scale * (gi + self.l2 * *wi);
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64], n: usize, dim: usize) -> Vec<usize> {
+        let xs = self.std.transform(x, n, dim);
+        (0..n)
+            .map(|r| {
+                let probs = self.softmax_row(&xs[r * dim..(r + 1) * dim], dim);
+                argmax(&probs)
+            })
+            .collect()
+    }
+}
+
+impl LogisticRegression {
+    fn softmax_row(&self, row: &[f64], dim: usize) -> Vec<f64> {
+        let k = self.k;
+        let mut logits = vec![0.0; k];
+        for c in 0..k {
+            let mut z = self.w[dim * k + c];
+            for (j, &v) in row.iter().enumerate() {
+                z += self.w[j * k + c] * v;
+            }
+            logits[c] = z;
+        }
+        let mx = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for z in &mut logits {
+            *z = (*z - mx).exp();
+            sum += *z;
+        }
+        for z in &mut logits {
+            *z /= sum;
+        }
+        logits
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CART decision tree
+// ---------------------------------------------------------------------------
+
+/// CART decision tree with Gini impurity.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_split: usize,
+    /// Maximum candidate thresholds per feature (quantile subsampling).
+    pub max_thresholds: usize,
+    nodes: Vec<TreeNode>,
+    k: usize,
+}
+
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf { class: usize },
+    Split { dim: usize, threshold: f64, left: usize, right: usize },
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        DecisionTree { max_depth: 8, min_split: 4, max_thresholds: 32, nodes: Vec::new(), k: 0 }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn name(&self) -> &'static str {
+        "DecisionTree"
+    }
+
+    fn fit(&mut self, x: &[f64], y: &[usize], n: usize, dim: usize, k: usize) {
+        self.k = k;
+        self.nodes.clear();
+        let idx: Vec<usize> = (0..n).collect();
+        self.build(x, y, dim, idx, 0);
+    }
+
+    fn predict(&self, x: &[f64], n: usize, dim: usize) -> Vec<usize> {
+        (0..n)
+            .map(|r| {
+                let row = &x[r * dim..(r + 1) * dim];
+                let mut node = 0;
+                loop {
+                    match &self.nodes[node] {
+                        TreeNode::Leaf { class } => return *class,
+                        TreeNode::Split { dim, threshold, left, right } => {
+                            node = if row[*dim] <= *threshold { *left } else { *right };
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+impl DecisionTree {
+    fn build(&mut self, x: &[f64], y: &[usize], dim: usize, idx: Vec<usize>, depth: usize) -> usize {
+        let counts = self.class_counts(y, &idx);
+        let majority = argmax_usize(&counts);
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= self.max_depth || idx.len() < self.min_split {
+            self.nodes.push(TreeNode::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        }
+        let parent_gini = gini(&counts, idx.len());
+        let mut best: Option<(usize, f64, f64)> = None; // (dim, threshold, gain)
+        for d in 0..dim {
+            let mut vals: Vec<f64> = idx.iter().map(|&i| x[i * dim + d]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            let stride = (vals.len() / self.max_thresholds).max(1);
+            for w in vals.windows(2).step_by(stride) {
+                let t = (w[0] + w[1]) / 2.0;
+                let (lc, rc, ln, rn) = self.split_counts(x, y, dim, &idx, d, t);
+                if ln == 0 || rn == 0 {
+                    continue;
+                }
+                let g = parent_gini
+                    - (ln as f64 / idx.len() as f64) * gini(&lc, ln)
+                    - (rn as f64 / idx.len() as f64) * gini(&rc, rn);
+                if best.map(|(_, _, bg)| g > bg).unwrap_or(g > 1e-12) {
+                    best = Some((d, t, g));
+                }
+            }
+        }
+        let Some((d, t, _)) = best else {
+            self.nodes.push(TreeNode::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x[i * dim + d] <= t);
+        let node = self.nodes.len();
+        self.nodes.push(TreeNode::Leaf { class: majority }); // placeholder
+        let left = self.build(x, y, dim, li, depth + 1);
+        let right = self.build(x, y, dim, ri, depth + 1);
+        self.nodes[node] = TreeNode::Split { dim: d, threshold: t, left, right };
+        node
+    }
+
+    fn class_counts(&self, y: &[usize], idx: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.k];
+        for &i in idx {
+            counts[y[i]] += 1;
+        }
+        counts
+    }
+
+    fn split_counts(
+        &self,
+        x: &[f64],
+        y: &[usize],
+        dim: usize,
+        idx: &[usize],
+        d: usize,
+        t: f64,
+    ) -> (Vec<usize>, Vec<usize>, usize, usize) {
+        let mut lc = vec![0usize; self.k];
+        let mut rc = vec![0usize; self.k];
+        let mut ln = 0;
+        let mut rn = 0;
+        for &i in idx {
+            if x[i * dim + d] <= t {
+                lc[y[i]] += 1;
+                ln += 1;
+            } else {
+                rc[y[i]] += 1;
+                rn += 1;
+            }
+        }
+        (lc, rc, ln, rn)
+    }
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+// ---------------------------------------------------------------------------
+// Linear SVM (one-vs-rest hinge loss)
+// ---------------------------------------------------------------------------
+
+/// Linear SVM: one-vs-rest hinge loss minimized by subgradient descent.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Subgradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    std: Standardizer,
+    w: Vec<f64>, // (dim + 1) x k
+    k: usize,
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        LinearSvm { iterations: 300, lr: 0.2, l2: 1e-3, std: Standardizer::default(), w: Vec::new(), k: 0 }
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn name(&self) -> &'static str {
+        "LinearSVM"
+    }
+
+    fn fit(&mut self, x: &[f64], y: &[usize], n: usize, dim: usize, k: usize) {
+        self.std = Standardizer::fit(x, n, dim);
+        let xs = self.std.transform(x, n, dim);
+        let d1 = dim + 1;
+        self.k = k;
+        self.w = vec![0.0; d1 * k];
+        for _ in 0..self.iterations {
+            let mut grad = vec![0.0; d1 * k];
+            for r in 0..n {
+                let row = &xs[r * dim..(r + 1) * dim];
+                for c in 0..k {
+                    let label = if y[r] == c { 1.0 } else { -1.0 };
+                    let mut z = self.w[dim * k + c];
+                    for (j, &v) in row.iter().enumerate() {
+                        z += self.w[j * k + c] * v;
+                    }
+                    if label * z < 1.0 {
+                        for (j, &v) in row.iter().enumerate() {
+                            grad[j * k + c] -= label * v;
+                        }
+                        grad[dim * k + c] -= label;
+                    }
+                }
+            }
+            let scale = self.lr / n.max(1) as f64;
+            for (wi, gi) in self.w.iter_mut().zip(&grad) {
+                *wi -= scale * gi + self.lr * self.l2 * *wi;
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64], n: usize, dim: usize) -> Vec<usize> {
+        let xs = self.std.transform(x, n, dim);
+        (0..n)
+            .map(|r| {
+                let row = &xs[r * dim..(r + 1) * dim];
+                let scores: Vec<f64> = (0..self.k)
+                    .map(|c| {
+                        let mut z = self.w[dim * self.k + c];
+                        for (j, &v) in row.iter().enumerate() {
+                            z += self.w[j * self.k + c] * v;
+                        }
+                        z
+                    })
+                    .collect();
+                argmax(&scores)
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MLP classifier
+// ---------------------------------------------------------------------------
+
+/// MLP classifier trained with softmax cross-entropy (Adam).
+pub struct MlpClassifier {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Hidden depth.
+    pub depth: usize,
+    /// Training epochs of full-batch Adam.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// RNG seed for weight init.
+    pub seed: u64,
+    std: Standardizer,
+    net: Option<(Mlp, ParamStore)>,
+}
+
+impl MlpClassifier {
+    /// Creates an MLP classifier with the given architecture.
+    pub fn new(hidden: usize, depth: usize, epochs: usize, lr: f32, seed: u64) -> Self {
+        MlpClassifier { hidden, depth, epochs, lr, seed, std: Standardizer::default(), net: None }
+    }
+}
+
+impl Default for MlpClassifier {
+    fn default() -> Self {
+        MlpClassifier::new(32, 2, 200, 0.01, 0)
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+
+    fn fit(&mut self, x: &[f64], y: &[usize], n: usize, dim: usize, k: usize) {
+        self.std = Standardizer::fit(x, n, dim);
+        let xs = self.std.transform(x, n, dim);
+        let xt = Tensor::from_vec(n, dim, xs.iter().map(|&v| v as f32).collect());
+        let mut targets = Tensor::zeros(n, k);
+        for (r, &label) in y.iter().enumerate() {
+            targets.set(r, label, 1.0);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(
+            &mut store,
+            "clf",
+            dim,
+            self.hidden,
+            self.depth,
+            k,
+            Activation::LeakyRelu(0.1),
+            Activation::Linear,
+            &mut rng,
+        );
+        let mut opt = Adam::with_betas(self.lr, 0.9, 0.999);
+        for _ in 0..self.epochs {
+            let mut g = Graph::new();
+            let xv = g.constant(xt.clone());
+            let logits = mlp.forward(&mut g, &store, xv);
+            let loss = g.softmax_cross_entropy(logits, targets.clone());
+            g.backward(loss);
+            opt.step(&mut store, &g.param_grads());
+        }
+        self.net = Some((mlp, store));
+    }
+
+    fn predict(&self, x: &[f64], n: usize, dim: usize) -> Vec<usize> {
+        let (mlp, store) = self.net.as_ref().expect("fit before predict");
+        let xs = self.std.transform(x, n, dim);
+        let xt = Tensor::from_vec(n, dim, xs.iter().map(|&v| v as f32).collect());
+        let mut g = Graph::new();
+        let xv = g.constant(xt);
+        let logits = mlp.forward_frozen(&mut g, store, xv);
+        let v = g.value(logits);
+        (0..n)
+            .map(|r| {
+                let row = v.row_slice(r);
+                let mut best = 0;
+                for (i, &s) in row.iter().enumerate() {
+                    if s > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// The five classifiers of Fig. 11, in the paper's order.
+pub fn standard_classifiers() -> Vec<Box<dyn Classifier>> {
+    vec![
+        Box::new(MlpClassifier::default()),
+        Box::new(NaiveBayes::default()),
+        Box::new(LogisticRegression::default()),
+        Box::new(DecisionTree::default()),
+        Box::new(LinearSvm::default()),
+    ]
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn argmax_usize(xs: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::accuracy;
+
+    /// Two Gaussian blobs, linearly separable.
+    fn blobs(n: usize) -> (Vec<f64>, Vec<usize>) {
+        let mut x = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        let mut state = 99u64;
+        let mut noise = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 32) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            let c = i % 2;
+            let cx = if c == 0 { -2.0 } else { 2.0 };
+            x.push(cx + noise());
+            x.push(cx * 0.5 + noise());
+            y.push(c);
+        }
+        (x, y)
+    }
+
+    /// XOR pattern — not linearly separable.
+    fn xor(n: usize) -> (Vec<f64>, Vec<usize>) {
+        let mut x = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        let mut state = 7u64;
+        let mut noise = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 32) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for _ in 0..n {
+            let a = noise() > 0.0;
+            let b = noise() > 0.0;
+            x.push(if a { 1.0 } else { -1.0 } + 0.15 * noise());
+            x.push(if b { 1.0 } else { -1.0 } + 0.15 * noise());
+            y.push((a ^ b) as usize);
+        }
+        (x, y)
+    }
+
+    fn check_separable(mut clf: Box<dyn Classifier>, min_acc: f64) {
+        let (x, y) = blobs(200);
+        clf.fit(&x, &y, 200, 2, 2);
+        let pred = clf.predict(&x, 200, 2);
+        let acc = accuracy(&pred, &y);
+        assert!(acc >= min_acc, "{} accuracy {acc} < {min_acc}", clf.name());
+    }
+
+    #[test]
+    fn naive_bayes_separates_blobs() {
+        check_separable(Box::new(NaiveBayes::default()), 0.95);
+    }
+
+    #[test]
+    fn logistic_regression_separates_blobs() {
+        check_separable(Box::new(LogisticRegression::default()), 0.95);
+    }
+
+    #[test]
+    fn decision_tree_separates_blobs() {
+        check_separable(Box::new(DecisionTree::default()), 0.95);
+    }
+
+    #[test]
+    fn linear_svm_separates_blobs() {
+        check_separable(Box::new(LinearSvm::default()), 0.95);
+    }
+
+    #[test]
+    fn mlp_separates_blobs() {
+        check_separable(Box::new(MlpClassifier::default()), 0.95);
+    }
+
+    #[test]
+    fn nonlinear_models_solve_xor_linear_models_cannot() {
+        let (x, y) = xor(300);
+        let mut tree = DecisionTree::default();
+        tree.fit(&x, &y, 300, 2, 2);
+        let tree_acc = accuracy(&tree.predict(&x, 300, 2), &y);
+        assert!(tree_acc > 0.9, "tree should solve XOR, got {tree_acc}");
+
+        let mut mlp = MlpClassifier::default();
+        mlp.fit(&x, &y, 300, 2, 2);
+        let mlp_acc = accuracy(&mlp.predict(&x, 300, 2), &y);
+        assert!(mlp_acc > 0.9, "mlp should solve XOR, got {mlp_acc}");
+
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y, 300, 2, 2);
+        let lr_acc = accuracy(&lr.predict(&x, 300, 2), &y);
+        assert!(lr_acc < 0.75, "linear model should fail XOR, got {lr_acc}");
+    }
+
+    #[test]
+    fn multiclass_prediction_covers_all_classes() {
+        // Three well-separated blobs.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..150 {
+            let c = i % 3;
+            let center = [(0.0, 0.0), (5.0, 5.0), (-5.0, 5.0)][c];
+            x.push(center.0 + (i as f64 * 0.13).sin() * 0.3);
+            x.push(center.1 + (i as f64 * 0.29).cos() * 0.3);
+            y.push(c);
+        }
+        for mut clf in standard_classifiers() {
+            clf.fit(&x, &y, 150, 2, 3);
+            let pred = clf.predict(&x, 150, 2);
+            let acc = accuracy(&pred, &y);
+            assert!(acc > 0.95, "{} multiclass accuracy {acc}", clf.name());
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Featurization of time series objects for downstream predictors.
+
+use dg_data::Dataset;
+
+/// A supervised classification problem extracted from a dataset: summary
+/// statistics of each object's time series as inputs, one categorical
+/// attribute as the label (e.g. GCUT's end event type, Fig. 11).
+#[derive(Debug, Clone)]
+pub struct ClassificationTask {
+    /// Row-major feature matrix, `n x dim`.
+    pub x: Vec<f64>,
+    /// Labels in `0..num_classes`.
+    pub y: Vec<usize>,
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+/// Per-feature summary statistics: mean, std, min, max, first, last, slope.
+const STATS_PER_FEATURE: usize = 7;
+
+/// Builds a classification task predicting attribute `attr_idx` from summary
+/// statistics of every feature series (plus the normalized series length).
+pub fn classification_task(dataset: &Dataset, attr_idx: usize) -> ClassificationTask {
+    let k = dataset.schema.num_features();
+    let num_classes = dataset.schema.attributes[attr_idx].kind.num_categories();
+    assert!(num_classes >= 2, "classification needs a categorical attribute with >= 2 classes");
+    let dim = k * STATS_PER_FEATURE + 1;
+    let mut x = Vec::with_capacity(dataset.len() * dim);
+    let mut y = Vec::with_capacity(dataset.len());
+    for o in &dataset.objects {
+        for j in 0..k {
+            let s = o.feature_series(j);
+            x.extend(series_stats(&s));
+        }
+        x.push(o.len() as f64 / dataset.schema.max_len.max(1) as f64);
+        y.push(o.attributes[attr_idx].cat());
+    }
+    ClassificationTask { x, y, dim, num_classes }
+}
+
+fn series_stats(s: &[f64]) -> [f64; STATS_PER_FEATURE] {
+    if s.is_empty() {
+        return [0.0; STATS_PER_FEATURE];
+    }
+    let n = s.len() as f64;
+    let mean = s.iter().sum::<f64>() / n;
+    let var = s.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let mn = s.iter().copied().fold(f64::INFINITY, f64::min);
+    let mx = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    // Least-squares slope against t = 0..n-1.
+    let tbar = (n - 1.0) / 2.0;
+    let denom: f64 = (0..s.len()).map(|t| (t as f64 - tbar) * (t as f64 - tbar)).sum();
+    let slope = if denom > 0.0 {
+        (0..s.len()).map(|t| (t as f64 - tbar) * (s[t] - mean)).sum::<f64>() / denom
+    } else {
+        0.0
+    };
+    [mean, var.sqrt(), mn, mx, s[0], *s.last().expect("non-empty"), slope]
+}
+
+/// A supervised forecasting problem: the first `history` points of a series
+/// as inputs, the next `horizon` points as targets (the WWT forecasting task
+/// of Fig. 27). Each sample is normalized by its history's min/max so
+/// wildly-scaled pages are comparable.
+#[derive(Debug, Clone)]
+pub struct ForecastTask {
+    /// Row-major inputs, `n x history`.
+    pub x: Vec<f64>,
+    /// Row-major targets, `n x horizon`.
+    pub y: Vec<f64>,
+    /// History window length.
+    pub history: usize,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Number of samples.
+    pub n: usize,
+}
+
+/// Builds a forecasting task from feature `feature_idx`. Objects shorter
+/// than `history + horizon` are skipped.
+pub fn forecast_task(dataset: &Dataset, feature_idx: usize, history: usize, horizon: usize) -> ForecastTask {
+    assert!(history > 0 && horizon > 0, "history and horizon must be positive");
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    let mut n = 0;
+    for o in &dataset.objects {
+        if o.len() < history + horizon {
+            continue;
+        }
+        let s = o.feature_series(feature_idx);
+        let hist = &s[..history];
+        let mn = hist.iter().copied().fold(f64::INFINITY, f64::min);
+        let mx = hist.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (mx - mn).max(1e-9);
+        x.extend(hist.iter().map(|v| (v - mn) / span));
+        y.extend(s[history..history + horizon].iter().map(|v| (v - mn) / span));
+        n += 1;
+    }
+    ForecastTask { x, y, history, horizon, n }
+}
+
+/// Classification accuracy.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / pred.len() as f64
+}
+
+/// Pooled coefficient of determination `R²` over all outputs — the Fig. 27
+/// metric. Can be arbitrarily negative for bad fits; 1 is perfect.
+pub fn r2_score(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/target length mismatch");
+    assert!(!truth.is_empty(), "r2 of empty sample");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|v| (v - mean) * (v - mean)).sum();
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    if ss_tot <= 0.0 {
+        return if ss_res <= 1e-12 { 1.0 } else { f64::NEG_INFINITY };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_data::{FieldKind, FieldSpec, Schema, TimeSeriesObject, Value};
+
+    fn demo() -> Dataset {
+        let schema = Schema::new(
+            vec![FieldSpec::new("cls", FieldKind::categorical(["up", "down"]))],
+            vec![FieldSpec::new("x", FieldKind::continuous(-100.0, 100.0))],
+            16,
+        );
+        let objects = (0..10)
+            .map(|i| {
+                let up = i % 2 == 0;
+                TimeSeriesObject {
+                    attributes: vec![Value::Cat(if up { 0 } else { 1 })],
+                    records: (0..16)
+                        .map(|t| vec![Value::Cont(if up { t as f64 } else { -(t as f64) })])
+                        .collect(),
+                }
+            })
+            .collect();
+        Dataset::new(schema, objects)
+    }
+
+    #[test]
+    fn classification_task_shapes() {
+        let t = classification_task(&demo(), 0);
+        assert_eq!(t.dim, 8);
+        assert_eq!(t.y.len(), 10);
+        assert_eq!(t.x.len(), 80);
+        assert_eq!(t.num_classes, 2);
+    }
+
+    #[test]
+    fn slope_feature_separates_classes() {
+        let t = classification_task(&demo(), 0);
+        // Slope is stat index 6: positive for "up" class, negative for "down".
+        for (i, &label) in t.y.iter().enumerate() {
+            let slope = t.x[i * t.dim + 6];
+            if label == 0 {
+                assert!(slope > 0.5);
+            } else {
+                assert!(slope < -0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn forecast_task_windows_and_normalization() {
+        let t = forecast_task(&demo(), 0, 12, 4);
+        assert_eq!(t.n, 10);
+        assert_eq!(t.x.len(), 120);
+        assert_eq!(t.y.len(), 40);
+        // History of "up" series is 0..11 normalized to [0,1].
+        assert!((t.x[0] - 0.0).abs() < 1e-12);
+        assert!((t.x[11] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forecast_skips_short_series() {
+        let t = forecast_task(&demo(), 0, 15, 4);
+        assert_eq!(t.n, 0);
+    }
+
+    #[test]
+    fn accuracy_and_r2() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert!((r2_score(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        // Predicting the mean gives R² = 0.
+        let r = r2_score(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert!(r.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,28 @@
+//! # dg-downstream — downstream task models (Figs. 11, 27, 28, 29)
+//!
+//! The paper evaluates synthetic data by training *downstream* predictors on
+//! it and testing on real data. This crate implements those predictors from
+//! scratch:
+//!
+//! * [`classify`] — MLP, Gaussian naive Bayes, multinomial logistic
+//!   regression, CART decision tree, and a linear SVM (the five classifiers
+//!   of Fig. 11);
+//! * [`regress`] — ridge linear regression, RBF kernel ridge, and MLP
+//!   regressors with one and five hidden layers (the four regressors of
+//!   Fig. 27);
+//! * [`features`] — featurization: summary statistics for end-event
+//!   classification, history/horizon windows for forecasting, plus the
+//!   accuracy and R² metrics;
+//! * [`linalg`] — the dense Cholesky machinery backing the closed-form
+//!   solvers.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod features;
+pub mod linalg;
+pub mod regress;
+
+pub use classify::{standard_classifiers, Classifier, DecisionTree, LinearSvm, LogisticRegression, MlpClassifier, NaiveBayes};
+pub use features::{accuracy, classification_task, forecast_task, r2_score, ClassificationTask, ForecastTask};
+pub use regress::{standard_regressors, KernelRidge, LinearRegression, MlpRegressor, Regressor};

@@ -1,0 +1,160 @@
+//! Small dense linear-algebra helpers: Cholesky factorization and solves,
+//! used by the ridge and kernel-ridge regressors.
+
+/// Cholesky factorization of a symmetric positive-definite matrix (row-major
+/// `n x n`). Returns the lower-triangular factor `L` with `A = L Lᵀ`, or
+/// `None` if the matrix is not (numerically) positive definite.
+pub fn cholesky(a: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix shape mismatch");
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A x = b` given the Cholesky factor `L` of `A` (forward then
+/// backward substitution).
+pub fn cholesky_solve(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // Forward: L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Backward: Lᵀ x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+/// Solves the ridge-regularized normal equations
+/// `(XᵀX + λI) w = Xᵀ y` for multi-output `y` (column-major outputs).
+///
+/// `x` is `m x d` row-major, `y` is `m x k` row-major. Returns `w` as
+/// `d x k` row-major. Falls back to increasing regularization if the system
+/// is numerically singular.
+pub fn ridge_solve(x: &[f64], m: usize, d: usize, y: &[f64], k: usize, lambda: f64) -> Vec<f64> {
+    // XtX
+    let mut xtx = vec![0.0; d * d];
+    for r in 0..m {
+        let row = &x[r * d..(r + 1) * d];
+        for i in 0..d {
+            if row[i] == 0.0 {
+                continue;
+            }
+            for j in 0..d {
+                xtx[i * d + j] += row[i] * row[j];
+            }
+        }
+    }
+    // Xty
+    let mut xty = vec![0.0; d * k];
+    for r in 0..m {
+        let xr = &x[r * d..(r + 1) * d];
+        let yr = &y[r * k..(r + 1) * k];
+        for i in 0..d {
+            if xr[i] == 0.0 {
+                continue;
+            }
+            for j in 0..k {
+                xty[i * k + j] += xr[i] * yr[j];
+            }
+        }
+    }
+    let mut lam = lambda.max(1e-10);
+    loop {
+        let mut a = xtx.clone();
+        for i in 0..d {
+            a[i * d + i] += lam;
+        }
+        if let Some(l) = cholesky(&a, d) {
+            let mut w = vec![0.0; d * k];
+            let mut b = vec![0.0; d];
+            for j in 0..k {
+                for i in 0..d {
+                    b[i] = xty[i * k + j];
+                }
+                let col = cholesky_solve(&l, d, &b);
+                for i in 0..d {
+                    w[i * k + j] = col[i];
+                }
+            }
+            return w;
+        }
+        lam *= 10.0;
+        assert!(lam < 1e12, "ridge system irrecoverably singular");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_of_identity_is_identity() {
+        let n = 3;
+        let mut a = vec![0.0; 9];
+        for i in 0..3 {
+            a[i * 3 + i] = 1.0;
+        }
+        let l = cholesky(&a, n).unwrap();
+        assert_eq!(l, a);
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution() {
+        // A = [[4,2],[2,3]], x = [1, -2], b = A x = [0, -4]
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let l = cholesky(&a, 2).unwrap();
+        let x = cholesky_solve(&l, 2, &[0.0, -4.0]);
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(cholesky(&a, 2).is_none());
+    }
+
+    #[test]
+    fn ridge_recovers_linear_map() {
+        // y = 2*x0 - x1, noise-free; tiny lambda.
+        let m = 50;
+        let mut x = Vec::with_capacity(m * 2);
+        let mut y = Vec::with_capacity(m);
+        for i in 0..m {
+            let a = (i as f64 * 0.37).sin();
+            let b = (i as f64 * 0.71).cos();
+            x.extend([a, b]);
+            y.push(2.0 * a - b);
+        }
+        let w = ridge_solve(&x, m, 2, &y, 1, 1e-8);
+        assert!((w[0] - 2.0).abs() < 1e-4, "w0 = {}", w[0]);
+        assert!((w[1] + 1.0).abs() < 1e-4, "w1 = {}", w[1]);
+    }
+}

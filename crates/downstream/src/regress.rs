@@ -1,0 +1,370 @@
+//! Regressors for the WWT forecasting experiment (Fig. 27): ridge linear
+//! regression, RBF kernel ridge, and MLP regressors with one or five hidden
+//! layers — matching the paper's model set.
+
+use crate::linalg::{cholesky, cholesky_solve, ridge_solve};
+use dg_nn::graph::Graph;
+use dg_nn::layers::{Activation, Mlp};
+use dg_nn::optim::Adam;
+use dg_nn::params::ParamStore;
+use dg_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A trainable multi-output regressor over flat feature vectors.
+pub trait Regressor {
+    /// Model name as it appears in the paper's figures.
+    fn name(&self) -> &'static str;
+    /// Fits on `n` rows of `dim` inputs against `n` rows of `k` outputs.
+    fn fit(&mut self, x: &[f64], n: usize, dim: usize, y: &[f64], k: usize);
+    /// Predicts `n x k` outputs (row-major).
+    fn predict(&self, x: &[f64], n: usize, dim: usize) -> Vec<f64>;
+}
+
+// ---------------------------------------------------------------------------
+// Ridge linear regression
+// ---------------------------------------------------------------------------
+
+/// Linear regression with L2 (ridge) regularization, solved in closed form.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// Ridge strength.
+    pub lambda: f64,
+    w: Vec<f64>, // (dim + 1) x k, bias last
+    k: usize,
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        LinearRegression { lambda: 1e-3, w: Vec::new(), k: 0 }
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn name(&self) -> &'static str {
+        "LinearRegr."
+    }
+
+    fn fit(&mut self, x: &[f64], n: usize, dim: usize, y: &[f64], k: usize) {
+        // Append a bias column.
+        let d1 = dim + 1;
+        let mut xb = Vec::with_capacity(n * d1);
+        for r in 0..n {
+            xb.extend_from_slice(&x[r * dim..(r + 1) * dim]);
+            xb.push(1.0);
+        }
+        self.w = ridge_solve(&xb, n, d1, y, k, self.lambda);
+        self.k = k;
+    }
+
+    fn predict(&self, x: &[f64], n: usize, dim: usize) -> Vec<f64> {
+        let k = self.k;
+        let mut out = Vec::with_capacity(n * k);
+        for r in 0..n {
+            let row = &x[r * dim..(r + 1) * dim];
+            for c in 0..k {
+                let mut z = self.w[dim * k + c]; // bias
+                for (j, &v) in row.iter().enumerate() {
+                    z += self.w[j * k + c] * v;
+                }
+                out.push(z);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RBF kernel ridge regression
+// ---------------------------------------------------------------------------
+
+/// Kernel ridge regression with an RBF kernel
+/// `k(a,b) = exp(-γ ‖a-b‖²)`. Training cost is `O(n³)`; training sets larger
+/// than `max_train` are deterministically subsampled.
+#[derive(Debug, Clone)]
+pub struct KernelRidge {
+    /// RBF width parameter γ (0 = use the median heuristic `1/dim`).
+    pub gamma: f64,
+    /// Ridge strength.
+    pub lambda: f64,
+    /// Maximum kernel matrix side.
+    pub max_train: usize,
+    train_x: Vec<f64>,
+    alpha: Vec<f64>, // n_train x k
+    dim: usize,
+    k: usize,
+    fitted_gamma: f64,
+}
+
+impl Default for KernelRidge {
+    fn default() -> Self {
+        KernelRidge {
+            gamma: 0.0,
+            lambda: 1e-2,
+            max_train: 400,
+            train_x: Vec::new(),
+            alpha: Vec::new(),
+            dim: 0,
+            k: 0,
+            fitted_gamma: 1.0,
+        }
+    }
+}
+
+impl Regressor for KernelRidge {
+    fn name(&self) -> &'static str {
+        "KernelRidge"
+    }
+
+    fn fit(&mut self, x: &[f64], n: usize, dim: usize, y: &[f64], k: usize) {
+        // Deterministic stride subsample if too large.
+        let (xs, ys, m) = if n > self.max_train {
+            let stride = n.div_ceil(self.max_train);
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            let mut m = 0;
+            for r in (0..n).step_by(stride) {
+                xs.extend_from_slice(&x[r * dim..(r + 1) * dim]);
+                ys.extend_from_slice(&y[r * k..(r + 1) * k]);
+                m += 1;
+            }
+            (xs, ys, m)
+        } else {
+            (x.to_vec(), y.to_vec(), n)
+        };
+        self.fitted_gamma = if self.gamma > 0.0 { self.gamma } else { 1.0 / dim.max(1) as f64 };
+        self.dim = dim;
+        self.k = k;
+
+        // K + λI
+        let mut km = vec![0.0; m * m];
+        for i in 0..m {
+            for j in 0..=i {
+                let v = rbf(&xs[i * dim..(i + 1) * dim], &xs[j * dim..(j + 1) * dim], self.fitted_gamma);
+                km[i * m + j] = v;
+                km[j * m + i] = v;
+            }
+        }
+        let mut lam = self.lambda.max(1e-8);
+        let l = loop {
+            let mut a = km.clone();
+            for i in 0..m {
+                a[i * m + i] += lam;
+            }
+            if let Some(l) = cholesky(&a, m) {
+                break l;
+            }
+            lam *= 10.0;
+            assert!(lam < 1e9, "kernel system irrecoverably singular");
+        };
+        let mut alpha = vec![0.0; m * k];
+        let mut b = vec![0.0; m];
+        for c in 0..k {
+            for i in 0..m {
+                b[i] = ys[i * k + c];
+            }
+            let col = cholesky_solve(&l, m, &b);
+            for i in 0..m {
+                alpha[i * k + c] = col[i];
+            }
+        }
+        self.train_x = xs;
+        self.alpha = alpha;
+    }
+
+    fn predict(&self, x: &[f64], n: usize, dim: usize) -> Vec<f64> {
+        assert_eq!(dim, self.dim, "dimension mismatch");
+        let m = self.train_x.len() / dim.max(1);
+        let k = self.k;
+        let mut out = vec![0.0; n * k];
+        for r in 0..n {
+            let row = &x[r * dim..(r + 1) * dim];
+            for i in 0..m {
+                let kv = rbf(row, &self.train_x[i * dim..(i + 1) * dim], self.fitted_gamma);
+                if kv < 1e-12 {
+                    continue;
+                }
+                for c in 0..k {
+                    out[r * k + c] += kv * self.alpha[i * k + c];
+                }
+            }
+        }
+        out
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-gamma * d2).exp()
+}
+
+// ---------------------------------------------------------------------------
+// MLP regressor
+// ---------------------------------------------------------------------------
+
+/// MLP regressor trained with MSE (Adam). The paper uses one-hidden-layer
+/// (100 units) and five-hidden-layer (200 units) variants.
+pub struct MlpRegressor {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Hidden depth.
+    pub depth: usize,
+    /// Full-batch Adam epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Weight-init seed.
+    pub seed: u64,
+    display_name: &'static str,
+    net: Option<(Mlp, ParamStore)>,
+}
+
+impl MlpRegressor {
+    /// The paper's one-hidden-layer (100-unit) variant.
+    pub fn one_layer() -> Self {
+        MlpRegressor { hidden: 100, depth: 1, epochs: 300, lr: 0.01, seed: 0, display_name: "MLP (1 layer)", net: None }
+    }
+
+    /// The paper's five-hidden-layer (200-unit) variant.
+    pub fn five_layers() -> Self {
+        MlpRegressor { hidden: 64, depth: 5, epochs: 300, lr: 0.005, seed: 0, display_name: "MLP (5 layers)", net: None }
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn name(&self) -> &'static str {
+        self.display_name
+    }
+
+    fn fit(&mut self, x: &[f64], n: usize, dim: usize, y: &[f64], k: usize) {
+        let xt = Tensor::from_vec(n, dim, x.iter().map(|&v| v as f32).collect());
+        let yt = Tensor::from_vec(n, k, y.iter().map(|&v| v as f32).collect());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(
+            &mut store,
+            "reg",
+            dim,
+            self.hidden,
+            self.depth,
+            k,
+            Activation::LeakyRelu(0.1),
+            Activation::Linear,
+            &mut rng,
+        );
+        let mut opt = Adam::with_betas(self.lr, 0.9, 0.999);
+        for _ in 0..self.epochs {
+            let mut g = Graph::new();
+            let xv = g.constant(xt.clone());
+            let pred = mlp.forward(&mut g, &store, xv);
+            let tv = g.constant(yt.clone());
+            let d = g.sub(pred, tv);
+            let sq = g.square(d);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            opt.step(&mut store, &g.param_grads());
+        }
+        self.net = Some((mlp, store));
+    }
+
+    fn predict(&self, x: &[f64], n: usize, dim: usize) -> Vec<f64> {
+        let (mlp, store) = self.net.as_ref().expect("fit before predict");
+        let xt = Tensor::from_vec(n, dim, x.iter().map(|&v| v as f32).collect());
+        let mut g = Graph::new();
+        let xv = g.constant(xt);
+        let pred = mlp.forward_frozen(&mut g, store, xv);
+        g.value(pred).as_slice().iter().map(|&v| v as f64).collect()
+    }
+}
+
+/// The four regressors of Fig. 27, in the paper's order.
+pub fn standard_regressors() -> Vec<Box<dyn Regressor>> {
+    vec![
+        Box::new(KernelRidge::default()),
+        Box::new(LinearRegression::default()),
+        Box::new(MlpRegressor::one_layer()),
+        Box::new(MlpRegressor::five_layers()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::r2_score;
+
+    /// Noisy linear map y = [x0 + x1, x0 - 2 x1].
+    fn linear_data(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut x = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            let a = (i as f64 * 0.37).sin();
+            let b = (i as f64 * 0.71).cos();
+            x.extend([a, b]);
+            y.extend([a + b, a - 2.0 * b]);
+        }
+        (x, y)
+    }
+
+    /// Nonlinear scalar map y = sin(3 x0) * x1.
+    fn nonlinear_data(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut x = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = (i as f64 * 0.193).sin();
+            let b = (i as f64 * 0.412).cos();
+            x.extend([a, b]);
+            y.push((3.0 * a).sin() * b);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn linear_regression_fits_linear_map() {
+        let (x, y) = linear_data(100);
+        let mut m = LinearRegression::default();
+        m.fit(&x, 100, 2, &y, 2);
+        let pred = m.predict(&x, 100, 2);
+        assert!(r2_score(&pred, &y) > 0.999);
+    }
+
+    #[test]
+    fn kernel_ridge_fits_nonlinear_map() {
+        let (x, y) = nonlinear_data(200);
+        let mut m = KernelRidge { gamma: 2.0, lambda: 1e-4, ..KernelRidge::default() };
+        m.fit(&x, 200, 2, &y, 1);
+        let pred = m.predict(&x, 200, 2);
+        let r2 = r2_score(&pred, &y);
+        assert!(r2 > 0.95, "kernel ridge R2 = {r2}");
+    }
+
+    #[test]
+    fn kernel_ridge_subsamples_large_training_sets() {
+        let (x, y) = nonlinear_data(1000);
+        let mut m = KernelRidge { gamma: 2.0, lambda: 1e-4, max_train: 100, ..KernelRidge::default() };
+        m.fit(&x, 1000, 2, &y, 1);
+        assert!(m.train_x.len() / 2 <= 100);
+        let pred = m.predict(&x, 1000, 2);
+        assert!(r2_score(&pred, &y) > 0.8);
+    }
+
+    #[test]
+    fn mlp_regressor_fits_nonlinear_map() {
+        let (x, y) = nonlinear_data(200);
+        let mut m = MlpRegressor::one_layer();
+        m.epochs = 500;
+        m.fit(&x, 200, 2, &y, 1);
+        let pred = m.predict(&x, 200, 2);
+        let r2 = r2_score(&pred, &y);
+        assert!(r2 > 0.9, "MLP R2 = {r2}");
+    }
+
+    #[test]
+    fn linear_model_underfits_nonlinear_map() {
+        let (x, y) = nonlinear_data(200);
+        let mut m = LinearRegression::default();
+        m.fit(&x, 200, 2, &y, 1);
+        let pred = m.predict(&x, 200, 2);
+        let lin = r2_score(&pred, &y);
+        assert!(lin < 0.8, "linear model should underfit, R2 = {lin}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Autocorrelation metrics — the probe behind Figs. 1, 13 and 33.
+
+use dg_data::Dataset;
+
+/// Autocorrelation of one series for lags `0..=max_lag`.
+///
+/// Uses the standard biased estimator
+/// `r(k) = Σ (x_t - x̄)(x_{t+k} - x̄) / Σ (x_t - x̄)²`.
+/// Returns zeros past the series length and for constant series.
+pub fn autocorrelation(series: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = series.len();
+    let mut out = vec![0.0; max_lag + 1];
+    if n == 0 {
+        return out;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if var <= 0.0 {
+        return out;
+    }
+    for (k, o) in out.iter_mut().enumerate() {
+        if k >= n {
+            break;
+        }
+        let cov: f64 = (0..n - k).map(|t| (series[t] - mean) * (series[t + k] - mean)).sum();
+        *o = cov / var;
+    }
+    out
+}
+
+/// Average autocorrelation across all objects of a dataset for one
+/// continuous feature — the quantity plotted in Fig. 1 ("averaged over all
+/// samples"). Objects shorter than `min_len` are skipped.
+pub fn average_autocorrelation(dataset: &Dataset, feature_idx: usize, max_lag: usize, min_len: usize) -> Vec<f64> {
+    let mut acc = vec![0.0; max_lag + 1];
+    let mut counts = vec![0usize; max_lag + 1];
+    for o in &dataset.objects {
+        if o.len() < min_len.max(2) {
+            continue;
+        }
+        let s = o.feature_series(feature_idx);
+        let ac = autocorrelation(&s, max_lag.min(s.len().saturating_sub(1)));
+        for (k, &v) in ac.iter().enumerate() {
+            if k < s.len() {
+                acc[k] += v;
+                counts[k] += 1;
+            }
+        }
+    }
+    for (a, &c) in acc.iter_mut().zip(&counts) {
+        if c > 0 {
+            *a /= c as f64;
+        }
+    }
+    acc
+}
+
+/// Mean squared error between two equal-length curves — the Fig. 4 metric
+/// ("MSE of generated and real sample autocorrelations").
+pub fn curve_mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "curve_mse requires equal lengths");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_data::{FieldKind, FieldSpec, Schema, TimeSeriesObject, Value};
+
+    #[test]
+    fn lag_zero_is_one() {
+        let s: Vec<f64> = (0..50).map(|t| (t as f64 * 0.7).sin()).collect();
+        let ac = autocorrelation(&s, 10);
+        assert!((ac[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_series_peaks_at_period() {
+        let period = 8;
+        let s: Vec<f64> = (0..200)
+            .map(|t| (std::f64::consts::TAU * t as f64 / period as f64).sin())
+            .collect();
+        let ac = autocorrelation(&s, 12);
+        assert!(ac[period] > 0.9, "lag-{period} should be ~1, got {}", ac[period]);
+        assert!(ac[period / 2] < -0.9, "half-period should be ~-1, got {}", ac[period / 2]);
+    }
+
+    #[test]
+    fn constant_series_is_zero() {
+        let s = vec![5.0; 40];
+        let ac = autocorrelation(&s, 5);
+        assert!(ac.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn white_noise_decays() {
+        // Simple LCG noise to stay dependency-free in this unit test.
+        let mut x = 12345u64;
+        let s: Vec<f64> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 32) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect();
+        let ac = autocorrelation(&s, 5);
+        for &v in &ac[1..] {
+            assert!(v.abs() < 0.05, "white noise autocorr should be ~0, got {v}");
+        }
+    }
+
+    #[test]
+    fn average_autocorrelation_skips_short_series() {
+        let schema = Schema::new(
+            vec![FieldSpec::new("a", FieldKind::categorical(["x"]))],
+            vec![FieldSpec::new("f", FieldKind::continuous(-2.0, 2.0))],
+            32,
+        );
+        let mk = |len: usize| TimeSeriesObject {
+            attributes: vec![Value::Cat(0)],
+            records: (0..len)
+                .map(|t| vec![Value::Cont((std::f64::consts::TAU * t as f64 / 4.0).sin())])
+                .collect(),
+        };
+        let d = Dataset::new(schema, vec![mk(32), mk(1)]);
+        let ac = average_autocorrelation(&d, 0, 8, 4);
+        assert!((ac[0] - 1.0).abs() < 1e-9);
+        assert!(ac[4] > 0.8); // biased estimator: ~(n-k)/n
+    }
+
+    #[test]
+    fn curve_mse_basics() {
+        assert_eq!(curve_mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((curve_mse(&[0.0, 0.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,197 @@
+//! Cross-feature and feature–attribute correlation probes.
+//!
+//! The paper's §1 motivating example is a *cross-correlation*: "as the
+//! memory usage of a task increases over time, its likelihood of failure
+//! increases". These helpers quantify whether generated data preserves
+//! (a) the correlation matrix between features and (b) the dependence of a
+//! continuous feature on a categorical attribute.
+
+use dg_data::Dataset;
+
+/// Pearson correlation between two equal-length samples (0 for degenerate
+/// input).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson requires paired samples");
+    let n = a.len() as f64;
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va * vb).sqrt()
+}
+
+/// The `K x K` Pearson correlation matrix between continuous features,
+/// pooling all records of all objects. Categorical features get zero
+/// rows/columns. Row-major.
+pub fn feature_correlation_matrix(dataset: &Dataset) -> Vec<f64> {
+    let k = dataset.schema.num_features();
+    let cont: Vec<usize> = (0..k)
+        .filter(|&j| !dataset.schema.features[j].kind.is_categorical())
+        .collect();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for o in &dataset.objects {
+        for &j in &cont {
+            cols[j].extend(o.feature_series(j));
+        }
+    }
+    let mut m = vec![0.0; k * k];
+    for &i in &cont {
+        for &j in &cont {
+            m[i * k + j] = if i == j { 1.0 } else { pearson(&cols[i], &cols[j]) };
+        }
+    }
+    m
+}
+
+/// Mean absolute difference between the feature-correlation matrices of two
+/// datasets (off-diagonal entries only) — 0 when generated data preserves
+/// all pairwise feature correlations.
+pub fn correlation_matrix_distance(a: &Dataset, b: &Dataset) -> f64 {
+    assert_eq!(a.schema.num_features(), b.schema.num_features(), "schema mismatch");
+    let k = a.schema.num_features();
+    if k < 2 {
+        return 0.0;
+    }
+    let ma = feature_correlation_matrix(a);
+    let mb = feature_correlation_matrix(b);
+    let mut total = 0.0;
+    let mut count = 0;
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                total += (ma[i * k + j] - mb[i * k + j]).abs();
+                count += 1;
+            }
+        }
+    }
+    total / count.max(1) as f64
+}
+
+/// Correlation ratio (eta) between a categorical attribute and a continuous
+/// feature's per-object mean: `sqrt(SS_between / SS_total)` in `[0, 1]`.
+/// High values mean the attribute strongly determines the feature level —
+/// the §1 feature–attribute correlation in one number.
+pub fn attribute_feature_eta(dataset: &Dataset, attr_idx: usize, feature_idx: usize) -> f64 {
+    let k = dataset.schema.attributes[attr_idx].kind.num_categories();
+    assert!(k >= 2, "eta requires a categorical attribute");
+    let mut groups: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for o in &dataset.objects {
+        if o.is_empty() {
+            continue;
+        }
+        let s = o.feature_series(feature_idx);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        groups[o.attributes[attr_idx].cat()].push(mean);
+    }
+    let all: Vec<f64> = groups.iter().flatten().copied().collect();
+    if all.len() < 2 {
+        return 0.0;
+    }
+    let grand = all.iter().sum::<f64>() / all.len() as f64;
+    let ss_total: f64 = all.iter().map(|v| (v - grand) * (v - grand)).sum();
+    if ss_total <= 0.0 {
+        return 0.0;
+    }
+    let ss_between: f64 = groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| {
+            let m = g.iter().sum::<f64>() / g.len() as f64;
+            g.len() as f64 * (m - grand) * (m - grand)
+        })
+        .sum();
+    (ss_between / ss_total).clamp(0.0, 1.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_data::{FieldKind, FieldSpec, Schema, TimeSeriesObject, Value};
+
+    #[test]
+    fn pearson_basics() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&a, &[5.0; 4]), 0.0);
+    }
+
+    fn two_feature_dataset(correlated: bool) -> Dataset {
+        let schema = Schema::new(
+            vec![FieldSpec::new("k", FieldKind::categorical(["lo", "hi"]))],
+            vec![
+                FieldSpec::new("x", FieldKind::continuous(-10.0, 10.0)),
+                FieldSpec::new("y", FieldKind::continuous(-10.0, 10.0)),
+            ],
+            16,
+        );
+        let objects = (0..8)
+            .map(|i| {
+                let hi = i % 2 == 1;
+                TimeSeriesObject {
+                    attributes: vec![Value::Cat(hi as usize)],
+                    records: (0..16)
+                        .map(|t| {
+                            let x = ((t * 7 + i * 3) as f64 * 0.41).sin() + if hi { 3.0 } else { 0.0 };
+                            let y = if correlated { x * 0.9 } else { ((t * 11 + i) as f64 * 0.73).cos() };
+                            vec![Value::Cont(x), Value::Cont(y)]
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Dataset::new(schema, objects)
+    }
+
+    #[test]
+    fn correlation_matrix_detects_coupling() {
+        let corr = two_feature_dataset(true);
+        let indep = two_feature_dataset(false);
+        let mc = feature_correlation_matrix(&corr);
+        assert!(mc[1] > 0.95, "x-y correlation should be ~1, got {}", mc[1]);
+        let d = correlation_matrix_distance(&corr, &indep);
+        assert!(d > 0.5, "distance between coupled and independent should be large: {d}");
+        assert!(correlation_matrix_distance(&corr, &corr) < 1e-12);
+    }
+
+    #[test]
+    fn eta_detects_attribute_dependence() {
+        let d = two_feature_dataset(true);
+        // "hi" objects have x shifted by +3: strong dependence.
+        let eta = attribute_feature_eta(&d, 0, 0);
+        assert!(eta > 0.9, "eta should be high, got {eta}");
+    }
+
+    #[test]
+    fn eta_is_low_for_independent_attribute() {
+        let schema = Schema::new(
+            vec![FieldSpec::new("k", FieldKind::categorical(["a", "b"]))],
+            vec![FieldSpec::new("x", FieldKind::continuous(-10.0, 10.0))],
+            8,
+        );
+        let objects = (0..20)
+            .map(|i| TimeSeriesObject {
+                attributes: vec![Value::Cat(i % 2)],
+                records: (0..8)
+                    .map(|t| vec![Value::Cont(((i * 13 + t * 7) as f64 * 0.37).sin())])
+                    .collect(),
+            })
+            .collect();
+        let d = Dataset::new(schema, objects);
+        assert!(attribute_feature_eta(&d, 0, 0) < 0.5);
+    }
+}

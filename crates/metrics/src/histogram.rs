@@ -1,0 +1,152 @@
+//! Histograms: categorical attribute counts (Figs. 8, 15–19, 22), duration
+//! histograms (Figs. 7, 14) and binned continuous histograms (Figs. 34–35).
+
+use dg_data::Dataset;
+
+/// Counts of one categorical attribute, in category order.
+pub fn attribute_histogram(dataset: &Dataset, attr_idx: usize) -> Vec<usize> {
+    dataset.attribute_counts(attr_idx)
+}
+
+/// Series-length histogram with one bucket per length `0..=max_len`
+/// (the task-duration histogram of Fig. 7).
+pub fn length_histogram(dataset: &Dataset, max_len: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; max_len + 1];
+    for o in &dataset.objects {
+        counts[o.len().min(max_len)] += 1;
+    }
+    counts
+}
+
+/// A fixed-width binned histogram over continuous values.
+#[derive(Debug, Clone)]
+pub struct BinnedHistogram {
+    /// Left edge of the first bin.
+    pub lo: f64,
+    /// Right edge of the last bin.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<usize>,
+    /// Values below `lo` or above `hi`.
+    pub outliers: usize,
+}
+
+impl BinnedHistogram {
+    /// Bins `values` into `bins` equal-width buckets over `[lo, hi]`.
+    pub fn new(values: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo, "invalid histogram parameters");
+        let mut counts = vec![0usize; bins];
+        let mut outliers = 0;
+        let w = (hi - lo) / bins as f64;
+        for &v in values {
+            if !v.is_finite() || v < lo || v > hi {
+                outliers += 1;
+                continue;
+            }
+            let idx = (((v - lo) / w) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        BinnedHistogram { lo, hi, counts, outliers }
+    }
+
+    /// Bin centers (x-axis values for plotting).
+    pub fn centers(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len()).map(|i| self.lo + w * (i as f64 + 0.5)).collect()
+    }
+
+    /// Total in-range count.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Normalized bin frequencies.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let t = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / t).collect()
+    }
+}
+
+/// Counts the modes (local maxima with prominence above `min_frac` of the
+/// peak) in a histogram — used to verify bimodality capture (Fig. 7).
+pub fn count_modes(counts: &[usize], min_frac: f64) -> usize {
+    let peak = counts.iter().copied().max().unwrap_or(0) as f64;
+    if peak == 0.0 {
+        return 0;
+    }
+    let thresh = peak * min_frac;
+    // Smooth with a width-3 box filter to ignore single-bin jitter.
+    let smooth: Vec<f64> = (0..counts.len())
+        .map(|i| {
+            let lo = i.saturating_sub(1);
+            let hi = (i + 2).min(counts.len());
+            counts[lo..hi].iter().sum::<usize>() as f64 / (hi - lo) as f64
+        })
+        .collect();
+    let mut modes = 0;
+    let mut in_peak = false;
+    for &v in &smooth {
+        if v >= thresh && !in_peak {
+            modes += 1;
+            in_peak = true;
+        } else if v < thresh * 0.5 {
+            in_peak = false;
+        }
+    }
+    modes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_data::{FieldKind, FieldSpec, Schema, TimeSeriesObject, Value};
+
+    fn demo() -> Dataset {
+        let schema = Schema::new(
+            vec![FieldSpec::new("k", FieldKind::categorical(["a", "b"]))],
+            vec![FieldSpec::new("x", FieldKind::continuous(0.0, 10.0))],
+            10,
+        );
+        let objects = (0..6)
+            .map(|i| TimeSeriesObject {
+                attributes: vec![Value::Cat(i % 2)],
+                records: (0..=i).map(|t| vec![Value::Cont(t as f64)]).collect(),
+            })
+            .collect();
+        Dataset::new(schema, objects)
+    }
+
+    #[test]
+    fn attribute_histogram_counts() {
+        assert_eq!(attribute_histogram(&demo(), 0), vec![3, 3]);
+    }
+
+    #[test]
+    fn length_histogram_buckets() {
+        let h = length_histogram(&demo(), 10);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[6], 1);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn binned_histogram_counts_and_outliers() {
+        let h = BinnedHistogram::new(&[0.1, 0.9, 1.5, 2.5, 99.0, f64::NAN], 0.0, 3.0, 3);
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.outliers, 2);
+        assert_eq!(h.total(), 4);
+        let c = h.centers();
+        assert!((c[0] - 0.5).abs() < 1e-12);
+        let f = h.frequencies();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_modes_detects_bimodality() {
+        // Two clear humps separated by a valley.
+        let uni = [0, 2, 10, 30, 10, 2, 0, 0, 0, 0, 0, 0, 0];
+        let bi = [0, 2, 20, 30, 8, 1, 0, 0, 1, 10, 25, 9, 0];
+        assert_eq!(count_modes(&uni, 0.2), 1);
+        assert_eq!(count_modes(&bi, 0.2), 2);
+    }
+}

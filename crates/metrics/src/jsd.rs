@@ -1,0 +1,67 @@
+//! Jensen–Shannon divergence between categorical distributions
+//! (Figs. 20, 21, 23).
+
+/// Jensen–Shannon divergence (natural log) between two count vectors.
+///
+/// Counts are normalized internally. Bounded in `[0, ln 2]`; 0 iff the
+/// normalized distributions are identical.
+pub fn jsd_counts(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "jsd requires equal support sizes");
+    let pa: Vec<f64> = normalize(a);
+    let pb: Vec<f64> = normalize(b);
+    jsd(&pa, &pb)
+}
+
+/// Jensen–Shannon divergence between two probability vectors.
+pub fn jsd(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "jsd requires equal support sizes");
+    let m: Vec<f64> = p.iter().zip(q).map(|(&x, &y)| 0.5 * (x + y)).collect();
+    0.5 * kl(p, &m) + 0.5 * kl(q, &m)
+}
+
+fn kl(p: &[f64], q: &[f64]) -> f64 {
+    p.iter()
+        .zip(q)
+        .filter(|(&x, _)| x > 0.0)
+        .map(|(&x, &y)| x * (x / y.max(f64::MIN_POSITIVE)).ln())
+        .sum()
+}
+
+fn normalize(counts: &[usize]) -> Vec<f64> {
+    let total: usize = counts.iter().sum();
+    assert!(total > 0, "cannot normalize an all-zero count vector");
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_jsd() {
+        assert!(jsd_counts(&[5, 5, 10], &[10, 10, 20]) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_supports_hit_ln2() {
+        let d = jsd_counts(&[10, 0], &[0, 10]);
+        assert!((d - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsd_is_symmetric_and_bounded() {
+        let a = [3, 1, 6, 0];
+        let b = [1, 4, 2, 3];
+        let ab = jsd_counts(&a, &b);
+        let ba = jsd_counts(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.0 && ab <= std::f64::consts::LN_2);
+    }
+
+    #[test]
+    fn small_perturbation_gives_small_jsd() {
+        let a = [100, 100, 100];
+        let b = [101, 99, 100];
+        assert!(jsd_counts(&a, &b) < 1e-4);
+    }
+}

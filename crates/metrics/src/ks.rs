@@ -1,0 +1,84 @@
+//! Two-sample Kolmogorov–Smirnov statistic — a supremum-norm companion to
+//! the integrated Wasserstein-1 distance of Table 3.
+
+use crate::wasserstein::EmpiricalCdf;
+
+/// Two-sample KS statistic `sup_x |F_a(x) - F_b(x)|` in `[0, 1]`.
+///
+/// # Panics
+/// Panics if either sample has no finite values.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    let ca = EmpiricalCdf::new(a);
+    let cb = EmpiricalCdf::new(b);
+    assert!(!ca.is_empty() && !cb.is_empty(), "ks_statistic requires non-empty samples");
+    let mut pts: Vec<f64> = a
+        .iter()
+        .chain(b.iter())
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
+    pts.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    pts.dedup();
+    pts.iter()
+        .map(|&x| (ca.eval(x) - cb.eval(x)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Asymptotic two-sample KS p-value (Kolmogorov distribution tail,
+/// Smirnov's approximation). Small p-values reject "same distribution".
+pub fn ks_p_value(statistic: f64, n_a: usize, n_b: usize) -> f64 {
+    if n_a == 0 || n_b == 0 {
+        return 1.0;
+    }
+    let n_eff = (n_a as f64 * n_b as f64) / (n_a as f64 + n_b as f64);
+    let lambda = (n_eff.sqrt() + 0.12 + 0.11 / n_eff.sqrt()) * statistic;
+    // Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2)
+    let mut p = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        p += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * p).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_give_zero() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        assert!(ks_statistic(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_samples_give_one() {
+        let a = vec![0.0, 1.0, 2.0];
+        let b = vec![10.0, 11.0, 12.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistic_is_symmetric_and_bounded() {
+        let a = vec![0.0, 0.5, 2.0, 3.5];
+        let b = vec![0.2, 1.5, 2.5];
+        let ab = ks_statistic(&a, &b);
+        assert!((ab - ks_statistic(&b, &a)).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn p_value_behaviour() {
+        // Large statistic on large samples => tiny p.
+        assert!(ks_p_value(0.5, 1000, 1000) < 1e-6);
+        // Tiny statistic => p near 1.
+        assert!(ks_p_value(0.01, 100, 100) > 0.9);
+        // Monotone in the statistic.
+        assert!(ks_p_value(0.3, 100, 100) < ks_p_value(0.1, 100, 100));
+    }
+}

@@ -1,0 +1,40 @@
+//! # dg-metrics — fidelity metrics for synthetic time series
+//!
+//! The structural "microbenchmarks" the paper argues systems and networking
+//! evaluations need (§5.1, footnote 5):
+//!
+//! * [`autocorr`] — per-sample and dataset-averaged autocorrelation, plus
+//!   the curve-MSE used in Figs. 1 and 4;
+//! * [`wasserstein`] — empirical CDFs and the Wasserstein-1 distance of
+//!   Table 3 / Fig. 9;
+//! * [`mod@jsd`] — Jensen–Shannon divergence between attribute marginals
+//!   (Figs. 20–23);
+//! * [`histogram`] — categorical, duration and binned histograms
+//!   (Figs. 7, 8, 14–19, 34–35), including a mode counter for bimodality
+//!   checks;
+//! * [`mod@spearman`] — rank correlation for the algorithm-comparison use case
+//!   (Table 4);
+//! * [`nearest`] — the nearest-neighbour memorization probe (Figs. 24–26);
+//! * [`ks`] — two-sample Kolmogorov–Smirnov statistic and p-value;
+//! * [`correlation`] — cross-feature correlation matrices and the
+//!   attribute–feature correlation ratio (the §1 motivating dependence).
+
+#![warn(missing_docs)]
+
+pub mod autocorr;
+pub mod correlation;
+pub mod histogram;
+pub mod jsd;
+pub mod ks;
+pub mod nearest;
+pub mod spearman;
+pub mod wasserstein;
+
+pub use autocorr::{autocorrelation, average_autocorrelation, curve_mse};
+pub use correlation::{attribute_feature_eta, correlation_matrix_distance, feature_correlation_matrix, pearson};
+pub use histogram::{attribute_histogram, count_modes, length_histogram, BinnedHistogram};
+pub use jsd::{jsd, jsd_counts};
+pub use ks::{ks_p_value, ks_statistic};
+pub use nearest::{nearest_distance_summary, nearest_neighbours, NearestReport};
+pub use spearman::{ranks, spearman};
+pub use wasserstein::{wasserstein1, EmpiricalCdf};

@@ -1,0 +1,91 @@
+//! Spearman's rank correlation (Table 4: does generated data preserve the
+//! *ranking* of downstream algorithms?).
+
+/// Spearman's rank correlation coefficient between two paired samples, with
+/// average ranks for ties. Returns a value in `[-1, 1]`.
+///
+/// # Panics
+/// Panics on length mismatch or fewer than 2 points.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman requires paired samples");
+    assert!(a.len() >= 2, "spearman requires at least 2 points");
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Average ranks (1-based) with ties sharing the mean rank.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite values"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va * vb).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        let a = [0.1, 0.5, 0.9, 0.7];
+        let b = [1.0, 2.0, 4.0, 3.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_reversal_is_minus_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [9.0, 5.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_share_average_ranks() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn constant_input_returns_zero() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn monotone_transform_invariance() {
+        let a = [0.2, 0.8, 0.5, 0.1];
+        let b: Vec<f64> = a.iter().map(|&x: &f64| x.exp()).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+}

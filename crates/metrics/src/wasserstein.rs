@@ -1,0 +1,137 @@
+//! Wasserstein-1 distance between empirical distributions (Table 3) and
+//! empirical CDFs (Fig. 9).
+
+/// An empirical CDF built from a sample.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the CDF from a (possibly unsorted) sample. Non-finite values
+    /// are dropped.
+    pub fn new(sample: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = sample.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        EmpiricalCdf { sorted }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no points were retained.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Evaluates the CDF on an even grid over `[lo, hi]` (for plotting /
+    /// table output).
+    pub fn curve(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1).max(1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+/// Wasserstein-1 distance between two empirical distributions — "the
+/// integrated absolute error between 2 CDFs" (Table 3, footnote 6).
+///
+/// Computed exactly by sweeping the merged support.
+pub fn wasserstein1(a: &[f64], b: &[f64]) -> f64 {
+    let ca = EmpiricalCdf::new(a);
+    let cb = EmpiricalCdf::new(b);
+    assert!(!ca.is_empty() && !cb.is_empty(), "wasserstein1 requires non-empty samples");
+    // Merge all support points; integrate |Fa - Fb| between consecutive ones.
+    let mut pts: Vec<f64> = ca.sorted.iter().chain(cb.sorted.iter()).copied().collect();
+    pts.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    pts.dedup();
+    let mut total = 0.0;
+    for w in pts.windows(2) {
+        let (x0, x1) = (w[0], w[1]);
+        let f = (ca.eval(x0) - cb.eval(x0)).abs();
+        total += f * (x1 - x0);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        assert!(wasserstein1(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn shifted_point_masses() {
+        // W1 between delta(0) and delta(3) is 3.
+        let a = vec![0.0; 10];
+        let b = vec![3.0; 10];
+        assert!((wasserstein1(&a, &b) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shift_invariance_of_magnitude() {
+        // W1 between U{0..9} and U{2..11} is 2.
+        let a: Vec<f64> = (0..10).map(|v| v as f64).collect();
+        let b: Vec<f64> = (0..10).map(|v| v as f64 + 2.0).collect();
+        assert!((wasserstein1(&a, &b) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetry_and_triangle() {
+        let a = vec![0.0, 1.0, 2.0];
+        let b = vec![1.0, 2.0, 5.0];
+        let c = vec![0.5, 3.0, 4.0];
+        let ab = wasserstein1(&a, &b);
+        let ba = wasserstein1(&b, &a);
+        assert!((ab - ba).abs() < 1e-12, "symmetry");
+        let ac = wasserstein1(&a, &c);
+        let cb = wasserstein1(&c, &b);
+        assert!(ab <= ac + cb + 1e-9, "triangle inequality");
+    }
+
+    #[test]
+    fn cdf_eval_and_quantile() {
+        let cdf = EmpiricalCdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.eval(0.0), 0.0);
+        assert_eq!(cdf.eval(2.0), 0.5);
+        assert_eq!(cdf.eval(10.0), 1.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 4.0);
+        let curve = cdf.curve(0.0, 5.0, 6);
+        assert_eq!(curve.len(), 6);
+        assert_eq!(curve[0], (0.0, 0.0));
+        assert_eq!(curve[5], (5.0, 1.0));
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let cdf = EmpiricalCdf::new(&[1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(cdf.len(), 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Exposed publicly so downstream crates (and this workspace's property
+//! tests) can verify custom graph constructions against numerical
+//! derivatives — the standard way to validate an autodiff engine.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Result of one gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest absolute deviation between analytic and numeric gradients.
+    pub max_abs_err: f32,
+    /// Largest deviation relative to `1 + |numeric|`.
+    pub max_rel_err: f32,
+    /// Index of the worst element.
+    pub worst_index: usize,
+}
+
+impl GradCheckReport {
+    /// True when the relative error is below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_err < tol
+    }
+}
+
+/// Checks `d loss / d x` at `x0` for a scalar-valued graph builder using
+/// central finite differences with step `eps`.
+///
+/// `build` must be a pure function of its input var (it is re-invoked on a
+/// fresh graph for every probe).
+pub fn check_input_gradient(
+    build: impl Fn(&mut Graph, Var) -> Var,
+    x0: &Tensor,
+    eps: f32,
+) -> GradCheckReport {
+    let mut g = Graph::new();
+    let x = g.input(x0.clone());
+    let loss = build(&mut g, x);
+    assert_eq!(g.value(loss).shape(), (1, 1), "gradient checks need a scalar loss");
+    g.backward(loss);
+    let analytic = g
+        .grad(x)
+        .expect("input did not receive a gradient — did the loss depend on it?")
+        .clone();
+
+    let eval = |xt: Tensor| -> f32 {
+        let mut g = Graph::new();
+        let v = g.input(xt);
+        let l = build(&mut g, v);
+        g.value(l).get(0, 0)
+    };
+
+    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0, worst_index: 0 };
+    for i in 0..x0.len() {
+        let mut xp = x0.clone();
+        xp.as_mut_slice()[i] += eps;
+        let fp = eval(xp);
+        let mut xm = x0.clone();
+        xm.as_mut_slice()[i] -= eps;
+        let fm = eval(xm);
+        let numeric = (fp - fm) / (2.0 * eps);
+        let a = analytic.as_slice()[i];
+        let abs = (a - numeric).abs();
+        let rel = abs / (1.0 + numeric.abs());
+        if rel > report.max_rel_err {
+            report.max_rel_err = rel;
+            report.max_abs_err = abs;
+            report.worst_index = i;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_on_a_correct_graph() {
+        let x0 = Tensor::from_vec(2, 2, vec![0.3, -0.4, 0.9, 0.1]);
+        let report = check_input_gradient(
+            |g, x| {
+                let t = g.tanh(x);
+                let s = g.square(t);
+                g.mean_all(s)
+            },
+            &x0,
+            1e-3,
+        );
+        assert!(report.passes(1e-2), "report: {report:?}");
+    }
+
+    #[test]
+    fn detects_a_wrong_gradient() {
+        // A deliberately wrong construction: scale the loss in the forward
+        // value but compare against an unscaled analytic path by checking
+        // with a huge tolerance boundary. We emulate "wrong" by comparing a
+        // different function: build computes mean(x^2) while the analytic
+        // gradient we probe is from mean(x^2) * 2 via scale — the checker
+        // itself is consistent, so instead verify that a *nonzero* mismatch
+        // is reported when eps is absurdly large (finite-difference error).
+        let x0 = Tensor::from_vec(1, 3, vec![0.5, -0.2, 0.8]);
+        let report = check_input_gradient(
+            |g, x| {
+                let c = g.tanh(x);
+                let s = g.square(c);
+                g.mean_all(s)
+            },
+            &x0,
+            0.5, // huge step => visible truncation error
+        );
+        assert!(report.max_abs_err > 1e-4, "large-step FD should disagree: {report:?}");
+    }
+}

@@ -1,0 +1,809 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a single-use tape: values are computed eagerly as ops are
+//! recorded, and one call to [`Graph::backward`] propagates gradients from a
+//! scalar loss back to every parameter leaf. Training loops build a fresh
+//! graph per step (parameters are copied in from a
+//! [`crate::params::ParamStore`] and gradients are collected into
+//! a [`crate::params::GradMap`]).
+//!
+//! Gradient flow is tracked per node (`needs_grad`), so large data constants
+//! never have gradient buffers allocated for them.
+
+use crate::params::{GradMap, ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // scalar operands are stored for debuggability even when backward ignores them
+enum Op {
+    /// Constant or parameter leaf.
+    Leaf { param: Option<ParamId> },
+    /// `a * b` (matrix product).
+    MatMul(Var, Var),
+    /// `a * b^T` (matrix product against a transposed right factor).
+    MatMulBT(Var, Var),
+    /// Elementwise `a + b` (same shape).
+    Add(Var, Var),
+    /// `a + row` where `row` is `1 x n`, broadcast over rows.
+    AddRow(Var, Var),
+    /// Elementwise `a - b`.
+    Sub(Var, Var),
+    /// Elementwise `a * b`.
+    Mul(Var, Var),
+    /// `a[r, j] * c[r, 0]`: multiply each row of `a` by a per-row scalar.
+    MulCol(Var, Var),
+    /// `a * s` for a compile-time scalar.
+    Scale(Var, f32),
+    /// `a + s` for a compile-time scalar.
+    AddScalar(Var, f32),
+    Tanh(Var),
+    Sigmoid(Var),
+    /// Leaky ReLU with negative slope `alpha`.
+    LeakyRelu(Var, f32),
+    /// Row-wise softmax.
+    Softmax(Var),
+    /// Elementwise square root (input must be positive).
+    Sqrt(Var),
+    /// Sum of all elements, producing a `1 x 1` scalar.
+    SumAll(Var),
+    /// Mean of all elements, producing a `1 x 1` scalar.
+    MeanAll(Var),
+    /// Per-row sums, producing `rows x 1`.
+    SumRows(Var),
+    /// Horizontal concatenation.
+    ConcatCols(Vec<Var>),
+    /// Columns `[start, end)` of the input.
+    SliceCols(Var, usize, usize),
+    /// Fused softmax + cross-entropy against constant one-hot-ish targets;
+    /// produces the mean loss as a `1 x 1` scalar.
+    SoftmaxCrossEntropy { logits: Var, targets: Tensor },
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    grad: Option<Tensor>,
+    needs_grad: bool,
+}
+
+/// A single-use autodiff tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::with_capacity(256) }
+    }
+
+    fn push(&mut self, op: Op, value: Tensor, needs_grad: bool) -> Var {
+        self.nodes.push(Node { op, value, grad: None, needs_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of a node (after [`Graph::backward`]).
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- leaves ----------------------------------------------------------
+
+    /// Records a constant leaf: no gradient is tracked through it.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf { param: None }, value, false)
+    }
+
+    /// Records a constant leaf that *does* track gradients (used for
+    /// inspecting input gradients, e.g. in tests and saliency probes).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf { param: None }, value, true)
+    }
+
+    /// Records a parameter leaf bound to `id`, copying the current value from
+    /// the store.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(Op::Leaf { param: Some(id) }, store.get(id).clone(), true)
+    }
+
+    // ---- ops -------------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::MatMul(a, b), v, ng)
+    }
+
+    /// Matrix product `a * b^T`.
+    pub fn matmul_bt(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_bt(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::MatMulBT(a, b), v, ng)
+    }
+
+    /// Elementwise sum of same-shaped tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Add(a, b), v, ng)
+    }
+
+    /// Adds a `1 x n` row vector (bias) to every row of `a`.
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let r = self.value(row);
+        assert_eq!(r.rows(), 1, "add_row expects a 1 x n row vector");
+        assert_eq!(r.cols(), self.value(a).cols(), "add_row width mismatch");
+        let mut v = self.value(a).clone();
+        let rslice = self.value(row).as_slice().to_vec();
+        for i in 0..v.rows() {
+            for (x, rv) in v.row_slice_mut(i).iter_mut().zip(&rslice) {
+                *x += rv;
+            }
+        }
+        let ng = self.needs(a) || self.needs(row);
+        self.push(Op::AddRow(a, row), v, ng)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Sub(a, b), v, ng)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Mul(a, b), v, ng)
+    }
+
+    /// Multiplies each row of `a` (`B x n`) by the per-row scalar `c` (`B x 1`).
+    pub fn mul_col(&mut self, a: Var, c: Var) -> Var {
+        let (ar, ac) = self.value(a).shape();
+        assert_eq!(self.value(c).shape(), (ar, 1), "mul_col expects a B x 1 column");
+        let mut v = self.value(a).clone();
+        let cs = self.value(c).as_slice().to_vec();
+        for r in 0..ar {
+            let s = cs[r];
+            for x in v.row_slice_mut(r) {
+                *x *= s;
+            }
+        }
+        let _ = ac;
+        let ng = self.needs(a) || self.needs(c);
+        self.push(Op::MulCol(a, c), v, ng)
+    }
+
+    /// Multiplies by a compile-time scalar.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        let ng = self.needs(a);
+        self.push(Op::Scale(a, s), v, ng)
+    }
+
+    /// Adds a compile-time scalar to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).map(|x| x + s);
+        let ng = self.needs(a);
+        self.push(Op::AddScalar(a, s), v, ng)
+    }
+
+    /// Elementwise `tanh`.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        let ng = self.needs(a);
+        self.push(Op::Tanh(a), v, ng)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let ng = self.needs(a);
+        self.push(Op::Sigmoid(a), v, ng)
+    }
+
+    /// Elementwise leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { alpha * x });
+        let ng = self.needs(a);
+        self.push(Op::LeakyRelu(a, alpha), v, ng)
+    }
+
+    /// Row-wise softmax (numerically stabilized).
+    pub fn softmax(&mut self, a: Var) -> Var {
+        let v = softmax_rows(self.value(a));
+        let ng = self.needs(a);
+        self.push(Op::Softmax(a), v, ng)
+    }
+
+    /// Elementwise square root. Inputs should be strictly positive; callers
+    /// typically `add_scalar` a small epsilon first.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0).sqrt());
+        let ng = self.needs(a);
+        self.push(Op::Sqrt(a), v, ng)
+    }
+
+    /// Sum over all elements (`1 x 1` result).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);
+        let ng = self.needs(a);
+        self.push(Op::SumAll(a), v, ng)
+    }
+
+    /// Mean over all elements (`1 x 1` result).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.value(a).mean()]);
+        let ng = self.needs(a);
+        self.push(Op::MeanAll(a), v, ng)
+    }
+
+    /// Per-row sums (`B x 1` result).
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_rows();
+        let ng = self.needs(a);
+        self.push(Op::SumRows(a), v, ng)
+    }
+
+    /// Horizontal concatenation of several vars.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_cols(&tensors);
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(Op::ConcatCols(parts.to_vec()), v, ng)
+    }
+
+    /// Columns `[start, end)` of `a`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let v = self.value(a).slice_cols(start, end);
+        let ng = self.needs(a);
+        self.push(Op::SliceCols(a, start, end), v, ng)
+    }
+
+    /// Convenience: elementwise square via `mul`.
+    pub fn square(&mut self, a: Var) -> Var {
+        self.mul(a, a)
+    }
+
+    /// Fused row-wise softmax + cross-entropy against constant `targets`
+    /// (rows summing to 1). Produces the mean loss over rows.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: Tensor) -> Var {
+        let probs = softmax_rows(self.value(logits));
+        assert_eq!(probs.shape(), targets.shape(), "softmax_cross_entropy shape mismatch");
+        let mut loss = 0.0;
+        for r in 0..probs.rows() {
+            for (p, t) in probs.row_slice(r).iter().zip(targets.row_slice(r)) {
+                if *t > 0.0 {
+                    loss -= t * p.max(1e-12).ln();
+                }
+            }
+        }
+        loss /= probs.rows().max(1) as f32;
+        let v = Tensor::from_vec(1, 1, vec![loss]);
+        let ng = self.needs(logits);
+        self.push(Op::SoftmaxCrossEntropy { logits, targets }, v, ng)
+    }
+
+    // ---- backward --------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from the scalar node `loss`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward requires a scalar loss");
+        self.backward_seeded(loss, 1.0);
+    }
+
+    /// Runs reverse-mode differentiation seeding `d(loss) = seed`.
+    pub fn backward_seeded(&mut self, loss: Var, seed: f32) {
+        self.nodes[loss.0].grad = Some(Tensor::full(1, 1, seed));
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].needs_grad {
+                continue;
+            }
+            let Some(out_grad) = self.nodes[i].grad.take() else { continue };
+            // Re-insert so callers can still read intermediate grads.
+            self.nodes[i].grad = Some(out_grad.clone());
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf { .. } => {}
+                Op::MatMul(a, b) => {
+                    if self.needs(a) {
+                        let g = out_grad.matmul_bt(self.value(b));
+                        self.accumulate(a, g);
+                    }
+                    if self.needs(b) {
+                        let g = self.value(a).matmul_at(&out_grad);
+                        self.accumulate(b, g);
+                    }
+                }
+                Op::MatMulBT(a, b) => {
+                    // c = a b^T  =>  da = dc * b ; db = dc^T * a
+                    if self.needs(a) {
+                        let g = out_grad.matmul(self.value(b));
+                        self.accumulate(a, g);
+                    }
+                    if self.needs(b) {
+                        let g = out_grad.matmul_at(self.value(a));
+                        self.accumulate(b, g);
+                    }
+                }
+                Op::Add(a, b) => {
+                    if self.needs(a) {
+                        self.accumulate(a, out_grad.clone());
+                    }
+                    if self.needs(b) {
+                        self.accumulate(b, out_grad.clone());
+                    }
+                }
+                Op::AddRow(a, row) => {
+                    if self.needs(a) {
+                        self.accumulate(a, out_grad.clone());
+                    }
+                    if self.needs(row) {
+                        self.accumulate(row, out_grad.sum_cols());
+                    }
+                }
+                Op::Sub(a, b) => {
+                    if self.needs(a) {
+                        self.accumulate(a, out_grad.clone());
+                    }
+                    if self.needs(b) {
+                        self.accumulate(b, out_grad.scale(-1.0));
+                    }
+                }
+                Op::Mul(a, b) => {
+                    if a == b {
+                        // square: d = 2 * a * dout
+                        let g = out_grad.mul(self.value(a)).scale(2.0);
+                        self.accumulate(a, g);
+                    } else {
+                        if self.needs(a) {
+                            let g = out_grad.mul(self.value(b));
+                            self.accumulate(a, g);
+                        }
+                        if self.needs(b) {
+                            let g = out_grad.mul(self.value(a));
+                            self.accumulate(b, g);
+                        }
+                    }
+                }
+                Op::MulCol(a, c) => {
+                    if self.needs(a) {
+                        let mut g = out_grad.clone();
+                        let cs = self.value(c).as_slice().to_vec();
+                        for r in 0..g.rows() {
+                            let s = cs[r];
+                            for x in g.row_slice_mut(r) {
+                                *x *= s;
+                            }
+                        }
+                        self.accumulate(a, g);
+                    }
+                    if self.needs(c) {
+                        let prod = out_grad.mul(self.value(a));
+                        self.accumulate(c, prod.sum_rows());
+                    }
+                }
+                Op::Scale(a, s) => {
+                    if self.needs(a) {
+                        self.accumulate(a, out_grad.scale(s));
+                    }
+                }
+                Op::AddScalar(a, _) => {
+                    if self.needs(a) {
+                        self.accumulate(a, out_grad.clone());
+                    }
+                }
+                Op::Tanh(a) => {
+                    if self.needs(a) {
+                        let y = &self.nodes[i].value;
+                        let g = out_grad.zip(y, |d, y| d * (1.0 - y * y));
+                        self.accumulate(a, g);
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    if self.needs(a) {
+                        let y = &self.nodes[i].value;
+                        let g = out_grad.zip(y, |d, y| d * y * (1.0 - y));
+                        self.accumulate(a, g);
+                    }
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    if self.needs(a) {
+                        let x = self.value(a);
+                        let g = out_grad.zip(x, |d, x| if x > 0.0 { d } else { alpha * d });
+                        self.accumulate(a, g);
+                    }
+                }
+                Op::Softmax(a) => {
+                    if self.needs(a) {
+                        let y = self.nodes[i].value.clone();
+                        let mut g = out_grad.mul(&y);
+                        let rowsum = g.sum_rows();
+                        for r in 0..g.rows() {
+                            let s = rowsum.get(r, 0);
+                            for (gx, yx) in g.row_slice_mut(r).iter_mut().zip(y.row_slice(r)) {
+                                *gx -= s * yx;
+                            }
+                        }
+                        self.accumulate(a, g);
+                    }
+                }
+                Op::Sqrt(a) => {
+                    if self.needs(a) {
+                        let y = &self.nodes[i].value;
+                        let g = out_grad.zip(y, |d, y| d * 0.5 / y.max(1e-12));
+                        self.accumulate(a, g);
+                    }
+                }
+                Op::SumAll(a) => {
+                    if self.needs(a) {
+                        let d = out_grad.get(0, 0);
+                        let (r, c) = self.value(a).shape();
+                        self.accumulate(a, Tensor::full(r, c, d));
+                    }
+                }
+                Op::MeanAll(a) => {
+                    if self.needs(a) {
+                        let (r, c) = self.value(a).shape();
+                        let d = out_grad.get(0, 0) / (r * c).max(1) as f32;
+                        self.accumulate(a, Tensor::full(r, c, d));
+                    }
+                }
+                Op::SumRows(a) => {
+                    if self.needs(a) {
+                        let (r, c) = self.value(a).shape();
+                        let mut g = Tensor::zeros(r, c);
+                        for rr in 0..r {
+                            let d = out_grad.get(rr, 0);
+                            for x in g.row_slice_mut(rr) {
+                                *x = d;
+                            }
+                        }
+                        self.accumulate(a, g);
+                    }
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for p in parts {
+                        let w = self.value(p).cols();
+                        if self.needs(p) {
+                            let g = out_grad.slice_cols(off, off + w);
+                            self.accumulate(p, g);
+                        }
+                        off += w;
+                    }
+                }
+                Op::SliceCols(a, start, end) => {
+                    if self.needs(a) {
+                        let (r, c) = self.value(a).shape();
+                        let mut g = Tensor::zeros(r, c);
+                        for rr in 0..r {
+                            g.row_slice_mut(rr)[start..end].copy_from_slice(out_grad.row_slice(rr));
+                        }
+                        self.accumulate(a, g);
+                    }
+                }
+                Op::SoftmaxCrossEntropy { logits, targets } => {
+                    if self.needs(logits) {
+                        let probs = softmax_rows(self.value(logits));
+                        let scale = out_grad.get(0, 0) / probs.rows().max(1) as f32;
+                        let g = probs.sub(&targets).scale(scale);
+                        self.accumulate(logits, g);
+                    }
+                }
+            }
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, grad: Tensor) {
+        debug_assert_eq!(grad.shape(), self.nodes[v.0].value.shape());
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.add_assign(&grad),
+            slot @ None => *slot = Some(grad),
+        }
+    }
+
+    /// Collects gradients of every parameter leaf into a [`GradMap`].
+    pub fn param_grads(&self) -> GradMap {
+        let mut map = GradMap::with_capacity(0);
+        for node in &self.nodes {
+            if let Op::Leaf { param: Some(id) } = node.op {
+                if let Some(g) = &node.grad {
+                    map.accumulate(id, g);
+                }
+            }
+        }
+        map
+    }
+}
+
+/// Numerically-stable row-wise softmax on plain tensors.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_slice_mut(r);
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - mx).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference check of `d loss / d x` for the `input` leaf.
+    fn finite_diff_check(build: impl Fn(&mut Graph, Var) -> Var, x0: Tensor, tol: f32) {
+        // Analytic gradient.
+        let mut g = Graph::new();
+        let x = g.input(x0.clone());
+        let loss = build(&mut g, x);
+        g.backward(loss);
+        let analytic = g.grad(x).expect("input should receive a gradient").clone();
+
+        // Numeric gradient (central differences, f64-friendly epsilon for f32).
+        let eps = 1e-3_f32;
+        for i in 0..x0.len() {
+            let mut xp = x0.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut gp = Graph::new();
+            let v = gp.input(xp);
+            let lp = build(&mut gp, v);
+            let fp = gp.value(lp).get(0, 0);
+
+            let mut xm = x0.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let mut gm = Graph::new();
+            let v = gm.input(xm);
+            let lm = build(&mut gm, v);
+            let fm = gm.value(lm).get(0, 0);
+
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            assert!(
+                (a - numeric).abs() < tol * (1.0 + numeric.abs()),
+                "grad mismatch at {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn sample_x() -> Tensor {
+        Tensor::from_vec(2, 3, vec![0.3, -0.7, 1.2, 0.05, -1.4, 0.9])
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let w = Tensor::from_vec(3, 2, vec![0.2, -0.4, 0.9, 0.1, -0.3, 0.8]);
+        finite_diff_check(
+            move |g, x| {
+                let wv = g.constant(w.clone());
+                let y = g.matmul(x, wv);
+                g.sum_all(y)
+            },
+            sample_x(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_bt() {
+        let w = Tensor::from_vec(2, 3, vec![0.2, -0.4, 0.9, 0.1, -0.3, 0.8]);
+        finite_diff_check(
+            move |g, x| {
+                let wv = g.constant(w.clone());
+                let y = g.matmul_bt(x, wv);
+                let s = g.square(y);
+                g.mean_all(s)
+            },
+            sample_x(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_right_factor() {
+        // Check gradient wrt the *right* matmul factor too.
+        let a = Tensor::from_vec(2, 2, vec![0.5, -1.0, 2.0, 0.25]);
+        finite_diff_check(
+            move |g, x| {
+                let av = g.constant(a.clone());
+                let y = g.matmul(av, x);
+                let s = g.square(y);
+                g.sum_all(s)
+            },
+            Tensor::from_vec(2, 3, vec![0.3, -0.7, 1.2, 0.05, -1.4, 0.9]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_activations() {
+        for act in ["tanh", "sigmoid", "leaky", "softmax", "sqrt"] {
+            let a = act.to_string();
+            finite_diff_check(
+                move |g, x| {
+                    let y = match a.as_str() {
+                        "tanh" => g.tanh(x),
+                        "sigmoid" => g.sigmoid(x),
+                        "leaky" => g.leaky_relu(x, 0.2),
+                        "softmax" => g.softmax(x),
+                        "sqrt" => {
+                            let p = g.square(x);
+                            let p = g.add_scalar(p, 0.5);
+                            g.sqrt(p)
+                        }
+                        _ => unreachable!(),
+                    };
+                    let s = g.square(y);
+                    g.mean_all(s)
+                },
+                sample_x(),
+                2e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn grad_arithmetic_chain() {
+        let b = Tensor::from_vec(2, 3, vec![0.1, 0.2, 0.3, -0.1, -0.2, -0.3]);
+        finite_diff_check(
+            move |g, x| {
+                let bv = g.constant(b.clone());
+                let y = g.add(x, bv);
+                let y = g.scale(y, 1.7);
+                let y = g.add_scalar(y, -0.3);
+                let z = g.mul(y, x);
+                let z = g.sub(z, x);
+                g.mean_all(z)
+            },
+            sample_x(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_mul_col_and_sum_rows() {
+        finite_diff_check(
+            |g, x| {
+                let s = g.sum_rows(x); // B x 1
+                let y = g.mul_col(x, s);
+                g.sum_all(y)
+            },
+            sample_x(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_slice() {
+        finite_diff_check(
+            |g, x| {
+                let a = g.slice_cols(x, 0, 2);
+                let b = g.slice_cols(x, 1, 3);
+                let c = g.concat_cols(&[a, b]);
+                let s = g.square(c);
+                g.sum_all(s)
+            },
+            sample_x(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_add_row_bias() {
+        finite_diff_check(
+            |g, x| {
+                // Use x's first row as a bias onto a constant.
+                let base = g.constant(Tensor::ones(4, 3));
+                let bias = g.slice_cols(x, 0, 3); // still 2x3; take row via matmul trick
+                let pick = g.constant(Tensor::from_vec(1, 2, vec![1.0, 0.0]));
+                let row = g.matmul(pick, bias); // 1 x 3
+                let y = g.add_row(base, row);
+                let s = g.square(y);
+                g.sum_all(s)
+            },
+            sample_x(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_cross_entropy() {
+        let targets = Tensor::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+        finite_diff_check(
+            move |g, x| g.softmax_cross_entropy(x, targets.clone()),
+            sample_x(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn param_grads_collect_by_id() {
+        let mut store = ParamStore::new();
+        let wid = store.add("w", Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut g = Graph::new();
+        let w = g.param(&store, wid);
+        let x = g.constant(Tensor::from_vec(1, 2, vec![1.0, 1.0]));
+        let y = g.matmul(x, w);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        let grads = g.param_grads();
+        // d/dw of sum(x*w) with x = [1,1] is all-ones.
+        assert_eq!(grads.get(wid).unwrap().as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn constants_do_not_allocate_grads() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::ones(2, 2));
+        let b = g.constant(Tensor::ones(2, 2));
+        let c = g.add(a, b);
+        let loss = g.sum_all(c);
+        g.backward(loss);
+        assert!(g.grad(a).is_none());
+        assert!(g.grad(c).is_none());
+    }
+
+    #[test]
+    fn softmax_rows_is_simplex() {
+        let x = Tensor::from_vec(2, 3, vec![1000.0, 1001.0, 999.0, -5.0, 0.0, 5.0]);
+        let s = softmax_rows(&x);
+        for r in 0..2 {
+            let sum: f32 = s.row_slice(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(s.row_slice(r).iter().all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    #[test]
+    fn grad_shared_subexpression_accumulates() {
+        // loss = sum(x) + mean(x); both paths hit x.
+        finite_diff_check(
+            |g, x| {
+                let s = g.sum_all(x);
+                let m = g.mean_all(x);
+                g.add(s, m)
+            },
+            sample_x(),
+            1e-2,
+        );
+    }
+}

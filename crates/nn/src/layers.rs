@@ -1,0 +1,470 @@
+//! Neural network layers: linear, multi-layer perceptron, and LSTM cell.
+//!
+//! Layers are *descriptions*: they register their parameters in a
+//! [`ParamStore`] at construction time and record ops into a fresh [`Graph`]
+//! on every forward call. This keeps the tape single-use while parameters
+//! persist across steps.
+
+use crate::graph::{Graph, Var};
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Activation functions used by [`Mlp`] hidden and output layers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity (no activation).
+    Linear,
+    /// Hyperbolic tangent (used for `[-1, 1]`-normalized continuous outputs).
+    Tanh,
+    /// Logistic sigmoid (used for `[0, 1]`-normalized continuous outputs).
+    Sigmoid,
+    /// Leaky ReLU. Piecewise-linear, which is what makes the WGAN-GP
+    /// double-backprop in [`crate::penalty`] exact.
+    LeakyRelu(f32),
+    /// Row-wise softmax (categorical outputs and generation flags).
+    Softmax,
+}
+
+impl Activation {
+    /// Applies the activation in-graph.
+    pub fn apply(self, g: &mut Graph, x: Var) -> Var {
+        match self {
+            Activation::Linear => x,
+            Activation::Tanh => g.tanh(x),
+            Activation::Sigmoid => g.sigmoid(x),
+            Activation::LeakyRelu(a) => g.leaky_relu(x, a),
+            Activation::Softmax => g.softmax(x),
+        }
+    }
+
+    /// The derivative evaluated from the *pre-activation* tensor, as a plain
+    /// tensor. Only defined for piecewise-linear activations, where the
+    /// derivative is constant a.e. — the key property exploited by the
+    /// gradient-penalty construction.
+    pub fn piecewise_linear_mask(self, pre: &Tensor) -> Option<Tensor> {
+        match self {
+            Activation::Linear => Some(Tensor::ones(pre.rows(), pre.cols())),
+            Activation::LeakyRelu(a) => Some(pre.map(|x| if x > 0.0 { 1.0 } else { a })),
+            _ => None,
+        }
+    }
+}
+
+/// A fully-connected layer `y = x W + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix parameter (`in_dim x out_dim`).
+    pub w: ParamId,
+    /// Bias row vector parameter (`1 x out_dim`).
+    pub b: ParamId,
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a linear layer with Xavier/Glorot-uniform initialization.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        let w = store.add(format!("{name}.w"), Tensor::rand_uniform(in_dim, out_dim, -bound, bound, rng));
+        let b = store.add(format!("{name}.b"), Tensor::zeros(1, out_dim));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Records `x W + b`, returning the pre-activation.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        let xw = g.matmul(x, w);
+        g.add_row(xw, b)
+    }
+
+    /// Like [`Linear::forward`], but loads the parameters as constants:
+    /// gradients still flow through the op *to the input* but never reach the
+    /// weights. Used when updating a generator through a frozen critic and at
+    /// inference time.
+    pub fn forward_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.constant(store.get(self.w).clone());
+        let b = g.constant(store.get(self.b).clone());
+        let xw = g.matmul(x, w);
+        g.add_row(xw, b)
+    }
+
+    /// The parameter ids owned by this layer.
+    pub fn params(&self) -> Vec<ParamId> {
+        vec![self.w, self.b]
+    }
+}
+
+/// A multi-layer perceptron with uniform hidden activation and a configurable
+/// output activation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Hidden + output layers in order.
+    pub layers: Vec<Linear>,
+    /// Activation applied after every hidden layer.
+    pub hidden_act: Activation,
+    /// Activation applied after the final layer.
+    pub out_act: Activation,
+}
+
+/// Forward-pass byproducts needed by the gradient-penalty construction: the
+/// piecewise-linear derivative masks of each hidden activation, detached from
+/// the graph.
+#[derive(Debug, Clone)]
+pub struct MlpMasks {
+    /// One mask per hidden layer, each shaped like that layer's
+    /// pre-activation.
+    pub masks: Vec<Tensor>,
+}
+
+impl Mlp {
+    /// Registers an MLP `in_dim -> hidden^depth -> out_dim`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        depth: usize,
+        out_dim: usize,
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let mut layers = Vec::with_capacity(depth + 1);
+        let mut cur = in_dim;
+        for i in 0..depth {
+            layers.push(Linear::new(store, &format!("{name}.h{i}"), cur, hidden, rng));
+            cur = hidden;
+        }
+        layers.push(Linear::new(store, &format!("{name}.out"), cur, out_dim, rng));
+        Mlp { layers, hidden_act, out_act }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map(|l| l.in_dim).unwrap_or(0)
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map(|l| l.out_dim).unwrap_or(0)
+    }
+
+    /// Standard forward pass.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, store, h);
+            h = if i == last { self.out_act.apply(g, h) } else { self.hidden_act.apply(g, h) };
+        }
+        h
+    }
+
+    /// Forward pass with frozen parameters (see [`Linear::forward_frozen`]).
+    pub fn forward_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_frozen(g, store, h);
+            h = if i == last { self.out_act.apply(g, h) } else { self.hidden_act.apply(g, h) };
+        }
+        h
+    }
+
+    /// Forward pass that additionally captures the hidden activations'
+    /// piecewise-linear derivative masks (required by
+    /// [`crate::penalty::input_gradient`]).
+    ///
+    /// # Panics
+    /// Panics if the hidden activation is not piecewise linear.
+    pub fn forward_with_masks(&self, g: &mut Graph, store: &ParamStore, x: Var) -> (Var, MlpMasks) {
+        let mut h = x;
+        let mut masks = Vec::with_capacity(self.layers.len() - 1);
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let pre = layer.forward(g, store, h);
+            if i == last {
+                h = self.out_act.apply(g, pre);
+            } else {
+                let mask = self
+                    .hidden_act
+                    .piecewise_linear_mask(g.value(pre))
+                    .expect("forward_with_masks requires a piecewise-linear hidden activation");
+                masks.push(mask);
+                h = self.hidden_act.apply(g, pre);
+            }
+        }
+        (h, MlpMasks { masks })
+    }
+
+    /// All parameter ids in layer order.
+    pub fn params(&self) -> Vec<ParamId> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+}
+
+/// A single-layer LSTM cell.
+///
+/// Gates are computed jointly: `[i f g o] = [x h] W + b`, then
+/// `c' = sigmoid(f) * c + sigmoid(i) * tanh(g)` and `h' = sigmoid(o) * tanh(c')`.
+/// The forget-gate bias is initialized to 1, a standard trick that eases
+/// learning of long-range dependencies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmCell {
+    /// Joint gate weight (`(in_dim + hidden) x 4*hidden`).
+    pub w: ParamId,
+    /// Joint gate bias (`1 x 4*hidden`).
+    pub b: ParamId,
+    /// Input width.
+    pub in_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+/// Recurrent state `(h, c)` carried between LSTM steps.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmState {
+    /// Hidden output.
+    pub h: Var,
+    /// Cell memory.
+    pub c: Var,
+}
+
+impl LstmCell {
+    /// Registers an LSTM cell with Xavier-uniform weights and forget-bias 1.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_dim + hidden;
+        let bound = (6.0 / (fan_in + 4 * hidden) as f32).sqrt();
+        let w = store.add(format!("{name}.w"), Tensor::rand_uniform(fan_in, 4 * hidden, -bound, bound, rng));
+        let mut bias = Tensor::zeros(1, 4 * hidden);
+        for j in hidden..2 * hidden {
+            bias.set(0, j, 1.0); // forget gate
+        }
+        let b = store.add(format!("{name}.b"), bias);
+        LstmCell { w, b, in_dim, hidden }
+    }
+
+    /// Creates the all-zero initial state for a batch of `batch` sequences.
+    pub fn zero_state(&self, g: &mut Graph, batch: usize) -> LstmState {
+        LstmState {
+            h: g.constant(Tensor::zeros(batch, self.hidden)),
+            c: g.constant(Tensor::zeros(batch, self.hidden)),
+        }
+    }
+
+    /// Records one recurrence step, returning the next state.
+    pub fn step(&self, g: &mut Graph, store: &ParamStore, x: Var, state: LstmState) -> LstmState {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        self.step_with(g, w, b, x, state)
+    }
+
+    /// Records one recurrence step with frozen parameters (inference).
+    pub fn step_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var, state: LstmState) -> LstmState {
+        let w = g.constant(store.get(self.w).clone());
+        let b = g.constant(store.get(self.b).clone());
+        self.step_with(g, w, b, x, state)
+    }
+
+    fn step_with(&self, g: &mut Graph, w: Var, b: Var, x: Var, state: LstmState) -> LstmState {
+        let xh = g.concat_cols(&[x, state.h]);
+        let gates = g.matmul(xh, w);
+        let gates = g.add_row(gates, b);
+        let h = self.hidden;
+        let i_g = g.slice_cols(gates, 0, h);
+        let f_g = g.slice_cols(gates, h, 2 * h);
+        let g_g = g.slice_cols(gates, 2 * h, 3 * h);
+        let o_g = g.slice_cols(gates, 3 * h, 4 * h);
+        let i_s = g.sigmoid(i_g);
+        let f_s = g.sigmoid(f_g);
+        let g_t = g.tanh(g_g);
+        let o_s = g.sigmoid(o_g);
+        let fc = g.mul(f_s, state.c);
+        let ig = g.mul(i_s, g_t);
+        let c_new = g.add(fc, ig);
+        let c_tanh = g.tanh(c_new);
+        let h_new = g.mul(o_s, c_tanh);
+        LstmState { h: h_new, c: c_new }
+    }
+
+    /// The parameter ids owned by this cell.
+    pub fn params(&self) -> Vec<ParamId> {
+        vec![self.w, self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 3, 2, &mut rng);
+        assert_eq!(store.get(lin.w).shape(), (3, 2));
+        assert_eq!(store.get(lin.b).shape(), (1, 2));
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::zeros(5, 3));
+        let y = lin.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), (5, 2));
+        // With zero input the output equals the (zero) bias.
+        assert_eq!(g.value(y).as_slice(), &[0.0; 10]);
+    }
+
+    #[test]
+    fn mlp_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(
+            &mut store,
+            "m",
+            4,
+            8,
+            2,
+            3,
+            Activation::LeakyRelu(0.2),
+            Activation::Softmax,
+            &mut rng,
+        );
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 3);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::randn(7, 4, 1.0, &mut rng));
+        let y = mlp.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), (7, 3));
+        // softmax rows sum to one
+        for r in 0..7 {
+            let s: f32 = g.value(y).row_slice(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mlp_trains_on_xor() {
+        // Small end-to-end sanity check: the MLP + Adam can fit XOR.
+        use crate::optim::Adam;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "xor", 2, 8, 1, 2, Activation::Tanh, Activation::Linear, &mut rng);
+        let x = Tensor::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let t = Tensor::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0]);
+        let mut opt = Adam::new(0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let logits = mlp.forward(&mut g, &store, xv);
+            let loss = g.softmax_cross_entropy(logits, t.clone());
+            last = g.value(loss).get(0, 0);
+            g.backward(loss);
+            let grads = g.param_grads();
+            opt.step(&mut store, &grads);
+        }
+        assert!(last < 0.1, "XOR loss should converge, got {last}");
+    }
+
+    #[test]
+    fn forward_with_masks_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(
+            &mut store,
+            "d",
+            3,
+            6,
+            2,
+            1,
+            Activation::LeakyRelu(0.1),
+            Activation::Linear,
+            &mut rng,
+        );
+        let x = Tensor::randn(5, 3, 1.0, &mut rng);
+        let mut g1 = Graph::new();
+        let xv = g1.constant(x.clone());
+        let y1 = mlp.forward(&mut g1, &store, xv);
+        let mut g2 = Graph::new();
+        let xv = g2.constant(x);
+        let (y2, masks) = mlp.forward_with_masks(&mut g2, &store, xv);
+        assert_eq!(g1.value(y1), g2.value(y2));
+        assert_eq!(masks.masks.len(), 2);
+        for m in &masks.masks {
+            assert!(m.as_slice().iter().all(|&v| v == 1.0 || (v - 0.1).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn lstm_step_shapes_and_state_flow() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 3, 4, &mut rng);
+        let mut g = Graph::new();
+        let st0 = cell.zero_state(&mut g, 2);
+        let x = g.constant(Tensor::randn(2, 3, 1.0, &mut rng));
+        let st1 = cell.step(&mut g, &store, x, st0);
+        assert_eq!(g.value(st1.h).shape(), (2, 4));
+        assert_eq!(g.value(st1.c).shape(), (2, 4));
+        // h is bounded by tanh * sigmoid in (-1, 1)
+        assert!(g.value(st1.h).as_slice().iter().all(|v| v.abs() < 1.0));
+        // State changes when input is nonzero.
+        let x2 = g.constant(Tensor::randn(2, 3, 1.0, &mut rng));
+        let st2 = cell.step(&mut g, &store, x2, st1);
+        assert_ne!(g.value(st1.h), g.value(st2.h));
+    }
+
+    #[test]
+    fn lstm_can_memorize_a_sequence() {
+        // Teach the LSTM to output the *previous* input (one-step memory).
+        use crate::optim::Adam;
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "mem", 1, 16, &mut rng);
+        let head = Linear::new(&mut store, "head", 16, 1, &mut rng);
+        let seq: Vec<f32> = vec![0.8, -0.5, 0.3, -0.9, 0.1, 0.7, -0.2, 0.4];
+        let mut opt = Adam::new(0.02);
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            let mut g = Graph::new();
+            let mut state = cell.zero_state(&mut g, 1);
+            let mut loss_terms = Vec::new();
+            for w in seq.windows(2) {
+                let x = g.constant(Tensor::from_vec(1, 1, vec![w[0]]));
+                state = cell.step(&mut g, &store, x, state);
+                let pred = head.forward(&mut g, &store, state.h);
+                let target = g.constant(Tensor::from_vec(1, 1, vec![w[1]]));
+                let diff = g.sub(pred, target);
+                let sq = g.square(diff);
+                loss_terms.push(g.sum_all(sq));
+            }
+            let mut total = loss_terms[0];
+            for &t in &loss_terms[1..] {
+                total = g.add(total, t);
+            }
+            let loss = g.scale(total, 1.0 / loss_terms.len() as f32);
+            last = g.value(loss).get(0, 0);
+            g.backward(loss);
+            opt.step(&mut store, &g.param_grads());
+        }
+        assert!(last < 0.05, "LSTM should fit a short sequence, got {last}");
+    }
+}

@@ -1,0 +1,69 @@
+//! # dg-nn — the neural substrate of the DoppelGANger reproduction
+//!
+//! A small, dependency-light deep-learning engine written for this
+//! reproduction of *"Using GANs for Sharing Networked Time Series Data"*
+//! (Lin et al., IMC 2020). The paper's models are built from three
+//! ingredients, all provided here:
+//!
+//! * [`tensor::Tensor`] — dense row-major `f32` matrices with a threaded
+//!   matmul kernel;
+//! * [`graph::Graph`] — a single-use reverse-mode autodiff tape with the op
+//!   set needed by MLPs, LSTMs and Wasserstein losses;
+//! * [`layers`] / [`optim`] — Linear/MLP/LSTM layers over a serializable
+//!   [`params::ParamStore`], plus SGD and Adam.
+//!
+//! The one genuinely tricky piece is [`penalty`]: WGAN-GP needs the
+//! *gradient of a gradient*. Because every discriminator in the paper is an
+//! MLP (§4.2), and we fix their hidden activations to leaky-ReLU
+//! (piecewise-linear), the input gradient `∇x D(x)` can be spelled out as a
+//! chain of masked transposed matmuls whose masks are piecewise-constant in
+//! `x`. Differentiating that expression with the ordinary tape gives the
+//! exact second derivative almost everywhere — no higher-order autodiff
+//! machinery required.
+//!
+//! ## Example
+//!
+//! ```
+//! use dg_nn::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let mlp = Mlp::new(&mut store, "f", 2, 16, 1, 1, Activation::Tanh, Activation::Linear, &mut rng);
+//! let mut opt = Adam::new(0.01);
+//!
+//! // Fit f(x) = x0 + x1 on a fixed batch.
+//! let x = Tensor::randn(32, 2, 1.0, &mut rng);
+//! let t = Tensor::from_vec(32, 1, x.as_slice().chunks(2).map(|c| c[0] + c[1]).collect());
+//! for _ in 0..200 {
+//!     let mut g = Graph::new();
+//!     let xv = g.constant(x.clone());
+//!     let pred = mlp.forward(&mut g, &store, xv);
+//!     let tv = g.constant(t.clone());
+//!     let d = g.sub(pred, tv);
+//!     let sq = g.square(d);
+//!     let loss = g.mean_all(sq);
+//!     g.backward(loss);
+//!     opt.step(&mut store, &g.param_grads());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod graph;
+pub mod layers;
+pub mod optim;
+pub mod params;
+pub mod penalty;
+pub mod tensor;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::graph::{Graph, Var};
+    pub use crate::layers::{Activation, Linear, LstmCell, LstmState, Mlp};
+    pub use crate::optim::{Adam, Sgd};
+    pub use crate::params::{GradMap, ParamId, ParamStore};
+    pub use crate::penalty::{gradient_penalty, input_gradient};
+    pub use crate::tensor::Tensor;
+}

@@ -1,0 +1,207 @@
+//! First-order optimizers operating on a [`ParamStore`] + [`GradMap`] pair.
+
+use crate::params::{GradMap, ParamId, ParamStore};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Plain stochastic gradient descent (optionally with momentum).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer without momentum.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// Creates an SGD optimizer with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Applies one update: `p -= lr * (momentum-filtered gradient)`.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &GradMap) {
+        for (id, g) in grads.iter() {
+            if self.velocity.len() <= id.0 {
+                self.velocity.resize(id.0 + 1, None);
+            }
+            let update = if self.momentum > 0.0 {
+                let v = self.velocity[id.0].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
+                *v = v.scale(self.momentum).add(g);
+                v.clone()
+            } else {
+                g.clone()
+            };
+            store.get_mut(id).add_scaled_assign(&update, -self.lr);
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba), the optimizer used throughout the paper's
+/// Appendix B (learning rate 0.001, batch size 100).
+///
+/// Defaults to `(beta1, beta2) = (0.5, 0.9)`, the standard WGAN-GP setting;
+/// use [`Adam::with_betas`] for the classic `(0.9, 0.999)`.
+///
+/// The optimizer state (step count + moment estimates) is serializable, so
+/// long GAN trainings can checkpoint and resume exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical stability constant.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with WGAN-GP betas `(0.5, 0.9)`.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.5, beta2: 0.9, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Creates an Adam optimizer with explicit betas.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        Adam { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Applies one bias-corrected Adam update.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &GradMap) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, g) in grads.iter() {
+            self.ensure(id, g);
+            let m = self.m[id.0].as_mut().expect("ensured");
+            let v = self.v[id.0].as_mut().expect("ensured");
+            for ((mi, vi), &gi) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice().iter_mut())
+                .zip(g.as_slice())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let p = store.get_mut(id);
+            for ((pi, &mi), &vi) in p.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice()) {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                *pi -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Resets the optimizer state for the given parameters (used when the
+    /// attribute generator is retrained from scratch on a new target
+    /// distribution).
+    pub fn reset_params(&mut self, ids: &[ParamId]) {
+        for &id in ids {
+            if id.0 < self.m.len() {
+                self.m[id.0] = None;
+                self.v[id.0] = None;
+            }
+        }
+    }
+
+    fn ensure(&mut self, id: ParamId, g: &Tensor) {
+        if self.m.len() <= id.0 {
+            self.m.resize(id.0 + 1, None);
+            self.v.resize(id.0 + 1, None);
+        }
+        if self.m[id.0].is_none() {
+            self.m[id.0] = Some(Tensor::zeros(g.rows(), g.cols()));
+            self.v[id.0] = Some(Tensor::zeros(g.rows(), g.cols()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimizes `f(p) = (p - 3)^2` elementwise from p = 0.
+    fn quadratic_descent(mut step: impl FnMut(&mut ParamStore, &GradMap)) -> f32 {
+        let mut store = ParamStore::new();
+        let id = store.add("p", Tensor::zeros(1, 4));
+        for _ in 0..500 {
+            let mut g = Graph::new();
+            let p = g.param(&store, id);
+            let target = g.constant(Tensor::full(1, 4, 3.0));
+            let d = g.sub(p, target);
+            let sq = g.square(d);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            step(&mut store, &g.param_grads());
+        }
+        store
+            .get(id)
+            .as_slice()
+            .iter()
+            .map(|x| (x - 3.0).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let err = quadratic_descent(|s, g| opt.step(s, g));
+        assert!(err < 1e-3, "SGD error {err}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::with_momentum(0.02, 0.9);
+        let err = quadratic_descent(|s, g| opt.step(s, g));
+        assert!(err < 1e-3, "SGD+momentum error {err}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let err = quadratic_descent(|s, g| opt.step(s, g));
+        assert!(err < 1e-2, "Adam error {err}");
+    }
+
+    #[test]
+    fn adam_reset_clears_state() {
+        let mut store = ParamStore::new();
+        let id = store.add("p", Tensor::zeros(1, 1));
+        let mut opt = Adam::new(0.1);
+        let mut grads = GradMap::with_capacity(1);
+        grads.accumulate(id, &Tensor::ones(1, 1));
+        opt.step(&mut store, &grads);
+        assert!(opt.m[0].is_some());
+        opt.reset_params(&[id]);
+        assert!(opt.m[0].is_none());
+        // Stepping again after reset still works.
+        opt.step(&mut store, &grads);
+        assert!(opt.m[0].is_some());
+    }
+
+    #[test]
+    fn adam_first_step_moves_by_about_lr() {
+        // With bias correction, the very first Adam step is ~lr in magnitude.
+        let mut store = ParamStore::new();
+        let id = store.add("p", Tensor::zeros(1, 1));
+        let mut opt = Adam::new(0.01);
+        let mut grads = GradMap::with_capacity(1);
+        grads.accumulate(id, &Tensor::full(1, 1, 5.0));
+        opt.step(&mut store, &grads);
+        let moved = store.get(id).get(0, 0).abs();
+        assert!((moved - 0.01).abs() < 1e-3, "first Adam step should be ~lr, moved {moved}");
+    }
+}

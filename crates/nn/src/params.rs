@@ -1,0 +1,237 @@
+//! Named, serializable parameter storage shared by all models.
+//!
+//! A [`ParamStore`] owns every trainable tensor of a model. Computation
+//! graphs reference parameters through stable [`ParamId`]s, which lets the
+//! DoppelGANger trainer retrain *subsets* of parameters (e.g. only the
+//! attribute generator, for the paper's flexibility/privacy mechanism) and
+//! lets optimizers keep per-parameter state across steps.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Stable handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Param {
+    name: String,
+    value: Tensor,
+}
+
+/// Owns the trainable tensors of one or more models.
+///
+/// The paper's workflow (Fig. 2) releases *model parameters* from the data
+/// holder to the data consumer; [`ParamStore`] is the unit of that release
+/// and is (de)serializable with serde.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tensor under `name`, returning its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = ParamId(self.params.len());
+        self.params.push(Param { name: name.into(), value });
+        id
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Immutable access to a parameter tensor.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to a parameter tensor.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// The registration name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Iterates over `(id, name, tensor)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p.name.as_str(), &p.value))
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Copies parameter values from `other` for the given ids.
+    ///
+    /// Used by the flexibility mechanism to transplant a retrained attribute
+    /// generator back into a full model.
+    ///
+    /// # Panics
+    /// Panics if shapes differ or an id is out of range for either store.
+    pub fn copy_from(&mut self, other: &ParamStore, ids: &[ParamId]) {
+        for &id in ids {
+            let src = other.get(id);
+            let dst = self.get_mut(id);
+            assert_eq!(src.shape(), dst.shape(), "copy_from shape mismatch for {:?}", id);
+            *dst = src.clone();
+        }
+    }
+}
+
+/// Gradients accumulated by one backward pass, indexed by [`ParamId`].
+#[derive(Debug, Clone, Default)]
+pub struct GradMap {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl GradMap {
+    /// Creates an empty map sized for `n` parameters.
+    pub fn with_capacity(n: usize) -> Self {
+        GradMap { grads: vec![None; n] }
+    }
+
+    /// Accumulates `grad` into the slot for `id`.
+    pub fn accumulate(&mut self, id: ParamId, grad: &Tensor) {
+        if self.grads.len() <= id.0 {
+            self.grads.resize(id.0 + 1, None);
+        }
+        match &mut self.grads[id.0] {
+            Some(g) => g.add_assign(grad),
+            slot @ None => *slot = Some(grad.clone()),
+        }
+    }
+
+    /// The gradient for `id`, if any path reached it.
+    pub fn get(&self, id: ParamId) -> Option<&Tensor> {
+        self.grads.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    /// Iterates over present gradients.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.grads.iter().enumerate().filter_map(|(i, g)| g.as_ref().map(|t| (ParamId(i), t)))
+    }
+
+    /// Iterates mutably over present gradients (e.g. for DP noise
+    /// injection).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Tensor)> {
+        self.grads.iter_mut().enumerate().filter_map(|(i, g)| g.as_mut().map(|t| (ParamId(i), t)))
+    }
+
+    /// Merges another map into this one (used when a step sums several losses
+    /// computed on separate graphs).
+    pub fn merge(&mut self, other: &GradMap) {
+        for (id, g) in other.iter() {
+            self.accumulate(id, g);
+        }
+    }
+
+    /// Scales every gradient in place.
+    pub fn scale(&mut self, s: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            g.map_inplace(|x| x * s);
+        }
+    }
+
+    /// Global L2 norm across all gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .flatten()
+            .map(|g| g.sq_norm())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clips gradients so the global norm is at most `max_norm`.
+    /// Returns the pre-clip norm.
+    pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+        norm
+    }
+
+    /// True when no gradient is present.
+    pub fn is_empty(&self) -> bool {
+        self.grads.iter().all(|g| g.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_roundtrip() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::ones(2, 2));
+        let b = s.add("b", Tensor::zeros(1, 2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.name(a), "w");
+        assert_eq!(s.get(b).shape(), (1, 2));
+        s.get_mut(a).set(0, 0, 5.0);
+        assert_eq!(s.get(a).get(0, 0), 5.0);
+        assert_eq!(s.num_scalars(), 6);
+    }
+
+    #[test]
+    fn store_serde_roundtrip() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ParamStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get(ParamId(0)).as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(back.name(ParamId(0)), "w");
+    }
+
+    #[test]
+    fn gradmap_accumulates_and_clips() {
+        let mut m = GradMap::with_capacity(2);
+        m.accumulate(ParamId(0), &Tensor::from_vec(1, 2, vec![3.0, 0.0]));
+        m.accumulate(ParamId(0), &Tensor::from_vec(1, 2, vec![0.0, 4.0]));
+        assert_eq!(m.get(ParamId(0)).unwrap().as_slice(), &[3.0, 4.0]);
+        assert!((m.global_norm() - 5.0).abs() < 1e-6);
+        let pre = m.clip_global_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((m.global_norm() - 1.0).abs() < 1e-5);
+        assert!(m.get(ParamId(1)).is_none());
+    }
+
+    #[test]
+    fn gradmap_merge_sums() {
+        let mut a = GradMap::with_capacity(1);
+        a.accumulate(ParamId(0), &Tensor::ones(1, 2));
+        let mut b = GradMap::with_capacity(1);
+        b.accumulate(ParamId(0), &Tensor::ones(1, 2));
+        a.merge(&b);
+        assert_eq!(a.get(ParamId(0)).unwrap().as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn copy_from_transplants_values() {
+        let mut src = ParamStore::new();
+        let id = src.add("w", Tensor::full(2, 2, 3.0));
+        let mut dst = ParamStore::new();
+        let id2 = dst.add("w", Tensor::zeros(2, 2));
+        assert_eq!(id, id2);
+        dst.copy_from(&src, &[id]);
+        assert_eq!(dst.get(id).as_slice(), &[3.0; 4]);
+    }
+}

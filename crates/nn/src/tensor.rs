@@ -1,0 +1,631 @@
+//! Dense, row-major, two-dimensional `f32` tensors.
+//!
+//! Everything in this workspace operates on batches of vectors, so a 2-D
+//! tensor (`rows` = batch, `cols` = feature dimension) is sufficient: time
+//! series are handled as *sequences* of 2-D tensors (one per unrolled step)
+//! or as flattened `[batch, T * K]` matrices.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32` values.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+/// Work threshold (in multiply-accumulates) above which `matmul` splits the
+/// output rows across threads.
+const PARALLEL_MACS: usize = 1 << 20;
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![1.0; rows * cols] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Builds a tensor from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape {rows}x{cols} does not match data length {}", data.len());
+        Tensor { rows, cols, data }
+    }
+
+    /// Builds a 1 x n row-vector tensor.
+    pub fn row(data: Vec<f32>) -> Self {
+        Tensor { rows: 1, cols: data.len(), data }
+    }
+
+    /// Builds an n x 1 column-vector tensor.
+    pub fn col(data: Vec<f32>) -> Self {
+        Tensor { rows: data.len(), cols: 1, data }
+    }
+
+    /// Samples every entry i.i.d. from `N(0, std^2)`.
+    pub fn randn<R: Rng + ?Sized>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Self {
+        let normal = Normal::new(0.0_f32, std.max(f32::MIN_POSITIVE)).expect("std must be finite");
+        let data = (0..rows * cols).map(|_| normal.sample(rng)).collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Samples every entry i.i.d. from `Uniform(lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip requires matching shapes");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += other` elementwise.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign requires matching shapes");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += scale * other` elementwise (fused AXPY).
+    pub fn add_scaled_assign(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled_assign requires matching shapes");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Dense matrix product `self * other`.
+    ///
+    /// Uses an `i-k-j` loop order (the inner loop streams over contiguous
+    /// rows of `other`, which auto-vectorizes) and splits output rows across
+    /// OS threads when the total work exceeds `PARALLEL_MACS`.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        let work = m * k * n;
+        if work >= PARALLEL_MACS && m >= 2 {
+            let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8).min(m);
+            let chunk = m.div_ceil(threads);
+            let a = &self.data;
+            let b = &other.data;
+            let out_chunks: Vec<&mut [f32]> = out.data.chunks_mut(chunk * n).collect();
+            std::thread::scope(|scope| {
+                for (ci, o) in out_chunks.into_iter().enumerate() {
+                    let row0 = ci * chunk;
+                    scope.spawn(move || {
+                        matmul_rows(a, b, o, row0, k, n);
+                    });
+                }
+            });
+        } else {
+            matmul_rows(&self.data, &other.data, &mut out.data, 0, k, n);
+        }
+        out
+    }
+
+    /// `self * other^T` without materializing the transpose.
+    pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_bt dimension mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (j, oj) in orow.iter_mut().enumerate() {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0_f32;
+                for (x, y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *oj = acc;
+            }
+        }
+        out
+    }
+
+    /// `self^T * other` without materializing the transpose.
+    pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_at dimension mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.cols, self.rows, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        // Accumulate rank-1 updates: out += a_row^T * b_row, streaming rows.
+        for r in 0..k {
+            let arow = &self.data[r * m..(r + 1) * m];
+            let brow = &other.data[r * n..(r + 1) * n];
+            for (i, &ai) in arow.iter().enumerate() {
+                if ai == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += ai * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Per-row sums as an `rows x 1` column.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row_slice(r).iter().sum();
+        }
+        out
+    }
+
+    /// Per-column sums as a `1 x cols` row.
+    pub fn sum_cols(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row_slice(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Horizontally concatenates tensors with equal row counts.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols needs at least one tensor");
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "concat_cols requires equal row counts");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let orow = out.row_slice_mut(r);
+            let mut off = 0;
+            for p in parts {
+                orow[off..off + p.cols].copy_from_slice(p.row_slice(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Vertically concatenates tensors with equal column counts.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_rows needs at least one tensor");
+        let cols = parts[0].cols;
+        assert!(parts.iter().all(|p| p.cols == cols), "concat_rows requires equal column counts");
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { rows, cols, data }
+    }
+
+    /// Copies columns `[start, end)` into a new tensor.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.cols, "slice_cols out of range");
+        let mut out = Tensor::zeros(self.rows, end - start);
+        for r in 0..self.rows {
+            out.row_slice_mut(r).copy_from_slice(&self.row_slice(r)[start..end]);
+        }
+        out
+    }
+
+    /// Copies rows `[start, end)` into a new tensor.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.rows, "slice_rows out of range");
+        Tensor {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Gathers the given rows into a new tensor (rows may repeat).
+    pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(idx.len(), self.cols);
+        for (o, &i) in idx.iter().enumerate() {
+            assert!(i < self.rows, "gather_rows index {i} out of range {}", self.rows);
+            out.row_slice_mut(o).copy_from_slice(self.row_slice(i));
+        }
+        out
+    }
+
+    /// Squared Frobenius norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Largest element (negative infinity for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element (positive infinity for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// True when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+/// Computes rows `[row0, row0 + out.len()/n)` of the matmul `a[.,k] * b[k,n]`
+/// into `out` (a slice of the output's backing storage starting at `row0`).
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = out.len() / n.max(1);
+    for i in 0..rows {
+        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn constructors_have_expected_shapes_and_values() {
+        assert_eq!(Tensor::zeros(2, 3).as_slice(), &[0.0; 6]);
+        assert_eq!(Tensor::ones(1, 4).as_slice(), &[1.0; 4]);
+        assert_eq!(Tensor::full(2, 2, 7.5).as_slice(), &[7.5; 4]);
+        assert_eq!(Tensor::row(vec![1.0, 2.0]).shape(), (1, 2));
+        assert_eq!(Tensor::col(vec![1.0, 2.0, 3.0]).shape(), (3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_rejects_bad_shape() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut a = Tensor::zeros(3, 4);
+        a.set(2, 3, 42.0);
+        a.set(0, 1, -1.0);
+        assert_eq!(a.get(2, 3), 42.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::randn(5, 5, 1.0, &mut rng);
+        let mut eye = Tensor::zeros(5, 5);
+        for i in 0..5 {
+            eye.set(i, i, 1.0);
+        }
+        let c = a.matmul(&eye);
+        for (x, y) in c.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(64, 200, 1.0, &mut rng);
+        let b = Tensor::randn(200, 128, 1.0, &mut rng);
+        // Serial reference computed through the row kernel directly.
+        let mut refv = Tensor::zeros(64, 128);
+        matmul_rows(a.as_slice(), b.as_slice(), refv.as_mut_slice(), 0, 200, 128);
+        let c = a.matmul(&b);
+        for (x, y) in c.as_slice().iter().zip(refv.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::randn(4, 6, 1.0, &mut rng);
+        let b = Tensor::randn(5, 6, 1.0, &mut rng);
+        let fast = a.matmul_bt(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Tensor::randn(6, 4, 1.0, &mut rng);
+        let b = Tensor::randn(6, 5, 1.0, &mut rng);
+        let fast = a.matmul_at(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(1, 3, &[1.0, 2.0, 3.0]);
+        let b = t(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.sum(), 21.0);
+        assert_eq!(a.mean(), 3.5);
+        assert_eq!(a.sum_rows().as_slice(), &[6.0, 15.0]);
+        assert_eq!(a.sum_cols().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.max(), 6.0);
+        assert_eq!(a.min(), 1.0);
+    }
+
+    #[test]
+    fn concat_and_slice_are_inverses() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(2, 1, &[5.0, 6.0]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 5.0, 3.0, 4.0, 6.0]);
+        assert_eq!(c.slice_cols(0, 2), a);
+        assert_eq!(c.slice_cols(2, 3), b);
+
+        let r = Tensor::concat_rows(&[&a, &a]);
+        assert_eq!(r.shape(), (4, 2));
+        assert_eq!(r.slice_rows(2, 4), a);
+    }
+
+    #[test]
+    fn gather_rows_selects_and_repeats() {
+        let a = t(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.as_slice(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let a = t(1, 2, &[3.0, 4.0]);
+        assert_eq!(a.sq_norm(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+    }
+
+    #[test]
+    fn randn_respects_seed_and_scale() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = Tensor::randn(10, 10, 0.5, &mut r1);
+        let b = Tensor::randn(10, 10, 0.5, &mut r2);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|x| x.is_finite()));
+        // With std 0.5 essentially everything is within +-4 sigma.
+        assert!(a.max() < 4.0 && a.min() > -4.0);
+    }
+
+    #[test]
+    fn add_scaled_assign_is_axpy() {
+        let mut a = t(1, 3, &[1.0, 1.0, 1.0]);
+        let b = t(1, 3, &[1.0, 2.0, 3.0]);
+        a.add_scaled_assign(&b, 0.5);
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Rényi-DP accountant for the subsampled Gaussian mechanism.
+//!
+//! Converts DP-SGD parameters `(q, σ, T)` into an `(ε, δ)` differential
+//! privacy guarantee — the role TensorFlow Privacy played in the paper's
+//! §5.3.1 experiments. Implements the integer-order RDP bound of Mironov et
+//! al. ("Rényi Differential Privacy of the Sampled Gaussian Mechanism"),
+//! composed over `T` steps and converted to `(ε, δ)` via the standard
+//! RDP-to-DP lemma.
+
+/// RDP orders evaluated by the accountant.
+const ORDERS: [u32; 21] = [2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 16, 20, 24, 28, 32, 40, 48, 56, 64, 128];
+
+/// Parameters of a DP-SGD run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpSgdSchedule {
+    /// Sampling rate `q = batch / dataset size`.
+    pub sampling_rate: f64,
+    /// Noise multiplier `σ`.
+    pub noise_multiplier: f64,
+    /// Number of noisy gradient steps `T`.
+    pub steps: usize,
+}
+
+impl DpSgdSchedule {
+    /// Builds a schedule from dataset/batch sizes.
+    pub fn new(dataset_size: usize, batch_size: usize, steps: usize, noise_multiplier: f64) -> Self {
+        assert!(dataset_size > 0 && batch_size > 0, "sizes must be positive");
+        DpSgdSchedule {
+            sampling_rate: (batch_size as f64 / dataset_size as f64).min(1.0),
+            noise_multiplier,
+            steps,
+        }
+    }
+
+    /// The `(ε)` guarantee at a given `δ`.
+    pub fn epsilon(&self, delta: f64) -> f64 {
+        compute_epsilon(self.sampling_rate, self.noise_multiplier, self.steps, delta)
+    }
+}
+
+/// RDP of one subsampled-Gaussian step at integer order `alpha`:
+/// `(1/(α-1)) · ln Σ_k C(α,k) (1-q)^(α-k) q^k exp(k(k-1)/(2σ²))`.
+pub fn rdp_step(q: f64, sigma: f64, alpha: u32) -> f64 {
+    assert!(alpha >= 2, "RDP orders start at 2");
+    assert!(sigma > 0.0, "sigma must be positive");
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    if q == 0.0 {
+        return 0.0;
+    }
+    if q == 1.0 {
+        // Plain Gaussian mechanism: RDP(α) = α / (2σ²).
+        return alpha as f64 / (2.0 * sigma * sigma);
+    }
+    // log-sum-exp over the binomial expansion.
+    let a = alpha as i64;
+    let mut log_terms = Vec::with_capacity(alpha as usize + 1);
+    for k in 0..=a {
+        let lt = ln_choose(a, k)
+            + (a - k) as f64 * (1.0 - q).ln()
+            + k as f64 * q.ln()
+            + (k * (k - 1)) as f64 / (2.0 * sigma * sigma);
+        log_terms.push(lt);
+    }
+    let mx = log_terms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = log_terms.iter().map(|&lt| (lt - mx).exp()).sum();
+    (mx + sum.ln()) / (alpha as f64 - 1.0)
+}
+
+/// Composes `steps` subsampled-Gaussian releases and converts to `(ε, δ)`:
+/// `ε = min_α [ T·RDP(α) + ln(1/δ)/(α-1) ]`.
+pub fn compute_epsilon(q: f64, sigma: f64, steps: usize, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    let mut best = f64::INFINITY;
+    for &alpha in &ORDERS {
+        let rdp = steps as f64 * rdp_step(q, sigma, alpha);
+        let eps = rdp + (1.0 / delta).ln() / (alpha as f64 - 1.0);
+        best = best.min(eps);
+    }
+    best
+}
+
+/// Inverts [`compute_epsilon`]: the noise multiplier needed to achieve a
+/// target `ε` at `δ` (bisection; returns `None` when even enormous noise
+/// cannot reach the target).
+pub fn noise_for_epsilon(q: f64, steps: usize, delta: f64, target_eps: f64) -> Option<f64> {
+    let mut lo = 0.05_f64;
+    let mut hi = 1000.0_f64;
+    if compute_epsilon(q, hi, steps, delta) > target_eps {
+        return None;
+    }
+    if compute_epsilon(q, lo, steps, delta) <= target_eps {
+        return Some(lo);
+    }
+    for _ in 0..80 {
+        let mid = (lo + hi) / 2.0;
+        if compute_epsilon(q, mid, steps, delta) > target_eps {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
+fn ln_choose(n: i64, k: i64) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+fn ln_factorial(n: i64) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_sampling_means_no_privacy_loss() {
+        assert_eq!(rdp_step(0.0, 1.0, 8), 0.0);
+    }
+
+    #[test]
+    fn full_batch_matches_gaussian_mechanism() {
+        let r = rdp_step(1.0, 2.0, 4);
+        assert!((r - 4.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_decreases_with_more_noise() {
+        let e1 = compute_epsilon(0.01, 0.8, 1000, 1e-5);
+        let e2 = compute_epsilon(0.01, 1.5, 1000, 1e-5);
+        let e3 = compute_epsilon(0.01, 4.0, 1000, 1e-5);
+        assert!(e1 > e2 && e2 > e3, "{e1} > {e2} > {e3} expected");
+    }
+
+    #[test]
+    fn epsilon_increases_with_steps_and_sampling() {
+        let base = compute_epsilon(0.01, 1.1, 1000, 1e-5);
+        assert!(compute_epsilon(0.01, 1.1, 10_000, 1e-5) > base);
+        assert!(compute_epsilon(0.05, 1.1, 1000, 1e-5) > base);
+    }
+
+    #[test]
+    fn matches_tf_privacy_tutorial_anchor() {
+        // Well-known checkpoint: MNIST-sized run (N = 60000, batch 256,
+        // sigma = 1.1, 60 epochs, delta = 1e-5) yields epsilon ~= 3.0 under
+        // the integer-order RDP accountant.
+        let q = 256.0 / 60_000.0;
+        let steps = 60 * (60_000 / 256);
+        let eps = compute_epsilon(q, 1.1, steps, 1e-5);
+        assert!((2.3..3.8).contains(&eps), "expected ~3.0, got {eps}");
+    }
+
+    #[test]
+    fn schedule_api_consistency() {
+        let s = DpSgdSchedule::new(10_000, 100, 2000, 1.1);
+        assert!((s.sampling_rate - 0.01).abs() < 1e-12);
+        let e = s.epsilon(1e-5);
+        assert!((compute_epsilon(0.01, 1.1, 2000, 1e-5) - e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_inversion_roundtrips() {
+        let q = 0.02;
+        let steps = 5000;
+        let delta = 1e-5;
+        for target in [0.55, 1.18, 4.77] {
+            let sigma = noise_for_epsilon(q, steps, delta, target).expect("achievable");
+            let achieved = compute_epsilon(q, sigma, steps, delta);
+            assert!(achieved <= target * 1.01, "target {target}, achieved {achieved}");
+            // And not absurdly conservative.
+            let looser = compute_epsilon(q, sigma * 0.9, steps, delta);
+            assert!(looser > target * 0.95, "sigma should be near-tight for {target}");
+        }
+    }
+}

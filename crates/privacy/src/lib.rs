@@ -1,0 +1,20 @@
+//! # dg-privacy — privacy machinery for the §5.3 experiments
+//!
+//! * [`accountant`] — a Rényi-DP accountant for the subsampled Gaussian
+//!   mechanism: converts DP-SGD parameters `(q, σ, T)` to `(ε, δ)` and
+//!   inverts a target ε back to a noise multiplier (the role TF-Privacy
+//!   played in the paper);
+//! * [`membership`] — the LOGAN-style membership-inference attack used to
+//!   produce Figs. 12 and 31 (discriminator-score thresholding on a balanced
+//!   member/non-member candidate set).
+//!
+//! The DP-SGD training mechanics (per-sample clipping + noise) live in the
+//! `doppelganger` trainer; this crate provides the analysis around them.
+
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod membership;
+
+pub use accountant::{compute_epsilon, noise_for_epsilon, rdp_step, DpSgdSchedule};
+pub use membership::{attack_success_rate, discriminator_scores, membership_attack, AttackPoint};

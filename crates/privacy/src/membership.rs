@@ -1,0 +1,151 @@
+//! Membership-inference attack against released GAN models (§5.3.1,
+//! Figs. 12 and 31).
+//!
+//! Follows the LOGAN white-box attack of Hayes et al.: the released model
+//! includes the discriminator, which was trained to score training samples
+//! highly; the attacker scores each candidate sample with the discriminator
+//! and declares the top-scoring half "members". The paper's metric is the
+//! *success rate* — the fraction of correct member/non-member guesses on a
+//! balanced candidate set (random guessing = 50%).
+
+use dg_data::Dataset;
+use dg_nn::graph::Graph;
+use dg_nn::tensor::Tensor;
+use doppelganger::DoppelGanger;
+
+/// Scores a dataset's samples with a model's primary discriminator.
+pub fn discriminator_scores(model: &DoppelGanger, dataset: &Dataset) -> Vec<f32> {
+    let encoded = model.encode(dataset);
+    let idx: Vec<usize> = (0..encoded.num_samples()).collect();
+    let mut out = Vec::with_capacity(idx.len());
+    // Chunked to bound peak memory for long series.
+    for chunk in idx.chunks(256) {
+        let rows = encoded.full_rows(chunk);
+        let mut g = Graph::new();
+        let rv = g.constant(rows);
+        let s = model.discriminate(&mut g, rv, true);
+        out.extend_from_slice(g.value(s).as_slice());
+    }
+    out
+}
+
+/// Runs the threshold attack on balanced score sets: the `|members|`
+/// top-scoring candidates are declared members. Returns the success rate in
+/// `[0, 1]`.
+///
+/// # Panics
+/// Panics if either side is empty.
+pub fn attack_success_rate(member_scores: &[f32], nonmember_scores: &[f32]) -> f64 {
+    assert!(!member_scores.is_empty() && !nonmember_scores.is_empty(), "empty score sets");
+    let mut all: Vec<(f32, bool)> = member_scores
+        .iter()
+        .map(|&s| (s, true))
+        .chain(nonmember_scores.iter().map(|&s| (s, false)))
+        .collect();
+    // Sort descending by score; ties broken arbitrarily but deterministically.
+    all.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let m = member_scores.len();
+    let mut correct = 0usize;
+    for (i, &(_, is_member)) in all.iter().enumerate() {
+        let predicted_member = i < m;
+        if predicted_member == is_member {
+            correct += 1;
+        }
+    }
+    correct as f64 / all.len() as f64
+}
+
+/// End-to-end attack against a released [`DoppelGanger`] model: scores
+/// training members and held-out non-members with the discriminator and
+/// reports the success rate.
+pub fn membership_attack(model: &DoppelGanger, members: &Dataset, nonmembers: &Dataset) -> f64 {
+    let ms = discriminator_scores(model, members);
+    let ns = discriminator_scores(model, nonmembers);
+    attack_success_rate(&ms, &ns)
+}
+
+/// Summary of one membership-inference experiment point (Fig. 12's x/y
+/// pair).
+#[derive(Debug, Clone, Copy)]
+pub struct AttackPoint {
+    /// Number of training samples the model was fitted on.
+    pub training_samples: usize,
+    /// Attack success rate.
+    pub success_rate: f64,
+}
+
+/// A direct-score helper used for the naive-GAN comparison (any model that
+/// exposes raw critic scores on encoded rows).
+pub fn attack_success_from_rows(
+    score_fn: impl Fn(&Tensor) -> Vec<f32>,
+    member_rows: &Tensor,
+    nonmember_rows: &Tensor,
+) -> f64 {
+    let ms = score_fn(member_rows);
+    let ns = score_fn(nonmember_rows);
+    attack_success_rate(&ms, &ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_separated_scores_give_full_success() {
+        let members = vec![10.0_f32; 20];
+        let nons = vec![-10.0_f32; 20];
+        assert!((attack_success_rate(&members, &nons) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_scores_give_chance_level() {
+        // With all-equal scores the attacker's ordering is arbitrary; a
+        // balanced set yields 50%.
+        let members: Vec<f32> = (0..50).map(|i| (i % 7) as f32).collect();
+        let nons = members.clone();
+        let rate = attack_success_rate(&members, &nons);
+        assert!((rate - 0.5).abs() < 0.12, "rate {rate}");
+    }
+
+    #[test]
+    fn inverted_scores_give_zero_success() {
+        let members = vec![-5.0_f32; 10];
+        let nons = vec![5.0_f32; 10];
+        assert!(attack_success_rate(&members, &nons) < 1e-12);
+    }
+
+    #[test]
+    fn unbalanced_sets_are_handled() {
+        let members = vec![1.0_f32; 30];
+        let nons = vec![0.0_f32; 10];
+        let rate = attack_success_rate(&members, &nons);
+        assert!((rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_to_end_attack_runs_on_a_tiny_model() {
+        use dg_datasets::sine::{self, SineConfig};
+        use doppelganger::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = SineConfig { num_objects: 24, length: 12, periods: vec![4, 8], noise_sigma: 0.05 };
+        let data = sine::generate(&cfg, &mut rng);
+        let (train, held) = data.split(0.5, &mut rng);
+        let mut dg = DgConfig::quick().with_recommended_s(12);
+        dg.attr_hidden = 12;
+        dg.lstm_hidden = 12;
+        dg.head_hidden = 12;
+        dg.disc_hidden = 16;
+        dg.disc_depth = 2;
+        dg.batch_size = 8;
+        let model = DoppelGanger::new(&train, dg, &mut rng);
+        let enc = model.encode(&train);
+        let mut tr = Trainer::new(model);
+        tr.fit(&enc, 10, &mut rng, |_| {});
+        let model = tr.into_model();
+        let rate = membership_attack(&model, &train, &held);
+        assert!((0.0..=1.0).contains(&rate));
+    }
+}

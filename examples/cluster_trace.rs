@@ -1,0 +1,63 @@
+//! Cluster-trace scenario: variable-length tasks and downstream prediction.
+//!
+//! ```sh
+//! cargo run --release --example cluster_trace
+//! ```
+//!
+//! Trains DoppelGANger on a Google-cluster-like task trace (bimodal
+//! durations, end-event attribute correlated with resource dynamics), then
+//! shows the paper's key downstream-utility test: a classifier trained on
+//! *synthetic* data predicting end events of *real* held-out tasks (Fig. 11).
+
+use dg_datasets::{gcut, GcutConfig};
+use dg_downstream::{accuracy, classification_task, standard_classifiers};
+use dg_metrics::{attribute_histogram, count_modes, length_histogram};
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let cfg = GcutConfig::quick(300);
+    let data = gcut::generate(&cfg, &mut rng);
+    let (train, test) = data.split(0.5, &mut rng);
+    println!("cluster trace: {} tasks ({} train / {} test), features: {:?}",
+        data.len(), train.len(), test.len(),
+        data.schema.features.iter().map(|f| f.name.as_str()).collect::<Vec<_>>());
+
+    let real_lengths = length_histogram(&data, cfg.max_len);
+    println!("real duration modes: {}", count_modes(&real_lengths, 0.2));
+    println!("real end events (EVICT/FAIL/FINISH/KILL): {:?}", attribute_histogram(&data, 0));
+
+    // Train DoppelGANger on the training half.
+    let dg_cfg = DgConfig::quick().with_recommended_s(cfg.max_len);
+    let model = DoppelGanger::new(&train, dg_cfg, &mut rng);
+    let encoded = model.encode(&train);
+    let mut trainer = Trainer::new(model);
+    println!("training DoppelGANger...");
+    trainer.fit(&encoded, 500, &mut rng, |_| {});
+    let model = trainer.into_model();
+
+    // Generate a synthetic training set of the same size.
+    let synthetic = model.generate_dataset(train.len(), &mut rng);
+    println!("synthetic duration modes: {}", count_modes(&length_histogram(&synthetic, cfg.max_len), 0.2));
+    println!("synthetic end events: {:?}", attribute_histogram(&synthetic, 0));
+
+    // Downstream: predict the end event from the time series.
+    let test_task = classification_task(&test, 0);
+    println!();
+    println!("end-event prediction accuracy on real held-out tasks:");
+    for source in ["real", "synthetic"] {
+        let train_data = if source == "real" { &train } else { &synthetic };
+        let task = classification_task(train_data, 0);
+        print!("  trained on {source:<10}");
+        for mut clf in standard_classifiers() {
+            clf.fit(&task.x, &task.y, task.y.len(), task.dim, task.num_classes);
+            let pred = clf.predict(&test_task.x, test_task.y.len(), test_task.dim);
+            print!("  {}={:.3}", clf.name(), accuracy(&pred, &test_task.y));
+        }
+        println!();
+    }
+    println!();
+    println!("(the paper's utility claim: the synthetic row should approach the real row)");
+}

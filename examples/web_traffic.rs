@@ -1,0 +1,72 @@
+//! Web-traffic scenario: the paper's headline experiment in miniature.
+//!
+//! ```sh
+//! cargo run --release --example web_traffic
+//! ```
+//!
+//! Trains DoppelGANger and the naive-GAN strawman on a Wikipedia-like page
+//! view dataset (weekly + long-period seasonality, heavy-tailed page
+//! scales), then compares how well each captures the autocorrelation
+//! structure — the Fig. 1 story.
+
+use dg_datasets::{wwt, WwtConfig};
+use dg_metrics::{average_autocorrelation, curve_mse};
+use dg_baselines::{GenerativeModel, NaiveGanConfig, NaiveGanModel};
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['1', '2', '3', '4', '5', '6', '7', '8'];
+    let mn = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let mx = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (mx - mn).max(1e-12);
+    values.iter().map(|&v| BARS[(((v - mn) / span) * 7.0).round() as usize]).collect()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Shrunk WWT: 120-day series, weekly period 7, "annual" period 42.
+    let cfg = WwtConfig { num_objects: 150, length: 120, short_period: 7, long_period: 42, ..WwtConfig::default() };
+    let data = wwt::generate(&cfg, &mut rng);
+    let max_lag = cfg.length - 2;
+    let real_ac = average_autocorrelation(&data, 0, max_lag, 16);
+    println!("real autocorrelation  {}", sparkline(&real_ac));
+    println!("(expect ripples every 7 lags and a bump near lag {})", cfg.long_period);
+
+    // DoppelGANger.
+    let dg_cfg = DgConfig::quick().with_recommended_s(cfg.length);
+    let model = DoppelGanger::new(&data, dg_cfg, &mut rng);
+    let encoded = model.encode(&data);
+    let mut trainer = Trainer::new(model);
+    println!("training DoppelGANger (S = {})...", trainer.model.config.feature_batch_size);
+    trainer.fit(&encoded, 500, &mut rng, |m| {
+        if m.iteration % 125 == 0 {
+            println!("  iter {:>4}: W~{:+.3}", m.iteration, m.wasserstein);
+        }
+    });
+    let model = trainer.into_model();
+    let dg_gen = model.generate_dataset(150, &mut rng);
+    let dg_ac = average_autocorrelation(&dg_gen, 0, max_lag, 16);
+
+    // Naive GAN (the §3.3 strawman).
+    println!("training naive GAN...");
+    let ng_cfg = NaiveGanConfig { train_steps: 500, ..NaiveGanConfig::default() };
+    let naive = NaiveGanModel::fit(&data, ng_cfg, &mut rng);
+    let ng_gen = naive.generate_dataset(&data.schema, 150, &mut rng);
+    let ng_ac = average_autocorrelation(&ng_gen, 0, max_lag, 16);
+
+    println!();
+    println!("DoppelGANger          {}", sparkline(&dg_ac));
+    println!("naive GAN             {}", sparkline(&ng_ac));
+    let dg_mse = curve_mse(&real_ac[1..], &dg_ac[1..]);
+    let ng_mse = curve_mse(&real_ac[1..], &ng_ac[1..]);
+    println!();
+    println!("autocorrelation MSE:  DoppelGANger {dg_mse:.5}  |  naive GAN {ng_mse:.5}");
+    if dg_mse < ng_mse {
+        println!("DoppelGANger captures the temporal structure better (the paper's Fig. 1 result).");
+    } else {
+        println!("note: at this tiny training budget the ordering can flip; rerun with more iterations.");
+    }
+}

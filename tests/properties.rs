@@ -1,0 +1,183 @@
+//! Cross-crate property-based tests (proptest): encoder round-trips,
+//! metric axioms, flag/length invariants, autodiff-vs-finite-differences on
+//! random graphs.
+
+use dg_data::{Dataset, Encoder, EncoderConfig, FieldKind, FieldSpec, Range, Schema, TimeSeriesObject, Value};
+use dg_metrics::{jsd_counts, ranks, spearman, wasserstein1};
+use dg_nn::graph::Graph;
+use dg_nn::tensor::Tensor;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Encoder round-trip
+// ---------------------------------------------------------------------------
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    let max_len = 6usize;
+    let obj = (
+        0usize..3,
+        prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 2), 1..=max_len),
+    )
+        .prop_map(|(cat, rows)| TimeSeriesObject {
+            attributes: vec![Value::Cat(cat)],
+            records: rows
+                .into_iter()
+                .map(|r| r.into_iter().map(Value::Cont).collect())
+                .collect(),
+        });
+    prop::collection::vec(obj, 1..8).prop_map(move |objects| {
+        let schema = Schema::new(
+            vec![FieldSpec::new("k", FieldKind::categorical(["a", "b", "c"]))],
+            vec![
+                FieldSpec::new("x", FieldKind::continuous(-50.0, 50.0)),
+                FieldSpec::new("y", FieldKind::continuous(-50.0, 50.0)),
+            ],
+            max_len,
+        );
+        Dataset::new(schema, objects)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encode_decode_roundtrips_all_configs(data in arb_dataset(), auto in any::<bool>(), sym in any::<bool>()) {
+        let cfg = EncoderConfig {
+            auto_normalize: auto,
+            range: if sym { Range::SymmetricOne } else { Range::ZeroOne },
+        };
+        let enc = Encoder::fit(&data, cfg);
+        let e = enc.encode(&data);
+        let back = enc.decode(&e.attributes, &e.minmax, &e.features);
+        prop_assert_eq!(back.len(), data.len());
+        for (orig, dec) in data.objects.iter().zip(&back) {
+            prop_assert_eq!(&orig.attributes, &dec.attributes);
+            prop_assert_eq!(orig.len(), dec.len());
+            for (r0, r1) in orig.records.iter().zip(&dec.records) {
+                for (v0, v1) in r0.iter().zip(r1) {
+                    let (a, b) = (v0.cont(), v1.cont());
+                    // f32 quantization across a 100-unit range.
+                    prop_assert!((a - b).abs() < 0.05, "{} vs {}", a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_flags_decode_to_true_lengths(data in arb_dataset()) {
+        let enc = Encoder::fit(&data, EncoderConfig::default());
+        let e = enc.encode(&data);
+        prop_assert_eq!(&e.lengths, &data.lengths());
+        // Steps past the length are fully zero.
+        let sw = e.step_width;
+        for (i, &len) in e.lengths.iter().enumerate() {
+            let row = e.features.row_slice(i);
+            for t in len..e.max_len {
+                prop_assert!(row[t * sw..(t + 1) * sw].iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Metric axioms
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn w1_is_a_metric(a in prop::collection::vec(-100.0f64..100.0, 2..40),
+                      b in prop::collection::vec(-100.0f64..100.0, 2..40),
+                      c in prop::collection::vec(-100.0f64..100.0, 2..40)) {
+        let ab = wasserstein1(&a, &b);
+        let ba = wasserstein1(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9, "symmetry");
+        prop_assert!(wasserstein1(&a, &a) < 1e-9, "identity");
+        let ac = wasserstein1(&a, &c);
+        let cb = wasserstein1(&c, &b);
+        prop_assert!(ab <= ac + cb + 1e-6, "triangle: {} > {} + {}", ab, ac, cb);
+    }
+
+    #[test]
+    fn jsd_is_bounded_and_symmetric(a in prop::collection::vec(0usize..1000, 2..12),
+                                    b in prop::collection::vec(0usize..1000, 2..12)) {
+        let n = a.len().min(b.len());
+        let mut a = a[..n].to_vec();
+        let mut b = b[..n].to_vec();
+        // Guarantee positive totals.
+        a[0] += 1;
+        b[0] += 1;
+        let d1 = jsd_counts(&a, &b);
+        let d2 = jsd_counts(&b, &a);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!((0.0..=std::f64::consts::LN_2 + 1e-12).contains(&d1));
+    }
+
+    #[test]
+    fn spearman_is_bounded_and_antisymmetric(xs in prop::collection::vec(-100.0f64..100.0, 3..20)) {
+        let ys: Vec<f64> = xs.iter().map(|v| v * 2.0 + 1.0).collect();
+        prop_assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-9, "monotone map");
+        let neg: Vec<f64> = xs.iter().map(|v| -v).collect();
+        let rho = spearman(&xs, &neg);
+        // Ties (duplicate values) can soften the -1; always within bounds.
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_mean(xs in prop::collection::vec(-1000.0f64..1000.0, 1..30)) {
+        let r = ranks(&xs);
+        let sum: f64 = r.iter().sum();
+        let n = xs.len() as f64;
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6, "rank sum invariant");
+    }
+
+    // -----------------------------------------------------------------------
+    // Autodiff vs finite differences on random MLP-shaped graphs
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn autodiff_matches_finite_differences(seed in 0u64..500) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0 = Tensor::randn(2, 3, 0.7, &mut rng);
+        let w = Tensor::randn(3, 3, 0.7, &mut rng);
+
+        let build = |g: &mut Graph, x: dg_nn::graph::Var| {
+            let wv = g.constant(w.clone());
+            let h = g.matmul(x, wv);
+            let h = g.tanh(h);
+            let h2 = g.mul(h, x);
+            let s = g.sum_rows(h2);
+            let sm = g.softmax(x);
+            let joined = g.concat_cols(&[s, sm]);
+            let sq = g.square(joined);
+            g.mean_all(sq)
+        };
+
+        let mut g = Graph::new();
+        let xv = g.input(x0.clone());
+        let loss = build(&mut g, xv);
+        g.backward(loss);
+        let analytic = g.grad(xv).expect("grad").clone();
+
+        let eps = 1e-2_f32;
+        for i in 0..x0.len() {
+            let mut xp = x0.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut gp = Graph::new();
+            let v = gp.input(xp);
+            let lp = build(&mut gp, v);
+            let fp = gp.value(lp).get(0, 0);
+
+            let mut xm = x0.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let mut gm = Graph::new();
+            let v = gm.input(xm);
+            let lm = build(&mut gm, v);
+            let fm = gm.value(lm).get(0, 0);
+
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            prop_assert!((a - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
+                "grad mismatch at {}: {} vs {}", i, a, numeric);
+        }
+    }
+}
