@@ -87,7 +87,7 @@ impl ArModel {
                     if t >= j {
                         xs.extend_from_slice(&frow[(t - j) * sw..(t - j + 1) * sw]);
                     } else {
-                        xs.extend(std::iter::repeat(0.0).take(sw));
+                        xs.extend(std::iter::repeat_n(0.0, sw));
                     }
                 }
                 ys.extend_from_slice(&frow[t * sw..(t + 1) * sw]);
@@ -129,15 +129,7 @@ impl ArModel {
             opt.step(&mut store, &g.param_grads());
         }
 
-        ArModel {
-            config,
-            encoder,
-            attrs: EmpiricalAttributes::fit(dataset),
-            first,
-            mlp,
-            store,
-            layout,
-        }
+        ArModel { config, encoder, attrs: EmpiricalAttributes::fit(dataset), first, mlp, store, layout }
     }
 
     /// Mean squared error of one-step-ahead prediction on a dataset
@@ -158,7 +150,7 @@ impl ArModel {
                     if t >= j {
                         x.extend_from_slice(&frow[(t - j) * sw..(t - j + 1) * sw]);
                     } else {
-                        x.extend(std::iter::repeat(0.0).take(sw));
+                        x.extend(std::iter::repeat_n(0.0, sw));
                     }
                 }
                 let pred = self.predict_step(&x);
@@ -208,7 +200,7 @@ impl GenerativeModel for ArModel {
                     if t >= j {
                         x.extend_from_slice(&steps[t - j]);
                     } else {
-                        x.extend(std::iter::repeat(0.0).take(sw));
+                        x.extend(std::iter::repeat_n(0.0, sw));
                     }
                 }
                 steps.push(self.predict_step(&x));
@@ -271,7 +263,7 @@ mod tests {
         let objs = ar.generate_objects(8, &mut rng);
         assert_eq!(objs.len(), 8);
         for o in &objs {
-            assert!(o.len() >= 1 && o.len() <= 20);
+            assert!(!o.is_empty() && o.len() <= 20);
             assert!(o.records.iter().all(|r| r[0].cont().is_finite()));
         }
         let _ = ar.generate_dataset(&data.schema, 4, &mut rng);

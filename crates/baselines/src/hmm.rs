@@ -95,8 +95,8 @@ impl HmmModel {
                 // Emission likelihoods b[t][s] with per-step scaling.
                 let mut b = vec![vec![0.0_f32; k]; t_len];
                 for (t, x) in seq.iter().enumerate() {
-                    for s in 0..k {
-                        b[t][s] = emission_prob(x, means.row_slice(s), vars.row_slice(s), config.var_floor);
+                    for (s, bv) in b[t].iter_mut().enumerate() {
+                        *bv = emission_prob(x, means.row_slice(s), vars.row_slice(s), config.var_floor);
                     }
                 }
                 // Scaled forward.
@@ -109,8 +109,8 @@ impl HmmModel {
                 for t in 1..t_len {
                     for s in 0..k {
                         let mut acc = 0.0;
-                        for sp in 0..k {
-                            acc += alpha[t - 1][sp] * trans.get(sp, s);
+                        for (sp, &a) in alpha[t - 1].iter().enumerate() {
+                            acc += a * trans.get(sp, s);
                         }
                         alpha[t][s] = acc * b[t][s];
                     }
@@ -178,15 +178,15 @@ impl HmmModel {
             for (p, a) in pi.iter_mut().zip(&pi_acc) {
                 *p = a / pisum;
             }
-            for s in 0..k {
+            for (s, &g) in gamma_acc.iter().enumerate() {
                 let rowsum: f32 = (0..k).map(|sn| trans_acc.get(s, sn)).sum();
                 for sn in 0..k {
                     trans.set(s, sn, trans_acc.get(s, sn) / rowsum);
                 }
                 for j in 0..d {
-                    let m = mean_acc.get(s, j) / gamma_acc[s];
+                    let m = mean_acc.get(s, j) / g;
                     means.set(s, j, m);
-                    let v = (sq_acc.get(s, j) / gamma_acc[s] - m * m).max(config.var_floor);
+                    let v = (sq_acc.get(s, j) / g - m * m).max(config.var_floor);
                     vars.set(s, j, v);
                 }
             }
@@ -223,14 +223,19 @@ impl HmmModel {
             for t in 0..len {
                 let x = &row[t * sw..t * sw + d];
                 let mut next = vec![0.0_f32; k];
-                for s in 0..k {
+                for (s, nx) in next.iter_mut().enumerate() {
                     let prior = if t == 0 {
                         self.pi[s]
                     } else {
                         (0..k).map(|sp| alpha[sp] * self.trans.get(sp, s)).sum()
                     };
-                    next[s] = prior
-                        * emission_prob(x, self.means.row_slice(s), self.vars.row_slice(s), self.config.var_floor);
+                    *nx = prior
+                        * emission_prob(
+                            x,
+                            self.means.row_slice(s),
+                            self.vars.row_slice(s),
+                            self.config.var_floor,
+                        );
                 }
                 let scale: f32 = next.iter().sum();
                 ll += (scale.max(1e-30) as f64).ln();
@@ -347,11 +352,12 @@ mod tests {
     fn fit_and_generate_valid_objects() {
         let data = tiny_data(1);
         let mut rng = StdRng::seed_from_u64(2);
-        let hmm = HmmModel::fit(&data, HmmConfig { num_states: 4, em_iterations: 5, var_floor: 1e-4 }, &mut rng);
+        let hmm =
+            HmmModel::fit(&data, HmmConfig { num_states: 4, em_iterations: 5, var_floor: 1e-4 }, &mut rng);
         let objs = hmm.generate_objects(10, &mut rng);
         assert_eq!(objs.len(), 10);
         for o in &objs {
-            assert!(o.len() >= 1 && o.len() <= 20);
+            assert!(!o.is_empty() && o.len() <= 20);
             assert!(o.records.iter().all(|r| r[0].cont().is_finite()));
         }
         // Generated objects validate against the schema.
@@ -363,8 +369,10 @@ mod tests {
         let data = tiny_data(3);
         let mut rng1 = StdRng::seed_from_u64(4);
         let mut rng2 = StdRng::seed_from_u64(4);
-        let h0 = HmmModel::fit(&data, HmmConfig { num_states: 4, em_iterations: 1, var_floor: 1e-4 }, &mut rng1);
-        let h1 = HmmModel::fit(&data, HmmConfig { num_states: 4, em_iterations: 10, var_floor: 1e-4 }, &mut rng2);
+        let h0 =
+            HmmModel::fit(&data, HmmConfig { num_states: 4, em_iterations: 1, var_floor: 1e-4 }, &mut rng1);
+        let h1 =
+            HmmModel::fit(&data, HmmConfig { num_states: 4, em_iterations: 10, var_floor: 1e-4 }, &mut rng2);
         let ll0 = h0.avg_log_likelihood(&data);
         let ll1 = h1.avg_log_likelihood(&data);
         assert!(ll1 >= ll0 - 0.05, "EM should not hurt likelihood much: {ll0} -> {ll1}");
@@ -374,7 +382,8 @@ mod tests {
     fn lengths_are_resampled_from_training() {
         let data = tiny_data(5);
         let mut rng = StdRng::seed_from_u64(6);
-        let hmm = HmmModel::fit(&data, HmmConfig { num_states: 3, em_iterations: 2, var_floor: 1e-4 }, &mut rng);
+        let hmm =
+            HmmModel::fit(&data, HmmConfig { num_states: 3, em_iterations: 2, var_floor: 1e-4 }, &mut rng);
         // Training data is constant-length 20, so generated must be too.
         let objs = hmm.generate_objects(8, &mut rng);
         assert!(objs.iter().all(|o| o.len() == 20));
@@ -384,7 +393,8 @@ mod tests {
     fn transition_rows_are_stochastic() {
         let data = tiny_data(7);
         let mut rng = StdRng::seed_from_u64(8);
-        let hmm = HmmModel::fit(&data, HmmConfig { num_states: 5, em_iterations: 3, var_floor: 1e-4 }, &mut rng);
+        let hmm =
+            HmmModel::fit(&data, HmmConfig { num_states: 5, em_iterations: 3, var_floor: 1e-4 }, &mut rng);
         for s in 0..5 {
             let rowsum: f32 = (0..5).map(|sn| hmm.trans.get(s, sn)).sum();
             assert!((rowsum - 1.0).abs() < 1e-4, "row {s} sums to {rowsum}");

@@ -130,15 +130,7 @@ impl RnnModel {
         }
 
         let _ = t_max;
-        RnnModel {
-            encoder,
-            attrs: EmpiricalAttributes::fit(dataset),
-            first,
-            lstm,
-            head,
-            store,
-            layout,
-        }
+        RnnModel { encoder, attrs: EmpiricalAttributes::fit(dataset), first, lstm, head, store, layout }
     }
 
     fn predict_step(&self, attrs: &[f32], prev: &[f32], h: &mut Tensor, c: &mut Tensor) -> Vec<f32> {
@@ -146,10 +138,7 @@ impl RnnModel {
         let mut inp_data = attrs.to_vec();
         inp_data.extend_from_slice(prev);
         let inp = g.constant(Tensor::from_vec(1, inp_data.len(), inp_data));
-        let state = dg_nn::layers::LstmState {
-            h: g.constant(h.clone()),
-            c: g.constant(c.clone()),
-        };
+        let state = dg_nn::layers::LstmState { h: g.constant(h.clone()), c: g.constant(c.clone()) };
         let next = self.lstm.step_frozen(&mut g, &self.store, inp, state);
         let raw = self.head.forward_frozen(&mut g, &self.store, next.h);
         let pred = self.layout.apply(&mut g, raw);
@@ -225,7 +214,7 @@ mod tests {
         let objs = rnn.generate_objects(6, &mut rng);
         assert_eq!(objs.len(), 6);
         for o in &objs {
-            assert!(o.len() >= 1 && o.len() <= 16);
+            assert!(!o.is_empty() && o.len() <= 16);
             assert!(o.records.iter().all(|r| r[0].cont().is_finite()));
         }
         let _ = rnn.generate_dataset(&data.schema, 3, &mut rng);

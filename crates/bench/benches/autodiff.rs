@@ -10,7 +10,8 @@ use std::hint::black_box;
 fn bench_mlp_fwd_bwd(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let mut store = ParamStore::new();
-    let mlp = Mlp::new(&mut store, "m", 128, 200, 4, 1, Activation::LeakyRelu(0.2), Activation::Linear, &mut rng);
+    let mlp =
+        Mlp::new(&mut store, "m", 128, 200, 4, 1, Activation::LeakyRelu(0.2), Activation::Linear, &mut rng);
     let x = Tensor::randn(100, 128, 1.0, &mut rng);
     c.bench_function("autodiff/mlp_4x200_fwd_bwd_b100", |bench| {
         bench.iter(|| {
@@ -56,7 +57,8 @@ fn bench_lstm_unroll(c: &mut Criterion) {
 fn bench_gradient_penalty(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let mut store = ParamStore::new();
-    let critic = Mlp::new(&mut store, "c", 256, 200, 4, 1, Activation::LeakyRelu(0.2), Activation::Linear, &mut rng);
+    let critic =
+        Mlp::new(&mut store, "c", 256, 200, 4, 1, Activation::LeakyRelu(0.2), Activation::Linear, &mut rng);
     let real = Tensor::randn(100, 256, 1.0, &mut rng);
     let fake = Tensor::randn(100, 256, 1.0, &mut rng);
     c.bench_function("autodiff/wgan_gp_double_backprop_b100", |bench| {

@@ -1,7 +1,10 @@
 //! Criterion benches for baseline model fitting and sampling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dg_baselines::{ArConfig, ArModel, GenerativeModel, HmmConfig, HmmModel, NaiveGanConfig, NaiveGanModel, RnnConfig, RnnModel};
+use dg_baselines::{
+    ArConfig, ArModel, GenerativeModel, HmmConfig, HmmModel, NaiveGanConfig, NaiveGanModel, RnnConfig,
+    RnnModel,
+};
 use dg_bench::presets::{Preset, Scale};
 use dg_datasets::sine;
 use rand::rngs::StdRng;
@@ -17,25 +20,45 @@ fn bench_baseline_fits(c: &mut Criterion) {
     group.bench_function("hmm_em3", |b| {
         b.iter(|| {
             let mut r = StdRng::seed_from_u64(1);
-            black_box(HmmModel::fit(&data, HmmConfig { num_states: 4, em_iterations: 3, var_floor: 1e-4 }, &mut r))
+            black_box(HmmModel::fit(
+                &data,
+                HmmConfig { num_states: 4, em_iterations: 3, var_floor: 1e-4 },
+                &mut r,
+            ))
         })
     });
     group.bench_function("ar_60steps", |b| {
         b.iter(|| {
             let mut r = StdRng::seed_from_u64(2);
-            black_box(ArModel::fit(&data, ArConfig { train_steps: 60, hidden: 24, depth: 2, ..ArConfig::default() }, &mut r))
+            black_box(ArModel::fit(
+                &data,
+                ArConfig { train_steps: 60, hidden: 24, depth: 2, ..ArConfig::default() },
+                &mut r,
+            ))
         })
     });
     group.bench_function("rnn_30steps", |b| {
         b.iter(|| {
             let mut r = StdRng::seed_from_u64(3);
-            black_box(RnnModel::fit(&data, RnnConfig { hidden: 16, train_steps: 30, batch: 16, lr: 1e-3 }, &mut r))
+            black_box(RnnModel::fit(
+                &data,
+                RnnConfig { hidden: 16, train_steps: 30, batch: 16, lr: 1e-3 },
+                &mut r,
+            ))
         })
     });
     group.bench_function("naive_gan_30steps", |b| {
         b.iter(|| {
             let mut r = StdRng::seed_from_u64(4);
-            let cfg = NaiveGanConfig { train_steps: 30, gen_hidden: 24, gen_depth: 2, disc_hidden: 24, disc_depth: 2, batch: 16, ..NaiveGanConfig::default() };
+            let cfg = NaiveGanConfig {
+                train_steps: 30,
+                gen_hidden: 24,
+                gen_depth: 2,
+                disc_hidden: 24,
+                disc_depth: 2,
+                batch: 16,
+                ..NaiveGanConfig::default()
+            };
             black_box(NaiveGanModel::fit(&data, cfg, &mut r))
         })
     });
@@ -47,7 +70,11 @@ fn bench_baseline_generation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let data = sine::generate(&preset.sine, &mut rng);
     let hmm = HmmModel::fit(&data, HmmConfig { num_states: 4, em_iterations: 3, var_floor: 1e-4 }, &mut rng);
-    let ar = ArModel::fit(&data, ArConfig { train_steps: 30, hidden: 24, depth: 2, ..ArConfig::default() }, &mut rng);
+    let ar = ArModel::fit(
+        &data,
+        ArConfig { train_steps: 30, hidden: 24, depth: 2, ..ArConfig::default() },
+        &mut rng,
+    );
     let mut group = c.benchmark_group("baseline_generate_50");
     group.sample_size(10);
     group.bench_function("hmm", |b| b.iter(|| black_box(hmm.generate_objects(50, &mut rng))));

@@ -26,10 +26,8 @@ fn bench_classifiers(c: &mut Criterion) {
         group.bench_function(&name, |b| {
             b.iter(|| {
                 // Recreate a fresh classifier of the same kind each iteration.
-                let mut clf = standard_classifiers()
-                    .into_iter()
-                    .find(|m| m.name() == name)
-                    .expect("known classifier");
+                let mut clf =
+                    standard_classifiers().into_iter().find(|m| m.name() == name).expect("known classifier");
                 clf.fit(&x, &y, 300, 8, 3);
                 black_box(clf.predict(&x, 300, 8))
             })
@@ -57,10 +55,8 @@ fn bench_regressors(c: &mut Criterion) {
         let name = reg_proto.name().to_string();
         group.bench_function(&name, |b| {
             b.iter(|| {
-                let mut reg = standard_regressors()
-                    .into_iter()
-                    .find(|m| m.name() == name)
-                    .expect("known regressor");
+                let mut reg =
+                    standard_regressors().into_iter().find(|m| m.name() == name).expect("known regressor");
                 reg.fit(&x, n, dim, &y, 4);
                 black_box(reg.predict(&x, n, dim))
             })

@@ -3,7 +3,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dg_bench::presets::{Preset, Scale};
 use dg_datasets::wwt;
-use dg_metrics::{autocorrelation, average_autocorrelation, jsd_counts, nearest_neighbours, spearman, wasserstein1};
+use dg_metrics::{
+    autocorrelation, average_autocorrelation, jsd_counts, nearest_neighbours, spearman, wasserstein1,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;

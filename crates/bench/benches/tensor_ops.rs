@@ -12,9 +12,13 @@ fn bench_matmul(c: &mut Criterion) {
     for &(m, k, n) in &[(32usize, 64usize, 64usize), (100, 200, 200), (100, 500, 200)] {
         let a = Tensor::randn(m, k, 1.0, &mut rng);
         let b = Tensor::randn(k, n, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}x{n}")), &(a, b), |bench, (a, b)| {
-            bench.iter(|| black_box(a.matmul(b)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(a, b),
+            |bench, (a, b)| {
+                bench.iter(|| black_box(a.matmul(b)));
+            },
+        );
     }
     group.finish();
 }
@@ -27,6 +31,29 @@ fn bench_matmul_transposed(c: &mut Criterion) {
     let a2 = Tensor::randn(200, 100, 1.0, &mut rng);
     let b2 = Tensor::randn(200, 150, 1.0, &mut rng);
     c.bench_function("matmul_at/100x200x150", |bench| bench.iter(|| black_box(a2.matmul_at(&b2))));
+}
+
+fn bench_matmul_threading(c: &mut Criterion) {
+    // Serial reference (threads = 1) vs the worker pool, for the forward
+    // matmul and both transposed backward kernels. The outputs are bitwise
+    // identical by construction; only the wall clock should differ.
+    let mut group = c.benchmark_group("matmul_threads");
+    let mut rng = StdRng::seed_from_u64(4);
+    let threads = dg_nn::parallel::num_threads();
+    let a = Tensor::randn(256, 256, 1.0, &mut rng);
+    let b = Tensor::randn(256, 256, 1.0, &mut rng);
+    for (name, t) in [("serial", 1usize), ("parallel", threads)] {
+        group.bench_with_input(BenchmarkId::new("matmul_256", name), &t, |bench, &t| {
+            bench.iter(|| black_box(a.matmul_threaded(&b, t)));
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_bt_256", name), &t, |bench, &t| {
+            bench.iter(|| black_box(a.matmul_bt_threaded(&b, t)));
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_at_256", name), &t, |bench, &t| {
+            bench.iter(|| black_box(a.matmul_at_threaded(&b, t)));
+        });
+    }
+    group.finish();
 }
 
 fn bench_elementwise(c: &mut Criterion) {
@@ -48,5 +75,12 @@ fn bench_concat_gather(c: &mut Criterion) {
     c.bench_function("gather_rows/100_of_1000x200", |bench| bench.iter(|| black_box(big.gather_rows(&idx))));
 }
 
-criterion_group!(benches, bench_matmul, bench_matmul_transposed, bench_elementwise, bench_concat_gather);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matmul_transposed,
+    bench_matmul_threading,
+    bench_elementwise,
+    bench_concat_gather
+);
 criterion_main!(benches);

@@ -37,18 +37,31 @@ fn bench_dg_steps(c: &mut Criterion) {
 }
 
 fn bench_dp_step(c: &mut Criterion) {
+    // DP vs non-DP cost, and serial vs parallel DP: the per-sample DP-SGD
+    // loop is the threading target, and its parallel variant is bitwise
+    // identical to the serial reference (see the determinism suite).
     let preset = Preset::new(Scale::Smoke);
     let mut rng = StdRng::seed_from_u64(2);
     let data = sine::generate(&preset.sine, &mut rng);
     let cfg = preset.dg_config(data.schema.max_len);
     let model = DoppelGanger::new(&data, cfg, &mut rng);
     let encoded = model.encode(&data);
-    let mut trainer = Trainer::new(model).with_dp(DpConfig::moderate());
     let idx: Vec<usize> = (0..8).collect();
     let mut group = c.benchmark_group("dg_dp_step");
     group.sample_size(10);
-    group.bench_function("sine_b8", |bench| {
-        bench.iter(|| black_box(trainer.d_step_dp(&encoded, &idx, &mut rng)));
+
+    let mut plain = Trainer::new(model.clone());
+    group.bench_function("sine_b8_no_dp", |bench| {
+        bench.iter(|| black_box(plain.d_step(&encoded, &idx, &mut rng)));
+    });
+    let mut serial = Trainer::new(model.clone()).with_dp(DpConfig::moderate());
+    group.bench_function("sine_b8_dp_serial", |bench| {
+        bench.iter(|| black_box(serial.d_step_dp_threaded(&encoded, &idx, &mut rng, 1)));
+    });
+    let threads = dg_nn::parallel::num_threads();
+    let mut parallel = Trainer::new(model).with_dp(DpConfig::moderate());
+    group.bench_function("sine_b8_dp_parallel", |bench| {
+        bench.iter(|| black_box(parallel.d_step_dp_threaded(&encoded, &idx, &mut rng, threads)));
     });
     group.finish();
 }

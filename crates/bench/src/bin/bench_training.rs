@@ -1,0 +1,154 @@
+//! Wall-clock benchmark of the training step: serial vs parallel kernels and
+//! DP-SGD. Writes `BENCH_training.json` under the results directory
+//! (workspace `results/`, overridable with `DG_RESULTS_DIR`).
+//!
+//! Criterion gives statistically careful per-kernel numbers; this binary is
+//! the quick end-to-end check that the deterministic thread fan-out actually
+//! pays off (and by how much) on the current machine. On a single-core
+//! machine the speedups legitimately come out ~1.0.
+
+use dg_bench::harness::results_dir;
+use dg_bench::presets::{Preset, Scale};
+use dg_datasets::sine;
+use dg_nn::parallel::num_threads;
+use dg_nn::tensor::Tensor;
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Case {
+    name: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    hardware_threads: usize,
+    worker_threads: usize,
+    /// Non-DP discriminator step, for reading DP overhead off the report.
+    plain_d_step_ms: f64,
+    cases: Vec<Case>,
+}
+
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn case(name: &str, reps: usize, mut serial: impl FnMut(), mut parallel: impl FnMut()) -> Case {
+    // Warm-up once each so thread-pool spin-up and cache effects don't land
+    // on the first timed rep.
+    serial();
+    parallel();
+    let serial_ms = time_ms(reps, &mut serial);
+    let parallel_ms = time_ms(reps, &mut parallel);
+    let c = Case { name: name.into(), serial_ms, parallel_ms, speedup: serial_ms / parallel_ms };
+    println!(
+        "{:<24} serial {:>9.3} ms   parallel {:>9.3} ms   speedup {:>5.2}x",
+        c.name, c.serial_ms, c.parallel_ms, c.speedup
+    );
+    c
+}
+
+fn main() {
+    let threads = num_threads();
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!("bench_training: {hw} hardware threads, {threads} workers (DG_NUM_THREADS to override)\n");
+    let mut cases = Vec::new();
+
+    // Dense kernels: the forward matmul and both backward transposed forms.
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::randn(256, 256, 1.0, &mut rng);
+    let b = Tensor::randn(256, 256, 1.0, &mut rng);
+    cases.push(case(
+        "matmul_256",
+        20,
+        || {
+            black_box(a.matmul_threaded(&b, 1));
+        },
+        || {
+            black_box(a.matmul_threaded(&b, threads));
+        },
+    ));
+    cases.push(case(
+        "matmul_bt_256",
+        20,
+        || {
+            black_box(a.matmul_bt_threaded(&b, 1));
+        },
+        || {
+            black_box(a.matmul_bt_threaded(&b, threads));
+        },
+    ));
+    cases.push(case(
+        "matmul_at_256",
+        20,
+        || {
+            black_box(a.matmul_at_threaded(&b, 1));
+        },
+        || {
+            black_box(a.matmul_at_threaded(&b, threads));
+        },
+    ));
+
+    // Full training steps on the smoke-scale sine dataset.
+    let preset = Preset::new(Scale::Smoke);
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = sine::generate(&preset.sine, &mut rng);
+    let cfg = preset.dg_config(data.schema.max_len);
+    let model = DoppelGanger::new(&data, cfg, &mut rng);
+    let encoded = model.encode(&data);
+    let idx: Vec<usize> = (0..16.min(encoded.num_samples())).collect();
+
+    let mut plain = Trainer::new(model.clone());
+    let mut prng = StdRng::seed_from_u64(2);
+    let plain_d_step_ms = time_ms(5, || {
+        black_box(plain.d_step(&encoded, &idx, &mut prng));
+    });
+    println!("{:<24} {:>9.3} ms (non-DP reference)", "d_step_b16", plain_d_step_ms);
+
+    // DP-SGD: the per-sample loop is the parallelism target of interest.
+    let mut dp_serial = Trainer::new(model.clone()).with_dp(DpConfig::moderate());
+    let mut dp_parallel = Trainer::new(model).with_dp(DpConfig::moderate());
+    let mut rs = StdRng::seed_from_u64(3);
+    let mut rp = StdRng::seed_from_u64(3);
+    cases.push(case(
+        "dp_step_b16",
+        5,
+        || {
+            black_box(dp_serial.d_step_dp_threaded(&encoded, &idx, &mut rs, 1));
+        },
+        || {
+            black_box(dp_parallel.d_step_dp_threaded(&encoded, &idx, &mut rp, threads));
+        },
+    ));
+
+    // The serial and parallel DP trainers consumed identical RNG streams, so
+    // their parameters must be bitwise equal — a free end-to-end
+    // determinism check on every bench run.
+    for (id, _, t) in dp_serial.model.store.iter() {
+        assert_eq!(
+            t.as_slice(),
+            dp_parallel.model.store.get(id).as_slice(),
+            "parallel DP step diverged from serial for parameter {id:?}"
+        );
+    }
+    println!("\ndeterminism: parallel DP parameters bitwise equal to serial ✓");
+
+    let report = Report { hardware_threads: hw, worker_threads: threads, plain_d_step_ms, cases };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_training.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&path, json).expect("write BENCH_training.json");
+    println!("wrote {}", path.display());
+}

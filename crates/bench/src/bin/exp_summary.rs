@@ -8,19 +8,19 @@
 use dg_bench::harness::{format_table, ExpResult};
 use dg_bench::presets::Scale;
 
+/// Looks up a saved `(experiment id, key)` number, if present.
+type NumberLookup<'a> = dyn Fn(&str, &str) -> Option<f64> + 'a;
+
 struct Check {
     id: &'static str,
     claim: &'static str,
-    verdict: fn(&dyn Fn(&str, &str) -> Option<f64>) -> Option<bool>,
+    verdict: fn(&NumberLookup) -> Option<bool>,
 }
 
 fn main() {
     let scale = Scale::from_env();
     let get = move |id: &str, key: &str| -> Option<f64> {
-        ExpResult::load_numbers(id, scale.name())?
-            .into_iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
+        ExpResult::load_numbers(id, scale.name())?.into_iter().find(|(k, _)| k == key).map(|(_, v)| v)
     };
 
     let checks: Vec<Check> = vec![
@@ -114,8 +114,10 @@ fn main() {
             id: "fig15",
             claim: "DG's WWT attribute histograms beat the naive GAN's",
             verdict: |g| {
-                let dg: Vec<f64> = (0..3).filter_map(|i| g("fig15", &format!("jsd_attr{i}_doppelganger"))).collect();
-                let ng: Vec<f64> = (0..3).filter_map(|i| g("fig15", &format!("jsd_attr{i}_naive_gan"))).collect();
+                let dg: Vec<f64> =
+                    (0..3).filter_map(|i| g("fig15", &format!("jsd_attr{i}_doppelganger"))).collect();
+                let ng: Vec<f64> =
+                    (0..3).filter_map(|i| g("fig15", &format!("jsd_attr{i}_naive_gan"))).collect();
                 if dg.is_empty() || ng.is_empty() {
                     return None;
                 }
@@ -161,7 +163,10 @@ fn main() {
             id: "fig30",
             claim: "attribute retraining hits the target, features frozen",
             verdict: |g| {
-                Some(g("fig30", "feature_generator_unchanged")? > 0.5 && g("fig30", "target_vs_achieved_jsd")? < 0.2)
+                Some(
+                    g("fig30", "feature_generator_unchanged")? > 0.5
+                        && g("fig30", "target_vs_achieved_jsd")? < 0.2,
+                )
             },
         },
         Check {

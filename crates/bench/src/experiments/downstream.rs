@@ -152,7 +152,7 @@ pub fn fig27_forecast_r2(preset: &Preset) -> ExpResult {
         let task = forecast_task(train_data, 0, history, horizon);
         let mut row = vec![source.clone()];
         if task.n == 0 {
-            row.extend(std::iter::repeat("n/a".to_string()).take(reg_names.len()));
+            row.extend(std::iter::repeat_n("n/a".to_string(), reg_names.len()));
             rows.push(row);
             continue;
         }

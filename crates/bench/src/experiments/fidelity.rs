@@ -210,20 +210,14 @@ pub fn tab03_bandwidth(preset: &Preset) -> ExpResult {
     let models = train_all(&data, preset, ModelSet::All);
     let generated = generate_per_model(&models, &data.schema, preset.gen_samples, preset.seed ^ 0x99);
 
-    let real_bw: Vec<Vec<f64>> = techs
-        .iter()
-        .map(|&(_, t)| bandwidths(&data.filter_by_attribute(0, t)))
-        .collect();
+    let real_bw: Vec<Vec<f64>> =
+        techs.iter().map(|&(_, t)| bandwidths(&data.filter_by_attribute(0, t))).collect();
     let mut rows = Vec::new();
     for (name, gen) in &generated {
         let mut row = vec![name.to_string()];
         for (i, &(tech_name, t)) in techs.iter().enumerate() {
             let g = gen.filter_by_attribute(0, t);
-            let w1 = if g.is_empty() {
-                f64::NAN
-            } else {
-                wasserstein1(&real_bw[i], &bandwidths(&g))
-            };
+            let w1 = if g.is_empty() { f64::NAN } else { wasserstein1(&real_bw[i], &bandwidths(&g)) };
             row.push(format!("{w1:.2}"));
             r.numbers.push((format!("w1_{}_{}", tech_name.to_lowercase(), slug(name)), w1));
         }
@@ -310,11 +304,8 @@ pub fn fig18_mba_attrs(preset: &Preset) -> ExpResult {
 pub fn fig24_memorization(preset: &Preset) -> ExpResult {
     let mut r = ExpResult::new("fig24", "nearest-neighbour memorization probe");
     let mut rows = Vec::new();
-    for (ds_name, data) in [
-        ("WWT", wwt_data(preset)),
-        ("GCUT", gcut_data(preset)),
-        ("MBA", mba_data(preset)),
-    ] {
+    for (ds_name, data) in [("WWT", wwt_data(preset)), ("GCUT", gcut_data(preset)), ("MBA", mba_data(preset))]
+    {
         let model = crate::models::train_dg(&data, preset);
         let mut rng = StdRng::seed_from_u64(preset.seed ^ 0xCC);
         let gen = model.generate(preset.gen_samples.min(50), &mut rng);
@@ -342,10 +333,8 @@ pub fn fig33_s_sweep(preset: &Preset) -> ExpResult {
     let data = wwt_data(preset);
     let max_lag = preset.wwt.length - 2;
     let real_ac = ac_of(&data, max_lag);
-    let s_values: Vec<usize> = [1usize, 5, 10, 25, 50]
-        .into_iter()
-        .filter(|&s| s <= preset.wwt.length)
-        .collect();
+    let s_values: Vec<usize> =
+        [1usize, 5, 10, 25, 50].into_iter().filter(|&s| s <= preset.wwt.length).collect();
     let checkpoints = 4usize;
     let mut rows = Vec::new();
     for &s in &s_values {
@@ -415,10 +404,8 @@ pub fn extra_attr_feature_correlation(preset: &Preset) -> ExpResult {
     let data = gcut_data(preset);
     // Memory feature index: 1 in the 3-feature quick layout, 3 in the full
     // 9-feature layout (canonical memory usage).
-    let mem_idx = data
-        .schema
-        .feature_index("canonical memory usage")
-        .expect("GCUT schema includes canonical memory");
+    let mem_idx =
+        data.schema.feature_index("canonical memory usage").expect("GCUT schema includes canonical memory");
     let fail_gap = |d: &Dataset| -> f64 {
         let trend = |d: &Dataset, event: usize| {
             let f = d.filter_by_attribute(0, event);

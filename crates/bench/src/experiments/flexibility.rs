@@ -40,22 +40,14 @@ pub fn fig30_flexibility(preset: &Preset) -> ExpResult {
     let target_probs = target.probabilities();
 
     // Snapshot feature-generator weights.
-    let feat_ids: Vec<_> = model
-        .feat_lstm
-        .params()
-        .into_iter()
-        .chain(model.feat_head.params())
-        .collect();
+    let feat_ids: Vec<_> = model.feat_lstm.params().into_iter().chain(model.feat_head.params()).collect();
     let feat_before: Vec<_> = feat_ids.iter().map(|&id| model.store.get(id).clone()).collect();
 
     let mut rrng = StdRng::seed_from_u64(preset.seed ^ 0x30);
     retrain_attribute_generator(&mut model, &target, preset.retrain_iterations, &mut rrng);
 
     // Feature generator untouched?
-    let unchanged = feat_ids
-        .iter()
-        .zip(&feat_before)
-        .all(|(&id, before)| model.store.get(id) == before);
+    let unchanged = feat_ids.iter().zip(&feat_before).all(|(&id, before)| model.store.get(id) == before);
     r.number("feature_generator_unchanged", f64::from(unchanged));
 
     // Achieved joint distribution.
@@ -81,9 +73,7 @@ pub fn fig30_flexibility(preset: &Preset) -> ExpResult {
     r.line("target vs achieved joint P(domain, access) [columns: all-access/desktop/mobile-web]:");
     let mut rows = Vec::new();
     for d in 0..wwt::DOMAINS.len() {
-        let t: Vec<String> = (0..3)
-            .map(|a| format!("{:.3}", target_probs[d * 3 + a]))
-            .collect();
+        let t: Vec<String> = (0..3).map(|a| format!("{:.3}", target_probs[d * 3 + a])).collect();
         let g: Vec<String> = (0..3).map(|a| format!("{:.3}", achieved[d * 3 + a])).collect();
         rows.push(vec![wwt::DOMAINS[d].to_string(), t.join("/"), g.join("/")]);
     }

@@ -13,10 +13,13 @@ pub mod privacy;
 use crate::harness::ExpResult;
 use crate::presets::Preset;
 
+/// An experiment runner: takes a preset, produces one table/figure result.
+pub type ExpRunner = fn(&Preset) -> ExpResult;
+
 /// Every experiment in index order: `(id, runner)`.
-pub fn all_experiments() -> Vec<(&'static str, fn(&Preset) -> ExpResult)> {
+pub fn all_experiments() -> Vec<(&'static str, ExpRunner)> {
     vec![
-        ("fig01", fidelity::fig01_autocorrelation as fn(&Preset) -> ExpResult),
+        ("fig01", fidelity::fig01_autocorrelation as ExpRunner),
         ("fig04", fidelity::fig04_batch_size),
         ("fig05", fidelity::fig05_autonorm),
         ("fig07", fidelity::fig07_duration),

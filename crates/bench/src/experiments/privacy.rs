@@ -28,15 +28,14 @@ pub fn fig12_membership(preset: &Preset) -> ExpResult {
         let mut rng = StdRng::seed_from_u64(preset.seed ^ 0x51);
         let (pool, held) = data.split(0.5, &mut rng);
         let max_n = pool.len();
-        let sizes: Vec<usize> = [max_n / 8, max_n / 4, max_n / 2, max_n]
-            .into_iter()
-            .filter(|&n| n >= 8)
-            .collect();
+        let sizes: Vec<usize> =
+            [max_n / 8, max_n / 4, max_n / 2, max_n].into_iter().filter(|&n| n >= 8).collect();
         r.line(format!("{ds_name}: held-out non-members = {}", held.len()));
         let mut rows = Vec::new();
         for &n in &sizes {
             let train = pool.truncated(n);
-            let model = train_dg_with(&train, preset, preset.dg_config(data.schema.max_len), preset.dg_iterations);
+            let model =
+                train_dg_with(&train, preset, preset.dg_config(data.schema.max_len), preset.dg_iterations);
             let nonmembers = held.truncated(n.min(held.len()));
             let rate = membership_attack(&model, &train, &nonmembers);
             rows.push(vec![n.to_string(), format!("{rate:.3}")]);

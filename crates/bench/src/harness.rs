@@ -147,9 +147,7 @@ pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
     if values.len() <= n || n == 0 {
         return values.to_vec();
     }
-    (0..n)
-        .map(|i| values[i * (values.len() - 1) / (n - 1).max(1)])
-        .collect()
+    (0..n).map(|i| values[i * (values.len() - 1) / (n - 1).max(1)]).collect()
 }
 
 #[cfg(test)]

@@ -98,7 +98,13 @@ impl Preset {
         match scale {
             Scale::Smoke => Preset {
                 scale,
-                wwt: WwtConfig { num_objects: 40, length: 64, short_period: 7, long_period: 24, ..WwtConfig::default() },
+                wwt: WwtConfig {
+                    num_objects: 40,
+                    length: 64,
+                    short_period: 7,
+                    long_period: 24,
+                    ..WwtConfig::default()
+                },
                 mba: MbaConfig::quick(60),
                 gcut: GcutConfig::quick(60),
                 sine: SineConfig { num_objects: 40, length: 24, periods: vec![6, 12], noise_sigma: 0.05 },

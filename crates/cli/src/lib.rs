@@ -60,10 +60,7 @@ impl Args {
 
     /// A required option.
     pub fn required(&self, name: &str) -> Result<&str, String> {
-        self.options
-            .get(name)
-            .map(String::as_str)
-            .ok_or_else(|| format!("missing required option --{name}"))
+        self.options.get(name).map(String::as_str).ok_or_else(|| format!("missing required option --{name}"))
     }
 
     /// An optional option with a default.
@@ -119,7 +116,8 @@ fn cmd_demo(args: &Args) -> Result<String, String> {
     let length = args.num_or("length", 48usize)?;
     let seed = args.num_or("seed", 0u64)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let cfg = dg_datasets::SineConfig { num_objects: objects, length, periods: vec![8, 16], noise_sigma: 0.05 };
+    let cfg =
+        dg_datasets::SineConfig { num_objects: objects, length, periods: vec![8, 16], noise_sigma: 0.05 };
     let data = dg_datasets::sine::generate(&cfg, &mut rng);
     write_json(out, &data)?;
     Ok(format!("wrote demo dataset ({objects} objects, length {length}) to {out}"))
@@ -129,7 +127,12 @@ fn cmd_schema(args: &Args) -> Result<String, String> {
     let data: Dataset = read_json(args.required("data")?)?;
     let mut s = String::new();
     let _ = writeln!(s, "objects: {}", data.len());
-    let _ = writeln!(s, "max length: {} ({})", data.schema.max_len, data.schema.timescale.as_deref().unwrap_or("unspecified timescale"));
+    let _ = writeln!(
+        s,
+        "max length: {} ({})",
+        data.schema.max_len,
+        data.schema.timescale.as_deref().unwrap_or("unspecified timescale")
+    );
     let _ = writeln!(s, "attributes ({}):", data.schema.num_attributes());
     for (i, a) in data.schema.attributes.iter().enumerate() {
         let extra = if a.kind.is_categorical() {
@@ -174,10 +177,7 @@ fn cmd_train(args: &Args) -> Result<String, String> {
     trainer.fit(&encoded, iterations, &mut rng, |m| last = *m);
     let model = trainer.into_model();
     std::fs::write(out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
-    Ok(format!(
-        "trained {iterations} iterations (final W~{:.3}); released model to {out}",
-        last.wasserstein
-    ))
+    Ok(format!("trained {iterations} iterations (final W~{:.3}); released model to {out}", last.wasserstein))
 }
 
 fn cmd_generate(args: &Args) -> Result<String, String> {
@@ -192,10 +192,7 @@ fn cmd_generate(args: &Args) -> Result<String, String> {
         let rows: Vec<Vec<dg_data::Value>> = read_json(path)?;
         let objects = model.generate_conditioned(&rows, &mut rng);
         let n = objects.len();
-        (
-            Dataset::new(model.encoder.schema.clone(), objects),
-            format!("{n} objects conditioned on {path}"),
-        )
+        (Dataset::new(model.encoder.schema.clone(), objects), format!("{n} objects conditioned on {path}"))
     } else {
         let n = args.num_or("n", 100usize)?;
         (model.generate_dataset(n, &mut rng), format!("{n} objects"))
@@ -233,7 +230,12 @@ fn cmd_evaluate(args: &Args) -> Result<String, String> {
     for (i, a) in real.schema.attributes.iter().enumerate() {
         if a.kind.is_categorical() {
             let jsd = jsd_counts(&attribute_histogram(&real, i), &attribute_histogram(&synth, i));
-            let _ = writeln!(s, "  attribute '{}' JSD: {jsd:.4} (0 = identical, {:.4} = disjoint)", a.name, std::f64::consts::LN_2);
+            let _ = writeln!(
+                s,
+                "  attribute '{}' JSD: {jsd:.4} (0 = identical, {:.4} = disjoint)",
+                a.name,
+                std::f64::consts::LN_2
+            );
         }
     }
     // Length distribution.
@@ -323,12 +325,10 @@ mod tests {
         let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
 
         // demo -> schema
-        let out = run(&Args::parse(argv(&format!(
-            "demo --out {} --objects 24 --length 12",
-            p("data.json")
-        )))
-        .unwrap())
-        .unwrap();
+        let out =
+            run(&Args::parse(argv(&format!("demo --out {} --objects 24 --length 12", p("data.json"))))
+                .unwrap())
+            .unwrap();
         assert!(out.contains("wrote demo dataset"));
         let schema = run(&Args::parse(argv(&format!("schema --data {}", p("data.json")))).unwrap()).unwrap();
         assert!(schema.contains("objects: 24"));

@@ -3,15 +3,15 @@
 //! 200k batches) can stop and resume exactly.
 //!
 //! Resuming from a checkpoint continues the identical parameter trajectory
-//! as uninterrupted training given the same RNG stream and batch sequence,
-//! because Adam's step count and moment estimates are preserved (verified by
-//! test). Note that [`Trainer::fit`] creates its own epoch shuffler, so
-//! bit-exact resumption requires driving [`Trainer::d_step`] /
-//! [`Trainer::g_step`] with an externally-managed batch sequence; otherwise
-//! resumption is statistically equivalent but not bit-identical.
+//! as uninterrupted training given the same RNG stream, because Adam's step
+//! count and moment estimates are preserved *and* the epoch shuffler's state
+//! ([`dg_data::BatchIter`]: shuffled order + cursor) is part of the
+//! snapshot, so a resumed [`Trainer::fit`] replays the exact batch sequence
+//! an uninterrupted run would have seen (verified by test).
 
 use crate::model::DoppelGanger;
 use crate::trainer::Trainer;
+use dg_data::BatchIter;
 use dg_nn::optim::Adam;
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +26,10 @@ pub struct Checkpoint {
     pub g_opt: Adam,
     /// Discriminator updates performed so far (for DP accounting).
     pub d_updates: usize,
+    /// Epoch shuffler state, if training went through [`Trainer::fit`].
+    /// Defaults to `None` for checkpoints written before this field existed.
+    #[serde(default)]
+    pub batches: Option<BatchIter>,
 }
 
 impl Checkpoint {
@@ -48,6 +52,7 @@ impl Trainer {
             d_opt: self.d_opt_state().clone(),
             g_opt: self.g_opt_state().clone(),
             d_updates: self.d_updates,
+            batches: self.batch_state().cloned(),
         }
     }
 
@@ -57,6 +62,7 @@ impl Trainer {
     pub fn resume(ck: Checkpoint) -> Self {
         let mut t = Trainer::new(ck.model);
         t.restore_opt_state(ck.d_opt, ck.g_opt, ck.d_updates);
+        t.restore_batch_state(ck.batches);
         t
     }
 }
@@ -82,35 +88,25 @@ mod tests {
         dg.disc_depth = 2;
         dg.batch_size = 8;
 
-        // Fixed batch sequence, driven externally so both runs consume the
-        // RNG identically.
-        let batches: Vec<Vec<usize>> = (0..6).map(|i| ((i % 2) * 8..(i % 2) * 8 + 8).collect()).collect();
-
-        // Uninterrupted: 6 steps straight.
+        // Uninterrupted: 6 fit iterations straight through the real training
+        // loop (internal epoch shuffler and all).
         let mut r1 = StdRng::seed_from_u64(9);
         let model1 = crate::model::DoppelGanger::new(&data, dg.clone(), &mut StdRng::seed_from_u64(1));
         let enc = model1.encode(&data);
         let mut t1 = Trainer::new(model1);
-        for b in &batches {
-            t1.d_step(&enc, b, &mut r1);
-            t1.g_step(b.len(), &mut r1);
-        }
+        t1.fit(&enc, 6, &mut r1, |_| {});
 
-        // Interrupted: 3 steps, checkpoint through JSON, resume 3 more with
-        // the *same* RNG stream position.
+        // Interrupted: fit 3, checkpoint through JSON (which now carries the
+        // shuffler's order + cursor), resume, fit 3 more on the continuing
+        // RNG stream.
         let mut r2 = StdRng::seed_from_u64(9);
         let model2 = crate::model::DoppelGanger::new(&data, dg, &mut StdRng::seed_from_u64(1));
         let mut t2 = Trainer::new(model2);
-        for b in &batches[..3] {
-            t2.d_step(&enc, b, &mut r2);
-            t2.g_step(b.len(), &mut r2);
-        }
+        t2.fit(&enc, 3, &mut r2, |_| {});
         let ck = Checkpoint::from_json(&t2.checkpoint().to_json()).expect("roundtrip");
+        assert!(ck.batches.is_some(), "fit must leave batch state for the checkpoint");
         let mut t3 = Trainer::resume(ck);
-        for b in &batches[3..] {
-            t3.d_step(&enc, b, &mut r2);
-            t3.g_step(b.len(), &mut r2);
-        }
+        t3.fit(&enc, 3, &mut r2, |_| {});
 
         assert_eq!(t1.d_updates, t3.d_updates);
         for (id, _, p1) in t1.model.store.iter() {

@@ -171,7 +171,9 @@ impl DoppelGanger {
 
     /// Width of the primary discriminator's input.
     pub fn disc_input_width(&self) -> usize {
-        self.encoder.attr_width() + self.encoder.minmax_width() + self.encoder.max_len() * self.encoder.step_width()
+        self.encoder.attr_width()
+            + self.encoder.minmax_width()
+            + self.encoder.max_len() * self.encoder.step_width()
     }
 
     /// Width of the auxiliary discriminator's input (`[A | minmax]`).
@@ -216,7 +218,13 @@ impl DoppelGanger {
 
     /// Records attribute generation for a batch; `frozen` stops gradients at
     /// the generator weights.
-    pub fn gen_attributes<R: Rng + ?Sized>(&self, g: &mut Graph, batch: usize, rng: &mut R, frozen: bool) -> Var {
+    pub fn gen_attributes<R: Rng + ?Sized>(
+        &self,
+        g: &mut Graph,
+        batch: usize,
+        rng: &mut R,
+        frozen: bool,
+    ) -> Var {
         let z = g.constant(Tensor::randn(batch, self.config.attr_noise_dim, 1.0, rng));
         let raw = if frozen {
             self.attr_gen.forward_frozen(g, &self.store, z)
@@ -352,11 +360,7 @@ impl DoppelGanger {
         let ar: Vec<&Tensor> = attrs.iter().collect();
         let mr: Vec<&Tensor> = minmaxes.iter().collect();
         let fr: Vec<&Tensor> = feats.iter().collect();
-        (
-            Tensor::concat_rows(&ar),
-            Tensor::concat_rows(&mr),
-            Tensor::concat_rows(&fr),
-        )
+        (Tensor::concat_rows(&ar), Tensor::concat_rows(&mr), Tensor::concat_rows(&fr))
     }
 
     /// Generates `n` synthetic objects (decoded).
@@ -561,12 +565,7 @@ mod tests {
     fn conditioned_generation_respects_requested_attributes() {
         let (model, _) = tiny_model(15);
         let mut rng = StdRng::seed_from_u64(16);
-        let rows = vec![
-            vec![Value::Cat(0)],
-            vec![Value::Cat(1)],
-            vec![Value::Cat(1)],
-            vec![Value::Cat(0)],
-        ];
+        let rows = vec![vec![Value::Cat(0)], vec![Value::Cat(1)], vec![Value::Cat(1)], vec![Value::Cat(0)]];
         let objs = model.generate_conditioned(&rows, &mut rng);
         assert_eq!(objs.len(), 4);
         for (o, want) in objs.iter().zip(&rows) {

@@ -125,10 +125,7 @@ pub fn retrain_attribute_generator<R: Rng + ?Sized>(
             (real_am.clone(), fake_am.clone())
         } else {
             let pad = Tensor::zeros(batch, feat_zero_width);
-            (
-                Tensor::concat_cols(&[&real_am, &pad]),
-                Tensor::concat_cols(&[&fake_am, &pad]),
-            )
+            (Tensor::concat_cols(&[&real_am, &pad]), Tensor::concat_cols(&[&fake_am, &pad]))
         };
         let critic = if use_aux { model.aux_disc.as_ref().expect("aux") } else { &model.disc };
         let d_loss = {
@@ -154,11 +151,7 @@ pub fn retrain_attribute_generator<R: Rng + ?Sized>(
             let mut g = Graph::new();
             let attrs = model.gen_attributes(&mut g, batch, rng, false);
             let minmax = model.gen_minmax(&mut g, attrs, rng, true);
-            let am = if g.value(minmax).cols() > 0 {
-                g.concat_cols(&[attrs, minmax])
-            } else {
-                attrs
-            };
+            let am = if g.value(minmax).cols() > 0 { g.concat_cols(&[attrs, minmax]) } else { attrs };
             let score = if use_aux {
                 model.discriminate_aux(&mut g, am, true)
             } else {
@@ -259,13 +252,9 @@ mod tests {
         assert!(metrics.iter().all(|m| m.d_loss.is_finite() && m.g_loss.is_finite()));
 
         // Feature generator untouched.
-        for (t, &id) in feat_before.iter().zip(
-            model
-                .feat_lstm
-                .params()
-                .iter()
-                .chain(model.feat_head.params().iter()),
-        ) {
+        for (t, &id) in
+            feat_before.iter().zip(model.feat_lstm.params().iter().chain(model.feat_head.params().iter()))
+        {
             assert_eq!(t, model.store.get(id), "feature generator changed during retraining");
         }
 

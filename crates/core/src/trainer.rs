@@ -9,16 +9,30 @@
 //! An optional [`crate::dpsgd::DpConfig`] switches the
 //! discriminator update to DP-SGD (per-sample clipping + Gaussian noise),
 //! reproducing the paper's differential-privacy experiments (§5.3.1).
+//!
+//! ## Threading and determinism
+//!
+//! The per-sample DP-SGD loop — the slowest part of the paper's §5.3.1
+//! experiments, since every sample runs its own forward/backward pass — fans
+//! out across OS threads. Reproducibility is preserved regardless of thread
+//! count by (a) drawing one RNG seed per sample from the step RNG *before*
+//! the fan-out ([`crate::dpsgd::split_seeds`]), (b) giving each worker its
+//! own `StdRng` built from those seeds, and (c) merging the clipped
+//! per-sample gradients serially in sample-index order after the workers
+//! join. The worker count honors the `DG_NUM_THREADS` override (see
+//! [`dg_nn::parallel`]).
 
-use crate::dpsgd::DpConfig;
+use crate::dpsgd::{split_seeds, DpConfig};
 use crate::model::DoppelGanger;
 use dg_data::{BatchIter, EncodedDataset};
 use dg_nn::graph::Graph;
 use dg_nn::optim::Adam;
+use dg_nn::parallel::num_threads;
 use dg_nn::params::GradMap;
 use dg_nn::penalty::gradient_penalty;
 use dg_nn::tensor::Tensor;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Normal};
 
 /// Per-iteration training telemetry.
@@ -36,6 +50,14 @@ pub struct StepMetrics {
     pub wasserstein: f32,
 }
 
+/// Per-sample result of a DP-SGD forward/backward pass.
+struct SampleGrad {
+    loss: f32,
+    gp: f32,
+    w: f32,
+    grads: GradMap,
+}
+
 /// Trains a [`DoppelGanger`] model.
 pub struct Trainer {
     /// The model being trained.
@@ -45,6 +67,9 @@ pub struct Trainer {
     dp: Option<DpConfig>,
     /// Number of discriminator updates performed (for DP accounting).
     pub d_updates: usize,
+    /// Minibatch iteration state, kept across `fit` calls (and through
+    /// checkpoints) so interrupted training resumes the exact batch sequence.
+    batches: Option<BatchIter>,
 }
 
 impl Trainer {
@@ -53,7 +78,7 @@ impl Trainer {
         let c = &model.config;
         let d_opt = Adam::with_betas(c.d_lr, c.beta1, c.beta2);
         let g_opt = Adam::with_betas(c.g_lr, c.beta1, c.beta2);
-        Trainer { model, d_opt, g_opt, dp: None, d_updates: 0 }
+        Trainer { model, d_opt, g_opt, dp: None, d_updates: 0, batches: None }
     }
 
     /// Enables DP-SGD on the discriminator updates.
@@ -84,9 +109,27 @@ impl Trainer {
         self.d_updates = d_updates;
     }
 
+    /// Current minibatch iteration state, if [`Trainer::fit`] has run
+    /// (for checkpointing).
+    pub fn batch_state(&self) -> Option<&BatchIter> {
+        self.batches.as_ref()
+    }
+
+    /// Restores the minibatch iteration state (checkpoint resume). Passing
+    /// `None` makes the next [`Trainer::fit`] start a fresh epoch schedule.
+    pub fn restore_batch_state(&mut self, batches: Option<BatchIter>) {
+        self.batches = batches;
+    }
+
     /// Runs `iterations` generator updates (each preceded by
     /// `d_steps_per_g` discriminator updates), invoking `callback` after
     /// every iteration.
+    ///
+    /// The reported `d_loss`/`gp`/`wasserstein` are averaged over the
+    /// iteration's critic updates (an earlier version kept only the last
+    /// critic step's values, which made telemetry noisy for
+    /// `d_steps_per_g > 1`). Batch iteration state persists across calls —
+    /// a second `fit` continues the current epoch rather than restarting it.
     pub fn fit<R: Rng + ?Sized>(
         &mut self,
         data: &EncodedDataset,
@@ -94,21 +137,33 @@ impl Trainer {
         rng: &mut R,
         mut callback: impl FnMut(&StepMetrics),
     ) {
-        let mut batches = BatchIter::new(data.num_samples(), self.model.config.batch_size);
+        let n = data.num_samples();
+        let batch = self.model.config.batch_size;
+        let stale =
+            self.batches.as_ref().is_none_or(|b| b.num_samples() != n || b.batch_size() != batch.min(n));
+        if stale {
+            self.batches = Some(BatchIter::new(n, batch));
+        }
+        let d_steps = self.model.config.d_steps_per_g.max(1);
         for it in 0..iterations {
             let mut m = StepMetrics { iteration: it, ..Default::default() };
-            for _ in 0..self.model.config.d_steps_per_g.max(1) {
-                let idx = batches.next_batch(rng).to_vec();
+            for _ in 0..d_steps {
+                let idx = self.batches.as_mut().expect("initialized above").next_batch(rng).to_vec();
                 let (d_loss, gp, w) = if self.dp.is_some() {
                     self.d_step_dp(data, &idx, rng)
                 } else {
                     self.d_step(data, &idx, rng)
                 };
-                m.d_loss = d_loss;
-                m.gp = gp;
-                m.wasserstein = w;
+                m.d_loss += d_loss;
+                m.gp += gp;
+                m.wasserstein += w;
             }
-            m.g_loss = self.g_step(batches.batch_size(), rng);
+            let inv = 1.0 / d_steps as f32;
+            m.d_loss *= inv;
+            m.gp *= inv;
+            m.wasserstein *= inv;
+            let g_batch = self.batches.as_ref().expect("initialized above").batch_size();
+            m.g_loss = self.g_step(g_batch, rng);
             callback(&m);
         }
     }
@@ -122,7 +177,7 @@ impl Trainer {
     ) -> (f32, f32, f32) {
         let real_full = data.full_rows(idx);
         let fake_full = self.generate_fake_full(idx.len(), rng);
-        let (loss, gp, w, grads) = self.d_loss_grads(&real_full, &fake_full, rng);
+        let (loss, gp, w, grads) = self.d_loss_grads(real_full, fake_full, rng);
         self.d_opt.step(&mut self.model.store, &grads);
         self.d_updates += 1;
         (loss, gp, w)
@@ -130,45 +185,49 @@ impl Trainer {
 
     /// Builds the combined discriminator loss for given real/fake batches and
     /// returns `(loss, gp, wasserstein, grads)`.
+    ///
+    /// Takes the batches by value: the gradient penalties (the only
+    /// consumers that need the raw tensors) are recorded first, then the
+    /// tensors move into the graph as constants without the per-call clones
+    /// the old hot path paid. Tape position does not matter for
+    /// correctness — ops only reference earlier nodes — and the RNG draw
+    /// order (primary penalty, then auxiliary) is unchanged.
     fn d_loss_grads<R: Rng + ?Sized>(
         &self,
-        real_full: &Tensor,
-        fake_full: &Tensor,
+        real_full: Tensor,
+        fake_full: Tensor,
         rng: &mut R,
     ) -> (f32, f32, f32, GradMap) {
         let model = &self.model;
         let lambda = model.config.gp_lambda;
         let mut g = Graph::new();
-        let rf = g.constant(real_full.clone());
-        let ff = g.constant(fake_full.clone());
+        let gp = gradient_penalty(&mut g, &model.store, &model.disc, &real_full, &fake_full, rng);
+        let aux = model.aux_disc.as_ref().map(|aux_disc| {
+            let aw = model.aux_input_width();
+            let real_am = real_full.slice_cols(0, aw);
+            let fake_am = fake_full.slice_cols(0, aw);
+            let aux_gp = gradient_penalty(&mut g, &model.store, aux_disc, &real_am, &fake_am, rng);
+            (real_am, fake_am, aux_gp)
+        });
+
+        let rf = g.constant(real_full);
+        let ff = g.constant(fake_full);
         let dr = model.discriminate(&mut g, rf, false);
         let df = model.discriminate(&mut g, ff, false);
         let mean_dr = g.mean_all(dr);
         let mean_df = g.mean_all(df);
         let w_term = g.sub(mean_df, mean_dr); // minimize E[D(fake)] - E[D(real)]
-        let gp = gradient_penalty(&mut g, &model.store, &model.disc, real_full, fake_full, rng);
         let gp_term = g.scale(gp, lambda);
         let mut loss = g.add(w_term, gp_term);
 
-        if model.aux_disc.is_some() {
-            let aw = model.aux_input_width();
-            let real_am = real_full.slice_cols(0, aw);
-            let fake_am = fake_full.slice_cols(0, aw);
-            let ra = g.constant(real_am.clone());
-            let fa = g.constant(fake_am.clone());
+        if let Some((real_am, fake_am, aux_gp)) = aux {
+            let ra = g.constant(real_am);
+            let fa = g.constant(fake_am);
             let ar = model.discriminate_aux(&mut g, ra, false);
             let af = model.discriminate_aux(&mut g, fa, false);
             let mean_ar = g.mean_all(ar);
             let mean_af = g.mean_all(af);
             let aux_w = g.sub(mean_af, mean_ar);
-            let aux_gp = gradient_penalty(
-                &mut g,
-                &model.store,
-                model.aux_disc.as_ref().expect("checked"),
-                &real_am,
-                &fake_am,
-                rng,
-            );
             let aux_gp_term = g.scale(aux_gp, lambda);
             let aux_loss = g.add(aux_w, aux_gp_term);
             let weighted = g.scale(aux_loss, model.config.alpha);
@@ -186,29 +245,52 @@ impl Trainer {
     /// `clip_norm` and Gaussian noise `N(0, (σ·C)²)` is added to the sum
     /// before averaging (Abadi et al., applied to GANs as in the paper's DP
     /// experiments).
+    ///
+    /// The per-sample forward/backward passes run on
+    /// [`dg_nn::parallel::num_threads`] worker threads; results are bitwise
+    /// identical for any worker count (see the module docs).
     pub fn d_step_dp<R: Rng + ?Sized>(
         &mut self,
         data: &EncodedDataset,
         idx: &[usize],
         rng: &mut R,
     ) -> (f32, f32, f32) {
+        self.d_step_dp_threaded(data, idx, rng, num_threads())
+    }
+
+    /// [`Trainer::d_step_dp`] with an explicit worker-thread count.
+    ///
+    /// `threads = 1` is the serial reference; any other value produces
+    /// bitwise-identical parameters. Exposed so determinism tests and
+    /// benchmarks can pin the count independently of `DG_NUM_THREADS`.
+    pub fn d_step_dp_threaded<R: Rng + ?Sized>(
+        &mut self,
+        data: &EncodedDataset,
+        idx: &[usize],
+        rng: &mut R,
+        threads: usize,
+    ) -> (f32, f32, f32) {
         let dp = self.dp.expect("d_step_dp requires a DP config");
         let fake_full = self.generate_fake_full(idx.len(), rng);
+        // Pre-split one seed per sample so the fan-out below cannot perturb
+        // the randomness, whatever the thread count or scheduling order.
+        let seeds = split_seeds(rng, idx.len());
+        let samples = self.per_sample_clipped_grads(data, idx, &fake_full, &seeds, dp.clip_norm, threads);
+
+        // Merge in sample-index order (float addition is not associative, so
+        // a fixed merge order is part of the determinism guarantee).
         let mut total = GradMap::with_capacity(self.model.store.len());
         let mut loss_sum = 0.0;
         let mut gp_sum = 0.0;
         let mut w_sum = 0.0;
-        for (k, &i) in idx.iter().enumerate() {
-            let real_row = data.full_rows(&[i]);
-            let fake_row = fake_full.slice_rows(k, k + 1);
-            let (l, gp, w, mut grads) = self.d_loss_grads(&real_row, &fake_row, rng);
-            loss_sum += l;
-            gp_sum += gp;
-            w_sum += w;
-            grads.clip_global_norm(dp.clip_norm);
-            total.merge(&grads);
+        for s in &samples {
+            loss_sum += s.loss;
+            gp_sum += s.gp;
+            w_sum += s.w;
+            total.merge(&s.grads);
         }
-        // Add calibrated Gaussian noise to the summed clipped gradients.
+        // Add calibrated Gaussian noise to the summed clipped gradients,
+        // drawn from the step RNG *after* the per-sample seeds.
         let noise = Normal::new(0.0_f32, dp.noise_multiplier * dp.clip_norm).expect("valid noise");
         for (_, g) in total.iter_mut() {
             for x in g.as_mut_slice() {
@@ -222,6 +304,50 @@ impl Trainer {
         (loss_sum / b, gp_sum / b, w_sum / b)
     }
 
+    /// Computes the clipped per-sample gradients for a DP step, fanning the
+    /// samples out over up to `threads` scoped worker threads. Slot `k` of
+    /// the result always holds sample `idx[k]` computed from `seeds[k]`, so
+    /// the output is independent of the thread count.
+    fn per_sample_clipped_grads(
+        &self,
+        data: &EncodedDataset,
+        idx: &[usize],
+        fake_full: &Tensor,
+        seeds: &[u64],
+        clip_norm: f32,
+        threads: usize,
+    ) -> Vec<SampleGrad> {
+        let b = idx.len();
+        let mut slots: Vec<Option<SampleGrad>> = (0..b).map(|_| None).collect();
+        let one_sample = |k: usize| -> SampleGrad {
+            let mut srng = StdRng::seed_from_u64(seeds[k]);
+            let real_row = data.full_rows(&idx[k..k + 1]);
+            let fake_row = fake_full.slice_rows(k, k + 1);
+            let (loss, gp, w, mut grads) = self.d_loss_grads(real_row, fake_row, &mut srng);
+            grads.clip_global_norm(clip_norm);
+            SampleGrad { loss, gp, w, grads }
+        };
+        let threads = threads.clamp(1, b.max(1));
+        if threads <= 1 {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(one_sample(k));
+            }
+        } else {
+            let chunk = b.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (ci, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+                    let one_sample = &one_sample;
+                    scope.spawn(move || {
+                        for (j, slot) in chunk_slots.iter_mut().enumerate() {
+                            *slot = Some(one_sample(ci * chunk + j));
+                        }
+                    });
+                }
+            });
+        }
+        slots.into_iter().map(|s| s.expect("every sample slot is filled")).collect()
+    }
+
     /// One generator update. Returns the generator loss.
     pub fn g_step<R: Rng + ?Sized>(&mut self, batch: usize, rng: &mut R) -> f32 {
         let model = &self.model;
@@ -231,11 +357,7 @@ impl Trainer {
         let mean_score = g.mean_all(score);
         let mut loss = g.scale(mean_score, -1.0);
         if model.aux_disc.is_some() {
-            let am = if g.value(minmax).cols() > 0 {
-                g.concat_cols(&[attrs, minmax])
-            } else {
-                attrs
-            };
+            let am = if g.value(minmax).cols() > 0 { g.concat_cols(&[attrs, minmax]) } else { attrs };
             let aux_score = model.discriminate_aux(&mut g, am, true);
             let mean_aux = g.mean_all(aux_score);
             let aux_term = g.scale(mean_aux, -model.config.alpha);
@@ -252,7 +374,7 @@ impl Trainer {
     fn generate_fake_full<R: Rng + ?Sized>(&self, batch: usize, rng: &mut R) -> Tensor {
         let mut g = Graph::new();
         let (_, _, _, full) = self.model.gen_full(&mut g, batch, rng, true);
-        g.value(full).clone()
+        g.into_value(full)
     }
 }
 
@@ -288,11 +410,8 @@ mod tests {
         for id in tr.model.generator_params() {
             assert_eq!(before.get(id), tr.model.store.get(id), "generator moved during d step");
         }
-        let moved = tr
-            .model
-            .discriminator_params()
-            .iter()
-            .any(|&id| before.get(id) != tr.model.store.get(id));
+        let moved =
+            tr.model.discriminator_params().iter().any(|&id| before.get(id) != tr.model.store.get(id));
         assert!(moved, "discriminator should move during d step");
     }
 
@@ -304,11 +423,7 @@ mod tests {
         for id in tr.model.discriminator_params() {
             assert_eq!(before.get(id), tr.model.store.get(id), "discriminator moved during g step");
         }
-        let moved = tr
-            .model
-            .generator_params()
-            .iter()
-            .any(|&id| before.get(id) != tr.model.store.get(id));
+        let moved = tr.model.generator_params().iter().any(|&id| before.get(id) != tr.model.store.get(id));
         assert!(moved, "generator should move during g step");
     }
 
@@ -335,6 +450,80 @@ mod tests {
         for (_, _, t) in tr.model.store.iter() {
             assert!(t.is_finite(), "DP noise must not produce non-finite params");
         }
+    }
+
+    fn flat_params(tr: &Trainer) -> Vec<f32> {
+        let mut out = Vec::new();
+        for (_, _, t) in tr.model.store.iter() {
+            out.extend_from_slice(t.as_slice());
+        }
+        out
+    }
+
+    #[test]
+    fn fit_averages_metrics_across_critic_steps() {
+        // Regression: fit used to overwrite d_loss/gp/wasserstein on every
+        // critic step, reporting only the last one. Replicate fit's exact
+        // step sequence manually and check the reported metrics equal the
+        // per-iteration averages.
+        let (mut a, enc, mut rng_a) = tiny_setup(9);
+        a.model.config.d_steps_per_g = 3;
+        let mut got = Vec::new();
+        a.fit(&enc, 2, &mut rng_a, |m| got.push(*m));
+        assert_eq!(got.len(), 2);
+
+        let (mut b, enc_b, mut rng_b) = tiny_setup(9);
+        b.model.config.d_steps_per_g = 3;
+        let mut batches = BatchIter::new(enc_b.num_samples(), b.model.config.batch_size);
+        for m in &got {
+            let (mut dl, mut gp, mut w) = (0.0f32, 0.0f32, 0.0f32);
+            for _ in 0..3 {
+                let idx = batches.next_batch(&mut rng_b).to_vec();
+                let (l, p, ws) = b.d_step(&enc_b, &idx, &mut rng_b);
+                dl += l;
+                gp += p;
+                w += ws;
+            }
+            let inv = 1.0 / 3.0f32;
+            assert_eq!(m.d_loss, dl * inv, "d_loss must be the critic-step average");
+            assert_eq!(m.gp, gp * inv, "gp must be the critic-step average");
+            assert_eq!(m.wasserstein, w * inv, "wasserstein must be the critic-step average");
+            assert_eq!(m.g_loss, b.g_step(batches.batch_size(), &mut rng_b));
+        }
+    }
+
+    #[test]
+    fn dp_step_is_bitwise_identical_across_thread_counts() {
+        // Two DP steps per run: the second exercises seed-splitting on an
+        // RNG stream already advanced by a threaded step.
+        let params_after = |threads: usize| -> Vec<f32> {
+            let (tr, enc, mut rng) = tiny_setup(10);
+            let mut tr = tr.with_dp(DpConfig { clip_norm: 1.0, noise_multiplier: 0.5 });
+            let idx: Vec<usize> = (0..6).collect();
+            tr.d_step_dp_threaded(&enc, &idx, &mut rng, threads);
+            tr.d_step_dp_threaded(&enc, &idx, &mut rng, threads);
+            flat_params(&tr)
+        };
+        let serial = params_after(1);
+        for threads in [2usize, 3, 5, 16] {
+            let got = params_after(threads);
+            assert_eq!(serial.len(), got.len());
+            for (i, (s, g)) in serial.iter().zip(&got).enumerate() {
+                assert!(s.to_bits() == g.to_bits(), "param {i} diverged with {threads} threads: {s} vs {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_dp_runs_are_bitwise_repeatable() {
+        let run = || -> Vec<f32> {
+            let (tr, enc, mut rng) = tiny_setup(11);
+            let mut tr = tr.with_dp(DpConfig::moderate());
+            let idx: Vec<usize> = (0..5).collect();
+            tr.d_step_dp(&enc, &idx, &mut rng);
+            flat_params(&tr)
+        };
+        assert!(dg_nn::gradcheck::check_bitwise_repeatable(run, 3).is_none());
     }
 
     #[test]

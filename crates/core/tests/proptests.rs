@@ -17,9 +17,7 @@ fn make_dataset(seed: u64, cats: usize, feats: usize, max_len: usize, n: usize) 
     let mut rng = StdRng::seed_from_u64(seed);
     let schema = Schema::new(
         vec![FieldSpec::new("class", FieldKind::categorical((0..cats).map(|i| format!("c{i}"))))],
-        (0..feats)
-            .map(|j| FieldSpec::new(format!("f{j}"), FieldKind::continuous(-10.0, 10.0)))
-            .collect(),
+        (0..feats).map(|j| FieldSpec::new(format!("f{j}"), FieldKind::continuous(-10.0, 10.0))).collect(),
         max_len,
     );
     let objects = (0..n)

@@ -118,11 +118,7 @@ impl EncodedDataset {
 
     /// Gathers rows into `(attributes, minmax, features)` batch tensors.
     pub fn gather(&self, idx: &[usize]) -> (Tensor, Tensor, Tensor) {
-        (
-            self.attributes.gather_rows(idx),
-            self.minmax.gather_rows(idx),
-            self.features.gather_rows(idx),
-        )
+        (self.attributes.gather_rows(idx), self.minmax.gather_rows(idx), self.features.gather_rows(idx))
     }
 
     /// Concatenates `[attributes | minmax | features]` for the given rows —
@@ -396,11 +392,8 @@ impl Encoder {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let attrs = self.decode_attributes(attributes.row_slice(i));
-            let halves = if self.config.auto_normalize {
-                self.decode_minmax(minmax.row_slice(i))
-            } else {
-                Vec::new()
-            };
+            let halves =
+                if self.config.auto_normalize { self.decode_minmax(minmax.row_slice(i)) } else { Vec::new() };
             let frow = features.row_slice(i);
             let len = decode_length(frow, sw, self.schema.feature_encoded_width(), self.max_len());
             let mut records = Vec::with_capacity(len);
@@ -526,11 +519,7 @@ mod tests {
         let objects = vec![
             TimeSeriesObject {
                 attributes: vec![Value::Cat(1)],
-                records: vec![
-                    vec![Value::Cont(10.0)],
-                    vec![Value::Cont(20.0)],
-                    vec![Value::Cont(30.0)],
-                ],
+                records: vec![vec![Value::Cont(10.0)], vec![Value::Cont(20.0)], vec![Value::Cont(30.0)]],
             },
             TimeSeriesObject {
                 attributes: vec![Value::Cat(2)],
@@ -570,7 +559,7 @@ mod tests {
         let enc = Encoder::fit(&d, EncoderConfig::default());
         let e = enc.encode(&d);
         let row = e.features.row_slice(0); // length 3 of max 6
-        // Steps 0,1 continue; step 2 is the last; steps 3.. are zero.
+                                           // Steps 0,1 continue; step 2 is the last; steps 3.. are zero.
         assert_eq!(&row[1..3], &[1.0, 0.0]);
         assert_eq!(&row[4..6], &[1.0, 0.0]);
         assert_eq!(&row[7..9], &[0.0, 1.0]);
@@ -632,15 +621,8 @@ mod tests {
 
     #[test]
     fn constant_series_is_invertible() {
-        let schema = Schema::new(
-            vec![],
-            vec![FieldSpec::new("x", FieldKind::continuous(0.0, 10.0))],
-            3,
-        );
-        let objects = vec![TimeSeriesObject {
-            attributes: vec![],
-            records: vec![vec![Value::Cont(5.0)]; 3],
-        }];
+        let schema = Schema::new(vec![], vec![FieldSpec::new("x", FieldKind::continuous(0.0, 10.0))], 3);
+        let objects = vec![TimeSeriesObject { attributes: vec![], records: vec![vec![Value::Cont(5.0)]; 3] }];
         let d = Dataset::new(schema, objects);
         let enc = Encoder::fit(&d, EncoderConfig::default());
         let e = enc.encode(&d);
@@ -659,11 +641,7 @@ mod tests {
         );
         let objects = vec![TimeSeriesObject {
             attributes: vec![],
-            records: vec![
-                vec![Value::Cat(2)],
-                vec![Value::Cat(0)],
-                vec![Value::Cat(1)],
-            ],
+            records: vec![vec![Value::Cat(2)], vec![Value::Cat(0)], vec![Value::Cat(1)]],
         }];
         let d = Dataset::new(schema, objects);
         let enc = Encoder::fit(&d, EncoderConfig::default());

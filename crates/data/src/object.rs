@@ -110,18 +110,13 @@ impl Dataset {
 
     /// Draws `n` objects uniformly with replacement (bootstrap sample).
     pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Dataset {
-        let objects = (0..n)
-            .map(|_| self.objects[rng.gen_range(0..self.objects.len())].clone())
-            .collect();
+        let objects = (0..n).map(|_| self.objects[rng.gen_range(0..self.objects.len())].clone()).collect();
         Dataset { schema: self.schema.clone(), objects }
     }
 
     /// Keeps the first `n` objects (deterministic subset).
     pub fn truncated(&self, n: usize) -> Dataset {
-        Dataset {
-            schema: self.schema.clone(),
-            objects: self.objects.iter().take(n).cloned().collect(),
-        }
+        Dataset { schema: self.schema.clone(), objects: self.objects.iter().take(n).cloned().collect() }
     }
 
     /// Series lengths of all objects.
@@ -169,11 +164,7 @@ impl Dataset {
 /// Checks an object against a schema.
 pub fn validate_object(schema: &Schema, o: &TimeSeriesObject) -> Result<(), String> {
     if o.attributes.len() != schema.num_attributes() {
-        return Err(format!(
-            "expected {} attributes, got {}",
-            schema.num_attributes(),
-            o.attributes.len()
-        ));
+        return Err(format!("expected {} attributes, got {}", schema.num_attributes(), o.attributes.len()));
     }
     for (v, spec) in o.attributes.iter().zip(&schema.attributes) {
         validate_value(v, &spec.kind).map_err(|e| format!("attribute '{}': {e}", spec.name))?;
@@ -209,7 +200,9 @@ fn validate_value(v: &Value, kind: &FieldKind) -> Result<(), String> {
             }
         }
         (Value::Cat(_), FieldKind::Continuous { .. }) => Err("categorical value for continuous field".into()),
-        (Value::Cont(_), FieldKind::Categorical { .. }) => Err("continuous value for categorical field".into()),
+        (Value::Cont(_), FieldKind::Categorical { .. }) => {
+            Err("continuous value for categorical field".into())
+        }
     }
 }
 

@@ -12,17 +12,10 @@ use rand::SeedableRng;
 /// one continuous + one categorical feature, variable lengths.
 fn arb_mixed_dataset() -> impl Strategy<Value = Dataset> {
     let max_len = 5usize;
-    let obj = (
-        0usize..4,
-        0.0f64..10.0,
-        prop::collection::vec((0.0f64..100.0, 0usize..2), 1..=max_len),
-    )
+    let obj = (0usize..4, 0.0f64..10.0, prop::collection::vec((0.0f64..100.0, 0usize..2), 1..=max_len))
         .prop_map(|(cat, weight, rows)| TimeSeriesObject {
             attributes: vec![Value::Cat(cat), Value::Cont(weight)],
-            records: rows
-                .into_iter()
-                .map(|(x, proto)| vec![Value::Cont(x), Value::Cat(proto)])
-                .collect(),
+            records: rows.into_iter().map(|(x, proto)| vec![Value::Cont(x), Value::Cat(proto)]).collect(),
         });
     prop::collection::vec(obj, 2..10).prop_map(move |objects| {
         let schema = Schema::new(

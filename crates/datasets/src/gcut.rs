@@ -121,8 +121,8 @@ pub fn generate<R: Rng + ?Sized>(cfg: &GcutConfig, rng: &mut R) -> Dataset {
         let mem0 = mem_level.sample(rng).min(0.6);
         // FAIL tasks leak memory: strong upward trend; FINISH winds down.
         let mem_trend = match event {
-            1 => rng.gen_range(0.5..1.0),   // FAIL: leak toward the limit
-            2 => rng.gen_range(-0.3..0.0),  // FINISH: tidy wind-down
+            1 => rng.gen_range(0.5..1.0),  // FAIL: leak toward the limit
+            2 => rng.gen_range(-0.3..0.0), // FINISH: tidy wind-down
             _ => rng.gen_range(-0.05..0.15),
         };
         // EVICTed tasks run hot on CPU (they are preempted for interference).
@@ -138,15 +138,15 @@ pub fn generate<R: Rng + ?Sized>(cfg: &GcutConfig, rng: &mut R) -> Dataset {
                 let cache = non_negative(0.4 * mem + 0.02 * noise.sample(rng).abs()).min(1.0);
                 // Full nine-feature layout; project onto the configured subset.
                 let all = [
-                    cpu,                                                   // CPU rate
-                    (cpu * (1.2 + 0.3 * noise.sample(rng).abs())).min(1.0), // max CPU
+                    cpu,                                                     // CPU rate
+                    (cpu * (1.2 + 0.3 * noise.sample(rng).abs())).min(1.0),  // max CPU
                     (cpu * (1.0 + 0.2 * noise.sample(rng))).clamp(0.0, 1.0), // sampled CPU
-                    mem,                                                   // canonical memory
-                    (mem * 1.15).min(1.0),                                 // assigned memory
-                    (mem * (1.1 + 0.2 * noise.sample(rng).abs())).min(1.0), // max memory
-                    (cache * 0.5).min(1.0),                                // unmapped cache
-                    cache,                                                 // total cache
-                    disk,                                                  // disk
+                    mem,                                                     // canonical memory
+                    (mem * 1.15).min(1.0),                                   // assigned memory
+                    (mem * (1.1 + 0.2 * noise.sample(rng).abs())).min(1.0),  // max memory
+                    (cache * 0.5).min(1.0),                                  // unmapped cache
+                    cache,                                                   // total cache
+                    disk,                                                    // disk
                 ];
                 idxs.iter().map(|&i| Value::Cont(all[i])).collect()
             })
@@ -260,7 +260,7 @@ mod tests {
         let d = generate(&cfg, &mut rng);
         assert_eq!(d.len(), 80);
         assert_eq!(d.schema.num_features(), 3);
-        assert!(d.objects.iter().all(|o| o.len() >= 1 && o.len() <= 50));
+        assert!(d.objects.iter().all(|o| !o.is_empty() && o.len() <= 50));
     }
 
     #[test]

@@ -231,11 +231,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let d = generate(&cfg, &mut rng);
         let sat = d.filter_by_attribute(0, 2);
-        let hughes_or_viasat = sat
-            .objects
-            .iter()
-            .filter(|o| matches!(o.attributes[1], Value::Cat(6) | Value::Cat(8)))
-            .count();
+        let hughes_or_viasat =
+            sat.objects.iter().filter(|o| matches!(o.attributes[1], Value::Cat(6) | Value::Cat(8))).count();
         assert!(hughes_or_viasat as f64 > 0.8 * sat.len() as f64);
     }
 }

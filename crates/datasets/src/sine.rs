@@ -54,8 +54,8 @@ pub fn generate<R: Rng + ?Sized>(cfg: &SineConfig, rng: &mut R) -> Dataset {
         let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
         let records = (0..cfg.length)
             .map(|t| {
-                let v = amp * (std::f64::consts::TAU * t as f64 / period + phase).sin()
-                    + amp * noise.sample(rng);
+                let v =
+                    amp * (std::f64::consts::TAU * t as f64 / period + phase).sin() + amp * noise.sample(rng);
                 vec![Value::Cont(v)]
             })
             .collect();

@@ -80,13 +80,7 @@ impl WwtConfig {
     /// proportionally (length 160, periods 7 / 56) so the two-peak
     /// autocorrelation shape survives at a fraction of the compute.
     pub fn quick(num_objects: usize) -> Self {
-        WwtConfig {
-            num_objects,
-            length: 160,
-            short_period: 7,
-            long_period: 56,
-            ..WwtConfig::default()
-        }
+        WwtConfig { num_objects, length: 160, short_period: 7, long_period: 56, ..WwtConfig::default() }
     }
 }
 
@@ -124,9 +118,9 @@ pub fn generate<R: Rng + ?Sized>(cfg: &WwtConfig, rng: &mut R) -> Dataset {
 
         // Attribute-dependent level: big wikis get more traffic, spiders less.
         let domain_boost = match domain {
-            2 => 2.2,           // en
-            1 | 4 | 5 => 1.4,   // de, fr, ja
-            7 => 0.6,           // mediawiki
+            2 => 2.2,         // en
+            1 | 4 | 5 => 1.4, // de, fr, ja
+            7 => 0.6,         // mediawiki
             _ => 1.0,
         };
         let agent_boost = if agent == 1 { 0.25 } else { 1.0 };
@@ -179,11 +173,8 @@ mod tests {
         let cfg = WwtConfig::quick(120);
         let mut rng = StdRng::seed_from_u64(2);
         let d = generate(&cfg, &mut rng);
-        let mut maxima: Vec<f64> = d
-            .objects
-            .iter()
-            .map(|o| o.feature_series(0).into_iter().fold(0.0, f64::max))
-            .collect();
+        let mut maxima: Vec<f64> =
+            d.objects.iter().map(|o| o.feature_series(0).into_iter().fold(0.0, f64::max)).collect();
         assert!(maxima.iter().all(|&m| m >= 0.0));
         maxima.sort_by(|a, b| a.partial_cmp(b).unwrap());
         // Heavy tail: the largest page dwarfs the median page.

@@ -151,7 +151,14 @@ pub struct LogisticRegression {
 
 impl Default for LogisticRegression {
     fn default() -> Self {
-        LogisticRegression { iterations: 300, lr: 0.5, l2: 1e-4, std: Standardizer::default(), w: Vec::new(), k: 0 }
+        LogisticRegression {
+            iterations: 300,
+            lr: 0.5,
+            l2: 1e-4,
+            std: Standardizer::default(),
+            w: Vec::new(),
+            k: 0,
+        }
     }
 }
 
@@ -201,12 +208,12 @@ impl LogisticRegression {
     fn softmax_row(&self, row: &[f64], dim: usize) -> Vec<f64> {
         let k = self.k;
         let mut logits = vec![0.0; k];
-        for c in 0..k {
+        for (c, logit) in logits.iter_mut().enumerate() {
             let mut z = self.w[dim * k + c];
             for (j, &v) in row.iter().enumerate() {
                 z += self.w[j * k + c] * v;
             }
-            logits[c] = z;
+            *logit = z;
         }
         let mx = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0;

@@ -23,6 +23,10 @@ pub mod features;
 pub mod linalg;
 pub mod regress;
 
-pub use classify::{standard_classifiers, Classifier, DecisionTree, LinearSvm, LogisticRegression, MlpClassifier, NaiveBayes};
-pub use features::{accuracy, classification_task, forecast_task, r2_score, ClassificationTask, ForecastTask};
+pub use classify::{
+    standard_classifiers, Classifier, DecisionTree, LinearSvm, LogisticRegression, MlpClassifier, NaiveBayes,
+};
+pub use features::{
+    accuracy, classification_task, forecast_task, r2_score, ClassificationTask, ForecastTask,
+};
 pub use regress::{standard_regressors, KernelRidge, LinearRegression, MlpRegressor, Regressor};

@@ -222,12 +222,28 @@ pub struct MlpRegressor {
 impl MlpRegressor {
     /// The paper's one-hidden-layer (100-unit) variant.
     pub fn one_layer() -> Self {
-        MlpRegressor { hidden: 100, depth: 1, epochs: 300, lr: 0.01, seed: 0, display_name: "MLP (1 layer)", net: None }
+        MlpRegressor {
+            hidden: 100,
+            depth: 1,
+            epochs: 300,
+            lr: 0.01,
+            seed: 0,
+            display_name: "MLP (1 layer)",
+            net: None,
+        }
     }
 
     /// The paper's five-hidden-layer (200-unit) variant.
     pub fn five_layers() -> Self {
-        MlpRegressor { hidden: 64, depth: 5, epochs: 300, lr: 0.005, seed: 0, display_name: "MLP (5 layers)", net: None }
+        MlpRegressor {
+            hidden: 64,
+            depth: 5,
+            epochs: 300,
+            lr: 0.005,
+            seed: 0,
+            display_name: "MLP (5 layers)",
+            net: None,
+        }
     }
 }
 

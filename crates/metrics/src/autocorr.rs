@@ -31,7 +31,12 @@ pub fn autocorrelation(series: &[f64], max_lag: usize) -> Vec<f64> {
 /// Average autocorrelation across all objects of a dataset for one
 /// continuous feature — the quantity plotted in Fig. 1 ("averaged over all
 /// samples"). Objects shorter than `min_len` are skipped.
-pub fn average_autocorrelation(dataset: &Dataset, feature_idx: usize, max_lag: usize, min_len: usize) -> Vec<f64> {
+pub fn average_autocorrelation(
+    dataset: &Dataset,
+    feature_idx: usize,
+    max_lag: usize,
+    min_len: usize,
+) -> Vec<f64> {
     let mut acc = vec![0.0; max_lag + 1];
     let mut counts = vec![0usize; max_lag + 1];
     for o in &dataset.objects {
@@ -80,9 +85,8 @@ mod tests {
     #[test]
     fn periodic_series_peaks_at_period() {
         let period = 8;
-        let s: Vec<f64> = (0..200)
-            .map(|t| (std::f64::consts::TAU * t as f64 / period as f64).sin())
-            .collect();
+        let s: Vec<f64> =
+            (0..200).map(|t| (std::f64::consts::TAU * t as f64 / period as f64).sin()).collect();
         let ac = autocorrelation(&s, 12);
         assert!(ac[period] > 0.9, "lag-{period} should be ~1, got {}", ac[period]);
         assert!(ac[period / 2] < -0.9, "half-period should be ~-1, got {}", ac[period / 2]);

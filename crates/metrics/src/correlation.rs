@@ -37,9 +37,7 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 /// rows/columns. Row-major.
 pub fn feature_correlation_matrix(dataset: &Dataset) -> Vec<f64> {
     let k = dataset.schema.num_features();
-    let cont: Vec<usize> = (0..k)
-        .filter(|&j| !dataset.schema.features[j].kind.is_categorical())
-        .collect();
+    let cont: Vec<usize> = (0..k).filter(|&j| !dataset.schema.features[j].kind.is_categorical()).collect();
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); k];
     for o in &dataset.objects {
         for &j in &cont {
@@ -186,9 +184,7 @@ mod tests {
         let objects = (0..20)
             .map(|i| TimeSeriesObject {
                 attributes: vec![Value::Cat(i % 2)],
-                records: (0..8)
-                    .map(|t| vec![Value::Cont(((i * 13 + t * 7) as f64 * 0.37).sin())])
-                    .collect(),
+                records: (0..8).map(|t| vec![Value::Cont(((i * 13 + t * 7) as f64 * 0.37).sin())]).collect(),
             })
             .collect();
         let d = Dataset::new(schema, objects);

@@ -20,11 +20,7 @@ pub fn jsd(p: &[f64], q: &[f64]) -> f64 {
 }
 
 fn kl(p: &[f64], q: &[f64]) -> f64 {
-    p.iter()
-        .zip(q)
-        .filter(|(&x, _)| x > 0.0)
-        .map(|(&x, &y)| x * (x / y.max(f64::MIN_POSITIVE)).ln())
-        .sum()
+    p.iter().zip(q).filter(|(&x, _)| x > 0.0).map(|(&x, &y)| x * (x / y.max(f64::MIN_POSITIVE)).ln()).sum()
 }
 
 fn normalize(counts: &[usize]) -> Vec<f64> {

@@ -11,17 +11,10 @@ pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
     let ca = EmpiricalCdf::new(a);
     let cb = EmpiricalCdf::new(b);
     assert!(!ca.is_empty() && !cb.is_empty(), "ks_statistic requires non-empty samples");
-    let mut pts: Vec<f64> = a
-        .iter()
-        .chain(b.iter())
-        .copied()
-        .filter(|v| v.is_finite())
-        .collect();
+    let mut pts: Vec<f64> = a.iter().chain(b.iter()).copied().filter(|v| v.is_finite()).collect();
     pts.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
     pts.dedup();
-    pts.iter()
-        .map(|&x| (ca.eval(x) - cb.eval(x)).abs())
-        .fold(0.0, f64::max)
+    pts.iter().map(|&x| (ca.eval(x) - cb.eval(x)).abs()).fold(0.0, f64::max)
 }
 
 /// Asymptotic two-sample KS p-value (Kolmogorov distribution tail,

@@ -31,7 +31,9 @@ pub mod spearman;
 pub mod wasserstein;
 
 pub use autocorr::{autocorrelation, average_autocorrelation, curve_mse};
-pub use correlation::{attribute_feature_eta, correlation_matrix_distance, feature_correlation_matrix, pearson};
+pub use correlation::{
+    attribute_feature_eta, correlation_matrix_distance, feature_correlation_matrix, pearson,
+};
 pub use histogram::{attribute_histogram, count_modes, length_histogram, BinnedHistogram};
 pub use jsd::{jsd, jsd_counts};
 pub use ks::{ks_p_value, ks_statistic};

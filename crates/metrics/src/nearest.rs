@@ -25,9 +25,7 @@ pub fn normalized_view(o: &TimeSeriesObject, feature_idx: usize, len: usize) -> 
     let mn = s.iter().copied().fold(f64::INFINITY, f64::min);
     let mx = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let span = (mx - mn).max(1e-12);
-    (0..len)
-        .map(|t| if t < s.len() { (s[t] - mn) / span } else { 0.0 })
-        .collect()
+    (0..len).map(|t| if t < s.len() { (s[t] - mn) / span } else { 0.0 }).collect()
 }
 
 /// Mean squared error between two equal-length views.
@@ -43,21 +41,15 @@ pub fn nearest_neighbours(
     k: usize,
 ) -> Vec<NearestReport> {
     let len = training.schema.max_len;
-    let train_views: Vec<Vec<f64>> = training
-        .objects
-        .iter()
-        .map(|o| normalized_view(o, feature_idx, len))
-        .collect();
+    let train_views: Vec<Vec<f64>> =
+        training.objects.iter().map(|o| normalized_view(o, feature_idx, len)).collect();
     generated
         .iter()
         .enumerate()
         .map(|(gi, g)| {
             let gv = normalized_view(g, feature_idx, len);
-            let mut dists: Vec<(usize, f64)> = train_views
-                .iter()
-                .enumerate()
-                .map(|(ti, tv)| (ti, mse(&gv, tv)))
-                .collect();
+            let mut dists: Vec<(usize, f64)> =
+                train_views.iter().enumerate().map(|(ti, tv)| (ti, mse(&gv, tv))).collect();
             dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
             dists.truncate(k);
             NearestReport { generated_idx: gi, neighbours: dists }
@@ -68,10 +60,7 @@ pub fn nearest_neighbours(
 /// Summary of the nearest-neighbour distances across all generated samples:
 /// `(min, median, mean)` of each sample's distance to its closest neighbour.
 pub fn nearest_distance_summary(reports: &[NearestReport]) -> (f64, f64, f64) {
-    let mut firsts: Vec<f64> = reports
-        .iter()
-        .filter_map(|r| r.neighbours.first().map(|&(_, d)| d))
-        .collect();
+    let mut firsts: Vec<f64> = reports.iter().filter_map(|r| r.neighbours.first().map(|&(_, d)| d)).collect();
     if firsts.is_empty() {
         return (0.0, 0.0, 0.0);
     }
@@ -95,9 +84,7 @@ mod tests {
         );
         let mk = |phase: f64| TimeSeriesObject {
             attributes: vec![Value::Cat(0)],
-            records: (0..8)
-                .map(|t| vec![Value::Cont((t as f64 + phase).sin())])
-                .collect(),
+            records: (0..8).map(|t| vec![Value::Cont((t as f64 + phase).sin())]).collect(),
         };
         Dataset::new(schema, vec![mk(0.0), mk(1.0), mk(2.0)])
     }

@@ -1,11 +1,15 @@
-//! Finite-difference gradient checking utilities.
+//! Finite-difference gradient checking and determinism checking utilities.
 //!
 //! Exposed publicly so downstream crates (and this workspace's property
 //! tests) can verify custom graph constructions against numerical
-//! derivatives — the standard way to validate an autodiff engine.
+//! derivatives — the standard way to validate an autodiff engine — and can
+//! assert that the threaded kernels in [`crate::parallel`] stay bitwise
+//! reproducible for any worker count.
 
 use crate::graph::{Graph, Var};
 use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Result of one gradient check.
 #[derive(Debug, Clone)]
@@ -40,10 +44,7 @@ pub fn check_input_gradient(
     let loss = build(&mut g, x);
     assert_eq!(g.value(loss).shape(), (1, 1), "gradient checks need a scalar loss");
     g.backward(loss);
-    let analytic = g
-        .grad(x)
-        .expect("input did not receive a gradient — did the loss depend on it?")
-        .clone();
+    let analytic = g.grad(x).expect("input did not receive a gradient — did the loss depend on it?").clone();
 
     let eval = |xt: Tensor| -> f32 {
         let mut g = Graph::new();
@@ -71,6 +72,57 @@ pub fn check_input_gradient(
         }
     }
     report
+}
+
+/// Checks that the three matmul kernels are **bitwise** identical to their
+/// serial references (`threads = 1`) for an `m x k x n` problem across all
+/// of `thread_counts`. Returns the first discrepancy as a human-readable
+/// message, or `None` when everything matches exactly.
+pub fn check_matmul_determinism(
+    m: usize,
+    k: usize,
+    n: usize,
+    thread_counts: &[usize],
+    seed: u64,
+) -> Option<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Tensor::randn(m, k, 1.0, &mut rng);
+    let b = Tensor::randn(k, n, 1.0, &mut rng);
+    let bt = Tensor::randn(n, k, 1.0, &mut rng); // right factor for a * bt^T
+    let at = Tensor::randn(m, n, 1.0, &mut rng); // right factor for a^T * at
+
+    let ref_mm = a.matmul_threaded(&b, 1);
+    let ref_bt = a.matmul_bt_threaded(&bt, 1);
+    let ref_at = a.matmul_at_threaded(&at, 1);
+    for &t in thread_counts {
+        for (name, got, want) in [
+            ("matmul", a.matmul_threaded(&b, t), &ref_mm),
+            ("matmul_bt", a.matmul_bt_threaded(&bt, t), &ref_bt),
+            ("matmul_at", a.matmul_at_threaded(&at, t), &ref_at),
+        ] {
+            if got.as_slice() != want.as_slice() {
+                return Some(format!("{name} {m}x{k}x{n} with {t} threads is not bitwise equal to serial"));
+            }
+        }
+    }
+    None
+}
+
+/// Runs `f` several times and checks every run returns **bitwise** identical
+/// output (useful for end-to-end determinism checks such as two identically
+/// seeded training steps). Returns the first mismatch description, if any.
+pub fn check_bitwise_repeatable(mut f: impl FnMut() -> Vec<f32>, runs: usize) -> Option<String> {
+    let reference = f();
+    for run in 1..runs.max(1) {
+        let got = f();
+        if got.len() != reference.len() {
+            return Some(format!("run {run} returned {} values, expected {}", got.len(), reference.len()));
+        }
+        if let Some(i) = (0..got.len()).find(|&i| got[i].to_bits() != reference[i].to_bits()) {
+            return Some(format!("run {run} diverged at element {i}: {} vs {}", got[i], reference[i]));
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -112,5 +164,56 @@ mod tests {
             0.5, // huge step => visible truncation error
         );
         assert!(report.max_abs_err > 1e-4, "large-step FD should disagree: {report:?}");
+    }
+
+    #[test]
+    fn parallel_matmuls_are_bitwise_deterministic_across_odd_shapes() {
+        // Odd, prime-ish and degenerate shapes: uneven chunk splits, chunks
+        // larger than the row count, single rows/cols.
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (2, 3, 1),
+            (3, 5, 2),
+            (7, 13, 11),
+            (64, 3, 9),
+            (33, 129, 17),
+            (129, 17, 33),
+        ];
+        let threads = [1usize, 2, 3, 4, 7, 16];
+        for (i, &(m, k, n)) in shapes.iter().enumerate() {
+            if let Some(err) = check_matmul_determinism(m, k, n, &threads, 1000 + i as u64) {
+                panic!("{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_variants_agree_with_public_entry_points() {
+        // The auto-threaded public methods must equal the explicit serial
+        // reference bitwise, both below and above the parallel threshold.
+        let mut rng = StdRng::seed_from_u64(77);
+        for (m, k, n) in [(5usize, 9usize, 7usize), (96, 160, 96)] {
+            let a = Tensor::randn(m, k, 1.0, &mut rng);
+            let b = Tensor::randn(k, n, 1.0, &mut rng);
+            assert_eq!(a.matmul(&b).as_slice(), a.matmul_threaded(&b, 1).as_slice());
+            let bt = Tensor::randn(n, k, 1.0, &mut rng);
+            assert_eq!(a.matmul_bt(&bt).as_slice(), a.matmul_bt_threaded(&bt, 1).as_slice());
+            let at = Tensor::randn(m, n, 1.0, &mut rng);
+            assert_eq!(a.matmul_at(&at).as_slice(), a.matmul_at_threaded(&at, 1).as_slice());
+        }
+    }
+
+    #[test]
+    fn check_bitwise_repeatable_detects_divergence() {
+        assert!(check_bitwise_repeatable(|| vec![1.0, 2.0], 3).is_none());
+        let mut call = 0;
+        let err = check_bitwise_repeatable(
+            move || {
+                call += 1;
+                vec![call as f32]
+            },
+            2,
+        );
+        assert!(err.is_some(), "diverging runs must be reported");
     }
 }

@@ -10,6 +10,7 @@
 //! Gradient flow is tracked per node (`needs_grad`), so large data constants
 //! never have gradient buffers allocated for them.
 
+use crate::parallel::{self, PARALLEL_ELEMS};
 use crate::params::{GradMap, ParamId, ParamStore};
 use crate::tensor::Tensor;
 
@@ -21,7 +22,9 @@ pub struct Var(usize);
 #[allow(dead_code)] // scalar operands are stored for debuggability even when backward ignores them
 enum Op {
     /// Constant or parameter leaf.
-    Leaf { param: Option<ParamId> },
+    Leaf {
+        param: Option<ParamId>,
+    },
     /// `a * b` (matrix product).
     MatMul(Var, Var),
     /// `a * b^T` (matrix product against a transposed right factor).
@@ -60,7 +63,10 @@ enum Op {
     SliceCols(Var, usize, usize),
     /// Fused softmax + cross-entropy against constant one-hot-ish targets;
     /// produces the mean loss as a `1 x 1` scalar.
-    SoftmaxCrossEntropy { logits: Var, targets: Tensor },
+    SoftmaxCrossEntropy {
+        logits: Var,
+        targets: Tensor,
+    },
 }
 
 struct Node {
@@ -94,6 +100,13 @@ impl Graph {
     /// The forward value of a node.
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].value
+    }
+
+    /// Consumes the graph and returns the forward value of `v` without
+    /// copying — for callers that only need one detached output tensor
+    /// (e.g. sampling from a frozen generator).
+    pub fn into_value(mut self, v: Var) -> Tensor {
+        std::mem::replace(&mut self.nodes[v.0].value, Tensor::zeros(0, 0))
     }
 
     /// The accumulated gradient of a node (after [`Graph::backward`]).
@@ -154,17 +167,25 @@ impl Graph {
     }
 
     /// Adds a `1 x n` row vector (bias) to every row of `a`.
+    ///
+    /// Rows are split across threads for large activations; each row is
+    /// updated independently, so the result is bitwise identical to a
+    /// serial pass.
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
         let r = self.value(row);
         assert_eq!(r.rows(), 1, "add_row expects a 1 x n row vector");
         assert_eq!(r.cols(), self.value(a).cols(), "add_row width mismatch");
         let mut v = self.value(a).clone();
         let rslice = self.value(row).as_slice().to_vec();
-        for i in 0..v.rows() {
-            for (x, rv) in v.row_slice_mut(i).iter_mut().zip(&rslice) {
-                *x += rv;
+        let cols = v.cols().max(1);
+        let threads = if v.len() >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 };
+        parallel::run_row_chunks(v.as_mut_slice(), cols, threads, |_row0, chunk| {
+            for vrow in chunk.chunks_mut(cols) {
+                for (x, rv) in vrow.iter_mut().zip(&rslice) {
+                    *x += rv;
+                }
             }
-        }
+        });
         let ng = self.needs(a) || self.needs(row);
         self.push(Op::AddRow(a, row), v, ng)
     }
@@ -189,13 +210,16 @@ impl Graph {
         assert_eq!(self.value(c).shape(), (ar, 1), "mul_col expects a B x 1 column");
         let mut v = self.value(a).clone();
         let cs = self.value(c).as_slice().to_vec();
-        for r in 0..ar {
-            let s = cs[r];
-            for x in v.row_slice_mut(r) {
-                *x *= s;
+        let cols = ac.max(1);
+        let threads = if v.len() >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 };
+        parallel::run_row_chunks(v.as_mut_slice(), cols, threads, |row0, chunk| {
+            for (i, vrow) in chunk.chunks_mut(cols).enumerate() {
+                let s = cs[row0 + i];
+                for x in vrow {
+                    *x *= s;
+                }
             }
-        }
-        let _ = ac;
+        });
         let ng = self.needs(a) || self.needs(c);
         self.push(Op::MulCol(a, c), v, ng)
     }
@@ -399,8 +423,7 @@ impl Graph {
                     if self.needs(a) {
                         let mut g = out_grad.clone();
                         let cs = self.value(c).as_slice().to_vec();
-                        for r in 0..g.rows() {
-                            let s = cs[r];
+                        for (r, &s) in cs.iter().enumerate() {
                             for x in g.row_slice_mut(r) {
                                 *x *= s;
                             }
@@ -547,22 +570,28 @@ impl Graph {
 }
 
 /// Numerically-stable row-wise softmax on plain tensors.
+///
+/// Rows are normalized independently (split across threads for large
+/// inputs), so the result is bitwise identical to a serial pass.
 pub fn softmax_rows(x: &Tensor) -> Tensor {
     let mut out = x.clone();
-    for r in 0..out.rows() {
-        let row = out.row_slice_mut(r);
-        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - mx).exp();
-            sum += *v;
-        }
-        if sum > 0.0 {
+    let cols = out.cols().max(1);
+    let threads = if out.len() >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 };
+    parallel::run_row_chunks(out.as_mut_slice(), cols, threads, |_row0, chunk| {
+        for row in chunk.chunks_mut(cols) {
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
             for v in row.iter_mut() {
-                *v /= sum;
+                *v = (*v - mx).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
             }
         }
-    }
+    });
     out
 }
 
@@ -748,11 +777,7 @@ mod tests {
     #[test]
     fn grad_softmax_cross_entropy() {
         let targets = Tensor::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
-        finite_diff_check(
-            move |g, x| g.softmax_cross_entropy(x, targets.clone()),
-            sample_x(),
-            1e-2,
-        );
+        finite_diff_check(move |g, x| g.softmax_cross_entropy(x, targets.clone()), sample_x(), 1e-2);
     }
 
     #[test]

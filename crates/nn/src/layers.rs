@@ -336,17 +336,8 @@ mod tests {
     fn mlp_forward_shapes() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(
-            &mut store,
-            "m",
-            4,
-            8,
-            2,
-            3,
-            Activation::LeakyRelu(0.2),
-            Activation::Softmax,
-            &mut rng,
-        );
+        let mlp =
+            Mlp::new(&mut store, "m", 4, 8, 2, 3, Activation::LeakyRelu(0.2), Activation::Softmax, &mut rng);
         assert_eq!(mlp.in_dim(), 4);
         assert_eq!(mlp.out_dim(), 3);
         let mut g = Graph::new();
@@ -388,17 +379,8 @@ mod tests {
     fn forward_with_masks_matches_forward() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(
-            &mut store,
-            "d",
-            3,
-            6,
-            2,
-            1,
-            Activation::LeakyRelu(0.1),
-            Activation::Linear,
-            &mut rng,
-        );
+        let mlp =
+            Mlp::new(&mut store, "d", 3, 6, 2, 1, Activation::LeakyRelu(0.1), Activation::Linear, &mut rng);
         let x = Tensor::randn(5, 3, 1.0, &mut rng);
         let mut g1 = Graph::new();
         let xv = g1.constant(x.clone());

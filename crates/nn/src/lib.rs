@@ -5,8 +5,9 @@
 //! (Lin et al., IMC 2020). The paper's models are built from three
 //! ingredients, all provided here:
 //!
-//! * [`tensor::Tensor`] — dense row-major `f32` matrices with a threaded
-//!   matmul kernel;
+//! * [`tensor::Tensor`] — dense row-major `f32` matrices whose matmul and
+//!   elementwise kernels split rows across threads via [`parallel`] with a
+//!   fixed chunking scheme (parallel output is bitwise identical to serial);
 //! * [`graph::Graph`] — a single-use reverse-mode autodiff tape with the op
 //!   set needed by MLPs, LSTMs and Wasserstein losses;
 //! * [`layers`] / [`optim`] — Linear/MLP/LSTM layers over a serializable
@@ -54,6 +55,7 @@ pub mod gradcheck;
 pub mod graph;
 pub mod layers;
 pub mod optim;
+pub mod parallel;
 pub mod params;
 pub mod penalty;
 pub mod tensor;
@@ -63,6 +65,7 @@ pub mod prelude {
     pub use crate::graph::{Graph, Var};
     pub use crate::layers::{Activation, Linear, LstmCell, LstmState, Mlp};
     pub use crate::optim::{Adam, Sgd};
+    pub use crate::parallel::num_threads;
     pub use crate::params::{GradMap, ParamId, ParamStore};
     pub use crate::penalty::{gradient_penalty, input_gradient};
     pub use crate::tensor::Tensor;

@@ -86,11 +86,8 @@ impl Adam {
             self.ensure(id, g);
             let m = self.m[id.0].as_mut().expect("ensured");
             let v = self.v[id.0].as_mut().expect("ensured");
-            for ((mi, vi), &gi) in m
-                .as_mut_slice()
-                .iter_mut()
-                .zip(v.as_mut_slice().iter_mut())
-                .zip(g.as_slice())
+            for ((mi, vi), &gi) in
+                m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()).zip(g.as_slice())
             {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
@@ -147,12 +144,7 @@ mod tests {
             g.backward(loss);
             step(&mut store, &g.param_grads());
         }
-        store
-            .get(id)
-            .as_slice()
-            .iter()
-            .map(|x| (x - 3.0).abs())
-            .fold(0.0, f32::max)
+        store.get(id).as_slice().iter().map(|x| (x - 3.0).abs()).fold(0.0, f32::max)
     }
 
     #[test]

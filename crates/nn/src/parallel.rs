@@ -1,0 +1,132 @@
+//! Deterministic work splitting across OS threads.
+//!
+//! Every parallel kernel in this workspace follows the same discipline:
+//!
+//! 1. work is split into **contiguous chunks of whole output rows**;
+//! 2. each output element is computed by exactly one thread, with the same
+//!    per-element instruction sequence (and therefore the same floating-point
+//!    rounding) as the serial kernel;
+//! 3. no cross-thread reductions — anything that must *sum* partial results
+//!    does so serially, in a fixed order, after the fan-out joins.
+//!
+//! Under these rules the parallel output is **bitwise identical** to the
+//! serial output for *any* thread count, so training runs are reproducible
+//! on any machine regardless of how many cores it has. The chunk boundaries
+//! only decide which thread computes which rows, never the arithmetic.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`]
+//! (capped at 8 — the kernels here saturate memory bandwidth before that)
+//! and can be overridden with the `DG_NUM_THREADS` environment variable;
+//! `DG_NUM_THREADS=1` forces fully serial execution.
+
+use std::sync::OnceLock;
+
+/// Hard cap on the default worker count; explicit requests (the `threads`
+/// argument of the `*_threaded` kernels) may exceed it.
+const MAX_DEFAULT_THREADS: usize = 8;
+
+/// Number of worker threads used by the parallel kernels.
+///
+/// Reads `DG_NUM_THREADS` once (values `>= 1` are honored verbatim); falls
+/// back to `available_parallelism` capped at 8. The result is cached for the
+/// lifetime of the process.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Some(n) = std::env::var("DG_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        {
+            return n;
+        }
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(MAX_DEFAULT_THREADS)
+    })
+}
+
+/// Splits `out` into per-thread chunks of whole rows (`cols` elements each)
+/// and runs `kernel(first_row, chunk)` on each chunk in its own scoped
+/// thread.
+///
+/// `kernel` receives the index of the first row of its chunk plus the
+/// mutable slice backing those rows, and must compute each row
+/// independently; under that contract the result is bitwise identical to
+/// `kernel(0, out)` for every `threads` value (see the module docs).
+///
+/// Runs inline (no threads spawned) when `threads <= 1` or there is only one
+/// row of work.
+pub fn run_row_chunks<F>(out: &mut [f32], cols: usize, threads: usize, kernel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let rows = out.len().checked_div(cols).unwrap_or(0);
+    debug_assert_eq!(rows * cols, out.len(), "run_row_chunks requires whole rows");
+    let threads = threads.min(rows.max(1));
+    if threads <= 1 || rows < 2 {
+        kernel(0, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, chunk) in out.chunks_mut(chunk_rows * cols).enumerate() {
+            let kernel = &kernel;
+            scope.spawn(move || kernel(ci * chunk_rows, chunk));
+        }
+    });
+}
+
+/// Element-count threshold below which the elementwise kernels stay serial
+/// (thread spawn/join overhead dominates under ~tens of thousands of
+/// elements).
+pub const PARALLEL_ELEMS: usize = 1 << 15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_is_at_least_one_and_stable() {
+        let a = num_threads();
+        let b = num_threads();
+        assert!(a >= 1);
+        assert_eq!(a, b, "num_threads must be cached");
+    }
+
+    #[test]
+    fn chunks_cover_all_rows_exactly_once() {
+        for rows in [1usize, 2, 3, 7, 16, 129] {
+            for cols in [1usize, 3, 8] {
+                for threads in [1usize, 2, 3, 5, 32] {
+                    let mut out = vec![0.0_f32; rows * cols];
+                    run_row_chunks(&mut out, cols, threads, |row0, chunk| {
+                        let crows = chunk.len() / cols;
+                        for r in 0..crows {
+                            for c in 0..cols {
+                                chunk[r * cols + c] += (row0 + r) as f32;
+                            }
+                        }
+                    });
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            assert_eq!(
+                                out[r * cols + c],
+                                r as f32,
+                                "row {r} col {c} (rows={rows} threads={threads})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_fallback_runs_inline() {
+        let mut out = vec![0.0_f32; 4];
+        run_row_chunks(&mut out, 4, 1, |row0, chunk| {
+            assert_eq!(row0, 0);
+            chunk.fill(1.0);
+        });
+        assert_eq!(out, vec![1.0; 4]);
+    }
+}

@@ -150,12 +150,7 @@ impl GradMap {
 
     /// Global L2 norm across all gradients.
     pub fn global_norm(&self) -> f32 {
-        self.grads
-            .iter()
-            .flatten()
-            .map(|g| g.sq_norm())
-            .sum::<f32>()
-            .sqrt()
+        self.grads.iter().flatten().map(|g| g.sq_norm()).sum::<f32>().sqrt()
     }
 
     /// Clips gradients so the global norm is at most `max_norm`.

@@ -79,7 +79,13 @@ fn apply_plain(act: Activation, x: &Tensor) -> Tensor {
 /// # Panics
 /// Panics if the critic output is not scalar (`out_dim != 1`) or the output
 /// activation is not linear (required for a Wasserstein critic).
-pub fn input_gradient(g: &mut Graph, store: &ParamStore, critic: &Mlp, masks: &[Tensor], batch: usize) -> Var {
+pub fn input_gradient(
+    g: &mut Graph,
+    store: &ParamStore,
+    critic: &Mlp,
+    masks: &[Tensor],
+    batch: usize,
+) -> Var {
     assert_eq!(critic.out_dim(), 1, "input_gradient requires a scalar critic");
     assert_eq!(critic.out_act, Activation::Linear, "Wasserstein critics must have a linear output");
     assert_eq!(masks.len() + 1, critic.layers.len(), "one mask per hidden layer expected");
@@ -113,17 +119,23 @@ pub fn gradient_penalty<R: Rng + ?Sized>(
 ) -> Var {
     assert_eq!(real.shape(), fake.shape(), "gradient_penalty requires matching shapes");
     let batch = real.rows();
-    let mut xhat = Tensor::zeros(batch, real.cols());
-    for r in 0..batch {
-        let t: f32 = rng.gen_range(0.0..1.0);
-        for (o, (&a, &b)) in xhat
-            .row_slice_mut(r)
-            .iter_mut()
-            .zip(real.row_slice(r).iter().zip(fake.row_slice(r)))
-        {
-            *o = t * a + (1.0 - t) * b;
+    let cols = real.cols();
+    // The per-sample interpolation coefficients are drawn serially (fixed
+    // RNG order) before the row fill fans out, so the interpolates — and
+    // everything downstream — are bitwise identical for any thread count.
+    let ts: Vec<f32> = (0..batch).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let mut xhat = Tensor::zeros(batch, cols);
+    let threads =
+        if batch * cols >= crate::parallel::PARALLEL_ELEMS { crate::parallel::num_threads() } else { 1 };
+    crate::parallel::run_row_chunks(xhat.as_mut_slice(), cols.max(1), threads, |row0, chunk| {
+        for (i, orow) in chunk.chunks_mut(cols.max(1)).enumerate() {
+            let r = row0 + i;
+            let t = ts[r];
+            for (o, (&a, &b)) in orow.iter_mut().zip(real.row_slice(r).iter().zip(fake.row_slice(r))) {
+                *o = t * a + (1.0 - t) * b;
+            }
         }
-    }
+    });
     let (_, masks) = critic.forward_plain(store, &xhat);
     let grad = input_gradient(g, store, critic, &masks, batch);
     let sq = g.square(grad);
@@ -143,17 +155,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn make_critic(rng: &mut StdRng, store: &mut ParamStore, in_dim: usize) -> Mlp {
-        Mlp::new(
-            store,
-            "critic",
-            in_dim,
-            7,
-            2,
-            1,
-            Activation::LeakyRelu(0.2),
-            Activation::Linear,
-            rng,
-        )
+        Mlp::new(store, "critic", in_dim, 7, 2, 1, Activation::LeakyRelu(0.2), Activation::Linear, rng)
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! series are handled as *sequences* of 2-D tensors (one per unrolled step)
 //! or as flattened `[batch, T * K]` matrices.
 
+use crate::parallel::{self, PARALLEL_ELEMS};
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
@@ -27,9 +28,19 @@ impl std::fmt::Debug for Tensor {
     }
 }
 
-/// Work threshold (in multiply-accumulates) above which `matmul` splits the
-/// output rows across threads.
+/// Work threshold (in multiply-accumulates) above which the matmul kernels
+/// split the output rows across threads.
 const PARALLEL_MACS: usize = 1 << 20;
+
+/// Picks the worker count for a matmul-shaped workload: serial below the
+/// work threshold, the process-wide default above it.
+fn matmul_threads(macs: usize) -> usize {
+    if macs >= PARALLEL_MACS {
+        parallel::num_threads()
+    } else {
+        1
+    }
+}
 
 impl Tensor {
     /// Creates a tensor filled with zeros.
@@ -153,12 +164,21 @@ impl Tensor {
     }
 
     /// Applies `f` to every element, returning a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+    ///
+    /// Large tensors are processed by several threads; each element is
+    /// mapped independently, so the output is bitwise identical to a serial
+    /// run.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let threads = if self.data.len() >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 };
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        let src = &self.data;
+        parallel::run_row_chunks(&mut out.data, 1, threads, |e0, chunk| {
+            let end = e0 + chunk.len();
+            for (o, &x) in chunk.iter_mut().zip(&src[e0..end]) {
+                *o = f(x);
+            }
+        });
+        out
     }
 
     /// Applies `f` to every element in place.
@@ -170,15 +190,24 @@ impl Tensor {
 
     /// Combines two same-shaped tensors elementwise.
     ///
+    /// Large tensors are processed by several threads; each element is
+    /// combined independently, so the output is bitwise identical to a
+    /// serial run.
+    ///
     /// # Panics
     /// Panics if the shapes differ.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip requires matching shapes");
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
-        }
+        let threads = if self.data.len() >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 };
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        let (sa, sb) = (&self.data, &other.data);
+        parallel::run_row_chunks(&mut out.data, 1, threads, |e0, chunk| {
+            let end = e0 + chunk.len();
+            for ((o, &a), &b) in chunk.iter_mut().zip(&sa[e0..end]).zip(&sb[e0..end]) {
+                *o = f(a, b);
+            }
+        });
+        out
     }
 
     /// `self += other` elementwise.
@@ -237,6 +266,13 @@ impl Tensor {
     /// # Panics
     /// Panics on an inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.matmul_threaded(other, matmul_threads(self.rows * self.cols * other.cols))
+    }
+
+    /// [`Tensor::matmul`] with an explicit worker count (`1` = serial
+    /// reference). The result is bitwise identical for every `threads`
+    /// value; exposed for determinism tests and benchmarks.
+    pub fn matmul_threaded(&self, other: &Tensor, threads: usize) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
@@ -244,29 +280,24 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(m, n);
-        let work = m * k * n;
-        if work >= PARALLEL_MACS && m >= 2 {
-            let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8).min(m);
-            let chunk = m.div_ceil(threads);
-            let a = &self.data;
-            let b = &other.data;
-            let out_chunks: Vec<&mut [f32]> = out.data.chunks_mut(chunk * n).collect();
-            std::thread::scope(|scope| {
-                for (ci, o) in out_chunks.into_iter().enumerate() {
-                    let row0 = ci * chunk;
-                    scope.spawn(move || {
-                        matmul_rows(a, b, o, row0, k, n);
-                    });
-                }
-            });
-        } else {
-            matmul_rows(&self.data, &other.data, &mut out.data, 0, k, n);
-        }
+        let (a, b) = (&self.data, &other.data);
+        parallel::run_row_chunks(&mut out.data, n, threads, |row0, chunk| {
+            matmul_rows(a, b, chunk, row0, k, n);
+        });
         out
     }
 
     /// `self * other^T` without materializing the transpose.
+    ///
+    /// Splits output rows across threads above the work threshold; the
+    /// result is bitwise identical to the serial kernel.
     pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        self.matmul_bt_threaded(other, matmul_threads(self.rows * self.cols * other.rows))
+    }
+
+    /// [`Tensor::matmul_bt`] with an explicit worker count (`1` = serial
+    /// reference). Bitwise identical for every `threads` value.
+    pub fn matmul_bt_threaded(&self, other: &Tensor, threads: usize) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
             "matmul_bt dimension mismatch: {}x{} * ({}x{})^T",
@@ -274,23 +305,26 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            for (j, oj) in orow.iter_mut().enumerate() {
-                let brow = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0_f32;
-                for (x, y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                *oj = acc;
-            }
-        }
+        let (a, b) = (&self.data, &other.data);
+        parallel::run_row_chunks(&mut out.data, n, threads, |row0, chunk| {
+            matmul_bt_rows(a, b, chunk, row0, k, n);
+        });
         out
     }
 
     /// `self^T * other` without materializing the transpose.
+    ///
+    /// Splits output rows across threads above the work threshold; each
+    /// output row accumulates its rank-1 updates in the same (ascending
+    /// input row) order as the serial kernel, so the result is bitwise
+    /// identical.
     pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        self.matmul_at_threaded(other, matmul_threads(self.rows * self.cols * other.cols))
+    }
+
+    /// [`Tensor::matmul_at`] with an explicit worker count (`1` = serial
+    /// reference). Bitwise identical for every `threads` value.
+    pub fn matmul_at_threaded(&self, other: &Tensor, threads: usize) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
             "matmul_at dimension mismatch: ({}x{})^T * {}x{}",
@@ -298,20 +332,10 @@ impl Tensor {
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
         let mut out = Tensor::zeros(m, n);
-        // Accumulate rank-1 updates: out += a_row^T * b_row, streaming rows.
-        for r in 0..k {
-            let arow = &self.data[r * m..(r + 1) * m];
-            let brow = &other.data[r * n..(r + 1) * n];
-            for (i, &ai) in arow.iter().enumerate() {
-                if ai == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += ai * b;
-                }
-            }
-        }
+        let (a, b) = (&self.data, &other.data);
+        parallel::run_row_chunks(&mut out.data, n, threads, |row0, chunk| {
+            matmul_at_rows(a, b, chunk, row0, m, k, n);
+        });
         out
     }
 
@@ -453,6 +477,46 @@ fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: 
             let brow = &b[kk * n..(kk + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += aik * bv;
+            }
+        }
+    }
+}
+
+/// Computes rows `[row0, row0 + out.len()/n)` of `a[m,k] * b[n,k]^T` into
+/// `out`: each output element is an independent dot product of two
+/// contiguous rows, so any row split yields bitwise-identical results.
+fn matmul_bt_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = out.len() / n.max(1);
+    for i in 0..rows {
+        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, oj) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0_f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *oj = acc;
+        }
+    }
+}
+
+/// Computes rows `[row0, row0 + out.len()/n)` of `a[k,m]^T * b[k,n]` into
+/// `out`. Each output row `i` accumulates its rank-1 contributions in
+/// ascending input-row order `r = 0..k` — the same per-element accumulation
+/// order regardless of how rows are split, hence bitwise determinism.
+fn matmul_at_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, m: usize, k: usize, n: usize) {
+    let rows = out.len() / n.max(1);
+    for i in 0..rows {
+        let orow = &mut out[i * n..(i + 1) * n];
+        for r in 0..k {
+            let ai = a[r * m + row0 + i];
+            if ai == 0.0 {
+                continue;
+            }
+            let brow = &b[r * n..(r + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += ai * bv;
             }
         }
     }

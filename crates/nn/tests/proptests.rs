@@ -8,8 +8,7 @@ use dg_nn::tensor::Tensor;
 use proptest::prelude::*;
 
 fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-2.0f32..2.0, rows * cols)
-        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+    prop::collection::vec(-2.0f32..2.0, rows * cols).prop_map(move |data| Tensor::from_vec(rows, cols, data))
 }
 
 proptest! {

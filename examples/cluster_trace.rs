@@ -21,9 +21,13 @@ fn main() {
     let cfg = GcutConfig::quick(300);
     let data = gcut::generate(&cfg, &mut rng);
     let (train, test) = data.split(0.5, &mut rng);
-    println!("cluster trace: {} tasks ({} train / {} test), features: {:?}",
-        data.len(), train.len(), test.len(),
-        data.schema.features.iter().map(|f| f.name.as_str()).collect::<Vec<_>>());
+    println!(
+        "cluster trace: {} tasks ({} train / {} test), features: {:?}",
+        data.len(),
+        train.len(),
+        test.len(),
+        data.schema.features.iter().map(|f| f.name.as_str()).collect::<Vec<_>>()
+    );
 
     let real_lengths = length_histogram(&data, cfg.max_len);
     println!("real duration modes: {}", count_modes(&real_lengths, 0.2));

@@ -9,9 +9,9 @@
 //! scales), then compares how well each captures the autocorrelation
 //! structure — the Fig. 1 story.
 
+use dg_baselines::{GenerativeModel, NaiveGanConfig, NaiveGanModel};
 use dg_datasets::{wwt, WwtConfig};
 use dg_metrics::{average_autocorrelation, curve_mse};
-use dg_baselines::{GenerativeModel, NaiveGanConfig, NaiveGanModel};
 use doppelganger::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,7 +28,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
 
     // Shrunk WWT: 120-day series, weekly period 7, "annual" period 42.
-    let cfg = WwtConfig { num_objects: 150, length: 120, short_period: 7, long_period: 42, ..WwtConfig::default() };
+    let cfg =
+        WwtConfig { num_objects: 150, length: 120, short_period: 7, long_period: 42, ..WwtConfig::default() };
     let data = wwt::generate(&cfg, &mut rng);
     let max_lag = cfg.length - 2;
     let real_ac = average_autocorrelation(&data, 0, max_lag, 16);

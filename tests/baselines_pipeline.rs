@@ -2,7 +2,10 @@
 //! trains on every dataset family and produces schema-valid synthetic data
 //! through the shared interface.
 
-use dg_baselines::{ArConfig, ArModel, GenerativeModel, HmmConfig, HmmModel, NaiveGanConfig, NaiveGanModel, RnnConfig, RnnModel};
+use dg_baselines::{
+    ArConfig, ArModel, GenerativeModel, HmmConfig, HmmModel, NaiveGanConfig, NaiveGanModel, RnnConfig,
+    RnnModel,
+};
 use dg_data::Dataset;
 use dg_datasets::{gcut, mba, sine, GcutConfig, MbaConfig, SineConfig};
 use doppelganger::prelude::*;
@@ -34,7 +37,11 @@ fn tiny_models(data: &Dataset, rng: &mut StdRng) -> Vec<Box<dyn GenerativeModel>
 
     vec![
         Box::new(Dg(trainer.into_model())),
-        Box::new(ArModel::fit(data, ArConfig { train_steps: 20, hidden: 16, depth: 2, ..ArConfig::default() }, rng)),
+        Box::new(ArModel::fit(
+            data,
+            ArConfig { train_steps: 20, hidden: 16, depth: 2, ..ArConfig::default() },
+            rng,
+        )),
         Box::new(RnnModel::fit(data, RnnConfig { hidden: 12, train_steps: 8, batch: 8, lr: 1e-3 }, rng)),
         Box::new(HmmModel::fit(data, HmmConfig { num_states: 3, em_iterations: 2, var_floor: 1e-4 }, rng)),
         Box::new(NaiveGanModel::fit(

@@ -2,7 +2,9 @@
 //! metric axioms, flag/length invariants, autodiff-vs-finite-differences on
 //! random graphs.
 
-use dg_data::{Dataset, Encoder, EncoderConfig, FieldKind, FieldSpec, Range, Schema, TimeSeriesObject, Value};
+use dg_data::{
+    Dataset, Encoder, EncoderConfig, FieldKind, FieldSpec, Range, Schema, TimeSeriesObject, Value,
+};
 use dg_metrics::{jsd_counts, ranks, spearman, wasserstein1};
 use dg_nn::graph::Graph;
 use dg_nn::tensor::Tensor;
@@ -14,16 +16,10 @@ use proptest::prelude::*;
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     let max_len = 6usize;
-    let obj = (
-        0usize..3,
-        prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 2), 1..=max_len),
-    )
+    let obj = (0usize..3, prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 2), 1..=max_len))
         .prop_map(|(cat, rows)| TimeSeriesObject {
             attributes: vec![Value::Cat(cat)],
-            records: rows
-                .into_iter()
-                .map(|r| r.into_iter().map(Value::Cont).collect())
-                .collect(),
+            records: rows.into_iter().map(|r| r.into_iter().map(Value::Cont).collect()).collect(),
         });
     prop::collection::vec(obj, 1..8).prop_map(move |objects| {
         let schema = Schema::new(

@@ -3,7 +3,9 @@
 //! and generates it like any other feature, and generated series decode back
 //! into strictly-increasing timestamps.
 
-use dg_data::{from_interarrival, to_interarrival, Dataset, FieldKind, FieldSpec, Schema, TimestampedObject, Value};
+use dg_data::{
+    from_interarrival, to_interarrival, Dataset, FieldKind, FieldSpec, Schema, TimestampedObject, Value,
+};
 use doppelganger::prelude::*;
 use rand::rngs::StdRng;
 use rand::Rng;

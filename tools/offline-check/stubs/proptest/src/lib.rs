@@ -1,0 +1,4 @@
+//! Empty placeholder. The offline check prunes proptest-based test files
+//! (`sync.sh` deletes them from the scratch workspace) because reimplementing
+//! proptest's strategy DSL offline is not worth it; this crate only exists so
+//! `proptest.workspace = true` dev-dependencies still resolve.

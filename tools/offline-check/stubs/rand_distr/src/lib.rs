@@ -1,0 +1,146 @@
+//! Offline stand-in for the `rand_distr` crate: `Distribution`, `Normal`,
+//! and `LogNormal` (the only pieces this workspace uses). Normal sampling is
+//! Box–Muller, so the streams differ from the real crate's ziggurat — tests
+//! compare identically-seeded instances, never golden values.
+
+use rand::Rng;
+use std::fmt;
+
+/// Types that can be sampled with an RNG.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error type for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid normal-distribution parameters")
+    }
+}
+impl std::error::Error for NormalError {}
+
+/// Float scalars Normal/LogNormal can produce. A single generic impl (like
+/// the real crate's `F: Float` bound) keeps `Normal::new(0.0_f32, ..)`
+/// unambiguous under inference.
+pub trait Float: Copy {
+    fn valid_param(self) -> bool;
+    fn non_negative(self) -> bool;
+    fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> Self;
+    fn mul_add_to(self, scale: Self, offset: Self) -> Self;
+    fn exp_(self) -> Self;
+}
+
+macro_rules! float_impl {
+    ($f:ty, $tau:expr) => {
+        impl Float for $f {
+            fn valid_param(self) -> bool {
+                self.is_finite()
+            }
+            fn non_negative(self) -> bool {
+                self >= 0.0
+            }
+            fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                // Box–Muller; one variate per call keeps the type stateless.
+                let mut u1: $f = rng.gen();
+                while u1 <= 0.0 {
+                    u1 = rng.gen();
+                }
+                let u2: $f = rng.gen();
+                (-2.0 * u1.ln()).sqrt() * ($tau * u2).cos()
+            }
+            fn mul_add_to(self, scale: Self, offset: Self) -> Self {
+                offset + scale * self
+            }
+            fn exp_(self) -> Self {
+                self.exp()
+            }
+        }
+    };
+}
+float_impl!(f32, std::f32::consts::TAU);
+float_impl!(f64, std::f64::consts::TAU);
+
+/// Gaussian distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if mean.valid_param() && std_dev.valid_param() && std_dev.non_negative() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::standard_normal(rng).mul_add_to(self.std_dev, self.mean)
+    }
+}
+
+/// Log-normal distribution (`exp` of a Gaussian).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F> {
+    inner: Normal<F>,
+}
+
+impl<F: Float> LogNormal<F> {
+    pub fn new(mu: F, sigma: F) -> Result<Self, NormalError> {
+        Ok(LogNormal { inner: Normal::new(mu, sigma)? })
+    }
+}
+
+impl<F: Float> Distribution<F> for LogNormal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        self.inner.sample(rng).exp_()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let n = Normal::new(2.0_f64, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let k = 20_000;
+        let samples: Vec<f64> = (0..k).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / k as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / k as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let n = Normal::new(1.5_f32, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(n.sample(&mut rng), 1.5);
+    }
+
+    #[test]
+    fn invalid_params_error() {
+        assert!(Normal::new(0.0_f32, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let d = LogNormal::new(0.0_f64, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+}

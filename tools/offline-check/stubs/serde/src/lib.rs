@@ -1,0 +1,300 @@
+//! Offline stand-in for `serde`: a value-tree data model instead of the real
+//! visitor architecture. `#[derive(Serialize, Deserialize)]` (from the
+//! sibling `serde_derive` stub) maps types to/from [`Value`]; the
+//! `serde_json` stub renders/parses [`Value`] as real JSON text. Supports
+//! the subset this workspace uses: named-field structs, tuple structs,
+//! externally-tagged enums (unit/tuple/struct variants), `#[serde(default)]`,
+//! and the std impls below. Float round-trips are bit-exact (shortest-repr
+//! printing, direct `str::parse` back into the target width).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-shaped data model. Numbers keep their canonical text so that
+/// parsing can go straight to the target type without double rounding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+    pub fn expected(what: &str, context: &str) -> Self {
+        Error { msg: format!("expected {what} for {context}") }
+    }
+    pub fn missing(field: &str) -> Self {
+        Error { msg: format!("missing field `{field}`") }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializable types (stand-in for `serde::Serialize`).
+pub trait Serialize {
+    fn to_stub_value(&self) -> Value;
+}
+
+/// Deserializable types (stand-in for `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    fn from_stub_value(v: &Value) -> Result<Self, Error>;
+}
+
+pub mod de {
+    /// Owned-deserialization marker, blanket-covered like the real crate.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+// ---- helpers used by the derive macro ----------------------------------
+
+/// Looks a field up in an object by name.
+pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Resolves a missing field: `Option` fields become `None` (they accept
+/// `Null`), everything else errors — matching real serde.
+pub fn missing_field<T: Deserialize>(ty: &str, name: &str) -> Result<T, Error> {
+    T::from_stub_value(&Value::Null).map_err(|_| Error::custom(format!("missing field `{name}` for {ty}")))
+}
+
+/// Splits an externally-tagged enum value into `(variant, payload)`.
+pub fn variant(v: &Value) -> Option<(&str, &Value)> {
+    match v {
+        Value::Object(fields) if fields.len() == 1 => Some((fields[0].0.as_str(), &fields[0].1)),
+        _ => None,
+    }
+}
+
+// ---- std impls ---------------------------------------------------------
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_stub_value(&self) -> Value {
+                Value::Num(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_stub_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(s) => s.parse::<$t>().map_err(|_| {
+                        Error::custom(format!("invalid {}: {s}", stringify!($t)))
+                    }),
+                    other => Err(Error::expected("number", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+int_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_stub_value(&self) -> Value {
+                if self.is_finite() {
+                    // Rust's Display prints the shortest text that parses
+                    // back to the same float, so round-trips are bit-exact.
+                    Value::Num(format!("{self}"))
+                } else {
+                    Value::Null // serde_json serializes non-finite as null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_stub_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(s) => s.parse::<$t>().map_err(|_| {
+                        Error::custom(format!("invalid {}: {s}", stringify!($t)))
+                    }),
+                    other => Err(Error::expected("number", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn to_stub_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_stub_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other.kind())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_stub_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_stub_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_stub_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_stub_value(&self) -> Value {
+        (**self).to_stub_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_stub_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_stub_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_stub_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_stub_value).collect(),
+            other => Err(Error::expected("array", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_stub_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_stub_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_stub_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_stub_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_stub_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_stub_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_stub_value(&self) -> Value {
+        (**self).to_stub_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_stub_value(v: &Value) -> Result<Self, Error> {
+        T::from_stub_value(v).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_stub_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_stub_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_stub_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::expected("array", v.kind()))?;
+                Ok(($($t::from_stub_value(
+                    items.get($n).ok_or_else(|| Error::missing("tuple element"))?
+                )?,)+))
+            }
+        }
+    )*};
+}
+tuple_impl!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_stub_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_stub_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_stub_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("object", v.kind()))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), V::from_stub_value(v)?))).collect()
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_stub_value(&self) -> Value {
+        // Sort for stable output (HashMap iteration order is arbitrary).
+        let mut fields: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_stub_value())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_stub_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("object", v.kind()))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), V::from_stub_value(v)?))).collect()
+    }
+}

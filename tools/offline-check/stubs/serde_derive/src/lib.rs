@@ -1,0 +1,433 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stub.
+//!
+//! Hand-parses the item's token stream (no `syn`/`quote` — this toolchain
+//! has no network access to fetch them) and emits impls of the stub's
+//! value-tree traits. Supports non-generic named-field structs, tuple
+//! structs, unit structs, and externally-tagged enums with unit / tuple /
+//! struct variants. The only serde attribute honored is
+//! `#[serde(default)]`; other attributes are ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---- parsing -----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde stub derive: expected `struct` or `enum`, got {t:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde stub derive: expected type name, got {t:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            t => panic!("serde stub derive: unsupported struct body for `{name}`: {t:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            t => panic!("serde stub derive: expected enum body for `{name}`, got {t:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    };
+    Item { name, body }
+}
+
+/// True when an attribute token group is `serde(... default ...)`.
+fn attr_is_serde_default(attr: &TokenTree) -> bool {
+    let TokenTree::Group(g) = attr else { return false };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Advances past the type after a field's `:` — to the token index just
+/// after the next comma at angle-bracket depth 0 (or the end).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    let mut prev_char = ' ';
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            let c = p.as_char();
+            match c {
+                '<' => angle_depth += 1,
+                // A '>' that closes generics; `->` (fn-pointer types) must
+                // not decrement.
+                '>' if prev_char != '-' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i + 1,
+                _ => {}
+            }
+            prev_char = c;
+        } else {
+            prev_char = ' ';
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(attr) = tokens.get(i + 1) {
+                default |= attr_is_serde_default(attr);
+            }
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            t => panic!("serde stub derive: expected field name, got {t:?}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        i = skip_type(&tokens, i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip per-field attributes and visibility, then one type.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+                i += 1;
+            }
+        }
+        i = skip_type(&tokens, i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            t => panic!("serde stub derive: expected variant name, got {t:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---- codegen -----------------------------------------------------------
+
+fn str_from(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+fn named_fields_to_object(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({}, ::serde::Serialize::to_stub_value(&{}{}))",
+                str_from(&f.name),
+                access_prefix,
+                f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+}
+
+fn named_fields_from_object(ty: &str, fields: &[Field], obj_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fallback = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("::serde::missing_field(\"{}\", \"{}\")?", ty, f.name)
+            };
+            format!(
+                "{}: match ::serde::field({}, \"{}\") {{ \
+                   ::std::option::Option::Some(__x) => ::serde::Deserialize::from_stub_value(__x)?, \
+                   ::std::option::Option::None => {fallback}, \
+                 }},",
+                f.name, obj_var, f.name
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => named_fields_to_object(fields, "self."),
+        Body::TupleStruct(1) => "::serde::Serialize::to_stub_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_stub_value(&self.{k})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str({}),", str_from(vn))
+                        }
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_stub_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_stub_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![({}, {payload})]),",
+                                binds.join(", "),
+                                str_from(vn)
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = named_fields_to_object(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![({}, {inner})]),",
+                                binds.join(", "),
+                                str_from(vn)
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_stub_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits = named_fields_from_object(name, fields, "__obj");
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?; \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_stub_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::from_stub_value(__items.get({k}).ok_or_else(|| ::serde::Error::missing(\"tuple field {k}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?; \
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_stub_value(__payload)?)),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::from_stub_value(__items.get({k}).ok_or_else(|| ::serde::Error::missing(\"variant field {k}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ \
+                                   let __items = __payload.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vn}\"))?; \
+                                   ::std::result::Result::Ok({name}::{vn}({})) \
+                                 }},",
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits =
+                                named_fields_from_object(&format!("{name}::{vn}"), fields, "__obj");
+                            format!(
+                                "\"{vn}\" => {{ \
+                                   let __obj = __payload.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{vn}\"))?; \
+                                   ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) \
+                                 }},",
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{ \
+                   return match __s.as_str() {{ \
+                     {} \
+                     __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                   }}; \
+                 }} \
+                 let (__tag, __payload) = ::serde::variant(__v).ok_or_else(|| ::serde::Error::expected(\"externally tagged enum\", \"{name}\"))?; \
+                 match __tag {{ \
+                   {} \
+                   __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                 }}",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_stub_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}

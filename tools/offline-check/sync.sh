@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Builds a scratch copy of the workspace wired to the offline stub crates in
+# ./stubs, so `cargo check` / `cargo test` work on machines with no network
+# access to crates.io (this container's registry is unreachable, so the real
+# rand/serde/etc. can never be fetched).
+#
+# Usage:
+#   tools/offline-check/sync.sh            # (re)create the scratch workspace
+#   cd tools/offline-check/ws && cargo test -q
+#
+# Caveats:
+#   - The stub StdRng/Normal produce different (but deterministic) streams
+#     than the real crates, so tests comparing identically-seeded runs pass
+#     while any golden-value test of RNG output would not (none exist here).
+#   - proptest-based test files are pruned (the stub proptest is empty).
+set -euo pipefail
+
+HERE="$(cd "$(dirname "$0")" && pwd)"
+REPO="$(cd "$HERE/../.." && pwd)"
+WS="$HERE/ws"
+
+rm -rf "$WS"
+mkdir -p "$WS"
+cp "$REPO/Cargo.toml" "$REPO/rustfmt.toml" "$WS/"
+cp -r "$REPO/crates" "$REPO/src" "$REPO/examples" "$REPO/tests" "$WS/"
+
+# Point the external [workspace.dependencies] at the offline stubs.
+sed -i \
+  -e 's#^rand = .*#rand = { path = "../stubs/rand" }#' \
+  -e 's#^rand_distr = .*#rand_distr = { path = "../stubs/rand_distr" }#' \
+  -e 's#^serde = .*#serde = { path = "../stubs/serde", features = ["derive"] }#' \
+  -e 's#^serde_json = .*#serde_json = { path = "../stubs/serde_json" }#' \
+  -e 's#^proptest = .*#proptest = { path = "../stubs/proptest" }#' \
+  -e 's#^criterion = .*#criterion = { path = "../stubs/criterion" }#' \
+  "$WS/Cargo.toml"
+
+# Prune proptest-based test files (see caveats above).
+rm -f "$WS"/crates/*/tests/proptests.rs "$WS/tests/properties.rs"
+
+echo "offline workspace ready: $WS"
+echo "next: (cd $WS && cargo test -q)"
