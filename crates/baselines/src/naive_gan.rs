@@ -18,6 +18,7 @@ use dg_nn::optim::Adam;
 use dg_nn::params::ParamStore;
 use dg_nn::penalty::gradient_penalty;
 use dg_nn::tensor::Tensor;
+use dg_nn::workspace::Workspace;
 use doppelganger::layout::OutputLayout;
 use rand::Rng;
 
@@ -146,15 +147,17 @@ impl NaiveGanModel {
         let mut d_opt = Adam::with_betas(self.config.lr, 0.5, 0.9);
         let mut g_opt = Adam::with_betas(self.config.lr, 0.5, 0.9);
         let mut batches = BatchIter::new(encoded.num_samples(), self.config.batch);
+        // One buffer pool is recycled through every d/g graph of the run.
+        let mut ws = Workspace::new();
         for _ in 0..self.config.train_steps {
             // ---- discriminator step ----
             let idx = batches.next_batch(rng).to_vec();
             let real = encoded.full_rows(&idx);
-            let fake = self.sample_encoded(idx.len(), rng);
+            let fake = self.sample_encoded_ws(idx.len(), rng, &mut ws);
             {
-                let mut g = Graph::new();
-                let rv = g.constant(real.clone());
-                let fv = g.constant(fake.clone());
+                let mut g = Graph::with_workspace(std::mem::take(&mut ws));
+                let rv = g.constant_copied(&real);
+                let fv = g.constant_copied(&fake);
                 let dr = self.disc.forward(&mut g, &self.store, rv);
                 let df = self.disc.forward(&mut g, &self.store, fv);
                 let mr = g.mean_all(dr);
@@ -164,30 +167,42 @@ impl NaiveGanModel {
                 let gp_term = g.scale(gp, self.config.gp_lambda);
                 let loss = g.add(w, gp_term);
                 g.backward(loss);
-                d_opt.step(&mut self.store, &g.param_grads());
+                let grads = g.param_grads();
+                ws = g.finish();
+                d_opt.step(&mut self.store, &grads);
             }
             // ---- generator step ----
             {
-                let mut g = Graph::new();
-                let z = g.constant(Tensor::randn(self.config.batch, self.config.noise_dim, 1.0, rng));
+                let mut g = Graph::with_workspace(std::mem::take(&mut ws));
+                let z = g.constant_randn(self.config.batch, self.config.noise_dim, 1.0, rng);
                 let raw = self.gen.forward(&mut g, &self.store, z);
                 let out = self.layout.apply(&mut g, raw);
                 let score = self.disc.forward_frozen(&mut g, &self.store, out);
                 let ms = g.mean_all(score);
                 let loss = g.scale(ms, -1.0);
                 g.backward(loss);
-                g_opt.step(&mut self.store, &g.param_grads());
+                let grads = g.param_grads();
+                ws = g.finish();
+                g_opt.step(&mut self.store, &grads);
             }
         }
     }
 
     /// Generates a batch of encoded full rows from the frozen generator.
     pub fn sample_encoded<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Tensor {
-        let mut g = Graph::new();
-        let z = g.constant(Tensor::randn(n, self.config.noise_dim, 1.0, rng));
+        let mut ws = Workspace::unpooled();
+        self.sample_encoded_ws(n, rng, &mut ws)
+    }
+
+    /// [`NaiveGanModel::sample_encoded`] drawing graph buffers from `ws`.
+    fn sample_encoded_ws<R: Rng + ?Sized>(&self, n: usize, rng: &mut R, ws: &mut Workspace) -> Tensor {
+        let mut g = Graph::with_workspace(std::mem::take(ws));
+        let z = g.constant_randn(n, self.config.noise_dim, 1.0, rng);
         let raw = self.gen.forward_frozen(&mut g, &self.store, z);
         let out = self.layout.apply(&mut g, raw);
-        g.value(out).clone()
+        let out = g.take_value(out);
+        *ws = g.finish();
+        out
     }
 
     /// Critic score for given encoded full rows (used by membership

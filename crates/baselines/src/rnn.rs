@@ -8,11 +8,12 @@
 
 use crate::common::{EmpiricalAttributes, FirstRecordGaussian, GenerativeModel};
 use dg_data::{decode_length, BatchIter, Dataset, Encoder, EncoderConfig, Range, TimeSeriesObject};
-use dg_nn::graph::Graph;
+use dg_nn::graph::{Graph, PlanExecutor, Var};
 use dg_nn::layers::{Activation, LstmCell, Mlp};
 use dg_nn::optim::Adam;
 use dg_nn::params::ParamStore;
 use dg_nn::tensor::Tensor;
+use dg_nn::workspace::Workspace;
 use doppelganger::layout::OutputLayout;
 use rand::Rng;
 
@@ -88,6 +89,8 @@ impl RnnModel {
         );
         let mut opt = Adam::with_betas(config.lr, 0.9, 0.999);
         let mut batches = BatchIter::new(encoded.num_samples(), config.batch);
+        // Consecutive minibatch graphs recycle each other's buffers.
+        let mut ws = Workspace::new();
 
         for _ in 0..config.train_steps {
             let idx = batches.next_batch(rng).to_vec();
@@ -96,7 +99,7 @@ impl RnnModel {
             let lens: Vec<usize> = idx.iter().map(|&i| encoded.lengths[i]).collect();
             let longest = lens.iter().copied().max().unwrap_or(1).max(2);
 
-            let mut g = Graph::new();
+            let mut g = Graph::with_workspace(std::mem::take(&mut ws));
             let av = g.constant(attrs_b);
             let mut state = lstm.zero_state(&mut g, b);
             let mut total_loss = None;
@@ -125,7 +128,11 @@ impl RnnModel {
             if let Some(loss_sum) = total_loss {
                 let loss = g.scale(loss_sum, 1.0 / total_count.max(1.0));
                 g.backward(loss);
-                opt.step(&mut store, &g.param_grads());
+                let grads = g.param_grads();
+                ws = g.finish();
+                opt.step(&mut store, &grads);
+            } else {
+                ws = g.finish();
             }
         }
 
@@ -133,19 +140,53 @@ impl RnnModel {
         RnnModel { encoder, attrs: EmpiricalAttributes::fit(dataset), first, lstm, head, store, layout }
     }
 
-    fn predict_step(&self, attrs: &[f32], prev: &[f32], h: &mut Tensor, c: &mut Tensor) -> Vec<f32> {
+    /// Records the single-step rollout tape once; [`RnnModel::predict_step`]
+    /// replays it with fresh `(input, h, c)` leaf values and zero per-step
+    /// tensor allocations inside the executor.
+    fn build_step_plan(&self) -> StepPlan {
+        let aw = self.encoder.attr_width();
+        let sw = self.encoder.step_width();
         let mut g = Graph::new();
-        let mut inp_data = attrs.to_vec();
-        inp_data.extend_from_slice(prev);
-        let inp = g.constant(Tensor::from_vec(1, inp_data.len(), inp_data));
-        let state = dg_nn::layers::LstmState { h: g.constant(h.clone()), c: g.constant(c.clone()) };
+        let inp = g.constant_zeros(1, aw + sw);
+        let h_in = g.constant_zeros(1, self.lstm.hidden);
+        let c_in = g.constant_zeros(1, self.lstm.hidden);
+        let state = dg_nn::layers::LstmState { h: h_in, c: c_in };
         let next = self.lstm.step_frozen(&mut g, &self.store, inp, state);
         let raw = self.head.forward_frozen(&mut g, &self.store, next.h);
         let pred = self.layout.apply(&mut g, raw);
-        *h = g.value(next.h).clone();
-        *c = g.value(next.c).clone();
-        g.value(pred).as_slice().to_vec()
+        StepPlan { inp, h_in, c_in, h_out: next.h, c_out: next.c, pred, exec: g.into_executor() }
     }
+
+    fn predict_step(
+        &self,
+        plan: &mut StepPlan,
+        attrs: &[f32],
+        prev: &[f32],
+        h: &mut Tensor,
+        c: &mut Tensor,
+    ) -> Vec<f32> {
+        let mut inp_data = attrs.to_vec();
+        inp_data.extend_from_slice(prev);
+        plan.exec.set_input(plan.inp, &Tensor::from_vec(1, inp_data.len(), inp_data));
+        plan.exec.set_input(plan.h_in, h);
+        plan.exec.set_input(plan.c_in, c);
+        plan.exec.run();
+        *h = plan.exec.value(plan.h_out).clone();
+        *c = plan.exec.value(plan.c_out).clone();
+        plan.exec.value(plan.pred).as_slice().to_vec()
+    }
+}
+
+/// A recorded one-step rollout tape plus the leaf/output vars needed to
+/// drive it (see [`RnnModel::build_step_plan`]).
+struct StepPlan {
+    exec: PlanExecutor,
+    inp: Var,
+    h_in: Var,
+    c_in: Var,
+    h_out: Var,
+    c_out: Var,
+    pred: Var,
 }
 
 impl GenerativeModel for RnnModel {
@@ -158,6 +199,7 @@ impl GenerativeModel for RnnModel {
         let t_max = self.encoder.max_len();
         let flag_off = self.encoder.schema.feature_encoded_width();
         let hidden = self.lstm.hidden;
+        let mut plan = self.build_step_plan();
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let attrs = self.attrs.sample(rng);
@@ -171,7 +213,7 @@ impl GenerativeModel for RnnModel {
                 if last[flag_off + 1] >= last[flag_off] {
                     break;
                 }
-                steps.push(self.predict_step(&arow, &last, &mut h, &mut c));
+                steps.push(self.predict_step(&mut plan, &arow, &last, &mut h, &mut c));
             }
             let mut frow = vec![0.0_f32; t_max * sw];
             for (t, s) in steps.iter().enumerate() {

@@ -19,6 +19,64 @@ use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
 
+/// Counting global allocator (`--features alloc-telemetry` only): every
+/// `alloc`/`alloc_zeroed`/`realloc` bumps two relaxed atomics, letting the
+/// pooled-vs-fresh comparison below report allocations per training step.
+#[cfg(feature = "alloc-telemetry")]
+mod alloc_telemetry {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// `(allocations, bytes)` since process start.
+    pub fn snapshot() -> (u64, u64) {
+        (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed))
+    }
+}
+
+/// `(allocations, bytes)` so far, or `(0, 0)` without `alloc-telemetry`.
+fn alloc_snapshot() -> (u64, u64) {
+    #[cfg(feature = "alloc-telemetry")]
+    {
+        alloc_telemetry::snapshot()
+    }
+    #[cfg(not(feature = "alloc-telemetry"))]
+    {
+        (0, 0)
+    }
+}
+
 #[derive(Serialize)]
 struct Case {
     name: String,
@@ -34,6 +92,21 @@ struct Report {
     /// Non-DP discriminator step, for reading DP overhead off the report.
     plain_d_step_ms: f64,
     cases: Vec<Case>,
+    /// Heap allocations per pooled-workspace d step (`alloc-telemetry` only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    allocs_per_step: Option<u64>,
+    /// Heap bytes per pooled-workspace d step (`alloc-telemetry` only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    bytes_per_step: Option<u64>,
+    /// Heap allocations per fresh-allocation d step (`alloc-telemetry` only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    fresh_allocs_per_step: Option<u64>,
+    /// Heap bytes per fresh-allocation d step (`alloc-telemetry` only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    fresh_bytes_per_step: Option<u64>,
+    /// `fresh_allocs_per_step / allocs_per_step` (`alloc-telemetry` only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    alloc_reduction: Option<f64>,
 }
 
 fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -144,7 +217,62 @@ fn main() {
     }
     println!("\ndeterminism: parallel DP parameters bitwise equal to serial ✓");
 
-    let report = Report { hardware_threads: hw, worker_threads: threads, plain_d_step_ms, cases };
+    // Allocation churn: warm pooled-workspace steps vs fresh allocation on
+    // the same model and RNG stream. Per-step counts come from the counting
+    // global allocator when built with `--features alloc-telemetry`;
+    // without it the bitwise parameter check below still runs.
+    const ALLOC_STEPS: u64 = 5;
+    let measure = |tr: &mut Trainer, rng: &mut StdRng| -> (u64, u64) {
+        // One warm-up step populates the buffer pool and the Adam state.
+        black_box(tr.d_step(&encoded, &idx, rng));
+        let (a0, b0) = alloc_snapshot();
+        for _ in 0..ALLOC_STEPS {
+            black_box(tr.d_step(&encoded, &idx, rng));
+        }
+        let (a1, b1) = alloc_snapshot();
+        ((a1 - a0) / ALLOC_STEPS, (b1 - b0) / ALLOC_STEPS)
+    };
+    let mut pooled = Trainer::new(dp_serial.model.clone());
+    let mut fresh = Trainer::new(dp_serial.model.clone());
+    fresh.set_buffer_pooling(false);
+    let mut r_pooled = StdRng::seed_from_u64(4);
+    let mut r_fresh = StdRng::seed_from_u64(4);
+    let (pooled_allocs, pooled_bytes) = measure(&mut pooled, &mut r_pooled);
+    let (fresh_allocs, fresh_bytes) = measure(&mut fresh, &mut r_fresh);
+
+    // Pooling only changes where buffers live, never their contents: the
+    // same-seed pooled and fresh runs must end at bitwise-equal parameters.
+    for (id, _, t) in pooled.model.store.iter() {
+        assert_eq!(
+            t.as_slice(),
+            fresh.model.store.get(id).as_slice(),
+            "pooled-workspace step diverged from fresh allocation for parameter {id:?}"
+        );
+    }
+    println!("determinism: pooled-workspace parameters bitwise equal to fresh allocation ✓");
+
+    let telemetry = cfg!(feature = "alloc-telemetry");
+    let alloc_reduction =
+        if telemetry && pooled_allocs > 0 { Some(fresh_allocs as f64 / pooled_allocs as f64) } else { None };
+    if telemetry {
+        println!(
+            "allocs/step: pooled {pooled_allocs} ({pooled_bytes} B) vs fresh {fresh_allocs} \
+             ({fresh_bytes} B), reduction {:.1}x",
+            alloc_reduction.unwrap_or(f64::INFINITY)
+        );
+    }
+
+    let report = Report {
+        hardware_threads: hw,
+        worker_threads: threads,
+        plain_d_step_ms,
+        cases,
+        allocs_per_step: telemetry.then_some(pooled_allocs),
+        bytes_per_step: telemetry.then_some(pooled_bytes),
+        fresh_allocs_per_step: telemetry.then_some(fresh_allocs),
+        fresh_bytes_per_step: telemetry.then_some(fresh_bytes),
+        alloc_reduction,
+    };
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join("BENCH_training.json");

@@ -22,6 +22,7 @@ use dg_nn::graph::{Graph, Var};
 use dg_nn::layers::{Activation, LstmCell, Mlp};
 use dg_nn::params::{ParamId, ParamStore};
 use dg_nn::tensor::Tensor;
+use dg_nn::workspace::Workspace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -225,7 +226,7 @@ impl DoppelGanger {
         rng: &mut R,
         frozen: bool,
     ) -> Var {
-        let z = g.constant(Tensor::randn(batch, self.config.attr_noise_dim, 1.0, rng));
+        let z = g.constant_randn(batch, self.config.attr_noise_dim, 1.0, rng);
         let raw = if frozen {
             self.attr_gen.forward_frozen(g, &self.store, z)
         } else {
@@ -239,9 +240,9 @@ impl DoppelGanger {
     pub fn gen_minmax<R: Rng + ?Sized>(&self, g: &mut Graph, attrs: Var, rng: &mut R, frozen: bool) -> Var {
         let batch = g.value(attrs).rows();
         match &self.minmax_gen {
-            None => g.constant(Tensor::zeros(batch, 0)),
+            None => g.constant_zeros(batch, 0),
             Some(mm) => {
-                let z = g.constant(Tensor::randn(batch, self.config.minmax_noise_dim, 1.0, rng));
+                let z = g.constant_randn(batch, self.config.minmax_noise_dim, 1.0, rng);
                 let inp = g.concat_cols(&[attrs, z]);
                 let raw = if frozen {
                     mm.forward_frozen(g, &self.store, inp)
@@ -268,7 +269,7 @@ impl DoppelGanger {
         let mut state = self.feat_lstm.zero_state(g, batch);
         let mut outs = Vec::with_capacity(self.num_steps);
         for _ in 0..self.num_steps {
-            let z = g.constant(Tensor::randn(batch, self.config.feature_noise_dim, 1.0, rng));
+            let z = g.constant_randn(batch, self.config.feature_noise_dim, 1.0, rng);
             let inp = if g.value(minmax).cols() > 0 {
                 g.concat_cols(&[attrs, minmax, z])
             } else {
@@ -348,13 +349,17 @@ impl DoppelGanger {
         let mut minmaxes = Vec::new();
         let mut feats = Vec::new();
         let mut left = n;
+        // One workspace serves every chunk: the per-chunk graphs recycle each
+        // other's buffers instead of re-allocating.
+        let mut ws = Workspace::new();
         while left > 0 {
             let b = left.min(chunk);
-            let mut g = Graph::new();
+            let mut g = Graph::with_workspace(ws);
             let (a, m, f, _) = self.gen_full(&mut g, b, rng, true);
             attrs.push(g.value(a).clone());
             minmaxes.push(g.value(m).clone());
             feats.push(g.value(f).clone());
+            ws = g.finish();
             left -= b;
         }
         let ar: Vec<&Tensor> = attrs.iter().collect();
@@ -384,9 +389,10 @@ impl DoppelGanger {
     ) -> Vec<TimeSeriesObject> {
         let chunk = self.config.batch_size.max(1);
         let mut out = Vec::with_capacity(attribute_rows.len());
+        let mut ws = Workspace::new();
         for rows in attribute_rows.chunks(chunk) {
             let attrs = self.encoder.encode_attribute_rows(rows);
-            let mut g = Graph::new();
+            let mut g = Graph::with_workspace(std::mem::take(&mut ws));
             let a = g.constant(attrs.clone());
             let m = self.gen_minmax(&mut g, a, rng, true);
             let f = self.gen_features(&mut g, a, m, rng, true);
@@ -400,6 +406,7 @@ impl DoppelGanger {
                 o.attributes = want.clone();
             }
             out.extend(objs);
+            ws = g.finish();
         }
         out
     }

@@ -20,6 +20,7 @@ use dg_nn::graph::Graph;
 use dg_nn::optim::Adam;
 use dg_nn::penalty::gradient_penalty;
 use dg_nn::tensor::Tensor;
+use dg_nn::workspace::Workspace;
 use rand::Rng;
 
 /// A target distribution over attribute combinations.
@@ -114,13 +115,16 @@ pub fn retrain_attribute_generator<R: Rng + ?Sized>(
     let feat_zero_width = if use_aux { 0 } else { model.encoder.max_len() * model.encoder.step_width() };
 
     let mut metrics = Vec::with_capacity(iterations);
+    // One pool serves all four graphs of every iteration (two samplers, the
+    // critic step, the attribute-generator step).
+    let mut ws = Workspace::new();
     for it in 0..iterations {
         // ---- critic step on [A | minmax(A)] (aux) or [A | minmax | 0] ----
         let real_rows = target.sample_rows(batch, rng);
         let real_attrs = model.encoder.encode_attribute_rows(&real_rows);
-        let real_am = attach_minmax(model, &real_attrs, rng);
-        let fake_attrs = frozen_attrs(model, batch, rng);
-        let fake_am = attach_minmax(model, &fake_attrs, rng);
+        let real_am = attach_minmax(model, &real_attrs, rng, &mut ws);
+        let fake_attrs = frozen_attrs(model, batch, rng, &mut ws);
+        let fake_am = attach_minmax(model, &fake_attrs, rng, &mut ws);
         let (real_in, fake_in) = if use_aux {
             (real_am.clone(), fake_am.clone())
         } else {
@@ -129,7 +133,7 @@ pub fn retrain_attribute_generator<R: Rng + ?Sized>(
         };
         let critic = if use_aux { model.aux_disc.as_ref().expect("aux") } else { &model.disc };
         let d_loss = {
-            let mut g = Graph::new();
+            let mut g = Graph::with_workspace(std::mem::take(&mut ws));
             let rv = g.constant(real_in.clone());
             let fv = g.constant(fake_in.clone());
             let dr = critic.forward(&mut g, &model.store, rv);
@@ -142,20 +146,22 @@ pub fn retrain_attribute_generator<R: Rng + ?Sized>(
             let loss = g.add(w, gp_term);
             let v = g.value(loss).get(0, 0);
             g.backward(loss);
-            d_opt.step(&mut model.store, &g.param_grads());
+            let grads = g.param_grads();
+            ws = g.finish();
+            d_opt.step(&mut model.store, &grads);
             v
         };
 
         // ---- attribute-generator step ----
         let g_loss = {
-            let mut g = Graph::new();
+            let mut g = Graph::with_workspace(std::mem::take(&mut ws));
             let attrs = model.gen_attributes(&mut g, batch, rng, false);
             let minmax = model.gen_minmax(&mut g, attrs, rng, true);
             let am = if g.value(minmax).cols() > 0 { g.concat_cols(&[attrs, minmax]) } else { attrs };
             let score = if use_aux {
                 model.discriminate_aux(&mut g, am, true)
             } else {
-                let pad = g.constant(Tensor::zeros(batch, feat_zero_width));
+                let pad = g.constant_zeros(batch, feat_zero_width);
                 let full = g.concat_cols(&[am, pad]);
                 model.discriminate(&mut g, full, true)
             };
@@ -163,7 +169,9 @@ pub fn retrain_attribute_generator<R: Rng + ?Sized>(
             let loss = g.scale(ms, -1.0);
             let v = g.value(loss).get(0, 0);
             g.backward(loss);
-            g_opt.step(&mut model.store, &g.param_grads());
+            let grads = g.param_grads();
+            ws = g.finish();
+            g_opt.step(&mut model.store, &grads);
             v
         };
         metrics.push(RetrainMetrics { iteration: it, d_loss, g_loss });
@@ -173,21 +181,35 @@ pub fn retrain_attribute_generator<R: Rng + ?Sized>(
 
 /// Generates min/max fake attributes for given encoded attribute rows with
 /// the frozen min/max generator, returning `[attrs | minmax]`.
-fn attach_minmax<R: Rng + ?Sized>(model: &DoppelGanger, attrs: &Tensor, rng: &mut R) -> Tensor {
+fn attach_minmax<R: Rng + ?Sized>(
+    model: &DoppelGanger,
+    attrs: &Tensor,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> Tensor {
     if model.minmax_gen.is_none() {
         return attrs.clone();
     }
-    let mut g = Graph::new();
-    let a = g.constant(attrs.clone());
+    let mut g = Graph::with_workspace(std::mem::take(ws));
+    let a = g.constant_copied(attrs);
     let m = model.gen_minmax(&mut g, a, rng, true);
-    Tensor::concat_cols(&[attrs, g.value(m)])
+    let out = Tensor::concat_cols(&[attrs, g.value(m)]);
+    *ws = g.finish();
+    out
 }
 
 /// Samples encoded attributes from the frozen attribute generator.
-fn frozen_attrs<R: Rng + ?Sized>(model: &DoppelGanger, batch: usize, rng: &mut R) -> Tensor {
-    let mut g = Graph::new();
+fn frozen_attrs<R: Rng + ?Sized>(
+    model: &DoppelGanger,
+    batch: usize,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> Tensor {
+    let mut g = Graph::with_workspace(std::mem::take(ws));
     let a = model.gen_attributes(&mut g, batch, rng, true);
-    g.value(a).clone()
+    let out = g.take_value(a);
+    *ws = g.finish();
+    out
 }
 
 #[cfg(test)]

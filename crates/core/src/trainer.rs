@@ -31,6 +31,7 @@ use dg_nn::parallel::num_threads;
 use dg_nn::params::GradMap;
 use dg_nn::penalty::gradient_penalty;
 use dg_nn::tensor::Tensor;
+use dg_nn::workspace::{Workspace, WorkspaceStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Normal};
@@ -70,6 +71,11 @@ pub struct Trainer {
     /// Minibatch iteration state, kept across `fit` calls (and through
     /// checkpoints) so interrupted training resumes the exact batch sequence.
     batches: Option<BatchIter>,
+    /// Buffer pool shared by consecutive training-step graphs.
+    ws: Workspace,
+    /// Per-worker buffer pools for the DP-SGD fan-out, pre-split like the
+    /// per-sample RNG seeds so workers never share mutable state.
+    dp_workspaces: Vec<Workspace>,
 }
 
 impl Trainer {
@@ -78,7 +84,31 @@ impl Trainer {
         let c = &model.config;
         let d_opt = Adam::with_betas(c.d_lr, c.beta1, c.beta2);
         let g_opt = Adam::with_betas(c.g_lr, c.beta1, c.beta2);
-        Trainer { model, d_opt, g_opt, dp: None, d_updates: 0, batches: None }
+        Trainer {
+            model,
+            d_opt,
+            g_opt,
+            dp: None,
+            d_updates: 0,
+            batches: None,
+            ws: Workspace::new(),
+            dp_workspaces: Vec::new(),
+        }
+    }
+
+    /// Enables or disables workspace buffer pooling for all training-step
+    /// graphs. Pooling is on by default; disabling it restores the
+    /// fresh-allocation-per-step behavior (the determinism reference used by
+    /// tests and allocation benchmarks). Either way the computed parameters
+    /// are bitwise identical.
+    pub fn set_buffer_pooling(&mut self, enabled: bool) {
+        self.ws = if enabled { Workspace::new() } else { Workspace::unpooled() };
+        self.dp_workspaces.clear();
+    }
+
+    /// Buffer-pool usage counters of the main step workspace.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.ws.stats()
     }
 
     /// Enables DP-SGD on the discriminator updates.
@@ -176,8 +206,10 @@ impl Trainer {
         rng: &mut R,
     ) -> (f32, f32, f32) {
         let real_full = data.full_rows(idx);
-        let fake_full = self.generate_fake_full(idx.len(), rng);
-        let (loss, gp, w, grads) = self.d_loss_grads(real_full, fake_full, rng);
+        let mut ws = std::mem::take(&mut self.ws);
+        let fake_full = self.generate_fake_full(idx.len(), rng, &mut ws);
+        let (loss, gp, w, grads) = self.d_loss_grads(real_full, fake_full, rng, &mut ws);
+        self.ws = ws;
         self.d_opt.step(&mut self.model.store, &grads);
         self.d_updates += 1;
         (loss, gp, w)
@@ -197,10 +229,11 @@ impl Trainer {
         real_full: Tensor,
         fake_full: Tensor,
         rng: &mut R,
+        ws: &mut Workspace,
     ) -> (f32, f32, f32, GradMap) {
         let model = &self.model;
         let lambda = model.config.gp_lambda;
-        let mut g = Graph::new();
+        let mut g = Graph::with_workspace(std::mem::take(ws));
         let gp = gradient_penalty(&mut g, &model.store, &model.disc, &real_full, &fake_full, rng);
         let aux = model.aux_disc.as_ref().map(|aux_disc| {
             let aw = model.aux_input_width();
@@ -238,7 +271,9 @@ impl Trainer {
         let gp_v = g.value(gp).get(0, 0);
         let w_v = -g.value(w_term).get(0, 0);
         g.backward(loss);
-        (loss_v, gp_v, w_v, g.param_grads())
+        let grads = g.param_grads();
+        *ws = g.finish();
+        (loss_v, gp_v, w_v, grads)
     }
 
     /// One DP-SGD discriminator update: per-sample gradients are clipped to
@@ -271,11 +306,24 @@ impl Trainer {
         threads: usize,
     ) -> (f32, f32, f32) {
         let dp = self.dp.expect("d_step_dp requires a DP config");
-        let fake_full = self.generate_fake_full(idx.len(), rng);
+        let mut ws = std::mem::take(&mut self.ws);
+        let fake_full = self.generate_fake_full(idx.len(), rng, &mut ws);
         // Pre-split one seed per sample so the fan-out below cannot perturb
         // the randomness, whatever the thread count or scheduling order.
         let seeds = split_seeds(rng, idx.len());
-        let samples = self.per_sample_clipped_grads(data, idx, &fake_full, &seeds, dp.clip_norm, threads);
+        // Pre-split one workspace per worker, too: which pool serves a sample
+        // cannot change its bytes (buffers always come out zeroed), so this
+        // keeps the serial/parallel bitwise-equality guarantee.
+        let workers = threads.clamp(1, idx.len().max(1));
+        let mut dp_ws = std::mem::take(&mut self.dp_workspaces);
+        dp_ws.truncate(workers);
+        while dp_ws.len() < workers {
+            dp_ws.push(if ws.pooling_enabled() { Workspace::new() } else { Workspace::unpooled() });
+        }
+        let samples =
+            self.per_sample_clipped_grads(data, idx, &fake_full, &seeds, dp.clip_norm, threads, &mut dp_ws);
+        self.dp_workspaces = dp_ws;
+        self.ws = ws;
 
         // Merge in sample-index order (float addition is not associative, so
         // a fixed merge order is part of the determinism guarantee).
@@ -307,7 +355,10 @@ impl Trainer {
     /// Computes the clipped per-sample gradients for a DP step, fanning the
     /// samples out over up to `threads` scoped worker threads. Slot `k` of
     /// the result always holds sample `idx[k]` computed from `seeds[k]`, so
-    /// the output is independent of the thread count.
+    /// the output is independent of the thread count. Worker `i` draws its
+    /// buffers exclusively from `workspaces[i]` (which must hold at least
+    /// `min(threads, len)` entries).
+    #[allow(clippy::too_many_arguments)]
     fn per_sample_clipped_grads(
         &self,
         data: &EncodedDataset,
@@ -316,30 +367,33 @@ impl Trainer {
         seeds: &[u64],
         clip_norm: f32,
         threads: usize,
+        workspaces: &mut [Workspace],
     ) -> Vec<SampleGrad> {
         let b = idx.len();
         let mut slots: Vec<Option<SampleGrad>> = (0..b).map(|_| None).collect();
-        let one_sample = |k: usize| -> SampleGrad {
+        let one_sample = |k: usize, ws: &mut Workspace| -> SampleGrad {
             let mut srng = StdRng::seed_from_u64(seeds[k]);
             let real_row = data.full_rows(&idx[k..k + 1]);
             let fake_row = fake_full.slice_rows(k, k + 1);
-            let (loss, gp, w, mut grads) = self.d_loss_grads(real_row, fake_row, &mut srng);
+            let (loss, gp, w, mut grads) = self.d_loss_grads(real_row, fake_row, &mut srng, ws);
             grads.clip_global_norm(clip_norm);
             SampleGrad { loss, gp, w, grads }
         };
         let threads = threads.clamp(1, b.max(1));
         if threads <= 1 {
+            let ws = &mut workspaces[0];
             for (k, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(one_sample(k));
+                *slot = Some(one_sample(k, ws));
             }
         } else {
             let chunk = b.div_ceil(threads);
             std::thread::scope(|scope| {
-                for (ci, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+                for ((ci, chunk_slots), ws) in slots.chunks_mut(chunk).enumerate().zip(workspaces.iter_mut())
+                {
                     let one_sample = &one_sample;
                     scope.spawn(move || {
                         for (j, slot) in chunk_slots.iter_mut().enumerate() {
-                            *slot = Some(one_sample(ci * chunk + j));
+                            *slot = Some(one_sample(ci * chunk + j, ws));
                         }
                     });
                 }
@@ -350,8 +404,9 @@ impl Trainer {
 
     /// One generator update. Returns the generator loss.
     pub fn g_step<R: Rng + ?Sized>(&mut self, batch: usize, rng: &mut R) -> f32 {
+        let ws = std::mem::take(&mut self.ws);
         let model = &self.model;
-        let mut g = Graph::new();
+        let mut g = Graph::with_workspace(ws);
         let (attrs, minmax, _feats, full) = model.gen_full(&mut g, batch, rng, false);
         let score = model.discriminate(&mut g, full, true);
         let mean_score = g.mean_all(score);
@@ -366,15 +421,18 @@ impl Trainer {
         let loss_v = g.value(loss).get(0, 0);
         g.backward(loss);
         let grads = g.param_grads();
+        self.ws = g.finish();
         self.g_opt.step(&mut self.model.store, &grads);
         loss_v
     }
 
     /// Generates a detached batch of full rows from the frozen generator.
-    fn generate_fake_full<R: Rng + ?Sized>(&self, batch: usize, rng: &mut R) -> Tensor {
-        let mut g = Graph::new();
+    fn generate_fake_full<R: Rng + ?Sized>(&self, batch: usize, rng: &mut R, ws: &mut Workspace) -> Tensor {
+        let mut g = Graph::with_workspace(std::mem::take(ws));
         let (_, _, _, full) = self.model.gen_full(&mut g, batch, rng, true);
-        g.into_value(full)
+        let out = g.take_value(full);
+        *ws = g.finish();
+        out
     }
 }
 

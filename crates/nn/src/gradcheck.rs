@@ -8,6 +8,7 @@
 
 use crate::graph::{Graph, Var};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -108,6 +109,52 @@ pub fn check_matmul_determinism(
     None
 }
 
+/// Checks that executing `program` out of a pooled, reused [`Workspace`] is
+/// **bitwise** identical to fresh allocation, across consecutive reuse
+/// `cycles` and every worker count in `thread_counts`.
+///
+/// `program` records an arbitrary graph (drawing constants however it likes,
+/// as long as it is deterministic) and returns a scalar loss var; the checker
+/// runs forward + backward and compares every node value and gradient against
+/// an unpooled reference execution. Returns the first discrepancy as a
+/// human-readable message, or `None` when everything matches exactly.
+pub fn check_workspace_determinism(
+    program: impl Fn(&mut Graph) -> Var,
+    cycles: usize,
+    thread_counts: &[usize],
+) -> Option<String> {
+    let run = |ws: Workspace| -> (Vec<f32>, Workspace) {
+        let mut g = Graph::with_workspace(ws);
+        let loss = program(&mut g);
+        g.backward(loss);
+        let state = g.flat_state();
+        (state, g.finish())
+    };
+
+    let (reference, _) = run(Workspace::unpooled());
+    for &threads in thread_counts {
+        let mut ws = Workspace::new().with_thread_override(threads);
+        for cycle in 0..cycles.max(1) {
+            let state;
+            (state, ws) = run(ws);
+            if state.len() != reference.len() {
+                return Some(format!(
+                    "threads={threads} cycle={cycle}: {} state values, expected {}",
+                    state.len(),
+                    reference.len()
+                ));
+            }
+            if let Some(i) = (0..state.len()).find(|&i| state[i].to_bits() != reference[i].to_bits()) {
+                return Some(format!(
+                    "threads={threads} cycle={cycle}: pooled execution diverged at element {i}: {} vs {}",
+                    state[i], reference[i]
+                ));
+            }
+        }
+    }
+    None
+}
+
 /// Runs `f` several times and checks every run returns **bitwise** identical
 /// output (useful for end-to-end determinism checks such as two identically
 /// seeded training steps). Returns the first mismatch description, if any.
@@ -201,6 +248,50 @@ mod tests {
             let at = Tensor::randn(m, n, 1.0, &mut rng);
             assert_eq!(a.matmul_at(&at).as_slice(), a.matmul_at_threaded(&at, 1).as_slice());
         }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_deterministic_for_a_mixed_graph() {
+        // A program exercising matmul, activations, reductions, slicing and
+        // concatenation — the op mix of a real LSTM training step.
+        let err = check_workspace_determinism(
+            |g| {
+                let mut rng = StdRng::seed_from_u64(42);
+                let x = g.constant(Tensor::randn(5, 4, 1.0, &mut rng));
+                let w = g.constant(Tensor::randn(4, 6, 0.5, &mut rng));
+                let h = g.matmul(x, w);
+                let t = g.tanh(h);
+                let s = g.sigmoid(h);
+                let left = g.slice_cols(t, 0, 3);
+                let right = g.slice_cols(s, 3, 6);
+                let cat = g.concat_cols(&[left, right]);
+                let col = g.sum_rows(cat);
+                let scaled = g.mul_col(cat, col);
+                let sq = g.square(scaled);
+                g.mean_all(sq)
+            },
+            3,
+            &[1, 2, 4, 8, 16],
+        );
+        assert!(err.is_none(), "{}", err.unwrap());
+    }
+
+    #[test]
+    fn workspace_determinism_checker_reports_divergence() {
+        // A program that depends on ambient state is *not* deterministic and
+        // must be flagged.
+        use std::cell::Cell;
+        let counter = Cell::new(0.0_f32);
+        let err = check_workspace_determinism(
+            |g| {
+                counter.set(counter.get() + 1.0);
+                let x = g.constant(Tensor::from_vec(1, 1, vec![counter.get()]));
+                g.square(x)
+            },
+            2,
+            &[1],
+        );
+        assert!(err.is_some(), "state-dependent program must be reported");
     }
 
     #[test]

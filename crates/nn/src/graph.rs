@@ -1,25 +1,40 @@
 //! Tape-based reverse-mode automatic differentiation.
 //!
-//! A [`Graph`] is a single-use tape: values are computed eagerly as ops are
-//! recorded, and one call to [`Graph::backward`] propagates gradients from a
-//! scalar loss back to every parameter leaf. Training loops build a fresh
-//! graph per step (parameters are copied in from a
-//! [`crate::params::ParamStore`] and gradients are collected into
-//! a [`crate::params::GradMap`]).
+//! The engine separates *what to compute* from *where the bytes live*:
+//!
+//! * a [`Plan`] records op topology + output shapes (the tape proper);
+//! * a [`crate::workspace::Workspace`] owns reusable, shape-keyed tensor
+//!   storage that backs every node value and gradient;
+//! * a [`Graph`] is the eager facade over both: values are still computed
+//!   at record time, and one call to [`Graph::backward`] propagates
+//!   gradients from a scalar loss back to every parameter leaf.
+//!
+//! Training loops hand one workspace from step to step
+//! ([`Graph::with_workspace`] / [`Graph::finish`]), so steady-state steps
+//! reuse the previous step's buffers instead of reallocating them; a plain
+//! [`Graph::new`] owns a private workspace and behaves exactly like a
+//! single-use tape. For static shapes the recorded plan can also be
+//! replayed on fresh leaf values without re-recording via
+//! [`PlanExecutor`].
 //!
 //! Gradient flow is tracked per node (`needs_grad`), so large data constants
-//! never have gradient buffers allocated for them.
+//! never have gradient buffers allocated for them. Buffer reuse never
+//! changes arithmetic: pooled buffers are zero-filled on hand-out, and every
+//! kernel runs with the same threading decisions as the fresh-allocation
+//! path, so results are bitwise identical (see
+//! [`crate::gradcheck::check_workspace_determinism`]).
 
 use crate::parallel::{self, PARALLEL_ELEMS};
 use crate::params::{GradMap, ParamId, ParamStore};
-use crate::tensor::Tensor;
+use crate::tensor::{self, Tensor};
+use crate::workspace::Workspace;
+use rand::Rng;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(usize);
 
 #[derive(Debug, Clone)]
-#[allow(dead_code)] // scalar operands are stored for debuggability even when backward ignores them
 enum Op {
     /// Constant or parameter leaf.
     Leaf {
@@ -57,8 +72,12 @@ enum Op {
     MeanAll(Var),
     /// Per-row sums, producing `rows x 1`.
     SumRows(Var),
-    /// Horizontal concatenation.
-    ConcatCols(Vec<Var>),
+    /// Horizontal concatenation of `len` vars stored at `start` in the
+    /// plan's shared operand arena (avoids a per-op `Vec` allocation).
+    ConcatCols {
+        start: usize,
+        len: usize,
+    },
     /// Columns `[start, end)` of the input.
     SliceCols(Var, usize, usize),
     /// Fused softmax + cross-entropy against constant one-hot-ish targets;
@@ -69,49 +88,31 @@ enum Op {
     },
 }
 
-struct Node {
+/// One recorded node: the op plus its output shape and gradient-flow flag.
+#[derive(Debug, Clone)]
+struct PlanNode {
     op: Op,
-    value: Tensor,
-    grad: Option<Tensor>,
+    rows: usize,
+    cols: usize,
     needs_grad: bool,
 }
 
-/// A single-use autodiff tape.
-#[derive(Default)]
-pub struct Graph {
-    nodes: Vec<Node>,
+/// The recorded topology of a computation: ops, output shapes and the
+/// shared multi-operand arena — everything about a step *except* the bytes.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    nodes: Vec<PlanNode>,
+    /// Operand arena for variable-arity ops (`ConcatCols`).
+    parts: Vec<Var>,
 }
 
-impl Graph {
-    /// Creates an empty graph.
-    pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(256) }
-    }
-
-    fn push(&mut self, op: Op, value: Tensor, needs_grad: bool) -> Var {
-        self.nodes.push(Node { op, value, grad: None, needs_grad });
-        Var(self.nodes.len() - 1)
+impl Plan {
+    fn shape(&self, v: Var) -> (usize, usize) {
+        (self.nodes[v.0].rows, self.nodes[v.0].cols)
     }
 
     fn needs(&self, v: Var) -> bool {
         self.nodes[v.0].needs_grad
-    }
-
-    /// The forward value of a node.
-    pub fn value(&self, v: Var) -> &Tensor {
-        &self.nodes[v.0].value
-    }
-
-    /// Consumes the graph and returns the forward value of `v` without
-    /// copying — for callers that only need one detached output tensor
-    /// (e.g. sampling from a frozen generator).
-    pub fn into_value(mut self, v: Var) -> Tensor {
-        std::mem::replace(&mut self.nodes[v.0].value, Tensor::zeros(0, 0))
-    }
-
-    /// The accumulated gradient of a node (after [`Graph::backward`]).
-    pub fn grad(&self, v: Var) -> Option<&Tensor> {
-        self.nodes[v.0].grad.as_ref()
     }
 
     /// Number of recorded nodes.
@@ -119,16 +120,175 @@ impl Graph {
         self.nodes.len()
     }
 
-    /// True when the tape is empty.
+    /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+}
+
+/// A reusable autodiff tape: eager facade over a [`Plan`] and a
+/// [`Workspace`].
+#[derive(Default)]
+pub struct Graph {
+    plan: Plan,
+    values: Vec<Tensor>,
+    grads: Vec<Option<Tensor>>,
+    /// Indices consumed by [`Graph::take_value`]; any later access is a bug.
+    taken: Vec<usize>,
+    ws: Workspace,
+}
+
+impl Graph {
+    /// Creates a graph backed by a private workspace.
+    pub fn new() -> Self {
+        Graph::with_workspace(Workspace::default())
+    }
+
+    /// Creates a graph backed by a caller-provided workspace, sizing the
+    /// tape to the workspace's node-count hint (the node count of the last
+    /// graph finished against it — exact for static step shapes).
+    pub fn with_workspace(ws: Workspace) -> Self {
+        let hint = ws.node_hint();
+        Graph {
+            plan: Plan { nodes: Vec::with_capacity(hint), parts: Vec::new() },
+            values: Vec::with_capacity(hint),
+            grads: Vec::with_capacity(hint),
+            taken: Vec::new(),
+            ws,
+        }
+    }
+
+    /// Tears the graph down, returning every value and gradient buffer to
+    /// the workspace and recording this graph's node count as the capacity
+    /// hint for the next one.
+    pub fn finish(mut self) -> Workspace {
+        let nodes = self.plan.nodes.len();
+        for t in self.values.drain(..) {
+            self.ws.reclaim(t);
+        }
+        for g in self.grads.drain(..).flatten() {
+            self.ws.reclaim(g);
+        }
+        self.ws.set_node_hint(nodes);
+        self.ws.end_cycle();
+        self.ws
+    }
+
+    /// Consumes the graph, converting it into a [`PlanExecutor`] that can
+    /// replay the recorded plan on fresh leaf values without re-recording.
+    pub fn into_executor(self) -> PlanExecutor {
+        debug_assert!(self.taken.is_empty(), "cannot build an executor from a graph with consumed values");
+        PlanExecutor { plan: self.plan, values: self.values, grads: self.grads, ws: self.ws }
+    }
+
+    /// Read-only access to the backing workspace (pool statistics etc.).
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+
+    fn assert_live(&self, v: Var) {
+        debug_assert!(!self.taken.contains(&v.0), "access to node {} after its value was taken", v.0);
+    }
+
+    fn push(&mut self, op: Op, value: Tensor, needs_grad: bool) -> Var {
+        let (rows, cols) = value.shape();
+        self.plan.nodes.push(PlanNode { op, rows, cols, needs_grad });
+        self.values.push(value);
+        self.grads.push(None);
+        Var(self.values.len() - 1)
+    }
+
+    /// Records `op` with output shape `rows x cols`: takes pooled storage,
+    /// evaluates the op into it, and pushes the node.
+    fn record(&mut self, op: Op, rows: usize, cols: usize, needs_grad: bool) -> Var {
+        let mut out = self.ws.take_zeroed(rows, cols);
+        eval_op_into(&op, &self.plan.parts, &self.values, &mut out, &mut self.ws);
+        self.push(op, out, needs_grad)
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.plan.needs(v)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        self.assert_live(v);
+        &self.values[v.0]
+    }
+
+    /// Moves the forward value of `v` out of the graph without copying.
+    /// The node is marked consumed; any later access to it is a bug
+    /// (checked in debug builds).
+    pub fn take_value(&mut self, v: Var) -> Tensor {
+        self.assert_live(v);
+        self.taken.push(v.0);
+        std::mem::replace(&mut self.values[v.0], Tensor::zeros(0, 0))
+    }
+
+    /// Consumes the graph and returns the forward value of `v` without
+    /// copying — for one-shot callers that only need one detached output
+    /// tensor. Callers that reuse a workspace should prefer
+    /// [`Graph::take_value`] followed by [`Graph::finish`].
+    pub fn into_value(mut self, v: Var) -> Tensor {
+        self.take_value(v)
+    }
+
+    /// The accumulated gradient of a node (after [`Graph::backward`]).
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.assert_live(v);
+        self.grads[v.0].as_ref()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.plan.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plan.nodes.is_empty()
+    }
+
+    /// Hands out a zero-filled scratch tensor from the workspace pool (for
+    /// callers that fill a tensor manually before adopting it via
+    /// [`Graph::constant`], e.g. the gradient-penalty interpolation).
+    pub fn take_scratch(&mut self, rows: usize, cols: usize) -> Tensor {
+        self.ws.take_zeroed(rows, cols)
     }
 
     // ---- leaves ----------------------------------------------------------
 
-    /// Records a constant leaf: no gradient is tracked through it.
+    /// Records a constant leaf: no gradient is tracked through it. The
+    /// tensor is adopted as-is (its storage joins the pool at `finish`).
     pub fn constant(&mut self, value: Tensor) -> Var {
         self.push(Op::Leaf { param: None }, value, false)
+    }
+
+    /// Records a constant leaf by copying `src` into pooled storage.
+    pub fn constant_copied(&mut self, src: &Tensor) -> Var {
+        let mut v = self.ws.take_zeroed(src.rows(), src.cols());
+        v.copy_from(src);
+        self.push(Op::Leaf { param: None }, v, false)
+    }
+
+    /// Records an all-zero constant leaf from pooled storage.
+    pub fn constant_zeros(&mut self, rows: usize, cols: usize) -> Var {
+        let v = self.ws.take_zeroed(rows, cols);
+        self.push(Op::Leaf { param: None }, v, false)
+    }
+
+    /// Records a `N(0, std^2)` constant leaf in pooled storage, consuming
+    /// the RNG exactly like `Tensor::randn` (bitwise-identical stream).
+    pub fn constant_randn<R: Rng + ?Sized>(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> Var {
+        let mut v = self.ws.take_zeroed(rows, cols);
+        v.fill_randn(std, rng);
+        self.push(Op::Leaf { param: None }, v, false)
     }
 
     /// Records a constant leaf that *does* track gradients (used for
@@ -137,33 +297,38 @@ impl Graph {
         self.push(Op::Leaf { param: None }, value, true)
     }
 
-    /// Records a parameter leaf bound to `id`, copying the current value from
-    /// the store.
+    /// Records a parameter leaf bound to `id`, copying the current value
+    /// from the store into pooled storage.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(Op::Leaf { param: Some(id) }, store.get(id).clone(), true)
+        let src = store.get(id);
+        let mut v = self.ws.take_zeroed(src.rows(), src.cols());
+        v.copy_from(src);
+        self.push(Op::Leaf { param: Some(id) }, v, true)
     }
 
     // ---- ops -------------------------------------------------------------
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
+        let rows = self.value(a).rows();
+        let cols = self.value(b).cols();
         let ng = self.needs(a) || self.needs(b);
-        self.push(Op::MatMul(a, b), v, ng)
+        self.record(Op::MatMul(a, b), rows, cols, ng)
     }
 
     /// Matrix product `a * b^T`.
     pub fn matmul_bt(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul_bt(self.value(b));
+        let rows = self.value(a).rows();
+        let cols = self.value(b).rows();
         let ng = self.needs(a) || self.needs(b);
-        self.push(Op::MatMulBT(a, b), v, ng)
+        self.record(Op::MatMulBT(a, b), rows, cols, ng)
     }
 
     /// Elementwise sum of same-shaped tensors.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
+        let (rows, cols) = self.value(a).shape();
         let ng = self.needs(a) || self.needs(b);
-        self.push(Op::Add(a, b), v, ng)
+        self.record(Op::Add(a, b), rows, cols, ng)
     }
 
     /// Adds a `1 x n` row vector (bias) to every row of `a`.
@@ -175,139 +340,120 @@ impl Graph {
         let r = self.value(row);
         assert_eq!(r.rows(), 1, "add_row expects a 1 x n row vector");
         assert_eq!(r.cols(), self.value(a).cols(), "add_row width mismatch");
-        let mut v = self.value(a).clone();
-        let rslice = self.value(row).as_slice().to_vec();
-        let cols = v.cols().max(1);
-        let threads = if v.len() >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 };
-        parallel::run_row_chunks(v.as_mut_slice(), cols, threads, |_row0, chunk| {
-            for vrow in chunk.chunks_mut(cols) {
-                for (x, rv) in vrow.iter_mut().zip(&rslice) {
-                    *x += rv;
-                }
-            }
-        });
+        let (rows, cols) = self.value(a).shape();
         let ng = self.needs(a) || self.needs(row);
-        self.push(Op::AddRow(a, row), v, ng)
+        self.record(Op::AddRow(a, row), rows, cols, ng)
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
+        let (rows, cols) = self.value(a).shape();
         let ng = self.needs(a) || self.needs(b);
-        self.push(Op::Sub(a, b), v, ng)
+        self.record(Op::Sub(a, b), rows, cols, ng)
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
+        let (rows, cols) = self.value(a).shape();
         let ng = self.needs(a) || self.needs(b);
-        self.push(Op::Mul(a, b), v, ng)
+        self.record(Op::Mul(a, b), rows, cols, ng)
     }
 
     /// Multiplies each row of `a` (`B x n`) by the per-row scalar `c` (`B x 1`).
     pub fn mul_col(&mut self, a: Var, c: Var) -> Var {
-        let (ar, ac) = self.value(a).shape();
-        assert_eq!(self.value(c).shape(), (ar, 1), "mul_col expects a B x 1 column");
-        let mut v = self.value(a).clone();
-        let cs = self.value(c).as_slice().to_vec();
-        let cols = ac.max(1);
-        let threads = if v.len() >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 };
-        parallel::run_row_chunks(v.as_mut_slice(), cols, threads, |row0, chunk| {
-            for (i, vrow) in chunk.chunks_mut(cols).enumerate() {
-                let s = cs[row0 + i];
-                for x in vrow {
-                    *x *= s;
-                }
-            }
-        });
+        let (rows, cols) = self.value(a).shape();
+        assert_eq!(self.value(c).shape(), (rows, 1), "mul_col expects a B x 1 column");
         let ng = self.needs(a) || self.needs(c);
-        self.push(Op::MulCol(a, c), v, ng)
+        self.record(Op::MulCol(a, c), rows, cols, ng)
     }
 
     /// Multiplies by a compile-time scalar.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
-        let v = self.value(a).scale(s);
+        let (rows, cols) = self.value(a).shape();
         let ng = self.needs(a);
-        self.push(Op::Scale(a, s), v, ng)
+        self.record(Op::Scale(a, s), rows, cols, ng)
     }
 
     /// Adds a compile-time scalar to every element.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        let v = self.value(a).map(|x| x + s);
+        let (rows, cols) = self.value(a).shape();
         let ng = self.needs(a);
-        self.push(Op::AddScalar(a, s), v, ng)
+        self.record(Op::AddScalar(a, s), rows, cols, ng)
     }
 
     /// Elementwise `tanh`.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
+        let (rows, cols) = self.value(a).shape();
         let ng = self.needs(a);
-        self.push(Op::Tanh(a), v, ng)
+        self.record(Op::Tanh(a), rows, cols, ng)
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let (rows, cols) = self.value(a).shape();
         let ng = self.needs(a);
-        self.push(Op::Sigmoid(a), v, ng)
+        self.record(Op::Sigmoid(a), rows, cols, ng)
     }
 
     /// Elementwise leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { alpha * x });
+        let (rows, cols) = self.value(a).shape();
         let ng = self.needs(a);
-        self.push(Op::LeakyRelu(a, alpha), v, ng)
+        self.record(Op::LeakyRelu(a, alpha), rows, cols, ng)
     }
 
     /// Row-wise softmax (numerically stabilized).
     pub fn softmax(&mut self, a: Var) -> Var {
-        let v = softmax_rows(self.value(a));
+        let (rows, cols) = self.value(a).shape();
         let ng = self.needs(a);
-        self.push(Op::Softmax(a), v, ng)
+        self.record(Op::Softmax(a), rows, cols, ng)
     }
 
     /// Elementwise square root. Inputs should be strictly positive; callers
     /// typically `add_scalar` a small epsilon first.
     pub fn sqrt(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0).sqrt());
+        let (rows, cols) = self.value(a).shape();
         let ng = self.needs(a);
-        self.push(Op::Sqrt(a), v, ng)
+        self.record(Op::Sqrt(a), rows, cols, ng)
     }
 
     /// Sum over all elements (`1 x 1` result).
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);
         let ng = self.needs(a);
-        self.push(Op::SumAll(a), v, ng)
+        self.record(Op::SumAll(a), 1, 1, ng)
     }
 
     /// Mean over all elements (`1 x 1` result).
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = Tensor::from_vec(1, 1, vec![self.value(a).mean()]);
         let ng = self.needs(a);
-        self.push(Op::MeanAll(a), v, ng)
+        self.record(Op::MeanAll(a), 1, 1, ng)
     }
 
     /// Per-row sums (`B x 1` result).
     pub fn sum_rows(&mut self, a: Var) -> Var {
-        let v = self.value(a).sum_rows();
+        let rows = self.value(a).rows();
         let ng = self.needs(a);
-        self.push(Op::SumRows(a), v, ng)
+        self.record(Op::SumRows(a), rows, 1, ng)
     }
 
     /// Horizontal concatenation of several vars.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
-        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = Tensor::concat_cols(&tensors);
+        assert!(!parts.is_empty(), "concat_cols needs at least one var");
+        let rows = self.value(parts[0]).rows();
+        assert!(parts.iter().all(|&p| self.value(p).rows() == rows), "concat_cols requires equal row counts");
+        let cols: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
         let ng = parts.iter().any(|&p| self.needs(p));
-        self.push(Op::ConcatCols(parts.to_vec()), v, ng)
+        let start = self.plan.parts.len();
+        self.plan.parts.extend_from_slice(parts);
+        self.record(Op::ConcatCols { start, len: parts.len() }, rows, cols, ng)
     }
 
     /// Columns `[start, end)` of `a`.
     pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
-        let v = self.value(a).slice_cols(start, end);
+        let rows = self.value(a).rows();
+        assert!(start <= end && end <= self.value(a).cols(), "slice_cols out of range");
         let ng = self.needs(a);
-        self.push(Op::SliceCols(a, start, end), v, ng)
+        self.record(Op::SliceCols(a, start, end), rows, end - start, ng)
     }
 
     /// Convenience: elementwise square via `mul`.
@@ -318,20 +464,9 @@ impl Graph {
     /// Fused row-wise softmax + cross-entropy against constant `targets`
     /// (rows summing to 1). Produces the mean loss over rows.
     pub fn softmax_cross_entropy(&mut self, logits: Var, targets: Tensor) -> Var {
-        let probs = softmax_rows(self.value(logits));
-        assert_eq!(probs.shape(), targets.shape(), "softmax_cross_entropy shape mismatch");
-        let mut loss = 0.0;
-        for r in 0..probs.rows() {
-            for (p, t) in probs.row_slice(r).iter().zip(targets.row_slice(r)) {
-                if *t > 0.0 {
-                    loss -= t * p.max(1e-12).ln();
-                }
-            }
-        }
-        loss /= probs.rows().max(1) as f32;
-        let v = Tensor::from_vec(1, 1, vec![loss]);
+        assert_eq!(self.value(logits).shape(), targets.shape(), "softmax_cross_entropy shape mismatch");
         let ng = self.needs(logits);
-        self.push(Op::SoftmaxCrossEntropy { logits, targets }, v, ng)
+        self.record(Op::SoftmaxCrossEntropy { logits, targets }, 1, 1, ng)
     }
 
     // ---- backward --------------------------------------------------------
@@ -347,225 +482,565 @@ impl Graph {
 
     /// Runs reverse-mode differentiation seeding `d(loss) = seed`.
     pub fn backward_seeded(&mut self, loss: Var, seed: f32) {
-        self.nodes[loss.0].grad = Some(Tensor::full(1, 1, seed));
-        for i in (0..=loss.0).rev() {
-            if !self.nodes[i].needs_grad {
-                continue;
-            }
-            let Some(out_grad) = self.nodes[i].grad.take() else { continue };
-            // Re-insert so callers can still read intermediate grads.
-            self.nodes[i].grad = Some(out_grad.clone());
-            let op = self.nodes[i].op.clone();
-            match op {
-                Op::Leaf { .. } => {}
-                Op::MatMul(a, b) => {
-                    if self.needs(a) {
-                        let g = out_grad.matmul_bt(self.value(b));
-                        self.accumulate(a, g);
-                    }
-                    if self.needs(b) {
-                        let g = self.value(a).matmul_at(&out_grad);
-                        self.accumulate(b, g);
-                    }
-                }
-                Op::MatMulBT(a, b) => {
-                    // c = a b^T  =>  da = dc * b ; db = dc^T * a
-                    if self.needs(a) {
-                        let g = out_grad.matmul(self.value(b));
-                        self.accumulate(a, g);
-                    }
-                    if self.needs(b) {
-                        let g = out_grad.matmul_at(self.value(a));
-                        self.accumulate(b, g);
-                    }
-                }
-                Op::Add(a, b) => {
-                    if self.needs(a) {
-                        self.accumulate(a, out_grad.clone());
-                    }
-                    if self.needs(b) {
-                        self.accumulate(b, out_grad.clone());
-                    }
-                }
-                Op::AddRow(a, row) => {
-                    if self.needs(a) {
-                        self.accumulate(a, out_grad.clone());
-                    }
-                    if self.needs(row) {
-                        self.accumulate(row, out_grad.sum_cols());
-                    }
-                }
-                Op::Sub(a, b) => {
-                    if self.needs(a) {
-                        self.accumulate(a, out_grad.clone());
-                    }
-                    if self.needs(b) {
-                        self.accumulate(b, out_grad.scale(-1.0));
-                    }
-                }
-                Op::Mul(a, b) => {
-                    if a == b {
-                        // square: d = 2 * a * dout
-                        let g = out_grad.mul(self.value(a)).scale(2.0);
-                        self.accumulate(a, g);
-                    } else {
-                        if self.needs(a) {
-                            let g = out_grad.mul(self.value(b));
-                            self.accumulate(a, g);
-                        }
-                        if self.needs(b) {
-                            let g = out_grad.mul(self.value(a));
-                            self.accumulate(b, g);
-                        }
-                    }
-                }
-                Op::MulCol(a, c) => {
-                    if self.needs(a) {
-                        let mut g = out_grad.clone();
-                        let cs = self.value(c).as_slice().to_vec();
-                        for (r, &s) in cs.iter().enumerate() {
-                            for x in g.row_slice_mut(r) {
-                                *x *= s;
-                            }
-                        }
-                        self.accumulate(a, g);
-                    }
-                    if self.needs(c) {
-                        let prod = out_grad.mul(self.value(a));
-                        self.accumulate(c, prod.sum_rows());
-                    }
-                }
-                Op::Scale(a, s) => {
-                    if self.needs(a) {
-                        self.accumulate(a, out_grad.scale(s));
-                    }
-                }
-                Op::AddScalar(a, _) => {
-                    if self.needs(a) {
-                        self.accumulate(a, out_grad.clone());
-                    }
-                }
-                Op::Tanh(a) => {
-                    if self.needs(a) {
-                        let y = &self.nodes[i].value;
-                        let g = out_grad.zip(y, |d, y| d * (1.0 - y * y));
-                        self.accumulate(a, g);
-                    }
-                }
-                Op::Sigmoid(a) => {
-                    if self.needs(a) {
-                        let y = &self.nodes[i].value;
-                        let g = out_grad.zip(y, |d, y| d * y * (1.0 - y));
-                        self.accumulate(a, g);
-                    }
-                }
-                Op::LeakyRelu(a, alpha) => {
-                    if self.needs(a) {
-                        let x = self.value(a);
-                        let g = out_grad.zip(x, |d, x| if x > 0.0 { d } else { alpha * d });
-                        self.accumulate(a, g);
-                    }
-                }
-                Op::Softmax(a) => {
-                    if self.needs(a) {
-                        let y = self.nodes[i].value.clone();
-                        let mut g = out_grad.mul(&y);
-                        let rowsum = g.sum_rows();
-                        for r in 0..g.rows() {
-                            let s = rowsum.get(r, 0);
-                            for (gx, yx) in g.row_slice_mut(r).iter_mut().zip(y.row_slice(r)) {
-                                *gx -= s * yx;
-                            }
-                        }
-                        self.accumulate(a, g);
-                    }
-                }
-                Op::Sqrt(a) => {
-                    if self.needs(a) {
-                        let y = &self.nodes[i].value;
-                        let g = out_grad.zip(y, |d, y| d * 0.5 / y.max(1e-12));
-                        self.accumulate(a, g);
-                    }
-                }
-                Op::SumAll(a) => {
-                    if self.needs(a) {
-                        let d = out_grad.get(0, 0);
-                        let (r, c) = self.value(a).shape();
-                        self.accumulate(a, Tensor::full(r, c, d));
-                    }
-                }
-                Op::MeanAll(a) => {
-                    if self.needs(a) {
-                        let (r, c) = self.value(a).shape();
-                        let d = out_grad.get(0, 0) / (r * c).max(1) as f32;
-                        self.accumulate(a, Tensor::full(r, c, d));
-                    }
-                }
-                Op::SumRows(a) => {
-                    if self.needs(a) {
-                        let (r, c) = self.value(a).shape();
-                        let mut g = Tensor::zeros(r, c);
-                        for rr in 0..r {
-                            let d = out_grad.get(rr, 0);
-                            for x in g.row_slice_mut(rr) {
-                                *x = d;
-                            }
-                        }
-                        self.accumulate(a, g);
-                    }
-                }
-                Op::ConcatCols(parts) => {
-                    let mut off = 0;
-                    for p in parts {
-                        let w = self.value(p).cols();
-                        if self.needs(p) {
-                            let g = out_grad.slice_cols(off, off + w);
-                            self.accumulate(p, g);
-                        }
-                        off += w;
-                    }
-                }
-                Op::SliceCols(a, start, end) => {
-                    if self.needs(a) {
-                        let (r, c) = self.value(a).shape();
-                        let mut g = Tensor::zeros(r, c);
-                        for rr in 0..r {
-                            g.row_slice_mut(rr)[start..end].copy_from_slice(out_grad.row_slice(rr));
-                        }
-                        self.accumulate(a, g);
-                    }
-                }
-                Op::SoftmaxCrossEntropy { logits, targets } => {
-                    if self.needs(logits) {
-                        let probs = softmax_rows(self.value(logits));
-                        let scale = out_grad.get(0, 0) / probs.rows().max(1) as f32;
-                        let g = probs.sub(&targets).scale(scale);
-                        self.accumulate(logits, g);
-                    }
-                }
-            }
-        }
-    }
-
-    fn accumulate(&mut self, v: Var, grad: Tensor) {
-        debug_assert_eq!(grad.shape(), self.nodes[v.0].value.shape());
-        match &mut self.nodes[v.0].grad {
-            Some(g) => g.add_assign(&grad),
-            slot @ None => *slot = Some(grad),
-        }
+        self.assert_live(loss);
+        backward_impl(&self.plan, &self.values, &mut self.grads, &mut self.ws, loss, seed);
     }
 
     /// Collects gradients of every parameter leaf into a [`GradMap`].
     pub fn param_grads(&self) -> GradMap {
-        let mut map = GradMap::with_capacity(0);
-        for node in &self.nodes {
+        collect_param_grads(&self.plan, &self.grads)
+    }
+
+    /// Flattens every node value followed by every node gradient into one
+    /// vector, in node order. Used by the determinism checker to compare two
+    /// executions bitwise.
+    pub(crate) fn flat_state(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for v in &self.values {
+            out.extend_from_slice(v.as_slice());
+        }
+        for gr in self.grads.iter().flatten() {
+            out.extend_from_slice(gr.as_slice());
+        }
+        out
+    }
+}
+
+/// Replays a recorded [`Plan`] on fresh leaf values without re-recording:
+/// the topology, shapes and buffers are fixed after recording, so repeated
+/// [`PlanExecutor::run`] calls perform zero tensor allocations.
+///
+/// Built via [`Graph::into_executor`]; the recorded forward values are kept,
+/// so the first results can be read without calling `run`.
+pub struct PlanExecutor {
+    plan: Plan,
+    values: Vec<Tensor>,
+    grads: Vec<Option<Tensor>>,
+    ws: Workspace,
+}
+
+impl PlanExecutor {
+    /// Overwrites the value of a leaf node (shape must match the recording).
+    ///
+    /// # Panics
+    /// Panics if `v` is not a leaf or the shape differs.
+    pub fn set_input(&mut self, v: Var, value: &Tensor) {
+        assert!(matches!(self.plan.nodes[v.0].op, Op::Leaf { .. }), "set_input expects a leaf node");
+        self.values[v.0].copy_from(value);
+    }
+
+    /// Reloads every parameter leaf from `store` (e.g. after an optimizer
+    /// step).
+    pub fn refresh_params(&mut self, store: &ParamStore) {
+        for (node, val) in self.plan.nodes.iter().zip(&mut self.values) {
             if let Op::Leaf { param: Some(id) } = node.op {
-                if let Some(g) = &node.grad {
-                    map.accumulate(id, g);
+                val.copy_from(store.get(id));
+            }
+        }
+    }
+
+    /// Recomputes every non-leaf value in place from the current leaf
+    /// values. Runs the exact kernels the eager recording ran, so the
+    /// results are bitwise identical to re-recording the graph.
+    pub fn run(&mut self) {
+        for slot in &mut self.grads {
+            if let Some(g) = slot.take() {
+                self.ws.reclaim(g);
+            }
+        }
+        for i in 0..self.plan.nodes.len() {
+            if matches!(self.plan.nodes[i].op, Op::Leaf { .. }) {
+                continue;
+            }
+            let (prior, rest) = self.values.split_at_mut(i);
+            let out = &mut rest[0];
+            out.as_mut_slice().fill(0.0);
+            eval_op_into(&self.plan.nodes[i].op, &self.plan.parts, prior, out, &mut self.ws);
+        }
+        self.ws.end_cycle();
+    }
+
+    /// The forward value of a node (from the last `run`, or the recording).
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.values[v.0]
+    }
+
+    /// Runs reverse-mode differentiation from the scalar node `loss`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward requires a scalar loss");
+        backward_impl(&self.plan, &self.values, &mut self.grads, &mut self.ws, loss, 1.0);
+    }
+
+    /// The accumulated gradient of a node (after [`PlanExecutor::backward`]).
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.grads[v.0].as_ref()
+    }
+
+    /// Collects gradients of every parameter leaf into a [`GradMap`].
+    pub fn param_grads(&self) -> GradMap {
+        collect_param_grads(&self.plan, &self.grads)
+    }
+}
+
+fn collect_param_grads(plan: &Plan, grads: &[Option<Tensor>]) -> GradMap {
+    let mut map = GradMap::with_capacity(0);
+    for (node, grad) in plan.nodes.iter().zip(grads) {
+        if let Op::Leaf { param: Some(id) } = node.op {
+            if let Some(g) = grad {
+                map.accumulate(id, g);
+            }
+        }
+    }
+    map
+}
+
+/// Worker count for an elementwise kernel over `len` elements: the
+/// workspace override when set, otherwise the size-based default.
+fn elem_threads(ws: &Workspace, len: usize) -> usize {
+    ws.override_or(if len >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 })
+}
+
+/// Worker count for a matmul-shaped kernel of `macs` multiply-accumulates.
+fn mac_threads(ws: &Workspace, macs: usize) -> usize {
+    ws.override_or(tensor::matmul_threads(macs))
+}
+
+/// Evaluates one non-leaf op into `out` (zero-filled, correctly shaped),
+/// reading operands from `values`. Shared by eager recording and plan
+/// replay, so both paths run identical kernels with identical threading.
+fn eval_op_into(op: &Op, parts: &[Var], values: &[Tensor], out: &mut Tensor, ws: &mut Workspace) {
+    match op {
+        Op::Leaf { .. } => unreachable!("leaves have no forward rule"),
+        Op::MatMul(a, b) => {
+            let (va, vb) = (&values[a.0], &values[b.0]);
+            let th = mac_threads(ws, va.rows() * va.cols() * vb.cols());
+            va.matmul_into(vb, out, th);
+        }
+        Op::MatMulBT(a, b) => {
+            let (va, vb) = (&values[a.0], &values[b.0]);
+            let th = mac_threads(ws, va.rows() * va.cols() * vb.rows());
+            va.matmul_bt_into(vb, out, th);
+        }
+        Op::Add(a, b) => {
+            let (va, vb) = (&values[a.0], &values[b.0]);
+            va.zip_into(vb, out, elem_threads(ws, va.len()), |x, y| x + y);
+        }
+        Op::AddRow(a, row) => {
+            let va = &values[a.0];
+            out.copy_from(va);
+            let rslice = values[row.0].as_slice();
+            let cols = out.cols().max(1);
+            let th = elem_threads(ws, out.len());
+            parallel::run_row_chunks(out.as_mut_slice(), cols, th, |_row0, chunk| {
+                for vrow in chunk.chunks_mut(cols) {
+                    for (x, rv) in vrow.iter_mut().zip(rslice) {
+                        *x += rv;
+                    }
+                }
+            });
+        }
+        Op::Sub(a, b) => {
+            let (va, vb) = (&values[a.0], &values[b.0]);
+            va.zip_into(vb, out, elem_threads(ws, va.len()), |x, y| x - y);
+        }
+        Op::Mul(a, b) => {
+            let (va, vb) = (&values[a.0], &values[b.0]);
+            va.zip_into(vb, out, elem_threads(ws, va.len()), |x, y| x * y);
+        }
+        Op::MulCol(a, c) => {
+            let va = &values[a.0];
+            out.copy_from(va);
+            let cs = values[c.0].as_slice();
+            let cols = out.cols().max(1);
+            let th = elem_threads(ws, out.len());
+            parallel::run_row_chunks(out.as_mut_slice(), cols, th, |row0, chunk| {
+                for (i, vrow) in chunk.chunks_mut(cols).enumerate() {
+                    let s = cs[row0 + i];
+                    for x in vrow {
+                        *x *= s;
+                    }
+                }
+            });
+        }
+        Op::Scale(a, s) => {
+            let va = &values[a.0];
+            let s = *s;
+            va.map_into(out, elem_threads(ws, va.len()), |x| x * s);
+        }
+        Op::AddScalar(a, s) => {
+            let va = &values[a.0];
+            let s = *s;
+            va.map_into(out, elem_threads(ws, va.len()), |x| x + s);
+        }
+        Op::Tanh(a) => {
+            let va = &values[a.0];
+            va.map_into(out, elem_threads(ws, va.len()), f32::tanh);
+        }
+        Op::Sigmoid(a) => {
+            let va = &values[a.0];
+            va.map_into(out, elem_threads(ws, va.len()), |x| 1.0 / (1.0 + (-x).exp()));
+        }
+        Op::LeakyRelu(a, alpha) => {
+            let va = &values[a.0];
+            let alpha = *alpha;
+            va.map_into(out, elem_threads(ws, va.len()), |x| if x > 0.0 { x } else { alpha * x });
+        }
+        Op::Softmax(a) => {
+            let va = &values[a.0];
+            softmax_rows_into(va, out, elem_threads(ws, va.len()));
+        }
+        Op::Sqrt(a) => {
+            let va = &values[a.0];
+            va.map_into(out, elem_threads(ws, va.len()), |x| x.max(0.0).sqrt());
+        }
+        Op::SumAll(a) => {
+            out.as_mut_slice()[0] = values[a.0].sum();
+        }
+        Op::MeanAll(a) => {
+            out.as_mut_slice()[0] = values[a.0].mean();
+        }
+        Op::SumRows(a) => {
+            values[a.0].sum_rows_into(out);
+        }
+        Op::ConcatCols { start, len } => {
+            let ps = &parts[*start..*start + *len];
+            for r in 0..out.rows() {
+                let orow = out.row_slice_mut(r);
+                let mut off = 0;
+                for &p in ps {
+                    let t = &values[p.0];
+                    orow[off..off + t.cols()].copy_from_slice(t.row_slice(r));
+                    off += t.cols();
                 }
             }
         }
-        map
+        Op::SliceCols(a, start, end) => {
+            values[a.0].slice_cols_into(*start, *end, out);
+        }
+        Op::SoftmaxCrossEntropy { logits, targets } => {
+            let vl = &values[logits.0];
+            let th = elem_threads(ws, vl.len());
+            let mut probs = ws.take_zeroed(vl.rows(), vl.cols());
+            softmax_rows_into(vl, &mut probs, th);
+            let mut loss = 0.0;
+            for r in 0..probs.rows() {
+                for (p, t) in probs.row_slice(r).iter().zip(targets.row_slice(r)) {
+                    if *t > 0.0 {
+                        loss -= t * p.max(1e-12).ln();
+                    }
+                }
+            }
+            loss /= probs.rows().max(1) as f32;
+            ws.reclaim(probs);
+            out.as_mut_slice()[0] = loss;
+        }
+    }
+}
+
+/// Accumulates an owned gradient into `grads[v]`, reclaiming the buffer
+/// when the slot already holds one.
+fn acc_owned(plan: &Plan, grads: &mut [Option<Tensor>], ws: &mut Workspace, v: Var, g: Tensor) {
+    debug_assert_eq!(g.shape(), plan.shape(v));
+    match &mut grads[v.0] {
+        Some(slot) => {
+            slot.add_assign(&g);
+            ws.reclaim(g);
+        }
+        slot @ None => *slot = Some(g),
+    }
+}
+
+/// Accumulates a borrowed gradient into `grads[v]`, copying into pooled
+/// storage only when the slot is empty.
+fn acc_copy(plan: &Plan, grads: &mut [Option<Tensor>], ws: &mut Workspace, v: Var, g: &Tensor) {
+    debug_assert_eq!(g.shape(), plan.shape(v));
+    match &mut grads[v.0] {
+        Some(slot) => slot.add_assign(g),
+        slot @ None => {
+            let mut t = ws.take_zeroed(g.rows(), g.cols());
+            t.copy_from(g);
+            *slot = Some(t);
+        }
+    }
+}
+
+/// Reverse-mode differentiation over a recorded plan. Free-standing so the
+/// plan, value storage, gradient storage and workspace can be borrowed
+/// disjointly — no op or gradient buffer is ever cloned.
+fn backward_impl(
+    plan: &Plan,
+    values: &[Tensor],
+    grads: &mut [Option<Tensor>],
+    ws: &mut Workspace,
+    loss: Var,
+    seed: f32,
+) {
+    if let Some(old) = grads[loss.0].take() {
+        ws.reclaim(old);
+    }
+    let mut s = ws.take_zeroed(1, 1);
+    s.as_mut_slice()[0] = seed;
+    grads[loss.0] = Some(s);
+
+    for i in (0..=loss.0).rev() {
+        if !plan.nodes[i].needs_grad {
+            continue;
+        }
+        let Some(out_grad) = grads[i].take() else { continue };
+        match &plan.nodes[i].op {
+            Op::Leaf { .. } => {}
+            Op::MatMul(a, b) => {
+                if plan.needs(*a) {
+                    let vb = &values[b.0];
+                    let th = mac_threads(ws, out_grad.rows() * out_grad.cols() * vb.rows());
+                    let mut g = ws.take_zeroed(out_grad.rows(), vb.rows());
+                    out_grad.matmul_bt_into(vb, &mut g, th);
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+                if plan.needs(*b) {
+                    let va = &values[a.0];
+                    let th = mac_threads(ws, va.rows() * va.cols() * out_grad.cols());
+                    let mut g = ws.take_zeroed(va.cols(), out_grad.cols());
+                    va.matmul_at_into(&out_grad, &mut g, th);
+                    acc_owned(plan, grads, ws, *b, g);
+                }
+            }
+            Op::MatMulBT(a, b) => {
+                // c = a b^T  =>  da = dc * b ; db = dc^T * a
+                if plan.needs(*a) {
+                    let vb = &values[b.0];
+                    let th = mac_threads(ws, out_grad.rows() * out_grad.cols() * vb.cols());
+                    let mut g = ws.take_zeroed(out_grad.rows(), vb.cols());
+                    out_grad.matmul_into(vb, &mut g, th);
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+                if plan.needs(*b) {
+                    let va = &values[a.0];
+                    let th = mac_threads(ws, out_grad.rows() * out_grad.cols() * va.cols());
+                    let mut g = ws.take_zeroed(out_grad.cols(), va.cols());
+                    out_grad.matmul_at_into(va, &mut g, th);
+                    acc_owned(plan, grads, ws, *b, g);
+                }
+            }
+            Op::Add(a, b) => {
+                if plan.needs(*a) {
+                    acc_copy(plan, grads, ws, *a, &out_grad);
+                }
+                if plan.needs(*b) {
+                    acc_copy(plan, grads, ws, *b, &out_grad);
+                }
+            }
+            Op::AddRow(a, row) => {
+                if plan.needs(*a) {
+                    acc_copy(plan, grads, ws, *a, &out_grad);
+                }
+                if plan.needs(*row) {
+                    let mut g = ws.take_zeroed(1, out_grad.cols());
+                    out_grad.sum_cols_into(&mut g);
+                    acc_owned(plan, grads, ws, *row, g);
+                }
+            }
+            Op::Sub(a, b) => {
+                if plan.needs(*a) {
+                    acc_copy(plan, grads, ws, *a, &out_grad);
+                }
+                if plan.needs(*b) {
+                    let s = -1.0_f32;
+                    let th = elem_threads(ws, out_grad.len());
+                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    out_grad.map_into(&mut g, th, |x| x * s);
+                    acc_owned(plan, grads, ws, *b, g);
+                }
+            }
+            Op::Mul(a, b) => {
+                if a == b {
+                    // square: d = 2 * a * dout
+                    let va = &values[a.0];
+                    let th = elem_threads(ws, out_grad.len());
+                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    out_grad.zip_into(va, &mut g, th, |d, y| (d * y) * 2.0);
+                    acc_owned(plan, grads, ws, *a, g);
+                } else {
+                    if plan.needs(*a) {
+                        let vb = &values[b.0];
+                        let th = elem_threads(ws, out_grad.len());
+                        let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                        out_grad.zip_into(vb, &mut g, th, |d, y| d * y);
+                        acc_owned(plan, grads, ws, *a, g);
+                    }
+                    if plan.needs(*b) {
+                        let va = &values[a.0];
+                        let th = elem_threads(ws, out_grad.len());
+                        let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                        out_grad.zip_into(va, &mut g, th, |d, y| d * y);
+                        acc_owned(plan, grads, ws, *b, g);
+                    }
+                }
+            }
+            Op::MulCol(a, c) => {
+                if plan.needs(*a) {
+                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    g.copy_from(&out_grad);
+                    let cs = values[c.0].as_slice();
+                    for (r, &s) in cs.iter().enumerate() {
+                        for x in g.row_slice_mut(r) {
+                            *x *= s;
+                        }
+                    }
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+                if plan.needs(*c) {
+                    let va = &values[a.0];
+                    let th = elem_threads(ws, out_grad.len());
+                    let mut prod = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    out_grad.zip_into(va, &mut prod, th, |d, y| d * y);
+                    let mut g = ws.take_zeroed(prod.rows(), 1);
+                    prod.sum_rows_into(&mut g);
+                    ws.reclaim(prod);
+                    acc_owned(plan, grads, ws, *c, g);
+                }
+            }
+            Op::Scale(a, s) => {
+                if plan.needs(*a) {
+                    let s = *s;
+                    let th = elem_threads(ws, out_grad.len());
+                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    out_grad.map_into(&mut g, th, |x| x * s);
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+            }
+            Op::AddScalar(a, _) => {
+                if plan.needs(*a) {
+                    acc_copy(plan, grads, ws, *a, &out_grad);
+                }
+            }
+            Op::Tanh(a) => {
+                if plan.needs(*a) {
+                    let y = &values[i];
+                    let th = elem_threads(ws, out_grad.len());
+                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    out_grad.zip_into(y, &mut g, th, |d, y| d * (1.0 - y * y));
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+            }
+            Op::Sigmoid(a) => {
+                if plan.needs(*a) {
+                    let y = &values[i];
+                    let th = elem_threads(ws, out_grad.len());
+                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    out_grad.zip_into(y, &mut g, th, |d, y| d * y * (1.0 - y));
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+            }
+            Op::LeakyRelu(a, alpha) => {
+                if plan.needs(*a) {
+                    let x = &values[a.0];
+                    let alpha = *alpha;
+                    let th = elem_threads(ws, out_grad.len());
+                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    out_grad.zip_into(x, &mut g, th, |d, x| if x > 0.0 { d } else { alpha * d });
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+            }
+            Op::Softmax(a) => {
+                if plan.needs(*a) {
+                    let y = &values[i];
+                    let th = elem_threads(ws, out_grad.len());
+                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    out_grad.zip_into(y, &mut g, th, |d, y| d * y);
+                    let mut rowsum = ws.take_zeroed(g.rows(), 1);
+                    g.sum_rows_into(&mut rowsum);
+                    for r in 0..g.rows() {
+                        let s = rowsum.get(r, 0);
+                        for (gx, yx) in g.row_slice_mut(r).iter_mut().zip(y.row_slice(r)) {
+                            *gx -= s * yx;
+                        }
+                    }
+                    ws.reclaim(rowsum);
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+            }
+            Op::Sqrt(a) => {
+                if plan.needs(*a) {
+                    let y = &values[i];
+                    let th = elem_threads(ws, out_grad.len());
+                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    out_grad.zip_into(y, &mut g, th, |d, y| d * 0.5 / y.max(1e-12));
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+            }
+            Op::SumAll(a) => {
+                if plan.needs(*a) {
+                    let d = out_grad.get(0, 0);
+                    let (r, c) = plan.shape(*a);
+                    let mut g = ws.take_zeroed(r, c);
+                    g.as_mut_slice().fill(d);
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+            }
+            Op::MeanAll(a) => {
+                if plan.needs(*a) {
+                    let (r, c) = plan.shape(*a);
+                    let d = out_grad.get(0, 0) / (r * c).max(1) as f32;
+                    let mut g = ws.take_zeroed(r, c);
+                    g.as_mut_slice().fill(d);
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+            }
+            Op::SumRows(a) => {
+                if plan.needs(*a) {
+                    let (r, c) = plan.shape(*a);
+                    let mut g = ws.take_zeroed(r, c);
+                    for rr in 0..r {
+                        let d = out_grad.get(rr, 0);
+                        for x in g.row_slice_mut(rr) {
+                            *x = d;
+                        }
+                    }
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+            }
+            Op::ConcatCols { start, len } => {
+                let mut off = 0;
+                for &p in &plan.parts[*start..*start + *len] {
+                    let w = plan.nodes[p.0].cols;
+                    if plan.needs(p) {
+                        let mut g = ws.take_zeroed(out_grad.rows(), w);
+                        out_grad.slice_cols_into(off, off + w, &mut g);
+                        acc_owned(plan, grads, ws, p, g);
+                    }
+                    off += w;
+                }
+            }
+            Op::SliceCols(a, start, end) => {
+                if plan.needs(*a) {
+                    let (r, c) = plan.shape(*a);
+                    let mut g = ws.take_zeroed(r, c);
+                    for rr in 0..r {
+                        g.row_slice_mut(rr)[*start..*end].copy_from_slice(out_grad.row_slice(rr));
+                    }
+                    acc_owned(plan, grads, ws, *a, g);
+                }
+            }
+            Op::SoftmaxCrossEntropy { logits, targets } => {
+                if plan.needs(*logits) {
+                    let vl = &values[logits.0];
+                    let th = elem_threads(ws, vl.len());
+                    let mut probs = ws.take_zeroed(vl.rows(), vl.cols());
+                    softmax_rows_into(vl, &mut probs, th);
+                    let scale = out_grad.get(0, 0) / probs.rows().max(1) as f32;
+                    let mut g = ws.take_zeroed(probs.rows(), probs.cols());
+                    probs.zip_into(targets, &mut g, th, |p, t| (p - t) * scale);
+                    ws.reclaim(probs);
+                    acc_owned(plan, grads, ws, *logits, g);
+                }
+            }
+        }
+        // Re-insert so callers can still read intermediate grads.
+        grads[i] = Some(out_grad);
     }
 }
 
@@ -574,9 +1049,19 @@ impl Graph {
 /// Rows are normalized independently (split across threads for large
 /// inputs), so the result is bitwise identical to a serial pass.
 pub fn softmax_rows(x: &Tensor) -> Tensor {
-    let mut out = x.clone();
+    let mut out = Tensor::zeros(x.rows(), x.cols());
+    let threads = if x.len() >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 };
+    softmax_rows_into(x, &mut out, threads);
+    out
+}
+
+/// [`softmax_rows`] into caller-provided storage with an explicit worker
+/// count (every element is overwritten). Same kernel, hence bitwise
+/// identical output.
+pub fn softmax_rows_into(x: &Tensor, out: &mut Tensor, threads: usize) {
+    assert_eq!(x.shape(), out.shape(), "softmax_rows_into output shape mismatch");
+    out.copy_from(x);
     let cols = out.cols().max(1);
-    let threads = if out.len() >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 };
     parallel::run_row_chunks(out.as_mut_slice(), cols, threads, |_row0, chunk| {
         for row in chunk.chunks_mut(cols) {
             let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -592,7 +1077,6 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
             }
         }
     });
-    out
 }
 
 #[cfg(test)]
@@ -830,5 +1314,121 @@ mod tests {
             sample_x(),
             1e-2,
         );
+    }
+
+    // ---- workspace / executor tests --------------------------------------
+
+    /// One representative computation exercising most ops.
+    fn demo_program(g: &mut Graph, x0: &Tensor, w0: &Tensor) -> (Var, Var) {
+        let x = g.input(x0.clone());
+        let w = g.constant(w0.clone());
+        let h = g.matmul(x, w);
+        let h = g.tanh(h);
+        let s = g.sum_rows(h);
+        let m = g.mul_col(h, s);
+        let c = g.concat_cols(&[h, m]);
+        let sq = g.square(c);
+        let loss = g.mean_all(sq);
+        (x, loss)
+    }
+
+    #[test]
+    fn pooled_reuse_is_bitwise_identical_to_fresh() {
+        let x0 = sample_x();
+        let w0 = Tensor::from_vec(3, 3, vec![0.2, -0.4, 0.9, 0.1, -0.3, 0.8, 0.5, 0.0, -0.6]);
+
+        // Fresh-allocation reference.
+        let mut fresh = Graph::with_workspace(Workspace::unpooled());
+        let (fx, floss) = demo_program(&mut fresh, &x0, &w0);
+        fresh.backward(floss);
+        let ref_loss = fresh.value(floss).clone();
+        let ref_grad = fresh.grad(fx).unwrap().clone();
+
+        // Three consecutive pooled cycles through one workspace.
+        let mut ws = Workspace::new();
+        for cycle in 0..3 {
+            let mut g = Graph::with_workspace(ws);
+            let (x, loss) = demo_program(&mut g, &x0, &w0);
+            g.backward(loss);
+            assert_eq!(g.value(loss), &ref_loss, "loss diverged in cycle {cycle}");
+            assert_eq!(g.grad(x).unwrap(), &ref_grad, "grad diverged in cycle {cycle}");
+            ws = g.finish();
+        }
+        assert!(ws.stats().hits > 0, "pool was never hit across reuse cycles");
+    }
+
+    #[test]
+    fn finish_records_node_count_as_capacity_hint() {
+        let mut g = Graph::with_workspace(Workspace::new());
+        let a = g.constant(Tensor::ones(2, 2));
+        let b = g.tanh(a);
+        let _ = g.sum_all(b);
+        let n = g.len();
+        let ws = g.finish();
+        assert_eq!(ws.node_hint(), n);
+    }
+
+    #[test]
+    fn take_value_moves_the_tensor_out() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::full(2, 2, 3.0));
+        let b = g.scale(a, 2.0);
+        let t = g.take_value(b);
+        assert_eq!(t.as_slice(), &[6.0; 4]);
+        // Other nodes stay readable.
+        assert_eq!(g.value(a).as_slice(), &[3.0; 4]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "after its value was taken")]
+    fn reading_a_consumed_node_panics_in_debug() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::ones(1, 1));
+        let _ = g.take_value(a);
+        let _ = g.value(a);
+    }
+
+    #[test]
+    fn executor_replays_bitwise_identically() {
+        let x0 = sample_x();
+        let w0 = Tensor::from_vec(3, 3, vec![0.2, -0.4, 0.9, 0.1, -0.3, 0.8, 0.5, 0.0, -0.6]);
+        let x1 = Tensor::from_vec(2, 3, vec![-0.9, 0.4, 0.0, 1.3, 0.2, -0.5]);
+
+        let mut g = Graph::new();
+        let (x, loss) = demo_program(&mut g, &x0, &w0);
+        let mut exec = g.into_executor();
+
+        // Replaying with new inputs matches a fresh recording bitwise.
+        exec.set_input(x, &x1);
+        exec.run();
+        exec.backward(loss);
+        let mut g2 = Graph::new();
+        let (x2, loss2) = demo_program(&mut g2, &x1, &w0);
+        g2.backward(loss2);
+        assert_eq!(exec.value(loss), g2.value(loss2));
+        assert_eq!(exec.grad(x).unwrap(), g2.grad(x2).unwrap());
+
+        // And replaying the original inputs again reproduces the original.
+        exec.set_input(x, &x0);
+        exec.run();
+        let mut g3 = Graph::new();
+        let (_, loss3) = demo_program(&mut g3, &x0, &w0);
+        assert_eq!(exec.value(loss), g3.value(loss3));
+    }
+
+    #[test]
+    fn executor_refresh_params_reloads_from_store() {
+        let mut store = ParamStore::new();
+        let wid = store.add("w", Tensor::full(1, 2, 2.0));
+        let mut g = Graph::new();
+        let w = g.param(&store, wid);
+        let s = g.sum_all(w);
+        let mut exec = g.into_executor();
+        assert_eq!(exec.value(s).get(0, 0), 4.0);
+        store.get_mut(wid).as_mut_slice().fill(5.0);
+        exec.refresh_params(&store);
+        exec.run();
+        assert_eq!(exec.value(s).get(0, 0), 10.0);
     }
 }

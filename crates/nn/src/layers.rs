@@ -93,8 +93,8 @@ impl Linear {
     /// weights. Used when updating a generator through a frozen critic and at
     /// inference time.
     pub fn forward_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
-        let w = g.constant(store.get(self.w).clone());
-        let b = g.constant(store.get(self.b).clone());
+        let w = g.constant_copied(store.get(self.w));
+        let b = g.constant_copied(store.get(self.b));
         let xw = g.matmul(x, w);
         g.add_row(xw, b)
     }
@@ -264,10 +264,7 @@ impl LstmCell {
 
     /// Creates the all-zero initial state for a batch of `batch` sequences.
     pub fn zero_state(&self, g: &mut Graph, batch: usize) -> LstmState {
-        LstmState {
-            h: g.constant(Tensor::zeros(batch, self.hidden)),
-            c: g.constant(Tensor::zeros(batch, self.hidden)),
-        }
+        LstmState { h: g.constant_zeros(batch, self.hidden), c: g.constant_zeros(batch, self.hidden) }
     }
 
     /// Records one recurrence step, returning the next state.
@@ -279,8 +276,8 @@ impl LstmCell {
 
     /// Records one recurrence step with frozen parameters (inference).
     pub fn step_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var, state: LstmState) -> LstmState {
-        let w = g.constant(store.get(self.w).clone());
-        let b = g.constant(store.get(self.b).clone());
+        let w = g.constant_copied(store.get(self.w));
+        let b = g.constant_copied(store.get(self.b));
         self.step_with(g, w, b, x, state)
     }
 

@@ -8,8 +8,11 @@
 //! * [`tensor::Tensor`] — dense row-major `f32` matrices whose matmul and
 //!   elementwise kernels split rows across threads via [`parallel`] with a
 //!   fixed chunking scheme (parallel output is bitwise identical to serial);
-//! * [`graph::Graph`] — a single-use reverse-mode autodiff tape with the op
-//!   set needed by MLPs, LSTMs and Wasserstein losses;
+//! * [`graph::Graph`] — an eager reverse-mode autodiff tape with the op set
+//!   needed by MLPs, LSTMs and Wasserstein losses. Under the hood it records
+//!   a [`graph::Plan`] (op topology + shapes) whose buffers come from a
+//!   reusable [`workspace::Workspace`] pool, so per-step tapes can run
+//!   without re-allocating (see [`graph::PlanExecutor`]);
 //! * [`layers`] / [`optim`] — Linear/MLP/LSTM layers over a serializable
 //!   [`params::ParamStore`], plus SGD and Adam.
 //!
@@ -59,14 +62,16 @@ pub mod parallel;
 pub mod params;
 pub mod penalty;
 pub mod tensor;
+pub mod workspace;
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
-    pub use crate::graph::{Graph, Var};
+    pub use crate::graph::{Graph, PlanExecutor, Var};
     pub use crate::layers::{Activation, Linear, LstmCell, LstmState, Mlp};
     pub use crate::optim::{Adam, Sgd};
     pub use crate::parallel::num_threads;
     pub use crate::params::{GradMap, ParamId, ParamStore};
     pub use crate::penalty::{gradient_penalty, input_gradient};
     pub use crate::tensor::Tensor;
+    pub use crate::workspace::Workspace;
 }

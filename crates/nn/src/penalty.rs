@@ -91,11 +91,13 @@ pub fn input_gradient(
     assert_eq!(masks.len() + 1, critic.layers.len(), "one mask per hidden layer expected");
     let last = critic.layers.len() - 1;
     // Seed: d out / d out = 1 for each sample, then pull back through W_out.
-    let ones = g.constant(Tensor::ones(batch, 1));
+    let mut ones = g.take_scratch(batch, 1);
+    ones.as_mut_slice().fill(1.0);
+    let ones = g.constant(ones);
     let w_out = g.param(store, critic.layers[last].w);
     let mut u = g.matmul_bt(ones, w_out);
     for i in (0..last).rev() {
-        let mask = g.constant(masks[i].clone());
+        let mask = g.constant_copied(&masks[i]);
         u = g.mul(u, mask);
         let w = g.param(store, critic.layers[i].w);
         u = g.matmul_bt(u, w);
@@ -124,7 +126,8 @@ pub fn gradient_penalty<R: Rng + ?Sized>(
     // RNG order) before the row fill fans out, so the interpolates — and
     // everything downstream — are bitwise identical for any thread count.
     let ts: Vec<f32> = (0..batch).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let mut xhat = Tensor::zeros(batch, cols);
+    // The interpolate buffer comes from (and returns to) the graph's pool.
+    let mut xhat = g.take_scratch(batch, cols);
     let threads =
         if batch * cols >= crate::parallel::PARALLEL_ELEMS { crate::parallel::num_threads() } else { 1 };
     crate::parallel::run_row_chunks(xhat.as_mut_slice(), cols.max(1), threads, |row0, chunk| {
@@ -136,7 +139,8 @@ pub fn gradient_penalty<R: Rng + ?Sized>(
             }
         }
     });
-    let (_, masks) = critic.forward_plain(store, &xhat);
+    let xhat = g.constant(xhat);
+    let (_, masks) = critic.forward_plain(store, g.value(xhat));
     let grad = input_gradient(g, store, critic, &masks, batch);
     let sq = g.square(grad);
     let ssum = g.sum_rows(sq);

@@ -34,7 +34,7 @@ const PARALLEL_MACS: usize = 1 << 20;
 
 /// Picks the worker count for a matmul-shaped workload: serial below the
 /// work threshold, the process-wide default above it.
-fn matmul_threads(macs: usize) -> usize {
+pub(crate) fn matmul_threads(macs: usize) -> usize {
     if macs >= PARALLEL_MACS {
         parallel::num_threads()
     } else {
@@ -82,6 +82,16 @@ impl Tensor {
         let normal = Normal::new(0.0_f32, std.max(f32::MIN_POSITIVE)).expect("std must be finite");
         let data = (0..rows * cols).map(|_| normal.sample(rng)).collect();
         Tensor { rows, cols, data }
+    }
+
+    /// Overwrites every entry with an i.i.d. sample from `N(0, std^2)`,
+    /// consuming the RNG in the same element order as [`Tensor::randn`] (the
+    /// two are bitwise interchangeable given equal RNG state).
+    pub fn fill_randn<R: Rng + ?Sized>(&mut self, std: f32, rng: &mut R) {
+        let normal = Normal::new(0.0_f32, std.max(f32::MIN_POSITIVE)).expect("std must be finite");
+        for x in &mut self.data {
+            *x = normal.sample(rng);
+        }
     }
 
     /// Samples every entry i.i.d. from `Uniform(lo, hi)`.
@@ -171,6 +181,17 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let threads = if self.data.len() >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 };
         let mut out = Tensor::zeros(self.rows, self.cols);
+        self.map_into(&mut out, threads, f);
+        out
+    }
+
+    /// [`Tensor::map`] into caller-provided storage with an explicit worker
+    /// count. Same kernel as `map`, hence bitwise identical output.
+    ///
+    /// # Panics
+    /// Panics if `out` has a different shape.
+    pub fn map_into(&self, out: &mut Tensor, threads: usize, f: impl Fn(f32) -> f32 + Sync) {
+        assert_eq!(self.shape(), out.shape(), "map_into requires matching shapes");
         let src = &self.data;
         parallel::run_row_chunks(&mut out.data, 1, threads, |e0, chunk| {
             let end = e0 + chunk.len();
@@ -178,7 +199,6 @@ impl Tensor {
                 *o = f(x);
             }
         });
-        out
     }
 
     /// Applies `f` to every element in place.
@@ -197,9 +217,26 @@ impl Tensor {
     /// # Panics
     /// Panics if the shapes differ.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
-        assert_eq!(self.shape(), other.shape(), "zip requires matching shapes");
         let threads = if self.data.len() >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 };
         let mut out = Tensor::zeros(self.rows, self.cols);
+        self.zip_into(other, &mut out, threads, f);
+        out
+    }
+
+    /// [`Tensor::zip`] into caller-provided storage with an explicit worker
+    /// count. Same kernel as `zip`, hence bitwise identical output.
+    ///
+    /// # Panics
+    /// Panics if the three shapes differ.
+    pub fn zip_into(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        threads: usize,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) {
+        assert_eq!(self.shape(), other.shape(), "zip requires matching shapes");
+        assert_eq!(self.shape(), out.shape(), "zip_into requires a matching output shape");
         let (sa, sb) = (&self.data, &other.data);
         parallel::run_row_chunks(&mut out.data, 1, threads, |e0, chunk| {
             let end = e0 + chunk.len();
@@ -207,7 +244,12 @@ impl Tensor {
                 *o = f(a, b);
             }
         });
-        out
+    }
+
+    /// Overwrites `self` with the contents of a same-shaped tensor.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "copy_from requires matching shapes");
+        self.data.copy_from_slice(&other.data);
     }
 
     /// `self += other` elementwise.
@@ -273,18 +315,29 @@ impl Tensor {
     /// reference). The result is bitwise identical for every `threads`
     /// value; exposed for determinism tests and benchmarks.
     pub fn matmul_threaded(&self, other: &Tensor, threads: usize) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out, threads);
+        out
+    }
+
+    /// [`Tensor::matmul`] into caller-provided **zero-filled** storage with
+    /// an explicit worker count. Uses the same row kernel as `matmul`, hence
+    /// bitwise identical output.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension or output-shape mismatch.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor, threads: usize) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor::zeros(m, n);
+        let (k, n) = (self.cols, other.cols);
+        assert_eq!(out.shape(), (self.rows, n), "matmul_into output shape mismatch");
         let (a, b) = (&self.data, &other.data);
         parallel::run_row_chunks(&mut out.data, n, threads, |row0, chunk| {
             matmul_rows(a, b, chunk, row0, k, n);
         });
-        out
     }
 
     /// `self * other^T` without materializing the transpose.
@@ -298,18 +351,29 @@ impl Tensor {
     /// [`Tensor::matmul_bt`] with an explicit worker count (`1` = serial
     /// reference). Bitwise identical for every `threads` value.
     pub fn matmul_bt_threaded(&self, other: &Tensor, threads: usize) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_bt_into(other, &mut out, threads);
+        out
+    }
+
+    /// [`Tensor::matmul_bt`] into caller-provided storage with an explicit
+    /// worker count (every output element is overwritten). Same kernel as
+    /// `matmul_bt`, hence bitwise identical output.
+    ///
+    /// # Panics
+    /// Panics on a dimension or output-shape mismatch.
+    pub fn matmul_bt_into(&self, other: &Tensor, out: &mut Tensor, threads: usize) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_bt dimension mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Tensor::zeros(m, n);
+        let (k, n) = (self.cols, other.rows);
+        assert_eq!(out.shape(), (self.rows, n), "matmul_bt_into output shape mismatch");
         let (a, b) = (&self.data, &other.data);
         parallel::run_row_chunks(&mut out.data, n, threads, |row0, chunk| {
             matmul_bt_rows(a, b, chunk, row0, k, n);
         });
-        out
     }
 
     /// `self^T * other` without materializing the transpose.
@@ -325,18 +389,29 @@ impl Tensor {
     /// [`Tensor::matmul_at`] with an explicit worker count (`1` = serial
     /// reference). Bitwise identical for every `threads` value.
     pub fn matmul_at_threaded(&self, other: &Tensor, threads: usize) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        self.matmul_at_into(other, &mut out, threads);
+        out
+    }
+
+    /// [`Tensor::matmul_at`] into caller-provided **zero-filled** storage
+    /// with an explicit worker count. Same kernel as `matmul_at`, hence
+    /// bitwise identical output.
+    ///
+    /// # Panics
+    /// Panics on a dimension or output-shape mismatch.
+    pub fn matmul_at_into(&self, other: &Tensor, out: &mut Tensor, threads: usize) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_at dimension mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
-        let mut out = Tensor::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "matmul_at_into output shape mismatch");
         let (a, b) = (&self.data, &other.data);
         parallel::run_row_chunks(&mut out.data, n, threads, |row0, chunk| {
             matmul_at_rows(a, b, chunk, row0, m, k, n);
         });
-        out
     }
 
     /// Sum of all elements.
@@ -356,21 +431,35 @@ impl Tensor {
     /// Per-row sums as an `rows x 1` column.
     pub fn sum_rows(&self) -> Tensor {
         let mut out = Tensor::zeros(self.rows, 1);
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::sum_rows`] into caller-provided `rows x 1` storage (every
+    /// element is overwritten).
+    pub fn sum_rows_into(&self, out: &mut Tensor) {
+        assert_eq!(out.shape(), (self.rows, 1), "sum_rows_into output shape mismatch");
         for r in 0..self.rows {
             out.data[r] = self.row_slice(r).iter().sum();
         }
-        out
     }
 
     /// Per-column sums as a `1 x cols` row.
     pub fn sum_cols(&self) -> Tensor {
         let mut out = Tensor::zeros(1, self.cols);
+        self.sum_cols_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::sum_cols`] into caller-provided **zero-filled** `1 x cols`
+    /// storage (sums accumulate in ascending row order, as in `sum_cols`).
+    pub fn sum_cols_into(&self, out: &mut Tensor) {
+        assert_eq!(out.shape(), (1, self.cols), "sum_cols_into output shape mismatch");
         for r in 0..self.rows {
             for (o, &v) in out.data.iter_mut().zip(self.row_slice(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Horizontally concatenates tensors with equal row counts.
@@ -380,9 +469,20 @@ impl Tensor {
     pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
         assert!(!parts.is_empty(), "concat_cols needs at least one tensor");
         let rows = parts[0].rows;
-        assert!(parts.iter().all(|p| p.rows == rows), "concat_cols requires equal row counts");
         let cols: usize = parts.iter().map(|p| p.cols).sum();
         let mut out = Tensor::zeros(rows, cols);
+        Tensor::concat_cols_into(parts, &mut out);
+        out
+    }
+
+    /// [`Tensor::concat_cols`] into caller-provided storage (every element
+    /// is overwritten).
+    pub fn concat_cols_into(parts: &[&Tensor], out: &mut Tensor) {
+        assert!(!parts.is_empty(), "concat_cols needs at least one tensor");
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "concat_cols requires equal row counts");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        assert_eq!(out.shape(), (rows, cols), "concat_cols_into output shape mismatch");
         for r in 0..rows {
             let orow = out.row_slice_mut(r);
             let mut off = 0;
@@ -391,7 +491,6 @@ impl Tensor {
                 off += p.cols;
             }
         }
-        out
     }
 
     /// Vertically concatenates tensors with equal column counts.
@@ -409,12 +508,19 @@ impl Tensor {
 
     /// Copies columns `[start, end)` into a new tensor.
     pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, end.saturating_sub(start));
+        self.slice_cols_into(start, end, &mut out);
+        out
+    }
+
+    /// [`Tensor::slice_cols`] into caller-provided storage (every element is
+    /// overwritten).
+    pub fn slice_cols_into(&self, start: usize, end: usize, out: &mut Tensor) {
         assert!(start <= end && end <= self.cols, "slice_cols out of range");
-        let mut out = Tensor::zeros(self.rows, end - start);
+        assert_eq!(out.shape(), (self.rows, end - start), "slice_cols_into output shape mismatch");
         for r in 0..self.rows {
             out.row_slice_mut(r).copy_from_slice(&self.row_slice(r)[start..end]);
         }
-        out
     }
 
     /// Copies rows `[start, end)` into a new tensor.

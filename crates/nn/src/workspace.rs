@@ -1,0 +1,270 @@
+//! Shape-keyed buffer pool backing reusable computation graphs.
+//!
+//! Training step shapes are static across a run (fixed batch size, fixed
+//! unroll length), so the tensors a [`Graph`](crate::graph::Graph) allocates
+//! in step `t + 1` are shape-for-shape the tensors it freed at the end of
+//! step `t`. A [`Workspace`] exploits that: it keeps the backing `Vec<f32>`
+//! buffers of finished graphs in a pool keyed by `(rows, cols)` and hands
+//! them back out — zero-filled, so a pooled buffer is indistinguishable from
+//! a fresh `Tensor::zeros` — instead of hitting the allocator again.
+//!
+//! Determinism: pooling only changes *where* the bytes live, never their
+//! initial contents (always zero) nor any arithmetic, so pooled execution is
+//! bitwise identical to fresh allocation for any thread count (see
+//! [`crate::gradcheck::check_workspace_determinism`]).
+//!
+//! The pool is trimmed at every cycle boundary ([`Workspace::end_cycle`],
+//! called by `Graph::finish`) to the high-water mark of buffers actually
+//! taken per cycle, so tensors adopted from outside (e.g. a fresh data batch
+//! passed to `Graph::constant`) cannot grow the pool without bound.
+
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Cumulative counters describing how a [`Workspace`] has been used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Buffer requests served from the pool (no heap allocation).
+    pub hits: u64,
+    /// Buffer requests that fell through to the allocator.
+    pub misses: u64,
+    /// Buffers returned to the pool.
+    pub reclaimed: u64,
+    /// Buffers dropped by cycle-boundary trimming.
+    pub dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct ShapePool {
+    free: Vec<Vec<f32>>,
+    taken_in_cycle: usize,
+    peak_taken: usize,
+}
+
+/// A reusable, shape-keyed pool of tensor storage plus per-graph execution
+/// hints (node-count capacity, optional thread override).
+///
+/// The intended lifecycle is a hand-off loop — the workspace survives the
+/// graphs it feeds:
+///
+/// ```
+/// use dg_nn::graph::Graph;
+/// use dg_nn::tensor::Tensor;
+/// use dg_nn::workspace::Workspace;
+///
+/// let mut ws = Workspace::new();
+/// for _step in 0..3 {
+///     let mut g = Graph::with_workspace(ws);
+///     let x = g.constant(Tensor::ones(4, 4));
+///     let y = g.tanh(x);
+///     let _ = g.value(y);
+///     ws = g.finish(); // buffers return to the pool for the next step
+/// }
+/// assert!(ws.stats().hits > 0);
+/// ```
+///
+/// In the DP-SGD fan-out each worker thread owns its own workspace
+/// (pre-split like the RNG seeds), so no locking is needed and the
+/// serial/parallel bitwise-equality guarantee of DESIGN.md §9 is preserved.
+#[derive(Debug)]
+pub struct Workspace {
+    pool: HashMap<(usize, usize), ShapePool>,
+    pooling: bool,
+    node_hint: usize,
+    thread_override: Option<usize>,
+    stats: WorkspaceStats,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace::new()
+    }
+}
+
+impl Workspace {
+    /// Creates a workspace with buffer pooling enabled.
+    pub fn new() -> Self {
+        Workspace {
+            pool: HashMap::new(),
+            pooling: true,
+            node_hint: 0,
+            thread_override: None,
+            stats: WorkspaceStats::default(),
+        }
+    }
+
+    /// Creates a workspace that never pools: every request allocates and
+    /// every reclaim drops. This is the fresh-allocation reference used by
+    /// determinism checks and allocation benchmarks.
+    pub fn unpooled() -> Self {
+        Workspace { pooling: false, ..Workspace::new() }
+    }
+
+    /// True when buffer pooling is enabled.
+    pub fn pooling_enabled(&self) -> bool {
+        self.pooling
+    }
+
+    /// Forces every graph op recorded against this workspace to use exactly
+    /// `threads` workers, overriding the size-based heuristics. Exposed for
+    /// determinism tests that drive small graphs through many thread counts.
+    pub fn with_thread_override(mut self, threads: usize) -> Self {
+        self.thread_override = Some(threads.max(1));
+        self
+    }
+
+    /// Current thread override, if any.
+    pub fn thread_override(&self) -> Option<usize> {
+        self.thread_override
+    }
+
+    /// The thread override when set, `default` otherwise.
+    pub(crate) fn override_or(&self, default: usize) -> usize {
+        self.thread_override.unwrap_or(default)
+    }
+
+    /// Node-count capacity hint for the next graph (the node count of the
+    /// last finished graph — exact for static step shapes).
+    pub fn node_hint(&self) -> usize {
+        self.node_hint
+    }
+
+    /// Records the node count of a finished graph as the capacity hint for
+    /// the next one.
+    pub fn set_node_hint(&mut self, nodes: usize) {
+        self.node_hint = nodes;
+    }
+
+    /// Hands out a zero-filled `rows x cols` tensor, reusing pooled storage
+    /// when a buffer of that exact shape is free.
+    pub fn take_zeroed(&mut self, rows: usize, cols: usize) -> Tensor {
+        let len = rows * cols;
+        if !self.pooling || len == 0 {
+            if len > 0 {
+                self.stats.misses += 1;
+            }
+            return Tensor::zeros(rows, cols);
+        }
+        let entry = self.pool.entry((rows, cols)).or_default();
+        entry.taken_in_cycle += 1;
+        match entry.free.pop() {
+            Some(mut buf) => {
+                self.stats.hits += 1;
+                buf.fill(0.0);
+                Tensor::from_vec(rows, cols, buf)
+            }
+            None => {
+                self.stats.misses += 1;
+                Tensor::zeros(rows, cols)
+            }
+        }
+    }
+
+    /// Returns a tensor's storage to the pool (drops it when pooling is
+    /// disabled or the tensor is empty).
+    pub fn reclaim(&mut self, t: Tensor) {
+        if !self.pooling || t.is_empty() {
+            return;
+        }
+        let (rows, cols) = t.shape();
+        self.stats.reclaimed += 1;
+        self.pool.entry((rows, cols)).or_default().free.push(t.into_vec());
+    }
+
+    /// Marks a cycle boundary (one graph record/backward/finish round trip):
+    /// updates each shape's take high-water mark and trims its free list to
+    /// that mark, so adopted external buffers cannot grow the pool without
+    /// bound.
+    pub fn end_cycle(&mut self) {
+        for p in self.pool.values_mut() {
+            p.peak_taken = p.peak_taken.max(p.taken_in_cycle);
+            if p.free.len() > p.peak_taken {
+                self.stats.dropped += (p.free.len() - p.peak_taken) as u64;
+                p.free.truncate(p.peak_taken);
+            }
+            p.taken_in_cycle = 0;
+        }
+    }
+
+    /// Cumulative usage counters.
+    pub fn stats(&self) -> WorkspaceStats {
+        self.stats
+    }
+
+    /// Total number of buffers currently held in the pool.
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.values().map(|p| p.free.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroed_matches_fresh_zeros() {
+        let mut ws = Workspace::new();
+        let mut t = ws.take_zeroed(2, 3);
+        t.as_mut_slice().fill(7.0);
+        ws.reclaim(t);
+        let t2 = ws.take_zeroed(2, 3);
+        assert_eq!(t2, Tensor::zeros(2, 3), "pooled buffer must come back zeroed");
+        assert_eq!(ws.stats().hits, 1);
+        assert_eq!(ws.stats().misses, 1);
+    }
+
+    #[test]
+    fn unpooled_never_reuses() {
+        let mut ws = Workspace::unpooled();
+        let t = ws.take_zeroed(2, 2);
+        ws.reclaim(t);
+        let _ = ws.take_zeroed(2, 2);
+        assert_eq!(ws.stats().hits, 0);
+        assert_eq!(ws.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn empty_tensors_bypass_the_pool() {
+        let mut ws = Workspace::new();
+        let t = ws.take_zeroed(4, 0);
+        assert_eq!(t.shape(), (4, 0));
+        ws.reclaim(t);
+        assert_eq!(ws.pooled_buffers(), 0);
+        assert_eq!(ws.stats().misses, 0);
+    }
+
+    #[test]
+    fn end_cycle_trims_to_peak_taken() {
+        let mut ws = Workspace::new();
+        // Cycle 1: take 2 buffers of one shape, give back 5 (3 adopted).
+        let a = ws.take_zeroed(1, 4);
+        let b = ws.take_zeroed(1, 4);
+        ws.reclaim(a);
+        ws.reclaim(b);
+        ws.reclaim(Tensor::zeros(1, 4));
+        ws.reclaim(Tensor::zeros(1, 4));
+        ws.reclaim(Tensor::zeros(1, 4));
+        assert_eq!(ws.pooled_buffers(), 5);
+        ws.end_cycle();
+        assert_eq!(ws.pooled_buffers(), 2, "trimmed to the 2-buffer high-water mark");
+        assert_eq!(ws.stats().dropped, 3);
+        // Cycle 2: both requests hit the pool.
+        let hits_before = ws.stats().hits;
+        let a = ws.take_zeroed(1, 4);
+        let b = ws.take_zeroed(1, 4);
+        assert_eq!(ws.stats().hits - hits_before, 2);
+        ws.reclaim(a);
+        ws.reclaim(b);
+        ws.end_cycle();
+        assert_eq!(ws.pooled_buffers(), 2);
+    }
+
+    #[test]
+    fn thread_override_is_reported() {
+        let ws = Workspace::new().with_thread_override(5);
+        assert_eq!(ws.thread_override(), Some(5));
+        assert_eq!(ws.override_or(1), 5);
+        let ws = Workspace::new();
+        assert_eq!(ws.override_or(3), 3);
+    }
+}

@@ -2,7 +2,7 @@
 //! checked against finite differences on random inputs, and algebraic
 //! tensor identities are verified.
 
-use dg_nn::gradcheck::check_input_gradient;
+use dg_nn::gradcheck::{check_input_gradient, check_workspace_determinism};
 use dg_nn::graph::{Graph, Var};
 use dg_nn::tensor::Tensor;
 use proptest::prelude::*;
@@ -117,6 +117,45 @@ proptest! {
             prop_assert!((sum - 1.0).abs() < 1e-4);
             prop_assert!(out.row_slice(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
+    }
+
+    #[test]
+    fn pooled_workspace_execution_is_bitwise_identical_to_fresh(
+        x0 in arb_tensor(3, 4),
+        w0 in arb_tensor(4, 4),
+        ops in prop::collection::vec(0usize..7, 1..8),
+    ) {
+        // A random width-preserving op sequence starting from 3x4 inputs,
+        // closed by square + mean_all into a scalar loss. Replayed out of a
+        // reused pooled workspace for 3 consecutive cycles at worker counts
+        // 1-16, every node value and gradient must be bitwise identical to a
+        // fresh-allocation (unpooled) execution.
+        let program = move |g: &mut Graph| -> Var {
+            let mut h = g.input(x0.clone());
+            let w = g.constant(w0.clone());
+            for &op in &ops {
+                h = match op {
+                    0 => g.tanh(h),
+                    1 => g.sigmoid(h),
+                    2 => g.leaky_relu(h, 0.2),
+                    3 => g.softmax(h),
+                    4 => g.matmul(h, w),
+                    5 => {
+                        let s = g.sum_rows(h);
+                        g.mul_col(h, s)
+                    }
+                    _ => {
+                        let a = g.slice_cols(h, 0, 2);
+                        let b = g.slice_cols(h, 2, 4);
+                        g.concat_cols(&[a, b])
+                    }
+                };
+            }
+            let sq = g.square(h);
+            g.mean_all(sq)
+        };
+        let err = check_workspace_determinism(program, 3, &[1, 2, 3, 4, 7, 11, 16]);
+        prop_assert!(err.is_none(), "{}", err.unwrap());
     }
 
     #[test]
