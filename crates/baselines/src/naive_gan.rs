@@ -15,12 +15,16 @@ use dg_data::{BatchIter, Dataset, EncodedDataset, Encoder, EncoderConfig, Range,
 use dg_nn::graph::Graph;
 use dg_nn::layers::{Activation, Mlp};
 use dg_nn::optim::Adam;
+use dg_nn::parallel::num_threads;
 use dg_nn::params::ParamStore;
 use dg_nn::penalty::gradient_penalty;
 use dg_nn::tensor::Tensor;
 use dg_nn::workspace::Workspace;
 use doppelganger::layout::OutputLayout;
+use doppelganger::telemetry::{DivergencePolicy, RunHeader, RunOutcome, TrainError, TrainMonitor};
+use doppelganger::trainer::StepMetrics;
 use rand::Rng;
+use std::time::Instant;
 
 /// Naive GAN hyper-parameters.
 #[derive(Debug, Clone)]
@@ -144,17 +148,45 @@ impl NaiveGanModel {
 
     /// Runs `config.train_steps` WGAN-GP iterations on encoded data.
     pub fn train<R: Rng + ?Sized>(&mut self, encoded: &EncodedDataset, rng: &mut R) {
+        self.train_monitored(encoded, rng, &mut TrainMonitor::disabled())
+            .expect("a disabled monitor has no watchdog, so training cannot fail");
+    }
+
+    /// [`NaiveGanModel::train`] with run-log and watchdog support, emitting
+    /// the same JSONL event stream as `Trainer::fit_monitored`. The baseline
+    /// has no checkpoint format, so
+    /// [`DivergencePolicy::RollbackToCheckpoint`] degrades to an abort.
+    pub fn train_monitored<R: Rng + ?Sized>(
+        &mut self,
+        encoded: &EncodedDataset,
+        rng: &mut R,
+        monitor: &mut TrainMonitor,
+    ) -> Result<(), TrainError> {
         let mut d_opt = Adam::with_betas(self.config.lr, 0.5, 0.9);
         let mut g_opt = Adam::with_betas(self.config.lr, 0.5, 0.9);
         let mut batches = BatchIter::new(encoded.num_samples(), self.config.batch);
+        let iterations = self.config.train_steps;
+        let started = Instant::now();
+        monitor.emit_header(|label, seed| RunHeader {
+            label,
+            seed,
+            iterations,
+            num_samples: encoded.num_samples(),
+            batch_size: batches.batch_size(),
+            d_steps_per_g: 1,
+            threads: num_threads(),
+            dp: false,
+        });
         // One buffer pool is recycled through every d/g graph of the run.
         let mut ws = Workspace::new();
-        for _ in 0..self.config.train_steps {
+        for it in 0..iterations {
             // ---- discriminator step ----
+            let d_started = Instant::now();
             let idx = batches.next_batch(rng).to_vec();
             let real = encoded.full_rows(&idx);
             let fake = self.sample_encoded_ws(idx.len(), rng, &mut ws);
-            {
+            let gen_ms = d_started.elapsed().as_secs_f64() * 1e3;
+            let (d_loss, gp_v, w_v) = {
                 let mut g = Graph::with_workspace(std::mem::take(&mut ws));
                 let rv = g.constant_copied(&real);
                 let fv = g.constant_copied(&fake);
@@ -166,13 +198,19 @@ impl NaiveGanModel {
                 let gp = gradient_penalty(&mut g, &self.store, &self.disc, &real, &fake, rng);
                 let gp_term = g.scale(gp, self.config.gp_lambda);
                 let loss = g.add(w, gp_term);
+                let loss_v = g.value(loss).get(0, 0);
+                let gp_v = g.value(gp).get(0, 0);
+                let w_v = -g.value(w).get(0, 0);
                 g.backward(loss);
                 let grads = g.param_grads();
                 ws = g.finish();
                 d_opt.step(&mut self.store, &grads);
-            }
+                (loss_v, gp_v, w_v)
+            };
+            let d_ms = d_started.elapsed().as_secs_f64() * 1e3;
             // ---- generator step ----
-            {
+            let g_started = Instant::now();
+            let g_loss = {
                 let mut g = Graph::with_workspace(std::mem::take(&mut ws));
                 let z = g.constant_randn(self.config.batch, self.config.noise_dim, 1.0, rng);
                 let raw = self.gen.forward(&mut g, &self.store, z);
@@ -180,12 +218,43 @@ impl NaiveGanModel {
                 let score = self.disc.forward_frozen(&mut g, &self.store, out);
                 let ms = g.mean_all(score);
                 let loss = g.scale(ms, -1.0);
+                let loss_v = g.value(loss).get(0, 0);
                 g.backward(loss);
                 let grads = g.param_grads();
                 ws = g.finish();
                 g_opt.step(&mut self.store, &grads);
+                loss_v
+            };
+            let g_ms = g_started.elapsed().as_secs_f64() * 1e3;
+            monitor.emit_iteration(&StepMetrics {
+                iteration: it,
+                d_loss,
+                g_loss,
+                gp: gp_v,
+                wasserstein: w_v,
+                d_ms,
+                g_ms,
+                gen_ms,
+            });
+            let losses = [("d_loss", d_loss), ("g_loss", g_loss), ("gp", gp_v), ("wasserstein", w_v)];
+            if let Some((detail, action)) = monitor.watchdog_inspect(it, &losses, &self.store) {
+                match action {
+                    DivergencePolicy::Warn => {}
+                    DivergencePolicy::Abort | DivergencePolicy::RollbackToCheckpoint => {
+                        monitor.emit_end(it + 1, started, RunOutcome::Aborted);
+                        return Err(TrainError::Diverged { iteration: it, detail });
+                    }
+                }
             }
+            monitor.maybe_heartbeat(it, iterations, started, ws.stats());
         }
+        let outcome = if monitor.first_divergence().is_some() {
+            RunOutcome::DivergedWarned
+        } else {
+            RunOutcome::Completed
+        };
+        monitor.emit_end(iterations, started, outcome);
+        Ok(())
     }
 
     /// Generates a batch of encoded full rows from the frozen generator.
@@ -296,5 +365,40 @@ mod tests {
         let scores = gan.critic_scores(&rows);
         assert_eq!(scores.len(), 5);
         assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn monitored_training_logs_iterations_and_aborts_on_divergence() {
+        use doppelganger::telemetry::{parse_jsonl, RunEvent, RunLog, RunOutcome, Watchdog};
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = sine::generate(
+            &SineConfig { num_objects: 12, length: 8, periods: vec![4], noise_sigma: 0.02 },
+            &mut rng,
+        );
+        let enc_cfg = EncoderConfig { auto_normalize: false, range: Range::ZeroOne };
+        let encoder = Encoder::fit(&data, enc_cfg);
+        let encoded = encoder.encode(&data);
+        let mut cfg = tiny_config();
+        cfg.train_steps = 3;
+        let mut gan = NaiveGanModel::initialized(encoder, cfg, &mut rng);
+
+        let (log, buf) = RunLog::in_memory();
+        let mut mon = TrainMonitor::new().with_log(log).with_label("naive-gan");
+        gan.train_monitored(&encoded, &mut rng, &mut mon).expect("healthy run");
+        let events = parse_jsonl(&buf.contents()).expect("parse");
+        assert!(matches!(&events[0], RunEvent::Header(h) if h.label == "naive-gan" && !h.dp));
+        let iters = events.iter().filter(|e| matches!(e, RunEvent::Iteration(_))).count();
+        assert_eq!(iters, 3);
+        assert!(matches!(events.last(), Some(RunEvent::End(e)) if e.outcome == RunOutcome::Completed));
+
+        // Poison a generator weight: losses go non-finite and the run aborts.
+        let id = gan.gen.params()[0];
+        gan.store.get_mut(id).set(0, 0, f32::NAN);
+        let mut mon = TrainMonitor::new()
+            .with_watchdog(Watchdog::with_policy(doppelganger::telemetry::DivergencePolicy::Abort));
+        let err = gan.train_monitored(&encoded, &mut rng, &mut mon).expect_err("must abort");
+        let TrainError::Diverged { iteration, .. } = err;
+        assert_eq!(iteration, 0);
     }
 }

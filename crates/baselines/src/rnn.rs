@@ -11,11 +11,15 @@ use dg_data::{decode_length, BatchIter, Dataset, Encoder, EncoderConfig, Range, 
 use dg_nn::graph::{Graph, PlanExecutor, Var};
 use dg_nn::layers::{Activation, LstmCell, Mlp};
 use dg_nn::optim::Adam;
+use dg_nn::parallel::num_threads;
 use dg_nn::params::ParamStore;
 use dg_nn::tensor::Tensor;
 use dg_nn::workspace::Workspace;
 use doppelganger::layout::OutputLayout;
+use doppelganger::telemetry::{DivergencePolicy, RunHeader, RunOutcome, TrainError, TrainMonitor};
+use doppelganger::trainer::StepMetrics;
 use rand::Rng;
+use std::time::Instant;
 
 /// RNN hyper-parameters.
 #[derive(Debug, Clone)]
@@ -58,6 +62,22 @@ pub struct RnnModel {
 impl RnnModel {
     /// Fits the RNN on a dataset.
     pub fn fit<R: Rng + ?Sized>(dataset: &Dataset, config: RnnConfig, rng: &mut R) -> Self {
+        Self::fit_monitored(dataset, config, rng, &mut TrainMonitor::disabled())
+            .expect("a disabled monitor has no watchdog, so fitting cannot fail")
+    }
+
+    /// [`RnnModel::fit`] with run-log and watchdog support.
+    ///
+    /// Teacher forcing has a single MSE objective, so iteration events carry
+    /// it as `g_loss` and log `d_loss`/`gp`/`wasserstein` as `null`. The
+    /// baseline has no checkpoint format, so
+    /// [`DivergencePolicy::RollbackToCheckpoint`] degrades to an abort.
+    pub fn fit_monitored<R: Rng + ?Sized>(
+        dataset: &Dataset,
+        config: RnnConfig,
+        rng: &mut R,
+        monitor: &mut TrainMonitor,
+    ) -> Result<Self, TrainError> {
         let enc_cfg = EncoderConfig { auto_normalize: false, range: Range::ZeroOne };
         let encoder = Encoder::fit(dataset, enc_cfg);
         let encoded = encoder.encode(dataset);
@@ -89,10 +109,23 @@ impl RnnModel {
         );
         let mut opt = Adam::with_betas(config.lr, 0.9, 0.999);
         let mut batches = BatchIter::new(encoded.num_samples(), config.batch);
+        let iterations = config.train_steps;
+        let started = Instant::now();
+        monitor.emit_header(|label, seed| RunHeader {
+            label,
+            seed,
+            iterations,
+            num_samples: encoded.num_samples(),
+            batch_size: batches.batch_size(),
+            d_steps_per_g: 0,
+            threads: num_threads(),
+            dp: false,
+        });
         // Consecutive minibatch graphs recycle each other's buffers.
         let mut ws = Workspace::new();
 
-        for _ in 0..config.train_steps {
+        for it in 0..iterations {
+            let step_started = Instant::now();
             let idx = batches.next_batch(rng).to_vec();
             let b = idx.len();
             let (attrs_b, _, feats_b) = encoded.gather(&idx);
@@ -125,19 +158,49 @@ impl RnnModel {
                     Some(acc) => g.add(acc, s),
                 });
             }
-            if let Some(loss_sum) = total_loss {
+            let mse = if let Some(loss_sum) = total_loss {
                 let loss = g.scale(loss_sum, 1.0 / total_count.max(1.0));
+                let loss_v = g.value(loss).get(0, 0);
                 g.backward(loss);
                 let grads = g.param_grads();
                 ws = g.finish();
                 opt.step(&mut store, &grads);
+                loss_v
             } else {
                 ws = g.finish();
+                0.0
+            };
+            // The single teacher-forcing objective rides in `g_loss`; the
+            // GAN-only fields map to `null` in the log.
+            monitor.emit_iteration(&StepMetrics {
+                iteration: it,
+                d_loss: f32::NAN,
+                g_loss: mse,
+                gp: f32::NAN,
+                wasserstein: f32::NAN,
+                g_ms: step_started.elapsed().as_secs_f64() * 1e3,
+                ..Default::default()
+            });
+            if let Some((detail, action)) = monitor.watchdog_inspect(it, &[("mse", mse)], &store) {
+                match action {
+                    DivergencePolicy::Warn => {}
+                    DivergencePolicy::Abort | DivergencePolicy::RollbackToCheckpoint => {
+                        monitor.emit_end(it + 1, started, RunOutcome::Aborted);
+                        return Err(TrainError::Diverged { iteration: it, detail });
+                    }
+                }
             }
+            monitor.maybe_heartbeat(it, iterations, started, ws.stats());
         }
+        let outcome = if monitor.first_divergence().is_some() {
+            RunOutcome::DivergedWarned
+        } else {
+            RunOutcome::Completed
+        };
+        monitor.emit_end(iterations, started, outcome);
 
         let _ = t_max;
-        RnnModel { encoder, attrs: EmpiricalAttributes::fit(dataset), first, lstm, head, store, layout }
+        Ok(RnnModel { encoder, attrs: EmpiricalAttributes::fit(dataset), first, lstm, head, store, layout })
     }
 
     /// Records the single-step rollout tape once; [`RnnModel::predict_step`]
@@ -276,5 +339,28 @@ mod tests {
         let o1 = rnn.generate_objects(3, &mut r1);
         let o2 = rnn.generate_objects(3, &mut r2);
         assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn monitored_fit_logs_mse_as_g_loss() {
+        use doppelganger::telemetry::{parse_jsonl, RunEvent, RunLog, RunOutcome};
+
+        let data = tiny_data(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = RnnConfig { hidden: 12, train_steps: 3, batch: 8, lr: 2e-3 };
+        let (log, buf) = RunLog::in_memory();
+        let mut mon = TrainMonitor::new().with_log(log).with_label("rnn");
+        RnnModel::fit_monitored(&data, cfg, &mut rng, &mut mon).expect("healthy run");
+        let events = parse_jsonl(&buf.contents()).expect("parse");
+        assert!(matches!(&events[0], RunEvent::Header(h) if h.label == "rnn"));
+        let iters: Vec<_> = events
+            .iter()
+            .filter_map(|e| if let RunEvent::Iteration(i) = e { Some(i) } else { None })
+            .collect();
+        assert_eq!(iters.len(), 3);
+        assert!(iters[0].g_loss.is_some(), "the MSE objective is logged as g_loss");
+        assert_eq!(iters[0].d_loss, None, "no critic in teacher forcing: logged as null");
+        assert!(iters[0].g_ms > 0.0);
+        assert!(matches!(events.last(), Some(RunEvent::End(e)) if e.outcome == RunOutcome::Completed));
     }
 }

@@ -91,6 +91,13 @@ struct Report {
     worker_threads: usize,
     /// Non-DP discriminator step, for reading DP overhead off the report.
     plain_d_step_ms: f64,
+    /// Mean wall time of the discriminator phase per `fit` iteration
+    /// (includes generation; see [`StepMetrics::d_ms`]).
+    fit_d_phase_ms: f64,
+    /// Mean wall time of the generator phase per `fit` iteration.
+    fit_g_phase_ms: f64,
+    /// Mean wall time spent generating fake batches per `fit` iteration.
+    fit_generation_phase_ms: f64,
     cases: Vec<Case>,
     /// Heap allocations per pooled-workspace d step (`alloc-telemetry` only).
     #[serde(skip_serializing_if = "Option::is_none")]
@@ -189,6 +196,25 @@ fn main() {
     });
     println!("{:<24} {:>9.3} ms (non-DP reference)", "d_step_b16", plain_d_step_ms);
 
+    // Per-phase wall time over a short `fit` run, straight from the step
+    // telemetry the trainer now reports on every iteration.
+    const FIT_ITERS: usize = 5;
+    let mut fit_trainer = Trainer::new(model.clone());
+    let mut frng = StdRng::seed_from_u64(5);
+    let (mut d_ms, mut g_ms, mut gen_ms) = (0.0, 0.0, 0.0);
+    fit_trainer.fit(&encoded, FIT_ITERS, &mut frng, |m| {
+        d_ms += m.d_ms;
+        g_ms += m.g_ms;
+        gen_ms += m.gen_ms;
+    });
+    let fit_d_phase_ms = d_ms / FIT_ITERS as f64;
+    let fit_g_phase_ms = g_ms / FIT_ITERS as f64;
+    let fit_generation_phase_ms = gen_ms / FIT_ITERS as f64;
+    println!(
+        "{:<24} d {:>9.3} ms   g {:>9.3} ms   generation {:>9.3} ms (per fit iteration)",
+        "fit_phases", fit_d_phase_ms, fit_g_phase_ms, fit_generation_phase_ms
+    );
+
     // DP-SGD: the per-sample loop is the parallelism target of interest.
     let mut dp_serial = Trainer::new(model.clone()).with_dp(DpConfig::moderate());
     let mut dp_parallel = Trainer::new(model).with_dp(DpConfig::moderate());
@@ -266,6 +292,9 @@ fn main() {
         hardware_threads: hw,
         worker_threads: threads,
         plain_d_step_ms,
+        fit_d_phase_ms,
+        fit_g_phase_ms,
+        fit_generation_phase_ms,
         cases,
         allocs_per_step: telemetry.then_some(pooled_allocs),
         bytes_per_step: telemetry.then_some(pooled_bytes),

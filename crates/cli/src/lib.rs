@@ -100,12 +100,17 @@ pub fn usage() -> String {
      \x20 schema    --data <data.json>                               inspect a dataset\n\
      \x20 train     --data <data.json> --out <model.json>\n\
      \x20           [--iterations N=500] [--seed S=0] [--batch B]\n\
-     \x20           [--dp-sigma x --dp-clip c]                       train + release a model\n\
+     \x20           [--dp-sigma x --dp-clip c]\n\
+     \x20           [--run-log <log.jsonl>]                          JSONL run telemetry\n\
+     \x20           [--checkpoint-every K]                           write <model.json>.ckpt.json\n\
+     \x20           [--on-divergence warn|abort|rollback]            NaN/Inf watchdog policy\n\
+     \x20                                                            (default abort)\n\
      \x20 generate  --model <model.json> --out <synth.json>\n\
      \x20           [-n N=100] [--seed S=0]\n\
      \x20           [--conditioned <attrs.json>]                     generate synthetic data\n\
      \x20 retrain   --model <model.json> --target <data.json>\n\
-     \x20           --out <model2.json> [--iterations N=300]         mask/shift attributes\n\
+     \x20           --out <model2.json> [--iterations N=300]\n\
+     \x20           [--run-log <log.jsonl>]                          mask/shift attributes\n\
      \x20 evaluate  --real <data.json> --synthetic <synth.json>      fidelity report\n"
         .to_string()
 }
@@ -173,11 +178,51 @@ fn cmd_train(args: &Args) -> Result<String, String> {
         let clip: f32 = args.num_or("dp-clip", 1.0f32)?;
         trainer = trainer.with_dp(DpConfig { clip_norm: clip, noise_multiplier: sigma });
     }
+    // The NaN/Inf watchdog is always on; --on-divergence picks the response
+    // (default: abort with a clean error instead of writing NaN weights).
+    let policy: DivergencePolicy = args.get_or("on-divergence", "abort").parse()?;
+    let mut monitor = TrainMonitor::new()
+        .with_label("dg train")
+        .with_seed(seed)
+        .with_watchdog(Watchdog::with_policy(policy));
+    if let Some(path) = args.options.get("run-log") {
+        let log = RunLog::create(path).map_err(|e| format!("creating run log {path}: {e}"))?;
+        monitor = monitor.with_log(log);
+    }
+    let checkpoint_every = args.num_or("checkpoint-every", 0usize)?;
+    if checkpoint_every > 0 {
+        let ckpt_path = format!("{out}.ckpt.json");
+        monitor = monitor.with_checkpoint_sink(
+            checkpoint_every,
+            Box::new(move |ck| match ck.to_json() {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(&ckpt_path, json) {
+                        eprintln!("warning: writing checkpoint {ckpt_path}: {e}");
+                    }
+                }
+                Err(e) => eprintln!("warning: serializing checkpoint: {e}"),
+            }),
+        );
+    }
     let mut last = StepMetrics::default();
-    trainer.fit(&encoded, iterations, &mut rng, |m| last = *m);
+    let report = trainer
+        .fit_monitored(&encoded, iterations, &mut rng, &mut monitor, |m| last = *m)
+        .map_err(|e| e.to_string())?;
     let model = trainer.into_model();
     std::fs::write(out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
-    Ok(format!("trained {iterations} iterations (final W~{:.3}); released model to {out}", last.wasserstein))
+    let outcome = match report.outcome {
+        FitOutcome::Completed => String::new(),
+        FitOutcome::DivergedWarned { first_iteration } => {
+            format!("; WARNING: non-finite values first seen at iteration {first_iteration}")
+        }
+        FitOutcome::RolledBack { detected_at, .. } => {
+            format!("; diverged at iteration {detected_at}, rolled back to the last healthy snapshot")
+        }
+    };
+    Ok(format!(
+        "trained {} iterations (final W~{:.3}); released model to {out}{outcome}",
+        report.iterations_run, last.wasserstein
+    ))
 }
 
 fn cmd_generate(args: &Args) -> Result<String, String> {
@@ -209,7 +254,16 @@ fn cmd_retrain(args: &Args) -> Result<String, String> {
     let seed = args.num_or("seed", 0u64)?;
     let target = AttributeDistribution::from_dataset(&target_data);
     let mut rng = StdRng::seed_from_u64(seed);
-    retrain_attribute_generator(&mut model, &target, iterations, &mut rng);
+    let mut monitor = TrainMonitor::new()
+        .with_label("dg retrain")
+        .with_seed(seed)
+        .with_watchdog(Watchdog::with_policy(DivergencePolicy::Abort));
+    if let Some(path) = args.options.get("run-log") {
+        let log = RunLog::create(path).map_err(|e| format!("creating run log {path}: {e}"))?;
+        monitor = monitor.with_log(log);
+    }
+    retrain_attribute_generator_monitored(&mut model, &target, iterations, &mut rng, &mut monitor)
+        .map_err(|e| e.to_string())?;
     std::fs::write(out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
     Ok(format!(
         "retrained the attribute generator for {iterations} iterations toward {} combos; wrote {out}",
@@ -389,6 +443,65 @@ mod tests {
         .unwrap())
         .unwrap();
         assert!(out.contains("retrained"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn train_run_log_and_checkpoint_flags() {
+        let dir = std::env::temp_dir().join(format!("dg-cli-runlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        run(&Args::parse(argv(&format!("demo --out {} --objects 16 --length 10", p("data.json")))).unwrap())
+            .unwrap();
+
+        let out = run(&Args::parse(argv(&format!(
+            "train --data {} --out {} --iterations 4 --batch 8 --run-log {} \
+             --checkpoint-every 2 --on-divergence rollback",
+            p("data.json"),
+            p("model.json"),
+            p("run.jsonl")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("trained 4 iterations"), "{out}");
+
+        // The run log parses line-for-line: header, iteration events, end.
+        let text = std::fs::read_to_string(p("run.jsonl")).unwrap();
+        let events = doppelganger::telemetry::parse_jsonl(&text).expect("run log must parse");
+        assert!(matches!(&events[0], RunEvent::Header(h) if h.label == "dg train" && h.seed == Some(0)));
+        let iters = events.iter().filter(|e| matches!(e, RunEvent::Iteration(_))).count();
+        assert_eq!(iters, 4);
+        assert!(matches!(events.last(), Some(RunEvent::End(_))));
+
+        // The periodic checkpoint file exists and parses.
+        let ck = std::fs::read_to_string(format!("{}.ckpt.json", p("model.json"))).unwrap();
+        assert!(Checkpoint::from_json(&ck).is_ok());
+
+        // A bad policy value is a clean CLI error, not a panic.
+        let err = run(&Args::parse(argv(&format!(
+            "train --data {} --out {} --iterations 1 --on-divergence explode",
+            p("data.json"),
+            p("model.json")
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("divergence policy"), "{err}");
+
+        // Retrain also accepts --run-log.
+        let out = run(&Args::parse(argv(&format!(
+            "retrain --model {} --target {} --out {} --iterations 2 --run-log {}",
+            p("model.json"),
+            p("data.json"),
+            p("masked.json"),
+            p("retrain.jsonl")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("retrained"));
+        let text = std::fs::read_to_string(p("retrain.jsonl")).unwrap();
+        let events = doppelganger::telemetry::parse_jsonl(&text).expect("retrain log must parse");
+        assert!(events.iter().any(|e| matches!(e, RunEvent::Iteration(_))));
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -8,12 +8,50 @@
 //! ([`dg_data::BatchIter`]: shuffled order + cursor) is part of the
 //! snapshot, so a resumed [`Trainer::fit`] replays the exact batch sequence
 //! an uninterrupted run would have seen (verified by test).
+//!
+//! ## Non-finite values
+//!
+//! JSON has no literal for NaN or ±Inf — serializers emit `null`, which
+//! does not parse back into an `f32`. A checkpoint of a diverged run (the
+//! case where you most want a post-mortem snapshot) used to either panic or
+//! fail to round-trip. [`Checkpoint::to_json`] now zeroes every non-finite
+//! scalar before serializing and records its position and exact 32-bit
+//! pattern in [`Checkpoint::nonfinite`]; [`Checkpoint::from_json`] patches
+//! the original bits back, so the round trip is lossless down to NaN
+//! payloads. Healthy checkpoints carry an empty patch list and are
+//! byte-compatible with the previous format.
 
+use crate::dpsgd::DpConfig;
 use crate::model::DoppelGanger;
 use crate::trainer::Trainer;
 use dg_data::BatchIter;
 use dg_nn::optim::Adam;
+use dg_nn::tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which scalar sequence of the checkpoint a [`NonFinitePatch`] addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PatchSection {
+    /// The model's parameter store, tensors in id order, row-major scalars.
+    Store,
+    /// Discriminator Adam moments, all `m` then all `v`, id order.
+    DOpt,
+    /// Generator Adam moments, all `m` then all `v`, id order.
+    GOpt,
+}
+
+/// One non-finite scalar extracted before JSON serialization: its flat
+/// position within a [`PatchSection`] and its exact bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NonFinitePatch {
+    /// The scalar sequence this patch belongs to.
+    pub section: PatchSection,
+    /// Flat index within the section's canonical scalar order.
+    pub index: usize,
+    /// `f32::to_bits` of the original value.
+    pub bits: u32,
+}
 
 /// A serializable snapshot of an in-progress training run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -30,22 +68,94 @@ pub struct Checkpoint {
     /// Defaults to `None` for checkpoints written before this field existed.
     #[serde(default)]
     pub batches: Option<BatchIter>,
+    /// DP-SGD configuration of the run, if any. Earlier checkpoints dropped
+    /// this, so resuming a DP run silently fell back to non-private updates
+    /// (invalidating the privacy accounting); now [`Trainer::resume`]
+    /// re-enables DP automatically. Defaults to `None` for old checkpoints.
+    #[serde(default)]
+    pub dp: Option<DpConfig>,
+    /// Bit patterns of non-finite scalars zeroed for JSON transport
+    /// (see the module docs). Empty for healthy checkpoints.
+    #[serde(default)]
+    pub nonfinite: Vec<NonFinitePatch>,
 }
 
 impl Checkpoint {
-    /// Serializes to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("checkpoint serialization cannot fail")
+    /// Serializes to JSON. Non-finite parameter and optimizer scalars are
+    /// carried losslessly via [`Checkpoint::nonfinite`] (see the module
+    /// docs), so even a diverged run checkpoints cleanly.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        let mut clean = self.clone();
+        clean.nonfinite = clean.extract_nonfinite();
+        serde_json::to_string(&clean)
     }
 
-    /// Restores from [`Checkpoint::to_json`] output.
+    /// Restores from [`Checkpoint::to_json`] output, patching non-finite
+    /// scalars back to their original bit patterns.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+        let mut ck: Checkpoint = serde_json::from_str(json)?;
+        ck.apply_nonfinite();
+        Ok(ck)
+    }
+
+    /// Zeroes every non-finite scalar in place and returns the patch list
+    /// describing what was removed.
+    fn extract_nonfinite(&mut self) -> Vec<NonFinitePatch> {
+        let mut patches = Vec::new();
+        for (section, tensors) in self.sections() {
+            let mut flat = 0usize;
+            for t in tensors {
+                for x in t.as_mut_slice() {
+                    if !x.is_finite() {
+                        patches.push(NonFinitePatch { section, index: flat, bits: x.to_bits() });
+                        *x = 0.0;
+                    }
+                    flat += 1;
+                }
+            }
+        }
+        patches
+    }
+
+    /// Re-applies the patch list produced by
+    /// [`Checkpoint::extract_nonfinite`], then clears it.
+    fn apply_nonfinite(&mut self) {
+        if self.nonfinite.is_empty() {
+            return;
+        }
+        let mut by_section: BTreeMap<PatchSection, BTreeMap<usize, u32>> = BTreeMap::new();
+        for p in self.nonfinite.drain(..) {
+            by_section.entry(p.section).or_default().insert(p.index, p.bits);
+        }
+        for (section, tensors) in self.sections() {
+            let Some(patches) = by_section.get(&section) else { continue };
+            let mut flat = 0usize;
+            for t in tensors {
+                for x in t.as_mut_slice() {
+                    if let Some(&bits) = patches.get(&flat) {
+                        *x = f32::from_bits(bits);
+                    }
+                    flat += 1;
+                }
+            }
+        }
+    }
+
+    /// The three patchable scalar sections, each as `(tag, tensors)` in the
+    /// canonical order shared by [`Checkpoint::extract_nonfinite`] and
+    /// [`Checkpoint::apply_nonfinite`].
+    fn sections(&mut self) -> [(PatchSection, Vec<&mut Tensor>); 3] {
+        [
+            (PatchSection::Store, self.model.store.tensors_mut().collect()),
+            (PatchSection::DOpt, self.d_opt.moment_tensors_mut().collect()),
+            (PatchSection::GOpt, self.g_opt.moment_tensors_mut().collect()),
+        ]
     }
 }
 
 impl Trainer {
-    /// Snapshots the full training state.
+    /// Snapshots the full training state, including the DP-SGD
+    /// configuration when one is active.
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
             model: self.model.clone(),
@@ -53,17 +163,29 @@ impl Trainer {
             g_opt: self.g_opt_state().clone(),
             d_updates: self.d_updates,
             batches: self.batch_state().cloned(),
+            dp: self.dp_config(),
+            nonfinite: Vec::new(),
         }
     }
 
     /// Rebuilds a trainer from a checkpoint, resuming the exact trajectory.
-    /// DP mode is not part of the checkpoint; re-enable it with
-    /// [`Trainer::with_dp`] if the original run used it.
+    /// DP mode is restored from the checkpoint (earlier formats without the
+    /// field resume as non-DP — re-enable with [`Trainer::with_dp`]).
     pub fn resume(ck: Checkpoint) -> Self {
         let mut t = Trainer::new(ck.model);
         t.restore_opt_state(ck.d_opt, ck.g_opt, ck.d_updates);
         t.restore_batch_state(ck.batches);
+        t.set_dp(ck.dp);
         t
+    }
+
+    /// Restores a checkpoint into this trainer in place (the watchdog's
+    /// rollback path — keeps the trainer's workspaces warm).
+    pub fn restore(&mut self, ck: Checkpoint) {
+        self.model = ck.model;
+        self.restore_opt_state(ck.d_opt, ck.g_opt, ck.d_updates);
+        self.restore_batch_state(ck.batches);
+        self.set_dp(ck.dp);
     }
 }
 
@@ -103,7 +225,8 @@ mod tests {
         let model2 = crate::model::DoppelGanger::new(&data, dg, &mut StdRng::seed_from_u64(1));
         let mut t2 = Trainer::new(model2);
         t2.fit(&enc, 3, &mut r2, |_| {});
-        let ck = Checkpoint::from_json(&t2.checkpoint().to_json()).expect("roundtrip");
+        let json = t2.checkpoint().to_json().expect("serialize");
+        let ck = Checkpoint::from_json(&json).expect("roundtrip");
         assert!(ck.batches.is_some(), "fit must leave batch state for the checkpoint");
         let mut t3 = Trainer::resume(ck);
         t3.fit(&enc, 3, &mut r2, |_| {});
@@ -130,12 +253,93 @@ mod tests {
         let enc = model.encode(&data);
         let mut t = Trainer::new(model);
         t.fit(&enc, 2, &mut rng, |_| {});
-        let json = t.checkpoint().to_json();
+        let json = t.checkpoint().to_json().expect("serialize");
         let ck = Checkpoint::from_json(&json).expect("parse");
         assert_eq!(ck.d_updates, 2);
         // The restored model can generate immediately.
         let restored = Trainer::resume(ck);
         let objs = restored.model.generate(2, &mut rng);
         assert_eq!(objs.len(), 2);
+    }
+
+    fn tiny_trainer(seed: u64) -> Trainer {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SineConfig { num_objects: 8, length: 6, periods: vec![3], noise_sigma: 0.0 };
+        let data = sine::generate(&cfg, &mut rng);
+        let mut dg = DgConfig::quick().with_recommended_s(6);
+        dg.attr_hidden = 8;
+        dg.lstm_hidden = 8;
+        dg.head_hidden = 8;
+        dg.disc_hidden = 10;
+        dg.disc_depth = 2;
+        dg.batch_size = 4;
+        let model = crate::model::DoppelGanger::new(&data, dg, &mut rng);
+        let enc = model.encode(&data);
+        let mut t = Trainer::new(model);
+        t.fit(&enc, 1, &mut rng, |_| {});
+        t
+    }
+
+    #[test]
+    fn nonfinite_params_and_moments_roundtrip_bitwise() {
+        // A diverged run's snapshot: NaN (with payload), +Inf and -Inf in
+        // the parameter store, plus a NaN in an Adam moment. to_json used to
+        // panic here; now the round trip preserves exact bit patterns.
+        let mut ck = tiny_trainer(57).checkpoint();
+        let nan_payload = f32::from_bits(0x7fc0_0abc);
+        {
+            let t = ck.model.store.tensors_mut().next().expect("model has parameters");
+            t.as_mut_slice()[0] = nan_payload;
+            t.as_mut_slice()[1] = f32::INFINITY;
+        }
+        {
+            let m = ck.d_opt.moment_tensors_mut().next().expect("fit populated Adam moments");
+            m.as_mut_slice()[0] = f32::NEG_INFINITY;
+        }
+        let before: Vec<Vec<u32>> = {
+            let mut probe = ck.clone();
+            probe.sections().iter().map(|(_, ts)| flat_bits(ts)).collect()
+        };
+        let json = ck.to_json().expect("non-finite checkpoint must serialize");
+        // All three injected scalars ride in `nonfinite` as explicit bit
+        // patterns. (A scalar degrading to JSON `null` instead would make
+        // `from_json` below fail: null never parses as f32.)
+        assert_eq!(json.matches("\"bits\":").count(), 3, "expected one patch per injected scalar");
+        let mut back = Checkpoint::from_json(&json).expect("non-finite checkpoint must parse");
+        assert!(back.nonfinite.is_empty(), "patches are consumed on load");
+        let after: Vec<Vec<u32>> = back.sections().iter().map(|(_, ts)| flat_bits(ts)).collect();
+        assert_eq!(before, after, "every scalar (finite or not) must round-trip bitwise");
+        assert_eq!(
+            back.model.store.tensors_mut().next().unwrap().as_slice()[0].to_bits(),
+            nan_payload.to_bits()
+        );
+    }
+
+    fn flat_bits(tensors: &[&mut dg_nn::tensor::Tensor]) -> Vec<u32> {
+        tensors.iter().flat_map(|t| t.as_slice().iter().map(|x| x.to_bits())).collect()
+    }
+
+    #[test]
+    fn dp_config_survives_checkpoint_resume() {
+        // Regression: DP mode used to be dropped on resume, silently turning
+        // a private run non-private.
+        let mut t = tiny_trainer(58);
+        let dp = crate::dpsgd::DpConfig::moderate();
+        t.set_dp(Some(dp));
+        let json = t.checkpoint().to_json().expect("serialize");
+        let resumed = Trainer::resume(Checkpoint::from_json(&json).expect("parse"));
+        assert_eq!(resumed.dp_config(), Some(dp), "resume must restore DP mode");
+
+        // Pre-dp-field checkpoints (no `dp` / `nonfinite` keys at all) still
+        // parse thanks to #[serde(default)], resuming as non-DP.
+        let current = {
+            let mut t2 = tiny_trainer(59);
+            t2.set_dp(None);
+            t2.checkpoint().to_json().expect("serialize")
+        };
+        let legacy = current.replace(",\"dp\":null", "").replace(",\"nonfinite\":[]", "");
+        assert_ne!(legacy, current, "test must actually strip the new keys");
+        let resumed = Trainer::resume(Checkpoint::from_json(&legacy).expect("legacy JSON must parse"));
+        assert_eq!(resumed.dp_config(), None);
     }
 }

@@ -50,6 +50,7 @@ pub mod dpsgd;
 pub mod layout;
 pub mod model;
 pub mod retrain;
+pub mod telemetry;
 pub mod trainer;
 
 /// Commonly used types.
@@ -58,7 +59,13 @@ pub mod prelude {
     pub use crate::config::DgConfig;
     pub use crate::dpsgd::DpConfig;
     pub use crate::model::DoppelGanger;
-    pub use crate::retrain::{retrain_attribute_generator, AttributeDistribution};
+    pub use crate::retrain::{
+        retrain_attribute_generator, retrain_attribute_generator_monitored, AttributeDistribution,
+    };
+    pub use crate::telemetry::{
+        DivergencePolicy, FitOutcome, FitReport, RunEvent, RunLog, TrainError, TrainMonitor, Watchdog,
+        WatchdogConfig,
+    };
     pub use crate::trainer::{StepMetrics, Trainer};
 }
 

@@ -15,13 +15,17 @@
 //! zeros fed to the time-series inputs.
 
 use crate::model::DoppelGanger;
+use crate::telemetry::{DivergencePolicy, RunHeader, RunOutcome, TrainError, TrainMonitor};
+use crate::trainer::StepMetrics;
 use dg_data::{Dataset, Value};
 use dg_nn::graph::Graph;
 use dg_nn::optim::Adam;
+use dg_nn::parallel::num_threads;
 use dg_nn::penalty::gradient_penalty;
 use dg_nn::tensor::Tensor;
 use dg_nn::workspace::Workspace;
 use rand::Rng;
+use std::time::Instant;
 
 /// A target distribution over attribute combinations.
 #[derive(Debug, Clone)]
@@ -106,6 +110,27 @@ pub fn retrain_attribute_generator<R: Rng + ?Sized>(
     iterations: usize,
     rng: &mut R,
 ) -> Vec<RetrainMetrics> {
+    retrain_attribute_generator_monitored(model, target, iterations, rng, &mut TrainMonitor::disabled())
+        .expect("a disabled monitor has no watchdog, so retraining cannot fail")
+}
+
+/// [`retrain_attribute_generator`] with run-log and watchdog support.
+///
+/// Emits the same JSONL event stream as
+/// [`crate::Trainer::fit_monitored`]: a header, one iteration event per
+/// step (`gp`/`wasserstein` are not computed separately here and are logged
+/// as `null`), heartbeats, and an end summary. The watchdog checks the two
+/// retraining losses every iteration and the parameter store at its
+/// configured cadence. Retraining mutates a bare [`DoppelGanger`] — there
+/// is no [`crate::checkpoint::Checkpoint`] to roll back to — so
+/// [`DivergencePolicy::RollbackToCheckpoint`] degrades to an abort here.
+pub fn retrain_attribute_generator_monitored<R: Rng + ?Sized>(
+    model: &mut DoppelGanger,
+    target: &AttributeDistribution,
+    iterations: usize,
+    rng: &mut R,
+    monitor: &mut TrainMonitor,
+) -> Result<Vec<RetrainMetrics>, TrainError> {
     let c = &model.config;
     let batch = c.batch_size;
     let mut d_opt = Adam::with_betas(c.d_lr, c.beta1, c.beta2);
@@ -114,17 +139,30 @@ pub fn retrain_attribute_generator<R: Rng + ?Sized>(
     let use_aux = model.aux_disc.is_some();
     let feat_zero_width = if use_aux { 0 } else { model.encoder.max_len() * model.encoder.step_width() };
 
+    let started = Instant::now();
+    monitor.emit_header(|label, seed| RunHeader {
+        label,
+        seed,
+        iterations,
+        num_samples: target.combos.len(),
+        batch_size: batch,
+        d_steps_per_g: 1,
+        threads: num_threads(),
+        dp: false,
+    });
     let mut metrics = Vec::with_capacity(iterations);
     // One pool serves all four graphs of every iteration (two samplers, the
     // critic step, the attribute-generator step).
     let mut ws = Workspace::new();
     for it in 0..iterations {
+        let d_started = Instant::now();
         // ---- critic step on [A | minmax(A)] (aux) or [A | minmax | 0] ----
         let real_rows = target.sample_rows(batch, rng);
         let real_attrs = model.encoder.encode_attribute_rows(&real_rows);
         let real_am = attach_minmax(model, &real_attrs, rng, &mut ws);
         let fake_attrs = frozen_attrs(model, batch, rng, &mut ws);
         let fake_am = attach_minmax(model, &fake_attrs, rng, &mut ws);
+        let gen_ms = d_started.elapsed().as_secs_f64() * 1e3;
         let (real_in, fake_in) = if use_aux {
             (real_am.clone(), fake_am.clone())
         } else {
@@ -151,8 +189,10 @@ pub fn retrain_attribute_generator<R: Rng + ?Sized>(
             d_opt.step(&mut model.store, &grads);
             v
         };
+        let d_ms = d_started.elapsed().as_secs_f64() * 1e3;
 
         // ---- attribute-generator step ----
+        let g_started = Instant::now();
         let g_loss = {
             let mut g = Graph::with_workspace(std::mem::take(&mut ws));
             let attrs = model.gen_attributes(&mut g, batch, rng, false);
@@ -174,9 +214,36 @@ pub fn retrain_attribute_generator<R: Rng + ?Sized>(
             g_opt.step(&mut model.store, &grads);
             v
         };
+        let g_ms = g_started.elapsed().as_secs_f64() * 1e3;
         metrics.push(RetrainMetrics { iteration: it, d_loss, g_loss });
+        // gp/wasserstein are not computed separately in retraining; NaN maps
+        // to `null` in the log (the "not applicable" encoding).
+        monitor.emit_iteration(&StepMetrics {
+            iteration: it,
+            d_loss,
+            g_loss,
+            gp: f32::NAN,
+            wasserstein: f32::NAN,
+            d_ms,
+            g_ms,
+            gen_ms,
+        });
+        let losses = [("d_loss", d_loss), ("g_loss", g_loss)];
+        if let Some((detail, action)) = monitor.watchdog_inspect(it, &losses, &model.store) {
+            match action {
+                DivergencePolicy::Warn => {}
+                DivergencePolicy::Abort | DivergencePolicy::RollbackToCheckpoint => {
+                    monitor.emit_end(it + 1, started, RunOutcome::Aborted);
+                    return Err(TrainError::Diverged { iteration: it, detail });
+                }
+            }
+        }
+        monitor.maybe_heartbeat(it, iterations, started, ws.stats());
     }
-    metrics
+    let outcome =
+        if monitor.first_divergence().is_some() { RunOutcome::DivergedWarned } else { RunOutcome::Completed };
+    monitor.emit_end(iterations, started, outcome);
+    Ok(metrics)
 }
 
 /// Generates min/max fake attributes for given encoded attribute rows with
@@ -284,5 +351,50 @@ mod tests {
         let objs = model.generate(100, &mut rng);
         let ones = objs.iter().filter(|o| o.attributes[0] == Value::Cat(1)).count();
         assert!(ones >= 75, "expected impulse retraining to dominate class 1, got {ones}/100");
+    }
+
+    #[test]
+    fn monitored_retraining_logs_events_and_aborts_on_divergence() {
+        use crate::telemetry::{RunEvent, RunLog, RunOutcome, Watchdog};
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = SineConfig { num_objects: 20, length: 8, periods: vec![4, 8], noise_sigma: 0.05 };
+        let data = sine::generate(&cfg, &mut rng);
+        let mut dg = DgConfig::quick().with_recommended_s(8);
+        dg.attr_hidden = 8;
+        dg.lstm_hidden = 8;
+        dg.head_hidden = 8;
+        dg.disc_hidden = 12;
+        dg.disc_depth = 2;
+        dg.batch_size = 8;
+        let mut model = DoppelGanger::new(&data, dg, &mut rng);
+        let target = AttributeDistribution::from_dataset(&data);
+
+        // Healthy run: header + one event per iteration + end summary.
+        let (log, buf) = RunLog::in_memory();
+        let mut mon = TrainMonitor::new().with_log(log).with_label("retrain");
+        let metrics =
+            retrain_attribute_generator_monitored(&mut model, &target, 3, &mut rng, &mut mon).expect("ok");
+        assert_eq!(metrics.len(), 3);
+        let events = crate::telemetry::parse_jsonl(&buf.contents()).expect("parse");
+        assert!(matches!(&events[0], RunEvent::Header(h) if h.label == "retrain"));
+        let iters: Vec<_> = events.iter().filter(|e| matches!(e, RunEvent::Iteration(_))).collect();
+        assert_eq!(iters.len(), 3);
+        if let RunEvent::Iteration(ev) = iters[0] {
+            assert!(ev.d_loss.is_some() && ev.g_loss.is_some());
+            assert_eq!(ev.gp, None, "retraining has no gp; logged as null");
+        }
+        assert!(matches!(events.last(), Some(RunEvent::End(e)) if e.outcome == RunOutcome::Completed));
+
+        // Diverged run: poison an attribute-generator weight; the watchdog
+        // aborts (rollback is unsupported here and also aborts).
+        let id = model.attr_gen.params()[0];
+        model.store.get_mut(id).set(0, 0, f32::NAN);
+        let mut mon = TrainMonitor::new()
+            .with_watchdog(Watchdog::with_policy(crate::telemetry::DivergencePolicy::Abort));
+        let err = retrain_attribute_generator_monitored(&mut model, &target, 3, &mut rng, &mut mon)
+            .expect_err("NaN weight must abort retraining");
+        let crate::telemetry::TrainError::Diverged { iteration, .. } = err;
+        assert_eq!(iteration, 0);
     }
 }

@@ -1,0 +1,826 @@
+//! Training-run observability: structured JSONL run logs and a divergence
+//! watchdog.
+//!
+//! The paper trains WGAN-GP for up to 200k batches (Appendix B), and GAN
+//! instability is a headline challenge of the whole line of work — long runs
+//! need to be observable, and a diverged run (NaN/Inf losses or parameters)
+//! must surface as a *reported, recoverable event*, not a crash at
+//! checkpoint time.
+//!
+//! Three pieces:
+//!
+//! * [`RunLog`] — an append-only JSONL sink. One line per [`RunEvent`]: a
+//!   run header (config, seed, thread count), one event per iteration
+//!   (losses plus per-phase wall time), periodic heartbeats (throughput,
+//!   ETA, [`WorkspaceStats`]), divergence reports, and a run-end summary.
+//! * [`Watchdog`] — scans iteration losses every step and the parameter
+//!   store every [`WatchdogConfig::check_every`] steps for non-finite
+//!   values, then applies a [`DivergencePolicy`]: log-and-continue
+//!   ([`DivergencePolicy::Warn`]), stop with a clean
+//!   [`TrainError::Diverged`] ([`DivergencePolicy::Abort`]), or restore the
+//!   last healthy snapshot ([`DivergencePolicy::RollbackToCheckpoint`]).
+//! * [`TrainMonitor`] — the bundle a training loop threads through:
+//!   optional log, optional watchdog, heartbeat cadence, and an optional
+//!   periodic checkpoint sink. [`crate::Trainer::fit_monitored`], attribute
+//!   retraining, and the naive-GAN/RNN baselines all drive the same
+//!   monitor API.
+//!
+//! ## Serialization notes
+//!
+//! Events are (de)serialized with plain serde derives only (externally
+//! tagged enums, `#[serde(default)]`), so the JSONL format is identical
+//! under real `serde_json` and the offline stub harness. Non-finite `f32`
+//! metrics are carried as `Option<f32>` — `null` on the wire — so a log
+//! that records a divergence still parses line-for-line; the exact bit
+//! pattern of the offending scalar is reported in the divergence event's
+//! `detail` string, and checkpoints preserve it losslessly (see
+//! [`crate::checkpoint::Checkpoint::to_json`]).
+
+use crate::checkpoint::Checkpoint;
+use crate::trainer::StepMetrics;
+use dg_nn::params::ParamStore;
+use dg_nn::workspace::WorkspaceStats;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+// ---- events ------------------------------------------------------------
+
+/// One line of a run log. Externally tagged: `{"Iteration": {...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunEvent {
+    /// First line of a run: static configuration.
+    Header(RunHeader),
+    /// One training iteration.
+    Iteration(IterationEvent),
+    /// Periodic progress/throughput line.
+    Heartbeat(HeartbeatEvent),
+    /// The watchdog found non-finite values.
+    Divergence(DivergenceEvent),
+    /// Last line of a run.
+    End(RunEndEvent),
+}
+
+/// Static run configuration, logged once per `fit` call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunHeader {
+    /// Free-form run label (e.g. `"dg train"`).
+    pub label: String,
+    /// RNG seed, when the caller knows it (the trainer itself only sees an
+    /// already-seeded RNG).
+    pub seed: Option<u64>,
+    /// Planned iteration count of this run.
+    pub iterations: usize,
+    /// Training-set size in samples.
+    pub num_samples: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Discriminator updates per generator update.
+    pub d_steps_per_g: usize,
+    /// Worker-thread count (`DG_NUM_THREADS` honored).
+    pub threads: usize,
+    /// Whether DP-SGD is active on the discriminator.
+    pub dp: bool,
+}
+
+/// Per-iteration losses and per-phase wall time.
+///
+/// Loss fields are `None` when the value was non-finite (JSON has no
+/// NaN/Inf literal) or not applicable for the loop that logged it — the RNN
+/// baseline, for example, only has a generator-side loss.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationEvent {
+    /// Iteration number (0-based).
+    pub iteration: usize,
+    /// Discriminator loss, averaged over the iteration's critic steps.
+    pub d_loss: Option<f32>,
+    /// Generator loss.
+    pub g_loss: Option<f32>,
+    /// Gradient penalty of the primary critic.
+    pub gp: Option<f32>,
+    /// Wasserstein-distance estimate.
+    pub wasserstein: Option<f32>,
+    /// Wall time of the discriminator phase (includes `gen_ms`).
+    pub d_ms: f64,
+    /// Wall time of the generator phase.
+    pub g_ms: f64,
+    /// Wall time spent generating fake batches inside the d phase.
+    pub gen_ms: f64,
+}
+
+impl IterationEvent {
+    /// Builds an event from trainer step metrics, mapping non-finite losses
+    /// to `None`.
+    pub fn from_step(m: &StepMetrics) -> Self {
+        IterationEvent {
+            iteration: m.iteration,
+            d_loss: finite(m.d_loss),
+            g_loss: finite(m.g_loss),
+            gp: finite(m.gp),
+            wasserstein: finite(m.wasserstein),
+            d_ms: m.d_ms,
+            g_ms: m.g_ms,
+            gen_ms: m.gen_ms,
+        }
+    }
+}
+
+/// `Some(x)` when finite, `None` otherwise (for JSON transport).
+pub fn finite(x: f32) -> Option<f32> {
+    x.is_finite().then_some(x)
+}
+
+/// Periodic throughput/ETA line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatEvent {
+    /// Last completed iteration (0-based).
+    pub iteration: usize,
+    /// Wall time since the run started.
+    pub elapsed_ms: f64,
+    /// Completed iterations per second so far.
+    pub iters_per_sec: f64,
+    /// Estimated wall time to finish the remaining iterations.
+    pub eta_ms: f64,
+    /// Buffer-pool counters of the step workspace.
+    pub workspace: WorkspaceStats,
+}
+
+/// A watchdog detection: something went non-finite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DivergenceEvent {
+    /// Iteration at which the divergence was detected.
+    pub iteration: usize,
+    /// Human-readable finding, including the first offending scalar's bit
+    /// pattern for parameter-store findings.
+    pub detail: String,
+    /// The policy applied in response.
+    pub action: DivergencePolicy,
+}
+
+/// Run summary, always the last event of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunEndEvent {
+    /// Iterations actually executed (≤ the header's plan).
+    pub iterations_run: usize,
+    /// Total wall time of the run.
+    pub wall_ms: f64,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+}
+
+/// Terminal state of a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// All planned iterations ran and stayed finite.
+    Completed,
+    /// Divergence was detected under [`DivergencePolicy::Warn`]; the run
+    /// continued to the end regardless.
+    DivergedWarned,
+    /// Divergence under [`DivergencePolicy::Abort`] (or a rollback with no
+    /// snapshot available); the run stopped with [`TrainError::Diverged`].
+    Aborted,
+    /// Divergence under [`DivergencePolicy::RollbackToCheckpoint`]; the
+    /// trainer was restored to the last healthy snapshot and the run
+    /// stopped early.
+    RolledBack,
+}
+
+// ---- run log -----------------------------------------------------------
+
+/// Append-only JSONL sink for [`RunEvent`]s.
+///
+/// Writes are best-effort: an I/O error never interrupts training, it only
+/// increments [`RunLog::write_failures`]. Every line is flushed so `tail
+/// -f` (and post-crash inspection) sees events as they happen.
+pub struct RunLog {
+    out: Box<dyn Write + Send>,
+    events_written: u64,
+    write_failures: u64,
+}
+
+impl std::fmt::Debug for RunLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunLog")
+            .field("events_written", &self.events_written)
+            .field("write_failures", &self.write_failures)
+            .finish()
+    }
+}
+
+impl RunLog {
+    /// Creates (truncating) a JSONL log file at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Wraps any writer as a run log.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        RunLog { out, events_written: 0, write_failures: 0 }
+    }
+
+    /// An in-memory log plus a handle to read its contents back (tests,
+    /// in-process tooling).
+    pub fn in_memory() -> (Self, SharedBuf) {
+        let buf = SharedBuf::default();
+        (Self::to_writer(Box::new(buf.clone())), buf)
+    }
+
+    /// Appends one event as a JSON line (best-effort).
+    pub fn emit(&mut self, event: &RunEvent) {
+        let ok = serde_json::to_string(event)
+            .ok()
+            .and_then(|line| writeln!(self.out, "{line}").ok().and_then(|()| self.out.flush().ok()))
+            .is_some();
+        if ok {
+            self.events_written += 1;
+        } else {
+            self.write_failures += 1;
+        }
+    }
+
+    /// Events successfully written so far.
+    pub fn events_written(&self) -> u64 {
+        self.events_written
+    }
+
+    /// Serialization or I/O failures swallowed so far.
+    pub fn write_failures(&self) -> u64 {
+        self.write_failures
+    }
+}
+
+/// A clonable in-memory byte buffer implementing [`Write`] (the read side
+/// of [`RunLog::in_memory`]).
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// The UTF-8 contents written so far.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("log buffer poisoned")).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("log buffer poisoned").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Parses a JSONL run log back into events (blank lines skipped).
+pub fn parse_jsonl(text: &str) -> Result<Vec<RunEvent>, serde_json::Error> {
+    text.lines().map(str::trim).filter(|l| !l.is_empty()).map(serde_json::from_str).collect()
+}
+
+// ---- watchdog ----------------------------------------------------------
+
+/// What to do when the watchdog finds non-finite values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DivergencePolicy {
+    /// Log the event and keep training.
+    Warn,
+    /// Stop with a clean [`TrainError::Diverged`] — the default: a diverged
+    /// run should fail loudly, not silently write NaN parameters.
+    Abort,
+    /// Restore the last healthy snapshot and stop the run early (falls back
+    /// to `Abort` behavior when no snapshot exists yet, e.g. in training
+    /// loops that don't support checkpoints).
+    RollbackToCheckpoint,
+}
+
+impl std::str::FromStr for DivergencePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "warn" => Ok(DivergencePolicy::Warn),
+            "abort" => Ok(DivergencePolicy::Abort),
+            "rollback" => Ok(DivergencePolicy::RollbackToCheckpoint),
+            other => Err(format!("unknown divergence policy '{other}' (expected warn|abort|rollback)")),
+        }
+    }
+}
+
+/// Watchdog cadence and policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Scan the parameter store (and, under rollback, snapshot it when
+    /// healthy) every this many iterations. Losses are checked every
+    /// iteration regardless — they are four floats.
+    pub check_every: usize,
+    /// Response to a detection.
+    pub policy: DivergencePolicy,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig { check_every: 25, policy: DivergencePolicy::Abort }
+    }
+}
+
+/// Scans losses and parameter stores for non-finite values and holds the
+/// rollback snapshot for [`DivergencePolicy::RollbackToCheckpoint`].
+#[derive(Debug)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    snapshot: Option<Checkpoint>,
+    first_divergence: Option<usize>,
+}
+
+impl Watchdog {
+    /// Creates a watchdog with an explicit configuration.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Watchdog { cfg, snapshot: None, first_divergence: None }
+    }
+
+    /// Creates a watchdog with the default cadence and the given policy.
+    pub fn with_policy(policy: DivergencePolicy) -> Self {
+        Self::new(WatchdogConfig { policy, ..WatchdogConfig::default() })
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> DivergencePolicy {
+        self.cfg.policy
+    }
+
+    /// Iteration of the first detection in this watchdog's lifetime, if any.
+    pub fn first_divergence(&self) -> Option<usize> {
+        self.first_divergence
+    }
+
+    /// Checks the iteration's losses (always) and the parameter store (at
+    /// the configured cadence). Returns the finding, if any, and records the
+    /// first detection.
+    pub fn inspect(&mut self, it: usize, losses: &[(&str, f32)], store: &ParamStore) -> Option<String> {
+        let finding = Self::losses_finding(losses).or_else(|| {
+            if it.is_multiple_of(self.cfg.check_every) {
+                Self::store_finding(store)
+            } else {
+                None
+            }
+        });
+        if finding.is_some() && self.first_divergence.is_none() {
+            self.first_divergence = Some(it);
+        }
+        finding
+    }
+
+    /// First non-finite named loss, if any.
+    pub fn losses_finding(losses: &[(&str, f32)]) -> Option<String> {
+        losses
+            .iter()
+            .find(|(_, v)| !v.is_finite())
+            .map(|(name, v)| format!("loss `{name}` is {}", classify(*v)))
+    }
+
+    /// First parameter tensor holding a non-finite scalar, if any, with the
+    /// scalar's position and exact bit pattern.
+    pub fn store_finding(store: &ParamStore) -> Option<String> {
+        for (_, name, t) in store.iter() {
+            if let Some(i) = t.as_slice().iter().position(|x| !x.is_finite()) {
+                let x = t.as_slice()[i];
+                return Some(format!(
+                    "parameter `{name}` has non-finite values (first {} at scalar {i}, bits 0x{:08x})",
+                    classify(x),
+                    x.to_bits()
+                ));
+            }
+        }
+        None
+    }
+
+    /// True when a healthy-state snapshot should be taken this iteration
+    /// (rollback policy only, same cadence as the store scan).
+    pub fn wants_snapshot(&self, it: usize) -> bool {
+        self.cfg.policy == DivergencePolicy::RollbackToCheckpoint && it.is_multiple_of(self.cfg.check_every)
+    }
+
+    /// Stores the rollback snapshot (replacing any previous one).
+    pub fn store_snapshot(&mut self, ck: Checkpoint) {
+        self.snapshot = Some(ck);
+    }
+
+    /// Takes the rollback snapshot, leaving the watchdog without one.
+    pub fn take_snapshot(&mut self) -> Option<Checkpoint> {
+        self.snapshot.take()
+    }
+}
+
+fn classify(x: f32) -> &'static str {
+    if x.is_nan() {
+        "NaN"
+    } else if x == f32::INFINITY {
+        "+Inf"
+    } else if x == f32::NEG_INFINITY {
+        "-Inf"
+    } else {
+        "finite"
+    }
+}
+
+// ---- outcomes and errors -----------------------------------------------
+
+/// How a monitored fit ended (the `Ok` side of
+/// [`crate::Trainer::fit_monitored`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FitOutcome {
+    /// All planned iterations ran.
+    Completed,
+    /// Divergence detected under [`DivergencePolicy::Warn`]; training
+    /// continued to the end (parameters are likely non-finite).
+    DivergedWarned {
+        /// Iteration of the first detection.
+        first_iteration: usize,
+    },
+    /// Divergence detected under
+    /// [`DivergencePolicy::RollbackToCheckpoint`]; the trainer was restored
+    /// and the run stopped early.
+    RolledBack {
+        /// Iteration at which the divergence was detected.
+        detected_at: usize,
+        /// `d_updates` counter of the restored snapshot.
+        restored_d_updates: usize,
+    },
+}
+
+/// Result summary of a monitored fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// Iterations actually executed.
+    pub iterations_run: usize,
+    /// Terminal state.
+    pub outcome: FitOutcome,
+}
+
+/// A training run failed in a controlled way.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The watchdog detected non-finite values under
+    /// [`DivergencePolicy::Abort`] (or a rollback without a snapshot).
+    Diverged {
+        /// Iteration at which the divergence was detected.
+        iteration: usize,
+        /// The watchdog's finding.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Diverged { iteration, detail } => {
+                write!(f, "training diverged at iteration {iteration}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+// ---- monitor -----------------------------------------------------------
+
+/// Receiver for periodic checkpoints (see [`TrainMonitor::with_checkpoint_sink`]).
+pub type CheckpointSink = Box<dyn FnMut(&Checkpoint) + Send>;
+
+/// Everything a training loop threads through for observability: optional
+/// [`RunLog`], optional [`Watchdog`], heartbeat cadence, and an optional
+/// periodic checkpoint sink.
+///
+/// [`TrainMonitor::disabled`] is a guaranteed no-op (the plain
+/// [`crate::Trainer::fit`] path), and a monitor adds no RNG draws, so
+/// monitored and unmonitored runs follow bitwise-identical parameter
+/// trajectories.
+pub struct TrainMonitor {
+    log: Option<RunLog>,
+    watchdog: Option<Watchdog>,
+    heartbeat_every: usize,
+    checkpoint_every: usize,
+    checkpoint_sink: Option<CheckpointSink>,
+    label: String,
+    seed: Option<u64>,
+}
+
+impl std::fmt::Debug for TrainMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainMonitor")
+            .field("log", &self.log)
+            .field("watchdog", &self.watchdog)
+            .field("heartbeat_every", &self.heartbeat_every)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("label", &self.label)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl Default for TrainMonitor {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl TrainMonitor {
+    /// A monitor that does nothing (no log, no watchdog, no checkpoints).
+    pub fn disabled() -> Self {
+        TrainMonitor {
+            log: None,
+            watchdog: None,
+            heartbeat_every: 50,
+            checkpoint_every: 0,
+            checkpoint_sink: None,
+            label: String::new(),
+            seed: None,
+        }
+    }
+
+    /// Alias of [`TrainMonitor::disabled`], for builder-style setup.
+    pub fn new() -> Self {
+        Self::disabled()
+    }
+
+    /// Attaches a run log.
+    pub fn with_log(mut self, log: RunLog) -> Self {
+        self.log = Some(log);
+        self
+    }
+
+    /// Attaches a watchdog.
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Sets the heartbeat cadence in iterations (0 disables heartbeats).
+    pub fn with_heartbeat_every(mut self, every: usize) -> Self {
+        self.heartbeat_every = every;
+        self
+    }
+
+    /// Sets the run label written to the header event.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Records the RNG seed for the header event.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Delivers a [`Checkpoint`] to `sink` every `every` iterations (the CLI
+    /// uses this to write periodic checkpoint files).
+    pub fn with_checkpoint_sink(mut self, every: usize, sink: CheckpointSink) -> Self {
+        self.checkpoint_every = every;
+        self.checkpoint_sink = Some(sink);
+        self
+    }
+
+    /// The attached run log, if any (e.g. to read failure counters).
+    pub fn log(&self) -> Option<&RunLog> {
+        self.log.as_ref()
+    }
+
+    /// The attached watchdog, if any.
+    pub fn watchdog(&self) -> Option<&Watchdog> {
+        self.watchdog.as_ref()
+    }
+
+    /// Emits an arbitrary event to the log (no-op without a log).
+    pub fn emit(&mut self, event: &RunEvent) {
+        if let Some(log) = self.log.as_mut() {
+            log.emit(event);
+        }
+    }
+
+    /// Emits the run header. `header` is only invoked when a log is
+    /// attached; the closure receives the monitor's label and seed.
+    pub fn emit_header(&mut self, header: impl FnOnce(String, Option<u64>) -> RunHeader) {
+        if self.log.is_some() {
+            let h = header(self.label.clone(), self.seed);
+            self.emit(&RunEvent::Header(h));
+        }
+    }
+
+    /// Emits one iteration event built from trainer step metrics.
+    pub fn emit_iteration(&mut self, m: &StepMetrics) {
+        if self.log.is_some() {
+            self.emit(&RunEvent::Iteration(IterationEvent::from_step(m)));
+        }
+    }
+
+    /// Runs the watchdog on this iteration. On a finding, emits the
+    /// divergence event and returns `(detail, policy)` for the caller to
+    /// act on; `None` means healthy (or no watchdog attached).
+    pub fn watchdog_inspect(
+        &mut self,
+        it: usize,
+        losses: &[(&str, f32)],
+        store: &ParamStore,
+    ) -> Option<(String, DivergencePolicy)> {
+        let wd = self.watchdog.as_mut()?;
+        let detail = wd.inspect(it, losses, store)?;
+        let action = wd.policy();
+        self.emit(&RunEvent::Divergence(DivergenceEvent { iteration: it, detail: detail.clone(), action }));
+        Some((detail, action))
+    }
+
+    /// Iteration of the watchdog's first detection, if any.
+    pub fn first_divergence(&self) -> Option<usize> {
+        self.watchdog.as_ref().and_then(|w| w.first_divergence())
+    }
+
+    /// True when the watchdog wants a healthy-state rollback snapshot at
+    /// this iteration.
+    pub fn wants_rollback_snapshot(&self, it: usize) -> bool {
+        self.watchdog.as_ref().is_some_and(|w| w.wants_snapshot(it))
+    }
+
+    /// Hands a healthy-state snapshot to the watchdog.
+    pub fn store_rollback_snapshot(&mut self, ck: Checkpoint) {
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.store_snapshot(ck);
+        }
+    }
+
+    /// Takes the watchdog's rollback snapshot, if it holds one.
+    pub fn take_rollback_snapshot(&mut self) -> Option<Checkpoint> {
+        self.watchdog.as_mut().and_then(|w| w.take_snapshot())
+    }
+
+    /// True when a periodic checkpoint is due after iteration `it`.
+    pub fn checkpoint_due(&self, it: usize) -> bool {
+        self.checkpoint_sink.is_some()
+            && self.checkpoint_every > 0
+            && (it + 1).is_multiple_of(self.checkpoint_every)
+    }
+
+    /// Delivers a checkpoint to the sink.
+    pub fn sink_checkpoint(&mut self, ck: &Checkpoint) {
+        if let Some(sink) = self.checkpoint_sink.as_mut() {
+            sink(ck);
+        }
+    }
+
+    /// Emits a heartbeat when one is due after iteration `it`.
+    pub fn maybe_heartbeat(
+        &mut self,
+        it: usize,
+        planned_iterations: usize,
+        started: Instant,
+        workspace: WorkspaceStats,
+    ) {
+        if self.log.is_none() || self.heartbeat_every == 0 || !(it + 1).is_multiple_of(self.heartbeat_every) {
+            return;
+        }
+        let done = (it + 1) as f64;
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        let iters_per_sec = if elapsed_ms > 0.0 { done / (elapsed_ms / 1e3) } else { 0.0 };
+        let remaining = planned_iterations.saturating_sub(it + 1) as f64;
+        let eta_ms = if done > 0.0 { elapsed_ms / done * remaining } else { 0.0 };
+        self.emit(&RunEvent::Heartbeat(HeartbeatEvent {
+            iteration: it,
+            elapsed_ms,
+            iters_per_sec,
+            eta_ms,
+            workspace,
+        }));
+    }
+
+    /// Emits the run-end summary.
+    pub fn emit_end(&mut self, iterations_run: usize, started: Instant, outcome: RunOutcome) {
+        if self.log.is_some() {
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            self.emit(&RunEvent::End(RunEndEvent { iterations_run, wall_ms, outcome }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_nn::tensor::Tensor;
+
+    #[test]
+    fn run_log_jsonl_roundtrips_every_event_kind() {
+        let (mut log, buf) = RunLog::in_memory();
+        let events = vec![
+            RunEvent::Header(RunHeader {
+                label: "test".into(),
+                seed: Some(7),
+                iterations: 10,
+                num_samples: 24,
+                batch_size: 8,
+                d_steps_per_g: 1,
+                threads: 2,
+                dp: false,
+            }),
+            RunEvent::Iteration(IterationEvent {
+                iteration: 0,
+                d_loss: Some(1.5),
+                g_loss: Some(-0.25),
+                gp: Some(0.1),
+                wasserstein: Some(0.5),
+                d_ms: 2.5,
+                g_ms: 1.25,
+                gen_ms: 0.5,
+            }),
+            RunEvent::Heartbeat(HeartbeatEvent {
+                iteration: 4,
+                elapsed_ms: 100.0,
+                iters_per_sec: 50.0,
+                eta_ms: 100.0,
+                workspace: WorkspaceStats { hits: 3, misses: 1, reclaimed: 4, dropped: 0 },
+            }),
+            RunEvent::Divergence(DivergenceEvent {
+                iteration: 5,
+                detail: "loss `d_loss` is NaN".into(),
+                action: DivergencePolicy::Abort,
+            }),
+            RunEvent::End(RunEndEvent { iterations_run: 6, wall_ms: 120.0, outcome: RunOutcome::Aborted }),
+        ];
+        for e in &events {
+            log.emit(e);
+        }
+        assert_eq!(log.events_written(), events.len() as u64);
+        assert_eq!(log.write_failures(), 0);
+        let parsed = parse_jsonl(&buf.contents()).expect("run log must parse line-for-line");
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn non_finite_losses_serialize_as_null_and_still_parse() {
+        let (mut log, buf) = RunLog::in_memory();
+        let m = StepMetrics { iteration: 3, d_loss: f32::NAN, g_loss: f32::INFINITY, ..Default::default() };
+        log.emit(&RunEvent::Iteration(IterationEvent::from_step(&m)));
+        let text = buf.contents();
+        assert!(text.contains("null"), "non-finite losses must be carried as null: {text}");
+        let parsed = parse_jsonl(&text).expect("NaN-bearing iteration line must still parse");
+        match &parsed[0] {
+            RunEvent::Iteration(ev) => {
+                assert_eq!(ev.iteration, 3);
+                assert_eq!(ev.d_loss, None);
+                assert_eq!(ev.g_loss, None);
+                assert_eq!(ev.gp, Some(0.0));
+            }
+            other => panic!("expected an iteration event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_flags_nonfinite_losses_and_params() {
+        assert!(Watchdog::losses_finding(&[("d_loss", 1.0), ("g_loss", 2.0)]).is_none());
+        let f = Watchdog::losses_finding(&[("d_loss", 1.0), ("gp", f32::NAN)]).expect("NaN gp");
+        assert!(f.contains("gp") && f.contains("NaN"), "{f}");
+
+        let mut store = ParamStore::new();
+        store.add("healthy", Tensor::ones(2, 2));
+        let id = store.add("sick", Tensor::zeros(1, 3));
+        assert!(Watchdog::store_finding(&store).is_none());
+        store.get_mut(id).set(0, 2, f32::NEG_INFINITY);
+        let f = Watchdog::store_finding(&store).expect("must find -Inf");
+        assert!(f.contains("sick") && f.contains("-Inf") && f.contains("scalar 2"), "{f}");
+        assert!(f.contains(&format!("0x{:08x}", f32::NEG_INFINITY.to_bits())), "{f}");
+    }
+
+    #[test]
+    fn watchdog_store_scan_honors_cadence() {
+        let mut store = ParamStore::new();
+        let id = store.add("p", Tensor::zeros(1, 1));
+        store.get_mut(id).set(0, 0, f32::NAN);
+        let mut wd = Watchdog::new(WatchdogConfig { check_every: 10, policy: DivergencePolicy::Warn });
+        // Finite losses + off-cadence iteration: the store scan is skipped.
+        assert!(wd.inspect(3, &[("loss", 0.0)], &store).is_none());
+        assert!(wd.first_divergence().is_none());
+        // On-cadence iteration: the scan fires.
+        assert!(wd.inspect(10, &[("loss", 0.0)], &store).is_some());
+        assert_eq!(wd.first_divergence(), Some(10));
+    }
+
+    #[test]
+    fn divergence_policy_parses_cli_names() {
+        assert_eq!("warn".parse::<DivergencePolicy>().unwrap(), DivergencePolicy::Warn);
+        assert_eq!("abort".parse::<DivergencePolicy>().unwrap(), DivergencePolicy::Abort);
+        assert_eq!("rollback".parse::<DivergencePolicy>().unwrap(), DivergencePolicy::RollbackToCheckpoint);
+        assert!("explode".parse::<DivergencePolicy>().is_err());
+    }
+
+    #[test]
+    fn disabled_monitor_is_inert() {
+        let mut mon = TrainMonitor::disabled();
+        let store = ParamStore::new();
+        assert!(mon.watchdog_inspect(0, &[("d_loss", f32::NAN)], &store).is_none());
+        assert!(!mon.wants_rollback_snapshot(0));
+        assert!(!mon.checkpoint_due(0));
+        mon.emit_iteration(&StepMetrics::default());
+        mon.emit_end(0, Instant::now(), RunOutcome::Completed);
+        assert!(mon.log().is_none());
+    }
+}

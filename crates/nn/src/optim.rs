@@ -113,6 +113,20 @@ impl Adam {
         }
     }
 
+    /// The live moment-estimate tensors, first all `m` then all `v`, each in
+    /// parameter-id order (skipping parameters that never received a
+    /// gradient). The order is stable, which the checkpoint codec relies on
+    /// to address individual scalars.
+    pub fn moment_tensors(&self) -> impl Iterator<Item = &Tensor> {
+        self.m.iter().chain(self.v.iter()).flatten()
+    }
+
+    /// Mutable counterpart of [`Adam::moment_tensors`], used by the
+    /// checkpoint codec to zero and later restore non-finite scalars.
+    pub fn moment_tensors_mut(&mut self) -> impl Iterator<Item = &mut Tensor> {
+        self.m.iter_mut().chain(self.v.iter_mut()).flatten()
+    }
+
     fn ensure(&mut self, id: ParamId, g: &Tensor) {
         if self.m.len() <= id.0 {
             self.m.resize(id.0 + 1, None);

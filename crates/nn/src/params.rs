@@ -72,6 +72,14 @@ impl ParamStore {
         self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p.name.as_str(), &p.value))
     }
 
+    /// Mutable iteration over every parameter tensor in id order.
+    ///
+    /// Used by the checkpoint codec, which zeroes non-finite scalars for
+    /// JSON transport and patches their original bit patterns back on load.
+    pub fn tensors_mut(&mut self) -> impl Iterator<Item = &mut Tensor> {
+        self.params.iter_mut().map(|p| &mut p.value)
+    }
+
     /// Total number of scalar parameters.
     pub fn num_scalars(&self) -> usize {
         self.params.iter().map(|p| p.value.len()).sum()

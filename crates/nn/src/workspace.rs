@@ -19,10 +19,14 @@
 //! passed to `Graph::constant`) cannot grow the pool without bound.
 
 use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Cumulative counters describing how a [`Workspace`] has been used.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Serializable so training-run telemetry (heartbeat events in a JSONL run
+/// log) can embed pool-health counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkspaceStats {
     /// Buffer requests served from the pool (no heap allocation).
     pub hits: u64,
