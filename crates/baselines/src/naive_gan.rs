@@ -398,7 +398,7 @@ mod tests {
         let mut mon = TrainMonitor::new()
             .with_watchdog(Watchdog::with_policy(doppelganger::telemetry::DivergencePolicy::Abort));
         let err = gan.train_monitored(&encoded, &mut rng, &mut mon).expect_err("must abort");
-        let TrainError::Diverged { iteration, .. } = err;
+        let TrainError::Diverged { iteration, .. } = err else { panic!("expected a divergence error") };
         assert_eq!(iteration, 0);
     }
 }

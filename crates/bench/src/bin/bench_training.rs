@@ -303,9 +303,17 @@ fn main() {
         alloc_reduction,
     };
     let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: creating {}: {e}", dir.display());
+        std::process::exit(3);
+    }
     let path = dir.join("BENCH_training.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(&path, json).expect("write BENCH_training.json");
+    // Atomic so a torn write can never leave a half-valid JSON for the CI
+    // jq step to mis-parse.
+    if let Err(e) = dg_io::atomic_write(&path, json.as_bytes()) {
+        eprintln!("error: writing {}: {e}", path.display());
+        std::process::exit(3);
+    }
     println!("wrote {}", path.display());
 }

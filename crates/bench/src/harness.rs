@@ -58,19 +58,32 @@ impl ExpResult {
     /// Prints to stdout and saves the report under
     /// `results/<id>.<scale>.txt` plus the key numbers as
     /// `results/<id>.<scale>.json` (consumed by `exp_summary`).
+    ///
+    /// Persistence failures are reported on stderr instead of silently
+    /// dropping results (an hour-long experiment whose numbers vanish is
+    /// worse than a noisy one); the printed report is always complete.
     pub fn emit(&self, scale_name: &str) {
         let report = self.render();
         println!("{report}");
         let dir = results_dir();
-        if std::fs::create_dir_all(&dir).is_ok() {
-            let path = dir.join(format!("{}.{}.txt", self.id, scale_name));
-            let _ = std::fs::write(path, &report);
-            let json = dir.join(format!("{}.{}.json", self.id, scale_name));
-            let map: std::collections::BTreeMap<&str, f64> =
-                self.numbers.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-            if let Ok(s) = serde_json::to_string_pretty(&map) {
-                let _ = std::fs::write(json, s);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: creating {}: {e}; results not saved", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.{}.txt", self.id, scale_name));
+        if let Err(e) = dg_io::atomic_write(&path, report.as_bytes()) {
+            eprintln!("warning: saving report: {e}");
+        }
+        let json = dir.join(format!("{}.{}.json", self.id, scale_name));
+        let map: std::collections::BTreeMap<&str, f64> =
+            self.numbers.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        match serde_json::to_string_pretty(&map) {
+            Ok(s) => {
+                if let Err(e) = dg_io::atomic_write(&json, s.as_bytes()) {
+                    eprintln!("warning: saving key numbers: {e}");
+                }
             }
+            Err(e) => eprintln!("warning: serializing key numbers: {e}"),
         }
     }
 

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! dg demo      --out data.json                      # write a demo dataset
+//! dg import    --format wwt --input raw.csv --out data.json
 //! dg schema    --data data.json                     # inspect a dataset
 //! dg train     --data data.json --out model.json    # train + release
 //! dg generate  --model model.json -n 500 --out synth.json
@@ -14,17 +15,99 @@
 //! ```
 //!
 //! Datasets are `dg_data::Dataset` serialized as JSON; models are released
-//! [`doppelganger::DoppelGanger`] parameters as JSON.
+//! [`doppelganger::DoppelGanger`] parameters as JSON. Everything the CLI
+//! persists goes through `dg_io`'s atomic writes, and `train` keeps a
+//! rotated, crash-safe checkpoint directory it can `--resume` from
+//! bitwise-identically after a kill.
+//!
+//! Failures carry a [`CliErrorKind`] that maps to a distinct process exit
+//! code, so scripts can tell a typo from a full disk from a diverged run.
 
 #![warn(missing_docs)]
 
 use dg_data::Dataset;
 use dg_metrics::{attribute_histogram, average_autocorrelation, curve_mse, jsd_counts, wasserstein1};
 use doppelganger::prelude::*;
+use doppelganger::telemetry::ResumedEvent;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::path::Path;
+
+/// What went wrong, at the granularity scripts branch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliErrorKind {
+    /// Bad command line: unknown subcommand, stray positional, missing flag.
+    Usage,
+    /// A flag parsed but its value is unusable.
+    Config,
+    /// The filesystem failed: read, write, or checkpoint persistence.
+    Io,
+    /// Training diverged and the watchdog aborted the run.
+    Diverged,
+    /// Input data (dataset, model, or import rows) failed to parse.
+    Data,
+}
+
+/// A CLI failure: a kind for the exit code plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Classification driving [`CliError::exit_code`].
+    pub kind: CliErrorKind,
+    /// What happened.
+    pub message: String,
+}
+
+impl CliError {
+    /// Builds an error of the given kind.
+    pub fn new(kind: CliErrorKind, message: impl Into<String>) -> Self {
+        CliError { kind, message: message.into() }
+    }
+
+    /// The process exit code for this failure: 2 usage/config, 3 I/O,
+    /// 4 divergence abort, 5 bad data.
+    pub fn exit_code(&self) -> i32 {
+        match self.kind {
+            CliErrorKind::Usage | CliErrorKind::Config => 2,
+            CliErrorKind::Io => 3,
+            CliErrorKind::Diverged => 4,
+            CliErrorKind::Data => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage_err(message: impl Into<String>) -> CliError {
+    CliError::new(CliErrorKind::Usage, message)
+}
+
+fn config_err(message: impl Into<String>) -> CliError {
+    CliError::new(CliErrorKind::Config, message)
+}
+
+fn io_err(message: impl Into<String>) -> CliError {
+    CliError::new(CliErrorKind::Io, message)
+}
+
+fn data_err(message: impl Into<String>) -> CliError {
+    CliError::new(CliErrorKind::Data, message)
+}
+
+fn train_err(e: TrainError) -> CliError {
+    let kind = match &e {
+        TrainError::Diverged { .. } => CliErrorKind::Diverged,
+        TrainError::CheckpointFailed { .. } => CliErrorKind::Io,
+    };
+    CliError::new(kind, e.to_string())
+}
 
 /// A parsed command line: subcommand plus `--flag value` options.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,14 +123,14 @@ impl Args {
     ///
     /// Flags are `--name value` (or `-n value`); a flag without a following
     /// value gets `"true"`.
-    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, CliError> {
         let mut it = argv.into_iter().peekable();
-        let command = it.next().ok_or("missing subcommand; try `dg help`")?;
+        let command = it.next().ok_or_else(|| usage_err("missing subcommand; try `dg help`"))?;
         let mut options = HashMap::new();
         while let Some(tok) = it.next() {
             let name = tok.trim_start_matches('-').to_string();
             if !tok.starts_with('-') {
-                return Err(format!("unexpected positional argument '{tok}'"));
+                return Err(usage_err(format!("unexpected positional argument '{tok}'")));
             }
             let value = match it.peek() {
                 Some(v) if !v.starts_with('-') => it.next().expect("peeked"),
@@ -59,8 +142,11 @@ impl Args {
     }
 
     /// A required option.
-    pub fn required(&self, name: &str) -> Result<&str, String> {
-        self.options.get(name).map(String::as_str).ok_or_else(|| format!("missing required option --{name}"))
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.options
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| usage_err(format!("missing required option --{name}")))
     }
 
     /// An optional option with a default.
@@ -69,25 +155,31 @@ impl Args {
     }
 
     /// A numeric option with a default.
-    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.options.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: '{v}'")),
+            Some(v) => v.parse().map_err(|_| config_err(format!("invalid value for --{name}: '{v}'"))),
         }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.options.contains_key(name)
     }
 }
 
 /// Runs a parsed command, returning the report to print.
-pub fn run(args: &Args) -> Result<String, String> {
+pub fn run(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
         "help" | "--help" | "-h" => Ok(usage()),
         "demo" => cmd_demo(args),
+        "import" => cmd_import(args),
         "schema" => cmd_schema(args),
         "train" => cmd_train(args),
         "generate" => cmd_generate(args),
         "retrain" => cmd_retrain(args),
         "evaluate" => cmd_evaluate(args),
-        other => Err(format!("unknown subcommand '{other}'\n{}", usage())),
+        other => Err(usage_err(format!("unknown subcommand '{other}'\n{}", usage()))),
     }
 }
 
@@ -97,12 +189,19 @@ pub fn usage() -> String {
      \n\
      subcommands:\n\
      \x20 demo      --out <data.json> [--objects N] [--length T]     write a demo dataset\n\
+     \x20 import    --format wwt|mba|gcut --input <raw.csv>\n\
+     \x20           --out <data.json> [--lenient]                    import a real CSV export\n\
+     \x20                                                            (--lenient skips bad rows)\n\
      \x20 schema    --data <data.json>                               inspect a dataset\n\
      \x20 train     --data <data.json> --out <model.json>\n\
      \x20           [--iterations N=500] [--seed S=0] [--batch B]\n\
      \x20           [--dp-sigma x --dp-clip c]\n\
      \x20           [--run-log <log.jsonl>]                          JSONL run telemetry\n\
-     \x20           [--checkpoint-every K]                           write <model.json>.ckpt.json\n\
+     \x20           [--checkpoint-every K]                           rotated crash-safe checkpoints\n\
+     \x20           [--checkpoint-dir D=<model.json>.ckpts]\n\
+     \x20           [--checkpoint-retain N=3]\n\
+     \x20           [--resume]                                       continue from the newest\n\
+     \x20                                                            valid checkpoint, bitwise\n\
      \x20           [--on-divergence warn|abort|rollback]            NaN/Inf watchdog policy\n\
      \x20                                                            (default abort)\n\
      \x20 generate  --model <model.json> --out <synth.json>\n\
@@ -111,11 +210,13 @@ pub fn usage() -> String {
      \x20 retrain   --model <model.json> --target <data.json>\n\
      \x20           --out <model2.json> [--iterations N=300]\n\
      \x20           [--run-log <log.jsonl>]                          mask/shift attributes\n\
-     \x20 evaluate  --real <data.json> --synthetic <synth.json>      fidelity report\n"
+     \x20 evaluate  --real <data.json> --synthetic <synth.json>      fidelity report\n\
+     \n\
+     exit codes: 2 usage/config, 3 I/O, 4 divergence abort, 5 bad input data\n"
         .to_string()
 }
 
-fn cmd_demo(args: &Args) -> Result<String, String> {
+fn cmd_demo(args: &Args) -> Result<String, CliError> {
     let out = args.required("out")?;
     let objects = args.num_or("objects", 200usize)?;
     let length = args.num_or("length", 48usize)?;
@@ -128,7 +229,36 @@ fn cmd_demo(args: &Args) -> Result<String, String> {
     Ok(format!("wrote demo dataset ({objects} objects, length {length}) to {out}"))
 }
 
-fn cmd_schema(args: &Args) -> Result<String, String> {
+fn cmd_import(args: &Args) -> Result<String, CliError> {
+    let name = args.required("format")?;
+    let format = dg_datasets::Format::by_name(name)
+        .ok_or_else(|| config_err(format!("unknown --format '{name}' (expected wwt, mba, or gcut)")))?;
+    let input = args.required("input")?;
+    let out = args.required("out")?;
+    let opts = if args.flag("lenient") {
+        dg_datasets::LoadOptions::lenient()
+    } else {
+        dg_datasets::LoadOptions::strict()
+    };
+    let text = std::fs::read_to_string(input).map_err(|e| io_err(format!("reading {input}: {e}")))?;
+    let (data, report) =
+        format.load_csv(Path::new(input), &text, opts).map_err(|e| data_err(e.to_string()))?;
+    for skip in report.skipped.iter().take(5) {
+        eprintln!("warning: skipped {skip}");
+    }
+    if report.skipped.len() > 5 {
+        eprintln!("warning: ... and {} more bad rows", report.skipped.len() - 5);
+    }
+    write_json(out, &data)?;
+    let skipped_note = if report.skipped.is_empty() {
+        String::new()
+    } else {
+        format!(" (skipped {} bad rows)", report.skipped.len())
+    };
+    Ok(format!("imported {} {} objects to {out}{skipped_note}", report.loaded, format.name))
+}
+
+fn cmd_schema(args: &Args) -> Result<String, CliError> {
     let data: Dataset = read_json(args.required("data")?)?;
     let mut s = String::new();
     let _ = writeln!(s, "objects: {}", data.len());
@@ -162,54 +292,98 @@ fn cmd_schema(args: &Args) -> Result<String, String> {
     Ok(s)
 }
 
-fn cmd_train(args: &Args) -> Result<String, String> {
+fn cmd_train(args: &Args) -> Result<String, CliError> {
     let data: Dataset = read_json(args.required("data")?)?;
     let out = args.required("out")?;
     let iterations = args.num_or("iterations", 500usize)?;
     let seed = args.num_or("seed", 0u64)?;
     let mut config = DgConfig::quick().with_recommended_s(data.schema.max_len);
     config.batch_size = args.num_or("batch", config.batch_size)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let model = DoppelGanger::new(&data, config, &mut rng);
-    let encoded = model.encode(&data);
-    let mut trainer = Trainer::new(model);
+    // The NaN/Inf watchdog is always on; --on-divergence picks the response
+    // (default: abort with a clean error instead of writing NaN weights).
+    let policy: DivergencePolicy = args.get_or("on-divergence", "abort").parse().map_err(config_err)?;
+
+    let checkpoint_every = args.num_or("checkpoint-every", 0usize)?;
+    let retain = args.num_or("checkpoint-retain", 3usize)?;
+    let resume = args.flag("resume");
+    let default_ckpt_dir = format!("{out}.ckpts");
+    let ckpt_dir = args.get_or("checkpoint-dir", &default_ckpt_dir);
+    let mut store = if checkpoint_every > 0 || resume {
+        let s = CheckpointStore::open_std(ckpt_dir)
+            .map_err(|e| io_err(format!("opening checkpoint store: {e}")))?;
+        Some(s.with_retain(retain.max(1)))
+    } else {
+        None
+    };
+
+    // The training stream is a serializable RNG so a resumed process can
+    // continue the exact noise sequence; model *initialization* stays on
+    // StdRng (only fresh starts initialize).
+    let mut shared = SharedRng::seed_from_u64(seed);
+    let mut recovered = None;
+    let mut resumed_trainer = None;
+    if resume {
+        let st = store.as_ref().expect("resume opened the store");
+        let (loaded, skipped) = st.load_latest().map_err(|e| io_err(format!("scanning checkpoints: {e}")))?;
+        if let Some(l) = loaded {
+            if let Some(r) = l.snapshot.rng {
+                shared = SharedRng::new(r);
+            }
+            recovered = Some((l.snapshot.iteration, l.path.display().to_string(), skipped.len()));
+            resumed_trainer = Some(Trainer::resume(l.snapshot.checkpoint));
+            for s in &skipped {
+                eprintln!("warning: skipped unusable checkpoint {}: {}", s.path.display(), s.reason);
+            }
+        }
+    }
+    let mut trainer = match resumed_trainer {
+        Some(t) => t,
+        None => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Trainer::new(DoppelGanger::new(&data, config, &mut rng))
+        }
+    };
     if let Some(sigma) = args.options.get("dp-sigma") {
-        let sigma: f32 = sigma.parse().map_err(|_| "invalid --dp-sigma")?;
+        let sigma: f32 = sigma.parse().map_err(|_| config_err("invalid --dp-sigma"))?;
         let clip: f32 = args.num_or("dp-clip", 1.0f32)?;
         trainer = trainer.with_dp(DpConfig { clip_norm: clip, noise_multiplier: sigma });
     }
-    // The NaN/Inf watchdog is always on; --on-divergence picks the response
-    // (default: abort with a clean error instead of writing NaN weights).
-    let policy: DivergencePolicy = args.get_or("on-divergence", "abort").parse()?;
+    let encoded = trainer.model.encode(&data);
+
     let mut monitor = TrainMonitor::new()
         .with_label("dg train")
         .with_seed(seed)
         .with_watchdog(Watchdog::with_policy(policy));
     if let Some(path) = args.options.get("run-log") {
-        let log = RunLog::create(path).map_err(|e| format!("creating run log {path}: {e}"))?;
+        let log = RunLog::create(path).map_err(|e| io_err(format!("creating run log {path}: {e}")))?;
         monitor = monitor.with_log(log);
     }
-    let checkpoint_every = args.num_or("checkpoint-every", 0usize)?;
-    if checkpoint_every > 0 {
-        let ckpt_path = format!("{out}.ckpt.json");
-        monitor = monitor.with_checkpoint_sink(
-            checkpoint_every,
-            Box::new(move |ck| match ck.to_json() {
-                Ok(json) => {
-                    if let Err(e) = std::fs::write(&ckpt_path, json) {
-                        eprintln!("warning: writing checkpoint {ckpt_path}: {e}");
-                    }
-                }
-                Err(e) => eprintln!("warning: serializing checkpoint: {e}"),
-            }),
-        );
+    if let Some((iteration, checkpoint, skipped)) = &recovered {
+        monitor.emit(&RunEvent::Resumed(ResumedEvent {
+            iteration: *iteration,
+            checkpoint: checkpoint.clone(),
+            skipped: *skipped,
+        }));
     }
+    if checkpoint_every > 0 {
+        let st = store.take().expect("checkpointing opened the store");
+        monitor = monitor.with_checkpoint_sink(checkpoint_every, checkpoint_sink(st, shared.clone()));
+    }
+
+    let start_iter = recovered.as_ref().map(|(it, _, _)| *it).unwrap_or(0);
+    let remaining = iterations.saturating_sub(start_iter);
     let mut last = StepMetrics::default();
     let report = trainer
-        .fit_monitored(&encoded, iterations, &mut rng, &mut monitor, |m| last = *m)
-        .map_err(|e| e.to_string())?;
+        .fit_monitored(&encoded, remaining, &mut shared, &mut monitor, |m| last = *m)
+        .map_err(train_err)?;
     let model = trainer.into_model();
-    std::fs::write(out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    dg_io::atomic_write(Path::new(out), model.to_json().as_bytes())
+        .map_err(|e| io_err(format!("writing {out}: {e}")))?;
+    let resumed_note = match &recovered {
+        Some((it, _, _)) => format!(" (resumed from iteration {it})"),
+        None if resume => " (no usable checkpoint; started fresh)".to_string(),
+        None => String::new(),
+    };
     let outcome = match report.outcome {
         FitOutcome::Completed => String::new(),
         FitOutcome::DivergedWarned { first_iteration } => {
@@ -220,12 +394,12 @@ fn cmd_train(args: &Args) -> Result<String, String> {
         }
     };
     Ok(format!(
-        "trained {} iterations (final W~{:.3}); released model to {out}{outcome}",
+        "trained {} iterations{resumed_note} (final W~{:.3}); released model to {out}{outcome}",
         report.iterations_run, last.wasserstein
     ))
 }
 
-fn cmd_generate(args: &Args) -> Result<String, String> {
+fn cmd_generate(args: &Args) -> Result<String, CliError> {
     let model = load_model(args.required("model")?)?;
     let out = args.required("out")?;
     let seed = args.num_or("seed", 0u64)?;
@@ -246,7 +420,7 @@ fn cmd_generate(args: &Args) -> Result<String, String> {
     Ok(format!("generated {how} to {out}"))
 }
 
-fn cmd_retrain(args: &Args) -> Result<String, String> {
+fn cmd_retrain(args: &Args) -> Result<String, CliError> {
     let mut model = load_model(args.required("model")?)?;
     let target_data: Dataset = read_json(args.required("target")?)?;
     let out = args.required("out")?;
@@ -259,23 +433,24 @@ fn cmd_retrain(args: &Args) -> Result<String, String> {
         .with_seed(seed)
         .with_watchdog(Watchdog::with_policy(DivergencePolicy::Abort));
     if let Some(path) = args.options.get("run-log") {
-        let log = RunLog::create(path).map_err(|e| format!("creating run log {path}: {e}"))?;
+        let log = RunLog::create(path).map_err(|e| io_err(format!("creating run log {path}: {e}")))?;
         monitor = monitor.with_log(log);
     }
     retrain_attribute_generator_monitored(&mut model, &target, iterations, &mut rng, &mut monitor)
-        .map_err(|e| e.to_string())?;
-    std::fs::write(out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+        .map_err(train_err)?;
+    dg_io::atomic_write(Path::new(out), model.to_json().as_bytes())
+        .map_err(|e| io_err(format!("writing {out}: {e}")))?;
     Ok(format!(
         "retrained the attribute generator for {iterations} iterations toward {} combos; wrote {out}",
         target.combos.len()
     ))
 }
 
-fn cmd_evaluate(args: &Args) -> Result<String, String> {
+fn cmd_evaluate(args: &Args) -> Result<String, CliError> {
     let real: Dataset = read_json(args.required("real")?)?;
     let synth: Dataset = read_json(args.required("synthetic")?)?;
     if real.schema != synth.schema {
-        return Err("real and synthetic datasets have different schemas".into());
+        return Err(data_err("real and synthetic datasets have different schemas"));
     }
     let mut s = String::new();
     let _ = writeln!(s, "fidelity report ({} real vs {} synthetic objects)", real.len(), synth.len());
@@ -324,19 +499,19 @@ fn feature_means(d: &Dataset, i: usize) -> Vec<f64> {
         .collect()
 }
 
-fn load_model(path: &str) -> Result<DoppelGanger, String> {
-    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    DoppelGanger::from_json(&json).map_err(|e| format!("parsing model {path}: {e}"))
+fn load_model(path: &str) -> Result<DoppelGanger, CliError> {
+    let json = std::fs::read_to_string(path).map_err(|e| io_err(format!("reading {path}: {e}")))?;
+    DoppelGanger::from_json(&json).map_err(|e| data_err(format!("parsing model {path}: {e}")))
 }
 
-fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
-    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
+    let json = std::fs::read_to_string(path).map_err(|e| io_err(format!("reading {path}: {e}")))?;
+    serde_json::from_str(&json).map_err(|e| data_err(format!("parsing {path}: {e}")))
 }
 
-fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
-    let json = serde_json::to_string(value).map_err(|e| format!("serializing: {e}"))?;
-    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
+    let json = serde_json::to_string(value).map_err(|e| data_err(format!("serializing: {e}")))?;
+    dg_io::atomic_write(Path::new(path), json.as_bytes()).map_err(|e| io_err(format!("writing {path}: {e}")))
 }
 
 #[cfg(test)]
@@ -362,14 +537,39 @@ mod tests {
         assert!(Args::parse(Vec::new()).is_err());
         let a = Args::parse(argv("train --flag")).unwrap();
         assert_eq!(a.get_or("flag", "x"), "true");
+        assert!(a.flag("flag") && !a.flag("other"));
     }
 
     #[test]
     fn unknown_subcommand_reports_usage() {
         let a = Args::parse(argv("bogus")).unwrap();
         let err = run(&a).unwrap_err();
-        assert!(err.contains("unknown subcommand"));
-        assert!(err.contains("subcommands:"));
+        assert_eq!(err.kind, CliErrorKind::Usage);
+        assert!(err.message.contains("unknown subcommand"));
+        assert!(err.message.contains("subcommands:"));
+    }
+
+    #[test]
+    fn error_kinds_map_to_distinct_exit_codes() {
+        let code = |kind| CliError::new(kind, "x").exit_code();
+        assert_eq!(code(CliErrorKind::Usage), 2);
+        assert_eq!(code(CliErrorKind::Config), 2);
+        assert_eq!(code(CliErrorKind::Io), 3);
+        assert_eq!(code(CliErrorKind::Diverged), 4);
+        assert_eq!(code(CliErrorKind::Data), 5);
+    }
+
+    #[test]
+    fn missing_files_and_bad_json_classify_separately() {
+        let err = run(&Args::parse(argv("schema --data /nonexistent/x.json")).unwrap()).unwrap_err();
+        assert_eq!(err.kind, CliErrorKind::Io, "{err}");
+        let dir = std::env::temp_dir().join(format!("dg-cli-badjson-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        dg_io::atomic_write(&bad, b"{ not json").unwrap();
+        let err = run(&Args::parse(argv(&format!("schema --data {}", bad.display()))).unwrap()).unwrap_err();
+        assert_eq!(err.kind, CliErrorKind::Data, "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -417,7 +617,8 @@ mod tests {
         // conditional generation with fixed attribute rows
         let attrs: Vec<Vec<dg_data::Value>> =
             vec![vec![dg_data::Value::Cat(0)], vec![dg_data::Value::Cat(1)]];
-        std::fs::write(p("attrs.json"), serde_json::to_string(&attrs).unwrap()).unwrap();
+        dg_io::atomic_write(&dir.join("attrs.json"), serde_json::to_string(&attrs).unwrap().as_bytes())
+            .unwrap();
         let out = run(&Args::parse(argv(&format!(
             "generate --model {} --out {} --conditioned {}",
             p("model.json"),
@@ -474,11 +675,15 @@ mod tests {
         assert_eq!(iters, 4);
         assert!(matches!(events.last(), Some(RunEvent::End(_))));
 
-        // The periodic checkpoint file exists and parses.
-        let ck = std::fs::read_to_string(format!("{}.ckpt.json", p("model.json"))).unwrap();
-        assert!(Checkpoint::from_json(&ck).is_ok());
+        // Periodic checkpoints landed in the rotated crash-safe store.
+        let store = CheckpointStore::open_std(format!("{}.ckpts", p("model.json"))).unwrap();
+        let (loaded, skipped) = store.load_latest().unwrap();
+        let loaded = loaded.expect("checkpoints were written");
+        assert_eq!(loaded.snapshot.iteration, 4);
+        assert!(loaded.snapshot.rng.is_some(), "snapshot carries the RNG stream");
+        assert!(skipped.is_empty());
 
-        // A bad policy value is a clean CLI error, not a panic.
+        // A bad policy value is a clean CLI config error, not a panic.
         let err = run(&Args::parse(argv(&format!(
             "train --data {} --out {} --iterations 1 --on-divergence explode",
             p("data.json"),
@@ -486,7 +691,8 @@ mod tests {
         )))
         .unwrap())
         .unwrap_err();
-        assert!(err.contains("divergence policy"), "{err}");
+        assert!(err.message.contains("divergence policy"), "{err}");
+        assert_eq!(err.exit_code(), 2);
 
         // Retrain also accepts --run-log.
         let out = run(&Args::parse(argv(&format!(
@@ -502,6 +708,117 @@ mod tests {
         let text = std::fs::read_to_string(p("retrain.jsonl")).unwrap();
         let events = doppelganger::telemetry::parse_jsonl(&text).expect("retrain log must parse");
         assert!(events.iter().any(|e| matches!(e, RunEvent::Iteration(_))));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_continues_bitwise_identically() {
+        let dir = std::env::temp_dir().join(format!("dg-cli-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        run(&Args::parse(argv(&format!("demo --out {} --objects 16 --length 10", p("data.json")))).unwrap())
+            .unwrap();
+
+        // Ground truth: 6 uninterrupted iterations.
+        run(&Args::parse(argv(&format!(
+            "train --data {} --out {} --iterations 6 --batch 8 --checkpoint-every 2",
+            p("data.json"),
+            p("full.json")
+        )))
+        .unwrap())
+        .unwrap();
+
+        // "Interrupted" run: stop after 4 iterations, then resume to 6.
+        run(&Args::parse(argv(&format!(
+            "train --data {} --out {} --iterations 4 --batch 8 --checkpoint-every 2",
+            p("data.json"),
+            p("part.json")
+        )))
+        .unwrap())
+        .unwrap();
+        let out = run(&Args::parse(argv(&format!(
+            "train --data {} --out {} --iterations 6 --batch 8 --checkpoint-every 2 \
+             --resume --checkpoint-dir {}.ckpts --run-log {}",
+            p("data.json"),
+            p("part.json"),
+            p("part.json"),
+            p("resume.jsonl")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("resumed from iteration 4"), "{out}");
+        assert!(out.contains("trained 2 iterations"), "{out}");
+
+        // The released parameters must be byte-identical to the
+        // uninterrupted run's.
+        let full = std::fs::read(p("full.json")).unwrap();
+        let resumed = std::fs::read(p("part.json")).unwrap();
+        assert_eq!(full, resumed, "resume diverged from the uninterrupted trajectory");
+
+        // The run log records the resume.
+        let text = std::fs::read_to_string(p("resume.jsonl")).unwrap();
+        let events = doppelganger::telemetry::parse_jsonl(&text).expect("resume log must parse");
+        assert!(
+            events.iter().any(|e| matches!(e, RunEvent::Resumed(r) if r.iteration == 4)),
+            "expected a Resumed event"
+        );
+
+        // --resume with an empty store is a fresh start, not an error.
+        let out = run(&Args::parse(argv(&format!(
+            "train --data {} --out {} --iterations 2 --batch 8 --resume --checkpoint-dir {}",
+            p("data.json"),
+            p("fresh.json"),
+            p("empty.ckpts")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("no usable checkpoint"), "{out}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_lenient_skips_bad_rows_and_strict_fails() {
+        let dir = std::env::temp_dir().join(format!("dg-cli-import-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let csv = "en.wikipedia.org,desktop,spider,10,12\n\
+                   bad-domain,desktop,spider,10,12\n\
+                   de.wikipedia.org,all-access,all-agents,7,8,9\n";
+        dg_io::atomic_write(&dir.join("raw.csv"), csv.as_bytes()).unwrap();
+
+        let err = run(&Args::parse(argv(&format!(
+            "import --format wwt --input {} --out {}",
+            p("raw.csv"),
+            p("data.json")
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert_eq!(err.kind, CliErrorKind::Data);
+        assert_eq!(err.exit_code(), 5);
+        assert!(err.message.contains("raw.csv:2"), "{err}");
+
+        let out = run(&Args::parse(argv(&format!(
+            "import --format wwt --input {} --out {} --lenient",
+            p("raw.csv"),
+            p("data.json")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("imported 2 wwt objects"), "{out}");
+        assert!(out.contains("skipped 1 bad rows"), "{out}");
+        let data: Dataset = serde_json::from_str(&std::fs::read_to_string(p("data.json")).unwrap()).unwrap();
+        assert_eq!(data.len(), 2);
+
+        let err = run(&Args::parse(argv(&format!(
+            "import --format csv --input {} --out {}",
+            p("raw.csv"),
+            p("data.json")
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert_eq!(err.kind, CliErrorKind::Config, "{err}");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,4 +1,7 @@
 //! The `dg` binary: see [`dg_cli::usage`] or run `dg help`.
+//!
+//! Exit codes (see [`dg_cli::CliError::exit_code`]): 2 usage/config,
+//! 3 I/O, 4 divergence abort, 5 bad input data.
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -7,14 +10,14 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{}", dg_cli::usage());
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     };
     match dg_cli::run(&args) {
         Ok(report) => println!("{report}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -1,0 +1,116 @@
+//! Process-level exit-code contract: scripts must be able to tell a typo
+//! (2) from a broken disk (3) from a diverged run (4) from bad data (5).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn dg(args: &[&str], dir: &PathBuf) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dg")).args(args).current_dir(dir).output().expect("spawn dg")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dg-exit-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("dg terminated by signal")
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let dir = tmpdir("usage");
+    let out = dg(&[], &dir);
+    assert_eq!(code(&out), 2, "{}", String::from_utf8_lossy(&out.stderr));
+    let out = dg(&["frobnicate"], &dir);
+    assert_eq!(code(&out), 2);
+    let out = dg(&["train", "--out", "m.json"], &dir); // missing --data
+    assert_eq!(code(&out), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn config_errors_exit_2() {
+    let dir = tmpdir("config");
+    let out = dg(&["demo", "--out", "data.json", "--objects", "16", "--length", "10"], &dir);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    let out = dg(
+        &[
+            "train",
+            "--data",
+            "data.json",
+            "--out",
+            "m.json",
+            "--iterations",
+            "1",
+            "--on-divergence",
+            "explode",
+        ],
+        &dir,
+    );
+    assert_eq!(code(&out), 2, "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn io_errors_exit_3() {
+    let dir = tmpdir("io");
+    let out = dg(&["schema", "--data", "does-not-exist.json"], &dir);
+    assert_eq!(code(&out), 3, "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn data_errors_exit_5() {
+    let dir = tmpdir("data");
+    std::fs::write(dir.join("bad.json"), "{ not json").unwrap();
+    let out = dg(&["schema", "--data", "bad.json"], &dir);
+    assert_eq!(code(&out), 5, "{}", String::from_utf8_lossy(&out.stderr));
+
+    std::fs::write(dir.join("raw.csv"), "mars.wikipedia.org,desktop,spider,1\n").unwrap();
+    let out = dg(&["import", "--format", "wwt", "--input", "raw.csv", "--out", "d.json"], &dir);
+    assert_eq!(code(&out), 5, "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn divergence_abort_exits_4() {
+    let dir = tmpdir("diverge");
+    let out = dg(&["demo", "--out", "data.json", "--objects", "16", "--length", "10"], &dir);
+    assert_eq!(code(&out), 0);
+    // A DP noise multiplier at the f32 limit overflows the gradients to
+    // non-finite immediately; the always-on watchdog aborts under the
+    // default policy.
+    let out = dg(
+        &[
+            "train",
+            "--data",
+            "data.json",
+            "--out",
+            "m.json",
+            "--iterations",
+            "50",
+            "--batch",
+            "8",
+            "--dp-sigma",
+            "3e38",
+        ],
+        &dir,
+    );
+    assert_eq!(code(&out), 4, "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(!dir.join("m.json").exists(), "an aborted run must not release a model");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn success_exits_0_and_prints_the_report() {
+    let dir = tmpdir("ok");
+    let out = dg(&["demo", "--out", "data.json", "--objects", "16", "--length", "10"], &dir);
+    assert_eq!(code(&out), 0);
+    let out =
+        dg(&["train", "--data", "data.json", "--out", "m.json", "--iterations", "2", "--batch", "8"], &dir);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("released model"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,150 @@
+//! Kill-resume at the process level: SIGKILL a checkpointing `dg train`
+//! mid-run, resume, and require the released parameters to be
+//! byte-identical to an uninterrupted run's. Also: resume must survive a
+//! truncated or bit-flipped newest checkpoint by falling back to an older
+//! one.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const ITERS: &str = "10";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dg-kill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn dg(args: &[&str], dir: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dg")).args(args).current_dir(dir).output().expect("spawn dg")
+}
+
+fn demo(dir: &Path) {
+    let out = dg(&["demo", "--out", "data.json", "--objects", "16", "--length", "10"], dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+fn train_args<'a>(model: &'a str, extra: &[&'a str]) -> Vec<&'a str> {
+    let mut v = vec![
+        "train",
+        "--data",
+        "data.json",
+        "--out",
+        model,
+        "--iterations",
+        ITERS,
+        "--batch",
+        "8",
+        "--checkpoint-every",
+        "1",
+    ];
+    v.extend_from_slice(extra);
+    v
+}
+
+fn checkpoint_files(dir: &Path, model: &str) -> Vec<PathBuf> {
+    let ckpt_dir = dir.join(format!("{model}.ckpts"));
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&ckpt_dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "dgart"))
+                .filter(|p| p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("ckpt-")))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+/// Starts a checkpointing train, SIGKILLs it once at least `min_ckpts`
+/// checkpoints are on disk (or lets it finish if it is faster than us —
+/// resume must be byte-exact in that case too).
+fn train_and_kill(dir: &Path, model: &str, min_ckpts: usize) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dg"))
+        .args(train_args(model, &[]))
+        .current_dir(dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn dg train");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if checkpoint_files(dir, model).len() >= min_ckpts {
+            let _ = child.kill(); // SIGKILL: no destructors, no flushing
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            break; // finished before we could kill it
+        }
+        assert!(Instant::now() < deadline, "no checkpoint appeared within 120s");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = child.wait();
+}
+
+#[test]
+fn sigkill_then_resume_matches_uninterrupted_run_bitwise() {
+    let dir = tmpdir("resume");
+    demo(&dir);
+
+    // Ground truth: the same run, never interrupted.
+    let out = dg(&train_args("full.json", &[]), &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    train_and_kill(&dir, "part.json", 2);
+    assert!(!checkpoint_files(&dir, "part.json").is_empty(), "kill left no checkpoints");
+
+    let out = dg(&train_args("part.json", &["--resume", "--run-log", "resume.jsonl"]), &dir);
+    assert!(out.status.success(), "resume failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let full = std::fs::read(dir.join("full.json")).unwrap();
+    let resumed = std::fs::read(dir.join("part.json")).unwrap();
+    assert_eq!(full, resumed, "resumed run diverged from the uninterrupted run");
+
+    // The run log carries a structured Resumed event (asserted with jq in CI).
+    let log = std::fs::read_to_string(dir.join("resume.jsonl")).unwrap();
+    assert!(log.lines().any(|l| l.contains("\"Resumed\"")), "no Resumed event in:\n{log}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_newest_checkpoints_fall_back_to_an_older_one() {
+    let dir = tmpdir("corrupt");
+    demo(&dir);
+
+    let out = dg(&train_args("full.json", &[]), &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = dg(&train_args("m.json", &[]), &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let files = checkpoint_files(&dir, "m.json");
+    assert!(files.len() >= 3, "expected a rotated set, got {files:?}");
+
+    // Power-loss truncation of the newest checkpoint...
+    let newest = files.last().unwrap();
+    let bytes = std::fs::read(newest).unwrap();
+    std::fs::write(newest, &bytes[..bytes.len() / 2]).unwrap();
+    // ...and a media bit-flip in the second-newest.
+    let second = &files[files.len() - 2];
+    let mut bytes = std::fs::read(second).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(second, &bytes).unwrap();
+
+    let out = dg(&train_args("m.json", &["--resume", "--run-log", "fallback.jsonl"]), &dir);
+    assert!(out.status.success(), "fallback resume failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("skipped unusable checkpoint"), "no skip warnings in: {stderr}");
+
+    // It fell back past both corrupt files, retrained the tail, and landed
+    // on the same parameters as the uninterrupted run.
+    let log = std::fs::read_to_string(dir.join("fallback.jsonl")).unwrap();
+    assert!(log.lines().any(|l| l.contains("\"Resumed\"") && l.contains("\"skipped\":2")), "{log}");
+    let full = std::fs::read(dir.join("full.json")).unwrap();
+    let recovered = std::fs::read(dir.join("m.json")).unwrap();
+    assert_eq!(full, recovered, "fallback resume diverged from the uninterrupted run");
+    let _ = std::fs::remove_dir_all(&dir);
+}

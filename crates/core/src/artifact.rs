@@ -1,0 +1,237 @@
+//! Crash-safe checkpoint persistence: [`TrainSnapshot`] (checkpoint +
+//! RNG stream position + completed-iteration count) stored through
+//! `dg_io`'s atomic, envelope-wrapped, rotated [`ArtifactStore`].
+//!
+//! This is the layer that extends the in-process bit-exact resume
+//! guarantee (see [`crate::checkpoint`]) across process death: a
+//! [`CheckpointStore::save`] that returns `Ok` survives any subsequent
+//! kill, and [`CheckpointStore::load_latest`] lands on the newest
+//! snapshot that is valid end to end — envelope CRC *and* JSON — skipping
+//! truncated, bit-flipped, or partially-renamed files. Resuming from the
+//! loaded snapshot replays the exact parameter trajectory of an
+//! uninterrupted run because the RNG state rides in the snapshot.
+
+use crate::checkpoint::Checkpoint;
+use crate::rng::{SharedRng, TrainRng};
+use crate::telemetry::CheckpointSink;
+use dg_io::{ArtifactStore, Backend, RotationOutcome, SkippedArtifact, StdBackend, StoreError};
+use serde::Deserialize;
+use std::path::PathBuf;
+
+/// Artifact family name for training checkpoints
+/// (`ckpt-00000123.dgart`).
+pub const CKPT_FAMILY: &str = "ckpt";
+
+/// Everything needed to continue a training run bitwise-identically
+/// after process death.
+#[derive(Debug, Clone, Deserialize)]
+pub struct TrainSnapshot {
+    /// Completed training iterations at snapshot time.
+    pub iteration: usize,
+    /// Training-stream RNG state right after iteration `iteration - 1`.
+    /// `None` when the driving RNG is not serializable (e.g. a plain
+    /// `StdRng`); resume then restarts the stream, losing bit-exactness
+    /// but not correctness.
+    #[serde(default)]
+    pub rng: Option<TrainRng>,
+    /// Model, optimizer, and batch-shuffler state.
+    pub checkpoint: Checkpoint,
+}
+
+impl TrainSnapshot {
+    /// Serializes to JSON, routing the checkpoint through
+    /// [`Checkpoint::to_json`] so non-finite scalars stay lossless.
+    pub fn to_json(&self) -> Result<String, String> {
+        let ck = self.checkpoint.to_json().map_err(|e| e.to_string())?;
+        let rng = serde_json::to_string(&self.rng).map_err(|e| e.to_string())?;
+        Ok(format!("{{\"iteration\":{},\"rng\":{},\"checkpoint\":{}}}", self.iteration, rng, ck))
+    }
+
+    /// Restores from [`TrainSnapshot::to_json`] output, re-applying the
+    /// checkpoint's non-finite bit patterns.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let mut snap: TrainSnapshot = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        snap.checkpoint.apply_nonfinite();
+        Ok(snap)
+    }
+}
+
+/// A snapshot that survived recovery, with its provenance.
+#[derive(Debug, Clone)]
+pub struct LoadedSnapshot {
+    /// The recovered training state.
+    pub snapshot: TrainSnapshot,
+    /// Sequence number (completed iterations) of the file it came from.
+    pub seq: u64,
+    /// The file it came from.
+    pub path: PathBuf,
+}
+
+/// Rotated, crash-safe storage for [`TrainSnapshot`]s in one directory.
+#[derive(Debug)]
+pub struct CheckpointStore<B: Backend> {
+    store: ArtifactStore<B>,
+}
+
+impl CheckpointStore<StdBackend> {
+    /// Opens a checkpoint store on the real filesystem.
+    pub fn open_std(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Ok(CheckpointStore { store: ArtifactStore::open_std(dir)? })
+    }
+}
+
+impl<B: Backend> CheckpointStore<B> {
+    /// Opens (creating if needed) a checkpoint store rooted at `dir`.
+    pub fn open(backend: B, dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Ok(CheckpointStore { store: ArtifactStore::open(backend, dir)? })
+    }
+
+    /// Sets the retain-N rotation policy (keep the `n` newest snapshots).
+    pub fn with_retain(mut self, n: usize) -> Self {
+        self.store = self.store.with_retain(n);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &std::path::Path {
+        self.store.dir()
+    }
+
+    /// Durably commits `snap`, sequenced by its completed-iteration
+    /// count. `Ok` means the snapshot survives any subsequent crash.
+    pub fn save(&self, snap: &TrainSnapshot) -> Result<RotationOutcome, StoreError> {
+        let json = snap
+            .to_json()
+            .map_err(|e| StoreError::new("save", self.store.dir(), dg_io::ErrorKind::Serialization, e))?;
+        self.store.put_numbered(CKPT_FAMILY, snap.iteration as u64, json.as_bytes())
+    }
+
+    /// Scans snapshots newest-first and returns the first that validates
+    /// end to end — envelope CRC *and* JSON parse — plus every newer
+    /// candidate it skipped. `(None, ...)` with an empty or missing
+    /// directory is the fresh-start case.
+    pub fn load_latest(&self) -> Result<(Option<LoadedSnapshot>, Vec<SkippedArtifact>), StoreError> {
+        let mut skipped = Vec::new();
+        for (seq, path) in self.store.candidates(CKPT_FAMILY)? {
+            let Some(seq) = seq else {
+                skipped.push(SkippedArtifact { path, reason: "unparseable sequence number".into() });
+                continue;
+            };
+            let payload = match self.store.read_envelope(&path) {
+                Ok(p) => p,
+                Err(e) => {
+                    skipped.push(SkippedArtifact { path, reason: e.detail });
+                    continue;
+                }
+            };
+            match std::str::from_utf8(&payload).map_err(|e| e.to_string()).and_then(TrainSnapshot::from_json)
+            {
+                Ok(snapshot) => {
+                    return Ok((Some(LoadedSnapshot { snapshot, seq, path }), skipped));
+                }
+                Err(reason) => skipped.push(SkippedArtifact { path, reason }),
+            }
+        }
+        Ok((None, skipped))
+    }
+}
+
+/// Builds a [`CheckpointSink`] that persists every periodic checkpoint as
+/// a [`TrainSnapshot`] — with the shared RNG's exact stream position —
+/// into `store`. Wire it up with
+/// [`TrainMonitor::with_checkpoint_sink`](crate::telemetry::TrainMonitor::with_checkpoint_sink).
+pub fn checkpoint_sink<B: Backend + Send + 'static>(
+    store: CheckpointStore<B>,
+    rng: SharedRng,
+) -> CheckpointSink {
+    Box::new(move |it, ck| {
+        let snap = TrainSnapshot { iteration: it + 1, rng: Some(rng.snapshot()), checkpoint: ck.clone() };
+        store.save(&snap).map(|_| ()).map_err(|e| e.to_string())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DgConfig;
+    use crate::trainer::Trainer;
+    use dg_datasets::sine::{self, SineConfig};
+    use dg_io::MemBackend;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_snapshot(seed: u64, iteration: usize) -> TrainSnapshot {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SineConfig { num_objects: 8, length: 6, periods: vec![3], noise_sigma: 0.0 };
+        let data = sine::generate(&cfg, &mut rng);
+        let mut dg = DgConfig::quick().with_recommended_s(6);
+        dg.attr_hidden = 4;
+        dg.lstm_hidden = 4;
+        dg.head_hidden = 4;
+        dg.disc_hidden = 6;
+        dg.disc_depth = 2;
+        dg.batch_size = 4;
+        let model = crate::model::DoppelGanger::new(&data, dg, &mut rng);
+        let enc = model.encode(&data);
+        let mut t = Trainer::new(model);
+        t.fit(&enc, 1, &mut rng, |_| {});
+        TrainSnapshot { iteration, rng: Some(TrainRng::seed_from_u64(seed)), checkpoint: t.checkpoint() }
+    }
+
+    fn params(ck: &Checkpoint) -> Vec<u32> {
+        let mut ck = ck.clone();
+        ck.model
+            .store
+            .tensors_mut()
+            .flat_map(|t| t.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips_including_rng() {
+        let snap = tiny_snapshot(61, 5);
+        let json = snap.to_json().expect("serialize");
+        let back = TrainSnapshot::from_json(&json).expect("parse");
+        assert_eq!(back.iteration, 5);
+        assert_eq!(back.rng, snap.rng);
+        assert_eq!(params(&back.checkpoint), params(&snap.checkpoint));
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_rotation() {
+        let store = CheckpointStore::open(MemBackend::new(), "ckpts").unwrap().with_retain(2);
+        for it in [2usize, 4, 6] {
+            store.save(&tiny_snapshot(62, it)).unwrap();
+        }
+        let (loaded, skipped) = store.load_latest().unwrap();
+        let loaded = loaded.expect("snapshots exist");
+        assert_eq!(loaded.seq, 6);
+        assert_eq!(loaded.snapshot.iteration, 6);
+        assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn json_corrupt_snapshot_inside_valid_envelope_is_skipped() {
+        let mem = MemBackend::new();
+        let store = CheckpointStore::open(mem.clone(), "ckpts").unwrap().with_retain(4);
+        store.save(&tiny_snapshot(63, 2)).unwrap();
+        store.save(&tiny_snapshot(63, 4)).unwrap();
+        // A perfectly CRC-valid envelope whose payload is not a snapshot:
+        // recovery must keep scanning to the older checkpoint.
+        let bad_name = ArtifactStore::<MemBackend>::artifact_name(CKPT_FAMILY, 9);
+        let raw_store = ArtifactStore::open(mem, "ckpts").unwrap();
+        raw_store.put(&bad_name, b"{\"not\":\"a snapshot\"}").unwrap();
+
+        let (loaded, skipped) = store.load_latest().unwrap();
+        assert_eq!(loaded.expect("older snapshot survives").seq, 4);
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].path.ends_with(&bad_name));
+    }
+
+    #[test]
+    fn empty_store_is_a_clean_fresh_start() {
+        let store = CheckpointStore::open(MemBackend::new(), "ckpts").unwrap();
+        let (loaded, skipped) = store.load_latest().unwrap();
+        assert!(loaded.is_none() && skipped.is_empty());
+    }
+}

@@ -118,8 +118,10 @@ impl Checkpoint {
     }
 
     /// Re-applies the patch list produced by
-    /// [`Checkpoint::extract_nonfinite`], then clears it.
-    fn apply_nonfinite(&mut self) {
+    /// [`Checkpoint::extract_nonfinite`], then clears it. Crate-visible so
+    /// [`crate::artifact::TrainSnapshot`] can deserialize an embedded
+    /// checkpoint with the same lossless non-finite handling.
+    pub(crate) fn apply_nonfinite(&mut self) {
         if self.nonfinite.is_empty() {
             return;
         }

@@ -44,17 +44,20 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod checkpoint;
 pub mod config;
 pub mod dpsgd;
 pub mod layout;
 pub mod model;
 pub mod retrain;
+pub mod rng;
 pub mod telemetry;
 pub mod trainer;
 
 /// Commonly used types.
 pub mod prelude {
+    pub use crate::artifact::{checkpoint_sink, CheckpointStore, LoadedSnapshot, TrainSnapshot};
     pub use crate::checkpoint::Checkpoint;
     pub use crate::config::DgConfig;
     pub use crate::dpsgd::DpConfig;
@@ -62,6 +65,7 @@ pub mod prelude {
     pub use crate::retrain::{
         retrain_attribute_generator, retrain_attribute_generator_monitored, AttributeDistribution,
     };
+    pub use crate::rng::{SharedRng, TrainRng};
     pub use crate::telemetry::{
         DivergencePolicy, FitOutcome, FitReport, RunEvent, RunLog, TrainError, TrainMonitor, Watchdog,
         WatchdogConfig,

@@ -394,7 +394,9 @@ mod tests {
             .with_watchdog(Watchdog::with_policy(crate::telemetry::DivergencePolicy::Abort));
         let err = retrain_attribute_generator_monitored(&mut model, &target, 3, &mut rng, &mut mon)
             .expect_err("NaN weight must abort retraining");
-        let crate::telemetry::TrainError::Diverged { iteration, .. } = err;
+        let crate::telemetry::TrainError::Diverged { iteration, .. } = err else {
+            panic!("expected a divergence error")
+        };
         assert_eq!(iteration, 0);
     }
 }

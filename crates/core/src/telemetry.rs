@@ -58,8 +58,36 @@ pub enum RunEvent {
     Heartbeat(HeartbeatEvent),
     /// The watchdog found non-finite values.
     Divergence(DivergenceEvent),
+    /// A periodic checkpoint write failed (training continues until the
+    /// consecutive-failure budget runs out).
+    CheckpointFailure(CheckpointFailureEvent),
+    /// The run resumed from a durable checkpoint instead of starting fresh.
+    Resumed(ResumedEvent),
     /// Last line of a run.
     End(RunEndEvent),
+}
+
+/// A failed periodic checkpoint write. Formerly these were silently
+/// swallowed, leaving long runs training with no safety net.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointFailureEvent {
+    /// Iteration whose checkpoint failed to persist.
+    pub iteration: usize,
+    /// Consecutive failures so far (resets on any success).
+    pub consecutive: usize,
+    /// The storage layer's error message.
+    pub detail: String,
+}
+
+/// The run picked up from a durable checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResumedEvent {
+    /// Completed iterations restored from the snapshot.
+    pub iteration: usize,
+    /// Path of the checkpoint file that validated.
+    pub checkpoint: String,
+    /// Newer checkpoint candidates skipped as truncated/corrupt.
+    pub skipped: usize,
 }
 
 /// Static run configuration, logged once per `fit` call.
@@ -190,13 +218,19 @@ pub enum RunOutcome {
 
 /// Append-only JSONL sink for [`RunEvent`]s.
 ///
-/// Writes are best-effort: an I/O error never interrupts training, it only
-/// increments [`RunLog::write_failures`]. Every line is flushed so `tail
-/// -f` (and post-crash inspection) sees events as they happen.
+/// An I/O error never interrupts training: a failed line is retried up to
+/// [`RunLog::with_retries`] times with a short exponential backoff
+/// (transient errors — a rotating log shipper, a briefly-full pipe — used
+/// to silently drop events); only after the retry budget is spent does the
+/// event count as dropped in [`RunLog::write_failures`]. Every line is
+/// flushed so `tail -f` (and post-crash inspection) sees events as they
+/// happen.
 pub struct RunLog {
     out: Box<dyn Write + Send>,
     events_written: u64,
     write_failures: u64,
+    retried_writes: u64,
+    max_retries: u32,
 }
 
 impl std::fmt::Debug for RunLog {
@@ -204,6 +238,8 @@ impl std::fmt::Debug for RunLog {
         f.debug_struct("RunLog")
             .field("events_written", &self.events_written)
             .field("write_failures", &self.write_failures)
+            .field("retried_writes", &self.retried_writes)
+            .field("max_retries", &self.max_retries)
             .finish()
     }
 }
@@ -217,7 +253,15 @@ impl RunLog {
 
     /// Wraps any writer as a run log.
     pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
-        RunLog { out, events_written: 0, write_failures: 0 }
+        RunLog { out, events_written: 0, write_failures: 0, retried_writes: 0, max_retries: 2 }
+    }
+
+    /// Sets how many times a failed line write is retried before the event
+    /// is counted as dropped (default 2; backoff doubles per attempt from
+    /// 1 ms).
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
     }
 
     /// An in-memory log plus a handle to read its contents back (tests,
@@ -227,17 +271,24 @@ impl RunLog {
         (Self::to_writer(Box::new(buf.clone())), buf)
     }
 
-    /// Appends one event as a JSON line (best-effort).
+    /// Appends one event as a JSON line, retrying transient write failures
+    /// with bounded backoff.
     pub fn emit(&mut self, event: &RunEvent) {
-        let ok = serde_json::to_string(event)
-            .ok()
-            .and_then(|line| writeln!(self.out, "{line}").ok().and_then(|()| self.out.flush().ok()))
-            .is_some();
-        if ok {
-            self.events_written += 1;
-        } else {
+        let Ok(line) = serde_json::to_string(event) else {
             self.write_failures += 1;
+            return;
+        };
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                self.retried_writes += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1u64 << (attempt - 1)));
+            }
+            if writeln!(self.out, "{line}").and_then(|()| self.out.flush()).is_ok() {
+                self.events_written += 1;
+                return;
+            }
         }
+        self.write_failures += 1;
     }
 
     /// Events successfully written so far.
@@ -245,9 +296,15 @@ impl RunLog {
         self.events_written
     }
 
-    /// Serialization or I/O failures swallowed so far.
+    /// Events dropped after exhausting the retry budget (plus
+    /// serialization failures).
     pub fn write_failures(&self) -> u64 {
         self.write_failures
+    }
+
+    /// Retry attempts performed so far (0 on a healthy sink).
+    pub fn retried_writes(&self) -> u64 {
+        self.retried_writes
     }
 }
 
@@ -470,6 +527,17 @@ pub enum TrainError {
         /// The watchdog's finding.
         detail: String,
     },
+    /// Periodic checkpoint persistence failed too many times in a row —
+    /// training on with no durable safety net would turn the next crash
+    /// into unbounded lost work, so the run stops instead.
+    CheckpointFailed {
+        /// Iteration of the final failed write.
+        iteration: usize,
+        /// Consecutive failures at that point.
+        consecutive: usize,
+        /// The storage layer's last error message.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for TrainError {
@@ -477,6 +545,13 @@ impl std::fmt::Display for TrainError {
         match self {
             TrainError::Diverged { iteration, detail } => {
                 write!(f, "training diverged at iteration {iteration}: {detail}")
+            }
+            TrainError::CheckpointFailed { iteration, consecutive, detail } => {
+                write!(
+                    f,
+                    "aborting at iteration {iteration}: {consecutive} consecutive checkpoint \
+                     write failures (last: {detail})"
+                )
             }
         }
     }
@@ -486,8 +561,11 @@ impl std::error::Error for TrainError {}
 
 // ---- monitor -----------------------------------------------------------
 
-/// Receiver for periodic checkpoints (see [`TrainMonitor::with_checkpoint_sink`]).
-pub type CheckpointSink = Box<dyn FnMut(&Checkpoint) + Send>;
+/// Receiver for periodic checkpoints (see
+/// [`TrainMonitor::with_checkpoint_sink`]). Receives the 0-based iteration
+/// the checkpoint was taken after, and reports persistence failures as an
+/// error message instead of swallowing them.
+pub type CheckpointSink = Box<dyn FnMut(usize, &Checkpoint) -> Result<(), String> + Send>;
 
 /// Everything a training loop threads through for observability: optional
 /// [`RunLog`], optional [`Watchdog`], heartbeat cadence, and an optional
@@ -503,6 +581,8 @@ pub struct TrainMonitor {
     heartbeat_every: usize,
     checkpoint_every: usize,
     checkpoint_sink: Option<CheckpointSink>,
+    checkpoint_failures: usize,
+    max_checkpoint_failures: usize,
     label: String,
     seed: Option<u64>,
 }
@@ -535,6 +615,8 @@ impl TrainMonitor {
             heartbeat_every: 50,
             checkpoint_every: 0,
             checkpoint_sink: None,
+            checkpoint_failures: 0,
+            max_checkpoint_failures: 3,
             label: String::new(),
             seed: None,
         }
@@ -580,6 +662,13 @@ impl TrainMonitor {
     pub fn with_checkpoint_sink(mut self, every: usize, sink: CheckpointSink) -> Self {
         self.checkpoint_every = every;
         self.checkpoint_sink = Some(sink);
+        self
+    }
+
+    /// Sets how many *consecutive* sink failures the run tolerates before
+    /// [`TrainMonitor::sink_checkpoint`] aborts it (default 3; minimum 1).
+    pub fn with_max_checkpoint_failures(mut self, n: usize) -> Self {
+        self.max_checkpoint_failures = n.max(1);
         self
     }
 
@@ -663,10 +752,45 @@ impl TrainMonitor {
     }
 
     /// Delivers a checkpoint to the sink.
-    pub fn sink_checkpoint(&mut self, ck: &Checkpoint) {
-        if let Some(sink) = self.checkpoint_sink.as_mut() {
-            sink(ck);
+    ///
+    /// A sink failure is surfaced three ways: a [`RunEvent::CheckpointFailure`]
+    /// in the log, a stderr warning, and — once
+    /// [`TrainMonitor::with_max_checkpoint_failures`] failures pile up with no
+    /// intervening success — a [`TrainError::CheckpointFailed`] that aborts
+    /// the run. (These writes used to fail silently, leaving long runs with
+    /// no durable safety net.)
+    pub fn sink_checkpoint(&mut self, it: usize, ck: &Checkpoint) -> Result<(), TrainError> {
+        let Some(sink) = self.checkpoint_sink.as_mut() else { return Ok(()) };
+        match sink(it, ck) {
+            Ok(()) => {
+                self.checkpoint_failures = 0;
+                Ok(())
+            }
+            Err(detail) => {
+                self.checkpoint_failures += 1;
+                let consecutive = self.checkpoint_failures;
+                eprintln!(
+                    "warning: checkpoint write failed at iteration {it} \
+                     ({consecutive}/{} consecutive): {detail}",
+                    self.max_checkpoint_failures
+                );
+                self.emit(&RunEvent::CheckpointFailure(CheckpointFailureEvent {
+                    iteration: it,
+                    consecutive,
+                    detail: detail.clone(),
+                }));
+                if consecutive >= self.max_checkpoint_failures {
+                    Err(TrainError::CheckpointFailed { iteration: it, consecutive, detail })
+                } else {
+                    Ok(())
+                }
+            }
         }
+    }
+
+    /// Consecutive sink failures since the last success.
+    pub fn checkpoint_failures(&self) -> usize {
+        self.checkpoint_failures
     }
 
     /// Emits a heartbeat when one is due after iteration `it`.

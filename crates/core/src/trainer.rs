@@ -313,7 +313,10 @@ impl Trainer {
                 if wants_rollback || file_due {
                     let ck = self.checkpoint();
                     if file_due {
-                        monitor.sink_checkpoint(&ck);
+                        if let Err(e) = monitor.sink_checkpoint(it, &ck) {
+                            monitor.emit_end(it + 1, started, RunOutcome::Aborted);
+                            return Err(e);
+                        }
                     }
                     if wants_rollback {
                         monitor.store_rollback_snapshot(ck);
@@ -840,7 +843,7 @@ mod tests {
             TrainMonitor::new().with_log(log).with_watchdog(Watchdog::with_policy(DivergencePolicy::Abort));
         let err = tr.fit_monitored(&enc, 5, &mut rng, &mut mon, |_| {});
         let err = err.expect_err("NaN params must abort the run");
-        let TrainError::Diverged { iteration, detail } = err;
+        let TrainError::Diverged { iteration, detail } = err else { panic!("expected a divergence error") };
         assert_eq!(iteration, 0, "detected on the first monitored iteration");
         assert!(!detail.is_empty());
         let events = crate::telemetry::parse_jsonl(&buf.contents()).expect("diverged log must still parse");
@@ -906,13 +909,69 @@ mod tests {
         let c2 = counter.clone();
         let mut mon = TrainMonitor::new().with_checkpoint_sink(
             2,
-            Box::new(move |ck| {
+            Box::new(move |it, ck| {
                 assert!(ck.d_updates > 0);
+                assert!(it == 1 || it == 3, "due after iterations 2 and 4 (0-based 1 and 3)");
                 c2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Ok(())
             }),
         );
         tr.fit_monitored(&enc, 5, &mut rng, &mut mon, |_| {}).expect("healthy run");
         assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 2, "after iterations 2 and 4");
+    }
+
+    #[test]
+    fn monitored_fit_aborts_after_consecutive_checkpoint_failures() {
+        let (mut tr, enc, mut rng) = tiny_setup(27);
+        let (log, buf) = RunLog::in_memory();
+        let attempts = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let a2 = attempts.clone();
+        let mut mon = TrainMonitor::new().with_log(log).with_max_checkpoint_failures(2).with_checkpoint_sink(
+            1,
+            Box::new(move |_, _| {
+                a2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Err("disk on fire".into())
+            }),
+        );
+        let err = tr.fit_monitored(&enc, 5, &mut rng, &mut mon, |_| {});
+        let TrainError::CheckpointFailed { iteration, consecutive, detail } =
+            err.expect_err("persistent sink failure must abort")
+        else {
+            panic!("expected a checkpoint-failure error")
+        };
+        assert_eq!(iteration, 1, "second consecutive failure hits at iteration 1");
+        assert_eq!(consecutive, 2);
+        assert!(detail.contains("disk on fire"));
+        assert_eq!(attempts.load(std::sync::atomic::Ordering::SeqCst), 2);
+        let events = crate::telemetry::parse_jsonl(&buf.contents()).expect("log parses");
+        let failures = events.iter().filter(|e| matches!(e, RunEvent::CheckpointFailure(_))).count();
+        assert_eq!(failures, 2, "each failed write is logged");
+        match events.last().expect("nonempty") {
+            RunEvent::End(e) => assert_eq!(e.outcome, crate::telemetry::RunOutcome::Aborted),
+            other => panic!("expected end summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_failure_counter_resets_on_success() {
+        let (mut tr, enc, mut rng) = tiny_setup(28);
+        let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let c2 = calls.clone();
+        // Fails on every other call: never two consecutive failures, so a
+        // budget of 2 must let the run finish.
+        let mut mon = TrainMonitor::new().with_max_checkpoint_failures(2).with_checkpoint_sink(
+            1,
+            Box::new(move |_, _| {
+                if c2.fetch_add(1, std::sync::atomic::Ordering::SeqCst).is_multiple_of(2) {
+                    Err("intermittent".into())
+                } else {
+                    Ok(())
+                }
+            }),
+        );
+        tr.fit_monitored(&enc, 6, &mut rng, &mut mon, |_| {}).expect("intermittent failures must not abort");
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 6);
+        assert_eq!(mon.checkpoint_failures(), 0, "last call succeeded");
     }
 
     #[test]

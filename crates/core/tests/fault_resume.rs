@@ -1,0 +1,156 @@
+//! Fault enumeration at the training level: every injectable crash point
+//! in a checkpointed run either resumes bitwise-identically from the last
+//! durable snapshot or restarts fresh to the same final parameters.
+//!
+//! This extends the in-process bit-exact resume guarantee across process
+//! death. A monitored training run persists periodic [`TrainSnapshot`]s
+//! (checkpoint + RNG stream position) through the fault-injection
+//! backend; for every backend operation we simulate dying there,
+//! materialize the surviving filesystem under every loss-policy
+//! combination, recover, finish the remaining iterations, and require the
+//! final parameters to match an uninterrupted run bit for bit.
+
+use dg_io::{DataLossPolicy, DirLossPolicy, ErrorKind, FaultBackend, FaultPlan, MemBackend};
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOTAL_ITERS: usize = 6;
+const CKPT_EVERY: usize = 2;
+const STREAM_SEED: u64 = 77;
+
+fn setup() -> (Trainer, dg_data::EncodedDataset) {
+    let cfg = dg_datasets::SineConfig { num_objects: 8, length: 6, periods: vec![3], noise_sigma: 0.0 };
+    let data = dg_datasets::sine::generate(&cfg, &mut StdRng::seed_from_u64(2));
+    let mut dg = DgConfig::quick().with_recommended_s(6);
+    dg.attr_hidden = 4;
+    dg.lstm_hidden = 4;
+    dg.head_hidden = 4;
+    dg.disc_hidden = 6;
+    dg.disc_depth = 2;
+    dg.batch_size = 4;
+    let model = DoppelGanger::new(&data, dg, &mut StdRng::seed_from_u64(1));
+    let enc = model.encode(&data);
+    (Trainer::new(model), enc)
+}
+
+fn flat_params(tr: &Trainer) -> Vec<u32> {
+    tr.model.store.iter().flat_map(|(_, _, t)| t.as_slice().iter().map(|x| x.to_bits())).collect()
+}
+
+/// The ground truth: an uninterrupted run on the serializable stream.
+fn train_uninterrupted() -> Vec<u32> {
+    let (mut tr, enc) = setup();
+    let mut rng = TrainRng::seed_from_u64(STREAM_SEED);
+    tr.fit(&enc, TOTAL_ITERS, &mut rng, |_| {});
+    flat_params(&tr)
+}
+
+#[derive(Debug, PartialEq)]
+enum RunEnd {
+    /// All iterations ran; carries the final parameters.
+    Completed(Vec<u32>),
+    /// The run stopped on a training error (checkpoint-failure abort).
+    Died,
+    /// The store could not even be opened (fault at the first operation).
+    DeadAtOpen,
+}
+
+/// A checkpointed training run against the fault backend, tolerating what
+/// the monitor tolerates.
+fn train_with_store(fb: &FaultBackend) -> RunEnd {
+    let (mut tr, enc) = setup();
+    let mut shared = SharedRng::seed_from_u64(STREAM_SEED);
+    let store = match CheckpointStore::open(fb.clone(), "ckpts") {
+        Ok(s) => s.with_retain(2),
+        Err(_) => return RunEnd::DeadAtOpen,
+    };
+    let mut mon = TrainMonitor::new()
+        .with_max_checkpoint_failures(2)
+        .with_checkpoint_sink(CKPT_EVERY, checkpoint_sink(store, shared.clone()));
+    match tr.fit_monitored(&enc, TOTAL_ITERS, &mut shared, &mut mon, |_| {}) {
+        Ok(_) => RunEnd::Completed(flat_params(&tr)),
+        Err(_) => RunEnd::Died,
+    }
+}
+
+/// Recovers from the post-crash filesystem and trains to the end: resume
+/// from the newest valid snapshot if one survived, fresh start otherwise.
+/// Either way the final parameters must equal the uninterrupted run's.
+fn recover_and_finish(mem: &MemBackend, data: DataLossPolicy, dir: DirLossPolicy) -> Vec<u32> {
+    let disk = mem.materialize_crash(data, dir);
+    let store = CheckpointStore::open(disk, "ckpts").expect("reopen after crash");
+    let (loaded, _skipped) = store.load_latest().expect("recovery scan never errors");
+    let (_, enc) = setup();
+    match loaded {
+        Some(l) => {
+            let snap = l.snapshot;
+            assert_eq!(snap.iteration as u64, l.seq, "seq is the completed-iteration count");
+            let mut tr = Trainer::resume(snap.checkpoint);
+            let mut rng = SharedRng::new(snap.rng.expect("the sink always records the stream"));
+            tr.fit(&enc, TOTAL_ITERS - snap.iteration, &mut rng, |_| {});
+            flat_params(&tr)
+        }
+        None => {
+            let (mut tr, _) = setup();
+            let mut rng = TrainRng::seed_from_u64(STREAM_SEED);
+            tr.fit(&enc, TOTAL_ITERS, &mut rng, |_| {});
+            flat_params(&tr)
+        }
+    }
+}
+
+/// Backend-operation count of a fault-free checkpointed run — the
+/// crash-point surface enumerated below.
+fn total_ops(expected: &[u32]) -> u64 {
+    let fb = FaultBackend::new(MemBackend::new(), FaultPlan::new());
+    match train_with_store(&fb) {
+        RunEnd::Completed(params) => {
+            assert_eq!(params, expected, "monitoring must not change the trajectory");
+        }
+        other => panic!("fault-free run must complete, got {other:?}"),
+    }
+    fb.ops_seen()
+}
+
+#[test]
+fn every_crash_point_resumes_bitwise_identically_or_restarts_cleanly() {
+    let expected = train_uninterrupted();
+    let n = total_ops(&expected);
+    assert!(n > 20, "scenario too small to be interesting: {n} ops");
+    for k in 0..n {
+        let fb = FaultBackend::new(MemBackend::new(), FaultPlan::new().crash_at(k));
+        let _ = train_with_store(&fb);
+        assert!(fb.crashed(), "crash_at({k}) never fired");
+        for data in DataLossPolicy::ALL {
+            for dir in DirLossPolicy::ALL {
+                let finished = recover_and_finish(&fb.mem(), data, dir);
+                assert_eq!(
+                    finished, expected,
+                    "crash at op {k} under {data:?}/{dir:?} broke bit-exact recovery"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_transient_write_error_costs_at_most_one_checkpoint_not_the_run() {
+    let expected = train_uninterrupted();
+    let n = total_ops(&expected);
+    for k in 1..n {
+        let fb = FaultBackend::new(MemBackend::new(), FaultPlan::new().fail_at(k, ErrorKind::NoSpace));
+        match train_with_store(&fb) {
+            RunEnd::Completed(params) => assert_eq!(
+                params, expected,
+                "ENOSPC at op {k}: a failed checkpoint write must not disturb training"
+            ),
+            other => panic!("ENOSPC at op {k} must not kill the run (budget is 2), got {other:?}"),
+        }
+        // Whatever the store holds is still cleanly recoverable.
+        let store = CheckpointStore::open(fb.mem(), "ckpts").expect("open");
+        let (loaded, _) = store.load_latest().expect("scan");
+        let loaded = loaded.expect("at least one checkpoint committed");
+        assert!(loaded.snapshot.iteration >= TOTAL_ITERS - CKPT_EVERY);
+    }
+}

@@ -18,16 +18,21 @@
 //!   bimodal duration distribution and an end-event attribute correlated
 //!   with the dynamics.
 //! * [`sine`] — a closed-form toy dataset for fast deterministic tests.
+//!
+//! [`load`] imports *real* downloads of these datasets from CSV, with
+//! structured per-row errors and an optional lenient mode.
 
 #![warn(missing_docs)]
 
 pub mod common;
 pub mod gcut;
+pub mod load;
 pub mod mba;
 pub mod sine;
 pub mod wwt;
 
 pub use gcut::GcutConfig;
+pub use load::{Format, LoadError, LoadOptions, LoadReport};
 pub use mba::MbaConfig;
 pub use sine::SineConfig;
 pub use wwt::WwtConfig;

@@ -1,0 +1,333 @@
+//! CSV importers for externally-obtained raw data in the three paper
+//! dataset shapes.
+//!
+//! The sibling modules *simulate* the paper's datasets; this module
+//! *loads* real exports the user downloaded themselves (the licenses
+//! forbid redistribution, not local use). One text row per object:
+//!
+//! ```text
+//! attr_1,...,attr_K,v[t0,f0],v[t0,f1],...,v[t1,f0],...
+//! ```
+//!
+//! Attributes are category *names* (e.g. `en.wikipedia.org`), matched
+//! against the format's schema; the remaining cells are the feature
+//! values, record-major, so each row must carry a multiple of the
+//! feature count. Series lengths may vary per row; the schema's
+//! `max_len` is the longest loaded series. Lines that are empty or start
+//! with `#` are ignored.
+//!
+//! Every malformed row produces a [`LoadError`] naming the source path,
+//! the 1-based line number, and what was wrong. Strict loading
+//! ([`LoadOptions::strict`]) stops at the first bad row; lenient loading
+//! ([`LoadOptions::lenient`]) skips bad rows and returns them in the
+//! [`LoadReport`] so callers can tell "clean import" from "imported with
+//! holes".
+
+use dg_data::{Dataset, FieldKind, FieldSpec, Schema, TimeSeriesObject, Value};
+use std::path::{Path, PathBuf};
+
+/// A row that could not be parsed, with enough context to find it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadError {
+    /// The file the row came from.
+    pub path: PathBuf,
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.path.display(), self.line, self.detail)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// How to react to malformed rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadOptions {
+    /// Skip and count bad rows instead of failing on the first one.
+    pub lenient: bool,
+}
+
+impl LoadOptions {
+    /// Fail on the first malformed row.
+    pub fn strict() -> Self {
+        LoadOptions { lenient: false }
+    }
+
+    /// Skip malformed rows, reporting them in the [`LoadReport`].
+    pub fn lenient() -> Self {
+        LoadOptions { lenient: true }
+    }
+}
+
+/// What a (possibly lenient) load actually did.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Rows imported successfully.
+    pub loaded: usize,
+    /// Rows skipped under [`LoadOptions::lenient`], with reasons.
+    pub skipped: Vec<LoadError>,
+}
+
+/// An importable dataset shape: the fixed attribute/feature schema of one
+/// of the paper's datasets, minus the data-dependent `max_len`.
+#[derive(Debug, Clone)]
+pub struct Format {
+    /// Short name (`wwt`, `mba`, `gcut`).
+    pub name: &'static str,
+    attrs: Vec<FieldSpec>,
+    feats: Vec<FieldSpec>,
+    timescale: &'static str,
+}
+
+impl Format {
+    /// Wikipedia Web Traffic: domain/access/agent attributes, one `views`
+    /// feature per day (Table 6 of the paper).
+    pub fn wwt() -> Self {
+        Format {
+            name: "wwt",
+            attrs: vec![
+                FieldSpec::new("Wikipedia domain", FieldKind::categorical(crate::wwt::DOMAINS)),
+                FieldSpec::new("access type", FieldKind::categorical(crate::wwt::ACCESS_TYPES)),
+                FieldSpec::new("agent", FieldKind::categorical(crate::wwt::AGENTS)),
+            ],
+            feats: vec![FieldSpec::new("views", FieldKind::continuous(0.0, 50_000.0))],
+            timescale: "daily",
+        }
+    }
+
+    /// FCC Measuring Broadband America: technology/ISP/state attributes,
+    /// ping-loss + traffic features per six-hour epoch (Table 7).
+    pub fn mba() -> Self {
+        let states: Vec<String> = (0..crate::mba::NUM_STATES).map(|i| format!("S{i:02}")).collect();
+        Format {
+            name: "mba",
+            attrs: vec![
+                FieldSpec::new("technology", FieldKind::categorical(crate::mba::TECHNOLOGIES)),
+                FieldSpec::new("ISP", FieldKind::categorical(crate::mba::ISPS)),
+                FieldSpec::new("state", FieldKind::categorical(states)),
+            ],
+            feats: vec![
+                FieldSpec::new("ping loss rate", FieldKind::continuous(0.0, 1.0)),
+                FieldSpec::new("traffic bytes (GB)", FieldKind::continuous(0.0, 20.0)),
+            ],
+            timescale: "six-hourly",
+        }
+    }
+
+    /// Google Cluster Usage Traces: end-event attribute, nine normalized
+    /// resource-usage features per five-minute epoch (Table 5).
+    pub fn gcut() -> Self {
+        Format {
+            name: "gcut",
+            attrs: vec![FieldSpec::new("end event type", FieldKind::categorical(crate::gcut::END_EVENTS))],
+            feats: crate::gcut::FEATURES
+                .iter()
+                .map(|f| FieldSpec::new(*f, FieldKind::continuous(0.0, 1.0)))
+                .collect(),
+            timescale: "five-minutely",
+        }
+    }
+
+    /// Looks a format up by its short name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "wwt" => Some(Format::wwt()),
+            "mba" => Some(Format::mba()),
+            "gcut" => Some(Format::gcut()),
+            _ => None,
+        }
+    }
+
+    fn category_index(kind: &FieldKind, token: &str) -> Option<usize> {
+        match kind {
+            FieldKind::Categorical { categories } => categories.iter().position(|c| c == token),
+            FieldKind::Continuous { .. } => None,
+        }
+    }
+
+    fn parse_row(&self, cells: &[&str]) -> Result<TimeSeriesObject, String> {
+        let na = self.attrs.len();
+        let nf = self.feats.len();
+        if cells.len() < na + nf {
+            return Err(format!(
+                "expected at least {} cells ({na} attributes + {nf} feature values), got {}",
+                na + nf,
+                cells.len()
+            ));
+        }
+        let mut attributes = Vec::with_capacity(na);
+        for (spec, token) in self.attrs.iter().zip(cells) {
+            let Some(idx) = Self::category_index(&spec.kind, token.trim()) else {
+                return Err(format!("unknown {} value '{}'", spec.name, token.trim()));
+            };
+            attributes.push(Value::Cat(idx));
+        }
+        let values = &cells[na..];
+        if !values.len().is_multiple_of(nf) {
+            return Err(format!(
+                "{} feature cells do not divide into records of {nf} features",
+                values.len()
+            ));
+        }
+        let mut records = Vec::with_capacity(values.len() / nf);
+        for step in values.chunks(nf) {
+            let mut record = Vec::with_capacity(nf);
+            for (spec, token) in self.feats.iter().zip(step) {
+                let v: f64 = token
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad {} value '{}'", spec.name, token.trim()))?;
+                if !v.is_finite() {
+                    return Err(format!("non-finite {} value '{}'", spec.name, token.trim()));
+                }
+                record.push(Value::Cont(v));
+            }
+            records.push(record);
+        }
+        Ok(TimeSeriesObject { attributes, records })
+    }
+
+    /// Parses CSV `text` (as read from `path`, used only for error
+    /// reporting) into a dataset plus a report of what happened.
+    pub fn load_csv(
+        &self,
+        path: &Path,
+        text: &str,
+        opts: LoadOptions,
+    ) -> Result<(Dataset, LoadReport), LoadError> {
+        let mut objects = Vec::new();
+        let mut report = LoadReport::default();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let cells: Vec<&str> = line.split(',').collect();
+            match self.parse_row(&cells) {
+                Ok(o) => {
+                    objects.push(o);
+                    report.loaded += 1;
+                }
+                Err(detail) => {
+                    let err = LoadError { path: path.to_path_buf(), line: i + 1, detail };
+                    if opts.lenient {
+                        report.skipped.push(err);
+                    } else {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+        if objects.is_empty() {
+            return Err(LoadError {
+                path: path.to_path_buf(),
+                line: text.lines().count(),
+                detail: format!(
+                    "no loadable {} rows{}",
+                    self.name,
+                    if report.skipped.is_empty() { "" } else { " (every row was malformed)" }
+                ),
+            });
+        }
+        let max_len = objects.iter().map(TimeSeriesObject::len).max().unwrap_or(0);
+        let schema =
+            Schema::new(self.attrs.clone(), self.feats.clone(), max_len).with_timescale(self.timescale);
+        Ok((Dataset::new(schema, objects), report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> PathBuf {
+        PathBuf::from("raw.csv")
+    }
+
+    #[test]
+    fn wwt_rows_load_with_variable_lengths() {
+        let text = "# domain,access,agent,views...\n\
+                    en.wikipedia.org,desktop,spider,10,12,9\n\
+                    \n\
+                    de.wikipedia.org,all-access,all-agents,100,90,80,70\n";
+        let (data, report) = Format::wwt().load_csv(&p(), text, LoadOptions::strict()).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert!(report.skipped.is_empty());
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.schema.max_len, 4);
+        assert_eq!(data.objects[0].attributes, vec![Value::Cat(2), Value::Cat(1), Value::Cat(1)]);
+        assert_eq!(data.objects[0].feature_series(0), vec![10.0, 12.0, 9.0]);
+    }
+
+    #[test]
+    fn strict_load_names_file_line_and_problem() {
+        let text = "en.wikipedia.org,desktop,spider,10\n\
+                    mars.wikipedia.org,desktop,spider,10\n";
+        let err = Format::wwt().load_csv(&p(), text, LoadOptions::strict()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.path, p());
+        assert!(err.detail.contains("mars.wikipedia.org"), "{}", err.detail);
+        assert!(err.to_string().starts_with("raw.csv:2:"), "{err}");
+    }
+
+    #[test]
+    fn lenient_load_skips_and_counts_bad_rows() {
+        let text = "en.wikipedia.org,desktop,spider,10,11\n\
+                    mars.wikipedia.org,desktop,spider,10\n\
+                    en.wikipedia.org,desktop,spider,ten\n\
+                    en.wikipedia.org,desktop,spider,inf\n\
+                    de.wikipedia.org,mobile-web,all-agents,5,6,7\n";
+        let (data, report) = Format::wwt().load_csv(&p(), text, LoadOptions::lenient()).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert_eq!(data.len(), 2);
+        let lines: Vec<usize> = report.skipped.iter().map(|e| e.line).collect();
+        assert_eq!(lines, vec![2, 3, 4]);
+        assert!(report.skipped[1].detail.contains("'ten'"));
+        assert!(report.skipped[2].detail.contains("non-finite"));
+    }
+
+    #[test]
+    fn mba_rows_need_whole_records() {
+        // 3 cells after the attributes is not a multiple of 2 features.
+        let text = "Cable,Cox,S05,0.01,1.5,0.02\n";
+        let err = Format::mba().load_csv(&p(), text, LoadOptions::strict()).unwrap_err();
+        assert!(err.detail.contains("records of 2"), "{}", err.detail);
+        let ok = "Cable,Cox,S05,0.01,1.5,0.02,1.4\n";
+        let (data, _) = Format::mba().load_csv(&p(), ok, LoadOptions::strict()).unwrap();
+        assert_eq!(data.objects[0].len(), 2);
+        assert_eq!(data.schema.num_features(), 2);
+    }
+
+    #[test]
+    fn gcut_format_loads_nine_feature_records() {
+        let row: Vec<String> =
+            std::iter::once("FINISH".to_string()).chain((0..18).map(|i| format!("0.{i:02}"))).collect();
+        let text = row.join(",");
+        let (data, _) = Format::gcut().load_csv(&p(), &text, LoadOptions::strict()).unwrap();
+        assert_eq!(data.objects[0].len(), 2);
+        assert_eq!(data.schema.num_features(), 9);
+        assert_eq!(data.objects[0].attributes, vec![Value::Cat(2)]);
+    }
+
+    #[test]
+    fn empty_input_is_an_error_not_an_empty_dataset() {
+        let err = Format::wwt().load_csv(&p(), "# nothing\n", LoadOptions::strict()).unwrap_err();
+        assert!(err.detail.contains("no loadable"), "{}", err.detail);
+        // All-malformed lenient input is also an error, not a silent empty set.
+        let err = Format::wwt().load_csv(&p(), "bogus,row,here,1\n", LoadOptions::lenient()).unwrap_err();
+        assert!(err.detail.contains("every row was malformed"), "{}", err.detail);
+    }
+
+    #[test]
+    fn by_name_covers_all_formats() {
+        for name in ["wwt", "mba", "gcut"] {
+            assert_eq!(Format::by_name(name).unwrap().name, name);
+        }
+        assert!(Format::by_name("csv").is_none());
+    }
+}

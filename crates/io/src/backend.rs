@@ -1,0 +1,191 @@
+//! The narrow filesystem surface the artifact store drives.
+//!
+//! [`ArtifactStore`](crate::ArtifactStore) never touches `std::fs`
+//! directly; every durable effect goes through a [`Backend`]. That keeps
+//! the store's crash-safety logic testable: the same code path runs
+//! against the real filesystem ([`StdBackend`]) and against the
+//! deterministic fault injector ([`FaultBackend`](crate::FaultBackend)),
+//! which can fail or kill the process at any individual operation.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::error::{ErrorKind, StoreError};
+
+/// Opaque handle to a file opened for writing via [`Backend::create`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(pub(crate) u64);
+
+/// Filesystem operations the store needs, each of which is an injectable
+/// crash point in the fault harness.
+///
+/// Methods take `&self`: implementations use interior mutability so that
+/// handles can be cloned into checkpoint sinks and test observers.
+pub trait Backend {
+    /// Creates (truncating) `path` for writing and returns a handle.
+    fn create(&self, path: &Path) -> Result<FileId, StoreError>;
+    /// Appends `data` to the open file `id`.
+    fn append(&self, id: FileId, data: &[u8]) -> Result<(), StoreError>;
+    /// Flushes the open file `id`'s data and metadata to stable storage.
+    fn sync_file(&self, id: FileId) -> Result<(), StoreError>;
+    /// Closes the open file `id`.
+    fn close(&self, id: FileId) -> Result<(), StoreError>;
+    /// Atomically renames `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), StoreError>;
+    /// Flushes directory entries of `dir` (created/renamed/removed names)
+    /// to stable storage.
+    fn sync_dir(&self, dir: &Path) -> Result<(), StoreError>;
+    /// Reads the full contents of `path`.
+    fn read(&self, path: &Path) -> Result<Vec<u8>, StoreError>;
+    /// Lists the entries of `dir` (full paths, sorted by name).
+    fn list(&self, dir: &Path) -> Result<Vec<PathBuf>, StoreError>;
+    /// Removes the file at `path`.
+    fn remove(&self, path: &Path) -> Result<(), StoreError>;
+    /// Creates `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> Result<(), StoreError>;
+}
+
+/// Real-filesystem backend.
+///
+/// Directory durability uses the POSIX idiom of opening the directory and
+/// `fsync`ing it; on platforms where opening a directory fails (e.g.
+/// Windows), `sync_dir` degrades to a no-op, which matches what the
+/// standard library's own users can guarantee there.
+#[derive(Debug, Default)]
+pub struct StdBackend {
+    open: Mutex<OpenFiles>,
+}
+
+#[derive(Debug, Default)]
+struct OpenFiles {
+    next: u64,
+    files: HashMap<u64, (PathBuf, std::fs::File)>,
+}
+
+impl StdBackend {
+    /// Creates a backend with no open files.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_file<T>(
+        &self,
+        id: FileId,
+        op: &'static str,
+        f: impl FnOnce(&Path, &mut std::fs::File) -> std::io::Result<T>,
+    ) -> Result<T, StoreError> {
+        let mut open = self.open.lock().unwrap();
+        let (path, file) = open
+            .files
+            .get_mut(&id.0)
+            .ok_or_else(|| StoreError::new(op, Path::new("<closed>"), ErrorKind::Io, "stale file handle"))?;
+        let path = path.clone();
+        f(&path, file).map_err(|e| StoreError::from_io(op, &path, &e))
+    }
+}
+
+impl Backend for StdBackend {
+    fn create(&self, path: &Path) -> Result<FileId, StoreError> {
+        let file = std::fs::File::create(path).map_err(|e| StoreError::from_io("create", path, &e))?;
+        let mut open = self.open.lock().unwrap();
+        let id = open.next;
+        open.next += 1;
+        open.files.insert(id, (path.to_path_buf(), file));
+        Ok(FileId(id))
+    }
+
+    fn append(&self, id: FileId, data: &[u8]) -> Result<(), StoreError> {
+        self.with_file(id, "append", |_, f| f.write_all(data))
+    }
+
+    fn sync_file(&self, id: FileId) -> Result<(), StoreError> {
+        self.with_file(id, "sync_file", |_, f| f.sync_all())
+    }
+
+    fn close(&self, id: FileId) -> Result<(), StoreError> {
+        let mut open = self.open.lock().unwrap();
+        open.files.remove(&id.0).map(|_| ()).ok_or_else(|| {
+            StoreError::new("close", Path::new("<closed>"), ErrorKind::Io, "stale file handle")
+        })
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), StoreError> {
+        std::fs::rename(from, to).map_err(|e| StoreError::from_io("rename", from, &e))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<(), StoreError> {
+        match std::fs::File::open(dir) {
+            Ok(d) => d.sync_all().map_err(|e| StoreError::from_io("sync_dir", dir, &e)),
+            // Directories are not openable on every platform; the rename
+            // itself is still atomic, we just lose the entry-durability
+            // fsync there.
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>, StoreError> {
+        std::fs::read(path).map_err(|e| StoreError::from_io("read", path, &e))
+    }
+
+    fn list(&self, dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
+        let rd = std::fs::read_dir(dir).map_err(|e| StoreError::from_io("list", dir, &e))?;
+        let mut out = Vec::new();
+        for entry in rd {
+            let entry = entry.map_err(|e| StoreError::from_io("list", dir, &e))?;
+            out.push(entry.path());
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn remove(&self, path: &Path) -> Result<(), StoreError> {
+        std::fs::remove_file(path).map_err(|e| StoreError::from_io("remove", path, &e))
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> Result<(), StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::from_io("create_dir_all", dir, &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dg_io_backend_{}_{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn std_backend_write_read_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let b = StdBackend::new();
+        let path = dir.join("a.bin");
+        let id = b.create(&path).unwrap();
+        b.append(id, b"hello ").unwrap();
+        b.append(id, b"world").unwrap();
+        b.sync_file(id).unwrap();
+        b.close(id).unwrap();
+        assert_eq!(b.read(&path).unwrap(), b"hello world");
+        let listed = b.list(&dir).unwrap();
+        assert_eq!(listed, vec![path.clone()]);
+        b.rename(&path, &dir.join("b.bin")).unwrap();
+        b.sync_dir(&dir).unwrap();
+        assert_eq!(b.read(&dir.join("b.bin")).unwrap(), b"hello world");
+        b.remove(&dir.join("b.bin")).unwrap();
+        assert_eq!(b.read(&dir.join("b.bin")).unwrap_err().kind, ErrorKind::NotFound);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_handle_is_an_error_not_a_panic() {
+        let b = StdBackend::new();
+        let err = b.append(FileId(42), b"x").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Io);
+        assert!(b.close(FileId(42)).is_err());
+    }
+}

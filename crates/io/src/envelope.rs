@@ -1,0 +1,218 @@
+//! Versioned artifact envelope with a length + CRC32 integrity check.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"DGAR"
+//! 4       4     format version (currently 1)
+//! 8       8     payload length in bytes
+//! 16      n     payload
+//! 16+n    4     CRC32 (IEEE) over bytes [0, 16+n)
+//! ```
+//!
+//! The trailing checksum covers the header too, so a torn tail, a
+//! truncated header, or a bit flip anywhere in the file is detected.
+//! Decoding never panics: every malformed input maps to a structured
+//! [`EnvelopeError`].
+
+/// Magic bytes identifying a dg artifact envelope.
+pub const MAGIC: [u8; 4] = *b"DGAR";
+
+/// Current envelope format version.
+pub const VERSION: u32 = 1;
+
+/// Fixed bytes before the payload: magic + version + length.
+pub const HEADER_LEN: usize = 16;
+
+/// Trailing CRC32 footer size.
+pub const FOOTER_LEN: usize = 4;
+
+/// Why a byte string failed to decode as an envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Shorter than header + footer: a torn or empty file.
+    Truncated {
+        /// Bytes actually present.
+        len: usize,
+        /// Minimum bytes any valid envelope has.
+        need: usize,
+    },
+    /// First four bytes are not [`MAGIC`].
+    BadMagic {
+        /// The bytes found where the magic was expected.
+        found: [u8; 4],
+    },
+    /// Version field is newer than this build understands.
+    UnsupportedVersion {
+        /// The version recorded in the header.
+        found: u32,
+    },
+    /// Header-declared payload length disagrees with the file size.
+    LengthMismatch {
+        /// Payload length declared in the header.
+        declared: u64,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+    /// Stored CRC32 does not match the recomputed one.
+    ChecksumMismatch {
+        /// CRC32 recorded in the footer.
+        stored: u32,
+        /// CRC32 recomputed over the bytes.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeError::Truncated { len, need } => {
+                write!(f, "truncated envelope: {len} bytes, need at least {need}")
+            }
+            EnvelopeError::BadMagic { found } => write!(f, "bad magic {found:?}"),
+            EnvelopeError::UnsupportedVersion { found } => {
+                write!(f, "unsupported envelope version {found} (max {VERSION})")
+            }
+            EnvelopeError::LengthMismatch { declared, actual } => {
+                write!(f, "length mismatch: header declares {declared} payload bytes, file holds {actual}")
+            }
+            EnvelopeError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE 802.3, reflected, init/xorout `0xFFFFFFFF`) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Wraps `payload` in a version-1 envelope.
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + FOOTER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates `bytes` as an envelope and returns the payload.
+pub fn decode(bytes: &[u8]) -> Result<Vec<u8>, EnvelopeError> {
+    let min = HEADER_LEN + FOOTER_LEN;
+    if bytes.len() < min {
+        return Err(EnvelopeError::Truncated { len: bytes.len(), need: min });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(EnvelopeError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version == 0 || version > VERSION {
+        return Err(EnvelopeError::UnsupportedVersion { found: version });
+    }
+    let declared = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let actual = (bytes.len() - min) as u64;
+    if declared != actual {
+        return Err(EnvelopeError::LengthMismatch { declared, actual });
+    }
+    let body_end = bytes.len() - FOOTER_LEN;
+    let stored = u32::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    let computed = crc32(&bytes[..body_end]);
+    if stored != computed {
+        return Err(EnvelopeError::ChecksumMismatch { stored, computed });
+    }
+    Ok(bytes[HEADER_LEN..body_end].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        // Standard CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for payload in [&b""[..], b"x", b"hello world", &[0u8; 1024][..]] {
+            let enc = encode(payload);
+            assert_eq!(decode(&enc).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let enc = encode(b"some checkpoint payload");
+        for cut in 0..enc.len() {
+            let err = decode(&enc[..cut]).unwrap_err();
+            match err {
+                EnvelopeError::Truncated { .. }
+                | EnvelopeError::LengthMismatch { .. }
+                | EnvelopeError::ChecksumMismatch { .. } => {}
+                other => panic!("truncation at {cut} gave unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let enc = encode(b"bit flip target");
+        for byte in 0..enc.len() {
+            for bit in 0..8 {
+                let mut bad = enc.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(decode(&bad).is_err(), "flip at byte {byte} bit {bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut enc = encode(b"p");
+        enc[0] = b'X';
+        assert!(matches!(decode(&enc).unwrap_err(), EnvelopeError::BadMagic { .. }));
+
+        let mut enc = encode(b"p");
+        enc[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(decode(&enc).unwrap_err(), EnvelopeError::UnsupportedVersion { found: 99 }));
+    }
+
+    #[test]
+    fn appended_garbage_is_detected() {
+        let mut enc = encode(b"p");
+        enc.push(0xAB);
+        assert!(matches!(decode(&enc).unwrap_err(), EnvelopeError::LengthMismatch { .. }));
+    }
+}

@@ -1,0 +1,99 @@
+//! Structured storage errors: every failure names the operation, the path,
+//! and a machine-checkable kind, so callers can decide between retry,
+//! fallback, and abort without string matching.
+
+use std::path::{Path, PathBuf};
+
+/// Machine-checkable classification of a [`StoreError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Generic I/O failure (permissions, transient errors, ...).
+    Io,
+    /// The device is out of space (`ENOSPC`).
+    NoSpace,
+    /// The artifact exists but fails integrity verification (truncated,
+    /// bit-flipped, wrong magic/version, length mismatch).
+    Corrupt,
+    /// The artifact does not exist.
+    NotFound,
+    /// The simulated process has crashed: the fault backend refuses all
+    /// further operations (test harness only; never produced by
+    /// [`crate::StdBackend`]).
+    Crashed,
+    /// The payload could not be (de)serialized.
+    Serialization,
+}
+
+impl ErrorKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Io => "I/O error",
+            ErrorKind::NoSpace => "no space left on device",
+            ErrorKind::Corrupt => "corrupt artifact",
+            ErrorKind::NotFound => "not found",
+            ErrorKind::Crashed => "simulated crash",
+            ErrorKind::Serialization => "serialization error",
+        }
+    }
+}
+
+/// A failed storage operation: what was attempted, on which path, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// The operation that failed (`"create"`, `"append"`, `"rename"`, ...).
+    pub op: &'static str,
+    /// The path the operation addressed.
+    pub path: PathBuf,
+    /// Machine-checkable failure class.
+    pub kind: ErrorKind,
+    /// Human-readable detail (OS error text, envelope finding, ...).
+    pub detail: String,
+}
+
+impl StoreError {
+    /// Builds an error for `op` on `path`.
+    pub fn new(op: &'static str, path: &Path, kind: ErrorKind, detail: impl Into<String>) -> Self {
+        StoreError { op, path: path.to_path_buf(), kind, detail: detail.into() }
+    }
+
+    /// Wraps a [`std::io::Error`], classifying `ENOSPC` and `NotFound`.
+    pub fn from_io(op: &'static str, path: &Path, e: &std::io::Error) -> Self {
+        let kind = match e.kind() {
+            std::io::ErrorKind::NotFound => ErrorKind::NotFound,
+            std::io::ErrorKind::StorageFull => ErrorKind::NoSpace,
+            _ => ErrorKind::Io,
+        };
+        Self::new(op, path, kind, e.to_string())
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} during {} on {}: {}", self.kind.as_str(), self.op, self.path.display(), self.detail)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_op_path_kind_and_detail() {
+        let e = StoreError::new("rename", Path::new("/tmp/x"), ErrorKind::NoSpace, "disk full");
+        let s = e.to_string();
+        assert!(
+            s.contains("rename") && s.contains("/tmp/x") && s.contains("no space") && s.contains("disk full"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn io_error_classification() {
+        let e = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert_eq!(StoreError::from_io("read", Path::new("a"), &e).kind, ErrorKind::NotFound);
+        let e = std::io::Error::other("boom");
+        assert_eq!(StoreError::from_io("read", Path::new("a"), &e).kind, ErrorKind::Io);
+    }
+}

@@ -1,0 +1,623 @@
+//! Deterministic fault injection: an in-memory filesystem with power-loss
+//! semantics ([`MemBackend`]) and a wrapper that fails or kills the
+//! process at the k-th backend operation ([`FaultBackend`]).
+//!
+//! The model follows what POSIX actually guarantees, not what filesystems
+//! usually do:
+//!
+//! * Written bytes are volatile until `sync_file`; a crash may drop them,
+//!   keep them, or keep a torn prefix ([`DataLossPolicy`]).
+//! * Directory entries (created / renamed / removed names) are volatile
+//!   until `sync_dir`; a crash may revert them ([`DirLossPolicy`]).
+//!
+//! A test drives the store against a [`FaultBackend`], then calls
+//! [`MemBackend::materialize_crash`] to obtain the filesystem a rebooted
+//! process would observe, under every combination of loss policies, and
+//! asserts recovery succeeds on all of them.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::backend::{Backend, FileId};
+use crate::error::{ErrorKind, StoreError};
+
+/// What happens to bytes written but not yet `sync_file`d when the
+/// process dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataLossPolicy {
+    /// Unsynced bytes vanish: the file rolls back to its synced length.
+    DropUnsynced,
+    /// Unsynced bytes survive (the kernel happened to flush them).
+    KeepUnsynced,
+    /// A torn write: the synced prefix plus half of the unsynced tail
+    /// survive.
+    TornTail,
+}
+
+impl DataLossPolicy {
+    /// All policies, for exhaustive enumeration in tests.
+    pub const ALL: [DataLossPolicy; 3] =
+        [DataLossPolicy::DropUnsynced, DataLossPolicy::KeepUnsynced, DataLossPolicy::TornTail];
+}
+
+/// What happens to directory entries changed but not yet `sync_dir`d when
+/// the process dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirLossPolicy {
+    /// Unsynced creates/renames/removes are rolled back.
+    RevertUnsynced,
+    /// Unsynced directory operations survive.
+    KeepUnsynced,
+}
+
+impl DirLossPolicy {
+    /// All policies, for exhaustive enumeration in tests.
+    pub const ALL: [DirLossPolicy; 2] = [DirLossPolicy::RevertUnsynced, DirLossPolicy::KeepUnsynced];
+}
+
+#[derive(Debug, Clone)]
+struct FileData {
+    data: Vec<u8>,
+    synced_len: usize,
+}
+
+/// A directory operation not yet committed by `sync_dir`, with enough
+/// state to revert it.
+#[derive(Debug, Clone)]
+enum DirOp {
+    Create { path: PathBuf, overwritten: Option<FileData> },
+    Rename { from: PathBuf, to: PathBuf, overwritten: Option<FileData> },
+    Remove { path: PathBuf, old: FileData },
+}
+
+impl DirOp {
+    fn dir(&self) -> &Path {
+        let p = match self {
+            DirOp::Create { path, .. } | DirOp::Remove { path, .. } => path,
+            DirOp::Rename { from, .. } => from,
+        };
+        p.parent().unwrap_or_else(|| Path::new(""))
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    files: HashMap<PathBuf, FileData>,
+    dirs: Vec<PathBuf>,
+    open: HashMap<u64, PathBuf>,
+    next_id: u64,
+    journal: Vec<DirOp>,
+}
+
+impl MemInner {
+    fn dir_exists(&self, dir: &Path) -> bool {
+        dir.as_os_str().is_empty() || self.dirs.iter().any(|d| d == dir)
+    }
+}
+
+/// In-memory filesystem with explicit durability tracking.
+///
+/// The handle is cheap to clone; clones share state, so a test can keep
+/// one while the store under test consumes another.
+#[derive(Debug, Clone, Default)]
+pub struct MemBackend(Arc<Mutex<MemInner>>);
+
+impl MemBackend {
+    /// Creates an empty in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the filesystem a rebooted process would observe after a
+    /// crash right now, under the given loss policies: a fresh backend
+    /// with no open files, every surviving byte durable.
+    pub fn materialize_crash(&self, data: DataLossPolicy, dir: DirLossPolicy) -> MemBackend {
+        let inner = self.0.lock().unwrap();
+        let mut files = inner.files.clone();
+        if dir == DirLossPolicy::RevertUnsynced {
+            for op in inner.journal.iter().rev() {
+                match op {
+                    DirOp::Create { path, overwritten } => match overwritten {
+                        Some(old) => {
+                            files.insert(path.clone(), old.clone());
+                        }
+                        None => {
+                            files.remove(path);
+                        }
+                    },
+                    DirOp::Rename { from, to, overwritten } => {
+                        if let Some(moved) = files.remove(to) {
+                            files.insert(from.clone(), moved);
+                        }
+                        if let Some(old) = overwritten {
+                            files.insert(to.clone(), old.clone());
+                        }
+                    }
+                    DirOp::Remove { path, old } => {
+                        files.insert(path.clone(), old.clone());
+                    }
+                }
+            }
+        }
+        for f in files.values_mut() {
+            let keep = match data {
+                DataLossPolicy::DropUnsynced => f.synced_len,
+                DataLossPolicy::KeepUnsynced => f.data.len(),
+                DataLossPolicy::TornTail => f.synced_len + (f.data.len() - f.synced_len) / 2,
+            };
+            f.data.truncate(keep);
+            f.synced_len = f.data.len();
+        }
+        MemBackend(Arc::new(Mutex::new(MemInner {
+            files,
+            dirs: inner.dirs.clone(),
+            open: HashMap::new(),
+            next_id: 0,
+            journal: Vec::new(),
+        })))
+    }
+
+    /// Raw bytes of `path` in the live (pre-crash) view, if present.
+    pub fn raw(&self, path: &Path) -> Option<Vec<u8>> {
+        self.0.lock().unwrap().files.get(path).map(|f| f.data.clone())
+    }
+
+    /// Overwrites `path` with `bytes`, fully durable — for tests that
+    /// plant corrupt artifacts directly.
+    pub fn plant(&self, path: &Path, bytes: &[u8]) {
+        let mut inner = self.0.lock().unwrap();
+        inner.files.insert(path.to_path_buf(), FileData { data: bytes.to_vec(), synced_len: bytes.len() });
+    }
+}
+
+impl Backend for MemBackend {
+    fn create(&self, path: &Path) -> Result<FileId, StoreError> {
+        let mut inner = self.0.lock().unwrap();
+        let parent = path.parent().unwrap_or_else(|| Path::new("")).to_path_buf();
+        if !inner.dir_exists(&parent) {
+            return Err(StoreError::new("create", path, ErrorKind::NotFound, "parent directory missing"));
+        }
+        let overwritten =
+            inner.files.insert(path.to_path_buf(), FileData { data: Vec::new(), synced_len: 0 });
+        inner.journal.push(DirOp::Create { path: path.to_path_buf(), overwritten });
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.open.insert(id, path.to_path_buf());
+        Ok(FileId(id))
+    }
+
+    fn append(&self, id: FileId, data: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.0.lock().unwrap();
+        let path = inner.open.get(&id.0).cloned().ok_or_else(|| {
+            StoreError::new("append", Path::new("<closed>"), ErrorKind::Io, "stale file handle")
+        })?;
+        match inner.files.get_mut(&path) {
+            Some(f) => {
+                f.data.extend_from_slice(data);
+                Ok(())
+            }
+            None => Err(StoreError::new("append", &path, ErrorKind::NotFound, "file vanished")),
+        }
+    }
+
+    fn sync_file(&self, id: FileId) -> Result<(), StoreError> {
+        let mut inner = self.0.lock().unwrap();
+        let path = inner.open.get(&id.0).cloned().ok_or_else(|| {
+            StoreError::new("sync_file", Path::new("<closed>"), ErrorKind::Io, "stale file handle")
+        })?;
+        match inner.files.get_mut(&path) {
+            Some(f) => {
+                f.synced_len = f.data.len();
+                Ok(())
+            }
+            None => Err(StoreError::new("sync_file", &path, ErrorKind::NotFound, "file vanished")),
+        }
+    }
+
+    fn close(&self, id: FileId) -> Result<(), StoreError> {
+        let mut inner = self.0.lock().unwrap();
+        inner.open.remove(&id.0).map(|_| ()).ok_or_else(|| {
+            StoreError::new("close", Path::new("<closed>"), ErrorKind::Io, "stale file handle")
+        })
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), StoreError> {
+        let mut inner = self.0.lock().unwrap();
+        let moved = inner
+            .files
+            .remove(from)
+            .ok_or_else(|| StoreError::new("rename", from, ErrorKind::NotFound, "source missing"))?;
+        let overwritten = inner.files.insert(to.to_path_buf(), moved);
+        inner.journal.push(DirOp::Rename { from: from.to_path_buf(), to: to.to_path_buf(), overwritten });
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<(), StoreError> {
+        let mut inner = self.0.lock().unwrap();
+        if !inner.dir_exists(dir) {
+            return Err(StoreError::new("sync_dir", dir, ErrorKind::NotFound, "no such directory"));
+        }
+        inner.journal.retain(|op| op.dir() != dir);
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>, StoreError> {
+        let inner = self.0.lock().unwrap();
+        inner
+            .files
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| StoreError::new("read", path, ErrorKind::NotFound, "no such file"))
+    }
+
+    fn list(&self, dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
+        let inner = self.0.lock().unwrap();
+        if !inner.dir_exists(dir) {
+            return Err(StoreError::new("list", dir, ErrorKind::NotFound, "no such directory"));
+        }
+        let mut out: Vec<PathBuf> = inner
+            .files
+            .keys()
+            .filter(|p| p.parent().unwrap_or_else(|| Path::new("")) == dir)
+            .cloned()
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    fn remove(&self, path: &Path) -> Result<(), StoreError> {
+        let mut inner = self.0.lock().unwrap();
+        let old = inner
+            .files
+            .remove(path)
+            .ok_or_else(|| StoreError::new("remove", path, ErrorKind::NotFound, "no such file"))?;
+        inner.journal.push(DirOp::Remove { path: path.to_path_buf(), old });
+        Ok(())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> Result<(), StoreError> {
+        let mut inner = self.0.lock().unwrap();
+        // Directory creation is modelled as immediately durable: stores
+        // create their directory once at open, long before any crash
+        // point worth exercising.
+        let mut cur = dir.to_path_buf();
+        loop {
+            if !cur.as_os_str().is_empty() && !inner.dirs.contains(&cur) {
+                inner.dirs.push(cur.clone());
+            }
+            match cur.parent() {
+                Some(p) if !p.as_os_str().is_empty() => cur = p.to_path_buf(),
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The injected behaviour at one operation index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The operation fails with the given kind; the process lives on.
+    Error(ErrorKind),
+    /// The process dies at this operation; it has no effect, and every
+    /// later operation returns [`ErrorKind::Crashed`].
+    Crash,
+    /// The process dies mid-`append`: the first `keep` bytes land, the
+    /// rest do not. On any other operation this behaves like `Crash`.
+    TornAppend {
+        /// Bytes of the append that reach the file before death.
+        keep: usize,
+    },
+}
+
+/// A deterministic schedule mapping operation indices to faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: HashMap<u64, FaultOutcome>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fails operation `idx` with `kind`.
+    pub fn fail_at(mut self, idx: u64, kind: ErrorKind) -> Self {
+        self.faults.insert(idx, FaultOutcome::Error(kind));
+        self
+    }
+
+    /// Kills the process at operation `idx`.
+    pub fn crash_at(mut self, idx: u64) -> Self {
+        self.faults.insert(idx, FaultOutcome::Crash);
+        self
+    }
+
+    /// Kills the process mid-append at operation `idx`, landing `keep`
+    /// bytes first.
+    pub fn torn_at(mut self, idx: u64, keep: usize) -> Self {
+        self.faults.insert(idx, FaultOutcome::TornAppend { keep });
+        self
+    }
+
+    /// A pseudo-random schedule over the first `horizon` operations,
+    /// fully determined by `seed`: roughly one in eight operations fails
+    /// transiently (`Io` or `NoSpace`), and one operation crashes.
+    pub fn seeded(seed: u64, horizon: u64) -> Self {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut plan = FaultPlan::new();
+        if horizon == 0 {
+            return plan;
+        }
+        for idx in 0..horizon {
+            if next() % 8 == 0 {
+                let kind = if next() % 2 == 0 { ErrorKind::Io } else { ErrorKind::NoSpace };
+                plan.faults.insert(idx, FaultOutcome::Error(kind));
+            }
+        }
+        let crash_idx = next() % horizon;
+        plan.faults.insert(crash_idx, FaultOutcome::Crash);
+        plan
+    }
+
+    fn get(&self, idx: u64) -> Option<FaultOutcome> {
+        self.faults.get(&idx).copied()
+    }
+}
+
+#[derive(Debug)]
+struct FaultInner {
+    plan: FaultPlan,
+    op: u64,
+    crashed: bool,
+}
+
+/// A [`Backend`] that delegates to a [`MemBackend`] while counting
+/// operations and applying a [`FaultPlan`].
+///
+/// The handle is cheap to clone; clones share the operation counter and
+/// crash flag, so a test can hand one clone to the store under test and
+/// keep another for inspection.
+#[derive(Debug, Clone)]
+pub struct FaultBackend {
+    mem: MemBackend,
+    inner: Arc<Mutex<FaultInner>>,
+}
+
+impl FaultBackend {
+    /// Wraps `mem`, applying `plan`.
+    pub fn new(mem: MemBackend, plan: FaultPlan) -> Self {
+        FaultBackend { mem, inner: Arc::new(Mutex::new(FaultInner { plan, op: 0, crashed: false })) }
+    }
+
+    /// Total operations attempted so far (including faulted ones). Run a
+    /// fault-free pass first to learn how many crash points a scenario
+    /// has.
+    pub fn ops_seen(&self) -> u64 {
+        self.inner.lock().unwrap().op
+    }
+
+    /// Whether an injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.inner.lock().unwrap().crashed
+    }
+
+    /// The underlying in-memory filesystem, for crash materialization.
+    pub fn mem(&self) -> MemBackend {
+        self.mem.clone()
+    }
+
+    /// Checks the plan for the next operation. `Ok(())` means proceed.
+    fn gate(&self, op: &'static str, path: &Path) -> Result<Option<FaultOutcome>, StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.crashed {
+            return Err(StoreError::new(op, path, ErrorKind::Crashed, "process already crashed"));
+        }
+        let idx = inner.op;
+        inner.op += 1;
+        match inner.plan.get(idx) {
+            None => Ok(None),
+            Some(FaultOutcome::Error(kind)) => {
+                Err(StoreError::new(op, path, kind, format!("injected fault at op {idx}")))
+            }
+            Some(FaultOutcome::Crash) => {
+                inner.crashed = true;
+                Err(StoreError::new(op, path, ErrorKind::Crashed, format!("injected crash at op {idx}")))
+            }
+            Some(outcome @ FaultOutcome::TornAppend { .. }) => {
+                inner.crashed = true;
+                Ok(Some(outcome))
+            }
+        }
+    }
+}
+
+impl Backend for FaultBackend {
+    fn create(&self, path: &Path) -> Result<FileId, StoreError> {
+        self.gate("create", path)?;
+        self.mem.create(path)
+    }
+
+    fn append(&self, id: FileId, data: &[u8]) -> Result<(), StoreError> {
+        match self.gate("append", Path::new("<open file>"))? {
+            Some(FaultOutcome::TornAppend { keep }) => {
+                let keep = keep.min(data.len());
+                let _ = self.mem.append(id, &data[..keep]);
+                Err(StoreError::new(
+                    "append",
+                    Path::new("<open file>"),
+                    ErrorKind::Crashed,
+                    format!("injected torn append: {keep} of {} bytes landed", data.len()),
+                ))
+            }
+            _ => self.mem.append(id, data),
+        }
+    }
+
+    fn sync_file(&self, id: FileId) -> Result<(), StoreError> {
+        self.gate("sync_file", Path::new("<open file>"))?;
+        self.mem.sync_file(id)
+    }
+
+    fn close(&self, id: FileId) -> Result<(), StoreError> {
+        self.gate("close", Path::new("<open file>"))?;
+        self.mem.close(id)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), StoreError> {
+        self.gate("rename", from)?;
+        self.mem.rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<(), StoreError> {
+        self.gate("sync_dir", dir)?;
+        self.mem.sync_dir(dir)
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>, StoreError> {
+        self.gate("read", path)?;
+        self.mem.read(path)
+    }
+
+    fn list(&self, dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
+        self.gate("list", dir)?;
+        self.mem.list(dir)
+    }
+
+    fn remove(&self, path: &Path) -> Result<(), StoreError> {
+        self.gate("remove", path)?;
+        self.mem.remove(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> Result<(), StoreError> {
+        self.gate("create_dir_all", dir)?;
+        self.mem.create_dir_all(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    fn write_file(b: &impl Backend, path: &Path, data: &[u8], sync: bool) {
+        let id = b.create(path).unwrap();
+        b.append(id, data).unwrap();
+        if sync {
+            b.sync_file(id).unwrap();
+        }
+        b.close(id).unwrap();
+    }
+
+    #[test]
+    fn unsynced_data_drops_on_crash() {
+        let mem = MemBackend::new();
+        mem.create_dir_all(&p("d")).unwrap();
+        mem.sync_dir(&p("d")).unwrap();
+        let id = mem.create(&p("d/f")).unwrap();
+        mem.append(id, b"synced").unwrap();
+        mem.sync_file(id).unwrap();
+        mem.append(id, b" unsynced").unwrap();
+        mem.sync_dir(&p("d")).unwrap();
+
+        let after = mem.materialize_crash(DataLossPolicy::DropUnsynced, DirLossPolicy::KeepUnsynced);
+        assert_eq!(after.read(&p("d/f")).unwrap(), b"synced");
+        let after = mem.materialize_crash(DataLossPolicy::KeepUnsynced, DirLossPolicy::KeepUnsynced);
+        assert_eq!(after.read(&p("d/f")).unwrap(), b"synced unsynced");
+        let after = mem.materialize_crash(DataLossPolicy::TornTail, DirLossPolicy::KeepUnsynced);
+        let torn = after.read(&p("d/f")).unwrap();
+        assert!(torn.starts_with(b"synced") && torn.len() < b"synced unsynced".len());
+    }
+
+    #[test]
+    fn unsynced_rename_reverts_on_crash() {
+        let mem = MemBackend::new();
+        mem.create_dir_all(&p("d")).unwrap();
+        write_file(&mem, &p("d/tmp"), b"payload", true);
+        mem.sync_dir(&p("d")).unwrap();
+        mem.rename(&p("d/tmp"), &p("d/final")).unwrap();
+
+        // Without the dir fsync the rename may be lost...
+        let after = mem.materialize_crash(DataLossPolicy::DropUnsynced, DirLossPolicy::RevertUnsynced);
+        assert!(after.read(&p("d/final")).is_err());
+        assert_eq!(after.read(&p("d/tmp")).unwrap(), b"payload");
+
+        // ...and after the dir fsync it is durable.
+        mem.sync_dir(&p("d")).unwrap();
+        let after = mem.materialize_crash(DataLossPolicy::DropUnsynced, DirLossPolicy::RevertUnsynced);
+        assert_eq!(after.read(&p("d/final")).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn reverted_create_disappears_and_overwrite_restores() {
+        let mem = MemBackend::new();
+        mem.create_dir_all(&p("d")).unwrap();
+        write_file(&mem, &p("d/f"), b"old", true);
+        mem.sync_dir(&p("d")).unwrap();
+        // Truncating re-create, never dir-synced: reverting restores "old".
+        write_file(&mem, &p("d/f"), b"new", true);
+        write_file(&mem, &p("d/g"), b"ghost", true);
+        let after = mem.materialize_crash(DataLossPolicy::KeepUnsynced, DirLossPolicy::RevertUnsynced);
+        assert_eq!(after.read(&p("d/f")).unwrap(), b"old");
+        assert!(after.read(&p("d/g")).is_err());
+    }
+
+    #[test]
+    fn fault_backend_injects_error_then_recovers() {
+        let mem = MemBackend::new();
+        let plan = FaultPlan::new().fail_at(1, ErrorKind::NoSpace);
+        let fb = FaultBackend::new(mem, plan);
+        fb.create_dir_all(&p("d")).unwrap(); // op 0
+        let err = fb.create(&p("d/f")).unwrap_err(); // op 1: injected
+        assert_eq!(err.kind, ErrorKind::NoSpace);
+        assert!(!fb.crashed());
+        fb.create(&p("d/f")).unwrap(); // op 2: fine again
+        assert_eq!(fb.ops_seen(), 3);
+    }
+
+    #[test]
+    fn fault_backend_crash_is_terminal() {
+        let fb = FaultBackend::new(MemBackend::new(), FaultPlan::new().crash_at(1));
+        fb.create_dir_all(&p("d")).unwrap();
+        assert_eq!(fb.create(&p("d/f")).unwrap_err().kind, ErrorKind::Crashed);
+        assert!(fb.crashed());
+        assert_eq!(fb.create_dir_all(&p("e")).unwrap_err().kind, ErrorKind::Crashed);
+    }
+
+    #[test]
+    fn torn_append_lands_prefix_then_crashes() {
+        let mem = MemBackend::new();
+        let fb = FaultBackend::new(mem.clone(), FaultPlan::new().torn_at(2, 3));
+        fb.create_dir_all(&p("d")).unwrap(); // op 0
+        let id = fb.create(&p("d/f")).unwrap(); // op 1
+        let err = fb.append(id, b"abcdef").unwrap_err(); // op 2: torn
+        assert_eq!(err.kind, ErrorKind::Crashed);
+        let after = mem.materialize_crash(DataLossPolicy::KeepUnsynced, DirLossPolicy::KeepUnsynced);
+        assert_eq!(after.read(&p("d/f")).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_contains_a_crash() {
+        let a = FaultPlan::seeded(7, 40);
+        let b = FaultPlan::seeded(7, 40);
+        let crashes = (0..40).filter(|&i| a.get(i) == Some(FaultOutcome::Crash)).count();
+        assert!(crashes >= 1);
+        for i in 0..40 {
+            assert_eq!(a.get(i), b.get(i));
+        }
+        let c = FaultPlan::seeded(8, 40);
+        assert!((0..40).any(|i| a.get(i) != c.get(i)));
+    }
+}

@@ -1,0 +1,46 @@
+//! # dg-io — crash-safe artifact persistence
+//!
+//! Long GAN trainings are only as reproducible as their durable artifacts:
+//! a kill or a full disk in the middle of a checkpoint write must never
+//! leave the run unresumable. This crate provides the storage layer every
+//! persistence path in the workspace goes through:
+//!
+//! * [`ArtifactStore`] — atomic writes (temp sibling + fsync file and
+//!   parent directory + rename), every payload wrapped in a versioned
+//!   [`envelope`] with a length and CRC32 integrity check, numbered
+//!   checkpoint rotation with a retain-N policy and a `latest` pointer,
+//!   and newest-first recovery that skips truncated/corrupt/partially
+//!   renamed files to land on the newest *valid* snapshot.
+//! * [`Backend`] — the small filesystem surface the store drives, with
+//!   three implementations: [`StdBackend`] (real filesystem),
+//!   [`MemBackend`] (in-memory filesystem with power-loss semantics), and
+//!   [`FaultBackend`] (deterministic fault injection: fail or crash at the
+//!   k-th operation, ENOSPC, torn writes, reverted renames).
+//! * [`atomic_write`] — the same temp + fsync + rename discipline for
+//!   plain files (released models, datasets, bench reports) that must stay
+//!   byte-readable by external tools (`jq`, notebooks) and therefore skip
+//!   the envelope.
+//!
+//! The crate-level invariant, enforced by the fault-injection suite in
+//! `tests/fault_injection.rs`: **no crash point leaves the store
+//! unrecoverable** — after a simulated power loss at *any* backend
+//! operation, under *any* combination of unsynced-data and directory-entry
+//! loss semantics, recovery either returns the newest fully-committed
+//! artifact bitwise intact or reports a structured error; it never returns
+//! silently corrupted bytes.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod envelope;
+pub mod error;
+pub mod fault;
+pub mod store;
+
+pub use backend::{Backend, FileId, StdBackend};
+pub use envelope::{crc32, decode, encode, EnvelopeError};
+pub use error::{ErrorKind, StoreError};
+pub use fault::{DataLossPolicy, DirLossPolicy, FaultBackend, FaultOutcome, FaultPlan, MemBackend};
+pub use store::{
+    atomic_write, atomic_write_with, ArtifactStore, RotationOutcome, SkippedArtifact, ValidArtifact,
+};

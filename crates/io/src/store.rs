@@ -1,0 +1,394 @@
+//! The artifact store: atomic envelope-wrapped writes, numbered rotation
+//! with a retain-N policy, and newest-first corruption-aware recovery.
+//!
+//! Write discipline for every durable artifact:
+//!
+//! 1. write the full [`envelope`](crate::envelope) to a hidden temp
+//!    sibling (`.{name}.tmp`),
+//! 2. `fsync` the temp file and close it,
+//! 3. `rename` it over the final name,
+//! 4. `fsync` the parent directory.
+//!
+//! A crash before the rename leaves only debris the recovery scan never
+//! looks at; a crash after it leaves a fully-synced, CRC-valid artifact.
+//! Recovery therefore never trusts names or pointers: it scans the
+//! numbered candidates newest-first and takes the first one whose
+//! envelope validates, reporting everything it skipped.
+
+use std::path::{Path, PathBuf};
+
+use crate::backend::{Backend, StdBackend};
+use crate::envelope;
+use crate::error::{ErrorKind, StoreError};
+
+/// File extension for numbered, envelope-wrapped artifacts.
+pub const ARTIFACT_EXT: &str = "dgart";
+
+const CHUNK: usize = 4096;
+
+/// Writes `bytes` to `path` via a temp sibling + fsync + rename, using
+/// `backend` for every filesystem effect.
+pub fn atomic_write_with<B: Backend>(backend: &B, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| StoreError::new("atomic_write", path, ErrorKind::Io, "path has no file name"))?;
+    let dir = path.parent().unwrap_or_else(|| Path::new("")).to_path_buf();
+    let tmp = dir.join(format!(".{name}.tmp"));
+
+    let id = backend.create(&tmp)?;
+    let mut wrote = Ok(());
+    for chunk in bytes.chunks(CHUNK.max(1)) {
+        wrote = backend.append(id, chunk);
+        if wrote.is_err() {
+            break;
+        }
+    }
+    let wrote = wrote.and_then(|()| backend.sync_file(id));
+    // Close even on failure so the backend does not leak the handle; the
+    // write error is the one worth reporting.
+    let closed = backend.close(id);
+    wrote?;
+    closed?;
+    backend.rename(&tmp, path)?;
+    backend.sync_dir(&dir)?;
+    Ok(())
+}
+
+/// [`atomic_write_with`] against the real filesystem. This is the drop-in
+/// replacement for `fs::write` (which can tear on crash) on persistence
+/// paths that must stay plain bytes (JSON reports read by `jq`, released
+/// models), where the envelope would get in consumers' way.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    atomic_write_with(&StdBackend::new(), path, bytes)
+}
+
+/// A recovered artifact: the newest candidate whose envelope validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidArtifact {
+    /// Sequence number parsed from the file name.
+    pub seq: u64,
+    /// Full path of the recovered file.
+    pub path: PathBuf,
+    /// The envelope payload, bitwise as written.
+    pub payload: Vec<u8>,
+}
+
+/// A candidate the recovery scan rejected, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedArtifact {
+    /// Full path of the rejected file.
+    pub path: PathBuf,
+    /// Human-readable reason (envelope finding, unreadable, bad name).
+    pub reason: String,
+}
+
+/// What a [`ArtifactStore::put_numbered`] call durably achieved beyond
+/// the artifact itself. The artifact write is all-or-error; the `latest`
+/// pointer and retention pruning are best-effort because recovery never
+/// depends on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RotationOutcome {
+    /// Path of the durably-committed artifact.
+    pub path: PathBuf,
+    /// Whether the `{family}.latest` hint was updated.
+    pub pointer_updated: bool,
+    /// Old artifacts removed by the retain-N policy.
+    pub pruned: usize,
+    /// Old artifacts that could not be removed (retried next rotation).
+    pub prune_failures: usize,
+}
+
+/// Crash-safe artifact store rooted at one directory.
+#[derive(Debug)]
+pub struct ArtifactStore<B: Backend> {
+    backend: B,
+    dir: PathBuf,
+    retain: usize,
+}
+
+impl ArtifactStore<StdBackend> {
+    /// Opens a store on the real filesystem.
+    pub fn open_std(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open(StdBackend::new(), dir)
+    }
+}
+
+impl<B: Backend> ArtifactStore<B> {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(backend: B, dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        backend.create_dir_all(&dir)?;
+        Ok(ArtifactStore { backend, dir, retain: 3 })
+    }
+
+    /// Sets the retain-N rotation policy (keep the `n` newest artifacts
+    /// per family; minimum 1).
+    pub fn with_retain(mut self, n: usize) -> Self {
+        self.retain = n.max(1);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The backend, for callers that need sibling writes with the same
+    /// fault surface.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Atomically writes an envelope-wrapped named artifact.
+    pub fn put(&self, name: &str, payload: &[u8]) -> Result<PathBuf, StoreError> {
+        let path = self.dir.join(name);
+        atomic_write_with(&self.backend, &path, &envelope::encode(payload))?;
+        Ok(path)
+    }
+
+    /// Reads and validates a named artifact, returning its payload.
+    pub fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        let path = self.dir.join(name);
+        let bytes = self.backend.read(&path)?;
+        envelope::decode(&bytes).map_err(|e| StoreError::new("get", &path, ErrorKind::Corrupt, e.to_string()))
+    }
+
+    /// File name of sequence `seq` in `family`.
+    pub fn artifact_name(family: &str, seq: u64) -> String {
+        format!("{family}-{seq:08}.{ARTIFACT_EXT}")
+    }
+
+    /// Durably commits `payload` as `{family}-{seq:08}.dgart`, then
+    /// best-effort updates the `{family}.latest` hint and prunes beyond
+    /// the retain-N policy.
+    ///
+    /// An `Ok` return guarantees the artifact itself survives any
+    /// subsequent crash; pointer/prune outcomes ride along in the
+    /// [`RotationOutcome`] for callers that want to warn about them.
+    pub fn put_numbered(
+        &self,
+        family: &str,
+        seq: u64,
+        payload: &[u8],
+    ) -> Result<RotationOutcome, StoreError> {
+        let path = self.put(&Self::artifact_name(family, seq), payload)?;
+        let pointer_updated =
+            self.put(&format!("{family}.latest"), Self::artifact_name(family, seq).as_bytes()).is_ok();
+        let (pruned, prune_failures) = self.prune(family, seq);
+        Ok(RotationOutcome { path, pointer_updated, pruned, prune_failures })
+    }
+
+    /// The sequence number the `{family}.latest` hint points at, if the
+    /// hint exists, validates, and parses. Purely advisory: recovery
+    /// ([`Self::latest_valid`]) never reads it.
+    pub fn latest_hint(&self, family: &str) -> Option<u64> {
+        let payload = self.get(&format!("{family}.latest")).ok()?;
+        let name = String::from_utf8(payload).ok()?;
+        Self::parse_seq(family, &name)
+    }
+
+    /// Scans `family`'s numbered artifacts newest-first and returns the
+    /// first one whose envelope validates, plus every newer candidate the
+    /// scan had to skip (truncated, bit-flipped, unreadable, bad name).
+    ///
+    /// `Ok((None, skipped))` means no valid artifact exists — including
+    /// the store directory not existing at all, which is how a fresh run
+    /// with nothing to resume presents.
+    pub fn latest_valid(
+        &self,
+        family: &str,
+    ) -> Result<(Option<ValidArtifact>, Vec<SkippedArtifact>), StoreError> {
+        let mut skipped = Vec::new();
+        for (seq, path) in self.candidates(family)? {
+            let Some(seq) = seq else {
+                skipped.push(SkippedArtifact { path, reason: "unparseable sequence number".into() });
+                continue;
+            };
+            match self.read_envelope(&path) {
+                Ok(payload) => return Ok((Some(ValidArtifact { seq, path, payload }), skipped)),
+                Err(e) => skipped.push(SkippedArtifact { path, reason: e.detail }),
+            }
+        }
+        Ok((None, skipped))
+    }
+
+    /// Numbered candidates of `family`, newest-first, without reading
+    /// them: `(parsed seq, path)`. Unparseable names sort last with
+    /// `None`. A missing store directory is an empty list, not an error.
+    /// This is the scan [`Self::latest_valid`] walks; callers whose
+    /// payloads need validation beyond the envelope (e.g. JSON parsing)
+    /// drive it themselves to keep skipping to older candidates.
+    pub fn candidates(&self, family: &str) -> Result<Vec<(Option<u64>, PathBuf)>, StoreError> {
+        let entries = match self.backend.list(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind == ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut candidates: Vec<(Option<u64>, PathBuf)> = Vec::new();
+        for path in entries {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            if !name.starts_with(&format!("{family}-")) || !name.ends_with(&format!(".{ARTIFACT_EXT}")) {
+                continue;
+            }
+            candidates.push((Self::parse_seq(family, name), path));
+        }
+        candidates.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq));
+        Ok(candidates)
+    }
+
+    /// Reads one artifact by full path and validates its envelope.
+    pub fn read_envelope(&self, path: &Path) -> Result<Vec<u8>, StoreError> {
+        let bytes = self.backend.read(path)?;
+        envelope::decode(&bytes)
+            .map_err(|e| StoreError::new("read_envelope", path, ErrorKind::Corrupt, e.to_string()))
+    }
+
+    /// Best-effort removal of artifacts older than the retain-N newest
+    /// (by sequence number, counting from `newest_seq`). Returns
+    /// `(removed, failures)`.
+    fn prune(&self, family: &str, newest_seq: u64) -> (usize, usize) {
+        let Ok(entries) = self.backend.list(&self.dir) else { return (0, 0) };
+        let cutoff = newest_seq.saturating_sub(self.retain as u64 - 1);
+        let mut removed = 0;
+        let mut failures = 0;
+        for path in entries {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            if !name.starts_with(&format!("{family}-")) || !name.ends_with(&format!(".{ARTIFACT_EXT}")) {
+                continue;
+            }
+            if let Some(seq) = Self::parse_seq(family, name) {
+                if seq < cutoff {
+                    match self.backend.remove(&path) {
+                        Ok(()) => removed += 1,
+                        Err(_) => failures += 1,
+                    }
+                }
+            }
+        }
+        if removed > 0 {
+            let _ = self.backend.sync_dir(&self.dir);
+        }
+        (removed, failures)
+    }
+
+    fn parse_seq(family: &str, name: &str) -> Option<u64> {
+        name.strip_prefix(family)?.strip_prefix('-')?.strip_suffix(&format!(".{ARTIFACT_EXT}"))?.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::MemBackend;
+
+    fn store() -> ArtifactStore<MemBackend> {
+        ArtifactStore::open(MemBackend::new(), "store").unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = store();
+        s.put("model.json", b"{\"w\":1}").unwrap();
+        assert_eq!(s.get("model.json").unwrap(), b"{\"w\":1}");
+    }
+
+    #[test]
+    fn get_reports_corruption_not_garbage() {
+        let s = store();
+        let path = s.put("model.json", b"payload").unwrap();
+        let mut bytes = s.backend().raw(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        s.backend().plant(&path, &bytes);
+        assert_eq!(s.get("model.json").unwrap_err().kind, ErrorKind::Corrupt);
+    }
+
+    #[test]
+    fn rotation_prunes_and_updates_pointer() {
+        let s = store().with_retain(2);
+        for seq in 1..=5 {
+            let out = s.put_numbered("ckpt", seq, format!("payload {seq}").as_bytes()).unwrap();
+            assert!(out.pointer_updated);
+            assert_eq!(out.prune_failures, 0);
+        }
+        let (latest, skipped) = s.latest_valid("ckpt").unwrap();
+        assert_eq!(latest.as_ref().unwrap().seq, 5);
+        assert_eq!(latest.unwrap().payload, b"payload 5");
+        assert!(skipped.is_empty());
+        assert_eq!(s.latest_hint("ckpt"), Some(5));
+        // Only the two newest remain.
+        assert!(s.get(&ArtifactStore::<MemBackend>::artifact_name("ckpt", 3)).is_err());
+        assert!(s.get(&ArtifactStore::<MemBackend>::artifact_name("ckpt", 4)).is_ok());
+    }
+
+    #[test]
+    fn recovery_skips_corrupt_newest_and_lands_on_previous() {
+        let s = store().with_retain(4);
+        s.put_numbered("ckpt", 1, b"one").unwrap();
+        s.put_numbered("ckpt", 2, b"two").unwrap();
+        let newest = s.put_numbered("ckpt", 3, b"three").unwrap().path;
+
+        // Truncate the newest: CRC/length catches it.
+        let bytes = s.backend().raw(&newest).unwrap();
+        s.backend().plant(&newest, &bytes[..bytes.len() - 5]);
+        let (latest, skipped) = s.latest_valid("ckpt").unwrap();
+        assert_eq!(latest.unwrap().payload, b"two");
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].path, newest);
+
+        // Bit-flip checkpoint 2 as well: falls back to 1.
+        let p2 = s.dir().join(ArtifactStore::<MemBackend>::artifact_name("ckpt", 2));
+        let mut bytes = s.backend().raw(&p2).unwrap();
+        bytes[20] ^= 0x01;
+        s.backend().plant(&p2, &bytes);
+        let (latest, skipped) = s.latest_valid("ckpt").unwrap();
+        assert_eq!(latest.unwrap().payload, b"one");
+        assert_eq!(skipped.len(), 2);
+    }
+
+    #[test]
+    fn empty_or_missing_store_is_a_clean_none() {
+        let s = store();
+        let (latest, skipped) = s.latest_valid("ckpt").unwrap();
+        assert!(latest.is_none() && skipped.is_empty());
+        // Directory never created at all.
+        let s2 = ArtifactStore { backend: MemBackend::new(), dir: PathBuf::from("nowhere"), retain: 3 };
+        let (latest, skipped) = s2.latest_valid("ckpt").unwrap();
+        assert!(latest.is_none() && skipped.is_empty());
+    }
+
+    #[test]
+    fn stale_latest_pointer_does_not_mislead_recovery() {
+        let s = store();
+        s.put_numbered("ckpt", 1, b"one").unwrap();
+        // Plant a pointer at a seq that does not exist.
+        s.put("ckpt.latest", ArtifactStore::<MemBackend>::artifact_name("ckpt", 9).as_bytes()).unwrap();
+        assert_eq!(s.latest_hint("ckpt"), Some(9));
+        let (latest, _) = s.latest_valid("ckpt").unwrap();
+        assert_eq!(latest.unwrap().seq, 1);
+    }
+
+    #[test]
+    fn temp_debris_is_invisible_to_recovery() {
+        let s = store();
+        s.put_numbered("ckpt", 1, b"one").unwrap();
+        s.backend().plant(&s.dir().join(".ckpt-00000002.dgart.tmp"), b"half-written junk");
+        let (latest, skipped) = s.latest_valid("ckpt").unwrap();
+        assert_eq!(latest.unwrap().seq, 1);
+        assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn atomic_write_std_roundtrip_and_no_temp_left() {
+        let dir = std::env::temp_dir().join(format!("dg_io_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        atomic_write(&path, b"{\"ok\":true}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"ok\":true}");
+        let names: Vec<_> = std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().file_name()).collect();
+        assert_eq!(names.len(), 1, "temp sibling must be gone: {names:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

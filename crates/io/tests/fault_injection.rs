@@ -1,0 +1,205 @@
+//! Property-style fault-injection suite for the artifact store.
+//!
+//! The invariant under test, from the crate docs: **no injected crash
+//! point leaves the store unrecoverable.** A scenario of rotated
+//! checkpoint writes runs against the fault backend; for every single
+//! backend operation we simulate dying there (clean kill and torn-write
+//! kill), materialize the surviving filesystem under every combination of
+//! data-loss and directory-entry-loss semantics, and assert that recovery
+//!
+//! * never errors and never returns corrupted payload bytes,
+//! * returns a checkpoint at least as new as the newest `put_numbered`
+//!   that had reported success before the death, and
+//! * leaves a store that accepts further writes.
+
+use std::path::Path;
+
+use dg_io::{ArtifactStore, DataLossPolicy, DirLossPolicy, ErrorKind, FaultBackend, FaultPlan, MemBackend};
+
+const NUM_CKPTS: u64 = 6;
+const STORE_DIR: &str = "store";
+const FAMILY: &str = "ckpt";
+
+/// Deterministic payload per sequence number; sizes straddle the store's
+/// append chunking so some writes take several operations.
+fn payload(seq: u64) -> Vec<u8> {
+    let mut p = format!("snapshot {seq} ").into_bytes();
+    let filler = (seq as usize) * 1500;
+    p.extend((0..filler).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seq as u8)));
+    p
+}
+
+/// Runs the checkpoint scenario, tolerating transient errors (a real
+/// training loop logs a failed checkpoint and keeps going) and stopping
+/// at a simulated death. Returns the newest seq whose write reported
+/// success.
+fn run_scenario(fb: &FaultBackend) -> Option<u64> {
+    let store = match ArtifactStore::open(fb.clone(), STORE_DIR) {
+        Ok(s) => s.with_retain(3),
+        Err(_) => return None,
+    };
+    let mut committed = None;
+    for seq in 1..=NUM_CKPTS {
+        match store.put_numbered(FAMILY, seq, &payload(seq)) {
+            Ok(_) => committed = Some(seq),
+            Err(e) if e.kind == ErrorKind::Crashed => break,
+            Err(_) => {}
+        }
+    }
+    committed
+}
+
+/// Asserts the recovery invariant on the post-crash filesystem.
+fn assert_recoverable(
+    mem: &MemBackend,
+    data: DataLossPolicy,
+    dir: DirLossPolicy,
+    committed: Option<u64>,
+    label: &str,
+) {
+    let disk = mem.materialize_crash(data, dir);
+    let store = ArtifactStore::open(disk, STORE_DIR).expect("reopen after crash");
+    let (latest, _skipped) = store
+        .latest_valid(FAMILY)
+        .unwrap_or_else(|e| panic!("{label} [{data:?}/{dir:?}]: recovery errored: {e}"));
+    match (&latest, committed) {
+        (Some(v), Some(c)) => {
+            assert!(
+                v.seq >= c,
+                "{label} [{data:?}/{dir:?}]: recovered seq {} older than committed {c}",
+                v.seq
+            );
+            assert_eq!(
+                v.payload,
+                payload(v.seq),
+                "{label} [{data:?}/{dir:?}]: silent corruption at seq {}",
+                v.seq
+            );
+        }
+        (Some(v), None) => {
+            assert_eq!(
+                v.payload,
+                payload(v.seq),
+                "{label} [{data:?}/{dir:?}]: silent corruption at seq {}",
+                v.seq
+            );
+        }
+        (None, Some(c)) => panic!("{label} [{data:?}/{dir:?}]: committed checkpoint {c} lost"),
+        (None, None) => {}
+    }
+    // The recovered store must keep working.
+    let next = committed.unwrap_or(0) + 100;
+    store
+        .put_numbered(FAMILY, next, &payload(next))
+        .unwrap_or_else(|e| panic!("{label} [{data:?}/{dir:?}]: recovered store rejects writes: {e}"));
+    let (latest, _) = store.latest_valid(FAMILY).unwrap();
+    assert_eq!(latest.unwrap().seq, next, "{label} [{data:?}/{dir:?}]");
+}
+
+/// How many backend operations the fault-free scenario performs — the
+/// crash-point surface the other tests enumerate.
+fn total_ops() -> u64 {
+    let fb = FaultBackend::new(MemBackend::new(), FaultPlan::new());
+    let committed = run_scenario(&fb);
+    assert_eq!(committed, Some(NUM_CKPTS), "fault-free run must commit everything");
+    fb.ops_seen()
+}
+
+#[test]
+fn every_crash_point_is_recoverable() {
+    let n = total_ops();
+    assert!(n > 20, "scenario too small to be interesting: {n} ops");
+    for k in 0..n {
+        let fb = FaultBackend::new(MemBackend::new(), FaultPlan::new().crash_at(k));
+        let committed = run_scenario(&fb);
+        assert!(fb.crashed(), "plan crash_at({k}) never fired");
+        for data in DataLossPolicy::ALL {
+            for dir in DirLossPolicy::ALL {
+                assert_recoverable(&fb.mem(), data, dir, committed, &format!("crash at op {k}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_torn_write_crash_point_is_recoverable() {
+    let n = total_ops();
+    for k in 0..n {
+        let fb = FaultBackend::new(MemBackend::new(), FaultPlan::new().torn_at(k, 7));
+        let committed = run_scenario(&fb);
+        assert!(fb.crashed(), "plan torn_at({k}) never fired");
+        for data in DataLossPolicy::ALL {
+            for dir in DirLossPolicy::ALL {
+                assert_recoverable(&fb.mem(), data, dir, committed, &format!("torn write at op {k}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_transient_error_point_leaves_a_consistent_store() {
+    let n = total_ops();
+    for kind in [ErrorKind::NoSpace, ErrorKind::Io] {
+        for k in 0..n {
+            let fb = FaultBackend::new(MemBackend::new(), FaultPlan::new().fail_at(k, kind));
+            let committed = run_scenario(&fb);
+            assert!(!fb.crashed());
+            // No crash: the live filesystem *is* the disk state.
+            let store = ArtifactStore::open(fb.mem(), STORE_DIR).unwrap();
+            let (latest, _) = store
+                .latest_valid(FAMILY)
+                .unwrap_or_else(|e| panic!("{kind:?} at op {k}: recovery errored: {e}"));
+            match (&latest, committed) {
+                (Some(v), Some(c)) => {
+                    assert!(v.seq >= c, "{kind:?} at op {k}: lost committed {c}");
+                    assert_eq!(v.payload, payload(v.seq), "{kind:?} at op {k}: corruption");
+                }
+                (None, Some(c)) => panic!("{kind:?} at op {k}: committed {c} lost"),
+                _ => {}
+            }
+            // One transient fault must cost at most one checkpoint.
+            if k > 0 {
+                let c = committed.unwrap_or(0);
+                assert!(
+                    c >= NUM_CKPTS - 1,
+                    "{kind:?} at op {k}: only {c} of {NUM_CKPTS} checkpoints committed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_multi_fault_schedules_are_recoverable() {
+    let n = total_ops();
+    for seed in 0..24 {
+        let fb = FaultBackend::new(MemBackend::new(), FaultPlan::seeded(seed, n));
+        let committed = run_scenario(&fb);
+        for data in DataLossPolicy::ALL {
+            for dir in DirLossPolicy::ALL {
+                assert_recoverable(&fb.mem(), data, dir, committed, &format!("seeded schedule {seed}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn recovery_reports_what_it_skipped() {
+    // Belt-and-braces beyond the enumeration: hand-corrupt the newest
+    // checkpoint and check the skip report names it.
+    let mem = MemBackend::new();
+    let store = ArtifactStore::open(mem.clone(), STORE_DIR).unwrap();
+    store.put_numbered(FAMILY, 1, &payload(1)).unwrap();
+    let newest = store.put_numbered(FAMILY, 2, &payload(2)).unwrap().path;
+    let bytes = mem.raw(&newest).unwrap();
+    mem.plant(&newest, &bytes[..bytes.len() / 2]);
+
+    let (latest, skipped) = store.latest_valid(FAMILY).unwrap();
+    assert_eq!(latest.unwrap().seq, 1);
+    assert_eq!(skipped.len(), 1);
+    assert_eq!(
+        skipped[0].path,
+        Path::new(STORE_DIR).join(ArtifactStore::<MemBackend>::artifact_name(FAMILY, 2))
+    );
+    assert!(!skipped[0].reason.is_empty());
+}

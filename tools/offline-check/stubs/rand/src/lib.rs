@@ -10,11 +10,29 @@
 
 use std::ops::{Range, RangeInclusive};
 
+/// Error type for fallible RNG operations (never produced by this stub;
+/// present so workspace types can implement `RngCore` against both the
+/// real crate and this one).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
 /// Core RNG interface (object-safe, like the real crate).
 pub trait RngCore {
     fn next_u32(&mut self) -> u32;
     fn next_u64(&mut self) -> u64;
     fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
