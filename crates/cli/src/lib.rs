@@ -365,12 +365,16 @@ fn cmd_train(args: &Args) -> Result<String, CliError> {
             skipped: *skipped,
         }));
     }
+    let start_iter = recovered.as_ref().map(|(it, _, _)| *it).unwrap_or(0);
     if checkpoint_every > 0 {
         let st = store.take().expect("checkpointing opened the store");
-        monitor = monitor.with_checkpoint_sink(checkpoint_every, checkpoint_sink(st, shared.clone()));
+        // The sink sees local fit iterations; offset by the resume base so
+        // snapshots stay globally sequenced and never overwrite earlier
+        // checkpoints with mislabeled newer state.
+        monitor =
+            monitor.with_checkpoint_sink(checkpoint_every, checkpoint_sink(st, shared.clone(), start_iter));
     }
 
-    let start_iter = recovered.as_ref().map(|(it, _, _)| *it).unwrap_or(0);
     let remaining = iterations.saturating_sub(start_iter);
     let mut last = StepMetrics::default();
     let report = trainer
@@ -763,6 +767,16 @@ mod tests {
             events.iter().any(|e| matches!(e, RunEvent::Resumed(r) if r.iteration == 4)),
             "expected a Resumed event"
         );
+
+        // The resumed run's checkpoints are sequenced globally: its final
+        // snapshot is iteration 6, not a re-numbered iteration 2 that
+        // would clobber the real early checkpoints.
+        let store = CheckpointStore::open_std(format!("{}.ckpts", p("part.json"))).unwrap();
+        let (loaded, skipped) = store.load_latest().unwrap();
+        let loaded = loaded.expect("resumed run checkpointed");
+        assert_eq!(loaded.seq, 6, "resumed run must continue the global sequence");
+        assert_eq!(loaded.snapshot.iteration, 6);
+        assert!(skipped.is_empty());
 
         // --resume with an empty store is a fresh start, not an error.
         let out = run(&Args::parse(argv(&format!(

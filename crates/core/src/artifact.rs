@@ -113,10 +113,6 @@ impl<B: Backend> CheckpointStore<B> {
     pub fn load_latest(&self) -> Result<(Option<LoadedSnapshot>, Vec<SkippedArtifact>), StoreError> {
         let mut skipped = Vec::new();
         for (seq, path) in self.store.candidates(CKPT_FAMILY)? {
-            let Some(seq) = seq else {
-                skipped.push(SkippedArtifact { path, reason: "unparseable sequence number".into() });
-                continue;
-            };
             let payload = match self.store.read_envelope(&path) {
                 Ok(p) => p,
                 Err(e) => {
@@ -140,12 +136,24 @@ impl<B: Backend> CheckpointStore<B> {
 /// a [`TrainSnapshot`] — with the shared RNG's exact stream position —
 /// into `store`. Wire it up with
 /// [`TrainMonitor::with_checkpoint_sink`](crate::telemetry::TrainMonitor::with_checkpoint_sink).
+///
+/// `base_iteration` is the number of iterations already completed before
+/// this fit began — 0 for a fresh run, the recovered snapshot's
+/// `iteration` for a resumed one. The sink receives *local* 0-based
+/// iteration indices from the monitor, so without the offset a resumed
+/// run would re-number its snapshots from 1 and overwrite earlier
+/// checkpoints with newer state mislabeled under old sequence numbers.
 pub fn checkpoint_sink<B: Backend + Send + 'static>(
     store: CheckpointStore<B>,
     rng: SharedRng,
+    base_iteration: usize,
 ) -> CheckpointSink {
     Box::new(move |it, ck| {
-        let snap = TrainSnapshot { iteration: it + 1, rng: Some(rng.snapshot()), checkpoint: ck.clone() };
+        let snap = TrainSnapshot {
+            iteration: base_iteration + it + 1,
+            rng: Some(rng.snapshot()),
+            checkpoint: ck.clone(),
+        };
         store.save(&snap).map(|_| ()).map_err(|e| e.to_string())
     })
 }
@@ -226,6 +234,23 @@ mod tests {
         assert_eq!(loaded.expect("older snapshot survives").seq, 4);
         assert_eq!(skipped.len(), 1);
         assert!(skipped[0].path.ends_with(&bad_name));
+    }
+
+    #[test]
+    fn checkpoint_sink_sequences_globally_from_base_iteration() {
+        let mem = MemBackend::new();
+        let store = CheckpointStore::open(mem.clone(), "ckpts").unwrap();
+        let snap = tiny_snapshot(64, 0);
+        let rng = SharedRng::seed_from_u64(64);
+        // A resumed run that already completed 4 iterations: its first
+        // periodic checkpoint (local it=1) is global iteration 6.
+        let mut sink = checkpoint_sink(store, rng, 4);
+        sink(1, &snap.checkpoint).expect("save");
+        let reader = CheckpointStore::open(mem, "ckpts").unwrap();
+        let (loaded, _) = reader.load_latest().unwrap();
+        let loaded = loaded.expect("snapshot saved");
+        assert_eq!(loaded.seq, 6, "sequence must be global, not local to the resumed fit");
+        assert_eq!(loaded.snapshot.iteration, 6);
     }
 
     #[test]

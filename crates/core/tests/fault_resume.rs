@@ -67,8 +67,39 @@ fn train_with_store(fb: &FaultBackend) -> RunEnd {
     };
     let mut mon = TrainMonitor::new()
         .with_max_checkpoint_failures(2)
-        .with_checkpoint_sink(CKPT_EVERY, checkpoint_sink(store, shared.clone()));
+        .with_checkpoint_sink(CKPT_EVERY, checkpoint_sink(store, shared.clone(), 0));
     match tr.fit_monitored(&enc, TOTAL_ITERS, &mut shared, &mut mon, |_| {}) {
+        Ok(_) => RunEnd::Completed(flat_params(&tr)),
+        Err(_) => RunEnd::Died,
+    }
+}
+
+/// A checkpointed *resumed* run against the fault backend: recover the
+/// newest snapshot (fresh start if none), continue to `TOTAL_ITERS` with
+/// the sink offset by the resume base so snapshots stay globally
+/// sequenced.
+fn resume_with_store(fb: &FaultBackend) -> RunEnd {
+    let (_, enc) = setup();
+    let store = match CheckpointStore::open(fb.clone(), "ckpts") {
+        Ok(s) => s.with_retain(2),
+        Err(_) => return RunEnd::DeadAtOpen,
+    };
+    let (loaded, _skipped) = match store.load_latest() {
+        Ok(x) => x,
+        Err(_) => return RunEnd::DeadAtOpen,
+    };
+    let (mut tr, mut shared, base) = match loaded {
+        Some(l) => (
+            Trainer::resume(l.snapshot.checkpoint),
+            SharedRng::new(l.snapshot.rng.expect("the sink always records the stream")),
+            l.snapshot.iteration,
+        ),
+        None => (setup().0, SharedRng::seed_from_u64(STREAM_SEED), 0),
+    };
+    let mut mon = TrainMonitor::new()
+        .with_max_checkpoint_failures(2)
+        .with_checkpoint_sink(CKPT_EVERY, checkpoint_sink(store, shared.clone(), base));
+    match tr.fit_monitored(&enc, TOTAL_ITERS - base, &mut shared, &mut mon, |_| {}) {
         Ok(_) => RunEnd::Completed(flat_params(&tr)),
         Err(_) => RunEnd::Died,
     }
@@ -128,6 +159,73 @@ fn every_crash_point_resumes_bitwise_identically_or_restarts_cleanly() {
                 assert_eq!(
                     finished, expected,
                     "crash at op {k} under {data:?}/{dir:?} broke bit-exact recovery"
+                );
+            }
+        }
+    }
+}
+
+/// Filesystem state of a run interrupted after 4 of the 6 iterations:
+/// fault-free checkpointing left durable snapshots at iterations 2 and 4.
+fn interrupted_at_four() -> MemBackend {
+    let (mut tr, enc) = setup();
+    let mut shared = SharedRng::seed_from_u64(STREAM_SEED);
+    let mem = MemBackend::new();
+    let store = CheckpointStore::open(mem.clone(), "ckpts").unwrap().with_retain(2);
+    let mut mon =
+        TrainMonitor::new().with_checkpoint_sink(CKPT_EVERY, checkpoint_sink(store, shared.clone(), 0));
+    tr.fit_monitored(&enc, 4, &mut shared, &mut mon, |_| {}).expect("interrupted prefix run");
+    mem
+}
+
+#[test]
+fn every_crash_point_in_a_resumed_run_recovers_bitwise() {
+    let expected = train_uninterrupted();
+    let mem = interrupted_at_four();
+    // Keep/Keep materialization is a deep copy of the (fully synced)
+    // interrupted state, so each scenario below starts from its own disk.
+    let copy =
+        |m: &MemBackend| m.materialize_crash(DataLossPolicy::KeepUnsynced, DirLossPolicy::KeepUnsynced);
+
+    // Fault-free resumed pass: completes to the expected parameters and
+    // its snapshots continue the *global* sequence — the newest is
+    // iteration 6, not a re-numbered iteration 2 overwriting the real
+    // early checkpoint with mislabeled newer state.
+    let fb0 = FaultBackend::new(copy(&mem), FaultPlan::new());
+    match resume_with_store(&fb0) {
+        RunEnd::Completed(params) => assert_eq!(params, expected, "fault-free resume diverged"),
+        other => panic!("fault-free resume must complete, got {other:?}"),
+    }
+    let store = CheckpointStore::open(fb0.mem(), "ckpts").unwrap();
+    let (loaded, skipped) = store.load_latest().unwrap();
+    let loaded = loaded.expect("resumed run checkpointed");
+    assert_eq!(loaded.seq, TOTAL_ITERS as u64, "resumed snapshots must continue the global sequence");
+    assert_eq!(loaded.snapshot.iteration, TOTAL_ITERS);
+    assert!(skipped.is_empty());
+
+    // Corrupt the post-resume newest snapshot: recovery falls back to the
+    // pre-crash iteration-4 snapshot and still finishes bit-identically.
+    let disk = fb0.mem();
+    let bytes = disk.raw(&loaded.path).unwrap();
+    disk.plant(&loaded.path, &bytes[..bytes.len() - 4]);
+    let finished = recover_and_finish(&disk, DataLossPolicy::KeepUnsynced, DirLossPolicy::KeepUnsynced);
+    assert_eq!(finished, expected, "corrupt newest after resume broke fallback recovery");
+
+    // Crash the resumed run at every backend operation; whatever state it
+    // leaves, recovery must land on a consistent snapshot and finish
+    // bit-identically to the uninterrupted run.
+    let n = fb0.ops_seen();
+    assert!(n > 10, "resumed scenario too small to be interesting: {n} ops");
+    for k in 0..n {
+        let fb = FaultBackend::new(copy(&mem), FaultPlan::new().crash_at(k));
+        let _ = resume_with_store(&fb);
+        assert!(fb.crashed(), "crash_at({k}) never fired");
+        for data in DataLossPolicy::ALL {
+            for dir in DirLossPolicy::ALL {
+                let finished = recover_and_finish(&fb.mem(), data, dir);
+                assert_eq!(
+                    finished, expected,
+                    "crash at op {k} of a resumed run under {data:?}/{dir:?} broke bit-exact recovery"
                 );
             }
         }

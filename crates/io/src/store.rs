@@ -48,9 +48,17 @@ pub fn atomic_write_with<B: Backend>(backend: &B, path: &Path, bytes: &[u8]) -> 
     // Close even on failure so the backend does not leak the handle; the
     // write error is the one worth reporting.
     let closed = backend.close(id);
-    wrote?;
-    closed?;
-    backend.rename(&tmp, path)?;
+    if let Err(e) = wrote.and(closed) {
+        // Best-effort cleanup: a failed attempt (ENOSPC being the likely
+        // culprit) must not leave temp debris eating the very disk space
+        // that made it fail.
+        let _ = backend.remove(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = backend.rename(&tmp, path) {
+        let _ = backend.remove(&tmp);
+        return Err(e);
+    }
     backend.sync_dir(&dir)?;
     Ok(())
 }
@@ -175,7 +183,7 @@ impl<B: Backend> ArtifactStore<B> {
         let path = self.put(&Self::artifact_name(family, seq), payload)?;
         let pointer_updated =
             self.put(&format!("{family}.latest"), Self::artifact_name(family, seq).as_bytes()).is_ok();
-        let (pruned, prune_failures) = self.prune(family, seq);
+        let (pruned, prune_failures) = self.prune(family);
         Ok(RotationOutcome { path, pointer_updated, pruned, prune_failures })
     }
 
@@ -190,7 +198,7 @@ impl<B: Backend> ArtifactStore<B> {
 
     /// Scans `family`'s numbered artifacts newest-first and returns the
     /// first one whose envelope validates, plus every newer candidate the
-    /// scan had to skip (truncated, bit-flipped, unreadable, bad name).
+    /// scan had to skip (truncated, bit-flipped, unreadable).
     ///
     /// `Ok((None, skipped))` means no valid artifact exists — including
     /// the store directory not existing at all, which is how a fresh run
@@ -201,10 +209,6 @@ impl<B: Backend> ArtifactStore<B> {
     ) -> Result<(Option<ValidArtifact>, Vec<SkippedArtifact>), StoreError> {
         let mut skipped = Vec::new();
         for (seq, path) in self.candidates(family)? {
-            let Some(seq) = seq else {
-                skipped.push(SkippedArtifact { path, reason: "unparseable sequence number".into() });
-                continue;
-            };
             match self.read_envelope(&path) {
                 Ok(payload) => return Ok((Some(ValidArtifact { seq, path, payload }), skipped)),
                 Err(e) => skipped.push(SkippedArtifact { path, reason: e.detail }),
@@ -214,24 +218,24 @@ impl<B: Backend> ArtifactStore<B> {
     }
 
     /// Numbered candidates of `family`, newest-first, without reading
-    /// them: `(parsed seq, path)`. Unparseable names sort last with
-    /// `None`. A missing store directory is an empty list, not an error.
+    /// them: `(seq, path)`. Membership requires the whole name to parse
+    /// as `{family}-{digits}.dgart`, so a sibling family whose name
+    /// extends this one (`ckpt-best-…` vs `ckpt`) is never mistaken for
+    /// it. A missing store directory is an empty list, not an error.
     /// This is the scan [`Self::latest_valid`] walks; callers whose
     /// payloads need validation beyond the envelope (e.g. JSON parsing)
     /// drive it themselves to keep skipping to older candidates.
-    pub fn candidates(&self, family: &str) -> Result<Vec<(Option<u64>, PathBuf)>, StoreError> {
+    pub fn candidates(&self, family: &str) -> Result<Vec<(u64, PathBuf)>, StoreError> {
         let entries = match self.backend.list(&self.dir) {
             Ok(e) => e,
             Err(e) if e.kind == ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e),
         };
-        let mut candidates: Vec<(Option<u64>, PathBuf)> = Vec::new();
+        let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
         for path in entries {
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
-            if !name.starts_with(&format!("{family}-")) || !name.ends_with(&format!(".{ARTIFACT_EXT}")) {
-                continue;
-            }
-            candidates.push((Self::parse_seq(family, name), path));
+            let Some(seq) = Self::parse_seq(family, name) else { continue };
+            candidates.push((seq, path));
         }
         candidates.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq));
         Ok(candidates)
@@ -244,26 +248,18 @@ impl<B: Backend> ArtifactStore<B> {
             .map_err(|e| StoreError::new("read_envelope", path, ErrorKind::Corrupt, e.to_string()))
     }
 
-    /// Best-effort removal of artifacts older than the retain-N newest
-    /// (by sequence number, counting from `newest_seq`). Returns
+    /// Best-effort removal of everything beyond the retain-N *newest
+    /// artifacts* (a count, not a sequence-number distance — sparse
+    /// sequences like 2, 4, 6 keep the full configured depth). Returns
     /// `(removed, failures)`.
-    fn prune(&self, family: &str, newest_seq: u64) -> (usize, usize) {
-        let Ok(entries) = self.backend.list(&self.dir) else { return (0, 0) };
-        let cutoff = newest_seq.saturating_sub(self.retain as u64 - 1);
+    fn prune(&self, family: &str) -> (usize, usize) {
+        let Ok(candidates) = self.candidates(family) else { return (0, 0) };
         let mut removed = 0;
         let mut failures = 0;
-        for path in entries {
-            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
-            if !name.starts_with(&format!("{family}-")) || !name.ends_with(&format!(".{ARTIFACT_EXT}")) {
-                continue;
-            }
-            if let Some(seq) = Self::parse_seq(family, name) {
-                if seq < cutoff {
-                    match self.backend.remove(&path) {
-                        Ok(()) => removed += 1,
-                        Err(_) => failures += 1,
-                    }
-                }
+        for (_, path) in candidates.into_iter().skip(self.retain) {
+            match self.backend.remove(&path) {
+                Ok(()) => removed += 1,
+                Err(_) => failures += 1,
             }
         }
         if removed > 0 {
@@ -273,7 +269,12 @@ impl<B: Backend> ArtifactStore<B> {
     }
 
     fn parse_seq(family: &str, name: &str) -> Option<u64> {
-        name.strip_prefix(family)?.strip_prefix('-')?.strip_suffix(&format!(".{ARTIFACT_EXT}"))?.parse().ok()
+        let digits =
+            name.strip_prefix(family)?.strip_prefix('-')?.strip_suffix(&format!(".{ARTIFACT_EXT}"))?;
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse().ok()
     }
 }
 
@@ -320,6 +321,60 @@ mod tests {
         // Only the two newest remain.
         assert!(s.get(&ArtifactStore::<MemBackend>::artifact_name("ckpt", 3)).is_err());
         assert!(s.get(&ArtifactStore::<MemBackend>::artifact_name("ckpt", 4)).is_ok());
+    }
+
+    #[test]
+    fn retain_counts_artifacts_not_sequence_distance() {
+        // Sparse sequences (e.g. --checkpoint-every 2) must still keep
+        // the full configured fallback depth.
+        let s = store(); // default retain 3
+        for seq in [2u64, 4, 6] {
+            let out = s.put_numbered("ckpt", seq, b"x").unwrap();
+            assert_eq!(out.pruned, 0, "3 artifacts fit the retain-3 policy");
+        }
+        let out = s.put_numbered("ckpt", 8, b"x").unwrap();
+        assert_eq!((out.pruned, out.prune_failures), (1, 0));
+        let seqs: Vec<u64> = s.candidates("ckpt").unwrap().into_iter().map(|(q, _)| q).collect();
+        assert_eq!(seqs, vec![8, 6, 4]);
+    }
+
+    #[test]
+    fn sibling_family_with_extending_name_is_not_a_candidate() {
+        let s = store();
+        s.put_numbered("ckpt", 1, b"plain").unwrap();
+        s.put_numbered("ckpt-best", 7, b"best").unwrap();
+        let cands = s.candidates("ckpt").unwrap();
+        assert_eq!(cands.len(), 1, "ckpt-best-… must not match family ckpt: {cands:?}");
+        let (latest, skipped) = s.latest_valid("ckpt").unwrap();
+        assert_eq!(latest.unwrap().seq, 1);
+        assert!(skipped.is_empty(), "no phantom skips from the sibling family: {skipped:?}");
+        // And the sibling family still finds its own artifacts.
+        let (best, _) = s.latest_valid("ckpt-best").unwrap();
+        assert_eq!(best.unwrap().payload, b"best");
+        // Pruning one family never touches the other.
+        let s = s.with_retain(1);
+        for seq in 2..=4 {
+            s.put_numbered("ckpt", seq, b"x").unwrap();
+        }
+        assert_eq!(s.latest_valid("ckpt-best").unwrap().0.unwrap().seq, 7);
+    }
+
+    #[test]
+    fn failed_write_leaves_no_temp_debris() {
+        use crate::fault::{FaultBackend, FaultPlan};
+        // Ops: 0 create, 1 append, 2 sync_file, 3 close, 4 rename.
+        for fail_op in [1u64, 2, 4] {
+            let mem = MemBackend::new();
+            mem.create_dir_all(Path::new("d")).unwrap();
+            let fb = FaultBackend::new(mem.clone(), FaultPlan::new().fail_at(fail_op, ErrorKind::NoSpace));
+            let err = atomic_write_with(&fb, Path::new("d/report.json"), b"payload").unwrap_err();
+            assert_eq!(err.kind, ErrorKind::NoSpace);
+            assert!(
+                mem.raw(Path::new("d/.report.json.tmp")).is_none(),
+                "fault at op {fail_op} left temp debris behind"
+            );
+            assert!(mem.raw(Path::new("d/report.json")).is_none());
+        }
     }
 
     #[test]
