@@ -1,6 +1,7 @@
 //! Criterion benches for the dense tensor kernels in `dg-nn`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_nn::kernels::KernelKind;
 use dg_nn::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,6 +57,28 @@ fn bench_matmul_threading(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_matmul_kernel_tiers(c: &mut Criterion) {
+    // The three dispatch tiers on the canonical cube, single-threaded: the
+    // outputs are bitwise identical by construction, so any difference is
+    // pure kernel throughput (scalar i-k-j vs register-tiled vs AVX2).
+    let mut group = c.benchmark_group("matmul_kernel");
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Tensor::randn(256, 256, 1.0, &mut rng);
+    let b = Tensor::randn(256, 256, 1.0, &mut rng);
+    for kind in [KernelKind::Scalar, KernelKind::Portable, KernelKind::Native] {
+        group.bench_with_input(BenchmarkId::new("matmul_256", kind.name()), &kind, |bench, &kind| {
+            bench.iter(|| black_box(a.matmul_with_kind(&b, 1, kind)));
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_bt_256", kind.name()), &kind, |bench, &kind| {
+            bench.iter(|| black_box(a.matmul_bt_with_kind(&b, 1, kind)));
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_at_256", kind.name()), &kind, |bench, &kind| {
+            bench.iter(|| black_box(a.matmul_at_with_kind(&b, 1, kind)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_elementwise(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let a = Tensor::randn(100, 500, 1.0, &mut rng);
@@ -80,6 +103,7 @@ criterion_group!(
     bench_matmul,
     bench_matmul_transposed,
     bench_matmul_threading,
+    bench_matmul_kernel_tiers,
     bench_elementwise,
     bench_concat_gather
 );

@@ -1,0 +1,243 @@
+//! GFLOP/s benchmark of the matmul dispatch tiers. Writes
+//! `BENCH_kernels.json` under the results directory (workspace `results/`,
+//! overridable with `DG_RESULTS_DIR`).
+//!
+//! Measures every dispatch tier (scalar / portable / native) at the real
+//! model shapes of the paper configuration plus the canonical 256³ problem,
+//! serial and threaded, for all three transpose variants. Also records the
+//! thread sweep and spawn-overhead numbers that back the `PARALLEL_MACS`
+//! threshold and `MAX_DEFAULT_THREADS` cap in `dg-nn` (DESIGN.md §13) — on a
+//! single-core host the sweep legitimately shows parallel ≤ serial, which is
+//! exactly why the threshold is conservative.
+
+use dg_bench::harness::results_dir;
+use dg_nn::kernels::{self, KernelKind};
+use dg_nn::parallel::{self, num_threads};
+use dg_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Variant {
+    /// `matmul`, `matmul_bt` or `matmul_at`.
+    variant: String,
+    serial_gflops: f64,
+    threaded_gflops: f64,
+}
+
+#[derive(Serialize)]
+struct KindResult {
+    kind: String,
+    /// True when this tier actually ran its own code path (`native` resolves
+    /// to `portable` on hosts without AVX2).
+    resolved_kind: String,
+    variants: Vec<Variant>,
+}
+
+#[derive(Serialize)]
+struct ShapeResult {
+    name: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    kinds: Vec<KindResult>,
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    threads: usize,
+    ms: f64,
+    gflops: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    hardware_threads: usize,
+    worker_threads: usize,
+    avx2_available: bool,
+    active_kernel: String,
+    /// `dg_nn::tensor::PARALLEL_MACS` at build time, for cross-checking the
+    /// sweep below against the shipped threshold.
+    parallel_macs_threshold: usize,
+    max_default_threads: usize,
+    /// Measured cost of one scoped spawn/join fan-out with no work, in
+    /// microseconds — the fixed overhead `PARALLEL_MACS` must amortize.
+    spawn_overhead_us: f64,
+    /// 256³ matmul under the active kernel at increasing worker counts.
+    thread_sweep: Vec<SweepPoint>,
+    /// Single-threaded 256³ GFLOP/s: scalar tier vs active tier — the
+    /// headline acceptance number for the register-tiled kernels.
+    scalar_256_gflops: f64,
+    active_256_gflops: f64,
+    active_vs_scalar_speedup: f64,
+    shapes: Vec<ShapeResult>,
+}
+
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn gflops(m: usize, k: usize, n: usize, ms: f64) -> f64 {
+    // One multiply + one add per MAC.
+    (2.0 * m as f64 * k as f64 * n as f64) / (ms * 1e-3) / 1e9
+}
+
+/// Repetition count scaled so each measurement runs a comparable MAC budget.
+fn reps_for(m: usize, k: usize, n: usize) -> usize {
+    let macs = (m * k * n).max(1);
+    (200_000_000 / macs).clamp(3, 400)
+}
+
+fn bench_shape(name: &str, m: usize, k: usize, n: usize, threads: usize) -> ShapeResult {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Tensor::randn(m, k, 1.0, &mut rng);
+    let b = Tensor::randn(k, n, 1.0, &mut rng);
+    let bt = Tensor::randn(n, k, 1.0, &mut rng);
+    let at = Tensor::randn(m, n, 1.0, &mut rng);
+    let reps = reps_for(m, k, n);
+
+    let mut kinds = Vec::new();
+    for kind in [KernelKind::Scalar, KernelKind::Portable, KernelKind::Native] {
+        let mut variants = Vec::new();
+        for (variant, run) in [
+            (
+                "matmul",
+                Box::new(|t: usize| black_box(a.matmul_with_kind(&b, t, kind)))
+                    as Box<dyn Fn(usize) -> Tensor>,
+            ),
+            ("matmul_bt", Box::new(|t: usize| black_box(a.matmul_bt_with_kind(&bt, t, kind)))),
+            ("matmul_at", Box::new(|t: usize| black_box(a.matmul_at_with_kind(&at, t, kind)))),
+        ] {
+            let serial_ms = time_ms(reps, || {
+                run(1);
+            });
+            let threaded_ms = time_ms(reps, || {
+                run(threads);
+            });
+            variants.push(Variant {
+                variant: variant.into(),
+                serial_gflops: gflops(m, k, n, serial_ms),
+                threaded_gflops: gflops(m, k, n, threaded_ms),
+            });
+        }
+        println!(
+            "{name:<16} {m:>4}x{k:<4}x{n:<4} {:<8} serial {:>6.2} GF/s   threaded({threads}) {:>6.2} GF/s",
+            kernels::resolve(kind).name(),
+            variants[0].serial_gflops,
+            variants[0].threaded_gflops,
+        );
+        kinds.push(KindResult {
+            kind: kind.name().into(),
+            resolved_kind: kernels::resolve(kind).name().into(),
+            variants,
+        });
+    }
+    ShapeResult { name: name.into(), m, k, n, kinds }
+}
+
+fn main() {
+    let threads = num_threads();
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let active = kernels::active();
+    println!(
+        "bench_kernels: {hw} hardware threads, {threads} workers, avx2={}, active kernel {}\n",
+        kernels::native_available(),
+        active.name()
+    );
+
+    // Fixed spawn/join cost of the scoped-thread fan-out, amortized over
+    // many launches: this is the overhead PARALLEL_MACS must clear.
+    let mut sink = vec![0.0_f32; 64];
+    let spawn_reps = 2_000;
+    let spawned_ms = time_ms(spawn_reps, || {
+        parallel::run_row_chunks(black_box(&mut sink), 8, 2, |_, chunk| {
+            black_box(chunk);
+        });
+    });
+    let inline_ms = time_ms(spawn_reps, || {
+        parallel::run_row_chunks(black_box(&mut sink), 8, 1, |_, chunk| {
+            black_box(chunk);
+        });
+    });
+    let spawn_overhead_us = (spawned_ms - inline_ms).max(0.0) * 1e3;
+    println!("spawn/join overhead: {spawn_overhead_us:.1} us per 2-worker fan-out\n");
+
+    // Thread sweep at 256³ under the active tier.
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = Tensor::randn(256, 256, 1.0, &mut rng);
+    let b = Tensor::randn(256, 256, 1.0, &mut rng);
+    let mut thread_sweep = Vec::new();
+    for t in [1usize, 2, 4, 8] {
+        let ms = time_ms(12, || {
+            black_box(a.matmul_with_kind(&b, t, active));
+        });
+        println!("thread sweep 256^3: {t} threads {ms:>8.3} ms ({:.2} GF/s)", gflops(256, 256, 256, ms));
+        thread_sweep.push(SweepPoint { threads: t, ms, gflops: gflops(256, 256, 256, ms) });
+    }
+    println!();
+
+    // Real model shapes (paper scale: batch 100, LSTM hidden 100 → fused
+    // [x,h] width 200 → 400 gate columns; discriminator 200-wide MLP) plus
+    // the canonical cube.
+    let shapes = vec![
+        bench_shape("cube_256", 256, 256, 256, threads),
+        bench_shape("lstm_gates", 100, 200, 400, threads),
+        bench_shape("disc_hidden", 100, 200, 200, threads),
+        bench_shape("attr_gen", 100, 110, 100, threads),
+    ];
+
+    // Headline acceptance number straight from the cube_256 measurements
+    // above (one source of truth, no second noisy timing pass): serial 256³,
+    // scalar tier vs whatever tier the active kind resolves to.
+    let cube = &shapes[0];
+    let serial_of = |tier: KernelKind| -> f64 {
+        cube.kinds
+            .iter()
+            .find(|kr| kr.kind == tier.name())
+            .map(|kr| kr.variants[0].serial_gflops)
+            .unwrap_or(f64::NAN)
+    };
+    let scalar_256_gflops = serial_of(KernelKind::Scalar);
+    let active_256_gflops = serial_of(active);
+    println!(
+        "\n256^3 serial: scalar {scalar_256_gflops:.2} GF/s vs {} {active_256_gflops:.2} GF/s \
+         ({:.2}x)\n",
+        active.name(),
+        active_256_gflops / scalar_256_gflops
+    );
+
+    let report = Report {
+        hardware_threads: hw,
+        worker_threads: threads,
+        avx2_available: kernels::native_available(),
+        active_kernel: active.name().into(),
+        parallel_macs_threshold: dg_nn::tensor::PARALLEL_MACS,
+        max_default_threads: parallel::MAX_DEFAULT_THREADS,
+        spawn_overhead_us,
+        thread_sweep,
+        scalar_256_gflops,
+        active_256_gflops,
+        active_vs_scalar_speedup: active_256_gflops / scalar_256_gflops,
+        shapes,
+    };
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: creating {}: {e}", dir.display());
+        std::process::exit(3);
+    }
+    let path = dir.join("BENCH_kernels.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    if let Err(e) = dg_io::atomic_write(&path, json.as_bytes()) {
+        eprintln!("error: writing {}: {e}", path.display());
+        std::process::exit(3);
+    }
+    println!("wrote {}", path.display());
+}

@@ -89,6 +89,24 @@ struct Case {
 struct Report {
     hardware_threads: usize,
     worker_threads: usize,
+    /// Dispatch tier the run executed under (`DG_KERNEL` / auto-detect).
+    active_kernel: String,
+    /// Single-threaded 256³ matmul GFLOP/s under the forced scalar tier.
+    kernel_scalar_gflops: f64,
+    /// Single-threaded 256³ matmul GFLOP/s under the active tier.
+    kernel_active_gflops: f64,
+    /// `kernel_active_gflops / kernel_scalar_gflops` — how much of any
+    /// step-time change is explained by the kernel tier alone.
+    kernel_speedup: f64,
+    /// Non-DP discriminator step time measured by a `DG_KERNEL=scalar`
+    /// re-exec of this binary — the end-to-end step-time baseline the tiled
+    /// kernels are compared against (absent if the re-exec failed).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    scalar_d_step_ms: Option<f64>,
+    /// `scalar_d_step_ms / plain_d_step_ms` — measured end-to-end fit-step
+    /// improvement from kernel dispatch alone.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    step_speedup_vs_scalar: Option<f64>,
     /// Non-DP discriminator step, for reading DP overhead off the report.
     plain_d_step_ms: f64,
     /// Mean wall time of the discriminator phase per `fit` iteration
@@ -139,7 +157,44 @@ fn case(name: &str, reps: usize, mut serial: impl FnMut(), mut parallel: impl Fn
     c
 }
 
+/// Re-runs this binary with `DG_KERNEL=scalar` in step-only mode (the
+/// dispatch tier is latched in a `OnceLock`, so a fresh process is the only
+/// way to measure another tier end-to-end) and returns the scalar-tier
+/// d-step time it prints.
+fn scalar_step_ms_via_reexec() -> Option<f64> {
+    let exe = std::env::current_exe().ok()?;
+    let out = std::process::Command::new(exe)
+        .env("DG_KERNEL", "scalar")
+        .env("DG_BENCH_STEP_ONLY", "1")
+        .output()
+        .ok()?;
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    stdout.lines().find_map(|l| l.strip_prefix("STEP_MS ")).and_then(|v| v.trim().parse::<f64>().ok())
+}
+
+/// Times the non-DP d step on the standard smoke setup. Factored out so the
+/// `DG_BENCH_STEP_ONLY` child process runs exactly the measurement the
+/// parent does.
+fn plain_step_ms() -> f64 {
+    let preset = Preset::new(Scale::Smoke);
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = sine::generate(&preset.sine, &mut rng);
+    let cfg = preset.dg_config(data.schema.max_len);
+    let model = DoppelGanger::new(&data, cfg, &mut rng);
+    let encoded = model.encode(&data);
+    let idx: Vec<usize> = (0..16.min(encoded.num_samples())).collect();
+    let mut plain = Trainer::new(model);
+    let mut prng = StdRng::seed_from_u64(2);
+    time_ms(5, || {
+        black_box(plain.d_step(&encoded, &idx, &mut prng));
+    })
+}
+
 fn main() {
+    if std::env::var("DG_BENCH_STEP_ONLY").is_ok() {
+        println!("STEP_MS {}", plain_step_ms());
+        return;
+    }
     let threads = num_threads();
     let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     println!("bench_training: {hw} hardware threads, {threads} workers (DG_NUM_THREADS to override)\n");
@@ -149,6 +204,28 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0);
     let a = Tensor::randn(256, 256, 1.0, &mut rng);
     let b = Tensor::randn(256, 256, 1.0, &mut rng);
+
+    // Kernel-tier context for the step times below: scalar vs active tier at
+    // 256³, single-threaded (the full sweep lives in BENCH_kernels.json).
+    let active_kernel = dg_nn::kernels::active();
+    let cube_gflops = |ms: f64| (2.0 * 256.0_f64.powi(3)) / (ms * 1e-3) / 1e9;
+    let scalar_ms = time_ms(12, || {
+        black_box(a.matmul_with_kind(&b, 1, dg_nn::kernels::KernelKind::Scalar));
+    });
+    let active_ms = time_ms(12, || {
+        black_box(a.matmul_with_kind(&b, 1, active_kernel));
+    });
+    let kernel_scalar_gflops = cube_gflops(scalar_ms);
+    let kernel_active_gflops = cube_gflops(active_ms);
+    println!(
+        "{:<24} scalar {:>6.2} GF/s   {} {:>6.2} GF/s   speedup {:>5.2}x",
+        "kernel_tier_256",
+        kernel_scalar_gflops,
+        active_kernel.name(),
+        kernel_active_gflops,
+        kernel_active_gflops / kernel_scalar_gflops
+    );
+
     cases.push(case(
         "matmul_256",
         20,
@@ -195,6 +272,14 @@ fn main() {
         black_box(plain.d_step(&encoded, &idx, &mut prng));
     });
     println!("{:<24} {:>9.3} ms (non-DP reference)", "d_step_b16", plain_d_step_ms);
+
+    // End-to-end step-time delta attributable to kernel dispatch: the same
+    // measurement under a forced-scalar child process.
+    let scalar_d_step_ms = scalar_step_ms_via_reexec();
+    let step_speedup_vs_scalar = scalar_d_step_ms.map(|s| s / plain_d_step_ms);
+    if let (Some(s), Some(sp)) = (scalar_d_step_ms, step_speedup_vs_scalar) {
+        println!("{:<24} {s:>9.3} ms (DG_KERNEL=scalar re-exec, {sp:.2}x slower step)", "d_step_b16_scalar");
+    }
 
     // Per-phase wall time over a short `fit` run, straight from the step
     // telemetry the trainer now reports on every iteration.
@@ -291,6 +376,12 @@ fn main() {
     let report = Report {
         hardware_threads: hw,
         worker_threads: threads,
+        active_kernel: active_kernel.name().into(),
+        kernel_scalar_gflops,
+        kernel_active_gflops,
+        kernel_speedup: kernel_active_gflops / kernel_scalar_gflops,
+        scalar_d_step_ms,
+        step_speedup_vs_scalar,
         plain_d_step_ms,
         fit_d_phase_ms,
         fit_g_phase_ms,

@@ -7,6 +7,7 @@
 //! reproducible for any worker count.
 
 use crate::graph::{Graph, Var};
+use crate::kernels::{self, KernelKind};
 use crate::tensor::Tensor;
 use crate::workspace::Workspace;
 use rand::rngs::StdRng;
@@ -103,6 +104,82 @@ pub fn check_matmul_determinism(
         ] {
             if got.as_slice() != want.as_slice() {
                 return Some(format!("{name} {m}x{k}x{n} with {t} threads is not bitwise equal to serial"));
+            }
+        }
+    }
+    None
+}
+
+/// Checks that every dispatch tier ([`KernelKind::Scalar`] /
+/// [`KernelKind::Portable`] / [`KernelKind::Native`]) produces **bitwise**
+/// identical results for all three matmul transpose variants (including both
+/// `A·Bᵀ` code paths — packed panel and pack-free dot) across every worker
+/// count in `thread_counts`, for an `m x k x n` problem. The reference is
+/// the serial scalar kernel. Returns the first discrepancy as a
+/// human-readable message, or `None` when everything matches exactly.
+///
+/// On hosts without AVX2 the `Native` tier resolves to `Portable`; the check
+/// still runs (and must still pass) — it just exercises two distinct code
+/// paths instead of three.
+pub fn check_kernel_equivalence(
+    m: usize,
+    k: usize,
+    n: usize,
+    thread_counts: &[usize],
+    seed: u64,
+) -> Option<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Tensor::randn(m, k, 1.0, &mut rng);
+    let b = Tensor::randn(k, n, 1.0, &mut rng);
+    let bt = Tensor::randn(n, k, 1.0, &mut rng); // right factor for a * bt^T
+    let at = Tensor::randn(m, n, 1.0, &mut rng); // right factor for a^T * at
+
+    let ref_mm = a.matmul_with_kind(&b, 1, KernelKind::Scalar);
+    let ref_bt = a.matmul_bt_with_kind(&bt, 1, KernelKind::Scalar);
+    let ref_at = a.matmul_at_with_kind(&at, 1, KernelKind::Scalar);
+    let kinds = [KernelKind::Scalar, KernelKind::Portable, KernelKind::Native];
+    for kind in kinds {
+        for &t in thread_counts {
+            for (name, got, want) in [
+                ("matmul", a.matmul_with_kind(&b, t, kind), &ref_mm),
+                ("matmul_bt", a.matmul_bt_with_kind(&bt, t, kind), &ref_bt),
+                ("matmul_at", a.matmul_at_with_kind(&at, t, kind), &ref_at),
+            ] {
+                if got.as_slice() != want.as_slice() {
+                    return Some(format!(
+                        "{name} {m}x{k}x{n} kind={} threads={t} is not bitwise equal to serial scalar",
+                        kind.name()
+                    ));
+                }
+            }
+            // Force both A·Bᵀ paths regardless of the PACK_MIN_ROWS
+            // heuristic: the pack-free dot and an explicitly packed panel.
+            if k * n > 0 {
+                let mut dot = Tensor::zeros(m, bt.rows());
+                kernels::gemm_nt_dot(a.as_slice(), bt.as_slice(), dot.as_mut_slice(), k, bt.rows(), t);
+                if dot.as_slice() != ref_bt.as_slice() {
+                    return Some(format!(
+                        "gemm_nt_dot {m}x{k}x{n} threads={t} is not bitwise equal to serial scalar"
+                    ));
+                }
+                let mut packed = Tensor::zeros(m, bt.rows());
+                let mut panel = vec![0.0_f32; k * bt.rows()];
+                kernels::gemm_nt_packed(
+                    kind,
+                    a.as_slice(),
+                    bt.as_slice(),
+                    packed.as_mut_slice(),
+                    k,
+                    bt.rows(),
+                    t,
+                    &mut panel,
+                );
+                if packed.as_slice() != ref_bt.as_slice() {
+                    return Some(format!(
+                        "gemm_nt_packed {m}x{k}x{n} kind={} threads={t} is not bitwise equal to serial scalar",
+                        kind.name()
+                    ));
+                }
             }
         }
     }
@@ -247,6 +324,29 @@ mod tests {
             assert_eq!(a.matmul_bt(&bt).as_slice(), a.matmul_bt_threaded(&bt, 1).as_slice());
             let at = Tensor::randn(m, n, 1.0, &mut rng);
             assert_eq!(a.matmul_at(&at).as_slice(), a.matmul_at_threaded(&at, 1).as_slice());
+        }
+    }
+
+    #[test]
+    fn kernel_tiers_are_bitwise_equivalent_across_shapes_and_threads() {
+        // Ragged shapes stress the MR/NR register-tile tails: row blocks of
+        // 1..3 leftover rows, column tails narrower than one SIMD lane, and
+        // degenerate k=0 / n=0 products.
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (4, 8, 8),    // exact MR x NR tiles
+            (5, 7, 9),    // ragged everywhere
+            (3, 129, 17), // long k chain, odd n
+            (13, 1, 1),   // single-column chain
+            (2, 5, 23),   // n tail wider than 2 NR lanes
+            (9, 0, 7),    // empty inner dimension
+            (33, 16, 64), // multi-chunk threading splits
+        ];
+        let threads = [1usize, 2, 3, 4, 7, 16];
+        for (i, &(m, k, n)) in shapes.iter().enumerate() {
+            if let Some(err) = check_kernel_equivalence(m, k, n, &threads, 2000 + i as u64) {
+                panic!("{err}");
+            }
         }
     }
 

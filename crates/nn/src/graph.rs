@@ -19,11 +19,15 @@
 //!
 //! Gradient flow is tracked per node (`needs_grad`), so large data constants
 //! never have gradient buffers allocated for them. Buffer reuse never
-//! changes arithmetic: pooled buffers are zero-filled on hand-out, and every
-//! kernel runs with the same threading decisions as the fresh-allocation
-//! path, so results are bitwise identical (see
+//! changes arithmetic: almost every op fully overwrites its output (the
+//! matmul `*_into` family has overwrite semantics, so those buffers come
+//! from [`Workspace::take_raw`] with no memset), the few genuinely
+//! accumulating consumers draw zero-filled buffers, and every kernel runs
+//! with the same threading decisions as the fresh-allocation path — so
+//! results are bitwise identical (see
 //! [`crate::gradcheck::check_workspace_determinism`]).
 
+use crate::kernels;
 use crate::parallel::{self, PARALLEL_ELEMS};
 use crate::params::{GradMap, ParamId, ParamStore};
 use crate::tensor::{self, Tensor};
@@ -77,6 +81,16 @@ enum Op {
     ConcatCols {
         start: usize,
         len: usize,
+    },
+    /// Fused `concat_cols(parts) * w` without materializing the
+    /// concatenation: each part's partial product accumulates into the
+    /// output in ascending part order, which is exactly the ascending-`k`
+    /// chain of the equivalent concat + matmul — bitwise identical, one
+    /// fewer tensor per step. `parts` live in the shared operand arena.
+    ConcatMatMul {
+        start: usize,
+        len: usize,
+        w: Var,
     },
     /// Columns `[start, end)` of the input.
     SliceCols(Var, usize, usize),
@@ -198,10 +212,11 @@ impl Graph {
         Var(self.values.len() - 1)
     }
 
-    /// Records `op` with output shape `rows x cols`: takes pooled storage,
-    /// evaluates the op into it, and pushes the node.
+    /// Records `op` with output shape `rows x cols`: takes pooled storage
+    /// (raw — every forward rule fully overwrites its output), evaluates the
+    /// op into it, and pushes the node.
     fn record(&mut self, op: Op, rows: usize, cols: usize, needs_grad: bool) -> Var {
-        let mut out = self.ws.take_zeroed(rows, cols);
+        let mut out = self.ws.take_raw(rows, cols);
         eval_op_into(&op, &self.plan.parts, &self.values, &mut out, &mut self.ws);
         self.push(op, out, needs_grad)
     }
@@ -256,6 +271,14 @@ impl Graph {
         self.ws.take_zeroed(rows, cols)
     }
 
+    /// Like [`Graph::take_scratch`] but with unspecified contents — for
+    /// callers that fully overwrite the buffer before reading it (see
+    /// [`Workspace::take_raw`] for the debug-build NaN poisoning that keeps
+    /// this honest).
+    pub fn take_scratch_raw(&mut self, rows: usize, cols: usize) -> Tensor {
+        self.ws.take_raw(rows, cols)
+    }
+
     // ---- leaves ----------------------------------------------------------
 
     /// Records a constant leaf: no gradient is tracked through it. The
@@ -266,7 +289,7 @@ impl Graph {
 
     /// Records a constant leaf by copying `src` into pooled storage.
     pub fn constant_copied(&mut self, src: &Tensor) -> Var {
-        let mut v = self.ws.take_zeroed(src.rows(), src.cols());
+        let mut v = self.ws.take_raw(src.rows(), src.cols());
         v.copy_from(src);
         self.push(Op::Leaf { param: None }, v, false)
     }
@@ -286,7 +309,7 @@ impl Graph {
         std: f32,
         rng: &mut R,
     ) -> Var {
-        let mut v = self.ws.take_zeroed(rows, cols);
+        let mut v = self.ws.take_raw(rows, cols);
         v.fill_randn(std, rng);
         self.push(Op::Leaf { param: None }, v, false)
     }
@@ -301,7 +324,7 @@ impl Graph {
     /// from the store into pooled storage.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
         let src = store.get(id);
-        let mut v = self.ws.take_zeroed(src.rows(), src.cols());
+        let mut v = self.ws.take_raw(src.rows(), src.cols());
         v.copy_from(src);
         self.push(Op::Leaf { param: Some(id) }, v, true)
     }
@@ -448,6 +471,35 @@ impl Graph {
         self.record(Op::ConcatCols { start, len: parts.len() }, rows, cols, ng)
     }
 
+    /// Fused `concat_cols(parts) * w` without materializing the
+    /// concatenation (the LSTM gate product `[x, h] * W`). Bitwise identical
+    /// to `matmul(concat_cols(parts), w)` — each part's partial product
+    /// extends the same ascending-`k` accumulation chain — but skips one
+    /// `rows x sum(cols)` tensor per step.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty, row counts differ, or the concatenated
+    /// width does not match `w`'s row count.
+    pub fn concat_matmul(&mut self, parts: &[Var], w: Var) -> Var {
+        assert!(!parts.is_empty(), "concat_matmul needs at least one var");
+        let rows = self.value(parts[0]).rows();
+        assert!(
+            parts.iter().all(|&p| self.value(p).rows() == rows),
+            "concat_matmul requires equal row counts"
+        );
+        let ktot: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        assert_eq!(
+            ktot,
+            self.value(w).rows(),
+            "concat_matmul inner-dimension mismatch: parts concatenate to width {ktot}"
+        );
+        let cols = self.value(w).cols();
+        let ng = parts.iter().any(|&p| self.needs(p)) || self.needs(w);
+        let start = self.plan.parts.len();
+        self.plan.parts.extend_from_slice(parts);
+        self.record(Op::ConcatMatMul { start, len: parts.len(), w }, rows, cols, ng)
+    }
+
     /// Columns `[start, end)` of `a`.
     pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
         let rows = self.value(a).rows();
@@ -554,7 +606,7 @@ impl PlanExecutor {
             }
             let (prior, rest) = self.values.split_at_mut(i);
             let out = &mut rest[0];
-            out.as_mut_slice().fill(0.0);
+            // No clearing: every forward rule fully overwrites its output.
             eval_op_into(&self.plan.nodes[i].op, &self.plan.parts, prior, out, &mut self.ws);
         }
         self.ws.end_cycle();
@@ -608,9 +660,10 @@ fn mac_threads(ws: &Workspace, macs: usize) -> usize {
     ws.override_or(tensor::matmul_threads(macs))
 }
 
-/// Evaluates one non-leaf op into `out` (zero-filled, correctly shaped),
-/// reading operands from `values`. Shared by eager recording and plan
-/// replay, so both paths run identical kernels with identical threading.
+/// Evaluates one non-leaf op into `out` (correctly shaped; contents may be
+/// stale — every rule fully overwrites it), reading operands from `values`.
+/// Shared by eager recording and plan replay, so both paths run identical
+/// kernels with identical threading.
 fn eval_op_into(op: &Op, parts: &[Var], values: &[Tensor], out: &mut Tensor, ws: &mut Workspace) {
     match op {
         Op::Leaf { .. } => unreachable!("leaves have no forward rule"),
@@ -622,7 +675,9 @@ fn eval_op_into(op: &Op, parts: &[Var], values: &[Tensor], out: &mut Tensor, ws:
         Op::MatMulBT(a, b) => {
             let (va, vb) = (&values[a.0], &values[b.0]);
             let th = mac_threads(ws, va.rows() * va.cols() * vb.rows());
-            va.matmul_bt_into(vb, out, th);
+            let mut panel = ws.take_raw(va.cols(), vb.rows());
+            va.matmul_bt_into_with_panel(vb, out, th, &mut panel);
+            ws.reclaim(panel);
         }
         Op::Add(a, b) => {
             let (va, vb) = (&values[a.0], &values[b.0]);
@@ -720,10 +775,35 @@ fn eval_op_into(op: &Op, parts: &[Var], values: &[Tensor], out: &mut Tensor, ws:
         Op::SliceCols(a, start, end) => {
             values[a.0].slice_cols_into(*start, *end, out);
         }
+        Op::ConcatMatMul { start, len, w } => {
+            let ps = &parts[*start..*start + *len];
+            let wv = &values[w.0];
+            let (ktot, n) = wv.shape();
+            let th = mac_threads(ws, out.rows() * ktot * n);
+            let kind = kernels::active();
+            if ktot == 0 {
+                // Degenerate zero-width concat: the product is all zeros and
+                // the per-part loop below never touches `out`.
+                out.as_mut_slice().fill(0.0);
+                return;
+            }
+            // Each part multiplies against its block of W's rows; parts in
+            // ascending order extend one ascending-k accumulation chain per
+            // output element, so this is bitwise identical to materializing
+            // the concatenation and doing one matmul.
+            let mut off = 0;
+            for (pi, &p) in ps.iter().enumerate() {
+                let vp = &values[p.0];
+                let kp = vp.cols();
+                let wblock = &wv.as_slice()[off * n..(off + kp) * n];
+                kernels::gemm_nn(kind, vp.as_slice(), wblock, out.as_mut_slice(), kp, n, th, pi > 0);
+                off += kp;
+            }
+        }
         Op::SoftmaxCrossEntropy { logits, targets } => {
             let vl = &values[logits.0];
             let th = elem_threads(ws, vl.len());
-            let mut probs = ws.take_zeroed(vl.rows(), vl.cols());
+            let mut probs = ws.take_raw(vl.rows(), vl.cols());
             softmax_rows_into(vl, &mut probs, th);
             let mut loss = 0.0;
             for r in 0..probs.rows() {
@@ -760,7 +840,7 @@ fn acc_copy(plan: &Plan, grads: &mut [Option<Tensor>], ws: &mut Workspace, v: Va
     match &mut grads[v.0] {
         Some(slot) => slot.add_assign(g),
         slot @ None => {
-            let mut t = ws.take_zeroed(g.rows(), g.cols());
+            let mut t = ws.take_raw(g.rows(), g.cols());
             t.copy_from(g);
             *slot = Some(t);
         }
@@ -781,7 +861,7 @@ fn backward_impl(
     if let Some(old) = grads[loss.0].take() {
         ws.reclaim(old);
     }
-    let mut s = ws.take_zeroed(1, 1);
+    let mut s = ws.take_raw(1, 1);
     s.as_mut_slice()[0] = seed;
     grads[loss.0] = Some(s);
 
@@ -796,14 +876,16 @@ fn backward_impl(
                 if plan.needs(*a) {
                     let vb = &values[b.0];
                     let th = mac_threads(ws, out_grad.rows() * out_grad.cols() * vb.rows());
-                    let mut g = ws.take_zeroed(out_grad.rows(), vb.rows());
-                    out_grad.matmul_bt_into(vb, &mut g, th);
+                    let mut g = ws.take_raw(out_grad.rows(), vb.rows());
+                    let mut panel = ws.take_raw(out_grad.cols(), vb.rows());
+                    out_grad.matmul_bt_into_with_panel(vb, &mut g, th, &mut panel);
+                    ws.reclaim(panel);
                     acc_owned(plan, grads, ws, *a, g);
                 }
                 if plan.needs(*b) {
                     let va = &values[a.0];
                     let th = mac_threads(ws, va.rows() * va.cols() * out_grad.cols());
-                    let mut g = ws.take_zeroed(va.cols(), out_grad.cols());
+                    let mut g = ws.take_raw(va.cols(), out_grad.cols());
                     va.matmul_at_into(&out_grad, &mut g, th);
                     acc_owned(plan, grads, ws, *b, g);
                 }
@@ -813,14 +895,14 @@ fn backward_impl(
                 if plan.needs(*a) {
                     let vb = &values[b.0];
                     let th = mac_threads(ws, out_grad.rows() * out_grad.cols() * vb.cols());
-                    let mut g = ws.take_zeroed(out_grad.rows(), vb.cols());
+                    let mut g = ws.take_raw(out_grad.rows(), vb.cols());
                     out_grad.matmul_into(vb, &mut g, th);
                     acc_owned(plan, grads, ws, *a, g);
                 }
                 if plan.needs(*b) {
                     let va = &values[a.0];
                     let th = mac_threads(ws, out_grad.rows() * out_grad.cols() * va.cols());
-                    let mut g = ws.take_zeroed(out_grad.cols(), va.cols());
+                    let mut g = ws.take_raw(out_grad.cols(), va.cols());
                     out_grad.matmul_at_into(va, &mut g, th);
                     acc_owned(plan, grads, ws, *b, g);
                 }
@@ -838,6 +920,7 @@ fn backward_impl(
                     acc_copy(plan, grads, ws, *a, &out_grad);
                 }
                 if plan.needs(*row) {
+                    // sum_cols_into accumulates into zero-filled storage.
                     let mut g = ws.take_zeroed(1, out_grad.cols());
                     out_grad.sum_cols_into(&mut g);
                     acc_owned(plan, grads, ws, *row, g);
@@ -850,7 +933,7 @@ fn backward_impl(
                 if plan.needs(*b) {
                     let s = -1.0_f32;
                     let th = elem_threads(ws, out_grad.len());
-                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    let mut g = ws.take_raw(out_grad.rows(), out_grad.cols());
                     out_grad.map_into(&mut g, th, |x| x * s);
                     acc_owned(plan, grads, ws, *b, g);
                 }
@@ -860,21 +943,21 @@ fn backward_impl(
                     // square: d = 2 * a * dout
                     let va = &values[a.0];
                     let th = elem_threads(ws, out_grad.len());
-                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    let mut g = ws.take_raw(out_grad.rows(), out_grad.cols());
                     out_grad.zip_into(va, &mut g, th, |d, y| (d * y) * 2.0);
                     acc_owned(plan, grads, ws, *a, g);
                 } else {
                     if plan.needs(*a) {
                         let vb = &values[b.0];
                         let th = elem_threads(ws, out_grad.len());
-                        let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                        let mut g = ws.take_raw(out_grad.rows(), out_grad.cols());
                         out_grad.zip_into(vb, &mut g, th, |d, y| d * y);
                         acc_owned(plan, grads, ws, *a, g);
                     }
                     if plan.needs(*b) {
                         let va = &values[a.0];
                         let th = elem_threads(ws, out_grad.len());
-                        let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                        let mut g = ws.take_raw(out_grad.rows(), out_grad.cols());
                         out_grad.zip_into(va, &mut g, th, |d, y| d * y);
                         acc_owned(plan, grads, ws, *b, g);
                     }
@@ -882,7 +965,7 @@ fn backward_impl(
             }
             Op::MulCol(a, c) => {
                 if plan.needs(*a) {
-                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    let mut g = ws.take_raw(out_grad.rows(), out_grad.cols());
                     g.copy_from(&out_grad);
                     let cs = values[c.0].as_slice();
                     for (r, &s) in cs.iter().enumerate() {
@@ -895,9 +978,9 @@ fn backward_impl(
                 if plan.needs(*c) {
                     let va = &values[a.0];
                     let th = elem_threads(ws, out_grad.len());
-                    let mut prod = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    let mut prod = ws.take_raw(out_grad.rows(), out_grad.cols());
                     out_grad.zip_into(va, &mut prod, th, |d, y| d * y);
-                    let mut g = ws.take_zeroed(prod.rows(), 1);
+                    let mut g = ws.take_raw(prod.rows(), 1);
                     prod.sum_rows_into(&mut g);
                     ws.reclaim(prod);
                     acc_owned(plan, grads, ws, *c, g);
@@ -907,7 +990,7 @@ fn backward_impl(
                 if plan.needs(*a) {
                     let s = *s;
                     let th = elem_threads(ws, out_grad.len());
-                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    let mut g = ws.take_raw(out_grad.rows(), out_grad.cols());
                     out_grad.map_into(&mut g, th, |x| x * s);
                     acc_owned(plan, grads, ws, *a, g);
                 }
@@ -921,7 +1004,7 @@ fn backward_impl(
                 if plan.needs(*a) {
                     let y = &values[i];
                     let th = elem_threads(ws, out_grad.len());
-                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    let mut g = ws.take_raw(out_grad.rows(), out_grad.cols());
                     out_grad.zip_into(y, &mut g, th, |d, y| d * (1.0 - y * y));
                     acc_owned(plan, grads, ws, *a, g);
                 }
@@ -930,7 +1013,7 @@ fn backward_impl(
                 if plan.needs(*a) {
                     let y = &values[i];
                     let th = elem_threads(ws, out_grad.len());
-                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    let mut g = ws.take_raw(out_grad.rows(), out_grad.cols());
                     out_grad.zip_into(y, &mut g, th, |d, y| d * y * (1.0 - y));
                     acc_owned(plan, grads, ws, *a, g);
                 }
@@ -940,7 +1023,7 @@ fn backward_impl(
                     let x = &values[a.0];
                     let alpha = *alpha;
                     let th = elem_threads(ws, out_grad.len());
-                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    let mut g = ws.take_raw(out_grad.rows(), out_grad.cols());
                     out_grad.zip_into(x, &mut g, th, |d, x| if x > 0.0 { d } else { alpha * d });
                     acc_owned(plan, grads, ws, *a, g);
                 }
@@ -949,9 +1032,9 @@ fn backward_impl(
                 if plan.needs(*a) {
                     let y = &values[i];
                     let th = elem_threads(ws, out_grad.len());
-                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    let mut g = ws.take_raw(out_grad.rows(), out_grad.cols());
                     out_grad.zip_into(y, &mut g, th, |d, y| d * y);
-                    let mut rowsum = ws.take_zeroed(g.rows(), 1);
+                    let mut rowsum = ws.take_raw(g.rows(), 1);
                     g.sum_rows_into(&mut rowsum);
                     for r in 0..g.rows() {
                         let s = rowsum.get(r, 0);
@@ -967,7 +1050,7 @@ fn backward_impl(
                 if plan.needs(*a) {
                     let y = &values[i];
                     let th = elem_threads(ws, out_grad.len());
-                    let mut g = ws.take_zeroed(out_grad.rows(), out_grad.cols());
+                    let mut g = ws.take_raw(out_grad.rows(), out_grad.cols());
                     out_grad.zip_into(y, &mut g, th, |d, y| d * 0.5 / y.max(1e-12));
                     acc_owned(plan, grads, ws, *a, g);
                 }
@@ -976,7 +1059,7 @@ fn backward_impl(
                 if plan.needs(*a) {
                     let d = out_grad.get(0, 0);
                     let (r, c) = plan.shape(*a);
-                    let mut g = ws.take_zeroed(r, c);
+                    let mut g = ws.take_raw(r, c);
                     g.as_mut_slice().fill(d);
                     acc_owned(plan, grads, ws, *a, g);
                 }
@@ -985,7 +1068,7 @@ fn backward_impl(
                 if plan.needs(*a) {
                     let (r, c) = plan.shape(*a);
                     let d = out_grad.get(0, 0) / (r * c).max(1) as f32;
-                    let mut g = ws.take_zeroed(r, c);
+                    let mut g = ws.take_raw(r, c);
                     g.as_mut_slice().fill(d);
                     acc_owned(plan, grads, ws, *a, g);
                 }
@@ -993,7 +1076,7 @@ fn backward_impl(
             Op::SumRows(a) => {
                 if plan.needs(*a) {
                     let (r, c) = plan.shape(*a);
-                    let mut g = ws.take_zeroed(r, c);
+                    let mut g = ws.take_raw(r, c);
                     for rr in 0..r {
                         let d = out_grad.get(rr, 0);
                         for x in g.row_slice_mut(rr) {
@@ -1008,16 +1091,87 @@ fn backward_impl(
                 for &p in &plan.parts[*start..*start + *len] {
                     let w = plan.nodes[p.0].cols;
                     if plan.needs(p) {
-                        let mut g = ws.take_zeroed(out_grad.rows(), w);
+                        let mut g = ws.take_raw(out_grad.rows(), w);
                         out_grad.slice_cols_into(off, off + w, &mut g);
                         acc_owned(plan, grads, ws, p, g);
                     }
                     off += w;
                 }
             }
+            Op::ConcatMatMul { start, len, w } => {
+                // c = [p0 | p1 | ...] W  =>  dp_i = dc * W_i^T (W_i = the
+                // block of W's rows matching part i) and dW_i = p_i^T * dc.
+                // Both are the same chains the unfused ConcatCols+MatMul
+                // backward runs, so gradients stay bitwise identical.
+                let ps = &plan.parts[*start..*start + *len];
+                let wv = &values[w.0];
+                let n = wv.cols();
+                let ktot = wv.rows();
+                let m = out_grad.rows();
+                let kind = kernels::active();
+                let mut off = 0;
+                for &p in ps {
+                    let kp = plan.nodes[p.0].cols;
+                    if plan.needs(p) && kp > 0 {
+                        // dp = dc * W_p^T over the row block, packed exactly
+                        // like the dedicated MatMulBT forward (dot path for
+                        // tiny m, bitwise identical either way).
+                        let th = mac_threads(ws, m * n * kp);
+                        let wblock = &wv.as_slice()[off * n..(off + kp) * n];
+                        let mut g = ws.take_raw(m, kp);
+                        if m >= kernels::PACK_MIN_ROWS && n * kp > 0 {
+                            let mut panel = ws.take_raw(n, kp);
+                            kernels::gemm_nt_packed(
+                                kind,
+                                out_grad.as_slice(),
+                                wblock,
+                                g.as_mut_slice(),
+                                n,
+                                kp,
+                                th,
+                                panel.as_mut_slice(),
+                            );
+                            ws.reclaim(panel);
+                        } else {
+                            kernels::gemm_nt_dot(out_grad.as_slice(), wblock, g.as_mut_slice(), n, kp, th);
+                        }
+                        acc_owned(plan, grads, ws, p, g);
+                    }
+                    off += kp;
+                }
+                if plan.needs(*w) {
+                    let th = mac_threads(ws, m * ktot * n);
+                    let mut gw = ws.take_raw(ktot, n);
+                    let mut off = 0;
+                    for &p in ps {
+                        let vp = &values[p.0];
+                        let kp = vp.cols();
+                        if kp > 0 {
+                            // dW block = p^T * dc into the matching row block
+                            // of the full [ktot, n] gradient.
+                            let sub = &mut gw.as_mut_slice()[off * n..(off + kp) * n];
+                            kernels::gemm_tn(
+                                kind,
+                                vp.as_slice(),
+                                out_grad.as_slice(),
+                                sub,
+                                kp,
+                                m,
+                                n,
+                                th,
+                                false,
+                            );
+                        }
+                        off += kp;
+                    }
+                    acc_owned(plan, grads, ws, *w, gw);
+                }
+            }
             Op::SliceCols(a, start, end) => {
                 if plan.needs(*a) {
                     let (r, c) = plan.shape(*a);
+                    // Only columns [start, end) are written below — the rest
+                    // of the gradient must be zero, so zeroed storage stays.
                     let mut g = ws.take_zeroed(r, c);
                     for rr in 0..r {
                         g.row_slice_mut(rr)[*start..*end].copy_from_slice(out_grad.row_slice(rr));
@@ -1029,10 +1183,10 @@ fn backward_impl(
                 if plan.needs(*logits) {
                     let vl = &values[logits.0];
                     let th = elem_threads(ws, vl.len());
-                    let mut probs = ws.take_zeroed(vl.rows(), vl.cols());
+                    let mut probs = ws.take_raw(vl.rows(), vl.cols());
                     softmax_rows_into(vl, &mut probs, th);
                     let scale = out_grad.get(0, 0) / probs.rows().max(1) as f32;
-                    let mut g = ws.take_zeroed(probs.rows(), probs.cols());
+                    let mut g = ws.take_raw(probs.rows(), probs.cols());
                     probs.zip_into(targets, &mut g, th, |p, t| (p - t) * scale);
                     ws.reclaim(probs);
                     acc_owned(plan, grads, ws, *logits, g);
@@ -1430,5 +1584,106 @@ mod tests {
         exec.refresh_params(&store);
         exec.run();
         assert_eq!(exec.value(s).get(0, 0), 10.0);
+    }
+
+    #[test]
+    fn concat_matmul_matches_unfused_bitwise() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        // Shapes chosen to exercise ragged kernel tails: parts of width
+        // 5 + 3 + 9 against a 17 x 7 weight.
+        let x = Tensor::randn(6, 5, 1.0, &mut rng);
+        let h = Tensor::randn(6, 3, 1.0, &mut rng);
+        let z = Tensor::randn(6, 9, 1.0, &mut rng);
+        let w = Tensor::randn(17, 7, 1.0, &mut rng);
+
+        let run = |fused: bool| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let hv = g.input(h.clone());
+            let zv = g.input(z.clone());
+            let wv = g.input(w.clone());
+            let y = if fused {
+                g.concat_matmul(&[xv, hv, zv], wv)
+            } else {
+                let cat = g.concat_cols(&[xv, hv, zv]);
+                g.matmul(cat, wv)
+            };
+            let s = g.square(y);
+            let loss = g.sum_all(s);
+            g.backward(loss);
+            (
+                g.value(y).clone(),
+                g.grad(xv).unwrap().clone(),
+                g.grad(hv).unwrap().clone(),
+                g.grad(zv).unwrap().clone(),
+                g.grad(wv).unwrap().clone(),
+            )
+        };
+        let fused = run(true);
+        let unfused = run(false);
+        assert_eq!(fused.0, unfused.0, "fused forward must be bitwise identical");
+        assert_eq!(fused.1, unfused.1, "d/dx must be bitwise identical");
+        assert_eq!(fused.2, unfused.2, "d/dh must be bitwise identical");
+        assert_eq!(fused.3, unfused.3, "d/dz must be bitwise identical");
+        assert_eq!(fused.4, unfused.4, "d/dW must be bitwise identical");
+    }
+
+    #[test]
+    fn concat_matmul_fused_replay_and_threading_are_bitwise_stable() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Tensor::randn(4, 5, 1.0, &mut rng);
+        let h = Tensor::randn(4, 6, 1.0, &mut rng);
+        let w = Tensor::randn(11, 8, 1.0, &mut rng);
+
+        let run = |threads: usize| {
+            let mut g = Graph::with_workspace(Workspace::new().with_thread_override(threads));
+            let xv = g.input(x.clone());
+            let hv = g.input(h.clone());
+            let wv = g.input(w.clone());
+            let y = g.concat_matmul(&[xv, hv], wv);
+            let loss = g.sum_all(y);
+            g.backward(loss);
+            (g.value(y).clone(), g.grad(wv).unwrap().clone())
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), serial, "threads={threads} must match serial bitwise");
+        }
+    }
+
+    #[test]
+    fn grad_concat_matmul_finite_diff() {
+        let h = Tensor::from_vec(2, 2, vec![0.4, -0.2, 0.7, 1.1]);
+        let w = Tensor::from_vec(5, 2, vec![0.2, -0.4, 0.9, 0.1, -0.3, 0.8, 0.5, 0.0, -0.6, 0.3]);
+        finite_diff_check(
+            move |g, x| {
+                let hv = g.constant(h.clone());
+                let wv = g.constant(w.clone());
+                let y = g.concat_matmul(&[x, hv], wv);
+                let s = g.square(y);
+                g.mean_all(s)
+            },
+            sample_x(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_matmul_weight_finite_diff() {
+        let x = Tensor::from_vec(2, 2, vec![0.3, -0.7, 1.2, 0.05]);
+        let h = Tensor::from_vec(2, 1, vec![0.6, -0.9]);
+        finite_diff_check(
+            move |g, wx| {
+                let xv = g.constant(x.clone());
+                let hv = g.constant(h.clone());
+                let y = g.concat_matmul(&[xv, hv], wx);
+                let s = g.square(y);
+                g.sum_all(s)
+            },
+            Tensor::from_vec(3, 2, vec![0.2, -0.4, 0.9, 0.1, -0.3, 0.8]),
+            1e-2,
+        );
     }
 }

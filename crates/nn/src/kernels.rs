@@ -1,0 +1,718 @@
+//! Register-tiled, cache-blocked f32 GEMM microkernels with runtime dispatch.
+//!
+//! This module is the single home of every matmul inner loop in the
+//! workspace (and, by CI decree, the only module allowed to touch
+//! `std::arch`). Three dispatch tiers share one bitwise contract:
+//!
+//! * **Scalar** — the untiled `i-k-j` reference kernel. One output row at a
+//!   time, streaming rows of `B`; branch-free (no zero-skip: dense data
+//!   mispredicts, and skipping changes FLOP counts under benchmarking).
+//! * **Portable** — the register-tiled kernel: `MR = 4` output rows x
+//!   `NR = 8` columns held in a `[[f32; NR]; MR]` accumulator block that the
+//!   autovectorizer keeps in SIMD registers. Works on every target.
+//! * **Native** — the same tiling written with explicit AVX2 intrinsics
+//!   (`_mm256_mul_ps` + `_mm256_add_ps`), selected at runtime via
+//!   `is_x86_feature_detected!`. Falls back to Portable when AVX2 is absent
+//!   or the target is not x86.
+//!
+//! # The bitwise contract
+//!
+//! Every output element `(i, j)` is computed as a single accumulation chain
+//!
+//! ```text
+//! acc = init;  for kk in 0..k { acc += a(i, kk) * b(kk, j) }   // ascending kk
+//! ```
+//!
+//! with a **separate rounding for the multiply and the add** (no FMA — a
+//! fused multiply-add rounds once and cannot be matched bitwise by non-FMA
+//! hardware, and `f32::mul_add` falls back to a slow libm call there; Rust
+//! never auto-contracts floating point, so the portable tier is safe). Tiling
+//! only changes *which elements are resident in registers together*, never
+//! the per-element chain, and the row-chunk fan-out in [`crate::parallel`]
+//! only changes which thread owns a row. Hence: every tier, every `MR`/`NR`
+//! blocking, every thread count, and the ragged scalar tails all produce
+//! bitwise-identical results. The tiled serial kernel is the reference by
+//! *definition*; [`crate::gradcheck::check_kernel_equivalence`] enforces the
+//! contract empirically.
+//!
+//! # One strided microkernel, three transpose variants
+//!
+//! The A operand is read through a `(rstride, kstride)` view — the
+//! coefficient for output row `r` at step `kk` lives at
+//! `a[r * rstride + kk * kstride]` — so one kernel serves all three variants:
+//!
+//! | variant          | A view                  | B operand                  |
+//! |------------------|-------------------------|----------------------------|
+//! | `A·B`            | `rstride = k, kstride=1`| `B` row-major `[k, n]` as-is (identity packing — already contiguous in `kk`) |
+//! | `Aᵀ·B`           | `rstride = 1, kstride=m`| `B` row-major `[k, n]` as-is |
+//! | `A·Bᵀ`           | `rstride = k, kstride=1`| packed panel `Bᵀ` `[k, n]` built by [`pack_bt`] |
+//!
+//! Only `A·Bᵀ` needs a physical pack (its natural B walk is column-strided);
+//! the panel is `O(k·n)` work amortized over `O(m·k·n)` kernel work, so it
+//! pays for itself whenever `m >= 2` ([`PACK_MIN_ROWS`]). Below that, a
+//! per-element dot kernel ([`gemm_nt_dot`]) computes the identical ascending-k
+//! chain without the pack.
+//!
+//! # Dispatch
+//!
+//! The process-wide tier is chosen once from the `DG_KERNEL` environment
+//! variable (`scalar` | `portable` | `native`), defaulting to Native when
+//! AVX2 is detected and Portable otherwise. `native` on a non-AVX2 host
+//! resolves to Portable. Because all tiers are bitwise identical, `DG_KERNEL`
+//! is a debugging/benchmarking knob, not a reproducibility hazard.
+
+// GEMM entry points genuinely need (kind, operands, dims, threads,
+// accumulate): bundling them into structs would obscure the BLAS-style
+// call shape without removing any parameter.
+#![allow(clippy::too_many_arguments)]
+
+use crate::parallel;
+use std::sync::OnceLock;
+
+/// Register-tile height: output rows accumulated concurrently per block.
+pub const MR: usize = 4;
+/// Register-tile width: accumulator lane count (one 8-wide f32 SIMD vector).
+pub const NR: usize = 8;
+
+/// Minimum `m` (output rows) for which `A·Bᵀ` packs a Bᵀ panel; below this
+/// the dot kernel is cheaper (pack cost `k·n` vs kernel work `m·k·n`).
+pub const PACK_MIN_ROWS: usize = 2;
+
+/// The kernel dispatch tiers. All tiers are bitwise identical (module docs);
+/// they differ only in throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Untiled `i-k-j` reference kernel (what the autovectorizer makes of it).
+    Scalar,
+    /// Register-tiled `MR x NR` kernel, portable Rust.
+    Portable,
+    /// Register-tiled AVX2 intrinsics kernel (x86/x86_64 with AVX2 only).
+    Native,
+}
+
+impl KernelKind {
+    /// Parses a `DG_KERNEL` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelKind::Scalar),
+            "portable" => Some(KernelKind::Portable),
+            "native" => Some(KernelKind::Native),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (round-trips through [`KernelKind::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Portable => "portable",
+            KernelKind::Native => "native",
+        }
+    }
+}
+
+/// True when the Native (AVX2) tier can run on this host.
+pub fn native_available() -> bool {
+    #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "x86")))]
+    {
+        false
+    }
+}
+
+/// Maps a requested tier to the tier that will actually run:
+/// `Native` resolves to `Portable` when AVX2 is unavailable.
+pub fn resolve(kind: KernelKind) -> KernelKind {
+    match kind {
+        KernelKind::Native if !native_available() => KernelKind::Portable,
+        k => k,
+    }
+}
+
+/// The process-wide dispatch tier: `DG_KERNEL` when set (panics on an
+/// unrecognized value — it is a debugging knob and a typo should be loud),
+/// otherwise Native when AVX2 is detected, else Portable. Cached for the
+/// lifetime of the process.
+pub fn active() -> KernelKind {
+    static K: OnceLock<KernelKind> = OnceLock::new();
+    *K.get_or_init(|| {
+        if let Ok(v) = std::env::var("DG_KERNEL") {
+            let kind = KernelKind::parse(&v)
+                .unwrap_or_else(|| panic!("DG_KERNEL={v:?} is not one of scalar|portable|native"));
+            return resolve(kind);
+        }
+        if native_available() {
+            KernelKind::Native
+        } else {
+            KernelKind::Portable
+        }
+    })
+}
+
+/// Computes a contiguous chunk of output rows of a strided-A GEMM.
+///
+/// `out` backs rows `[row0, row0 + out.len()/n)` of the logical `m x n`
+/// output; the A coefficient for logical row `r` at step `kk` is
+/// `a[r * rstride + kk * kstride]`; `b` is row-major `[k, n]`. When
+/// `accumulate` is false every output element is **overwritten** (no
+/// zero-filled precondition); when true the chain starts from the existing
+/// value. Either way each element accumulates in ascending-`kk` order — the
+/// bitwise contract of the module docs — for every dispatch tier.
+///
+/// # Panics
+/// Panics when the A view or B would be read out of bounds.
+pub fn gemm_chunk(
+    kind: KernelKind,
+    a: &[f32],
+    rstride: usize,
+    kstride: usize,
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    if n == 0 || out.is_empty() {
+        return;
+    }
+    debug_assert_eq!(out.len() % n, 0, "gemm_chunk requires whole output rows");
+    let rows = out.len() / n;
+    if k == 0 {
+        if !accumulate {
+            out.fill(0.0);
+        }
+        return;
+    }
+    assert!(
+        (row0 + rows - 1) * rstride + (k - 1) * kstride < a.len(),
+        "gemm_chunk: A view out of bounds (rows {row0}..{} rstride {rstride} kstride {kstride} k {k} len {})",
+        row0 + rows,
+        a.len()
+    );
+    assert!(b.len() >= k * n, "gemm_chunk: B has {} elements, needs {}", b.len(), k * n);
+    match resolve(kind) {
+        KernelKind::Scalar => gemm_chunk_scalar(a, rstride, kstride, b, out, row0, k, n, accumulate),
+        KernelKind::Portable => gemm_chunk_portable(a, rstride, kstride, b, out, row0, k, n, accumulate),
+        KernelKind::Native => {
+            #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+            // SAFETY: `resolve` returns Native only when AVX2 was detected at
+            // runtime; slice bounds were asserted above.
+            unsafe {
+                avx2::gemm_chunk_avx2(a, rstride, kstride, b, out, row0, k, n, accumulate)
+            }
+            #[cfg(not(any(target_arch = "x86_64", target_arch = "x86")))]
+            unreachable!("Native resolves to Portable off x86")
+        }
+    }
+}
+
+/// The Scalar tier: one row at a time, `kk` middle loop streaming rows of
+/// `b`, branch-free inner loop.
+fn gemm_chunk_scalar(
+    a: &[f32],
+    rstride: usize,
+    kstride: usize,
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    let rows = out.len() / n;
+    for i in 0..rows {
+        let roff = (row0 + i) * rstride;
+        let orow = &mut out[i * n..(i + 1) * n];
+        if !accumulate {
+            orow.fill(0.0);
+        }
+        for kk in 0..k {
+            let av = a[roff + kk * kstride];
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// The Portable tier: blocks of up to `MR` rows through the register-tiled
+/// strip kernel.
+fn gemm_chunk_portable(
+    a: &[f32],
+    rstride: usize,
+    kstride: usize,
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    let rows = out.len() / n;
+    let mut i = 0;
+    while i < rows {
+        let take = (rows - i).min(MR);
+        let block = &mut out[i * n..(i + take) * n];
+        let roff = (row0 + i) * rstride;
+        match take {
+            4 => tile_rows::<4>(a, roff, rstride, kstride, b, block, k, n, accumulate),
+            3 => tile_rows::<3>(a, roff, rstride, kstride, b, block, k, n, accumulate),
+            2 => tile_rows::<2>(a, roff, rstride, kstride, b, block, k, n, accumulate),
+            _ => tile_rows::<1>(a, roff, rstride, kstride, b, block, k, n, accumulate),
+        }
+        i += take;
+    }
+}
+
+/// Portable register-tiled strip kernel: `R` output rows x `NR`-wide strips.
+/// The `[[f32; NR]; R]` accumulator block lives in SIMD registers after
+/// autovectorization; the mul and add stay separate ops (no contraction), so
+/// each lane runs the exact scalar-tier chain. Ragged column tails fall back
+/// to the per-element scalar chain — same order, same bits.
+#[inline(always)]
+fn tile_rows<const R: usize>(
+    a: &[f32],
+    roff: usize,
+    rstride: usize,
+    kstride: usize,
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    let mut j = 0;
+    while j + NR <= n {
+        let mut acc = [[0.0_f32; NR]; R];
+        if accumulate {
+            for (r, accr) in acc.iter_mut().enumerate() {
+                accr.copy_from_slice(&out[r * n + j..r * n + j + NR]);
+            }
+        }
+        for kk in 0..k {
+            let bv: &[f32; NR] = b[kk * n + j..kk * n + j + NR].try_into().unwrap();
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = a[roff + r * rstride + kk * kstride];
+                for (l, lane) in accr.iter_mut().enumerate() {
+                    *lane += av * bv[l];
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            out[r * n + j..r * n + j + NR].copy_from_slice(accr);
+        }
+        j += NR;
+    }
+    while j < n {
+        for r in 0..R {
+            let mut s = if accumulate { out[r * n + j] } else { 0.0 };
+            for kk in 0..k {
+                s += a[roff + r * rstride + kk * kstride] * b[kk * n + j];
+            }
+            out[r * n + j] = s;
+        }
+        j += 1;
+    }
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+mod avx2 {
+    //! The Native tier: the portable tiling rewritten with AVX2 intrinsics.
+    //! Deliberately `_mm256_mul_ps` + `_mm256_add_ps`, **not**
+    //! `_mm256_fmadd_ps` — FMA rounds once and would break bitwise equality
+    //! with the scalar and portable tiers.
+
+    use super::{MR, NR};
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+
+    /// # Safety
+    /// AVX2 must be available, and the caller must have validated (as
+    /// [`super::gemm_chunk`] does) that the A view covers
+    /// `(row0 + rows - 1) * rstride + (k - 1) * kstride < a.len()` and that
+    /// `b.len() >= k * n`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_chunk_avx2(
+        a: &[f32],
+        rstride: usize,
+        kstride: usize,
+        b: &[f32],
+        out: &mut [f32],
+        row0: usize,
+        k: usize,
+        n: usize,
+        accumulate: bool,
+    ) {
+        let rows = out.len() / n;
+        let mut i = 0;
+        while i < rows {
+            let take = (rows - i).min(MR);
+            let block = &mut out[i * n..(i + take) * n];
+            let roff = (row0 + i) * rstride;
+            match take {
+                4 => tile_rows_avx2::<4>(a, roff, rstride, kstride, b, block, k, n, accumulate),
+                3 => tile_rows_avx2::<3>(a, roff, rstride, kstride, b, block, k, n, accumulate),
+                2 => tile_rows_avx2::<2>(a, roff, rstride, kstride, b, block, k, n, accumulate),
+                _ => tile_rows_avx2::<1>(a, roff, rstride, kstride, b, block, k, n, accumulate),
+            }
+            i += take;
+        }
+    }
+
+    /// # Safety
+    /// Same contract as [`gemm_chunk_avx2`]; additionally `out` must hold
+    /// exactly `R` rows of `n` elements.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn tile_rows_avx2<const R: usize>(
+        a: &[f32],
+        roff: usize,
+        rstride: usize,
+        kstride: usize,
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        accumulate: bool,
+    ) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut j = 0;
+        // Double-width strips first: two vectors per row means 2*R
+        // independent accumulation chains, enough to cover the FP-add
+        // latency on cores that issue adds and muls on separate pipes.
+        // Each lane still runs the exact per-element ascending-k chain, so
+        // the wider tiling cannot change a single bit of the result.
+        while j + 2 * NR <= n {
+            let mut acc0 = [_mm256_setzero_ps(); R];
+            let mut acc1 = [_mm256_setzero_ps(); R];
+            if accumulate {
+                for r in 0..R {
+                    acc0[r] = _mm256_loadu_ps(op.add(r * n + j));
+                    acc1[r] = _mm256_loadu_ps(op.add(r * n + j + NR));
+                }
+            }
+            for kk in 0..k {
+                let bv0 = _mm256_loadu_ps(bp.add(kk * n + j));
+                let bv1 = _mm256_loadu_ps(bp.add(kk * n + j + NR));
+                for r in 0..R {
+                    let av = _mm256_set1_ps(*ap.add(roff + r * rstride + kk * kstride));
+                    acc0[r] = _mm256_add_ps(acc0[r], _mm256_mul_ps(av, bv0));
+                    acc1[r] = _mm256_add_ps(acc1[r], _mm256_mul_ps(av, bv1));
+                }
+            }
+            for r in 0..R {
+                _mm256_storeu_ps(op.add(r * n + j), acc0[r]);
+                _mm256_storeu_ps(op.add(r * n + j + NR), acc1[r]);
+            }
+            j += 2 * NR;
+        }
+        while j + NR <= n {
+            let mut acc = [_mm256_setzero_ps(); R];
+            if accumulate {
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    *accr = _mm256_loadu_ps(op.add(r * n + j));
+                }
+            }
+            for kk in 0..k {
+                let bv = _mm256_loadu_ps(bp.add(kk * n + j));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add(roff + r * rstride + kk * kstride));
+                    *accr = _mm256_add_ps(*accr, _mm256_mul_ps(av, bv));
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                _mm256_storeu_ps(op.add(r * n + j), *accr);
+            }
+            j += NR;
+        }
+        // Ragged column tail: identical scalar chain to the other tiers (the
+        // compiler cannot contract `s += a * b` into an FMA — Rust never
+        // enables floating-point contraction).
+        while j < n {
+            for r in 0..R {
+                let mut s = if accumulate { out[r * n + j] } else { 0.0 };
+                for kk in 0..k {
+                    s += a[roff + r * rstride + kk * kstride] * b[kk * n + j];
+                }
+                out[r * n + j] = s;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Packs `b` — an `n x k` row-major matrix — into `panel` as its transpose
+/// (`k x n` row-major), i.e. `panel[kk * n + j] = b[j * k + kk]`. Every panel
+/// element is written, so the panel buffer needs no initialization (it can
+/// come straight from [`crate::workspace::Workspace::take_raw`]).
+///
+/// # Panics
+/// Panics unless `panel.len() == k * n` and `b.len() >= n * k`.
+pub fn pack_bt(b: &[f32], n: usize, k: usize, panel: &mut [f32]) {
+    assert_eq!(panel.len(), k * n, "pack_bt panel length mismatch");
+    assert!(b.len() >= n * k, "pack_bt source too small");
+    for j in 0..n {
+        let brow = &b[j * k..(j + 1) * k];
+        for (kk, &v) in brow.iter().enumerate() {
+            panel[kk * n + j] = v;
+        }
+    }
+}
+
+/// Threaded `C[m,n] = A[m,k] · B[k,n]` (or `C += A·B` when `accumulate`).
+/// Every output element is overwritten unless `accumulate` is set; `B` is
+/// used as-is (identity packing — a row-major `[k, n]` matrix is already
+/// contiguous along the `kk` stream). Bitwise identical for every `kind` and
+/// `threads` value.
+pub fn gemm_nn(
+    kind: KernelKind,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    threads: usize,
+    accumulate: bool,
+) {
+    parallel::run_row_chunks(out, n, threads, |row0, chunk| {
+        gemm_chunk(kind, a, k, 1, b, chunk, row0, k, n, accumulate);
+    });
+}
+
+/// Threaded `C[m,n] = A[k,m]ᵀ · B[k,n]` (or `C += AᵀB` when `accumulate`)
+/// without materializing the transpose: the strided A view (`rstride = 1`,
+/// `kstride = m`) walks column `r` of `A` directly.
+pub fn gemm_tn(
+    kind: KernelKind,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    accumulate: bool,
+) {
+    debug_assert_eq!(out.len(), m * n, "gemm_tn output shape mismatch");
+    parallel::run_row_chunks(out, n, threads, |row0, chunk| {
+        gemm_chunk(kind, a, 1, m, b, chunk, row0, k, n, accumulate);
+    });
+}
+
+/// Threaded `C[m,n] = A[m,k] · (B[n,k])ᵀ` through a packed `Bᵀ` panel
+/// (`panel.len() == k * n`, fully overwritten). Bitwise identical to
+/// [`gemm_nt_dot`] — same per-element ascending-`k` chain.
+pub fn gemm_nt_packed(
+    kind: KernelKind,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    threads: usize,
+    panel: &mut [f32],
+) {
+    pack_bt(b, n, k, panel);
+    let panel = &*panel;
+    parallel::run_row_chunks(out, n, threads, |row0, chunk| {
+        gemm_chunk(kind, a, k, 1, panel, chunk, row0, k, n, false);
+    });
+}
+
+/// Threaded `C[m,n] = A[m,k] · (B[n,k])ᵀ` as per-element row dots — the
+/// pack-free path for tiny `m` (< [`PACK_MIN_ROWS`]), where a `k·n` panel
+/// would cost more than it saves. Kind-independent: the scalar dot *is* the
+/// ascending-`k` chain, so this is bitwise identical to [`gemm_nt_packed`].
+pub fn gemm_nt_dot(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, threads: usize) {
+    parallel::run_row_chunks(out, n, threads, |row0, chunk| {
+        let rows = chunk.len() / n.max(1);
+        for i in 0..rows {
+            let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            let orow = &mut chunk[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut s = 0.0_f32;
+                for (x, y) in arow.iter().zip(brow) {
+                    s += x * y;
+                }
+                *o = s;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn randv(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-2.0_f32..2.0)).collect()
+    }
+
+    fn all_kinds() -> [KernelKind; 3] {
+        [KernelKind::Scalar, KernelKind::Portable, KernelKind::Native]
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        for k in all_kinds() {
+            assert_eq!(KernelKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(KernelKind::parse(" Native "), Some(KernelKind::Native));
+        assert_eq!(KernelKind::parse("avx512"), None);
+    }
+
+    #[test]
+    fn resolve_only_rewrites_native() {
+        assert_eq!(resolve(KernelKind::Scalar), KernelKind::Scalar);
+        assert_eq!(resolve(KernelKind::Portable), KernelKind::Portable);
+        let r = resolve(KernelKind::Native);
+        if native_available() {
+            assert_eq!(r, KernelKind::Native);
+        } else {
+            assert_eq!(r, KernelKind::Portable);
+        }
+    }
+
+    #[test]
+    fn pack_bt_is_a_transpose() {
+        // b: 2x3 (n=2 rows of k=3)
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut panel = vec![0.0; 6];
+        pack_bt(&b, 2, 3, &mut panel);
+        assert_eq!(panel, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn all_tiers_are_bitwise_identical_on_ragged_shapes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Shapes straddling the MR x NR tile: exact multiples, ragged rows,
+        // ragged cols, sub-tile, degenerate k.
+        for &(m, k, n) in &[
+            (8usize, 16usize, 16usize),
+            (5, 7, 9),
+            (1, 13, 8),
+            (13, 1, 1),
+            (4, 32, 8),
+            (3, 5, 23),
+            (9, 0, 7),
+        ] {
+            let a = randv(&mut rng, m * k);
+            let b = randv(&mut rng, k * n);
+            let mut reference = vec![f32::NAN; m * n];
+            gemm_nn(KernelKind::Scalar, &a, &b, &mut reference, k, n, 1, false);
+            for kind in all_kinds() {
+                for threads in [1usize, 2, 3, 16] {
+                    let mut out = vec![f32::NAN; m * n];
+                    gemm_nn(kind, &a, &b, &mut out, k, n, threads, false);
+                    assert!(
+                        out.iter().zip(&reference).all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "{} t={threads} {m}x{k}x{n} diverged from scalar serial",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_extends_the_chain() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (m, k, n) = (6usize, 11usize, 10usize);
+        let a = randv(&mut rng, m * k);
+        let b = randv(&mut rng, k * n);
+        let init = randv(&mut rng, m * n);
+        let mut reference = init.clone();
+        gemm_chunk(KernelKind::Scalar, &a, k, 1, &b, &mut reference, 0, k, n, true);
+        for kind in all_kinds() {
+            let mut out = init.clone();
+            gemm_nn(kind, &a, &b, &mut out, k, n, 2, true);
+            assert!(
+                out.iter().zip(&reference).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{} accumulate diverged",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn packed_and_dot_nt_paths_are_bitwise_identical() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(m, k, n) in &[(1usize, 9usize, 5usize), (2, 9, 5), (7, 13, 11), (4, 8, 8)] {
+            let a = randv(&mut rng, m * k);
+            let b = randv(&mut rng, n * k);
+            let mut dot = vec![f32::NAN; m * n];
+            gemm_nt_dot(&a, &b, &mut dot, k, n, 1);
+            for kind in all_kinds() {
+                let mut panel = vec![f32::NAN; k * n];
+                let mut packed = vec![f32::NAN; m * n];
+                gemm_nt_packed(kind, &a, &b, &mut packed, k, n, 2, &mut panel);
+                assert!(
+                    packed.iter().zip(&dot).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{} packed nt diverged from dot path at {m}x{k}x{n}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose_times_b() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (m, k, n) = (7usize, 9usize, 13usize); // a is k x m
+        let a = randv(&mut rng, k * m);
+        let b = randv(&mut rng, k * n);
+        // Explicit transpose then nn through the scalar tier.
+        let mut at = vec![0.0; m * k];
+        for r in 0..k {
+            for c in 0..m {
+                at[c * k + r] = a[r * m + c];
+            }
+        }
+        let mut want = vec![f32::NAN; m * n];
+        gemm_nn(KernelKind::Scalar, &at, &b, &mut want, k, n, 1, false);
+        for kind in all_kinds() {
+            let mut got = vec![f32::NAN; m * n];
+            gemm_tn(kind, &a, &b, &mut got, m, k, n, 3, false);
+            assert!(
+                got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{} tn diverged",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn overwrite_semantics_ignore_stale_output_contents() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (m, k, n) = (5usize, 6usize, 7usize);
+        let a = randv(&mut rng, m * k);
+        let b = randv(&mut rng, k * n);
+        let mut clean = vec![0.0; m * n];
+        gemm_nn(KernelKind::Scalar, &a, &b, &mut clean, k, n, 1, false);
+        for kind in all_kinds() {
+            let mut dirty = vec![f32::NAN; m * n];
+            gemm_nn(kind, &a, &b, &mut dirty, k, n, 1, false);
+            assert!(
+                dirty.iter().zip(&clean).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{} read stale output despite overwrite semantics",
+                kind.name()
+            );
+        }
+    }
+}

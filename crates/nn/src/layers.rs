@@ -282,8 +282,9 @@ impl LstmCell {
     }
 
     fn step_with(&self, g: &mut Graph, w: Var, b: Var, x: Var, state: LstmState) -> LstmState {
-        let xh = g.concat_cols(&[x, state.h]);
-        let gates = g.matmul(xh, w);
+        // Fused [x, h] * W: one panel multiply for all four gates, no
+        // materialized concatenation (bitwise identical to concat + matmul).
+        let gates = g.concat_matmul(&[x, state.h], w);
         let gates = g.add_row(gates, b);
         let h = self.hidden;
         let i_g = g.slice_cols(gates, 0, h);

@@ -5,9 +5,11 @@
 //! (Lin et al., IMC 2020). The paper's models are built from three
 //! ingredients, all provided here:
 //!
-//! * [`tensor::Tensor`] — dense row-major `f32` matrices whose matmul and
-//!   elementwise kernels split rows across threads via [`parallel`] with a
-//!   fixed chunking scheme (parallel output is bitwise identical to serial);
+//! * [`tensor::Tensor`] — dense row-major `f32` matrices whose matmuls run
+//!   through the register-tiled microkernels of [`kernels`] (runtime
+//!   scalar/portable/AVX2 dispatch, all tiers bitwise identical) and split
+//!   rows across threads via [`parallel`] with a fixed chunking scheme
+//!   (parallel output is bitwise identical to serial);
 //! * [`graph::Graph`] — an eager reverse-mode autodiff tape with the op set
 //!   needed by MLPs, LSTMs and Wasserstein losses. Under the hood it records
 //!   a [`graph::Plan`] (op topology + shapes) whose buffers come from a
@@ -56,6 +58,7 @@
 
 pub mod gradcheck;
 pub mod graph;
+pub mod kernels;
 pub mod layers;
 pub mod optim;
 pub mod parallel;
@@ -67,6 +70,7 @@ pub mod workspace;
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::graph::{Graph, PlanExecutor, Var};
+    pub use crate::kernels::KernelKind;
     pub use crate::layers::{Activation, Linear, LstmCell, LstmState, Mlp};
     pub use crate::optim::{Adam, Sgd};
     pub use crate::parallel::num_threads;

@@ -15,15 +15,30 @@
 //! only decide which thread computes which rows, never the arithmetic.
 //!
 //! The worker count defaults to [`std::thread::available_parallelism`]
-//! (capped at 8 — the kernels here saturate memory bandwidth before that)
-//! and can be overridden with the `DG_NUM_THREADS` environment variable;
-//! `DG_NUM_THREADS=1` forces fully serial execution.
+//! capped at [`MAX_DEFAULT_THREADS`]. The cap is no longer a
+//! memory-bandwidth story: the register-tiled kernels in [`crate::kernels`]
+//! are compute-bound at realistic shapes, but every worker pays a fixed
+//! scoped spawn/join fee (measured as `spawn_overhead_us` in
+//! `BENCH_kernels.json`), and past 8 workers that fee stops amortizing for
+//! problems near the `PARALLEL_MACS` threshold — see the recalibration notes
+//! on [`MAX_DEFAULT_THREADS`] and DESIGN.md §13. Override with the
+//! `DG_NUM_THREADS` environment variable; `DG_NUM_THREADS=1` forces fully
+//! serial execution.
 
 use std::sync::OnceLock;
 
 /// Hard cap on the default worker count; explicit requests (the `threads`
 /// argument of the `*_threaded` kernels) may exceed it.
-const MAX_DEFAULT_THREADS: usize = 8;
+///
+/// Re-derived for the register-tiled kernels (PR 5): the cap is now about
+/// spawn/join amortization, not memory bandwidth. Each additional worker
+/// costs a fixed scoped spawn/join fee (`spawn_overhead_us` in
+/// `BENCH_kernels.json`), so past 8 workers the marginal chunk of a
+/// `PARALLEL_MACS`-sized problem no longer covers its own launch cost even
+/// when the tiled tiers retire MACs 4-6x faster than the old scalar kernel.
+/// The `thread_sweep` table in `BENCH_kernels.json` records the measurement
+/// on the build host; DESIGN.md section 13 has the derivation.
+pub const MAX_DEFAULT_THREADS: usize = 8;
 
 /// Number of worker threads used by the parallel kernels.
 ///

@@ -91,7 +91,7 @@ pub fn input_gradient(
     assert_eq!(masks.len() + 1, critic.layers.len(), "one mask per hidden layer expected");
     let last = critic.layers.len() - 1;
     // Seed: d out / d out = 1 for each sample, then pull back through W_out.
-    let mut ones = g.take_scratch(batch, 1);
+    let mut ones = g.take_scratch_raw(batch, 1);
     ones.as_mut_slice().fill(1.0);
     let ones = g.constant(ones);
     let w_out = g.param(store, critic.layers[last].w);
@@ -126,8 +126,9 @@ pub fn gradient_penalty<R: Rng + ?Sized>(
     // RNG order) before the row fill fans out, so the interpolates — and
     // everything downstream — are bitwise identical for any thread count.
     let ts: Vec<f32> = (0..batch).map(|_| rng.gen_range(0.0..1.0)).collect();
-    // The interpolate buffer comes from (and returns to) the graph's pool.
-    let mut xhat = g.take_scratch(batch, cols);
+    // The interpolate buffer comes from (and returns to) the graph's pool;
+    // the row loop below overwrites every element, so raw storage suffices.
+    let mut xhat = g.take_scratch_raw(batch, cols);
     let threads =
         if batch * cols >= crate::parallel::PARALLEL_ELEMS { crate::parallel::num_threads() } else { 1 };
     crate::parallel::run_row_chunks(xhat.as_mut_slice(), cols.max(1), threads, |row0, chunk| {

@@ -5,6 +5,7 @@
 //! series are handled as *sequences* of 2-D tensors (one per unrolled step)
 //! or as flattened `[batch, T * K]` matrices.
 
+use crate::kernels::{self, KernelKind};
 use crate::parallel::{self, PARALLEL_ELEMS};
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
@@ -30,7 +31,15 @@ impl std::fmt::Debug for Tensor {
 
 /// Work threshold (in multiply-accumulates) above which the matmul kernels
 /// split the output rows across threads.
-const PARALLEL_MACS: usize = 1 << 20;
+///
+/// Recalibrated for the register-tiled kernels of [`crate::kernels`] (PR 5):
+/// the tiled AVX2 tier retires MACs ~4-6x faster than the old scalar row
+/// kernel, so the spawn/join cost of a `std::thread::scope` fan-out (~10-20us
+/// per worker, measured by `bench_kernels` and recorded in
+/// `BENCH_kernels.json` under `spawn_overhead`) now amortizes only at ~4M
+/// MACs, not 1M. See DESIGN.md section 13 and the `thread_sweep` table in
+/// `BENCH_kernels.json` for the measurements backing this value.
+pub const PARALLEL_MACS: usize = 1 << 22;
 
 /// Picks the worker count for a matmul-shaped workload: serial below the
 /// work threshold, the process-wide default above it.
@@ -301,9 +310,10 @@ impl Tensor {
 
     /// Dense matrix product `self * other`.
     ///
-    /// Uses an `i-k-j` loop order (the inner loop streams over contiguous
-    /// rows of `other`, which auto-vectorizes) and splits output rows across
-    /// OS threads when the total work exceeds `PARALLEL_MACS`.
+    /// Runs through the register-tiled microkernels of [`crate::kernels`]
+    /// (dispatch tier chosen once per process, see `DG_KERNEL`) and splits
+    /// output rows across OS threads when the total work exceeds
+    /// `PARALLEL_MACS`. Bitwise identical for every tier and thread count.
     ///
     /// # Panics
     /// Panics on an inner-dimension mismatch.
@@ -315,18 +325,31 @@ impl Tensor {
     /// reference). The result is bitwise identical for every `threads`
     /// value; exposed for determinism tests and benchmarks.
     pub fn matmul_threaded(&self, other: &Tensor, threads: usize) -> Tensor {
+        self.matmul_with_kind(other, threads, kernels::active())
+    }
+
+    /// [`Tensor::matmul`] with an explicit worker count *and* dispatch tier.
+    /// Bitwise identical across all `(threads, kind)` pairs; exposed for the
+    /// cross-kernel equivalence suite and per-tier benchmarks.
+    pub fn matmul_with_kind(&self, other: &Tensor, threads: usize, kind: KernelKind) -> Tensor {
         let mut out = Tensor::zeros(self.rows, other.cols);
-        self.matmul_into(other, &mut out, threads);
+        self.matmul_into_with_kind(other, &mut out, threads, kind);
         out
     }
 
-    /// [`Tensor::matmul`] into caller-provided **zero-filled** storage with
-    /// an explicit worker count. Uses the same row kernel as `matmul`, hence
-    /// bitwise identical output.
+    /// [`Tensor::matmul`] into caller-provided storage with an explicit
+    /// worker count. Every output element is **overwritten** — `out` may
+    /// hold arbitrary stale contents (no zero-fill precondition). Same
+    /// kernels as `matmul`, hence bitwise identical output.
     ///
     /// # Panics
     /// Panics on an inner-dimension or output-shape mismatch.
     pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor, threads: usize) {
+        self.matmul_into_with_kind(other, out, threads, kernels::active());
+    }
+
+    /// [`Tensor::matmul_into`] with an explicit dispatch tier.
+    pub fn matmul_into_with_kind(&self, other: &Tensor, out: &mut Tensor, threads: usize, kind: KernelKind) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
@@ -334,16 +357,16 @@ impl Tensor {
         );
         let (k, n) = (self.cols, other.cols);
         assert_eq!(out.shape(), (self.rows, n), "matmul_into output shape mismatch");
-        let (a, b) = (&self.data, &other.data);
-        parallel::run_row_chunks(&mut out.data, n, threads, |row0, chunk| {
-            matmul_rows(a, b, chunk, row0, k, n);
-        });
+        kernels::gemm_nn(kind, &self.data, &other.data, &mut out.data, k, n, threads, false);
     }
 
     /// `self * other^T` without materializing the transpose.
     ///
-    /// Splits output rows across threads above the work threshold; the
-    /// result is bitwise identical to the serial kernel.
+    /// For two or more output rows the kernel streams a packed `Bᵀ` panel
+    /// (see [`crate::kernels::pack_bt`]); single-row products use the
+    /// pack-free dot kernel. Both paths run the identical per-element
+    /// ascending-`k` chain, so the result is bitwise identical to the serial
+    /// kernel for every thread count and dispatch tier.
     pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
         self.matmul_bt_threaded(other, matmul_threads(self.rows * self.cols * other.rows))
     }
@@ -351,18 +374,74 @@ impl Tensor {
     /// [`Tensor::matmul_bt`] with an explicit worker count (`1` = serial
     /// reference). Bitwise identical for every `threads` value.
     pub fn matmul_bt_threaded(&self, other: &Tensor, threads: usize) -> Tensor {
+        self.matmul_bt_with_kind(other, threads, kernels::active())
+    }
+
+    /// [`Tensor::matmul_bt`] with an explicit worker count and dispatch
+    /// tier (see [`Tensor::matmul_with_kind`]).
+    pub fn matmul_bt_with_kind(&self, other: &Tensor, threads: usize, kind: KernelKind) -> Tensor {
         let mut out = Tensor::zeros(self.rows, other.rows);
-        self.matmul_bt_into(other, &mut out, threads);
+        self.matmul_bt_into_with_kind(other, &mut out, threads, kind);
         out
     }
 
     /// [`Tensor::matmul_bt`] into caller-provided storage with an explicit
-    /// worker count (every output element is overwritten). Same kernel as
-    /// `matmul_bt`, hence bitwise identical output.
+    /// worker count (every output element is overwritten; no zero-fill
+    /// precondition). Allocates a transient `Bᵀ` panel when one pays off —
+    /// callers with a pooled panel should use
+    /// [`Tensor::matmul_bt_into_with_panel`].
     ///
     /// # Panics
     /// Panics on a dimension or output-shape mismatch.
     pub fn matmul_bt_into(&self, other: &Tensor, out: &mut Tensor, threads: usize) {
+        self.matmul_bt_into_with_kind(other, out, threads, kernels::active());
+    }
+
+    /// [`Tensor::matmul_bt_into`] with an explicit dispatch tier.
+    pub fn matmul_bt_into_with_kind(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        threads: usize,
+        kind: KernelKind,
+    ) {
+        let (k, n) = (self.cols, other.rows);
+        if self.rows >= kernels::PACK_MIN_ROWS && k * n > 0 {
+            let mut panel = Tensor::zeros(k, n);
+            self.bt_impl(other, out, threads, kind, Some(&mut panel));
+        } else {
+            self.bt_impl(other, out, threads, kind, None);
+        }
+    }
+
+    /// [`Tensor::matmul_bt_into`] drawing the packed `Bᵀ` panel from
+    /// caller-provided storage of shape `(self.cols, other.rows)` — the
+    /// graph executor passes a pooled buffer here so steady-state training
+    /// steps never allocate. The panel contents are ignored on entry and
+    /// unspecified on exit.
+    ///
+    /// # Panics
+    /// Panics on a dimension, output-shape, or panel-shape mismatch.
+    pub fn matmul_bt_into_with_panel(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        threads: usize,
+        panel: &mut Tensor,
+    ) {
+        assert_eq!(panel.shape(), (self.cols, other.rows), "matmul_bt panel shape mismatch");
+        let use_panel = self.rows >= kernels::PACK_MIN_ROWS && self.cols * other.rows > 0;
+        self.bt_impl(other, out, threads, kernels::active(), use_panel.then_some(panel));
+    }
+
+    fn bt_impl(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        threads: usize,
+        kind: KernelKind,
+        panel: Option<&mut Tensor>,
+    ) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_bt dimension mismatch: {}x{} * ({}x{})^T",
@@ -370,18 +449,27 @@ impl Tensor {
         );
         let (k, n) = (self.cols, other.rows);
         assert_eq!(out.shape(), (self.rows, n), "matmul_bt_into output shape mismatch");
-        let (a, b) = (&self.data, &other.data);
-        parallel::run_row_chunks(&mut out.data, n, threads, |row0, chunk| {
-            matmul_bt_rows(a, b, chunk, row0, k, n);
-        });
+        match panel {
+            Some(panel) => kernels::gemm_nt_packed(
+                kind,
+                &self.data,
+                &other.data,
+                &mut out.data,
+                k,
+                n,
+                threads,
+                &mut panel.data,
+            ),
+            None => kernels::gemm_nt_dot(&self.data, &other.data, &mut out.data, k, n, threads),
+        }
     }
 
     /// `self^T * other` without materializing the transpose.
     ///
-    /// Splits output rows across threads above the work threshold; each
-    /// output row accumulates its rank-1 updates in the same (ascending
-    /// input row) order as the serial kernel, so the result is bitwise
-    /// identical.
+    /// The microkernel reads `self` through a strided view (walking one
+    /// column per output row); each output element accumulates in ascending
+    /// input-row order — the same chain as the serial kernel — so the result
+    /// is bitwise identical for every thread count and dispatch tier.
     pub fn matmul_at(&self, other: &Tensor) -> Tensor {
         self.matmul_at_threaded(other, matmul_threads(self.rows * self.cols * other.cols))
     }
@@ -389,18 +477,36 @@ impl Tensor {
     /// [`Tensor::matmul_at`] with an explicit worker count (`1` = serial
     /// reference). Bitwise identical for every `threads` value.
     pub fn matmul_at_threaded(&self, other: &Tensor, threads: usize) -> Tensor {
+        self.matmul_at_with_kind(other, threads, kernels::active())
+    }
+
+    /// [`Tensor::matmul_at`] with an explicit worker count and dispatch
+    /// tier (see [`Tensor::matmul_with_kind`]).
+    pub fn matmul_at_with_kind(&self, other: &Tensor, threads: usize, kind: KernelKind) -> Tensor {
         let mut out = Tensor::zeros(self.cols, other.cols);
-        self.matmul_at_into(other, &mut out, threads);
+        self.matmul_at_into_with_kind(other, &mut out, threads, kind);
         out
     }
 
-    /// [`Tensor::matmul_at`] into caller-provided **zero-filled** storage
-    /// with an explicit worker count. Same kernel as `matmul_at`, hence
-    /// bitwise identical output.
+    /// [`Tensor::matmul_at`] into caller-provided storage with an explicit
+    /// worker count. Every output element is **overwritten** (no zero-fill
+    /// precondition). Same kernels as `matmul_at`, hence bitwise identical
+    /// output.
     ///
     /// # Panics
     /// Panics on a dimension or output-shape mismatch.
     pub fn matmul_at_into(&self, other: &Tensor, out: &mut Tensor, threads: usize) {
+        self.matmul_at_into_with_kind(other, out, threads, kernels::active());
+    }
+
+    /// [`Tensor::matmul_at_into`] with an explicit dispatch tier.
+    pub fn matmul_at_into_with_kind(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        threads: usize,
+        kind: KernelKind,
+    ) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_at dimension mismatch: ({}x{})^T * {}x{}",
@@ -408,10 +514,7 @@ impl Tensor {
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
         assert_eq!(out.shape(), (m, n), "matmul_at_into output shape mismatch");
-        let (a, b) = (&self.data, &other.data);
-        parallel::run_row_chunks(&mut out.data, n, threads, |row0, chunk| {
-            matmul_at_rows(a, b, chunk, row0, m, k, n);
-        });
+        kernels::gemm_tn(kind, &self.data, &other.data, &mut out.data, m, k, n, threads, false);
     }
 
     /// Sum of all elements.
@@ -569,65 +672,6 @@ impl Tensor {
     }
 }
 
-/// Computes rows `[row0, row0 + out.len()/n)` of the matmul `a[.,k] * b[k,n]`
-/// into `out` (a slice of the output's backing storage starting at `row0`).
-fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
-    let rows = out.len() / n.max(1);
-    for i in 0..rows {
-        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += aik * bv;
-            }
-        }
-    }
-}
-
-/// Computes rows `[row0, row0 + out.len()/n)` of `a[m,k] * b[n,k]^T` into
-/// `out`: each output element is an independent dot product of two
-/// contiguous rows, so any row split yields bitwise-identical results.
-fn matmul_bt_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
-    let rows = out.len() / n.max(1);
-    for i in 0..rows {
-        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (j, oj) in orow.iter_mut().enumerate() {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0_f32;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            *oj = acc;
-        }
-    }
-}
-
-/// Computes rows `[row0, row0 + out.len()/n)` of `a[k,m]^T * b[k,n]` into
-/// `out`. Each output row `i` accumulates its rank-1 contributions in
-/// ascending input-row order `r = 0..k` — the same per-element accumulation
-/// order regardless of how rows are split, hence bitwise determinism.
-fn matmul_at_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, m: usize, k: usize, n: usize) {
-    let rows = out.len() / n.max(1);
-    for i in 0..rows {
-        let orow = &mut out[i * n..(i + 1) * n];
-        for r in 0..k {
-            let ai = a[r * m + row0 + i];
-            if ai == 0.0 {
-                continue;
-            }
-            let brow = &b[r * n..(r + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += ai * bv;
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,13 +734,47 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let a = Tensor::randn(64, 200, 1.0, &mut rng);
         let b = Tensor::randn(200, 128, 1.0, &mut rng);
-        // Serial reference computed through the row kernel directly.
-        let mut refv = Tensor::zeros(64, 128);
-        matmul_rows(a.as_slice(), b.as_slice(), refv.as_mut_slice(), 0, 200, 128);
+        // Serial reference computed through the scalar tier directly.
+        let refv = a.matmul_with_kind(&b, 1, KernelKind::Scalar);
         let c = a.matmul(&b);
         for (x, y) in c.as_slice().iter().zip(refv.as_slice()) {
             assert!((x - y).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn matmul_into_overwrites_stale_output() {
+        // The into-variants carry no zero-fill precondition: hand them a
+        // poisoned buffer and the result must equal a fresh computation.
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = Tensor::randn(7, 9, 1.0, &mut rng);
+        let b = Tensor::randn(9, 5, 1.0, &mut rng);
+        let bt = Tensor::randn(5, 9, 1.0, &mut rng);
+        let at = Tensor::randn(7, 5, 1.0, &mut rng);
+
+        let mut out = Tensor::full(7, 5, f32::NAN);
+        a.matmul_into(&b, &mut out, 2);
+        assert_eq!(out.as_slice(), a.matmul(&b).as_slice());
+
+        let mut out = Tensor::full(7, 5, f32::NAN);
+        a.matmul_bt_into(&bt, &mut out, 2);
+        assert_eq!(out.as_slice(), a.matmul_bt(&bt).as_slice());
+
+        let mut out = Tensor::full(9, 5, f32::NAN);
+        a.matmul_at_into(&at, &mut out, 2);
+        assert_eq!(out.as_slice(), a.matmul_at(&at).as_slice());
+    }
+
+    #[test]
+    fn pooled_panel_matches_transient_panel() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = Tensor::randn(6, 11, 1.0, &mut rng);
+        let b = Tensor::randn(4, 11, 1.0, &mut rng);
+        let want = a.matmul_bt(&b);
+        let mut panel = Tensor::full(11, 4, f32::NAN); // contents must not matter
+        let mut out = Tensor::full(6, 4, f32::NAN);
+        a.matmul_bt_into_with_panel(&b, &mut out, 3, &mut panel);
+        assert_eq!(out.as_slice(), want.as_slice());
     }
 
     #[test]

@@ -5,13 +5,19 @@
 //! in step `t + 1` are shape-for-shape the tensors it freed at the end of
 //! step `t`. A [`Workspace`] exploits that: it keeps the backing `Vec<f32>`
 //! buffers of finished graphs in a pool keyed by `(rows, cols)` and hands
-//! them back out — zero-filled, so a pooled buffer is indistinguishable from
-//! a fresh `Tensor::zeros` — instead of hitting the allocator again.
+//! them back out instead of hitting the allocator again — either zero-filled
+//! ([`Workspace::take_zeroed`], for consumers that accumulate) or with
+//! unspecified contents ([`Workspace::take_raw`], for outputs every kernel
+//! fully overwrites; this is the hot path, since the matmul `*_into` family
+//! has overwrite semantics and needs no memset per hand-out).
 //!
-//! Determinism: pooling only changes *where* the bytes live, never their
-//! initial contents (always zero) nor any arithmetic, so pooled execution is
-//! bitwise identical to fresh allocation for any thread count (see
-//! [`crate::gradcheck::check_workspace_determinism`]).
+//! Determinism: pooling only changes *where* the bytes live, never any
+//! arithmetic — `take_zeroed` buffers start from zero and `take_raw` buffers
+//! are fully overwritten before first read — so pooled execution is bitwise
+//! identical to fresh allocation for any thread count (see
+//! [`crate::gradcheck::check_workspace_determinism`]; under
+//! `debug_assertions` pooled `take_raw` buffers are NaN-poisoned so a stale
+//! read cannot pass silently).
 //!
 //! The pool is trimmed at every cycle boundary ([`Workspace::end_cycle`],
 //! called by `Graph::finish`) to the high-water mark of buffers actually
@@ -142,6 +148,24 @@ impl Workspace {
     /// Hands out a zero-filled `rows x cols` tensor, reusing pooled storage
     /// when a buffer of that exact shape is free.
     pub fn take_zeroed(&mut self, rows: usize, cols: usize) -> Tensor {
+        let mut t = self.take_raw(rows, cols);
+        t.as_mut_slice().fill(0.0);
+        t
+    }
+
+    /// Hands out a `rows x cols` tensor with **unspecified contents**,
+    /// reusing pooled storage when a buffer of that exact shape is free.
+    ///
+    /// This is the allocation path for outputs that every kernel fully
+    /// overwrites (the `*_into` matmul family, elementwise maps, copies):
+    /// skipping the zero fill removes one memset per buffer hand-out from
+    /// the training hot loop. Callers that *accumulate* into the buffer
+    /// (e.g. `sum_cols_into`) must use [`Workspace::take_zeroed`] instead.
+    ///
+    /// Under `debug_assertions` a pooled buffer is poisoned with NaN before
+    /// hand-out, so a consumer that wrongly reads stale contents fails the
+    /// test suite loudly instead of silently reusing old values.
+    pub fn take_raw(&mut self, rows: usize, cols: usize) -> Tensor {
         let len = rows * cols;
         if !self.pooling || len == 0 {
             if len > 0 {
@@ -154,7 +178,9 @@ impl Workspace {
         match entry.free.pop() {
             Some(mut buf) => {
                 self.stats.hits += 1;
-                buf.fill(0.0);
+                if cfg!(debug_assertions) {
+                    buf.fill(f32::NAN);
+                }
                 Tensor::from_vec(rows, cols, buf)
             }
             None => {
@@ -215,6 +241,25 @@ mod tests {
         assert_eq!(t2, Tensor::zeros(2, 3), "pooled buffer must come back zeroed");
         assert_eq!(ws.stats().hits, 1);
         assert_eq!(ws.stats().misses, 1);
+    }
+
+    #[test]
+    fn take_raw_reuses_without_zeroing_guarantee() {
+        let mut ws = Workspace::new();
+        let mut t = ws.take_raw(2, 3);
+        t.as_mut_slice().fill(7.0);
+        ws.reclaim(t);
+        let t2 = ws.take_raw(2, 3);
+        assert_eq!(t2.shape(), (2, 3));
+        assert_eq!(ws.stats().hits, 1);
+        if cfg!(debug_assertions) {
+            // Pooled raw buffers are NaN-poisoned in debug builds so stale
+            // reads blow up in tests.
+            assert!(t2.as_slice().iter().all(|x| x.is_nan()));
+        }
+        // Fresh (miss-path) raw buffers are plain allocations.
+        let t3 = ws.take_raw(9, 9);
+        assert_eq!(t3.as_slice(), &[0.0; 81]);
     }
 
     #[test]

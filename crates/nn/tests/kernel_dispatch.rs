@@ -1,0 +1,68 @@
+//! Integration tests for the `DG_KERNEL` runtime dispatch knob.
+//!
+//! These run in a separate process from the unit tests so the `OnceLock`
+//! behind [`dg_nn::kernels::active`] observes whatever `DG_KERNEL` value the
+//! harness (or the CI kernel-matrix job) set before launch. CI runs this
+//! binary twice: once with the environment untouched (default dispatch) and
+//! once with `DG_KERNEL=scalar` (forced fallback) — both must pass.
+
+use dg_nn::gradcheck::check_kernel_equivalence;
+use dg_nn::kernels::{self, KernelKind};
+use dg_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The tier `active()` should resolve to given the process environment.
+fn expected_active() -> KernelKind {
+    match std::env::var("DG_KERNEL") {
+        Ok(v) => {
+            kernels::resolve(KernelKind::parse(&v).expect("test launched with an invalid DG_KERNEL value"))
+        }
+        Err(_) => {
+            if kernels::native_available() {
+                KernelKind::Native
+            } else {
+                KernelKind::Portable
+            }
+        }
+    }
+}
+
+#[test]
+fn active_kind_honors_dg_kernel_env() {
+    assert_eq!(kernels::active(), expected_active());
+}
+
+#[test]
+fn active_dispatch_matches_forced_scalar_bitwise() {
+    // Whatever tier the environment selected, the auto-dispatched public
+    // matmuls must be bitwise identical to the forced scalar reference.
+    let mut rng = StdRng::seed_from_u64(91);
+    for (m, k, n) in [(5usize, 7usize, 9usize), (16, 32, 24), (100, 110, 400), (3, 129, 1)] {
+        let a = Tensor::randn(m, k, 1.0, &mut rng);
+        let b = Tensor::randn(k, n, 1.0, &mut rng);
+        let auto = a.matmul(&b);
+        let scalar = a.matmul_with_kind(&b, 1, KernelKind::Scalar);
+        assert_eq!(
+            auto.as_slice(),
+            scalar.as_slice(),
+            "auto dispatch ({:?}) diverged from scalar at {m}x{k}x{n}",
+            kernels::active()
+        );
+        let bt = Tensor::randn(n, k, 1.0, &mut rng);
+        assert_eq!(a.matmul_bt(&bt).as_slice(), a.matmul_bt_with_kind(&bt, 1, KernelKind::Scalar).as_slice());
+        let at = Tensor::randn(m, n, 1.0, &mut rng);
+        assert_eq!(a.matmul_at(&at).as_slice(), a.matmul_at_with_kind(&at, 1, KernelKind::Scalar).as_slice());
+    }
+}
+
+#[test]
+fn equivalence_suite_passes_under_ambient_dispatch() {
+    // The full cross-tier / cross-thread sweep at one real model shape
+    // (batch 100 x joint LSTM input 200 -> 4*100 gates) and one ragged one.
+    for (i, (m, k, n)) in [(100usize, 200usize, 400usize), (11, 23, 37)].into_iter().enumerate() {
+        if let Some(err) = check_kernel_equivalence(m, k, n, &[1, 2, 8], 3100 + i as u64) {
+            panic!("{err}");
+        }
+    }
+}

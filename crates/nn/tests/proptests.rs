@@ -2,7 +2,7 @@
 //! checked against finite differences on random inputs, and algebraic
 //! tensor identities are verified.
 
-use dg_nn::gradcheck::{check_input_gradient, check_workspace_determinism};
+use dg_nn::gradcheck::{check_input_gradient, check_kernel_equivalence, check_workspace_determinism};
 use dg_nn::graph::{Graph, Var};
 use dg_nn::tensor::Tensor;
 use proptest::prelude::*;
@@ -186,5 +186,57 @@ proptest! {
         for (t, s) in total.as_slice().iter().zip(single.as_slice()) {
             prop_assert!((t - s * k as f32).abs() < 1e-4);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kernel_tiers_are_bitwise_identical_on_random_ragged_shapes(
+        m in 1usize..18,
+        k in 0usize..34,
+        n in 1usize..27,
+        seed in 0u64..1_000,
+    ) {
+        // All dispatch tiers, all matmul variants, threads 1..16, including
+        // k = 0 products and tails narrower than one register tile.
+        let err = check_kernel_equivalence(m, k, n, &[1, 2, 3, 5, 8, 16], seed);
+        prop_assert!(err.is_none(), "{}", err.unwrap());
+    }
+
+    #[test]
+    fn fused_concat_matmul_is_bitwise_identical_to_unfused(
+        x in arb_tensor(5, 4),
+        h in arb_tensor(5, 3),
+        w in arb_tensor(7, 6),
+    ) {
+        let run = |fused: bool| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let hv = g.input(h.clone());
+            let wv = g.input(w.clone());
+            let y = if fused {
+                g.concat_matmul(&[xv, hv], wv)
+            } else {
+                let cat = g.concat_cols(&[xv, hv]);
+                g.matmul(cat, wv)
+            };
+            let s = g.square(y);
+            let loss = g.sum_all(s);
+            g.backward(loss);
+            (
+                g.value(y).clone(),
+                g.grad(xv).unwrap().clone(),
+                g.grad(hv).unwrap().clone(),
+                g.grad(wv).unwrap().clone(),
+            )
+        };
+        let fused = run(true);
+        let unfused = run(false);
+        prop_assert_eq!(fused.0.as_slice(), unfused.0.as_slice());
+        prop_assert_eq!(fused.1.as_slice(), unfused.1.as_slice());
+        prop_assert_eq!(fused.2.as_slice(), unfused.2.as_slice());
+        prop_assert_eq!(fused.3.as_slice(), unfused.3.as_slice());
     }
 }
