@@ -5,10 +5,15 @@
 //! Measures every dispatch tier (scalar / portable / native) at the real
 //! model shapes of the paper configuration plus the canonical 256³ problem,
 //! serial and threaded, for all three transpose variants. Also records the
-//! thread sweep and spawn-overhead numbers that back the `PARALLEL_MACS`
-//! threshold and `MAX_DEFAULT_THREADS` cap in `dg-nn` (DESIGN.md §13) — on a
-//! single-core host the sweep legitimately shows parallel ≤ serial, which is
-//! exactly why the threshold is conservative.
+//! thread sweep plus the pool-wake and raw-spawn overhead numbers that back
+//! the `PARALLEL_MACS` / `MACS_PER_WORKER` thresholds and the
+//! `MAX_DEFAULT_THREADS` cap in `dg-nn` (DESIGN.md §9/§13) — on a
+//! single-core host the sweep legitimately shows parallel ≈ serial (the wake
+//! fee is small but the workers time-share one core), which is exactly why
+//! the thresholds are conservative.
+//!
+//! Set `DG_BENCH_SMOKE=1` to run a fast low-rep pass (used by the CI
+//! thread-scaling gate, which only checks relative numbers).
 
 use dg_bench::harness::results_dir;
 use dg_nn::kernels::{self, KernelKind};
@@ -62,9 +67,17 @@ struct Report {
     /// `dg_nn::tensor::PARALLEL_MACS` at build time, for cross-checking the
     /// sweep below against the shipped threshold.
     parallel_macs_threshold: usize,
+    /// `dg_nn::tensor::MACS_PER_WORKER`: the per-extra-worker MAC budget
+    /// behind the gradual thread ramp.
+    macs_per_worker: usize,
     max_default_threads: usize,
-    /// Measured cost of one scoped spawn/join fan-out with no work, in
-    /// microseconds — the fixed overhead `PARALLEL_MACS` must amortize.
+    /// Measured cost of waking one parked pool worker for a 2-chunk
+    /// dispatch, in microseconds — the fixed fee `PARALLEL_MACS` must
+    /// amortize now that workers persist.
+    wake_overhead_us: f64,
+    /// Measured cost of one `std::thread::scope` spawn/join fan-out with no
+    /// work, in microseconds — the OS-thread fee the pool replaced; kept for
+    /// comparison against `wake_overhead_us`.
     spawn_overhead_us: f64,
     /// 256³ matmul under the active kernel at increasing worker counts.
     thread_sweep: Vec<SweepPoint>,
@@ -90,10 +103,16 @@ fn gflops(m: usize, k: usize, n: usize, ms: f64) -> f64 {
     (2.0 * m as f64 * k as f64 * n as f64) / (ms * 1e-3) / 1e9
 }
 
+/// True when the fast low-rep CI pass was requested.
+fn smoke() -> bool {
+    std::env::var("DG_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
 /// Repetition count scaled so each measurement runs a comparable MAC budget.
 fn reps_for(m: usize, k: usize, n: usize) -> usize {
     let macs = (m * k * n).max(1);
-    (200_000_000 / macs).clamp(3, 400)
+    let budget = if smoke() { 30_000_000 } else { 200_000_000 };
+    (budget / macs).clamp(2, 400)
 }
 
 fn bench_shape(name: &str, m: usize, k: usize, n: usize, threads: usize) -> ShapeResult {
@@ -153,30 +172,44 @@ fn main() {
         active.name()
     );
 
-    // Fixed spawn/join cost of the scoped-thread fan-out, amortized over
-    // many launches: this is the overhead PARALLEL_MACS must clear.
+    // Fixed cost of waking a parked pool worker for a 2-chunk dispatch,
+    // amortized over many launches: this is the fee PARALLEL_MACS must
+    // clear. The inline (1-chunk) pass measures the same call with no
+    // dispatch so the subtraction isolates the wake itself.
     let mut sink = vec![0.0_f32; 64];
-    let spawn_reps = 2_000;
-    let spawned_ms = time_ms(spawn_reps, || {
+    let fee_reps = if smoke() { 300 } else { 2_000 };
+    let woken_ms = time_ms(fee_reps, || {
         parallel::run_row_chunks(black_box(&mut sink), 8, 2, |_, chunk| {
             black_box(chunk);
         });
     });
-    let inline_ms = time_ms(spawn_reps, || {
+    let inline_ms = time_ms(fee_reps, || {
         parallel::run_row_chunks(black_box(&mut sink), 8, 1, |_, chunk| {
             black_box(chunk);
         });
     });
+    let wake_overhead_us = (woken_ms - inline_ms).max(0.0) * 1e3;
+    println!("pool wake overhead: {wake_overhead_us:.1} us per 2-chunk dispatch");
+
+    // Raw OS spawn/join fan-out for comparison — the per-call fee the old
+    // spawn-per-dispatch scheme paid.
+    let spawned_ms = time_ms(fee_reps, || {
+        std::thread::scope(|s| {
+            let h = s.spawn(|| black_box(0u64));
+            black_box(h.join().unwrap());
+        });
+    });
     let spawn_overhead_us = (spawned_ms - inline_ms).max(0.0) * 1e3;
-    println!("spawn/join overhead: {spawn_overhead_us:.1} us per 2-worker fan-out\n");
+    println!("thread spawn/join overhead: {spawn_overhead_us:.1} us per 1-thread scope\n");
 
     // Thread sweep at 256³ under the active tier.
     let mut rng = StdRng::seed_from_u64(11);
     let a = Tensor::randn(256, 256, 1.0, &mut rng);
     let b = Tensor::randn(256, 256, 1.0, &mut rng);
     let mut thread_sweep = Vec::new();
+    let sweep_reps = if smoke() { 4 } else { 12 };
     for t in [1usize, 2, 4, 8] {
-        let ms = time_ms(12, || {
+        let ms = time_ms(sweep_reps, || {
             black_box(a.matmul_with_kind(&b, t, active));
         });
         println!("thread sweep 256^3: {t} threads {ms:>8.3} ms ({:.2} GF/s)", gflops(256, 256, 256, ms));
@@ -220,7 +253,9 @@ fn main() {
         avx2_available: kernels::native_available(),
         active_kernel: active.name().into(),
         parallel_macs_threshold: dg_nn::tensor::PARALLEL_MACS,
+        macs_per_worker: dg_nn::tensor::MACS_PER_WORKER,
         max_default_threads: parallel::MAX_DEFAULT_THREADS,
+        wake_overhead_us,
         spawn_overhead_us,
         thread_sweep,
         scalar_256_gflops,

@@ -26,6 +26,15 @@ use dg_nn::workspace::Workspace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// One generation chunk's pre-drawn noise, in consumption order (attribute
+/// z, min/max z, one feature z per unrolled step). See
+/// [`DoppelGanger::draw_gen_noise`].
+struct GenNoise {
+    attr_z: Option<Tensor>,
+    minmax_z: Option<Tensor>,
+    feat_z: Vec<Tensor>,
+}
+
 /// A trained (or trainable) DoppelGANger model.
 ///
 /// The whole struct — parameters included — is serde-serializable: the
@@ -227,6 +236,10 @@ impl DoppelGanger {
         frozen: bool,
     ) -> Var {
         let z = g.constant_randn(batch, self.config.attr_noise_dim, 1.0, rng);
+        self.gen_attributes_z(g, z, frozen)
+    }
+
+    fn gen_attributes_z(&self, g: &mut Graph, z: Var, frozen: bool) -> Var {
         let raw = if frozen {
             self.attr_gen.forward_frozen(g, &self.store, z)
         } else {
@@ -239,10 +252,17 @@ impl DoppelGanger {
     /// attributes. Returns a zero-width var when auto-normalization is off.
     pub fn gen_minmax<R: Rng + ?Sized>(&self, g: &mut Graph, attrs: Var, rng: &mut R, frozen: bool) -> Var {
         let batch = g.value(attrs).rows();
+        let z =
+            self.minmax_gen.as_ref().map(|_| g.constant_randn(batch, self.config.minmax_noise_dim, 1.0, rng));
+        self.gen_minmax_z(g, attrs, z, frozen)
+    }
+
+    fn gen_minmax_z(&self, g: &mut Graph, attrs: Var, z: Option<Var>, frozen: bool) -> Var {
+        let batch = g.value(attrs).rows();
         match &self.minmax_gen {
             None => g.constant_zeros(batch, 0),
             Some(mm) => {
-                let z = g.constant_randn(batch, self.config.minmax_noise_dim, 1.0, rng);
+                let z = z.expect("min/max noise must be drawn when the min/max generator exists");
                 let inp = g.concat_cols(&[attrs, z]);
                 let raw = if frozen {
                     mm.forward_frozen(g, &self.store, inp)
@@ -266,10 +286,23 @@ impl DoppelGanger {
         frozen: bool,
     ) -> Var {
         let batch = g.value(attrs).rows();
+        let dim = self.config.feature_noise_dim;
+        self.gen_features_z(g, attrs, minmax, &mut |g| g.constant_randn(batch, dim, 1.0, rng), frozen)
+    }
+
+    fn gen_features_z(
+        &self,
+        g: &mut Graph,
+        attrs: Var,
+        minmax: Var,
+        next_z: &mut dyn FnMut(&mut Graph) -> Var,
+        frozen: bool,
+    ) -> Var {
+        let batch = g.value(attrs).rows();
         let mut state = self.feat_lstm.zero_state(g, batch);
         let mut outs = Vec::with_capacity(self.num_steps);
         for _ in 0..self.num_steps {
-            let z = g.constant_randn(batch, self.config.feature_noise_dim, 1.0, rng);
+            let z = next_z(g);
             let inp = if g.value(minmax).cols() > 0 {
                 g.concat_cols(&[attrs, minmax, z])
             } else {
@@ -341,30 +374,93 @@ impl DoppelGanger {
 
     // ---- sampling ----------------------------------------------------------
 
+    /// Draws one chunk's worth of generation noise from `rng`, in exactly
+    /// the order the serial graph builders consume it (attribute z, then
+    /// min/max z, then one feature z per step). Pre-drawing the bundles
+    /// serially before a pooled fan-out keeps the generated bytes identical
+    /// to a serial rollout — the caller's RNG advances by the same draws in
+    /// the same order regardless of thread count or pool schedule.
+    fn draw_gen_noise<R: Rng + ?Sized>(&self, batch: usize, with_attrs: bool, rng: &mut R) -> GenNoise {
+        let attr_z = with_attrs.then(|| Tensor::randn(batch, self.config.attr_noise_dim, 1.0, rng));
+        let minmax_z =
+            self.minmax_gen.as_ref().map(|_| Tensor::randn(batch, self.config.minmax_noise_dim, 1.0, rng));
+        let feat_z = (0..self.num_steps)
+            .map(|_| Tensor::randn(batch, self.config.feature_noise_dim, 1.0, rng))
+            .collect();
+        GenNoise { attr_z, minmax_z, feat_z }
+    }
+
+    /// `gen_full` over a pre-drawn noise bundle (frozen weights).
+    fn gen_full_from(&self, g: &mut Graph, noise: GenNoise, frozen: bool) -> (Var, Var, Var) {
+        let attr_z = noise.attr_z.expect("attribute noise must be drawn for unconditioned generation");
+        let z = g.constant(attr_z);
+        let attrs = self.gen_attributes_z(g, z, frozen);
+        self.gen_rest_from(g, attrs, noise.minmax_z, noise.feat_z, frozen)
+    }
+
+    /// Min/max + features over pre-drawn noise, conditioned on `attrs`.
+    fn gen_rest_from(
+        &self,
+        g: &mut Graph,
+        attrs: Var,
+        minmax_z: Option<Tensor>,
+        feat_z: Vec<Tensor>,
+        frozen: bool,
+    ) -> (Var, Var, Var) {
+        let mz = minmax_z.map(|t| g.constant(t));
+        let minmax = self.gen_minmax_z(g, attrs, mz, frozen);
+        let mut steps = feat_z.into_iter();
+        let feats = self.gen_features_z(
+            g,
+            attrs,
+            minmax,
+            &mut |g| g.constant(steps.next().expect("one feature noise tensor per step")),
+            frozen,
+        );
+        (attrs, minmax, feats)
+    }
+
     /// Generates `n` encoded samples with the frozen model, in chunks of the
-    /// training batch size to bound graph memory.
+    /// training batch size to bound graph memory. The chunk rollouts fan out
+    /// across the persistent `dg-nn` worker pool; all noise is pre-drawn
+    /// from `rng` serially in chunk order *before* the dispatch
+    /// ([`DoppelGanger::draw_gen_noise`]), so the sample stream is bitwise
+    /// identical to a serial rollout for every thread count and pool
+    /// schedule.
     pub fn generate_encoded<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> (Tensor, Tensor, Tensor) {
         let chunk = self.config.batch_size.max(1);
-        let mut attrs = Vec::new();
-        let mut minmaxes = Vec::new();
-        let mut feats = Vec::new();
-        let mut left = n;
-        // One workspace serves every chunk: the per-chunk graphs recycle each
-        // other's buffers instead of re-allocating.
-        let mut ws = Workspace::new();
-        while left > 0 {
-            let b = left.min(chunk);
-            let mut g = Graph::with_workspace(ws);
-            let (a, m, f, _) = self.gen_full(&mut g, b, rng, true);
-            attrs.push(g.value(a).clone());
-            minmaxes.push(g.value(m).clone());
-            feats.push(g.value(f).clone());
-            ws = g.finish();
-            left -= b;
-        }
-        let ar: Vec<&Tensor> = attrs.iter().collect();
-        let mr: Vec<&Tensor> = minmaxes.iter().collect();
-        let fr: Vec<&Tensor> = feats.iter().collect();
+        let chunks = n.div_ceil(chunk);
+        let mut noises: Vec<Option<GenNoise>> =
+            (0..chunks).map(|ci| Some(self.draw_gen_noise(chunk.min(n - ci * chunk), true, rng))).collect();
+        let mut slots: Vec<Option<(Tensor, Tensor, Tensor)>> = (0..chunks).map(|_| None).collect();
+        // Group the chunks into one contiguous run per worker so each run
+        // reuses a single workspace across its chunks (the old serial loop's
+        // buffer-recycling, now per executor).
+        let groups = dg_nn::parallel::num_threads().clamp(1, chunks.max(1));
+        let gsize = chunks.div_ceil(groups);
+        type EncRun<'a> = (&'a mut [Option<(Tensor, Tensor, Tensor)>], &'a mut [Option<GenNoise>]);
+        let work: Vec<std::sync::Mutex<(EncRun<'_>, Workspace)>> = slots
+            .chunks_mut(gsize)
+            .zip(noises.chunks_mut(gsize))
+            .map(|run| std::sync::Mutex::new((run, Workspace::new())))
+            .collect();
+        dg_nn::parallel::run_indexed(work.len(), |gi| {
+            let mut pair = work[gi].lock().unwrap();
+            let ((run, nz), ws) = &mut *pair;
+            for (slot, noise) in run.iter_mut().zip(nz.iter_mut()) {
+                let noise = noise.take().expect("each chunk's noise is consumed once");
+                let mut g = Graph::with_workspace(std::mem::take(ws));
+                let (a, m, f) = self.gen_full_from(&mut g, noise, true);
+                *slot = Some((g.value(a).clone(), g.value(m).clone(), g.value(f).clone()));
+                *ws = g.finish();
+            }
+        });
+        drop(work);
+        let parts: Vec<(Tensor, Tensor, Tensor)> =
+            slots.into_iter().map(|s| s.expect("every generation chunk is filled")).collect();
+        let ar: Vec<&Tensor> = parts.iter().map(|p| &p.0).collect();
+        let mr: Vec<&Tensor> = parts.iter().map(|p| &p.1).collect();
+        let fr: Vec<&Tensor> = parts.iter().map(|p| &p.2).collect();
         (Tensor::concat_rows(&ar), Tensor::concat_rows(&mr), Tensor::concat_rows(&fr))
     }
 
@@ -388,27 +484,50 @@ impl DoppelGanger {
         rng: &mut R,
     ) -> Vec<TimeSeriesObject> {
         let chunk = self.config.batch_size.max(1);
-        let mut out = Vec::with_capacity(attribute_rows.len());
-        let mut ws = Workspace::new();
-        for rows in attribute_rows.chunks(chunk) {
-            let attrs = self.encoder.encode_attribute_rows(rows);
-            let mut g = Graph::with_workspace(std::mem::take(&mut ws));
-            let a = g.constant(attrs.clone());
-            let m = self.gen_minmax(&mut g, a, rng, true);
-            let f = self.gen_features(&mut g, a, m, rng, true);
-            let minmax = g.value(m).clone();
-            let feats = g.value(f).clone();
-            let mut objs = self.encoder.decode(&attrs, &minmax, &feats);
-            // Force the requested attributes verbatim (decode argmaxes the
-            // one-hot blocks, which is exact here, but continuous attributes
-            // would round-trip through scaling).
-            for (o, want) in objs.iter_mut().zip(rows) {
-                o.attributes = want.clone();
+        let chunks = attribute_rows.len().div_ceil(chunk);
+        // Same pooled rollout scheme as `generate_encoded`: noise pre-drawn
+        // serially per chunk (no attribute z — the attributes are given),
+        // chunk order restored at the merge.
+        let mut noises: Vec<Option<GenNoise>> = (0..chunks)
+            .map(|ci| {
+                let b = attribute_rows.len().min((ci + 1) * chunk) - ci * chunk;
+                Some(self.draw_gen_noise(b, false, rng))
+            })
+            .collect();
+        let mut slots: Vec<Option<Vec<TimeSeriesObject>>> = (0..chunks).map(|_| None).collect();
+        let groups = dg_nn::parallel::num_threads().clamp(1, chunks.max(1));
+        let gsize = chunks.div_ceil(groups);
+        type CondRun<'a> = (&'a mut [Option<Vec<TimeSeriesObject>>], &'a mut [Option<GenNoise>]);
+        let work: Vec<std::sync::Mutex<(CondRun<'_>, Workspace)>> = slots
+            .chunks_mut(gsize)
+            .zip(noises.chunks_mut(gsize))
+            .map(|run| std::sync::Mutex::new((run, Workspace::new())))
+            .collect();
+        dg_nn::parallel::run_indexed(work.len(), |gi| {
+            let mut pair = work[gi].lock().unwrap();
+            let ((run, nz), ws) = &mut *pair;
+            for (j, (slot, noise)) in run.iter_mut().zip(nz.iter_mut()).enumerate() {
+                let ci = gi * gsize + j;
+                let rows = &attribute_rows[ci * chunk..attribute_rows.len().min((ci + 1) * chunk)];
+                let noise = noise.take().expect("each chunk's noise is consumed once");
+                let attrs = self.encoder.encode_attribute_rows(rows);
+                let mut g = Graph::with_workspace(std::mem::take(ws));
+                let a = g.constant(attrs.clone());
+                let (_a, m, f) = self.gen_rest_from(&mut g, a, noise.minmax_z, noise.feat_z, true);
+                let minmax = g.value(m).clone();
+                let feats = g.value(f).clone();
+                let mut objs = self.encoder.decode(&attrs, &minmax, &feats);
+                // Force the requested attributes verbatim (decode argmaxes the
+                // one-hot blocks, which is exact here, but continuous attributes
+                // would round-trip through scaling).
+                for (o, want) in objs.iter_mut().zip(rows) {
+                    o.attributes = want.clone();
+                }
+                *slot = Some(objs);
+                *ws = g.finish();
             }
-            out.extend(objs);
-            ws = g.finish();
-        }
-        out
+        });
+        slots.into_iter().flat_map(|s| s.expect("every conditioned chunk is filled")).collect()
     }
 
     /// Generates `n` synthetic objects as a [`Dataset`] sharing the training

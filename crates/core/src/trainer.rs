@@ -14,13 +14,15 @@
 //!
 //! The per-sample DP-SGD loop — the slowest part of the paper's §5.3.1
 //! experiments, since every sample runs its own forward/backward pass — fans
-//! out across OS threads. Reproducibility is preserved regardless of thread
-//! count by (a) drawing one RNG seed per sample from the step RNG *before*
-//! the fan-out ([`crate::dpsgd::split_seeds`]), (b) giving each worker its
-//! own `StdRng` built from those seeds, and (c) merging the clipped
-//! per-sample gradients serially in sample-index order after the workers
-//! join. The worker count honors the `DG_NUM_THREADS` override (see
-//! [`dg_nn::parallel`]).
+//! out across the persistent `dg-nn` worker pool
+//! ([`dg_nn::parallel::run_indexed`]; no per-step thread spawns).
+//! Reproducibility is preserved regardless of thread count by (a) drawing
+//! one RNG seed per sample from the step RNG *before* the fan-out
+//! ([`crate::dpsgd::split_seeds`]), (b) giving each sample-chunk its own
+//! `StdRng` built from those seeds plus a dedicated workspace, and (c)
+//! merging the clipped per-sample gradients serially in sample-index order
+//! after the dispatch joins. The worker count honors the `DG_NUM_THREADS`
+//! override (see [`dg_nn::parallel`]).
 
 use crate::dpsgd::{split_seeds, DpConfig};
 use crate::model::DoppelGanger;
@@ -497,11 +499,14 @@ impl Trainer {
     }
 
     /// Computes the clipped per-sample gradients for a DP step, fanning the
-    /// samples out over up to `threads` scoped worker threads. Slot `k` of
-    /// the result always holds sample `idx[k]` computed from `seeds[k]`, so
-    /// the output is independent of the thread count. Worker `i` draws its
-    /// buffers exclusively from `workspaces[i]` (which must hold at least
-    /// `min(threads, len)` entries).
+    /// sample chunks out across the persistent `dg-nn` worker pool
+    /// ([`dg_nn::parallel::run_indexed`]). Slot `k` of the result always
+    /// holds sample `idx[k]` computed from `seeds[k]`, so the output is
+    /// independent of the thread count. Chunk `i` draws its buffers
+    /// exclusively from `workspaces[i]` (which must hold at least
+    /// `min(threads, len)` entries); any matmul fan-out *inside* a
+    /// per-sample graph runs inline on its executor (the pool never nests),
+    /// so parallelism comes purely from the batch split.
     #[allow(clippy::too_many_arguments)]
     fn per_sample_clipped_grads(
         &self,
@@ -531,15 +536,17 @@ impl Trainer {
             }
         } else {
             let chunk = b.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for ((ci, chunk_slots), ws) in slots.chunks_mut(chunk).enumerate().zip(workspaces.iter_mut())
-                {
-                    let one_sample = &one_sample;
-                    scope.spawn(move || {
-                        for (j, slot) in chunk_slots.iter_mut().enumerate() {
-                            *slot = Some(one_sample(ci * chunk + j, ws));
-                        }
-                    });
+            // One mutex per (slot-chunk, workspace) pair: each task index
+            // locks exactly its own pair, so there is never contention —
+            // the mutex only launders the `&mut` through the `Fn` closure.
+            type DpChunk<'a> = (&'a mut [Option<SampleGrad>], &'a mut Workspace);
+            let work: Vec<std::sync::Mutex<DpChunk<'_>>> =
+                slots.chunks_mut(chunk).zip(workspaces.iter_mut()).map(std::sync::Mutex::new).collect();
+            dg_nn::parallel::run_indexed(work.len(), |ci| {
+                let mut pair = work[ci].lock().unwrap();
+                let (chunk_slots, ws) = &mut *pair;
+                for (j, slot) in chunk_slots.iter_mut().enumerate() {
+                    *slot = Some(one_sample(ci * chunk + j, ws));
                 }
             });
         }

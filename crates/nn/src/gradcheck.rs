@@ -128,6 +128,25 @@ pub fn check_kernel_equivalence(
     thread_counts: &[usize],
     seed: u64,
 ) -> Option<String> {
+    check_kernel_equivalence_cycles(m, k, n, thread_counts, 1, seed)
+}
+
+/// [`check_kernel_equivalence`] repeated for `cycles` consecutive rounds
+/// against the same process-wide worker pool.
+///
+/// Every threaded call in a round is served by the *same* parked workers as
+/// the previous round (the pool is persistent — see [`crate::parallel`]), so
+/// this checks that dispatcher reuse — mailbox hand-off, executor striding,
+/// wake/latch cycling — cannot perturb a single bit across rounds, not just
+/// within one. Returns the first discrepancy, or `None`.
+pub fn check_kernel_equivalence_cycles(
+    m: usize,
+    k: usize,
+    n: usize,
+    thread_counts: &[usize],
+    cycles: usize,
+    seed: u64,
+) -> Option<String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let a = Tensor::randn(m, k, 1.0, &mut rng);
     let b = Tensor::randn(k, n, 1.0, &mut rng);
@@ -138,47 +157,49 @@ pub fn check_kernel_equivalence(
     let ref_bt = a.matmul_bt_with_kind(&bt, 1, KernelKind::Scalar);
     let ref_at = a.matmul_at_with_kind(&at, 1, KernelKind::Scalar);
     let kinds = [KernelKind::Scalar, KernelKind::Portable, KernelKind::Native];
-    for kind in kinds {
-        for &t in thread_counts {
-            for (name, got, want) in [
-                ("matmul", a.matmul_with_kind(&b, t, kind), &ref_mm),
-                ("matmul_bt", a.matmul_bt_with_kind(&bt, t, kind), &ref_bt),
-                ("matmul_at", a.matmul_at_with_kind(&at, t, kind), &ref_at),
-            ] {
-                if got.as_slice() != want.as_slice() {
-                    return Some(format!(
-                        "{name} {m}x{k}x{n} kind={} threads={t} is not bitwise equal to serial scalar",
-                        kind.name()
-                    ));
+    for cycle in 0..cycles.max(1) {
+        for kind in kinds {
+            for &t in thread_counts {
+                for (name, got, want) in [
+                    ("matmul", a.matmul_with_kind(&b, t, kind), &ref_mm),
+                    ("matmul_bt", a.matmul_bt_with_kind(&bt, t, kind), &ref_bt),
+                    ("matmul_at", a.matmul_at_with_kind(&at, t, kind), &ref_at),
+                ] {
+                    if got.as_slice() != want.as_slice() {
+                        return Some(format!(
+                            "{name} {m}x{k}x{n} kind={} threads={t} cycle={cycle} is not bitwise equal to serial scalar",
+                            kind.name()
+                        ));
+                    }
                 }
-            }
-            // Force both A·Bᵀ paths regardless of the PACK_MIN_ROWS
-            // heuristic: the pack-free dot and an explicitly packed panel.
-            if k * n > 0 {
-                let mut dot = Tensor::zeros(m, bt.rows());
-                kernels::gemm_nt_dot(a.as_slice(), bt.as_slice(), dot.as_mut_slice(), k, bt.rows(), t);
-                if dot.as_slice() != ref_bt.as_slice() {
-                    return Some(format!(
-                        "gemm_nt_dot {m}x{k}x{n} threads={t} is not bitwise equal to serial scalar"
-                    ));
-                }
-                let mut packed = Tensor::zeros(m, bt.rows());
-                let mut panel = vec![0.0_f32; k * bt.rows()];
-                kernels::gemm_nt_packed(
-                    kind,
-                    a.as_slice(),
-                    bt.as_slice(),
-                    packed.as_mut_slice(),
-                    k,
-                    bt.rows(),
-                    t,
-                    &mut panel,
-                );
-                if packed.as_slice() != ref_bt.as_slice() {
-                    return Some(format!(
-                        "gemm_nt_packed {m}x{k}x{n} kind={} threads={t} is not bitwise equal to serial scalar",
-                        kind.name()
-                    ));
+                // Force both A·Bᵀ paths regardless of the PACK_MIN_ROWS
+                // heuristic: the pack-free dot and an explicitly packed panel.
+                if k * n > 0 {
+                    let mut dot = Tensor::zeros(m, bt.rows());
+                    kernels::gemm_nt_dot(a.as_slice(), bt.as_slice(), dot.as_mut_slice(), k, bt.rows(), t);
+                    if dot.as_slice() != ref_bt.as_slice() {
+                        return Some(format!(
+                            "gemm_nt_dot {m}x{k}x{n} threads={t} cycle={cycle} is not bitwise equal to serial scalar"
+                        ));
+                    }
+                    let mut packed = Tensor::zeros(m, bt.rows());
+                    let mut panel = vec![0.0_f32; k * bt.rows()];
+                    kernels::gemm_nt_packed(
+                        kind,
+                        a.as_slice(),
+                        bt.as_slice(),
+                        packed.as_mut_slice(),
+                        k,
+                        bt.rows(),
+                        t,
+                        &mut panel,
+                    );
+                    if packed.as_slice() != ref_bt.as_slice() {
+                        return Some(format!(
+                            "gemm_nt_packed {m}x{k}x{n} kind={} threads={t} cycle={cycle} is not bitwise equal to serial scalar",
+                            kind.name()
+                        ));
+                    }
                 }
             }
         }
@@ -344,7 +365,9 @@ mod tests {
         ];
         let threads = [1usize, 2, 3, 4, 7, 16];
         for (i, &(m, k, n)) in shapes.iter().enumerate() {
-            if let Some(err) = check_kernel_equivalence(m, k, n, &threads, 2000 + i as u64) {
+            // cycles = 2: every round re-dispatches through the same parked
+            // pool workers, covering mailbox reuse as well as first wake.
+            if let Some(err) = check_kernel_equivalence_cycles(m, k, n, &threads, 2, 2000 + i as u64) {
                 panic!("{err}");
             }
         }

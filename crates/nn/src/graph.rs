@@ -650,12 +650,18 @@ fn collect_param_grads(plan: &Plan, grads: &[Option<Tensor>]) -> GradMap {
 }
 
 /// Worker count for an elementwise kernel over `len` elements: the
-/// workspace override when set, otherwise the size-based default.
+/// workspace override when set, otherwise the size-based default. The count
+/// only decides how many row chunks the persistent pool wakes
+/// ([`parallel::run_row_chunks`]) — results are bitwise identical at every
+/// width.
 fn elem_threads(ws: &Workspace, len: usize) -> usize {
     ws.override_or(if len >= PARALLEL_ELEMS { parallel::num_threads() } else { 1 })
 }
 
-/// Worker count for a matmul-shaped kernel of `macs` multiply-accumulates.
+/// Worker count for a matmul-shaped kernel of `macs` multiply-accumulates:
+/// the workspace override when set, otherwise the gradual
+/// [`tensor::matmul_threads`] ramp (one worker per `MACS_PER_WORKER` of
+/// work above the `PARALLEL_MACS` floor).
 fn mac_threads(ws: &Workspace, macs: usize) -> usize {
     ws.override_or(tensor::matmul_threads(macs))
 }

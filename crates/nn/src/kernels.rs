@@ -78,6 +78,21 @@ pub const NR: usize = 8;
 /// the dot kernel is cheaper (pack cost `k·n` vs kernel work `m·k·n`).
 pub const PACK_MIN_ROWS: usize = 2;
 
+/// L2 panel depth: the `k` dimension is processed [`KC`] steps at a time so
+/// the live `KC x NC` window of `B` stays cache-resident while a row chunk
+/// streams over it. `256 x 256 x 4 B = 256 KiB` — sized for the smallest
+/// common L2 (see DESIGN.md §13). Blocking is bitwise-free: each output
+/// element is still one ascending-`k` chain, merely checkpointed through an
+/// exact f32 store/reload at panel seams (`accumulate = true` for every
+/// panel after the first).
+pub const KC: usize = 256;
+
+/// L2 panel width: columns are processed [`NC`] at a time (same sizing
+/// argument as [`KC`]). Shapes with `k <= KC && n <= NC` — including the
+/// bench's 256³ probe and every current model GEMM — take a single panel
+/// and pay zero blocking overhead.
+pub const NC: usize = 256;
+
 /// The kernel dispatch tiers. All tiers are bitwise identical (module docs);
 /// they differ only in throughput.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,6 +177,11 @@ pub fn active() -> KernelKind {
 /// value. Either way each element accumulates in ascending-`kk` order — the
 /// bitwise contract of the module docs — for every dispatch tier.
 ///
+/// Work is blocked into `KC x NC` panels of `B` (columns outer, `k` inner
+/// and ascending) so large operands stay L2-resident; panels after the
+/// first continue the chain via `accumulate = true`, which is an exact f32
+/// store/reload and therefore invisible to the bitwise contract.
+///
 /// # Panics
 /// Panics when the A view or B would be read out of bounds.
 pub fn gemm_chunk(
@@ -194,45 +214,69 @@ pub fn gemm_chunk(
         a.len()
     );
     assert!(b.len() >= k * n, "gemm_chunk: B has {} elements, needs {}", b.len(), k * n);
-    match resolve(kind) {
-        KernelKind::Scalar => gemm_chunk_scalar(a, rstride, kstride, b, out, row0, k, n, accumulate),
-        KernelKind::Portable => gemm_chunk_portable(a, rstride, kstride, b, out, row0, k, n, accumulate),
-        KernelKind::Native => {
-            #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
-            // SAFETY: `resolve` returns Native only when AVX2 was detected at
-            // runtime; slice bounds were asserted above.
-            unsafe {
-                avx2::gemm_chunk_avx2(a, rstride, kstride, b, out, row0, k, n, accumulate)
+    let kind = resolve(kind);
+    for j0 in (0..n).step_by(NC) {
+        let nc = NC.min(n - j0);
+        for k0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - k0);
+            let acc = accumulate || k0 > 0;
+            let koff = k0 * kstride;
+            let bsub = &b[k0 * n + j0..];
+            let osub = &mut out[j0..];
+            match kind {
+                KernelKind::Scalar => {
+                    gemm_chunk_scalar(a, rstride, kstride, koff, bsub, n, osub, n, row0, rows, kc, nc, acc)
+                }
+                KernelKind::Portable => {
+                    gemm_chunk_portable(a, rstride, kstride, koff, bsub, n, osub, n, row0, rows, kc, nc, acc)
+                }
+                KernelKind::Native => {
+                    #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+                    // SAFETY: `resolve` returns Native only when AVX2 was
+                    // detected at runtime; slice bounds were asserted above
+                    // and the panel offsets stay inside them.
+                    unsafe {
+                        avx2::gemm_chunk_avx2(
+                            a, rstride, kstride, koff, bsub, n, osub, n, row0, rows, kc, nc, acc,
+                        )
+                    }
+                    #[cfg(not(any(target_arch = "x86_64", target_arch = "x86")))]
+                    unreachable!("Native resolves to Portable off x86")
+                }
             }
-            #[cfg(not(any(target_arch = "x86_64", target_arch = "x86")))]
-            unreachable!("Native resolves to Portable off x86")
         }
     }
 }
 
 /// The Scalar tier: one row at a time, `kk` middle loop streaming rows of
-/// `b`, branch-free inner loop.
+/// `b`, branch-free inner loop. Operates on one `kc x nc` panel: `b` and
+/// `out` are pre-offset to the panel origin and walked with `bstride` /
+/// `ostride` row pitches; `koff` shifts the A view to the panel's first
+/// `k` step.
 fn gemm_chunk_scalar(
     a: &[f32],
     rstride: usize,
     kstride: usize,
+    koff: usize,
     b: &[f32],
+    bstride: usize,
     out: &mut [f32],
+    ostride: usize,
     row0: usize,
-    k: usize,
-    n: usize,
+    rows: usize,
+    kc: usize,
+    nc: usize,
     accumulate: bool,
 ) {
-    let rows = out.len() / n;
     for i in 0..rows {
-        let roff = (row0 + i) * rstride;
-        let orow = &mut out[i * n..(i + 1) * n];
+        let roff = (row0 + i) * rstride + koff;
+        let orow = &mut out[i * ostride..i * ostride + nc];
         if !accumulate {
             orow.fill(0.0);
         }
-        for kk in 0..k {
+        for kk in 0..kc {
             let av = a[roff + kk * kstride];
-            let brow = &b[kk * n..(kk + 1) * n];
+            let brow = &b[kk * bstride..kk * bstride + nc];
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
             }
@@ -241,29 +285,32 @@ fn gemm_chunk_scalar(
 }
 
 /// The Portable tier: blocks of up to `MR` rows through the register-tiled
-/// strip kernel.
+/// strip kernel. Same panel-view parameters as [`gemm_chunk_scalar`].
 fn gemm_chunk_portable(
     a: &[f32],
     rstride: usize,
     kstride: usize,
+    koff: usize,
     b: &[f32],
+    bstride: usize,
     out: &mut [f32],
+    ostride: usize,
     row0: usize,
-    k: usize,
-    n: usize,
+    rows: usize,
+    kc: usize,
+    nc: usize,
     accumulate: bool,
 ) {
-    let rows = out.len() / n;
     let mut i = 0;
     while i < rows {
         let take = (rows - i).min(MR);
-        let block = &mut out[i * n..(i + take) * n];
-        let roff = (row0 + i) * rstride;
+        let block = &mut out[i * ostride..];
+        let roff = (row0 + i) * rstride + koff;
         match take {
-            4 => tile_rows::<4>(a, roff, rstride, kstride, b, block, k, n, accumulate),
-            3 => tile_rows::<3>(a, roff, rstride, kstride, b, block, k, n, accumulate),
-            2 => tile_rows::<2>(a, roff, rstride, kstride, b, block, k, n, accumulate),
-            _ => tile_rows::<1>(a, roff, rstride, kstride, b, block, k, n, accumulate),
+            4 => tile_rows::<4>(a, roff, rstride, kstride, b, bstride, block, ostride, kc, nc, accumulate),
+            3 => tile_rows::<3>(a, roff, rstride, kstride, b, bstride, block, ostride, kc, nc, accumulate),
+            2 => tile_rows::<2>(a, roff, rstride, kstride, b, bstride, block, ostride, kc, nc, accumulate),
+            _ => tile_rows::<1>(a, roff, rstride, kstride, b, bstride, block, ostride, kc, nc, accumulate),
         }
         i += take;
     }
@@ -281,21 +328,23 @@ fn tile_rows<const R: usize>(
     rstride: usize,
     kstride: usize,
     b: &[f32],
+    bstride: usize,
     out: &mut [f32],
-    k: usize,
-    n: usize,
+    ostride: usize,
+    kc: usize,
+    nc: usize,
     accumulate: bool,
 ) {
     let mut j = 0;
-    while j + NR <= n {
+    while j + NR <= nc {
         let mut acc = [[0.0_f32; NR]; R];
         if accumulate {
             for (r, accr) in acc.iter_mut().enumerate() {
-                accr.copy_from_slice(&out[r * n + j..r * n + j + NR]);
+                accr.copy_from_slice(&out[r * ostride + j..r * ostride + j + NR]);
             }
         }
-        for kk in 0..k {
-            let bv: &[f32; NR] = b[kk * n + j..kk * n + j + NR].try_into().unwrap();
+        for kk in 0..kc {
+            let bv: &[f32; NR] = b[kk * bstride + j..kk * bstride + j + NR].try_into().unwrap();
             for (r, accr) in acc.iter_mut().enumerate() {
                 let av = a[roff + r * rstride + kk * kstride];
                 for (l, lane) in accr.iter_mut().enumerate() {
@@ -304,17 +353,17 @@ fn tile_rows<const R: usize>(
             }
         }
         for (r, accr) in acc.iter().enumerate() {
-            out[r * n + j..r * n + j + NR].copy_from_slice(accr);
+            out[r * ostride + j..r * ostride + j + NR].copy_from_slice(accr);
         }
         j += NR;
     }
-    while j < n {
+    while j < nc {
         for r in 0..R {
-            let mut s = if accumulate { out[r * n + j] } else { 0.0 };
-            for kk in 0..k {
-                s += a[roff + r * rstride + kk * kstride] * b[kk * n + j];
+            let mut s = if accumulate { out[r * ostride + j] } else { 0.0 };
+            for kk in 0..kc {
+                s += a[roff + r * rstride + kk * kstride] * b[kk * bstride + j];
             }
-            out[r * n + j] = s;
+            out[r * ostride + j] = s;
         }
         j += 1;
     }
@@ -339,32 +388,44 @@ mod avx2 {
 
     /// # Safety
     /// AVX2 must be available, and the caller must have validated (as
-    /// [`super::gemm_chunk`] does) that the A view covers
-    /// `(row0 + rows - 1) * rstride + (k - 1) * kstride < a.len()` and that
-    /// `b.len() >= k * n`.
+    /// [`super::gemm_chunk`] does) that the A view covers every
+    /// `(row0 + i) * rstride + koff + kk * kstride` it will read, and that
+    /// the pre-offset `b` / `out` panels cover `kc` / `rows` rows of
+    /// `bstride` / `ostride` pitch with `nc` live columns.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn gemm_chunk_avx2(
         a: &[f32],
         rstride: usize,
         kstride: usize,
+        koff: usize,
         b: &[f32],
+        bstride: usize,
         out: &mut [f32],
+        ostride: usize,
         row0: usize,
-        k: usize,
-        n: usize,
+        rows: usize,
+        kc: usize,
+        nc: usize,
         accumulate: bool,
     ) {
-        let rows = out.len() / n;
         let mut i = 0;
         while i < rows {
             let take = (rows - i).min(MR);
-            let block = &mut out[i * n..(i + take) * n];
-            let roff = (row0 + i) * rstride;
+            let block = &mut out[i * ostride..];
+            let roff = (row0 + i) * rstride + koff;
             match take {
-                4 => tile_rows_avx2::<4>(a, roff, rstride, kstride, b, block, k, n, accumulate),
-                3 => tile_rows_avx2::<3>(a, roff, rstride, kstride, b, block, k, n, accumulate),
-                2 => tile_rows_avx2::<2>(a, roff, rstride, kstride, b, block, k, n, accumulate),
-                _ => tile_rows_avx2::<1>(a, roff, rstride, kstride, b, block, k, n, accumulate),
+                4 => tile_rows_avx2::<4>(
+                    a, roff, rstride, kstride, b, bstride, block, ostride, kc, nc, accumulate,
+                ),
+                3 => tile_rows_avx2::<3>(
+                    a, roff, rstride, kstride, b, bstride, block, ostride, kc, nc, accumulate,
+                ),
+                2 => tile_rows_avx2::<2>(
+                    a, roff, rstride, kstride, b, bstride, block, ostride, kc, nc, accumulate,
+                ),
+                _ => tile_rows_avx2::<1>(
+                    a, roff, rstride, kstride, b, bstride, block, ostride, kc, nc, accumulate,
+                ),
             }
             i += take;
         }
@@ -372,7 +433,7 @@ mod avx2 {
 
     /// # Safety
     /// Same contract as [`gemm_chunk_avx2`]; additionally `out` must hold
-    /// exactly `R` rows of `n` elements.
+    /// `R` rows of `ostride` pitch (`nc` live columns each).
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn tile_rows_avx2<const R: usize>(
@@ -381,9 +442,11 @@ mod avx2 {
         rstride: usize,
         kstride: usize,
         b: &[f32],
+        bstride: usize,
         out: &mut [f32],
-        k: usize,
-        n: usize,
+        ostride: usize,
+        kc: usize,
+        nc: usize,
         accumulate: bool,
     ) {
         let ap = a.as_ptr();
@@ -395,18 +458,18 @@ mod avx2 {
         // latency on cores that issue adds and muls on separate pipes.
         // Each lane still runs the exact per-element ascending-k chain, so
         // the wider tiling cannot change a single bit of the result.
-        while j + 2 * NR <= n {
+        while j + 2 * NR <= nc {
             let mut acc0 = [_mm256_setzero_ps(); R];
             let mut acc1 = [_mm256_setzero_ps(); R];
             if accumulate {
                 for r in 0..R {
-                    acc0[r] = _mm256_loadu_ps(op.add(r * n + j));
-                    acc1[r] = _mm256_loadu_ps(op.add(r * n + j + NR));
+                    acc0[r] = _mm256_loadu_ps(op.add(r * ostride + j));
+                    acc1[r] = _mm256_loadu_ps(op.add(r * ostride + j + NR));
                 }
             }
-            for kk in 0..k {
-                let bv0 = _mm256_loadu_ps(bp.add(kk * n + j));
-                let bv1 = _mm256_loadu_ps(bp.add(kk * n + j + NR));
+            for kk in 0..kc {
+                let bv0 = _mm256_loadu_ps(bp.add(kk * bstride + j));
+                let bv1 = _mm256_loadu_ps(bp.add(kk * bstride + j + NR));
                 for r in 0..R {
                     let av = _mm256_set1_ps(*ap.add(roff + r * rstride + kk * kstride));
                     acc0[r] = _mm256_add_ps(acc0[r], _mm256_mul_ps(av, bv0));
@@ -414,40 +477,40 @@ mod avx2 {
                 }
             }
             for r in 0..R {
-                _mm256_storeu_ps(op.add(r * n + j), acc0[r]);
-                _mm256_storeu_ps(op.add(r * n + j + NR), acc1[r]);
+                _mm256_storeu_ps(op.add(r * ostride + j), acc0[r]);
+                _mm256_storeu_ps(op.add(r * ostride + j + NR), acc1[r]);
             }
             j += 2 * NR;
         }
-        while j + NR <= n {
+        while j + NR <= nc {
             let mut acc = [_mm256_setzero_ps(); R];
             if accumulate {
                 for (r, accr) in acc.iter_mut().enumerate() {
-                    *accr = _mm256_loadu_ps(op.add(r * n + j));
+                    *accr = _mm256_loadu_ps(op.add(r * ostride + j));
                 }
             }
-            for kk in 0..k {
-                let bv = _mm256_loadu_ps(bp.add(kk * n + j));
+            for kk in 0..kc {
+                let bv = _mm256_loadu_ps(bp.add(kk * bstride + j));
                 for (r, accr) in acc.iter_mut().enumerate() {
                     let av = _mm256_set1_ps(*ap.add(roff + r * rstride + kk * kstride));
                     *accr = _mm256_add_ps(*accr, _mm256_mul_ps(av, bv));
                 }
             }
             for (r, accr) in acc.iter().enumerate() {
-                _mm256_storeu_ps(op.add(r * n + j), *accr);
+                _mm256_storeu_ps(op.add(r * ostride + j), *accr);
             }
             j += NR;
         }
         // Ragged column tail: identical scalar chain to the other tiers (the
         // compiler cannot contract `s += a * b` into an FMA — Rust never
         // enables floating-point contraction).
-        while j < n {
+        while j < nc {
             for r in 0..R {
-                let mut s = if accumulate { out[r * n + j] } else { 0.0 };
-                for kk in 0..k {
-                    s += a[roff + r * rstride + kk * kstride] * b[kk * n + j];
+                let mut s = if accumulate { out[r * ostride + j] } else { 0.0 };
+                for kk in 0..kc {
+                    s += a[roff + r * rstride + kk * kstride] * b[kk * bstride + j];
                 }
-                out[r * n + j] = s;
+                out[r * ostride + j] = s;
             }
             j += 1;
         }
@@ -694,6 +757,46 @@ mod tests {
                 "{} tn diverged",
                 kind.name()
             );
+        }
+    }
+
+    #[test]
+    fn panel_blocking_is_bitwise_invisible_across_kc_nc_seams() {
+        // Shapes that straddle the KC/NC panel seams (one short, exact
+        // multiples, one over). The reference is a naive unblocked triple
+        // loop holding the full ascending-k chain in a register — the
+        // blocked kernels checkpoint the same chain through an f32
+        // store/reload at each seam, which must not change a single bit.
+        let mut rng = StdRng::seed_from_u64(14);
+        for &(m, k, n) in
+            &[(3usize, KC + 7, NC + 5), (2, 2 * KC, NC), (5, KC - 1, NC + NR + 1), (6, KC, 2 * NC + 3)]
+        {
+            let a = randv(&mut rng, m * k);
+            let b = randv(&mut rng, k * n);
+            let init = randv(&mut rng, m * n);
+            for &accumulate in &[false, true] {
+                let mut want = if accumulate { init.clone() } else { vec![0.0; m * n] };
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut s = want[i * n + j];
+                        for kk in 0..k {
+                            s += a[i * k + kk] * b[kk * n + j];
+                        }
+                        want[i * n + j] = s;
+                    }
+                }
+                for kind in all_kinds() {
+                    for threads in [1usize, 2, 4] {
+                        let mut out = if accumulate { init.clone() } else { vec![f32::NAN; m * n] };
+                        gemm_nn(kind, &a, &b, &mut out, k, n, threads, accumulate);
+                        assert!(
+                            out.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()),
+                            "{} t={threads} acc={accumulate} {m}x{k}x{n} diverged across panel seams",
+                            kind.name()
+                        );
+                    }
+                }
+            }
         }
     }
 

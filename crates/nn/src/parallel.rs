@@ -1,4 +1,4 @@
-//! Deterministic work splitting across OS threads.
+//! Deterministic work splitting across a persistent worker pool.
 //!
 //! Every parallel kernel in this workspace follows the same discipline:
 //!
@@ -14,38 +14,99 @@
 //! on any machine regardless of how many cores it has. The chunk boundaries
 //! only decide which thread computes which rows, never the arithmetic.
 //!
+//! # The persistent pool
+//!
+//! Fan-out used to spawn one scoped OS thread per chunk per call, a ~30 µs
+//! fee (`spawn_overhead_us` in `BENCH_kernels.json`) that made the 256³
+//! thread sweep *monotonically negative*. Dispatch now goes through a
+//! process-wide [`WorkerPool`]: a lazily-grown, fixed set of workers that
+//! park on a condvar between calls and are woken by writing a job into
+//! their mailbox slot (`wake_overhead_us` in the bench — roughly an order
+//! of magnitude cheaper than a spawn). The dispatching thread is always
+//! **executor 0 and runs its own share of the work inline**, so an N-way
+//! split wakes N−1 workers and a 1-way "parallel" call costs nothing.
+//!
+//! Determinism is unaffected by pooling: the *task → rows* assignment is a
+//! pure function of the requested `threads` value (identical to the old
+//! per-chunk spawn split), and which OS thread executes a task can never
+//! change the arithmetic inside it. When fewer workers than tasks are
+//! available, executors stride deterministically over the task list
+//! (executor `e` of `E` runs tasks `e, e+E, e+2E, …`) — again only
+//! ownership moves, never chunk boundaries.
+//!
+//! Nested fan-out (a pool task that itself reaches a parallel kernel — e.g.
+//! a per-sample DP-SGD graph replayed inside a batch-level task) runs
+//! **inline on the executing thread**: bitwise the result is identical, and
+//! inlining can neither deadlock the fixed-size pool nor oversubscribe the
+//! machine — parallelism already comes from the outer batch split.
+//!
+//! # Thread width
+//!
 //! The worker count defaults to [`std::thread::available_parallelism`]
-//! capped at [`MAX_DEFAULT_THREADS`]. The cap is no longer a
-//! memory-bandwidth story: the register-tiled kernels in [`crate::kernels`]
-//! are compute-bound at realistic shapes, but every worker pays a fixed
-//! scoped spawn/join fee (measured as `spawn_overhead_us` in
-//! `BENCH_kernels.json`), and past 8 workers that fee stops amortizing for
-//! problems near the `PARALLEL_MACS` threshold — see the recalibration notes
-//! on [`MAX_DEFAULT_THREADS`] and DESIGN.md §13. Override with the
-//! `DG_NUM_THREADS` environment variable; `DG_NUM_THREADS=1` forces fully
-//! serial execution.
+//! capped at [`MAX_DEFAULT_THREADS`]. The cap is a *wake-fee* story: the
+//! register-tiled kernels in [`crate::kernels`] are compute-bound at
+//! realistic shapes, but every woken worker pays the fixed mailbox fee, and
+//! past 8 workers the marginal chunk of a near-[`PARALLEL_MACS`]-threshold
+//! problem stops covering it — see `MACS_PER_WORKER` in `tensor.rs` and
+//! DESIGN.md §9/§13. Override with the `DG_NUM_THREADS` environment
+//! variable (`DG_NUM_THREADS=1` forces fully serial execution); note the
+//! **env value is latched on first use** — set it before the first parallel
+//! call, or use [`set_num_threads`] to change the width at runtime.
 
-use std::sync::OnceLock;
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Hard cap on the default worker count; explicit requests (the `threads`
-/// argument of the `*_threaded` kernels) may exceed it.
+/// argument of the `*_threaded` kernels, or [`set_num_threads`]) may exceed
+/// it.
 ///
-/// Re-derived for the register-tiled kernels (PR 5): the cap is now about
-/// spawn/join amortization, not memory bandwidth. Each additional worker
-/// costs a fixed scoped spawn/join fee (`spawn_overhead_us` in
-/// `BENCH_kernels.json`), so past 8 workers the marginal chunk of a
-/// `PARALLEL_MACS`-sized problem no longer covers its own launch cost even
-/// when the tiled tiers retire MACs 4-6x faster than the old scalar kernel.
-/// The `thread_sweep` table in `BENCH_kernels.json` records the measurement
-/// on the build host; DESIGN.md section 13 has the derivation.
+/// Re-derived for the pooled dispatcher: each additional worker costs a
+/// fixed mailbox wake (`wake_overhead_us` in `BENCH_kernels.json`, ~an
+/// order of magnitude below the old scoped-spawn fee), so the cap is no
+/// longer what keeps small problems fast — the gradual `matmul_threads`
+/// ramp in `tensor.rs` is. 8 remains the point past which the marginal
+/// chunk of a `PARALLEL_MACS`-sized problem stops covering even the wake
+/// fee; DESIGN.md §9 has the derivation.
 pub const MAX_DEFAULT_THREADS: usize = 8;
 
-/// Number of worker threads used by the parallel kernels.
+/// Element-count threshold below which the elementwise kernels stay serial
+/// (dispatch overhead dominates under ~tens of thousands of elements).
+pub const PARALLEL_ELEMS: usize = 1 << 15;
+
+/// Hard cap on pool workers (the dispatcher itself is one more executor).
+/// Explicit thread requests beyond this stride deterministically over the
+/// task list instead of growing the pool without bound.
+const MAX_POOL_WORKERS: usize = 31;
+
+/// Runtime thread-width override; 0 means "use the latched default".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count returned by [`num_threads`] for the rest of
+/// the process (or until called again); `0` restores the latched default.
 ///
-/// Reads `DG_NUM_THREADS` once (values `>= 1` are honored verbatim); falls
-/// back to `available_parallelism` capped at 8. The result is cached for the
-/// lifetime of the process.
-pub fn num_threads() -> usize {
+/// This exists because the `DG_NUM_THREADS` default is read **once** and
+/// cached — a test or bench that sets the variable after the first
+/// [`num_threads`] call would otherwise silently keep running at the stale
+/// width. Width changes are reproducibility-safe: every parallel kernel is
+/// bitwise identical across thread counts.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Serializes tests (across this crate's modules) that mutate the global
+/// [`set_num_threads`] override, so concurrent unit tests cannot observe
+/// each other's widths.
+#[cfg(test)]
+pub(crate) fn override_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The latched default width: `DG_NUM_THREADS` if set to `>= 1` **at first
+/// call**, else `available_parallelism` capped at [`MAX_DEFAULT_THREADS`].
+fn default_num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
         if let Some(n) = std::env::var("DG_NUM_THREADS")
@@ -59,16 +120,347 @@ pub fn num_threads() -> usize {
     })
 }
 
-/// Splits `out` into per-thread chunks of whole rows (`cols` elements each)
-/// and runs `kernel(first_row, chunk)` on each chunk in its own scoped
-/// thread.
+/// Number of worker threads used by the parallel kernels.
+///
+/// Resolution order: a live [`set_num_threads`] override if one is set,
+/// else the **latched** `DG_NUM_THREADS` / `available_parallelism` default
+/// (read once, cached for the life of the process — see the module docs).
+pub fn num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_num_threads(),
+        n => n,
+    }
+}
+
+/// Type-erased task body: `(ctx, executor, executors, tasks)` runs tasks
+/// `executor, executor + executors, …` of the dispatch against the closure
+/// behind `ctx`.
+type TaskFn = unsafe fn(*const (), usize, usize, usize);
+
+/// One enqueued dispatch share. `ctx` points at the dispatching thread's
+/// stack-held closure; the dispatcher guarantees it outlives the job by
+/// blocking on `latch` before returning (even on unwind).
+struct Job {
+    run: TaskFn,
+    ctx: *const (),
+    executor: usize,
+    executors: usize,
+    tasks: usize,
+    latch: Arc<Latch>,
+}
+
+// SAFETY: `ctx` points at an `F: Fn(usize) + Sync` closure that the
+// dispatching thread keeps alive until `latch` has been fully arrived at;
+// the closure is only ever *shared* (`&F`) across threads, which `Sync`
+// permits.
+unsafe impl Send for Job {}
+
+enum Msg {
+    Run(Job),
+    Exit,
+}
+
+/// A worker's mailbox: one slot, one condvar serving both "slot filled"
+/// (worker waits) and "slot drained" (a second dispatcher waits). Both
+/// waiters loop on their predicate, so the shared condvar cannot lose a
+/// wakeup.
+#[derive(Default)]
+struct Slot {
+    msg: Mutex<Option<Msg>>,
+    cv: Condvar,
+}
+
+fn place(slot: &Slot, msg: Msg) {
+    let mut g = slot.msg.lock().unwrap();
+    while g.is_some() {
+        g = slot.cv.wait(g).unwrap();
+    }
+    *g = Some(msg);
+    drop(g);
+    slot.cv.notify_all();
+}
+
+/// Completion latch for one dispatch. Heap-allocated and `Arc`-shared so a
+/// worker can never touch freed latch memory between its final notify and
+/// the dispatcher's stack frame unwinding.
+struct Latch {
+    left: Mutex<usize>,
+    cv: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn new(n: usize) -> Latch {
+        Latch { left: Mutex::new(n), cv: Condvar::new(), panic: Mutex::new(None) }
+    }
+
+    /// Records one finished share (and the first panic payload, if any).
+    fn arrive(&self, panicked: Option<Box<dyn std::any::Any + Send>>) {
+        if let Some(p) = panicked {
+            let mut slot = self.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+        let mut g = self.left.lock().unwrap();
+        *g -= 1;
+        if *g == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut g = self.left.lock().unwrap();
+        while *g > 0 {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+}
+
+thread_local! {
+    /// True while this thread is executing a pool task (worker or
+    /// dispatcher-as-executor-0); nested dispatch then runs inline.
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+fn in_pool_task() -> bool {
+    IN_POOL_TASK.with(|c| c.get())
+}
+
+/// Runs `f` with the nested-dispatch guard set (restored even on unwind via
+/// the closure result — callers wrap `f` in `catch_unwind` or rely on their
+/// own drop guards for latch correctness).
+fn run_in_task_scope<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            IN_POOL_TASK.with(|c| c.set(self.0));
+        }
+    }
+    let prev = IN_POOL_TASK.with(|c| c.replace(true));
+    let _reset = Reset(prev);
+    f()
+}
+
+unsafe fn trampoline<F: Fn(usize) + Sync>(ctx: *const (), executor: usize, executors: usize, tasks: usize) {
+    let f = &*(ctx as *const F);
+    let mut t = executor;
+    while t < tasks {
+        f(t);
+        t += executors;
+    }
+}
+
+struct Worker {
+    slot: Arc<Slot>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+fn worker_loop(slot: Arc<Slot>) {
+    loop {
+        let msg = {
+            let mut g = slot.msg.lock().unwrap();
+            loop {
+                match g.take() {
+                    Some(m) => break m,
+                    None => g = slot.cv.wait(g).unwrap(),
+                }
+            }
+        };
+        // The slot is free again — wake any dispatcher blocked in `place`.
+        slot.cv.notify_all();
+        match msg {
+            Msg::Exit => return,
+            Msg::Run(job) => {
+                // A panicking task must still arrive at the latch (the
+                // dispatcher would otherwise wait forever) and must not kill
+                // the worker — the payload is re-thrown on the dispatching
+                // thread instead, mirroring scoped-spawn join semantics.
+                let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    run_in_task_scope(|| unsafe {
+                        (job.run)(job.ctx, job.executor, job.executors, job.tasks)
+                    });
+                }));
+                job.latch.arrive(res.err());
+            }
+        }
+    }
+}
+
+/// A persistent set of parked worker threads executing deterministic task
+/// fan-outs. Workers spawn lazily on first demand, park on their mailbox
+/// condvar between dispatches, and are joined on [`Drop`].
+///
+/// All kernel-level dispatch goes through the process-wide instance behind
+/// [`run_indexed`] / [`run_row_chunks`]; standalone pools exist for tests
+/// (drop/re-init coverage) and embedders that want isolation.
+pub struct WorkerPool {
+    workers: Mutex<Vec<Worker>>,
+    cap: usize,
+}
+
+impl WorkerPool {
+    /// Creates an empty pool that will grow on demand to at most `cap`
+    /// workers (clamped to an internal hard limit).
+    pub fn new(cap: usize) -> WorkerPool {
+        WorkerPool { workers: Mutex::new(Vec::new()), cap: cap.min(MAX_POOL_WORKERS) }
+    }
+
+    /// Number of worker threads currently alive (0 until first dispatch).
+    pub fn worker_count(&self) -> usize {
+        self.workers.lock().unwrap().len()
+    }
+
+    /// Clones out mailbox handles for up to `want` workers, spawning any
+    /// that do not exist yet.
+    fn helpers(&self, want: usize) -> Vec<Arc<Slot>> {
+        let want = want.min(self.cap);
+        let mut g = self.workers.lock().unwrap();
+        while g.len() < want {
+            let slot = Arc::new(Slot::default());
+            let worker_slot = Arc::clone(&slot);
+            let handle = std::thread::Builder::new()
+                .name(format!("dg-pool-{}", g.len()))
+                .spawn(move || worker_loop(worker_slot))
+                .expect("failed to spawn dg-nn pool worker");
+            g.push(Worker { slot, handle: Some(handle) });
+        }
+        g[..want].iter().map(|w| Arc::clone(&w.slot)).collect()
+    }
+
+    /// Runs `f(0), f(1), …, f(tasks - 1)` across the pool, returning after
+    /// all tasks finish. The calling thread is executor 0 and runs its own
+    /// share inline; each of the N−1 woken workers strides the task list
+    /// deterministically. Task bodies must be data-disjoint per index; under
+    /// that contract the result is bitwise identical for every pool size.
+    ///
+    /// Nested calls (from inside a pool task) run every task inline on the
+    /// current thread — same bits, no deadlock, no oversubscription.
+    pub fn run_tasks<F>(&self, tasks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if tasks == 0 {
+            return;
+        }
+        if tasks == 1 || in_pool_task() {
+            for t in 0..tasks {
+                f(t);
+            }
+            return;
+        }
+        let helpers = self.helpers(tasks - 1);
+        if helpers.is_empty() {
+            for t in 0..tasks {
+                f(t);
+            }
+            return;
+        }
+        let executors = helpers.len() + 1;
+        let latch = Arc::new(Latch::new(helpers.len()));
+        let ctx = &f as *const F as *const ();
+        for (w, slot) in helpers.iter().enumerate() {
+            place(
+                slot,
+                Msg::Run(Job {
+                    run: trampoline::<F>,
+                    ctx,
+                    executor: w + 1,
+                    executors,
+                    tasks,
+                    latch: Arc::clone(&latch),
+                }),
+            );
+        }
+        // Block until every worker share is done even if our own share
+        // panics: `f` and the latch must outlive all enqueued jobs.
+        struct WaitOnDrop<'a>(&'a Latch);
+        impl Drop for WaitOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.wait();
+            }
+        }
+        {
+            let _wait = WaitOnDrop(&latch);
+            run_in_task_scope(|| {
+                let mut t = 0;
+                while t < tasks {
+                    f(t);
+                    t += executors;
+                }
+            });
+        }
+        if let Some(p) = latch.take_panic() {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let mut g = self.workers.lock().unwrap();
+        for w in g.iter() {
+            place(&w.slot, Msg::Exit);
+        }
+        for w in g.iter_mut() {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+        g.clear();
+    }
+}
+
+/// The process-wide pool used by every kernel-level dispatch. Workers spawn
+/// lazily — a fully serial run never creates a single thread.
+pub fn pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(MAX_POOL_WORKERS))
+}
+
+/// Runs `tasks` data-disjoint task bodies across the global pool (see
+/// [`WorkerPool::run_tasks`]). This is the batch-level fan-out entry point:
+/// DP-SGD per-sample passes and generation rollouts dispatch through it
+/// with one task per sample-chunk, each task owning its pre-split seed and
+/// workspace.
+pub fn run_indexed<F>(tasks: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    pool().run_tasks(tasks, f);
+}
+
+/// Raw chunk base shared across pool tasks; tasks carve disjoint subslices.
+/// (A method rather than field access keeps closures capturing the whole
+/// `Sync` wrapper under edition-2021 disjoint capture.)
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// # Safety
+    /// `off` must stay inside the allocation the pointer was taken from.
+    unsafe fn at(&self, off: usize) -> *mut f32 {
+        self.0.add(off)
+    }
+}
+
+/// Splits `out` into per-task chunks of whole rows (`cols` elements each)
+/// and runs `kernel(first_row, chunk)` for each chunk across the worker
+/// pool (the caller executes chunk 0 and any strided extras inline).
 ///
 /// `kernel` receives the index of the first row of its chunk plus the
 /// mutable slice backing those rows, and must compute each row
 /// independently; under that contract the result is bitwise identical to
-/// `kernel(0, out)` for every `threads` value (see the module docs).
+/// `kernel(0, out)` for every `threads` value (see the module docs). The
+/// chunk boundaries are a pure function of `threads` — pool size and
+/// executor scheduling never move them.
 ///
-/// Runs inline (no threads spawned) when `threads <= 1` or there is only one
+/// Runs inline (nothing woken) when `threads <= 1` or there is only one
 /// row of work.
 pub fn run_row_chunks<F>(out: &mut [f32], cols: usize, threads: usize, kernel: F)
 where
@@ -82,29 +474,52 @@ where
         return;
     }
     let chunk_rows = rows.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (ci, chunk) in out.chunks_mut(chunk_rows * cols).enumerate() {
-            let kernel = &kernel;
-            scope.spawn(move || kernel(ci * chunk_rows, chunk));
-        }
+    let chunks = rows.div_ceil(chunk_rows);
+    if chunks <= 1 {
+        kernel(0, out);
+        return;
+    }
+    let len = out.len();
+    let base = SendPtr(out.as_mut_ptr());
+    run_indexed(chunks, move |ci| {
+        let start = ci * chunk_rows * cols;
+        let end = (start + chunk_rows * cols).min(len);
+        // SAFETY: task indices are distinct, so `[start, end)` ranges are
+        // disjoint row-aligned windows of `out`, and the dispatch cannot
+        // return before every task has finished (completion latch).
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.at(start), end - start) };
+        kernel(ci * chunk_rows, chunk);
     });
 }
-
-/// Element-count threshold below which the elementwise kernels stay serial
-/// (thread spawn/join overhead dominates under ~tens of thousands of
-/// elements).
-pub const PARALLEL_ELEMS: usize = 1 << 15;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn num_threads_is_at_least_one_and_stable() {
+        let _guard = override_test_guard();
         let a = num_threads();
         let b = num_threads();
         assert!(a >= 1);
         assert_eq!(a, b, "num_threads must be cached");
+    }
+
+    #[test]
+    fn set_num_threads_overrides_the_latched_default() {
+        // Regression test for the `DG_NUM_THREADS` latch: the env default is
+        // read once and cached, so runtime width changes must go through
+        // `set_num_threads` — and resetting to 0 must restore the original
+        // latched value, not re-read the environment.
+        let _guard = override_test_guard();
+        let latched = num_threads();
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(13);
+        assert_eq!(num_threads(), 13);
+        set_num_threads(0);
+        assert_eq!(num_threads(), latched, "0 must restore the latched default");
     }
 
     #[test]
@@ -143,5 +558,99 @@ mod tests {
             chunk.fill(1.0);
         });
         assert_eq!(out, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn run_indexed_covers_every_task_exactly_once() {
+        for tasks in [0usize, 1, 2, 3, 7, 16, 60] {
+            let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+            run_indexed(tasks, |t| {
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            });
+            for (t, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "task {t} of {tasks}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_drop_and_reinit_neither_deadlocks_nor_leaks() {
+        // Standalone pools must come up, serve repeated dispatches (pool
+        // reuse), shut down cleanly on drop (join, not detach), and be
+        // re-creatable — three full lifecycles back to back.
+        for _ in 0..3 {
+            let pool = WorkerPool::new(4);
+            assert_eq!(pool.worker_count(), 0, "workers must spawn lazily");
+            for _ in 0..5 {
+                let hits: Vec<AtomicUsize> = (0..13).map(|_| AtomicUsize::new(0)).collect();
+                pool.run_tasks(13, |t| {
+                    hits[t].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            }
+            let alive = pool.worker_count();
+            assert!((1..=4).contains(&alive), "expected 1..=4 lazily-spawned workers, got {alive}");
+            // Drop joins every worker; a hang here is the regression.
+        }
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let total = AtomicUsize::new(0);
+        run_indexed(4, |_| {
+            run_indexed(4, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_tasks(3, |t| {
+                if t > 0 {
+                    panic!("task {t} boom");
+                }
+            });
+        }));
+        assert!(r.is_err(), "a panicking worker share must re-throw on the dispatcher");
+        let done = AtomicUsize::new(0);
+        pool.run_tasks(3, |_| {
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 3, "pool must stay serviceable after a task panic");
+    }
+
+    #[test]
+    fn dispatch_results_are_identical_for_any_pool_size() {
+        // The task -> rows split depends only on the requested width; the
+        // pool size (1, 2, or many workers) must never change coverage.
+        let run = |cap: usize| {
+            let pool = WorkerPool::new(cap);
+            let mut out = vec![0.0_f32; 37 * 3];
+            // Mirror run_row_chunks' split through a standalone pool.
+            let rows = 37usize;
+            let threads = 8usize;
+            let chunk_rows = rows.div_ceil(threads);
+            let chunks = rows.div_ceil(chunk_rows);
+            let len = out.len();
+            let base = SendPtr(out.as_mut_ptr());
+            pool.run_tasks(chunks, |ci| {
+                let start = ci * chunk_rows * 3;
+                let end = (start + chunk_rows * 3).min(len);
+                // SAFETY: disjoint ranges per task index; pool joins before return.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(base.at(start), end - start) };
+                for (off, v) in chunk.iter_mut().enumerate() {
+                    *v = (start + off) as f32 * 0.5;
+                }
+            });
+            out
+        };
+        let want = run(0);
+        for cap in [1usize, 2, 3, 8] {
+            assert_eq!(run(cap), want, "pool cap {cap} changed the output");
+        }
     }
 }

@@ -32,22 +32,31 @@ impl std::fmt::Debug for Tensor {
 /// Work threshold (in multiply-accumulates) above which the matmul kernels
 /// split the output rows across threads.
 ///
-/// Recalibrated for the register-tiled kernels of [`crate::kernels`] (PR 5):
-/// the tiled AVX2 tier retires MACs ~4-6x faster than the old scalar row
-/// kernel, so the spawn/join cost of a `std::thread::scope` fan-out (~10-20us
-/// per worker, measured by `bench_kernels` and recorded in
-/// `BENCH_kernels.json` under `spawn_overhead`) now amortizes only at ~4M
-/// MACs, not 1M. See DESIGN.md section 13 and the `thread_sweep` table in
-/// `BENCH_kernels.json` for the measurements backing this value.
-pub const PARALLEL_MACS: usize = 1 << 22;
+/// Recalibrated for the persistent worker pool (PR 6): dispatch no longer
+/// pays a ~10-30us scoped spawn/join per worker, only a mailbox wake
+/// (`wake_overhead_us` in `BENCH_kernels.json`, roughly an order of
+/// magnitude cheaper), so going parallel starts paying off at ~2M MACs
+/// instead of the old 4M. See DESIGN.md §9/§13 and the `thread_sweep`
+/// table in `BENCH_kernels.json` for the measurements backing this value.
+pub const PARALLEL_MACS: usize = 1 << 21;
 
-/// Picks the worker count for a matmul-shaped workload: serial below the
-/// work threshold, the process-wide default above it.
+/// Marginal work each additional worker must bring once a matmul is
+/// parallel at all. At the tiled tiers' ~20-50 GF/s per core, 1M MACs is
+/// ~40-100us of kernel work per worker — comfortably above the pooled wake
+/// fee — so the worker count ramps linearly with problem size instead of
+/// jumping straight to the full width at the [`PARALLEL_MACS`] cliff
+/// (which made barely-over-threshold shapes regress).
+pub const MACS_PER_WORKER: usize = 1 << 20;
+
+/// Picks the worker count for a matmul-shaped workload: serial below
+/// [`PARALLEL_MACS`], then one worker per [`MACS_PER_WORKER`] of work,
+/// capped at the process-wide width. The ramp only decides how many row
+/// chunks the pool wakes — results are bitwise identical at every width.
 pub(crate) fn matmul_threads(macs: usize) -> usize {
-    if macs >= PARALLEL_MACS {
-        parallel::num_threads()
-    } else {
+    if macs < PARALLEL_MACS {
         1
+    } else {
+        (macs / MACS_PER_WORKER).max(2).min(parallel::num_threads())
     }
 }
 
@@ -875,5 +884,26 @@ mod tests {
         let b = t(1, 3, &[1.0, 2.0, 3.0]);
         a.add_scaled_assign(&b, 0.5);
         assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn matmul_threads_ramps_gradually_instead_of_cliffing() {
+        // Pin the process width so the ramp's cap is observable regardless
+        // of the host's core count or DG_NUM_THREADS.
+        let _guard = crate::parallel::override_test_guard();
+        crate::parallel::set_num_threads(8);
+        // Below the threshold: serial, even just under it.
+        assert_eq!(matmul_threads(0), 1);
+        assert_eq!(matmul_threads(PARALLEL_MACS - 1), 1);
+        // Just over the threshold: a narrow fan-out, not the full width.
+        assert_eq!(matmul_threads(PARALLEL_MACS), 2);
+        assert_eq!(matmul_threads(3 * MACS_PER_WORKER), 3);
+        // One worker per MACS_PER_WORKER until the cap.
+        assert_eq!(matmul_threads(6 * MACS_PER_WORKER), 6);
+        assert_eq!(matmul_threads(64 * MACS_PER_WORKER), 8);
+        // Width never exceeds the process setting.
+        crate::parallel::set_num_threads(3);
+        assert_eq!(matmul_threads(64 * MACS_PER_WORKER), 3);
+        crate::parallel::set_num_threads(0);
     }
 }

@@ -73,9 +73,12 @@ struct ShapePool {
 /// assert!(ws.stats().hits > 0);
 /// ```
 ///
-/// In the DP-SGD fan-out each worker thread owns its own workspace
-/// (pre-split like the RNG seeds), so no locking is needed and the
-/// serial/parallel bitwise-equality guarantee of DESIGN.md §9 is preserved.
+/// In the batch-level fan-outs (DP-SGD per-sample passes, generation
+/// rollouts) each pool task owns its own workspace, pre-split like the RNG
+/// seeds before the dispatch, so no buffer is ever shared between
+/// executors and the serial/parallel bitwise-equality guarantee of
+/// DESIGN.md §9 is preserved regardless of which parked worker serves a
+/// task.
 #[derive(Debug)]
 pub struct Workspace {
     pool: HashMap<(usize, usize), ShapePool>,

@@ -6,7 +6,7 @@
 //! binary twice: once with the environment untouched (default dispatch) and
 //! once with `DG_KERNEL=scalar` (forced fallback) — both must pass.
 
-use dg_nn::gradcheck::check_kernel_equivalence;
+use dg_nn::gradcheck::check_kernel_equivalence_cycles;
 use dg_nn::kernels::{self, KernelKind};
 use dg_nn::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -59,9 +59,10 @@ fn active_dispatch_matches_forced_scalar_bitwise() {
 #[test]
 fn equivalence_suite_passes_under_ambient_dispatch() {
     // The full cross-tier / cross-thread sweep at one real model shape
-    // (batch 100 x joint LSTM input 200 -> 4*100 gates) and one ragged one.
+    // (batch 100 x joint LSTM input 200 -> 4*100 gates) and one ragged one,
+    // repeated for 2 cycles against the persistent worker pool.
     for (i, (m, k, n)) in [(100usize, 200usize, 400usize), (11, 23, 37)].into_iter().enumerate() {
-        if let Some(err) = check_kernel_equivalence(m, k, n, &[1, 2, 8], 3100 + i as u64) {
+        if let Some(err) = check_kernel_equivalence_cycles(m, k, n, &[1, 2, 8], 2, 3100 + i as u64) {
             panic!("{err}");
         }
     }

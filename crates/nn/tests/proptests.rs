@@ -2,7 +2,7 @@
 //! checked against finite differences on random inputs, and algebraic
 //! tensor identities are verified.
 
-use dg_nn::gradcheck::{check_input_gradient, check_kernel_equivalence, check_workspace_determinism};
+use dg_nn::gradcheck::{check_input_gradient, check_kernel_equivalence_cycles, check_workspace_determinism};
 use dg_nn::graph::{Graph, Var};
 use dg_nn::tensor::Tensor;
 use proptest::prelude::*;
@@ -200,8 +200,10 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         // All dispatch tiers, all matmul variants, threads 1..16, including
-        // k = 0 products and tails narrower than one register tile.
-        let err = check_kernel_equivalence(m, k, n, &[1, 2, 3, 5, 8, 16], seed);
+        // k = 0 products and tails narrower than one register tile — run for
+        // two consecutive cycles so the reused (parked) pool workers serve
+        // the same dispatches again.
+        let err = check_kernel_equivalence_cycles(m, k, n, &[1, 2, 3, 5, 8, 16], 2, seed);
         prop_assert!(err.is_none(), "{}", err.unwrap());
     }
 
