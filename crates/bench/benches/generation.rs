@@ -21,8 +21,9 @@ fn bench_generation(c: &mut Criterion) {
         let cfg = preset.dg_config(data.schema.max_len);
         let model = DoppelGanger::new(&data, cfg, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(name), &model, |bench, model| {
+            let sampler = doppelganger::Sampler::new(model.clone());
             let mut grng = StdRng::seed_from_u64(1);
-            bench.iter(|| black_box(model.generate(100, &mut grng)));
+            bench.iter(|| black_box(sampler.generate(100, &mut grng)));
         });
     }
     group.finish();

@@ -1,0 +1,163 @@
+//! Serving benchmark: request-coalescing (batched) vs one-pass-per-request
+//! (unbatched) engines across client concurrency 1/4/16/64. Writes
+//! `BENCH_serving.json` under the results directory (workspace `results/`,
+//! overridable with `DG_RESULTS_DIR`).
+//!
+//! Both modes run the same [`BatchEngine`]; the unbatched reference is
+//! `max_fused_requests = 1`, so the only difference measured is fusion —
+//! concurrent requests sharing one graph recording and wide GEMMs instead
+//! of queuing per-request passes. Coalescing never changes bytes (the
+//! fused-vs-sequential property tests pin that), so this is a pure
+//! throughput/latency comparison.
+//!
+//! Set `DG_BENCH_SMOKE=1` for a fast low-rep pass (used by the CI smoke
+//! step that jq-asserts the report fields).
+
+use dg_bench::harness::results_dir;
+use dg_bench::presets::{Preset, Scale};
+use dg_data::Value;
+use dg_datasets::sine;
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize, Clone, Copy)]
+struct ModeStats {
+    samples_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    requests: u64,
+    /// Fused passes executed; under coalescing this drops below `requests`.
+    batches: u64,
+}
+
+#[derive(Serialize)]
+struct ConcurrencyRow {
+    concurrency: usize,
+    batched: ModeStats,
+    unbatched: ModeStats,
+    /// `batched.samples_per_sec / unbatched.samples_per_sec`.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    worker_threads: usize,
+    rows_per_request: usize,
+    requests_per_client: usize,
+    /// Headline numbers: the batched engine at concurrency 4.
+    p50_ms: f64,
+    p99_ms: f64,
+    samples_per_sec: f64,
+    concurrency: Vec<ConcurrencyRow>,
+}
+
+/// A schema-valid request against the smoke sine dataset (one categorical
+/// attribute with two period classes).
+fn req(rows: usize, seed: u64) -> SampleRequest {
+    SampleRequest { attribute_rows: (0..rows).map(|k| vec![Value::Cat(k % 2)]).collect(), seed }
+}
+
+fn run_mode(
+    sampler: &Sampler,
+    fused: bool,
+    clients: usize,
+    reqs_per_client: usize,
+    rows: usize,
+) -> ModeStats {
+    let config = ServeConfig {
+        max_fused_requests: if fused { ServeConfig::default().max_fused_requests } else { 1 },
+        ..ServeConfig::default()
+    };
+    let engine = Arc::new(BatchEngine::new(sampler.clone(), config));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for i in 0..reqs_per_client {
+                    engine.sample_blocking(req(rows, (c * 1000 + i) as u64)).expect("request served");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    engine.shutdown();
+    ModeStats {
+        samples_per_sec: stats.samples as f64 / wall.max(1e-9),
+        p50_ms: stats.p50_ms,
+        p99_ms: stats.p99_ms,
+        requests: stats.requests,
+        batches: stats.batches,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("DG_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let threads = dg_nn::parallel::num_threads();
+    let preset = Preset::new(Scale::Smoke);
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = sine::generate(&preset.sine, &mut rng);
+    let cfg = preset.dg_config(data.schema.max_len);
+    let sampler = Sampler::new(DoppelGanger::new(&data, cfg, &mut rng));
+
+    let rows = 4;
+    let reqs_per_client = if smoke { 4 } else { 16 };
+    println!("bench_serving: {threads} workers, {rows} rows/request, {reqs_per_client} requests/client\n");
+    // One untimed pass warms the persistent worker pool.
+    let _ = sampler.sample_threaded(&req(rows, 0), threads);
+
+    let mut concurrency = Vec::new();
+    for &clients in &[1usize, 4, 16, 64] {
+        let batched = run_mode(&sampler, true, clients, reqs_per_client, rows);
+        let unbatched = run_mode(&sampler, false, clients, reqs_per_client, rows);
+        let speedup = batched.samples_per_sec / unbatched.samples_per_sec.max(1e-9);
+        println!(
+            "c={clients:<3} batched {:>8.0} samples/s (p50 {:>7.2} ms, p99 {:>7.2} ms, {} passes)   \
+             unbatched {:>8.0} samples/s (p50 {:>7.2} ms, p99 {:>7.2} ms)   speedup {speedup:>5.2}x",
+            batched.samples_per_sec,
+            batched.p50_ms,
+            batched.p99_ms,
+            batched.batches,
+            unbatched.samples_per_sec,
+            unbatched.p50_ms,
+            unbatched.p99_ms,
+        );
+        if clients >= 4 && speedup < 1.0 {
+            println!("  warning: coalescing did not pay off at concurrency {clients} on this machine");
+        }
+        concurrency.push(ConcurrencyRow { concurrency: clients, batched, unbatched, speedup });
+    }
+
+    let headline = concurrency.iter().find(|r| r.concurrency == 4).expect("concurrency-4 row");
+    let report = Report {
+        worker_threads: threads,
+        rows_per_request: rows,
+        requests_per_client: reqs_per_client,
+        p50_ms: headline.batched.p50_ms,
+        p99_ms: headline.batched.p99_ms,
+        samples_per_sec: headline.batched.samples_per_sec,
+        concurrency,
+    };
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: creating {}: {e}", dir.display());
+        std::process::exit(3);
+    }
+    let path = dir.join("BENCH_serving.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    // Atomic so a torn write can never leave a half-valid JSON for the CI
+    // jq step to mis-parse.
+    if let Err(e) = dg_io::atomic_write(&path, json.as_bytes()) {
+        eprintln!("error: writing {}: {e}", path.display());
+        std::process::exit(3);
+    }
+    println!("\nwrote {}", path.display());
+}

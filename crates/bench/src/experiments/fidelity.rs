@@ -86,7 +86,7 @@ pub fn fig04_batch_size(preset: &Preset) -> ExpResult {
         let cfg = preset.dg_config(data.schema.max_len).with_s(s);
         let model = train_dg_with(&data, preset, cfg, preset.dg_iterations);
         let mut rng = StdRng::seed_from_u64(preset.seed ^ s as u64);
-        let gen = model.generate_dataset(preset.gen_samples, &mut rng);
+        let gen = Sampler::new(model).generate_dataset(preset.gen_samples, &mut rng);
         let mse = curve_mse(&real_ac[1..], &ac_of(&gen, max_lag)[1..]);
         rows.push(vec![s.to_string(), format!("{mse:.5}")]);
         r.numbers.push((format!("mse_s{s}"), mse));
@@ -126,7 +126,7 @@ pub fn fig05_autonorm(preset: &Preset) -> ExpResult {
         }
         let model = train_dg_with(&data, preset, cfg, preset.dg_iterations);
         let mut rng = StdRng::seed_from_u64(preset.seed ^ auto as u64);
-        let gen = model.generate_dataset(preset.gen_samples, &mut rng);
+        let gen = Sampler::new(model).generate_dataset(preset.gen_samples, &mut rng);
         let ranges = sample_ranges(&gen);
         let w1 = wasserstein1(&real_ranges, &ranges);
         let rel_spread = spread(&ranges) / real_cdf_spread.max(1e-9);
@@ -308,7 +308,7 @@ pub fn fig24_memorization(preset: &Preset) -> ExpResult {
     {
         let model = crate::models::train_dg(&data, preset);
         let mut rng = StdRng::seed_from_u64(preset.seed ^ 0xCC);
-        let gen = model.generate(preset.gen_samples.min(50), &mut rng);
+        let gen = Sampler::new(model).generate(preset.gen_samples.min(50), &mut rng);
         let reports = nearest_neighbours(&gen, &data, 0, 3);
         let (min, median, mean) = nearest_distance_summary(&reports);
         rows.push(vec![
@@ -348,7 +348,8 @@ pub fn fig33_s_sweep(preset: &Preset) -> ExpResult {
         for cp in 0..checkpoints {
             trainer.fit(&encoded, per_chunk, &mut rng, |_| {});
             let mut grng = StdRng::seed_from_u64(preset.seed ^ cp as u64);
-            let gen = trainer.model.generate_dataset(preset.gen_samples.min(150), &mut grng);
+            let gen =
+                Sampler::new(trainer.model.clone()).generate_dataset(preset.gen_samples.min(150), &mut grng);
             let mse = curve_mse(&real_ac[1..], &ac_of(&gen, max_lag)[1..]);
             row.push(format!("{mse:.5}"));
             r.numbers.push((format!("mse_s{s}_cp{cp}"), mse));
@@ -376,7 +377,7 @@ pub fn fig34_aux_disc(preset: &Preset) -> ExpResult {
         }
         let model = train_dg_with(&data, preset, cfg, preset.dg_iterations);
         let mut rng = StdRng::seed_from_u64(preset.seed ^ 0xEE ^ aux as u64);
-        let gen = model.generate_dataset(preset.gen_samples, &mut rng);
+        let gen = Sampler::new(model).generate_dataset(preset.gen_samples, &mut rng);
         let (centers, halves) = minmax_stats(&gen);
         let w1_c = wasserstein1(&real_centers, &centers);
         let w1_h = wasserstein1(&real_halves, &halves);

@@ -52,7 +52,7 @@ pub fn fig30_flexibility(preset: &Preset) -> ExpResult {
 
     // Achieved joint distribution.
     let mut grng = StdRng::seed_from_u64(preset.seed ^ 0x31);
-    let wrapped = TrainedDg(model);
+    let wrapped = TrainedDg::new(model);
     let gen = wrapped.generate_dataset(&data.schema, preset.gen_samples.max(500), &mut grng);
     let mut achieved = vec![0.0f64; combos.len()];
     for o in &gen.objects {

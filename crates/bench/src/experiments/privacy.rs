@@ -71,7 +71,7 @@ pub fn fig13_dp(preset: &Preset) -> ExpResult {
     {
         let model = train_dg_with(&data, preset, cfg.clone(), dp_iters);
         let mut grng = StdRng::seed_from_u64(preset.seed ^ 0x52);
-        let gen = model.generate_dataset(preset.gen_samples, &mut grng);
+        let gen = Sampler::new(model).generate_dataset(preset.gen_samples, &mut grng);
         let ac = average_autocorrelation(&gen, 0, max_lag, 16);
         let mse = curve_mse(&real_ac[1..], &ac[1..]);
         r.line(format!("  eps=+inf    {}", sparkline(&downsample(&ac, 64))));
@@ -88,7 +88,7 @@ pub fn fig13_dp(preset: &Preset) -> ExpResult {
         trainer.fit(&encoded, dp_iters, &mut rng, |_| {});
         let model = trainer.into_model();
         let mut grng = StdRng::seed_from_u64(preset.seed ^ 0x54);
-        let gen = model.generate_dataset(preset.gen_samples, &mut grng);
+        let gen = Sampler::new(model).generate_dataset(preset.gen_samples, &mut grng);
         let ac = average_autocorrelation(&gen, 0, max_lag, 16);
         let mse = curve_mse(&real_ac[1..], &ac[1..]);
         r.line(format!("  eps={eps:<8} {}", sparkline(&downsample(&ac, 64))));

@@ -9,8 +9,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Newtype making a trained [`DoppelGanger`] usable through the shared
-/// [`GenerativeModel`] interface.
-pub struct TrainedDg(pub DoppelGanger);
+/// [`GenerativeModel`] interface; generation runs through the released
+/// [`Sampler`], the same code path `dg serve` uses.
+pub struct TrainedDg(pub Sampler);
+
+impl TrainedDg {
+    /// Wraps released parameters in a [`Sampler`].
+    pub fn new(model: DoppelGanger) -> Self {
+        TrainedDg(Sampler::new(model))
+    }
+}
 
 impl GenerativeModel for TrainedDg {
     fn name(&self) -> &'static str {
@@ -51,7 +59,7 @@ pub enum ModelSet {
 /// reporting order (DoppelGANger first).
 pub fn train_all(data: &Dataset, preset: &Preset, set: ModelSet) -> Vec<Box<dyn GenerativeModel>> {
     let mut models: Vec<Box<dyn GenerativeModel>> = Vec::new();
-    models.push(Box::new(TrainedDg(train_dg(data, preset))));
+    models.push(Box::new(TrainedDg::new(train_dg(data, preset))));
     if set == ModelSet::All {
         let mut rng = StdRng::seed_from_u64(preset.seed ^ 0xA1);
         models.push(Box::new(ArModel::fit(data, preset.ar_config(), &mut rng)));

@@ -12,6 +12,9 @@
 //! dg generate  --model model.json -n 500 --out synth.json
 //! dg retrain   --model model.json --target target.json --out masked.json
 //! dg evaluate  --real data.json --synthetic synth.json
+//! dg publish   --model model.json --store releases/ --family model
+//! dg serve     --store releases/ --family model --reload-every-ms 1000
+//! dg sample    --addr 127.0.0.1:7878 --attrs attrs.json --seed 42
 //! ```
 //!
 //! Datasets are `dg_data::Dataset` serialized as JSON; models are released
@@ -24,6 +27,9 @@
 //! code, so scripts can tell a typo from a full disk from a diverged run.
 
 #![warn(missing_docs)]
+
+pub mod serve;
+pub use serve::{WireRequest, WireResponse};
 
 use dg_data::Dataset;
 use dg_metrics::{attribute_histogram, average_autocorrelation, curve_mse, jsd_counts, wasserstein1};
@@ -179,6 +185,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "generate" => cmd_generate(args),
         "retrain" => cmd_retrain(args),
         "evaluate" => cmd_evaluate(args),
+        "publish" => serve::cmd_publish(args),
+        "serve" => serve::cmd_serve(args),
+        "sample" => serve::cmd_sample(args),
         other => Err(usage_err(format!("unknown subcommand '{other}'\n{}", usage()))),
     }
 }
@@ -211,6 +220,16 @@ pub fn usage() -> String {
      \x20           --out <model2.json> [--iterations N=300]\n\
      \x20           [--run-log <log.jsonl>]                          mask/shift attributes\n\
      \x20 evaluate  --real <data.json> --synthetic <synth.json>      fidelity report\n\
+     \x20 publish   --model <model.json> --store <dir>\n\
+     \x20           [--family F=model] [--seq N] [--retain N=8]      release into the artifact store\n\
+     \x20 serve     --store <dir> [--family F=model]\n\
+     \x20           [--addr H:P=127.0.0.1:0 | --stdio]\n\
+     \x20           [--reload-every-ms N]                            follow the latest pointer\n\
+     \x20           [--max-requests N] [--max-fused N=64]\n\
+     \x20           [--run-log <log.jsonl>]                          batched sampling service\n\
+     \x20                                                            (line-delimited JSON)\n\
+     \x20 sample    --addr <H:P> --attrs <attrs.json> [--seed S=0]\n\
+     \x20           [--id N=1] [--out <resp.json>]                   one-shot serving client\n\
      \n\
      exit codes: 2 usage/config, 3 I/O, 4 divergence abort, 5 bad input data\n"
         .to_string()
@@ -404,7 +423,7 @@ fn cmd_train(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_generate(args: &Args) -> Result<String, CliError> {
-    let model = load_model(args.required("model")?)?;
+    let sampler = Sampler::new(load_model(args.required("model")?)?);
     let out = args.required("out")?;
     let seed = args.num_or("seed", 0u64)?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -413,12 +432,14 @@ fn cmd_generate(args: &Args) -> Result<String, CliError> {
     // distribution" interface); otherwise n unconditional samples.
     let (synth, how) = if let Some(path) = args.options.get("conditioned") {
         let rows: Vec<Vec<dg_data::Value>> = read_json(path)?;
-        let objects = model.generate_conditioned(&rows, &mut rng);
+        sampler.validate_rows(&rows).map_err(|e| data_err(format!("invalid rows in {path}: {e}")))?;
+        let objects = sampler.generate_conditioned(&rows, &mut rng);
         let n = objects.len();
-        (Dataset::new(model.encoder.schema.clone(), objects), format!("{n} objects conditioned on {path}"))
+        let schema = sampler.model().encoder.schema.clone();
+        (Dataset::new(schema, objects), format!("{n} objects conditioned on {path}"))
     } else {
         let n = args.num_or("n", 100usize)?;
-        (model.generate_dataset(n, &mut rng), format!("{n} objects"))
+        (sampler.generate_dataset(n, &mut rng), format!("{n} objects"))
     };
     write_json(out, &synth)?;
     Ok(format!("generated {how} to {out}"))

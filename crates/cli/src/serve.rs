@@ -1,0 +1,493 @@
+//! `dg publish` / `dg serve` / `dg sample`: the serving workflow.
+//!
+//! `publish` releases a trained model into a crash-safe
+//! [`dg_io::ArtifactStore`]; `serve` loads the newest valid release and
+//! answers conditional-generation requests over a line-delimited JSON
+//! protocol (TCP or stdio), coalescing concurrent requests into fused
+//! generation passes through [`doppelganger::serve::BatchEngine`] and
+//! hot-reloading atomically when the store's `latest` pointer advances;
+//! `sample` is the matching one-shot client.
+//!
+//! ## Wire protocol
+//!
+//! One JSON document per line, one response line per request line:
+//!
+//! ```text
+//! → {"id":1,"seed":42,"attributes":[[{"Cat":0}],[{"Cat":1}]]}
+//! ← {"id":1,"seq":3,"objects":[...],"latency_ms":0.8,"error":null}
+//! ```
+//!
+//! `attributes` is one row per requested synthetic object, in the released
+//! schema's attribute order (`{"Cat":i}` for categorical fields, `{"Cont":x}`
+//! for continuous ones). The `(attributes, seed)` pair fully determines the
+//! response bytes for a given release — the same request returns the same
+//! series whether it runs alone or coalesced with strangers, at any server
+//! thread count. `seq` is the artifact sequence number that served the
+//! response, so clients observe hot-reloads. Rejected or unparsable requests
+//! get `error` set and empty `objects`; the connection stays usable.
+
+use crate::{config_err, data_err, io_err, read_json, Args, CliError};
+use dg_io::ArtifactStore;
+use doppelganger::prelude::*;
+use doppelganger::telemetry::{ModelReloadEvent, ServingHeartbeatEvent};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One request line of the serving protocol.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WireRequest {
+    /// Caller-chosen correlation id, echoed on the response.
+    #[serde(default)]
+    pub id: u64,
+    /// Seed of the request's private noise stream; with `attributes` it
+    /// fully determines the response bytes for a given release.
+    #[serde(default)]
+    pub seed: u64,
+    /// Attribute rows to condition on, one synthetic object per row.
+    pub attributes: Vec<Vec<dg_data::Value>>,
+}
+
+/// One response line of the serving protocol.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WireResponse {
+    /// The request's correlation id (0 when the request didn't parse).
+    pub id: u64,
+    /// Artifact sequence number of the release that generated this
+    /// response, when the model came from a store.
+    pub seq: Option<u64>,
+    /// Generated synthetic objects, one per requested attribute row.
+    pub objects: Vec<dg_data::TimeSeriesObject>,
+    /// Queue + generation latency observed by the engine, milliseconds.
+    pub latency_ms: f64,
+    /// Why the request was rejected; `null` on success.
+    #[serde(default)]
+    pub error: Option<String>,
+}
+
+/// Serves one protocol line: parse, validate, generate (or explain why not).
+fn serve_line(engine: &BatchEngine, line: &str) -> WireResponse {
+    let req: WireRequest = match serde_json::from_str(line.trim()) {
+        Ok(r) => r,
+        Err(e) => {
+            return WireResponse {
+                id: 0,
+                seq: None,
+                objects: Vec::new(),
+                latency_ms: 0.0,
+                error: Some(format!("bad request: {e}")),
+            }
+        }
+    };
+    match engine.sample_blocking(SampleRequest { attribute_rows: req.attributes, seed: req.seed }) {
+        Ok(resp) => WireResponse {
+            id: req.id,
+            seq: resp.seq,
+            objects: resp.objects,
+            latency_ms: resp.latency_ms,
+            error: None,
+        },
+        Err(e) => {
+            WireResponse { id: req.id, seq: None, objects: Vec::new(), latency_ms: 0.0, error: Some(e) }
+        }
+    }
+}
+
+fn emit(log: &Mutex<Option<RunLog>>, event: &RunEvent) {
+    if let Some(l) = log.lock().unwrap().as_mut() {
+        l.emit(event);
+    }
+}
+
+pub(crate) fn cmd_publish(args: &Args) -> Result<String, CliError> {
+    let model_path = args.required("model")?;
+    let store_dir = args.required("store")?;
+    let family = args.get_or("family", "model");
+    let json =
+        std::fs::read_to_string(model_path).map_err(|e| io_err(format!("reading {model_path}: {e}")))?;
+    // Validate before publishing: a store should never hold a release the
+    // sampler would have to skip.
+    DoppelGanger::from_json(&json).map_err(|e| data_err(format!("parsing model {model_path}: {e}")))?;
+    let retain = args.num_or("retain", 8usize)?;
+    let store = ArtifactStore::open_std(store_dir)
+        .map_err(|e| io_err(format!("opening store {store_dir}: {e}")))?
+        .with_retain(retain);
+    let seq = match args.options.get("seq") {
+        Some(v) => v.parse().map_err(|_| config_err(format!("invalid value for --seq: '{v}'")))?,
+        None => {
+            // Auto-increment past the newest existing artifact (valid or
+            // not — a corrupt seq must not be reused).
+            let existing =
+                store.candidates(family).map_err(|e| io_err(format!("listing store {store_dir}: {e}")))?;
+            existing.first().map(|(s, _)| s + 1).unwrap_or(1)
+        }
+    };
+    let outcome = store
+        .put_numbered(family, seq, json.as_bytes())
+        .map_err(|e| io_err(format!("publishing to {store_dir}: {e}")))?;
+    let pointer_note = if outcome.pointer_updated { "" } else { "; warning: latest pointer not updated" };
+    Ok(format!(
+        "published {model_path} as {} (family {family}, seq {seq}){pointer_note}",
+        outcome.path.display()
+    ))
+}
+
+pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let store_dir = args.required("store")?;
+    let family = args.get_or("family", "model").to_string();
+    let store =
+        ArtifactStore::open_std(store_dir).map_err(|e| io_err(format!("opening store {store_dir}: {e}")))?;
+    let (sampler, load) = Sampler::from_store(&store, &family)
+        .map_err(|e| data_err(format!("loading released model from {store_dir}: {e}")))?;
+    for s in &load.skipped {
+        eprintln!("warning: skipped {}: {}", s.path.display(), s.reason);
+    }
+    let seq = load.seq;
+
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        max_fused_requests: args.num_or("max-fused", defaults.max_fused_requests)?,
+        max_fused_rows: args.num_or("max-fused-rows", defaults.max_fused_rows)?,
+        queue_depth: args.num_or("queue-depth", defaults.queue_depth)?,
+    };
+    let engine = Arc::new(BatchEngine::new(sampler, config));
+    let max_requests = args.num_or("max-requests", 0u64)?;
+    let reload_every_ms = args.num_or("reload-every-ms", 0u64)?;
+
+    let log = match args.options.get("run-log") {
+        Some(path) => {
+            let l = RunLog::create(path).map_err(|e| io_err(format!("creating run log {path}: {e}")))?;
+            Arc::new(Mutex::new(Some(l)))
+        }
+        None => Arc::new(Mutex::new(None)),
+    };
+    emit(
+        &log,
+        &RunEvent::ModelReload(ModelReloadEvent {
+            reloaded: true,
+            seq: Some(seq),
+            skipped: load.skipped.iter().map(|s| s.reason.clone()).collect(),
+        }),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+
+    // Hot-reload poller: follow the store's `latest` pointer, install new
+    // releases atomically (in-flight fused passes finish on the release
+    // they snapshotted), and heartbeat the engine counters into the run log.
+    let poller = (reload_every_ms > 0).then(|| {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let log = Arc::clone(&log);
+        let family = family.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(reload_every_ms));
+                match engine.reload(&store, &family) {
+                    Ok(r) => {
+                        if r.reloaded || !r.skipped.is_empty() {
+                            emit(
+                                &log,
+                                &RunEvent::ModelReload(ModelReloadEvent {
+                                    reloaded: r.reloaded,
+                                    seq: Some(r.seq),
+                                    skipped: r.skipped.iter().map(|s| s.reason.clone()).collect(),
+                                }),
+                            );
+                        }
+                    }
+                    // Resolution failed outright; the previous release
+                    // keeps serving.
+                    Err(e) => emit(
+                        &log,
+                        &RunEvent::ModelReload(ModelReloadEvent {
+                            reloaded: false,
+                            seq: engine.loaded_seq(),
+                            skipped: vec![e.to_string()],
+                        }),
+                    ),
+                }
+                let s = engine.stats();
+                emit(
+                    &log,
+                    &RunEvent::ServingHeartbeat(ServingHeartbeatEvent {
+                        elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+                        requests: s.requests,
+                        batches: s.batches,
+                        samples: s.samples,
+                        rejected: s.rejected,
+                        p50_ms: s.p50_ms,
+                        p99_ms: s.p99_ms,
+                    }),
+                );
+            }
+        })
+    });
+
+    if args.flag("stdio") {
+        // stdout carries responses, so the ready line goes to stderr.
+        eprintln!("dg serve: ready (stdio, family {family}, seq {seq})");
+        let stdin = std::io::stdin();
+        let mut out = BufWriter::new(std::io::stdout());
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| io_err(format!("reading stdin: {e}")))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let resp = serve_line(&engine, &line);
+            let json =
+                serde_json::to_string(&resp).map_err(|e| data_err(format!("serializing response: {e}")))?;
+            writeln!(out, "{json}")
+                .and_then(|_| out.flush())
+                .map_err(|e| io_err(format!("writing response: {e}")))?;
+            let n = served.fetch_add(1, Ordering::Relaxed) + 1;
+            if max_requests > 0 && n >= max_requests {
+                break;
+            }
+        }
+    } else {
+        let addr = args.get_or("addr", "127.0.0.1:0");
+        let listener = TcpListener::bind(addr).map_err(|e| io_err(format!("binding {addr}: {e}")))?;
+        let local = listener.local_addr().map_err(|e| io_err(e.to_string()))?;
+        // The ready line is a contract: scripts parse the bound address off
+        // it (ports are usually OS-assigned via --addr 127.0.0.1:0).
+        println!("dg serve: listening on {local} (family {family}, seq {seq})");
+        std::io::stdout().flush().ok();
+        let mut handlers = Vec::new();
+        for conn in listener.incoming() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let engine = Arc::clone(&engine);
+            let served = Arc::clone(&served);
+            let stop = Arc::clone(&stop);
+            handlers.push(std::thread::spawn(move || {
+                handle_conn(stream, engine, served, stop, max_requests, local)
+            }));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    if let Some(p) = poller {
+        let _ = p.join();
+    }
+    let stats = engine.stats();
+    emit(
+        &log,
+        &RunEvent::ServingHeartbeat(ServingHeartbeatEvent {
+            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+            requests: stats.requests,
+            batches: stats.batches,
+            samples: stats.samples,
+            rejected: stats.rejected,
+            p50_ms: stats.p50_ms,
+            p99_ms: stats.p99_ms,
+        }),
+    );
+    engine.shutdown();
+    Ok(format!(
+        "served {} requests in {} fused passes ({} samples, {} rejected, {} reloads, p50 {:.2} ms, p99 {:.2} ms)",
+        stats.requests, stats.batches, stats.samples, stats.rejected, stats.reloads, stats.p50_ms, stats.p99_ms
+    ))
+}
+
+/// One TCP connection: read request lines, write response lines. Short read
+/// timeouts keep the handler responsive to shutdown instead of blocking
+/// forever on an idle connection.
+fn handle_conn(
+    stream: TcpStream,
+    engine: Arc<BatchEngine>,
+    served: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    max_requests: u64,
+    wake: SocketAddr,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed the connection
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let resp = serve_line(&engine, &line);
+                    let Ok(json) = serde_json::to_string(&resp) else { return };
+                    if writeln!(writer, "{json}").and_then(|_| writer.flush()).is_err() {
+                        return;
+                    }
+                    if max_requests > 0 && served.fetch_add(1, Ordering::Relaxed) + 1 >= max_requests {
+                        stop.store(true, Ordering::Relaxed);
+                        // Unblock the accept loop so the server can exit.
+                        let _ = TcpStream::connect(wake);
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            // A timeout mid-line leaves the partial bytes in `line`; the
+            // next read appends the rest.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+pub(crate) fn cmd_sample(args: &Args) -> Result<String, CliError> {
+    let addr = args.required("addr")?;
+    let attrs_path = args.required("attrs")?;
+    let attributes: Vec<Vec<dg_data::Value>> = read_json(attrs_path)?;
+    let seed = args.num_or("seed", 0u64)?;
+    let id = args.num_or("id", 1u64)?;
+    let timeout_ms = args.num_or("connect-timeout-ms", 10_000u64)?;
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    // The server may still be binding; retry until the deadline.
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(io_err(format!("connecting to {addr}: {e}")));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    let req = WireRequest { id, seed, attributes };
+    let json = serde_json::to_string(&req).map_err(|e| data_err(format!("serializing request: {e}")))?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| io_err(e.to_string()))?);
+    writeln!(writer, "{json}")
+        .and_then(|_| writer.flush())
+        .map_err(|e| io_err(format!("sending request to {addr}: {e}")))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| io_err(format!("reading response from {addr}: {e}")))?;
+    if line.trim().is_empty() {
+        return Err(io_err(format!("{addr} closed the connection without responding")));
+    }
+    let resp: WireResponse =
+        serde_json::from_str(line.trim()).map_err(|e| data_err(format!("parsing response: {e}")))?;
+    if let Some(e) = &resp.error {
+        return Err(data_err(format!("server rejected the request: {e}")));
+    }
+    if let Some(out) = args.options.get("out") {
+        dg_io::atomic_write(Path::new(out), line.trim().as_bytes())
+            .map_err(|e| io_err(format!("writing {out}: {e}")))?;
+    }
+    // The raw response line is the report, so scripts can pipe it to jq.
+    Ok(line.trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+    use dg_data::Value;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tiny_model(seed: u64) -> DoppelGanger {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg =
+            dg_datasets::SineConfig { num_objects: 16, length: 12, periods: vec![4, 8], noise_sigma: 0.05 };
+        let data = dg_datasets::sine::generate(&cfg, &mut rng);
+        let mut dg_cfg = DgConfig::quick().with_recommended_s(12);
+        dg_cfg.attr_hidden = 8;
+        dg_cfg.lstm_hidden = 8;
+        dg_cfg.head_hidden = 8;
+        dg_cfg.batch_size = 4;
+        DoppelGanger::new(&data, dg_cfg, &mut rng)
+    }
+
+    #[test]
+    fn publish_auto_increments_and_updates_the_pointer() {
+        let dir = std::env::temp_dir().join(format!("dg-cli-publish-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let model = tiny_model(3);
+        dg_io::atomic_write(&dir.join("model.json"), model.to_json().as_bytes()).unwrap();
+
+        let out = run(&Args::parse(argv(&format!(
+            "publish --model {} --store {} --family m",
+            p("model.json"),
+            p("store")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("seq 1"), "{out}");
+        let out = run(&Args::parse(argv(&format!(
+            "publish --model {} --store {} --family m",
+            p("model.json"),
+            p("store")
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("seq 2"), "{out}");
+
+        let store = ArtifactStore::open_std(p("store")).unwrap();
+        assert_eq!(store.latest_hint("m"), Some(2));
+
+        // A non-model payload is rejected before it can pollute the store.
+        dg_io::atomic_write(&dir.join("junk.json"), b"{\"not\":\"a model\"}").unwrap();
+        let err = run(&Args::parse(argv(&format!(
+            "publish --model {} --store {} --family m",
+            p("junk.json"),
+            p("store")
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert_eq!(err.kind, crate::CliErrorKind::Data, "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wire_protocol_serves_echoes_ids_and_explains_rejections() {
+        let engine = BatchEngine::new(Sampler::new(tiny_model(4)), ServeConfig::default());
+        let req = WireRequest { id: 7, seed: 42, attributes: vec![vec![Value::Cat(0)], vec![Value::Cat(1)]] };
+        let resp = serve_line(&engine, &serde_json::to_string(&req).unwrap());
+        assert_eq!(resp.id, 7);
+        assert_eq!(resp.objects.len(), 2);
+        assert!(resp.error.is_none(), "{:?}", resp.error);
+        assert_eq!(resp.objects[0].attributes, vec![Value::Cat(0)]);
+
+        // Same request, same release: byte-identical response objects.
+        let again = serve_line(&engine, &serde_json::to_string(&req).unwrap());
+        assert_eq!(
+            serde_json::to_string(&resp.objects).unwrap(),
+            serde_json::to_string(&again.objects).unwrap()
+        );
+
+        let garbage = serve_line(&engine, "{ not json");
+        assert!(garbage.error.is_some());
+        assert!(garbage.objects.is_empty());
+
+        let wrong_arity =
+            WireRequest { id: 8, seed: 1, attributes: vec![vec![Value::Cat(0), Value::Cat(1)]] };
+        let rejected = serve_line(&engine, &serde_json::to_string(&wrong_arity).unwrap());
+        assert_eq!(rejected.id, 8);
+        assert!(rejected.error.is_some());
+    }
+}

@@ -1,0 +1,225 @@
+//! End-to-end hot-reload atomicity of `dg serve` at the process level:
+//! publish a release, serve requests over TCP, advance the store's `latest`
+//! pointer mid-stream, and require responses to switch releases atomically —
+//! every response must be byte-identical to a direct `dg generate
+//! --conditioned` pass against the release whose `seq` it reports, with no
+//! response ever mixing the two.
+
+use dg_cli::{WireRequest, WireResponse};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dg-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn dg(args: &[&str], dir: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dg")).args(args).current_dir(dir).output().expect("spawn dg")
+}
+
+fn dg_ok(args: &[&str], dir: &Path) -> String {
+    let out = dg(args, dir);
+    assert!(out.status.success(), "dg {args:?} failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Kills the serve child if the test panics before its clean exit.
+struct ChildGuard(Option<Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if let Some(mut c) = self.0.take() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// Object bytes of a `dg generate --conditioned` ground-truth dataset.
+fn ground_truth_objects(dir: &Path, name: &str) -> String {
+    let ds: dg_data::Dataset =
+        serde_json::from_str(&std::fs::read_to_string(dir.join(name)).unwrap()).unwrap();
+    serde_json::to_string(&ds.objects).unwrap()
+}
+
+fn send(writer: &mut impl Write, reader: &mut impl BufRead, req: &WireRequest) -> WireResponse {
+    writeln!(writer, "{}", serde_json::to_string(req).unwrap()).unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    serde_json::from_str(line.trim()).unwrap_or_else(|e| panic!("bad response line {line:?}: {e}"))
+}
+
+#[test]
+fn serve_switches_releases_atomically_when_the_pointer_advances() {
+    const MAX_REQUESTS: u64 = 40;
+    let dir = tmpdir("reload");
+    dg_ok(&["demo", "--out", "data.json", "--objects", "16", "--length", "10"], &dir);
+
+    // Two distinct releases of the same schema: different training seeds.
+    dg_ok(&["train", "--data", "data.json", "--out", "a.json", "--iterations", "2", "--batch", "8"], &dir);
+    dg_ok(
+        &[
+            "train",
+            "--data",
+            "data.json",
+            "--out",
+            "b.json",
+            "--iterations",
+            "2",
+            "--batch",
+            "8",
+            "--seed",
+            "1",
+        ],
+        &dir,
+    );
+
+    // The request every response will be checked against: fixed rows, fixed
+    // seed, so each release has exactly one correct answer.
+    let rows: Vec<Vec<dg_data::Value>> = vec![vec![dg_data::Value::Cat(0)], vec![dg_data::Value::Cat(1)]];
+    std::fs::write(dir.join("attrs.json"), serde_json::to_string(&rows).unwrap()).unwrap();
+    dg_ok(
+        &[
+            "generate",
+            "--model",
+            "a.json",
+            "--out",
+            "cond_a.json",
+            "--conditioned",
+            "attrs.json",
+            "--seed",
+            "7",
+        ],
+        &dir,
+    );
+    dg_ok(
+        &[
+            "generate",
+            "--model",
+            "b.json",
+            "--out",
+            "cond_b.json",
+            "--conditioned",
+            "attrs.json",
+            "--seed",
+            "7",
+        ],
+        &dir,
+    );
+    let want_a = ground_truth_objects(&dir, "cond_a.json");
+    let want_b = ground_truth_objects(&dir, "cond_b.json");
+    assert_ne!(want_a, want_b, "the two releases must generate different bytes");
+
+    let out = dg_ok(&["publish", "--model", "a.json", "--store", "store", "--family", "model"], &dir);
+    assert!(out.contains("seq 1"), "{out}");
+
+    let mut child = ChildGuard(Some(
+        Command::new(env!("CARGO_BIN_EXE_dg"))
+            .args([
+                "serve",
+                "--store",
+                "store",
+                "--family",
+                "model",
+                "--addr",
+                "127.0.0.1:0",
+                "--reload-every-ms",
+                "50",
+                "--max-requests",
+                &MAX_REQUESTS.to_string(),
+                "--run-log",
+                "serve.jsonl",
+            ])
+            .current_dir(&dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn dg serve"),
+    ));
+    let mut child_out = BufReader::new(child.0.as_mut().unwrap().stdout.take().unwrap());
+    let mut ready = String::new();
+    child_out.read_line(&mut ready).unwrap();
+    let addr = ready
+        .split("listening on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in ready line {ready:?}"))
+        .to_string();
+    assert!(ready.contains("seq 1"), "server did not start on release 1: {ready:?}");
+
+    let stream = TcpStream::connect(&addr).expect("connect to dg serve");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // Before the pointer advances: release 1, bytes of cond_a.
+    let req = WireRequest { id: 1, seed: 7, attributes: rows.clone() };
+    let resp = send(&mut writer, &mut reader, &req);
+    assert_eq!(resp.seq, Some(1), "first response must come from release 1");
+    assert_eq!(serde_json::to_string(&resp.objects).unwrap(), want_a, "release-1 bytes diverged");
+    assert!(resp.error.is_none());
+
+    // Advance the pointer mid-stream.
+    let out = dg_ok(&["publish", "--model", "b.json", "--store", "store", "--family", "model"], &dir);
+    assert!(out.contains("seq 2"), "{out}");
+
+    // Poll with the same request until the reload lands. Atomicity: every
+    // response along the way is *entirely* release 1 or *entirely*
+    // release 2 — its bytes must match the ground truth of its own seq.
+    let mut sent: u64 = 1;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(Instant::now() < deadline, "server never picked up release 2");
+        sent += 1;
+        assert!(sent < MAX_REQUESTS, "request budget exhausted before the reload landed");
+        let resp =
+            send(&mut writer, &mut reader, &WireRequest { id: sent, seed: 7, attributes: rows.clone() });
+        let got = serde_json::to_string(&resp.objects).unwrap();
+        match resp.seq {
+            Some(1) => assert_eq!(got, want_a, "in-flight response mixed releases"),
+            Some(2) => {
+                assert_eq!(got, want_b, "post-reload response mixed releases");
+                break;
+            }
+            other => panic!("unexpected seq {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Exhaust --max-requests so the server exits on its own.
+    while sent < MAX_REQUESTS {
+        sent += 1;
+        let resp =
+            send(&mut writer, &mut reader, &WireRequest { id: sent, seed: 7, attributes: rows.clone() });
+        assert_eq!(resp.seq, Some(2), "release 2 must keep serving after the reload");
+    }
+    drop(writer);
+
+    let status = child.0.take().unwrap().wait().expect("wait for dg serve");
+    assert!(status.success(), "dg serve exited with {status:?}");
+
+    // The run log recorded the hot-reload and the serving counters.
+    let log = std::fs::read_to_string(dir.join("serve.jsonl")).unwrap();
+    assert!(
+        log.lines().any(|l| l.contains("\"ModelReload\"") && l.contains("\"seq\":2")),
+        "no reload event in:\n{log}"
+    );
+    assert!(log.lines().any(|l| l.contains("\"ServingHeartbeat\"")), "no heartbeat in:\n{log}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_refuses_to_start_on_an_empty_store() {
+    let dir = tmpdir("empty");
+    std::fs::create_dir_all(dir.join("store")).unwrap();
+    let out = dg(&["serve", "--store", "store", "--family", "model"], &dir);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(5), "an empty store is a data error");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -260,7 +260,7 @@ mod tests {
         assert_eq!(ck.d_updates, 2);
         // The restored model can generate immediately.
         let restored = Trainer::resume(ck);
-        let objs = restored.model.generate(2, &mut rng);
+        let objs = crate::sampler::Sampler::new(restored.model).generate(2, &mut rng);
         assert_eq!(objs.len(), 2);
     }
 

@@ -37,8 +37,8 @@
 //! trainer.fit(&encoded, 400, &mut rng, |m| {
 //!     if m.iteration % 100 == 0 { println!("iter {} W≈{:.3}", m.iteration, m.wasserstein); }
 //! });
-//! let model = trainer.into_model();
-//! let synthetic = model.generate_dataset(1000, &mut rng);
+//! let sampler = Sampler::new(trainer.into_model());
+//! let synthetic = sampler.generate_dataset(1000, &mut rng);
 //! println!("generated {} objects", synthetic.len());
 //! ```
 
@@ -52,6 +52,8 @@ pub mod layout;
 pub mod model;
 pub mod retrain;
 pub mod rng;
+pub mod sampler;
+pub mod serve;
 pub mod telemetry;
 pub mod trainer;
 
@@ -66,6 +68,8 @@ pub mod prelude {
         retrain_attribute_generator, retrain_attribute_generator_monitored, AttributeDistribution,
     };
     pub use crate::rng::{SharedRng, TrainRng};
+    pub use crate::sampler::{ReloadReport, SampleRequest, Sampler, SamplerError};
+    pub use crate::serve::{BatchEngine, ServeConfig, ServeStats};
     pub use crate::telemetry::{
         DivergencePolicy, FitOutcome, FitReport, RunEvent, RunLog, TrainError, TrainMonitor, Watchdog,
         WatchdogConfig,
@@ -75,4 +79,5 @@ pub mod prelude {
 
 pub use config::DgConfig;
 pub use model::DoppelGanger;
+pub use sampler::Sampler;
 pub use trainer::Trainer;

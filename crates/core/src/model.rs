@@ -22,18 +22,8 @@ use dg_nn::graph::{Graph, Var};
 use dg_nn::layers::{Activation, LstmCell, Mlp};
 use dg_nn::params::{ParamId, ParamStore};
 use dg_nn::tensor::Tensor;
-use dg_nn::workspace::Workspace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-
-/// One generation chunk's pre-drawn noise, in consumption order (attribute
-/// z, min/max z, one feature z per unrolled step). See
-/// [`DoppelGanger::draw_gen_noise`].
-struct GenNoise {
-    attr_z: Option<Tensor>,
-    minmax_z: Option<Tensor>,
-    feat_z: Vec<Tensor>,
-}
 
 /// A trained (or trainable) DoppelGANger model.
 ///
@@ -239,7 +229,7 @@ impl DoppelGanger {
         self.gen_attributes_z(g, z, frozen)
     }
 
-    fn gen_attributes_z(&self, g: &mut Graph, z: Var, frozen: bool) -> Var {
+    pub(crate) fn gen_attributes_z(&self, g: &mut Graph, z: Var, frozen: bool) -> Var {
         let raw = if frozen {
             self.attr_gen.forward_frozen(g, &self.store, z)
         } else {
@@ -257,7 +247,7 @@ impl DoppelGanger {
         self.gen_minmax_z(g, attrs, z, frozen)
     }
 
-    fn gen_minmax_z(&self, g: &mut Graph, attrs: Var, z: Option<Var>, frozen: bool) -> Var {
+    pub(crate) fn gen_minmax_z(&self, g: &mut Graph, attrs: Var, z: Option<Var>, frozen: bool) -> Var {
         let batch = g.value(attrs).rows();
         match &self.minmax_gen {
             None => g.constant_zeros(batch, 0),
@@ -290,7 +280,7 @@ impl DoppelGanger {
         self.gen_features_z(g, attrs, minmax, &mut |g| g.constant_randn(batch, dim, 1.0, rng), frozen)
     }
 
-    fn gen_features_z(
+    pub(crate) fn gen_features_z(
         &self,
         g: &mut Graph,
         attrs: Var,
@@ -372,167 +362,55 @@ impl DoppelGanger {
         }
     }
 
-    // ---- sampling ----------------------------------------------------------
+    // ---- sampling (legacy entry points) ------------------------------------
+    //
+    // Generation lives in the sampler subsystem now ([`crate::sampler`]);
+    // these wrappers delegate and exist only so released-model consumers
+    // migrate on their own schedule.
 
-    /// Draws one chunk's worth of generation noise from `rng`, in exactly
-    /// the order the serial graph builders consume it (attribute z, then
-    /// min/max z, then one feature z per step). Pre-drawing the bundles
-    /// serially before a pooled fan-out keeps the generated bytes identical
-    /// to a serial rollout — the caller's RNG advances by the same draws in
-    /// the same order regardless of thread count or pool schedule.
-    fn draw_gen_noise<R: Rng + ?Sized>(&self, batch: usize, with_attrs: bool, rng: &mut R) -> GenNoise {
-        let attr_z = with_attrs.then(|| Tensor::randn(batch, self.config.attr_noise_dim, 1.0, rng));
-        let minmax_z =
-            self.minmax_gen.as_ref().map(|_| Tensor::randn(batch, self.config.minmax_noise_dim, 1.0, rng));
-        let feat_z = (0..self.num_steps)
-            .map(|_| Tensor::randn(batch, self.config.feature_noise_dim, 1.0, rng))
-            .collect();
-        GenNoise { attr_z, minmax_z, feat_z }
-    }
-
-    /// `gen_full` over a pre-drawn noise bundle (frozen weights).
-    fn gen_full_from(&self, g: &mut Graph, noise: GenNoise, frozen: bool) -> (Var, Var, Var) {
-        let attr_z = noise.attr_z.expect("attribute noise must be drawn for unconditioned generation");
-        let z = g.constant(attr_z);
-        let attrs = self.gen_attributes_z(g, z, frozen);
-        self.gen_rest_from(g, attrs, noise.minmax_z, noise.feat_z, frozen)
-    }
-
-    /// Min/max + features over pre-drawn noise, conditioned on `attrs`.
-    fn gen_rest_from(
-        &self,
-        g: &mut Graph,
-        attrs: Var,
-        minmax_z: Option<Tensor>,
-        feat_z: Vec<Tensor>,
-        frozen: bool,
-    ) -> (Var, Var, Var) {
-        let mz = minmax_z.map(|t| g.constant(t));
-        let minmax = self.gen_minmax_z(g, attrs, mz, frozen);
-        let mut steps = feat_z.into_iter();
-        let feats = self.gen_features_z(
-            g,
-            attrs,
-            minmax,
-            &mut |g| g.constant(steps.next().expect("one feature noise tensor per step")),
-            frozen,
-        );
-        (attrs, minmax, feats)
-    }
-
-    /// Generates `n` encoded samples with the frozen model, in chunks of the
-    /// training batch size to bound graph memory. The chunk rollouts fan out
-    /// across the persistent `dg-nn` worker pool; all noise is pre-drawn
-    /// from `rng` serially in chunk order *before* the dispatch
-    /// ([`DoppelGanger::draw_gen_noise`]), so the sample stream is bitwise
-    /// identical to a serial rollout for every thread count and pool
-    /// schedule.
+    /// Generates `n` encoded samples with the frozen model.
+    #[deprecated(
+        since = "0.1.0",
+        note = "generation moved to the sampler subsystem; use `dg_core::sampler::Sampler::generate_encoded`"
+    )]
     pub fn generate_encoded<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> (Tensor, Tensor, Tensor) {
-        let chunk = self.config.batch_size.max(1);
-        let chunks = n.div_ceil(chunk);
-        let mut noises: Vec<Option<GenNoise>> =
-            (0..chunks).map(|ci| Some(self.draw_gen_noise(chunk.min(n - ci * chunk), true, rng))).collect();
-        let mut slots: Vec<Option<(Tensor, Tensor, Tensor)>> = (0..chunks).map(|_| None).collect();
-        // Group the chunks into one contiguous run per worker so each run
-        // reuses a single workspace across its chunks (the old serial loop's
-        // buffer-recycling, now per executor).
-        let groups = dg_nn::parallel::num_threads().clamp(1, chunks.max(1));
-        let gsize = chunks.div_ceil(groups);
-        type EncRun<'a> = (&'a mut [Option<(Tensor, Tensor, Tensor)>], &'a mut [Option<GenNoise>]);
-        let work: Vec<std::sync::Mutex<(EncRun<'_>, Workspace)>> = slots
-            .chunks_mut(gsize)
-            .zip(noises.chunks_mut(gsize))
-            .map(|run| std::sync::Mutex::new((run, Workspace::new())))
-            .collect();
-        dg_nn::parallel::run_indexed(work.len(), |gi| {
-            let mut pair = work[gi].lock().unwrap();
-            let ((run, nz), ws) = &mut *pair;
-            for (slot, noise) in run.iter_mut().zip(nz.iter_mut()) {
-                let noise = noise.take().expect("each chunk's noise is consumed once");
-                let mut g = Graph::with_workspace(std::mem::take(ws));
-                let (a, m, f) = self.gen_full_from(&mut g, noise, true);
-                *slot = Some((g.value(a).clone(), g.value(m).clone(), g.value(f).clone()));
-                *ws = g.finish();
-            }
-        });
-        drop(work);
-        let parts: Vec<(Tensor, Tensor, Tensor)> =
-            slots.into_iter().map(|s| s.expect("every generation chunk is filled")).collect();
-        let ar: Vec<&Tensor> = parts.iter().map(|p| &p.0).collect();
-        let mr: Vec<&Tensor> = parts.iter().map(|p| &p.1).collect();
-        let fr: Vec<&Tensor> = parts.iter().map(|p| &p.2).collect();
-        (Tensor::concat_rows(&ar), Tensor::concat_rows(&mr), Tensor::concat_rows(&fr))
+        crate::sampler::encoded_rollout(self, n, rng)
     }
 
     /// Generates `n` synthetic objects (decoded).
+    #[deprecated(
+        since = "0.1.0",
+        note = "generation moved to the sampler subsystem; use `dg_core::sampler::Sampler::generate`"
+    )]
     pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<TimeSeriesObject> {
-        let (a, m, f) = self.generate_encoded(n, rng);
+        let (a, m, f) = crate::sampler::encoded_rollout(self, n, rng);
         self.encoder.decode(&a, &m, &f)
     }
 
     /// Generates one synthetic object per supplied attribute row,
-    /// *conditioned* on those attributes: the attribute generator is skipped
-    /// and the min/max + feature generators run on the encoded rows.
-    ///
-    /// This is the "desired attribute distribution" interface of §3.1 in its
-    /// purest form — the consumer dictates the attributes, the model supplies
-    /// `P(R | A)`. (The §5.2 retraining mechanism is the *trainable* variant
-    /// of the same idea; see [`crate::retrain`].)
+    /// *conditioned* on those attributes (the §3.1 "desired attribute
+    /// distribution" interface; see [`crate::retrain`] for the trainable
+    /// variant).
+    #[deprecated(
+        since = "0.1.0",
+        note = "generation moved to the sampler subsystem; use `dg_core::sampler::Sampler::generate_conditioned`"
+    )]
     pub fn generate_conditioned<R: Rng + ?Sized>(
         &self,
         attribute_rows: &[Vec<dg_data::Value>],
         rng: &mut R,
     ) -> Vec<TimeSeriesObject> {
-        let chunk = self.config.batch_size.max(1);
-        let chunks = attribute_rows.len().div_ceil(chunk);
-        // Same pooled rollout scheme as `generate_encoded`: noise pre-drawn
-        // serially per chunk (no attribute z — the attributes are given),
-        // chunk order restored at the merge.
-        let mut noises: Vec<Option<GenNoise>> = (0..chunks)
-            .map(|ci| {
-                let b = attribute_rows.len().min((ci + 1) * chunk) - ci * chunk;
-                Some(self.draw_gen_noise(b, false, rng))
-            })
-            .collect();
-        let mut slots: Vec<Option<Vec<TimeSeriesObject>>> = (0..chunks).map(|_| None).collect();
-        let groups = dg_nn::parallel::num_threads().clamp(1, chunks.max(1));
-        let gsize = chunks.div_ceil(groups);
-        type CondRun<'a> = (&'a mut [Option<Vec<TimeSeriesObject>>], &'a mut [Option<GenNoise>]);
-        let work: Vec<std::sync::Mutex<(CondRun<'_>, Workspace)>> = slots
-            .chunks_mut(gsize)
-            .zip(noises.chunks_mut(gsize))
-            .map(|run| std::sync::Mutex::new((run, Workspace::new())))
-            .collect();
-        dg_nn::parallel::run_indexed(work.len(), |gi| {
-            let mut pair = work[gi].lock().unwrap();
-            let ((run, nz), ws) = &mut *pair;
-            for (j, (slot, noise)) in run.iter_mut().zip(nz.iter_mut()).enumerate() {
-                let ci = gi * gsize + j;
-                let rows = &attribute_rows[ci * chunk..attribute_rows.len().min((ci + 1) * chunk)];
-                let noise = noise.take().expect("each chunk's noise is consumed once");
-                let attrs = self.encoder.encode_attribute_rows(rows);
-                let mut g = Graph::with_workspace(std::mem::take(ws));
-                let a = g.constant(attrs.clone());
-                let (_a, m, f) = self.gen_rest_from(&mut g, a, noise.minmax_z, noise.feat_z, true);
-                let minmax = g.value(m).clone();
-                let feats = g.value(f).clone();
-                let mut objs = self.encoder.decode(&attrs, &minmax, &feats);
-                // Force the requested attributes verbatim (decode argmaxes the
-                // one-hot blocks, which is exact here, but continuous attributes
-                // would round-trip through scaling).
-                for (o, want) in objs.iter_mut().zip(rows) {
-                    o.attributes = want.clone();
-                }
-                *slot = Some(objs);
-                *ws = g.finish();
-            }
-        });
-        slots.into_iter().flat_map(|s| s.expect("every conditioned chunk is filled")).collect()
+        crate::sampler::conditioned_rollout(self, attribute_rows, rng, dg_nn::parallel::num_threads())
     }
 
     /// Generates `n` synthetic objects as a [`Dataset`] sharing the training
     /// schema.
+    #[deprecated(
+        since = "0.1.0",
+        note = "generation moved to the sampler subsystem; use `dg_core::sampler::Sampler::generate_dataset`"
+    )]
     pub fn generate_dataset<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Dataset {
+        #[allow(deprecated)]
         Dataset::new(self.encoder.schema.clone(), self.generate(n, rng))
     }
 
@@ -555,6 +433,7 @@ impl DoppelGanger {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sampler::Sampler;
     use dg_data::Value;
     use dg_datasets::sine::{self, SineConfig};
     use rand::rngs::StdRng;
@@ -609,7 +488,8 @@ mod tests {
     fn generated_objects_decode_with_valid_schema() {
         let (model, data) = tiny_model(5);
         let mut rng = StdRng::seed_from_u64(6);
-        let objs = model.generate(12, &mut rng);
+        let sampler = Sampler::new(model);
+        let objs = sampler.generate(12, &mut rng);
         assert_eq!(objs.len(), 12);
         for o in &objs {
             assert_eq!(o.attributes.len(), 1);
@@ -620,7 +500,7 @@ mod tests {
             }
         }
         // Dataset constructor re-validates everything.
-        let _ = model.generate_dataset(5, &mut rng);
+        let _ = sampler.generate_dataset(5, &mut rng);
     }
 
     #[test]
@@ -668,8 +548,8 @@ mod tests {
         let back = DoppelGanger::from_json(&json).unwrap();
         let mut r1 = StdRng::seed_from_u64(12);
         let mut r2 = StdRng::seed_from_u64(12);
-        let (a1, _, f1) = model.generate_encoded(4, &mut r1);
-        let (a2, _, f2) = back.generate_encoded(4, &mut r2);
+        let (a1, _, f1) = Sampler::new(model).generate_encoded(4, &mut r1);
+        let (a2, _, f2) = Sampler::new(back).generate_encoded(4, &mut r2);
         assert_eq!(a1, a2);
         assert_eq!(f1, f2);
     }
@@ -683,7 +563,7 @@ mod tests {
         let model = DoppelGanger::new(&data, dg_cfg, &mut rng);
         assert!(model.minmax_gen.is_none());
         assert_eq!(model.encoder.minmax_width(), 0);
-        let objs = model.generate(3, &mut rng);
+        let objs = Sampler::new(model).generate(3, &mut rng);
         assert_eq!(objs.len(), 3);
     }
 
@@ -692,7 +572,7 @@ mod tests {
         let (model, _) = tiny_model(15);
         let mut rng = StdRng::seed_from_u64(16);
         let rows = vec![vec![Value::Cat(0)], vec![Value::Cat(1)], vec![Value::Cat(1)], vec![Value::Cat(0)]];
-        let objs = model.generate_conditioned(&rows, &mut rng);
+        let objs = Sampler::new(model).generate_conditioned(&rows, &mut rng);
         assert_eq!(objs.len(), 4);
         for (o, want) in objs.iter().zip(&rows) {
             assert_eq!(&o.attributes, want);
@@ -711,7 +591,8 @@ mod tests {
         let dg_cfg = DgConfig::quick().with_s(16); // S > max_len: one pass, sliced
         let model = DoppelGanger::new(&data, dg_cfg, &mut rng);
         assert_eq!(model.num_steps, 1);
-        let (_, _, f) = model.generate_encoded(2, &mut rng);
-        assert_eq!(f.cols(), 10 * model.encoder.step_width());
+        let step_width = model.encoder.step_width();
+        let (_, _, f) = Sampler::new(model).generate_encoded(2, &mut rng);
+        assert_eq!(f.cols(), 10 * step_width);
     }
 }

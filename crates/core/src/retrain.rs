@@ -348,7 +348,7 @@ mod tests {
         }
 
         // The attribute marginal should now be heavily class-1.
-        let objs = model.generate(100, &mut rng);
+        let objs = crate::sampler::Sampler::new(model.clone()).generate(100, &mut rng);
         let ones = objs.iter().filter(|o| o.attributes[0] == Value::Cat(1)).count();
         assert!(ones >= 75, "expected impulse retraining to dominate class 1, got {ones}/100");
     }

@@ -1,0 +1,381 @@
+//! In-process serving engine: a bounded request queue draining into fused
+//! generation passes, with atomic hot-reload and request/batch/latency
+//! counters.
+//!
+//! [`BatchEngine`] sits between a transport (the `dg serve` socket/stdio
+//! front end, the serving bench) and a [`Sampler`]:
+//!
+//! * callers submit [`SampleRequest`]s into a bounded queue
+//!   (backpressure: a full queue blocks the submitter, it never grows
+//!   unbounded);
+//! * a single batcher thread drains whatever is queued — up to
+//!   [`ServeConfig::max_fused_requests`] requests /
+//!   [`ServeConfig::max_fused_rows`] rows — and serves them in **one**
+//!   fused [`Sampler::sample_fused`] pass, so concurrent callers share
+//!   graph recordings and wide GEMMs instead of queuing per-request
+//!   passes;
+//! * the batcher snapshots the model handle **once per fused pass**:
+//!   [`BatchEngine::reload`] swaps the engine's [`Sampler`] atomically,
+//!   in-flight passes finish against the release they started with, and
+//!   every later pass picks up the new one — the hot-reload atomicity
+//!   contract `dg serve` exposes.
+//!
+//! Fusion never changes bytes: each request's output depends only on its
+//! own `(attribute_rows, seed)` and the loaded release (see the
+//! determinism notes in [`crate::sampler`]), so a request observes the
+//! same series whether it ran alone or coalesced with strangers.
+
+use crate::model::DoppelGanger;
+use crate::sampler::{ReloadReport, SampleRequest, Sampler, SamplerError};
+use dg_data::TimeSeriesObject;
+use dg_io::{ArtifactStore, Backend};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Tuning knobs for a [`BatchEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum requests coalesced into one fused pass. `1` disables
+    /// coalescing entirely (the unbatched reference mode the serving
+    /// bench compares against).
+    pub max_fused_requests: usize,
+    /// Maximum total rows (synthetic objects) per fused pass.
+    pub max_fused_rows: usize,
+    /// Bound of the request queue; submitters block when it is full.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { max_fused_requests: 64, max_fused_rows: 4096, queue_depth: 256 }
+    }
+}
+
+/// One served response.
+#[derive(Debug, Clone)]
+pub struct SampleResponse {
+    /// Artifact sequence number of the release that generated this
+    /// response, when the model came from a store.
+    pub seq: Option<u64>,
+    /// The generated synthetic objects, one per requested attribute row.
+    pub objects: Vec<TimeSeriesObject>,
+    /// Queue + generation latency observed by the engine, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// A point-in-time snapshot of the engine's counters.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServeStats {
+    /// Requests served (responses delivered).
+    pub requests: u64,
+    /// Fused passes executed.
+    pub batches: u64,
+    /// Synthetic objects generated.
+    pub samples: u64,
+    /// Requests rejected at validation.
+    pub rejected: u64,
+    /// Hot-reloads that installed a different release.
+    pub reloads: u64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+struct Job {
+    req: SampleRequest,
+    reply: mpsc::Sender<SampleResponse>,
+    enqueued: Instant,
+}
+
+struct Inner {
+    sampler: Mutex<Sampler>,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    samples: AtomicU64,
+    rejected: AtomicU64,
+    reloads: AtomicU64,
+    latencies: Mutex<Vec<f64>>,
+}
+
+/// The request-coalescing serving engine. See the module docs for the
+/// queue/fusion/hot-reload contract.
+pub struct BatchEngine {
+    tx: Mutex<Option<SyncSender<Job>>>,
+    inner: Arc<Inner>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl BatchEngine {
+    /// Starts an engine (and its batcher thread) over `sampler`.
+    pub fn new(sampler: Sampler, config: ServeConfig) -> Self {
+        let inner = Arc::new(Inner {
+            sampler: Mutex::new(sampler),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            latencies: Mutex::new(Vec::new()),
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let worker = {
+            let inner = Arc::clone(&inner);
+            let max_reqs = config.max_fused_requests.max(1);
+            let max_rows = config.max_fused_rows.max(1);
+            std::thread::spawn(move || batcher_loop(rx, inner, max_reqs, max_rows))
+        };
+        BatchEngine { tx: Mutex::new(Some(tx)), inner, worker: Mutex::new(Some(worker)) }
+    }
+
+    /// Validates and enqueues `req`, returning the channel its response
+    /// will arrive on. Blocks while the queue is full (backpressure).
+    pub fn submit(&self, req: SampleRequest) -> Result<Receiver<SampleResponse>, String> {
+        {
+            let sampler = self.inner.sampler.lock().unwrap();
+            if let Err(e) = sampler.validate_rows(&req.attribute_rows) {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        let (reply, rx) = mpsc::channel();
+        let job = Job { req, reply, enqueued: Instant::now() };
+        let tx = self.tx.lock().unwrap().clone();
+        match tx {
+            Some(tx) => tx.send(job).map_err(|_| "serving engine stopped".to_string())?,
+            None => return Err("serving engine stopped".to_string()),
+        }
+        Ok(rx)
+    }
+
+    /// Submits `req` and waits for its response.
+    pub fn sample_blocking(&self, req: SampleRequest) -> Result<SampleResponse, String> {
+        let rx = self.submit(req)?;
+        rx.recv().map_err(|_| "serving engine stopped".to_string())
+    }
+
+    /// Atomically installs the newest valid release of `family` from
+    /// `store`, if it differs from the one currently serving. In-flight
+    /// fused passes complete against the release they snapshotted.
+    pub fn reload<B: Backend>(
+        &self,
+        store: &ArtifactStore<B>,
+        family: &str,
+    ) -> Result<ReloadReport, SamplerError> {
+        let mut sampler = self.inner.sampler.lock().unwrap();
+        let report = sampler.reload(store, family)?;
+        if report.reloaded {
+            self.inner.reloads.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(report)
+    }
+
+    /// Installs a model directly (tests, in-process embedding).
+    pub fn install(&self, model: Arc<DoppelGanger>, seq: Option<u64>) {
+        self.inner.sampler.lock().unwrap().install(model, seq);
+        self.inner.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sequence number of the release currently serving, if any.
+    pub fn loaded_seq(&self) -> Option<u64> {
+        self.inner.sampler.lock().unwrap().loaded_seq()
+    }
+
+    /// A point-in-time snapshot of the engine's counters.
+    pub fn stats(&self) -> ServeStats {
+        let mut lat = self.inner.latencies.lock().unwrap().clone();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        ServeStats {
+            requests: self.inner.requests.load(Ordering::Relaxed),
+            batches: self.inner.batches.load(Ordering::Relaxed),
+            samples: self.inner.samples.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            reloads: self.inner.reloads.load(Ordering::Relaxed),
+            p50_ms: percentile(&lat, 0.50),
+            p99_ms: percentile(&lat, 0.99),
+        }
+    }
+
+    /// Stops accepting requests, drains the queue, and joins the batcher.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().unwrap().take());
+        if let Some(handle) = self.worker.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BatchEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn batcher_loop(rx: Receiver<Job>, inner: Arc<Inner>, max_reqs: usize, max_rows: usize) {
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        let mut rows = jobs[0].req.rows();
+        while jobs.len() < max_reqs && rows < max_rows {
+            match rx.try_recv() {
+                Ok(job) => {
+                    rows += job.req.rows();
+                    jobs.push(job);
+                }
+                Err(_) => break,
+            }
+        }
+        // ONE model snapshot per fused pass: a concurrent reload swaps the
+        // engine's sampler but cannot touch this pass.
+        let snapshot = inner.sampler.lock().unwrap().clone();
+        let seq = snapshot.loaded_seq();
+        let reqs: Vec<SampleRequest> = jobs.iter().map(|j| j.req.clone()).collect();
+        let outs = snapshot.sample_fused(&reqs);
+        inner.batches.fetch_add(1, Ordering::Relaxed);
+        for (job, objects) in jobs.into_iter().zip(outs) {
+            let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+            inner.requests.fetch_add(1, Ordering::Relaxed);
+            inner.samples.fetch_add(objects.len() as u64, Ordering::Relaxed);
+            inner.latencies.lock().unwrap().push(latency_ms);
+            // A caller that gave up on its receiver is not an engine error.
+            let _ = job.reply.send(SampleResponse { seq, objects, latency_ms });
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0.0 for empty).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DgConfig;
+    use dg_data::Value;
+    use dg_datasets::sine::{self, SineConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> DoppelGanger {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SineConfig { num_objects: 20, length: 16, periods: vec![4, 8], noise_sigma: 0.05 };
+        let data = sine::generate(&cfg, &mut rng);
+        let mut dg_cfg = DgConfig::quick().with_recommended_s(16);
+        dg_cfg.attr_hidden = 8;
+        dg_cfg.lstm_hidden = 8;
+        dg_cfg.head_hidden = 8;
+        dg_cfg.batch_size = 4;
+        DoppelGanger::new(&data, dg_cfg, &mut rng)
+    }
+
+    fn req(n: usize, seed: u64) -> SampleRequest {
+        SampleRequest { attribute_rows: (0..n).map(|k| vec![Value::Cat(k % 2)]).collect(), seed }
+    }
+
+    #[test]
+    fn engine_serves_requests_identically_to_a_direct_sampler_call() {
+        let model = tiny_model(50);
+        let sampler = Sampler::new(model);
+        let engine = BatchEngine::new(sampler.clone(), ServeConfig::default());
+        let r = req(5, 99);
+        let served = engine.sample_blocking(r.clone()).unwrap();
+        let direct = sampler.sample_threaded(&r, 1);
+        assert_eq!(
+            serde_json::to_string(&served.objects).unwrap(),
+            serde_json::to_string(&direct).unwrap(),
+            "engine-served bytes must match a direct sequential call"
+        );
+        let stats = engine.stats();
+        assert_eq!((stats.requests, stats.samples), (1, 5));
+        assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn concurrent_submissions_all_complete_and_counters_add_up() {
+        let engine = Arc::new(BatchEngine::new(Sampler::new(tiny_model(51)), ServeConfig::default()));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || engine.sample_blocking(req(3, 1000 + i)).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let resp = h.join().unwrap();
+            assert_eq!(resp.objects.len(), 3);
+            assert!(resp.latency_ms >= 0.0);
+        }
+        let stats = engine.stats();
+        assert_eq!((stats.requests, stats.samples), (8, 24));
+        assert!(stats.batches <= 8, "coalescing can only reduce pass count");
+        assert!(stats.p99_ms >= stats.p50_ms);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_before_the_queue() {
+        let engine = BatchEngine::new(Sampler::new(tiny_model(52)), ServeConfig::default());
+        let bad = SampleRequest { attribute_rows: vec![vec![Value::Cat(0), Value::Cat(1)]], seed: 1 };
+        assert!(engine.submit(bad).is_err());
+        assert_eq!(engine.stats().rejected, 1);
+        // The engine still serves after a rejection.
+        assert_eq!(engine.sample_blocking(req(1, 2)).unwrap().objects.len(), 1);
+    }
+
+    #[test]
+    fn install_swaps_the_model_without_disturbing_request_purity() {
+        let m1 = tiny_model(53);
+        let m2 = tiny_model(54);
+        let engine = BatchEngine::new(Sampler::new(m1), ServeConfig::default());
+        let r = req(4, 7);
+        let before = engine.sample_blocking(r.clone()).unwrap();
+        engine.install(Arc::new(m2.clone()), Some(2));
+        let after = engine.sample_blocking(r.clone()).unwrap();
+        assert_eq!(after.seq, Some(2));
+        // Same request, new release: must match a direct call against m2.
+        let direct = Sampler::new(m2).sample_threaded(&r, 1);
+        assert_eq!(serde_json::to_string(&after.objects).unwrap(), serde_json::to_string(&direct).unwrap());
+        // And the pre-reload response was a pure function of the old model.
+        assert_ne!(
+            serde_json::to_string(&before.objects).unwrap(),
+            serde_json::to_string(&after.objects).unwrap()
+        );
+    }
+
+    #[test]
+    fn unbatched_mode_serves_one_request_per_pass() {
+        let cfg = ServeConfig { max_fused_requests: 1, ..ServeConfig::default() };
+        let engine = Arc::new(BatchEngine::new(Sampler::new(tiny_model(55)), cfg));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || engine.sample_blocking(req(2, i)).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.batches, 4, "max_fused_requests=1 must never coalesce");
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests() {
+        let engine = BatchEngine::new(Sampler::new(tiny_model(56)), ServeConfig::default());
+        engine.shutdown();
+        assert!(engine.submit(req(1, 1)).is_err());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[3.0], 0.99), 3.0);
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+    }
+}

@@ -63,8 +63,45 @@ pub enum RunEvent {
     CheckpointFailure(CheckpointFailureEvent),
     /// The run resumed from a durable checkpoint instead of starting fresh.
     Resumed(ResumedEvent),
+    /// Periodic serving-engine counters (`dg serve`).
+    ServingHeartbeat(ServingHeartbeatEvent),
+    /// The serving engine hot-reloaded (or failed to resolve) a release.
+    ModelReload(ModelReloadEvent),
     /// Last line of a run.
     End(RunEndEvent),
+}
+
+/// Periodic serving-engine counters, one line per heartbeat interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingHeartbeatEvent {
+    /// Milliseconds since the server started.
+    pub elapsed_ms: f64,
+    /// Requests served so far.
+    pub requests: u64,
+    /// Fused generation passes executed so far.
+    pub batches: u64,
+    /// Synthetic objects generated so far.
+    pub samples: u64,
+    /// Requests rejected at validation so far.
+    pub rejected: u64,
+    /// Median request latency over the server's lifetime, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// A hot-reload attempt by the serving engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelReloadEvent {
+    /// Whether a different release was installed.
+    pub reloaded: bool,
+    /// Artifact sequence number now serving (absent when resolution
+    /// failed and the previous release stayed in place).
+    pub seq: Option<u64>,
+    /// Skip reasons for candidates the resolution rejected (corrupt
+    /// pointer, dangling target, invalid payload).
+    #[serde(default)]
+    pub skipped: Vec<String>,
 }
 
 /// A failed periodic checkpoint write. Formerly these were silently

@@ -577,13 +577,14 @@ impl Trainer {
         loss_v
     }
 
-    /// Generates a detached batch of full rows from the frozen generator.
+    /// Generates a detached batch of full rows from the frozen generator,
+    /// via the shared sampler rollout — the same code path `Sampler` and
+    /// the serving engine run, so `gen_ms` in run logs and the serving
+    /// bench time identical work. The rollout pre-draws its noise with the
+    /// exact tape/RNG order of the inline-noise graph builders, so the
+    /// training trajectory is bitwise unchanged by the indirection.
     fn generate_fake_full<R: Rng + ?Sized>(&self, batch: usize, rng: &mut R, ws: &mut Workspace) -> Tensor {
-        let mut g = Graph::with_workspace(std::mem::take(ws));
-        let (_, _, _, full) = self.model.gen_full(&mut g, batch, rng, true);
-        let out = g.take_value(full);
-        *ws = g.finish();
-        out
+        crate::sampler::generate_full_rows(&self.model, batch, rng, ws)
     }
 }
 
@@ -761,7 +762,7 @@ mod tests {
         let enc = model.encode(&data);
         let mut tr = Trainer::new(model);
         tr.fit(&enc, 5, &mut rng, |m| assert!(m.d_loss.is_finite()));
-        let objs = tr.model.generate(3, &mut rng);
+        let objs = crate::sampler::Sampler::new(tr.model.clone()).generate(3, &mut rng);
         assert_eq!(objs.len(), 3);
     }
 
@@ -991,7 +992,7 @@ mod tests {
         assert!(last.wasserstein.is_finite());
         assert!(last.g_loss.is_finite());
         // Generated data should still decode into valid objects.
-        let objs = tr.model.generate(5, &mut rng);
+        let objs = crate::sampler::Sampler::new(tr.model.clone()).generate(5, &mut rng);
         assert_eq!(objs.len(), 5);
     }
 }

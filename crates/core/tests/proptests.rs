@@ -76,7 +76,8 @@ proptest! {
         // num_steps covers the padded length.
         prop_assert!(model.num_steps * model.config.feature_batch_size >= max_len);
 
-        let objs = model.generate(6, &mut rng);
+        let sampler = Sampler::new(model);
+        let objs = sampler.generate(6, &mut rng);
         prop_assert_eq!(objs.len(), 6);
         for o in &objs {
             prop_assert!(o.len() <= max_len);
@@ -93,7 +94,7 @@ proptest! {
             }
         }
         // Dataset::new revalidates everything against the schema.
-        let _ = model.generate_dataset(3, &mut rng);
+        let _ = sampler.generate_dataset(3, &mut rng);
     }
 
     #[test]
@@ -142,9 +143,62 @@ proptest! {
         let restored = DoppelGanger::from_json(&model.to_json()).expect("roundtrip");
         let mut r1 = StdRng::seed_from_u64(1);
         let mut r2 = StdRng::seed_from_u64(1);
-        let (a1, _, f1) = model.generate_encoded(3, &mut r1);
-        let (a2, _, f2) = restored.generate_encoded(3, &mut r2);
+        let (a1, _, f1) = Sampler::new(model).generate_encoded(3, &mut r1);
+        let (a2, _, f2) = Sampler::new(restored).generate_encoded(3, &mut r2);
         prop_assert_eq!(a1, a2);
         prop_assert_eq!(f1, f2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The serving coalescing contract: N requests fused into one pass are
+    /// byte-identical to the same N requests served sequentially, at any
+    /// worker thread count — and the contract holds on both sides of a
+    /// hot-reload boundary, with an in-flight snapshot pinned to the old
+    /// release.
+    #[test]
+    fn fused_requests_match_sequential_bytes_across_threads_and_reloads(
+        seed in 0u64..500,
+        sizes in prop::collection::vec((0usize..9, 0u64..100_000), 1..5),
+        threads in 1usize..=8,
+    ) {
+        let data = make_dataset(seed, 3, 2, 6, 8);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF4);
+        let m1 = DoppelGanger::new(&data, tiny_config(2, true, true), &mut rng);
+        let m2 = DoppelGanger::new(&data, tiny_config(2, true, true), &mut rng);
+
+        let store = dg_io::ArtifactStore::open(dg_io::MemBackend::new(), "store").unwrap();
+        store.put_numbered("m", 1, m1.to_json().as_bytes()).unwrap();
+        let (mut sampler, _) = Sampler::from_store(&store, "m").unwrap();
+
+        let reqs: Vec<SampleRequest> = sizes
+            .iter()
+            .map(|&(n, rseed)| SampleRequest {
+                attribute_rows: (0..n).map(|k| vec![Value::Cat(k % 3)]).collect(),
+                seed: rseed,
+            })
+            .collect();
+        let bytes = |objs: &Vec<Vec<TimeSeriesObject>>| serde_json::to_string(objs).unwrap();
+
+        let fused1 = sampler.sample_fused_threaded(&reqs, threads);
+        let solo1: Vec<_> = reqs.iter().map(|r| sampler.sample_threaded(r, 1)).collect();
+        prop_assert_eq!(bytes(&fused1), bytes(&solo1));
+
+        // An in-flight pass clones the handle; the reload must not touch it.
+        let snapshot = sampler.clone();
+        store.put_numbered("m", 2, m2.to_json().as_bytes()).unwrap();
+        let report = sampler.reload(&store, "m").unwrap();
+        prop_assert!(report.reloaded);
+        prop_assert_eq!(report.seq, 2);
+        prop_assert_eq!(bytes(&snapshot.sample_fused_threaded(&reqs, threads)), bytes(&fused1));
+
+        let fused2 = sampler.sample_fused_threaded(&reqs, threads);
+        let solo2: Vec<_> = reqs.iter().map(|r| sampler.sample_threaded(r, 1)).collect();
+        prop_assert_eq!(bytes(&fused2), bytes(&solo2));
+        if reqs.iter().any(|r| r.rows() > 0) {
+            prop_assert_ne!(bytes(&fused2), bytes(&fused1), "distinct releases must generate distinct bytes");
+        }
     }
 }

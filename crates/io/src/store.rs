@@ -217,6 +217,69 @@ impl<B: Backend> ArtifactStore<B> {
         Ok((None, skipped))
     }
 
+    /// Resolves the newest valid artifact of `family`, preferring the
+    /// advisory `{family}.latest` pointer — a single envelope read, the
+    /// hot-reload fast path — and falling back to the authoritative
+    /// newest-first scan ([`Self::latest_valid`]) whenever the pointer is
+    /// missing, corrupt, unparsable, or dangling.
+    ///
+    /// A merely-missing pointer is silent (pre-pointer stores and fresh
+    /// directories are normal); any other pointer defect is reported as a
+    /// [`SkippedArtifact`] on the pointer's path, so hot-reload callers
+    /// get a structured reason instead of an error. Note the pointer is
+    /// *trusted when followable*: a stale-but-valid pointer resolves to
+    /// its target even if newer artifacts exist, because advancing the
+    /// pointer is exactly the publisher's "switch now" signal.
+    pub fn resolve_latest(
+        &self,
+        family: &str,
+    ) -> Result<(Option<ValidArtifact>, Vec<SkippedArtifact>), StoreError> {
+        let pointer = self.dir.join(format!("{family}.latest"));
+        let mut skipped = Vec::new();
+        match self.backend.read(&pointer) {
+            Err(e) if e.kind == ErrorKind::NotFound => {}
+            Err(e) => skipped.push(SkippedArtifact {
+                path: pointer.clone(),
+                reason: format!("latest pointer unreadable: {}", e.detail),
+            }),
+            Ok(bytes) => match envelope::decode(&bytes) {
+                Err(e) => skipped.push(SkippedArtifact {
+                    path: pointer.clone(),
+                    reason: format!("latest pointer corrupt: {e}"),
+                }),
+                Ok(payload) => {
+                    let name = String::from_utf8(payload).ok();
+                    let seq = name.as_deref().and_then(|n| Self::parse_seq(family, n.trim()));
+                    match (name, seq) {
+                        (Some(name), Some(seq)) => {
+                            let target = self.dir.join(name.trim());
+                            match self.read_envelope(&target) {
+                                Ok(payload) => {
+                                    return Ok((Some(ValidArtifact { seq, path: target, payload }), skipped))
+                                }
+                                Err(e) => skipped.push(SkippedArtifact {
+                                    path: pointer.clone(),
+                                    reason: format!(
+                                        "latest pointer target {} unusable: {}",
+                                        target.display(),
+                                        e.detail
+                                    ),
+                                }),
+                            }
+                        }
+                        _ => skipped.push(SkippedArtifact {
+                            path: pointer.clone(),
+                            reason: "latest pointer payload is not a valid artifact name".into(),
+                        }),
+                    }
+                }
+            },
+        }
+        let (valid, scan_skipped) = self.latest_valid(family)?;
+        skipped.extend(scan_skipped);
+        Ok((valid, skipped))
+    }
+
     /// Numbered candidates of `family`, newest-first, without reading
     /// them: `(seq, path)`. Membership requires the whole name to parse
     /// as `{family}-{digits}.dgart`, so a sibling family whose name
@@ -422,6 +485,67 @@ mod tests {
         assert_eq!(s.latest_hint("ckpt"), Some(9));
         let (latest, _) = s.latest_valid("ckpt").unwrap();
         assert_eq!(latest.unwrap().seq, 1);
+    }
+
+    #[test]
+    fn resolve_latest_follows_a_healthy_pointer_without_scanning() {
+        let s = store();
+        s.put_numbered("ckpt", 1, b"one").unwrap();
+        s.put_numbered("ckpt", 2, b"two").unwrap();
+        let (valid, skipped) = s.resolve_latest("ckpt").unwrap();
+        let valid = valid.unwrap();
+        assert_eq!((valid.seq, valid.payload.as_slice()), (2, b"two".as_slice()));
+        assert!(skipped.is_empty());
+        // A stale-but-followable pointer is trusted: the pointer *is* the
+        // publisher's switch signal.
+        s.put("ckpt.latest", ArtifactStore::<MemBackend>::artifact_name("ckpt", 1).as_bytes()).unwrap();
+        let (valid, skipped) = s.resolve_latest("ckpt").unwrap();
+        assert_eq!(valid.unwrap().seq, 1);
+        assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn resolve_latest_missing_pointer_scans_silently() {
+        let s = store();
+        s.put_numbered("ckpt", 3, b"three").unwrap();
+        s.backend().remove(&s.dir().join("ckpt.latest")).unwrap();
+        let (valid, skipped) = s.resolve_latest("ckpt").unwrap();
+        assert_eq!(valid.unwrap().seq, 3);
+        assert!(skipped.is_empty(), "missing pointer is normal, not reportable: {skipped:?}");
+    }
+
+    #[test]
+    fn resolve_latest_corrupt_pointer_falls_back_with_reason() {
+        let s = store();
+        s.put_numbered("ckpt", 1, b"one").unwrap();
+        s.put_numbered("ckpt", 2, b"two").unwrap();
+        let ptr = s.dir().join("ckpt.latest");
+        let mut bytes = s.backend().raw(&ptr).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        s.backend().plant(&ptr, &bytes);
+        let (valid, skipped) = s.resolve_latest("ckpt").unwrap();
+        assert_eq!(valid.unwrap().seq, 2, "scan fallback must still find the newest artifact");
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].path, ptr);
+        assert!(skipped[0].reason.contains("latest pointer corrupt"), "{:?}", skipped[0]);
+    }
+
+    #[test]
+    fn resolve_latest_dangling_pointer_falls_back_with_reason() {
+        let s = store();
+        s.put_numbered("ckpt", 1, b"one").unwrap();
+        s.put("ckpt.latest", ArtifactStore::<MemBackend>::artifact_name("ckpt", 9).as_bytes()).unwrap();
+        let (valid, skipped) = s.resolve_latest("ckpt").unwrap();
+        assert_eq!(valid.unwrap().seq, 1);
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].reason.contains("unusable"), "{:?}", skipped[0]);
+
+        // Pointer payload that is not an artifact name at all.
+        s.put("ckpt.latest", b"..\\..\\evil").unwrap();
+        let (valid, skipped) = s.resolve_latest("ckpt").unwrap();
+        assert_eq!(valid.unwrap().seq, 1);
+        assert!(skipped[0].reason.contains("not a valid artifact name"), "{:?}", skipped[0]);
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn main() {
     trainer.fit(&encoded, 500, &mut rng, |_| {});
     let mut model = trainer.into_model();
 
-    let before = model.generate_dataset(300, &mut rng);
+    let before = Sampler::new(model.clone()).generate_dataset(300, &mut rng);
     println!("generated technologies before retraining: {:?}", before.attribute_counts(0));
 
     // Flexibility: make satellite (index 2) the dominant class, keeping the
@@ -49,7 +49,7 @@ fn main() {
     println!("retraining the attribute generator toward a satellite-heavy target...");
     retrain_attribute_generator(&mut model, &target, 300, &mut rng);
 
-    let after = model.generate_dataset(300, &mut rng);
+    let after = Sampler::new(model).generate_dataset(300, &mut rng);
     println!("generated technologies after retraining:  {:?}", after.attribute_counts(0));
 
     // The conditional P(R | A) is untouched: satellite users should still

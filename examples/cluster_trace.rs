@@ -43,7 +43,7 @@ fn main() {
     let model = trainer.into_model();
 
     // Generate a synthetic training set of the same size.
-    let synthetic = model.generate_dataset(train.len(), &mut rng);
+    let synthetic = Sampler::new(model).generate_dataset(train.len(), &mut rng);
     println!("synthetic duration modes: {}", count_modes(&length_histogram(&synthetic, cfg.max_len), 0.2));
     println!("synthetic end events: {:?}", attribute_histogram(&synthetic, 0));
 

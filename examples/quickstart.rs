@@ -53,8 +53,9 @@ fn main() {
 
     // 4. The data consumer restores the model and generates synthetic data.
     let consumer_model = DoppelGanger::from_json(&released).expect("released model parses");
+    let sampler = Sampler::new(consumer_model);
     let mut consumer_rng = StdRng::seed_from_u64(1);
-    let synthetic = consumer_model.generate_dataset(200, &mut consumer_rng);
+    let synthetic = sampler.generate_dataset(200, &mut consumer_rng);
     println!("synthetic dataset: {} objects", synthetic.len());
 
     // 5. Basic fidelity checks.

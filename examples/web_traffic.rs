@@ -48,7 +48,7 @@ fn main() {
         }
     });
     let model = trainer.into_model();
-    let dg_gen = model.generate_dataset(150, &mut rng);
+    let dg_gen = Sampler::new(model).generate_dataset(150, &mut rng);
     let dg_ac = average_autocorrelation(&dg_gen, 0, max_lag, 16);
 
     // Naive GAN (the §3.3 strawman).

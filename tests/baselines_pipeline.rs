@@ -25,7 +25,7 @@ fn tiny_models(data: &Dataset, rng: &mut StdRng) -> Vec<Box<dyn GenerativeModel>
     let mut trainer = Trainer::new(model);
     trainer.fit(&encoded, 8, rng, |_| {});
 
-    struct Dg(DoppelGanger);
+    struct Dg(Sampler);
     impl GenerativeModel for Dg {
         fn name(&self) -> &'static str {
             "DoppelGANger"
@@ -36,7 +36,7 @@ fn tiny_models(data: &Dataset, rng: &mut StdRng) -> Vec<Box<dyn GenerativeModel>
     }
 
     vec![
-        Box::new(Dg(trainer.into_model())),
+        Box::new(Dg(Sampler::new(trainer.into_model()))),
         Box::new(ArModel::fit(
             data,
             ArConfig { train_steps: 20, hidden: 16, depth: 2, ..ArConfig::default() },

@@ -36,7 +36,7 @@ fn full_pipeline_produces_schema_valid_data_with_learned_attributes() {
     let model = trainer.into_model();
 
     // Dataset::new re-validates every generated object against the schema.
-    let synthetic = model.generate_dataset(120, &mut rng);
+    let synthetic = Sampler::new(model).generate_dataset(120, &mut rng);
     assert_eq!(synthetic.len(), 120);
 
     // After some training the attribute marginal should be closer to the
@@ -66,8 +66,8 @@ fn released_model_parameters_roundtrip_through_json() {
     // the distribution the holder trained.
     let mut r1 = StdRng::seed_from_u64(5);
     let mut r2 = StdRng::seed_from_u64(5);
-    let (a1, m1, f1) = model.generate_encoded(8, &mut r1);
-    let (a2, m2, f2) = restored.generate_encoded(8, &mut r2);
+    let (a1, m1, f1) = Sampler::new(model).generate_encoded(8, &mut r1);
+    let (a2, m2, f2) = Sampler::new(restored).generate_encoded(8, &mut r2);
     assert_eq!(a1, a2);
     assert_eq!(m1, m2);
     assert_eq!(f1, f2);
@@ -97,11 +97,11 @@ fn training_moves_generated_distribution_toward_real() {
     let encoded = model.encode(&real);
     let mut trainer = Trainer::new(model);
     let mut g0 = StdRng::seed_from_u64(9);
-    let before = trainer.model.generate_dataset(100, &mut g0);
+    let before = Sampler::new(trainer.model.clone()).generate_dataset(100, &mut g0);
     let w_before = wasserstein1(&real_means, &sample_means(&before));
     trainer.fit(&encoded, 250, &mut rng, |_| {});
     let mut g1 = StdRng::seed_from_u64(9);
-    let after = trainer.model.generate_dataset(100, &mut g1);
+    let after = Sampler::new(trainer.model.clone()).generate_dataset(100, &mut g1);
     let w_after = wasserstein1(&real_means, &sample_means(&after));
     assert!(
         w_after < w_before * 1.05,

@@ -35,7 +35,7 @@ fn dp_training_stays_finite_and_generates_valid_data() {
     for (_, _, t) in model.store.iter() {
         assert!(t.is_finite());
     }
-    let gen = model.generate_dataset(5, &mut rng);
+    let gen = Sampler::new(model).generate_dataset(5, &mut rng);
     assert_eq!(gen.len(), 5);
 
     // Account for the privacy spent: 10 noisy steps on 24 samples, batch 8.

@@ -56,7 +56,7 @@ fn irregular_timestamps_flow_through_the_model() {
     let model = trainer.into_model();
 
     // Generate and decode timestamps back out.
-    let gen = model.generate_dataset(30, &mut rng);
+    let gen = Sampler::new(model).generate_dataset(30, &mut rng);
     let stamped = from_interarrival(&gen, 0.0, 1e-3);
     assert_eq!(stamped.len(), 30);
     for o in &stamped {
