@@ -226,6 +226,10 @@ pub fn usage() -> String {
      \x20           [--addr H:P=127.0.0.1:0 | --stdio]\n\
      \x20           [--reload-every-ms N]                            follow the latest pointer\n\
      \x20           [--max-requests N] [--max-fused N=64]\n\
+     \x20           [--max-wait-us N=0]                              batch-gather window\n\
+     \x20           [--precision f32|bf16]                           inference tier (or env\n\
+     \x20                                                            DG_PRECISION; serving only)\n\
+     \x20           [--latency-window N=4096]                        stats retention bound\n\
      \x20           [--run-log <log.jsonl>]                          batched sampling service\n\
      \x20                                                            (line-delimited JSON)\n\
      \x20 sample    --addr <H:P> --attrs <attrs.json> [--seed S=0]\n\

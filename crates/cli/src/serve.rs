@@ -63,13 +63,23 @@ pub struct WireResponse {
     pub objects: Vec<dg_data::TimeSeriesObject>,
     /// Queue + generation latency observed by the engine, milliseconds.
     pub latency_ms: f64,
+    /// Numeric precision the generation pass ran at (`"f32"` / `"bf16"`).
+    /// Defaults to `"f32"` when talking to a server predating the
+    /// reduced-precision tier.
+    #[serde(default = "default_wire_precision")]
+    pub precision: String,
     /// Why the request was rejected; `null` on success.
     #[serde(default)]
     pub error: Option<String>,
 }
 
+fn default_wire_precision() -> String {
+    "f32".to_string()
+}
+
 /// Serves one protocol line: parse, validate, generate (or explain why not).
 fn serve_line(engine: &BatchEngine, line: &str) -> WireResponse {
+    let precision = engine.precision().name().to_string();
     let req: WireRequest = match serde_json::from_str(line.trim()) {
         Ok(r) => r,
         Err(e) => {
@@ -78,6 +88,7 @@ fn serve_line(engine: &BatchEngine, line: &str) -> WireResponse {
                 seq: None,
                 objects: Vec::new(),
                 latency_ms: 0.0,
+                precision,
                 error: Some(format!("bad request: {e}")),
             }
         }
@@ -88,11 +99,17 @@ fn serve_line(engine: &BatchEngine, line: &str) -> WireResponse {
             seq: resp.seq,
             objects: resp.objects,
             latency_ms: resp.latency_ms,
+            precision: resp.precision.name().to_string(),
             error: None,
         },
-        Err(e) => {
-            WireResponse { id: req.id, seq: None, objects: Vec::new(), latency_ms: 0.0, error: Some(e) }
-        }
+        Err(e) => WireResponse {
+            id: req.id,
+            seq: None,
+            objects: Vec::new(),
+            latency_ms: 0.0,
+            precision,
+            error: Some(e),
+        },
     }
 }
 
@@ -136,6 +153,16 @@ pub(crate) fn cmd_publish(args: &Args) -> Result<String, CliError> {
 }
 
 pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    // --precision wins over the DG_PRECISION environment fallback; both
+    // must name a known tier, and a bad value fails before any store I/O.
+    // This is the ONLY place the environment can select reduced precision
+    // — training commands never read it.
+    let precision =
+        match args.options.get("precision").cloned().or_else(|| std::env::var("DG_PRECISION").ok()) {
+            Some(s) => Precision::parse(&s)
+                .ok_or_else(|| config_err(format!("invalid precision '{s}' (expected f32 or bf16)")))?,
+            None => Precision::F32,
+        };
     let store_dir = args.required("store")?;
     let family = args.get_or("family", "model").to_string();
     let store =
@@ -152,6 +179,9 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
         max_fused_requests: args.num_or("max-fused", defaults.max_fused_requests)?,
         max_fused_rows: args.num_or("max-fused-rows", defaults.max_fused_rows)?,
         queue_depth: args.num_or("queue-depth", defaults.queue_depth)?,
+        max_wait_us: args.num_or("max-wait-us", defaults.max_wait_us)?,
+        latency_window: args.num_or("latency-window", defaults.latency_window)?,
+        precision,
     };
     let engine = Arc::new(BatchEngine::new(sampler, config));
     let max_requests = args.num_or("max-requests", 0u64)?;
@@ -223,6 +253,7 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
                         rejected: s.rejected,
                         p50_ms: s.p50_ms,
                         p99_ms: s.p99_ms,
+                        precision: s.precision.clone(),
                     }),
                 );
             }
@@ -231,7 +262,10 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
 
     if args.flag("stdio") {
         // stdout carries responses, so the ready line goes to stderr.
-        eprintln!("dg serve: ready (stdio, family {family}, seq {seq})");
+        eprintln!(
+            "dg serve: ready (stdio, family {family}, seq {seq}, precision {})",
+            engine.precision().name()
+        );
         let stdin = std::io::stdin();
         let mut out = BufWriter::new(std::io::stdout());
         for line in stdin.lock().lines() {
@@ -256,7 +290,10 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
         let local = listener.local_addr().map_err(|e| io_err(e.to_string()))?;
         // The ready line is a contract: scripts parse the bound address off
         // it (ports are usually OS-assigned via --addr 127.0.0.1:0).
-        println!("dg serve: listening on {local} (family {family}, seq {seq})");
+        println!(
+            "dg serve: listening on {local} (family {family}, seq {seq}, precision {})",
+            engine.precision().name()
+        );
         std::io::stdout().flush().ok();
         let mut handlers = Vec::new();
         for conn in listener.incoming() {
@@ -291,12 +328,20 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
             rejected: stats.rejected,
             p50_ms: stats.p50_ms,
             p99_ms: stats.p99_ms,
+            precision: stats.precision.clone(),
         }),
     );
     engine.shutdown();
     Ok(format!(
-        "served {} requests in {} fused passes ({} samples, {} rejected, {} reloads, p50 {:.2} ms, p99 {:.2} ms)",
-        stats.requests, stats.batches, stats.samples, stats.rejected, stats.reloads, stats.p50_ms, stats.p99_ms
+        "served {} requests in {} fused passes ({} samples, {} rejected, {} reloads, precision {}, p50 {:.2} ms, p99 {:.2} ms)",
+        stats.requests,
+        stats.batches,
+        stats.samples,
+        stats.rejected,
+        stats.reloads,
+        stats.precision,
+        stats.p50_ms,
+        stats.p99_ms
     ))
 }
 

@@ -215,6 +215,93 @@ fn serve_switches_releases_atomically_when_the_pointer_advances() {
 }
 
 #[test]
+fn serve_runs_the_bf16_tier_when_asked_and_echoes_it() {
+    let dir = tmpdir("bf16");
+    dg_ok(&["demo", "--out", "data.json", "--objects", "16", "--length", "10"], &dir);
+    dg_ok(&["train", "--data", "data.json", "--out", "a.json", "--iterations", "2", "--batch", "8"], &dir);
+    let rows: Vec<Vec<dg_data::Value>> = vec![vec![dg_data::Value::Cat(0)], vec![dg_data::Value::Cat(1)]];
+    std::fs::write(dir.join("attrs.json"), serde_json::to_string(&rows).unwrap()).unwrap();
+    // The f32 ground truth the bf16 tier must *differ* from.
+    dg_ok(
+        &[
+            "generate",
+            "--model",
+            "a.json",
+            "--out",
+            "cond_f32.json",
+            "--conditioned",
+            "attrs.json",
+            "--seed",
+            "7",
+        ],
+        &dir,
+    );
+    let want_f32 = ground_truth_objects(&dir, "cond_f32.json");
+    dg_ok(&["publish", "--model", "a.json", "--store", "store", "--family", "model"], &dir);
+
+    let mut child = ChildGuard(Some(
+        Command::new(env!("CARGO_BIN_EXE_dg"))
+            .args([
+                "serve",
+                "--store",
+                "store",
+                "--family",
+                "model",
+                "--addr",
+                "127.0.0.1:0",
+                "--precision",
+                "bf16",
+                "--max-requests",
+                "2",
+            ])
+            .current_dir(&dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn dg serve"),
+    ));
+    let mut child_out = BufReader::new(child.0.as_mut().unwrap().stdout.take().unwrap());
+    let mut ready = String::new();
+    child_out.read_line(&mut ready).unwrap();
+    assert!(ready.contains("precision bf16"), "ready line must announce the tier: {ready:?}");
+    let addr = ready
+        .split("listening on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in ready line {ready:?}"))
+        .to_string();
+
+    let stream = TcpStream::connect(&addr).expect("connect to dg serve");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let req = WireRequest { id: 1, seed: 7, attributes: rows.clone() };
+    let first = send(&mut writer, &mut reader, &req);
+    assert!(first.error.is_none(), "{:?}", first.error);
+    assert_eq!(first.precision, "bf16", "response must echo the active tier");
+    assert_eq!(first.objects.len(), rows.len());
+    let first_bytes = serde_json::to_string(&first.objects).unwrap();
+    assert_ne!(first_bytes, want_f32, "bf16 serving must actually run the reduced-precision kernels");
+
+    // Same request again: deterministic within the bf16 tier.
+    let second = send(&mut writer, &mut reader, &req);
+    assert_eq!(serde_json::to_string(&second.objects).unwrap(), first_bytes);
+    drop(writer);
+
+    let status = child.0.take().unwrap().wait().expect("wait for dg serve");
+    assert!(status.success(), "dg serve exited with {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_rejects_an_unknown_precision() {
+    let dir = tmpdir("badprec");
+    std::fs::create_dir_all(dir.join("store")).unwrap();
+    let out = dg(&["serve", "--store", "store", "--family", "model", "--precision", "f16"], &dir);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_refuses_to_start_on_an_empty_store() {
     let dir = tmpdir("empty");
     std::fs::create_dir_all(dir.join("store")).unwrap();

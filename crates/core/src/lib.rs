@@ -69,12 +69,13 @@ pub mod prelude {
     };
     pub use crate::rng::{SharedRng, TrainRng};
     pub use crate::sampler::{ReloadReport, SampleRequest, Sampler, SamplerError};
-    pub use crate::serve::{BatchEngine, ServeConfig, ServeStats};
+    pub use crate::serve::{BatchEngine, LatencyRing, ServeConfig, ServeStats};
     pub use crate::telemetry::{
         DivergencePolicy, FitOutcome, FitReport, RunEvent, RunLog, TrainError, TrainMonitor, Watchdog,
         WatchdogConfig,
     };
     pub use crate::trainer::{StepMetrics, Trainer};
+    pub use dg_nn::kernels::Precision;
 }
 
 pub use config::DgConfig;

@@ -10,10 +10,19 @@
 //!   unbounded);
 //! * a single batcher thread drains whatever is queued — up to
 //!   [`ServeConfig::max_fused_requests`] requests /
-//!   [`ServeConfig::max_fused_rows`] rows — and serves them in **one**
-//!   fused [`Sampler::sample_fused`] pass, so concurrent callers share
-//!   graph recordings and wide GEMMs instead of queuing per-request
-//!   passes;
+//!   [`ServeConfig::max_fused_rows`] rows, optionally holding the pass
+//!   open for [`ServeConfig::max_wait_us`] microseconds to gather
+//!   stragglers — and serves them in **one** fused
+//!   [`Sampler::sample_fused`] pass, so concurrent callers share graph
+//!   recordings and wide GEMMs instead of queuing per-request passes;
+//! * request latencies feed a bounded [`LatencyRing`] (window size
+//!   [`ServeConfig::latency_window`]), so [`ServeStats`] percentiles are
+//!   sliding-window estimates and engine memory stays constant over
+//!   arbitrarily long runs;
+//! * generation can run at a reduced inference precision
+//!   ([`ServeConfig::precision`], echoed in every [`SampleResponse`] and
+//!   [`ServeStats`] snapshot) — the serving-only bf16 tier of
+//!   `dg_nn::kernels`;
 //! * the batcher snapshots the model handle **once per fused pass**:
 //!   [`BatchEngine::reload`] swaps the engine's [`Sampler`] atomically,
 //!   in-flight passes finish against the release they started with, and
@@ -29,10 +38,11 @@ use crate::model::DoppelGanger;
 use crate::sampler::{ReloadReport, SampleRequest, Sampler, SamplerError};
 use dg_data::TimeSeriesObject;
 use dg_io::{ArtifactStore, Backend};
+use dg_nn::kernels::Precision;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`BatchEngine`].
 #[derive(Debug, Clone)]
@@ -45,11 +55,35 @@ pub struct ServeConfig {
     pub max_fused_rows: usize,
     /// Bound of the request queue; submitters block when it is full.
     pub queue_depth: usize,
+    /// How long (microseconds) the batcher keeps gathering once at least
+    /// one request is in hand, waiting for more requests to fuse. `0`
+    /// (the default) preserves the original behavior: drain whatever is
+    /// already queued and go — minimum latency, but under a steady trickle
+    /// of single requests every pass serves exactly one. A small window
+    /// (~hundreds of µs) trades that much added latency for wider fused
+    /// passes and higher throughput.
+    pub max_wait_us: u64,
+    /// How many of the most recent request latencies the engine retains
+    /// for its [`ServeStats`] percentiles. Bounds the engine's memory over
+    /// arbitrarily long runs; see [`LatencyRing`].
+    pub latency_window: usize,
+    /// Numeric precision generation passes run at. [`Precision::Bf16`]
+    /// selects the reduced-precision inference tier — faster, validated by
+    /// distribution rather than bitwise (see `DESIGN.md` §14). Only
+    /// serving reads this; training never constructs a [`BatchEngine`].
+    pub precision: Precision,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { max_fused_requests: 64, max_fused_rows: 4096, queue_depth: 256 }
+        ServeConfig {
+            max_fused_requests: 64,
+            max_fused_rows: 4096,
+            queue_depth: 256,
+            max_wait_us: 0,
+            latency_window: 4096,
+            precision: Precision::F32,
+        }
     }
 }
 
@@ -63,9 +97,17 @@ pub struct SampleResponse {
     pub objects: Vec<TimeSeriesObject>,
     /// Queue + generation latency observed by the engine, milliseconds.
     pub latency_ms: f64,
+    /// Numeric precision the generation pass ran at.
+    pub precision: Precision,
 }
 
 /// A point-in-time snapshot of the engine's counters.
+///
+/// The latency percentiles are **nearest-rank estimates over a bounded
+/// sliding window** of the most recent [`ServeStats::latency_window`]
+/// finite observations (see [`LatencyRing`]) — not over process lifetime.
+/// A long-running server therefore reports *recent* tail latency, and the
+/// engine's memory stays bounded no matter how many requests it serves.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct ServeStats {
     /// Requests served (responses delivered).
@@ -78,16 +120,83 @@ pub struct ServeStats {
     pub rejected: u64,
     /// Hot-reloads that installed a different release.
     pub reloads: u64,
-    /// Median request latency, milliseconds.
+    /// Median request latency over the retained window, milliseconds.
     pub p50_ms: f64,
-    /// 99th-percentile request latency, milliseconds.
+    /// 99th-percentile request latency over the retained window,
+    /// milliseconds.
     pub p99_ms: f64,
+    /// Numeric precision generation passes run at (`"f32"` / `"bf16"`).
+    pub precision: String,
+    /// Capacity of the latency window the percentiles estimate over.
+    pub latency_window: usize,
+    /// Latency observations currently retained (≤ `latency_window`).
+    pub latency_samples: usize,
 }
 
 struct Job {
     req: SampleRequest,
     reply: mpsc::Sender<SampleResponse>,
     enqueued: Instant,
+}
+
+/// A bounded ring of the most recent latency observations.
+///
+/// The serving loop originally pushed every request latency into an
+/// unbounded `Vec`, which grows without limit over a long-running
+/// process (~8 bytes per request, forever). The ring instead retains the
+/// last `capacity` **finite** observations — non-finite measurements are
+/// dropped at insertion, so a single poisoned value can never reach the
+/// percentile sort — overwriting the oldest entry once full. Percentiles
+/// computed from [`LatencyRing::sorted`] are therefore nearest-rank
+/// estimates over a sliding window of the most recent requests.
+#[derive(Debug, Clone)]
+pub struct LatencyRing {
+    buf: Vec<f64>,
+    head: usize,
+    cap: usize,
+}
+
+impl LatencyRing {
+    /// An empty ring retaining at most `capacity` observations (min 1).
+    pub fn new(capacity: usize) -> Self {
+        LatencyRing { buf: Vec::new(), head: 0, cap: capacity.max(1) }
+    }
+
+    /// Records one observation. Non-finite values are silently dropped.
+    pub fn push(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Observations currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring retains no observations.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The retained observations, ascending (a sorted copy; `total_cmp`
+    /// is a total order, so this cannot panic regardless of input).
+    pub fn sorted(&self) -> Vec<f64> {
+        let mut v = self.buf.clone();
+        v.sort_by(f64::total_cmp);
+        v
+    }
 }
 
 struct Inner {
@@ -97,7 +206,7 @@ struct Inner {
     samples: AtomicU64,
     rejected: AtomicU64,
     reloads: AtomicU64,
-    latencies: Mutex<Vec<f64>>,
+    latencies: Mutex<LatencyRing>,
 }
 
 /// The request-coalescing serving engine. See the module docs for the
@@ -109,8 +218,11 @@ pub struct BatchEngine {
 }
 
 impl BatchEngine {
-    /// Starts an engine (and its batcher thread) over `sampler`.
-    pub fn new(sampler: Sampler, config: ServeConfig) -> Self {
+    /// Starts an engine (and its batcher thread) over `sampler`. The
+    /// engine imposes [`ServeConfig::precision`] on the sampler — the one
+    /// place the reduced-precision tier can be switched on.
+    pub fn new(mut sampler: Sampler, config: ServeConfig) -> Self {
+        sampler.set_precision(config.precision);
         let inner = Arc::new(Inner {
             sampler: Mutex::new(sampler),
             requests: AtomicU64::new(0),
@@ -118,16 +230,22 @@ impl BatchEngine {
             samples: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
-            latencies: Mutex::new(Vec::new()),
+            latencies: Mutex::new(LatencyRing::new(config.latency_window)),
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
         let worker = {
             let inner = Arc::clone(&inner);
             let max_reqs = config.max_fused_requests.max(1);
             let max_rows = config.max_fused_rows.max(1);
-            std::thread::spawn(move || batcher_loop(rx, inner, max_reqs, max_rows))
+            let max_wait = Duration::from_micros(config.max_wait_us);
+            std::thread::spawn(move || batcher_loop(rx, inner, max_reqs, max_rows, max_wait))
         };
         BatchEngine { tx: Mutex::new(Some(tx)), inner, worker: Mutex::new(Some(worker)) }
+    }
+
+    /// The precision generation passes run at.
+    pub fn precision(&self) -> Precision {
+        self.inner.sampler.lock().unwrap().precision()
     }
 
     /// Validates and enqueues `req`, returning the channel its response
@@ -185,8 +303,10 @@ impl BatchEngine {
 
     /// A point-in-time snapshot of the engine's counters.
     pub fn stats(&self) -> ServeStats {
-        let mut lat = self.inner.latencies.lock().unwrap().clone();
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let (lat, window, held) = {
+            let ring = self.inner.latencies.lock().unwrap();
+            (ring.sorted(), ring.capacity(), ring.len())
+        };
         ServeStats {
             requests: self.inner.requests.load(Ordering::Relaxed),
             batches: self.inner.batches.load(Ordering::Relaxed),
@@ -195,6 +315,9 @@ impl BatchEngine {
             reloads: self.inner.reloads.load(Ordering::Relaxed),
             p50_ms: percentile(&lat, 0.50),
             p99_ms: percentile(&lat, 0.99),
+            precision: self.precision().name().to_string(),
+            latency_window: window,
+            latency_samples: held,
         }
     }
 
@@ -213,8 +336,13 @@ impl Drop for BatchEngine {
     }
 }
 
-fn batcher_loop(rx: Receiver<Job>, inner: Arc<Inner>, max_reqs: usize, max_rows: usize) {
+fn batcher_loop(rx: Receiver<Job>, inner: Arc<Inner>, max_reqs: usize, max_rows: usize, max_wait: Duration) {
     while let Ok(first) = rx.recv() {
+        // The gather window opens when the first request of a pass arrives:
+        // with `max_wait` zero the loop only drains what is already queued
+        // (the minimum-latency mode); otherwise it blocks up to the
+        // remaining window for stragglers to widen the fused pass.
+        let deadline = (max_wait > Duration::ZERO).then(|| Instant::now() + max_wait);
         let mut jobs = vec![first];
         let mut rows = jobs[0].req.rows();
         while jobs.len() < max_reqs && rows < max_rows {
@@ -223,13 +351,30 @@ fn batcher_loop(rx: Receiver<Job>, inner: Arc<Inner>, max_reqs: usize, max_rows:
                     rows += job.req.rows();
                     jobs.push(job);
                 }
-                Err(_) => break,
+                Err(mpsc::TryRecvError::Disconnected) => break,
+                Err(mpsc::TryRecvError::Empty) => {
+                    let Some(deadline) = deadline else { break };
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(job) => {
+                            rows += job.req.rows();
+                            jobs.push(job);
+                        }
+                        // Window expired or the engine is shutting down:
+                        // serve what was gathered either way.
+                        Err(_) => break,
+                    }
+                }
             }
         }
         // ONE model snapshot per fused pass: a concurrent reload swaps the
         // engine's sampler but cannot touch this pass.
         let snapshot = inner.sampler.lock().unwrap().clone();
         let seq = snapshot.loaded_seq();
+        let precision = snapshot.precision();
         let reqs: Vec<SampleRequest> = jobs.iter().map(|j| j.req.clone()).collect();
         let outs = snapshot.sample_fused(&reqs);
         inner.batches.fetch_add(1, Ordering::Relaxed);
@@ -239,7 +384,7 @@ fn batcher_loop(rx: Receiver<Job>, inner: Arc<Inner>, max_reqs: usize, max_rows:
             inner.samples.fetch_add(objects.len() as u64, Ordering::Relaxed);
             inner.latencies.lock().unwrap().push(latency_ms);
             // A caller that gave up on its receiver is not an engine error.
-            let _ = job.reply.send(SampleResponse { seq, objects, latency_ms });
+            let _ = job.reply.send(SampleResponse { seq, objects, latency_ms, precision });
         }
     }
 }
@@ -377,5 +522,106 @@ mod tests {
         let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         assert_eq!(percentile(&v, 0.50), 50.0);
         assert_eq!(percentile(&v, 0.99), 99.0);
+    }
+
+    #[test]
+    fn latency_ring_keeps_exactly_the_most_recent_window() {
+        let mut ring = LatencyRing::new(8);
+        assert!(ring.is_empty());
+        // Overfill 4x: the ring must retain exactly the last 8 pushes.
+        for i in 0..32 {
+            ring.push(i as f64);
+        }
+        assert_eq!((ring.len(), ring.capacity()), (8, 8));
+        let sorted = ring.sorted();
+        assert_eq!(sorted, (24..32).map(|i| i as f64).collect::<Vec<_>>());
+        // Ring percentiles == exact nearest-rank over the last-window
+        // slice of the full history.
+        let mut exact: Vec<f64> = (24..32).map(|i| i as f64).collect();
+        exact.sort_by(f64::total_cmp);
+        assert_eq!(percentile(&sorted, 0.50), percentile(&exact, 0.50));
+        assert_eq!(percentile(&sorted, 0.99), percentile(&exact, 0.99));
+    }
+
+    #[test]
+    fn latency_ring_drops_non_finite_observations_instead_of_poisoning_stats() {
+        let mut ring = LatencyRing::new(4);
+        ring.push(f64::NAN);
+        ring.push(1.0);
+        ring.push(f64::INFINITY);
+        ring.push(2.0);
+        ring.push(f64::NEG_INFINITY);
+        assert_eq!(ring.sorted(), vec![1.0, 2.0]);
+        // sorted() itself must survive arbitrary f64s if one ever got in.
+        let sorted = ring.sorted();
+        assert!(percentile(&sorted, 0.99).is_finite());
+    }
+
+    #[test]
+    fn soak_latency_memory_stays_bounded_across_many_times_the_window() {
+        // 10x+ the window of sequential requests: the engine must retain at
+        // most `latency_window` observations and report sane percentiles.
+        let cfg = ServeConfig { latency_window: 16, ..ServeConfig::default() };
+        let engine = BatchEngine::new(Sampler::new(tiny_model(57)), cfg);
+        for i in 0..200u64 {
+            let resp = engine.sample_blocking(req(1, i)).unwrap();
+            assert_eq!(resp.objects.len(), 1);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 200);
+        assert_eq!(stats.latency_window, 16);
+        assert_eq!(stats.latency_samples, 16, "ring must cap at the window");
+        assert!(stats.p50_ms.is_finite() && stats.p50_ms > 0.0);
+        assert!(stats.p99_ms >= stats.p50_ms);
+    }
+
+    #[test]
+    fn gather_window_fuses_a_steady_trickle_into_fewer_passes() {
+        // A generous window: requests submitted one-by-one from separate
+        // threads land inside a single gather window with high probability.
+        let cfg = ServeConfig { max_wait_us: 200_000, ..ServeConfig::default() };
+        let engine = Arc::new(BatchEngine::new(Sampler::new(tiny_model(58)), cfg));
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(5 * i));
+                    engine.sample_blocking(req(2, 100 + i)).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().objects.len(), 2);
+        }
+        let stats = engine.stats();
+        assert_eq!((stats.requests, stats.samples), (6, 12));
+        assert!(
+            stats.batches < 6,
+            "a 200ms gather window must coalesce a 5ms-spaced trickle (got {} passes)",
+            stats.batches
+        );
+    }
+
+    #[test]
+    fn bf16_engine_serves_the_reduced_precision_tier_and_echoes_it() {
+        let model = tiny_model(59);
+        let cfg = ServeConfig { precision: Precision::Bf16, ..ServeConfig::default() };
+        let engine = BatchEngine::new(Sampler::new(model.clone()), cfg);
+        assert_eq!(engine.precision(), Precision::Bf16);
+        let r = req(5, 41);
+        let served = engine.sample_blocking(r.clone()).unwrap();
+        assert_eq!(served.precision, Precision::Bf16);
+        assert_eq!(engine.stats().precision, "bf16");
+        // Served bytes match a direct bf16 sampler call, not the f32 tier.
+        let direct_bf16 = Sampler::new(model.clone()).with_precision(Precision::Bf16).sample_threaded(&r, 1);
+        let direct_f32 = Sampler::new(model).sample_threaded(&r, 1);
+        assert_eq!(
+            serde_json::to_string(&served.objects).unwrap(),
+            serde_json::to_string(&direct_bf16).unwrap()
+        );
+        assert_ne!(
+            serde_json::to_string(&served.objects).unwrap(),
+            serde_json::to_string(&direct_f32).unwrap()
+        );
     }
 }

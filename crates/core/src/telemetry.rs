@@ -84,10 +84,20 @@ pub struct ServingHeartbeatEvent {
     pub samples: u64,
     /// Requests rejected at validation so far.
     pub rejected: u64,
-    /// Median request latency over the server's lifetime, milliseconds.
+    /// Median request latency over the engine's bounded latency window
+    /// (see `ServeStats`), milliseconds.
     pub p50_ms: f64,
-    /// 99th-percentile request latency, milliseconds.
+    /// 99th-percentile request latency over the same window, milliseconds.
     pub p99_ms: f64,
+    /// Numeric precision generation runs at (`"f32"` / `"bf16"`).
+    /// Defaults to `"f32"` when absent, so logs written before the
+    /// reduced-precision tier existed still parse.
+    #[serde(default = "default_precision")]
+    pub precision: String,
+}
+
+fn default_precision() -> String {
+    "f32".to_string()
 }
 
 /// A hot-reload attempt by the serving engine.

@@ -1,0 +1,131 @@
+//! Precision isolation at the training level: the bf16 inference tier is
+//! strictly generation-only. A process that forces `DG_PRECISION=bf16` in
+//! its environment and runs bf16 generation passes concurrently with
+//! training must leave `fit` / `fit_monitored` bitwise identical to a
+//! clean f32 run — the precision knob lives on the [`Sampler`] (and the
+//! serving CLI that configures it), never on the trainer.
+//!
+//! The flip side of the contract is also pinned here: a bf16 sampler's
+//! same-seed output really does differ from f32 (the switch reaches the
+//! kernels), stays within the paper's distribution-level fidelity gate,
+//! and remains deterministic across worker counts and across the fused
+//! multi-request path.
+
+use dg_data::Value;
+use dg_metrics::distribution_deltas;
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOTAL_ITERS: usize = 6;
+const STREAM_SEED: u64 = 77;
+
+/// A small but non-degenerate model on the two-class sine smoke dataset.
+fn setup(hidden: usize) -> (DoppelGanger, dg_data::EncodedDataset) {
+    let cfg = dg_datasets::SineConfig { num_objects: 24, length: 8, periods: vec![3, 5], noise_sigma: 0.05 };
+    let data = dg_datasets::sine::generate(&cfg, &mut StdRng::seed_from_u64(2));
+    let mut dg = DgConfig::quick().with_recommended_s(8);
+    dg.attr_hidden = hidden;
+    dg.lstm_hidden = hidden;
+    dg.head_hidden = hidden;
+    dg.disc_hidden = hidden;
+    dg.disc_depth = 2;
+    dg.batch_size = 8;
+    let model = DoppelGanger::new(&data, dg, &mut StdRng::seed_from_u64(1));
+    let enc = model.encode(&data);
+    (model, enc)
+}
+
+fn flat_params(tr: &Trainer) -> Vec<u32> {
+    tr.model.store.iter().flat_map(|(_, _, t)| t.as_slice().iter().map(|x| x.to_bits())).collect()
+}
+
+/// A schema-valid conditioned request against the two-class sine schema.
+fn req(rows: usize, seed: u64) -> SampleRequest {
+    SampleRequest { attribute_rows: (0..rows).map(|k| vec![Value::Cat(k % 2)]).collect(), seed }
+}
+
+#[test]
+fn forced_bf16_environment_never_touches_training() {
+    // The environment knob the serving CLI honors. Nothing on the training
+    // path may read it — this test fails if anyone ever wires it into the
+    // trainer, an eval pass, or checkpointing.
+    std::env::set_var("DG_PRECISION", "bf16");
+
+    // Ground truth: a plain f32 fit.
+    let (model, enc) = setup(8);
+    let mut baseline = Trainer::new(model);
+    baseline.fit(&enc, TOTAL_ITERS, &mut TrainRng::seed_from_u64(STREAM_SEED), |_| {});
+    let expected = flat_params(&baseline);
+
+    // The adversarial run: monitored training while a bf16 sampler built
+    // from the same initial weights generates after every iteration, in
+    // the same process, with DG_PRECISION=bf16 exported.
+    let (model, enc) = setup(8);
+    let sampler = Sampler::new(model.clone()).with_precision(Precision::Bf16);
+    assert_eq!(sampler.precision(), Precision::Bf16);
+    let mut tr = Trainer::new(model);
+    let mut shared = SharedRng::seed_from_u64(STREAM_SEED);
+    let mut mon = TrainMonitor::new();
+    let mut gen_rng = StdRng::seed_from_u64(9);
+    tr.fit_monitored(&enc, TOTAL_ITERS, &mut shared, &mut mon, |_| {
+        // Reduced-precision generation interleaved with the optimizer steps.
+        let objs = sampler.generate(4, &mut gen_rng);
+        assert_eq!(objs.len(), 4);
+    })
+    .expect("monitored run completes");
+
+    assert_eq!(
+        flat_params(&tr),
+        expected,
+        "bf16 generation (or DG_PRECISION in the environment) leaked into training"
+    );
+}
+
+#[test]
+fn bf16_generation_differs_from_f32_but_passes_the_distribution_gate() {
+    let (model, _) = setup(16);
+    let sampler = Sampler::new(model);
+    let bf16 = sampler.clone().with_precision(Precision::Bf16);
+
+    let ds_f32 = sampler.generate_dataset(96, &mut StdRng::seed_from_u64(11));
+    let ds_bf16 = bf16.generate_dataset(96, &mut StdRng::seed_from_u64(11));
+
+    // The switch must reach the kernels: same-seed outputs are not
+    // sample-identical...
+    let differs = ds_f32.objects.iter().zip(&ds_bf16.objects).any(|(a, b)| a != b);
+    assert!(differs, "bf16 sampler output is identical to f32 — the precision switch is dead");
+
+    // ...but the tier is validated by distribution, the same standard the
+    // paper applies to generated-vs-real data. Thresholds match the
+    // serving bench / CI fidelity gate.
+    let report = distribution_deltas(&ds_f32, &ds_bf16, 6);
+    assert!(report.within(0.01, 0.05, 0.05), "bf16 drifted past the distribution gate: {report:?}");
+}
+
+#[test]
+fn bf16_serving_is_deterministic_across_threads_and_fusing() {
+    let (model, _) = setup(8);
+    let sampler = Sampler::new(model).with_precision(Precision::Bf16);
+
+    let reqs = [req(5, 3), req(1, 4), req(8, 5)];
+
+    // Per-tier determinism survives the precision switch: every worker
+    // count serves bitwise-identical objects.
+    let serial: Vec<_> = reqs.iter().map(|r| sampler.sample_threaded(r, 1)).collect();
+    for threads in [2, 4, 8] {
+        for (r, want) in reqs.iter().zip(&serial) {
+            assert_eq!(
+                &sampler.sample_threaded(r, threads),
+                want,
+                "bf16 sample at {threads} workers diverged from serial"
+            );
+        }
+    }
+
+    // The fused multi-request path inherits the same contract at bf16.
+    for threads in [1, 2, 8] {
+        let fused = sampler.sample_fused_threaded(&reqs, threads);
+        assert_eq!(fused, serial, "fused bf16 at {threads} workers diverged from sequential");
+    }
+}

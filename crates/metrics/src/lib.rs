@@ -17,12 +17,16 @@
 //! * [`nearest`] — the nearest-neighbour memorization probe (Figs. 24–26);
 //! * [`ks`] — two-sample Kolmogorov–Smirnov statistic and p-value;
 //! * [`correlation`] — cross-feature correlation matrices and the
-//!   attribute–feature correlation ratio (the §1 motivating dependence).
+//!   attribute–feature correlation ratio (the §1 motivating dependence);
+//! * [`fidelity`] — the three probes above bundled into one
+//!   dataset-vs-dataset [`FidelityReport`], the distribution-level gate
+//!   the reduced-precision serving tier is validated with.
 
 #![warn(missing_docs)]
 
 pub mod autocorr;
 pub mod correlation;
+pub mod fidelity;
 pub mod histogram;
 pub mod jsd;
 pub mod ks;
@@ -34,6 +38,7 @@ pub use autocorr::{autocorrelation, average_autocorrelation, curve_mse};
 pub use correlation::{
     attribute_feature_eta, correlation_matrix_distance, feature_correlation_matrix, pearson,
 };
+pub use fidelity::{distribution_deltas, FidelityReport};
 pub use histogram::{attribute_histogram, count_modes, length_histogram, BinnedHistogram};
 pub use jsd::{jsd, jsd_counts};
 pub use ks::{ks_p_value, ks_statistic};

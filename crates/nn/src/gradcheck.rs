@@ -207,6 +207,140 @@ pub fn check_kernel_equivalence_cycles(
     None
 }
 
+/// Checks the bf16 inference family's determinism contract for an
+/// `m x k x n` problem: Scalar and Portable are **bitwise** identical to the
+/// serial scalar bf16 reference across every worker count (all three
+/// transpose variants), the scalar bf16 result equals the f32 scalar kernel
+/// run on pre-rounded operands (the family is "storage-only" bf16), and the
+/// Native (FMA) tier — when available — is bitwise self-consistent across
+/// worker counts while staying within accumulation tolerance of the scalar
+/// reference. Returns the first discrepancy, or `None`.
+pub fn check_bf16_kernel_equivalence(
+    m: usize,
+    k: usize,
+    n: usize,
+    thread_counts: &[usize],
+    seed: u64,
+) -> Option<String> {
+    use crate::kernels::bf16_round;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Tensor::randn(m, k, 1.0, &mut rng);
+    let b = Tensor::randn(k, n, 1.0, &mut rng);
+    let bt = Tensor::randn(n, k, 1.0, &mut rng); // right factor for a * bt^T
+    let at = Tensor::randn(m, n, 1.0, &mut rng); // right factor for a^T * at
+
+    let run = |kind: KernelKind, t: usize| -> [Tensor; 3] {
+        let mut scratch = Vec::new();
+        let mut mm = Tensor::zeros(m, n);
+        a.matmul_into_bf16(&b, &mut mm, t, kind, &mut scratch);
+        let mut ntv = Tensor::zeros(m, bt.rows());
+        a.matmul_bt_into_bf16(&bt, &mut ntv, t, kind, &mut scratch);
+        let mut tn = Tensor::zeros(k, at.cols());
+        a.matmul_at_into_bf16(&at, &mut tn, t, kind, &mut scratch);
+        [mm, ntv, tn]
+    };
+    let names = ["matmul", "matmul_bt", "matmul_at"];
+    let reference = run(KernelKind::Scalar, 1);
+
+    // Anchor: scalar bf16 == f32 scalar kernel on pre-rounded operands.
+    if k > 0 && n > 0 {
+        let ar = Tensor::from_vec(m, k, a.as_slice().iter().map(|&v| bf16_round(v)).collect());
+        let br = Tensor::from_vec(k, n, b.as_slice().iter().map(|&v| bf16_round(v)).collect());
+        let want = ar.matmul_with_kind(&br, 1, KernelKind::Scalar);
+        if want.as_slice().iter().zip(reference[0].as_slice()).any(|(x, y)| x.to_bits() != y.to_bits()) {
+            return Some(format!("bf16 scalar {m}x{k}x{n} != f32 scalar on pre-rounded operands"));
+        }
+    }
+
+    for kind in [KernelKind::Scalar, KernelKind::Portable] {
+        for &t in thread_counts {
+            let got = run(kind, t);
+            for ((name, g), r) in names.iter().zip(&got).zip(&reference) {
+                if g.as_slice().iter().zip(r.as_slice()).any(|(x, y)| x.to_bits() != y.to_bits()) {
+                    return Some(format!(
+                        "bf16 {name} {m}x{k}x{n} kind={} threads={t} is not bitwise equal to serial scalar",
+                        kind.name()
+                    ));
+                }
+            }
+        }
+    }
+    if kernels::native_bf16_available() {
+        let native_ref = run(KernelKind::Native, 1);
+        for &t in thread_counts {
+            let got = run(KernelKind::Native, t);
+            for ((name, g), r) in names.iter().zip(&got).zip(&native_ref) {
+                if g.as_slice().iter().zip(r.as_slice()).any(|(x, y)| x.to_bits() != y.to_bits()) {
+                    return Some(format!(
+                        "bf16 {name} {m}x{k}x{n} native threads={t} is not bitwise self-consistent"
+                    ));
+                }
+            }
+        }
+        let tol = 1e-3 * (k as f32).max(1.0).sqrt();
+        for ((name, g), r) in names.iter().zip(&native_ref).zip(&reference) {
+            if g.as_slice().iter().zip(r.as_slice()).any(|(x, y)| (x - y).abs() > tol * (1.0 + y.abs())) {
+                return Some(format!("bf16 {name} {m}x{k}x{n} native drifted past tolerance vs scalar"));
+            }
+        }
+    }
+    None
+}
+
+/// Checks that a forward-only graph program behaves per the precision
+/// contract: under [`crate::kernels::Precision::Bf16`] the result is
+/// deterministic across every worker count in `thread_counts` (and across
+/// pooled-workspace reuse `cycles`), and — when `expect_differs` — actually
+/// differs from the f32 execution (i.e. the switch reaches the kernels).
+/// `program` records a graph and returns the output var whose value is
+/// compared. Returns the first discrepancy, or `None`.
+pub fn check_graph_precision_determinism(
+    program: impl Fn(&mut Graph) -> Var,
+    cycles: usize,
+    thread_counts: &[usize],
+    expect_differs: bool,
+) -> Option<String> {
+    use crate::kernels::Precision;
+
+    let run = |ws: Workspace| -> (Vec<f32>, Workspace) {
+        let mut g = Graph::with_workspace(ws);
+        let out = program(&mut g);
+        let v = g.value(out).as_slice().to_vec();
+        (v, g.finish())
+    };
+
+    let (f32_ref, _) = run(Workspace::unpooled());
+    let (reference, _) = run(Workspace::unpooled().with_precision(Precision::Bf16));
+    if expect_differs && reference.iter().zip(&f32_ref).all(|(x, y)| x.to_bits() == y.to_bits()) {
+        return Some(
+            "bf16 execution is bitwise identical to f32 — the precision switch did not reach the kernels"
+                .into(),
+        );
+    }
+    for &threads in thread_counts {
+        let mut ws = Workspace::new().with_precision(Precision::Bf16).with_thread_override(threads);
+        for cycle in 0..cycles.max(1) {
+            let state;
+            (state, ws) = run(ws);
+            if state.len() != reference.len() {
+                return Some(format!(
+                    "bf16 threads={threads} cycle={cycle}: {} values, expected {}",
+                    state.len(),
+                    reference.len()
+                ));
+            }
+            if let Some(i) = (0..state.len()).find(|&i| state[i].to_bits() != reference[i].to_bits()) {
+                return Some(format!(
+                    "bf16 threads={threads} cycle={cycle}: diverged at element {i}: {} vs {}",
+                    state[i], reference[i]
+                ));
+            }
+        }
+    }
+    None
+}
+
 /// Checks that executing `program` out of a pooled, reused [`Workspace`] is
 /// **bitwise** identical to fresh allocation, across consecutive reuse
 /// `cycles` and every worker count in `thread_counts`.
@@ -371,6 +505,49 @@ mod tests {
                 panic!("{err}");
             }
         }
+    }
+
+    #[test]
+    fn bf16_kernels_hold_their_determinism_contract_across_shapes() {
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (4, 8, 8),
+            (5, 7, 9),
+            (3, 129, 17),
+            (2, 5, 23),
+            (9, 0, 7),
+            (33, 16, 64),
+        ];
+        let threads = [1usize, 2, 3, 4, 7, 16];
+        for (i, &(m, k, n)) in shapes.iter().enumerate() {
+            if let Some(err) = check_bf16_kernel_equivalence(m, k, n, &threads, 3000 + i as u64) {
+                panic!("{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_precision_switch_is_deterministic_and_reaches_the_kernels() {
+        // The op mix of a generation forward pass: plain matmul, fused
+        // concat-matmul gates, A·Bᵀ, and the elementwise glue around them.
+        let err = check_graph_precision_determinism(
+            |g| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let x = g.constant(Tensor::randn(5, 4, 1.0, &mut rng));
+                let h = g.constant(Tensor::randn(5, 3, 1.0, &mut rng));
+                let w = g.constant(Tensor::randn(7, 6, 0.5, &mut rng));
+                let gates = g.concat_matmul(&[x, h], w);
+                let t = g.tanh(gates);
+                let w2 = g.constant(Tensor::randn(6, 4, 0.5, &mut rng));
+                let y = g.matmul(t, w2);
+                let p = g.constant(Tensor::randn(3, 4, 0.5, &mut rng));
+                g.matmul_bt(y, p)
+            },
+            3,
+            &[1, 2, 4, 8],
+            true,
+        );
+        assert!(err.is_none(), "{}", err.unwrap());
     }
 
     #[test]

@@ -27,11 +27,11 @@
 //! results are bitwise identical (see
 //! [`crate::gradcheck::check_workspace_determinism`]).
 
-use crate::kernels;
+use crate::kernels::{self, Precision};
 use crate::parallel::{self, PARALLEL_ELEMS};
 use crate::params::{GradMap, ParamId, ParamStore};
 use crate::tensor::{self, Tensor};
-use crate::workspace::Workspace;
+use crate::workspace::{Bf16Layout, Workspace};
 use rand::Rng;
 
 /// Handle to a node in a [`Graph`].
@@ -217,7 +217,7 @@ impl Graph {
     /// op into it, and pushes the node.
     fn record(&mut self, op: Op, rows: usize, cols: usize, needs_grad: bool) -> Var {
         let mut out = self.ws.take_raw(rows, cols);
-        eval_op_into(&op, &self.plan.parts, &self.values, &mut out, &mut self.ws);
+        eval_op_into(&op, &self.plan.nodes, &self.plan.parts, &self.values, &mut out, &mut self.ws);
         self.push(op, out, needs_grad)
     }
 
@@ -327,6 +327,21 @@ impl Graph {
         let mut v = self.ws.take_raw(src.rows(), src.cols());
         v.copy_from(src);
         self.push(Op::Leaf { param: Some(id) }, v, true)
+    }
+
+    /// Records a parameter value as a *frozen* leaf: the value is copied
+    /// from the store like [`Graph::param`], but no gradient is ever
+    /// tracked to the parameter — gradients still flow through consuming
+    /// ops to their other operands. Unlike [`Graph::constant_copied`] the
+    /// leaf keeps its [`ParamId`] binding, so
+    /// [`PlanExecutor::refresh_params`] reloads it and the bf16 inference
+    /// tier can replay the parameter's cached weight packing instead of
+    /// re-rounding the matrix on every op.
+    pub fn frozen_param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let src = store.get(id);
+        let mut v = self.ws.take_raw(src.rows(), src.cols());
+        v.copy_from(src);
+        self.push(Op::Leaf { param: Some(id) }, v, false)
     }
 
     // ---- ops -------------------------------------------------------------
@@ -607,7 +622,14 @@ impl PlanExecutor {
             let (prior, rest) = self.values.split_at_mut(i);
             let out = &mut rest[0];
             // No clearing: every forward rule fully overwrites its output.
-            eval_op_into(&self.plan.nodes[i].op, &self.plan.parts, prior, out, &mut self.ws);
+            eval_op_into(
+                &self.plan.nodes[i].op,
+                &self.plan.nodes,
+                &self.plan.parts,
+                prior,
+                out,
+                &mut self.ws,
+            );
         }
         self.ws.end_cycle();
     }
@@ -666,24 +688,72 @@ fn mac_threads(ws: &Workspace, macs: usize) -> usize {
     ws.override_or(tensor::matmul_threads(macs))
 }
 
+/// The parameter bound to `v` when `v` is a parameter leaf — the key under
+/// which the workspace caches bf16 weight packings.
+fn leaf_param(nodes: &[PlanNode], v: Var) -> Option<ParamId> {
+    match nodes.get(v.0)?.op {
+        Op::Leaf { param } => param,
+        _ => None,
+    }
+}
+
 /// Evaluates one non-leaf op into `out` (correctly shaped; contents may be
 /// stale — every rule fully overwrites it), reading operands from `values`.
 /// Shared by eager recording and plan replay, so both paths run identical
-/// kernels with identical threading.
-fn eval_op_into(op: &Op, parts: &[Var], values: &[Tensor], out: &mut Tensor, ws: &mut Workspace) {
+/// kernels with identical threading. `nodes` carries the operand ops so the
+/// bf16 arms can recognize parameter leaves and reuse their cached packing.
+fn eval_op_into(
+    op: &Op,
+    nodes: &[PlanNode],
+    parts: &[Var],
+    values: &[Tensor],
+    out: &mut Tensor,
+    ws: &mut Workspace,
+) {
     match op {
         Op::Leaf { .. } => unreachable!("leaves have no forward rule"),
         Op::MatMul(a, b) => {
             let (va, vb) = (&values[a.0], &values[b.0]);
             let th = mac_threads(ws, va.rows() * va.cols() * vb.cols());
-            va.matmul_into(vb, out, th);
+            // The workspace precision (inference-only; training workspaces
+            // are always F32) routes the forward GEMM family. Backward
+            // rules have no bf16 variant by design — inference never
+            // records gradients.
+            if ws.precision() == Precision::Bf16 {
+                // Weight operands (parameter leaves) hit the workspace's
+                // packed-B cache: generation re-multiplies the same
+                // parameters every timestep, and the O(k*n) per-call pack
+                // would otherwise rival the GEMM itself at serving batch
+                // sizes. Activation operands still pack per call.
+                if let Some(id) = leaf_param(nodes, *b) {
+                    let packed = ws.packed_bf16(id, Bf16Layout::RowMajor, vb);
+                    va.matmul_into_bf16_packed(packed, vb.cols(), out, th, kernels::active());
+                } else {
+                    let mut scratch = ws.take_u16();
+                    va.matmul_into_bf16(vb, out, th, kernels::active(), &mut scratch);
+                    ws.put_u16(scratch);
+                }
+            } else {
+                va.matmul_into(vb, out, th);
+            }
         }
         Op::MatMulBT(a, b) => {
             let (va, vb) = (&values[a.0], &values[b.0]);
             let th = mac_threads(ws, va.rows() * va.cols() * vb.rows());
-            let mut panel = ws.take_raw(va.cols(), vb.rows());
-            va.matmul_bt_into_with_panel(vb, out, th, &mut panel);
-            ws.reclaim(panel);
+            if ws.precision() == Precision::Bf16 {
+                if let Some(id) = leaf_param(nodes, *b) {
+                    let packed = ws.packed_bf16(id, Bf16Layout::Transposed, vb);
+                    va.matmul_bt_into_bf16_packed(packed, vb.rows(), out, th, kernels::active());
+                } else {
+                    let mut panel = ws.take_u16();
+                    va.matmul_bt_into_bf16(vb, out, th, kernels::active(), &mut panel);
+                    ws.put_u16(panel);
+                }
+            } else {
+                let mut panel = ws.take_raw(va.cols(), vb.rows());
+                va.matmul_bt_into_with_panel(vb, out, th, &mut panel);
+                ws.reclaim(panel);
+            }
         }
         Op::Add(a, b) => {
             let (va, vb) = (&values[a.0], &values[b.0]);
@@ -796,14 +866,41 @@ fn eval_op_into(op: &Op, parts: &[Var], values: &[Tensor], out: &mut Tensor, ws:
             // Each part multiplies against its block of W's rows; parts in
             // ascending order extend one ascending-k accumulation chain per
             // output element, so this is bitwise identical to materializing
-            // the concatenation and doing one matmul.
-            let mut off = 0;
-            for (pi, &p) in ps.iter().enumerate() {
-                let vp = &values[p.0];
-                let kp = vp.cols();
-                let wblock = &wv.as_slice()[off * n..(off + kp) * n];
-                kernels::gemm_nn(kind, vp.as_slice(), wblock, out.as_mut_slice(), kp, n, th, pi > 0);
-                off += kp;
+            // the concatenation and doing one matmul. Under Bf16 the whole
+            // W is packed once and the per-part blocks are sliced from the
+            // u16 panel — same chain structure, bf16-rounded operands.
+            if ws.precision() == Precision::Bf16 {
+                // Parameter W replays its cached packing (see the MatMul
+                // arm); a non-leaf W falls back to a per-call pack into the
+                // pooled scratch.
+                let mut scratch = None;
+                let w16: &[u16] = if let Some(id) = leaf_param(nodes, *w) {
+                    ws.packed_bf16(id, Bf16Layout::RowMajor, wv)
+                } else {
+                    let mut buf = ws.take_u16();
+                    kernels::pack_bf16(wv.as_slice(), &mut buf);
+                    scratch.insert(buf)
+                };
+                let mut off = 0;
+                for (pi, &p) in ps.iter().enumerate() {
+                    let vp = &values[p.0];
+                    let kp = vp.cols();
+                    let wblock = &w16[off * n..(off + kp) * n];
+                    kernels::gemm_nn_bf16(kind, vp.as_slice(), wblock, out.as_mut_slice(), kp, n, th, pi > 0);
+                    off += kp;
+                }
+                if let Some(buf) = scratch {
+                    ws.put_u16(buf);
+                }
+            } else {
+                let mut off = 0;
+                for (pi, &p) in ps.iter().enumerate() {
+                    let vp = &values[p.0];
+                    let kp = vp.cols();
+                    let wblock = &wv.as_slice()[off * n..(off + kp) * n];
+                    kernels::gemm_nn(kind, vp.as_slice(), wblock, out.as_mut_slice(), kp, n, th, pi > 0);
+                    off += kp;
+                }
             }
         }
         Op::SoftmaxCrossEntropy { logits, targets } => {
@@ -1690,6 +1787,78 @@ mod tests {
             },
             Tensor::from_vec(3, 2, vec![0.2, -0.4, 0.9, 0.1, -0.3, 0.8]),
             1e-2,
+        );
+    }
+
+    /// Deterministic pseudo-random fill (no RNG dep in unit tests).
+    fn wavy(rows: usize, cols: usize, phase: f32) -> Tensor {
+        Tensor::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| ((i as f32 * 0.7129 + phase).sin()) * 1.3).collect(),
+        )
+    }
+
+    #[test]
+    fn bf16_weight_packing_cache_is_bitwise_invisible_and_engages_for_frozen_params() {
+        use crate::kernels::Precision;
+        let mut store = ParamStore::new();
+        // x[3,5] * w_nn[5,7] -> a[3,7]; a * w_bt[4,7]^T -> b[3,4];
+        // concat([b, h[3,3]])[3,7] * w_cm[7,6] -> c[3,6].
+        let w_nn = store.add("w_nn", wavy(5, 7, 0.1));
+        let w_bt = store.add("w_bt", wavy(4, 7, 0.2));
+        let w_cm = store.add("w_cm", wavy(7, 6, 0.3));
+        let x = wavy(3, 5, 0.4);
+        let h = wavy(3, 3, 0.5);
+
+        // `frozen` toggles between param-bound leaves (cache engages) and
+        // anonymous constants (per-op pack) — both must agree bitwise.
+        let run = |frozen: bool, timesteps: usize| -> (Vec<f32>, usize) {
+            let mut ws = Workspace::new().with_precision(Precision::Bf16);
+            let mut last = Vec::new();
+            let mut entries = 0;
+            for _ in 0..2 {
+                // two pooled cycles: cache must survive graph reuse
+                let mut g = Graph::with_workspace(std::mem::take(&mut ws));
+                let xv = g.constant(x.clone());
+                let hv = g.constant(h.clone());
+                let mut acc = None;
+                for _ in 0..timesteps {
+                    let (wn, wb, wc) = if frozen {
+                        (
+                            g.frozen_param(&store, w_nn),
+                            g.frozen_param(&store, w_bt),
+                            g.frozen_param(&store, w_cm),
+                        )
+                    } else {
+                        (
+                            g.constant_copied(store.get(w_nn)),
+                            g.constant_copied(store.get(w_bt)),
+                            g.constant_copied(store.get(w_cm)),
+                        )
+                    };
+                    let a = g.matmul(xv, wn);
+                    let b = g.matmul_bt(a, wb);
+                    let c = g.concat_matmul(&[b, hv], wc);
+                    acc = Some(match acc {
+                        None => c,
+                        Some(prev) => g.add(prev, c),
+                    });
+                }
+                last = g.value(acc.expect("at least one timestep")).as_slice().to_vec();
+                entries = g.workspace().packed_bf16_entries();
+                ws = g.finish();
+            }
+            (last, entries)
+        };
+
+        let (cached, entries) = run(true, 4);
+        let (uncached, no_entries) = run(false, 4);
+        assert_eq!(entries, 3, "each frozen weight should be packed exactly once (RowMajor x2 + Transposed)");
+        assert_eq!(no_entries, 0, "anonymous constants must not populate the cache");
+        assert!(
+            cached.iter().zip(&uncached).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "cached weight packing must be bitwise invisible"
         );
     }
 }

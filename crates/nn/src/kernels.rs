@@ -60,6 +60,32 @@
 //! AVX2 is detected and Portable otherwise. `native` on a non-AVX2 host
 //! resolves to Portable. Because all tiers are bitwise identical, `DG_KERNEL`
 //! is a debugging/benchmarking knob, not a reproducibility hazard.
+//!
+//! # The bf16 inference tier
+//!
+//! [`Precision::Bf16`] selects a second kernel family (`gemm_*_bf16`):
+//! bf16-*stored*, f32-*accumulated* GEMM. Both operands are rounded to
+//! bfloat16 (round-to-nearest-even, [`bf16_round`]) — `B` is physically
+//! packed to `u16` once per matrix and widened in-kernel, `A` is rounded
+//! into a per-`KC`-panel f32 staging buffer — and every accumulation chain
+//! runs in f32. The contract is deliberately weaker than the f32 family's:
+//!
+//! * Within one resolved tier, results are still deterministic across thread
+//!   counts and `KC`/`NC` panel blocking (seams remain exact f32
+//!   store/reloads), and the Scalar and Portable bf16 tiers are bitwise
+//!   identical to each other (same separate-mul-then-add chain).
+//! * The Native bf16 tier requires AVX2 **and FMA**
+//!   ([`native_bf16_available`]) and uses `_mm256_fmadd_ps` — one rounding
+//!   per MAC. Freed from the cross-tier bitwise contract, it reclaims the 2x
+//!   FLOP peak that the f32 family forgoes, and the `u16` B operand halves
+//!   B-side memory traffic; that combination is the speedup. It matches the
+//!   other bf16 tiers (and the f32 family) in *distribution*, not bits.
+//!
+//! No training path ever dispatches bf16: the mode rides on the inference
+//! workspace (`dg-core`'s `Sampler` sets it for generation only), and the
+//! acceptance bar is fidelity-level validation — autocorrelation /
+//! Wasserstein / correlation deltas on same-seed output — mirroring the
+//! paper's own distribution-level evaluation of generated data.
 
 // GEMM entry points genuinely need (kind, operands, dims, threads,
 // accumulate): bundling them into structs would obscure the BLAS-style
@@ -122,6 +148,40 @@ impl KernelKind {
             KernelKind::Scalar => "scalar",
             KernelKind::Portable => "portable",
             KernelKind::Native => "native",
+        }
+    }
+}
+
+/// The numeric-format axis, orthogonal to [`KernelKind`]: which GEMM family
+/// a consumer dispatches. [`Precision::F32`] is the bitwise-deterministic
+/// family every training/eval/checkpoint path uses; [`Precision::Bf16`] is
+/// the inference-only reduced-precision family (module docs, "The bf16
+/// inference tier"). Only generation paths may select `Bf16`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-precision f32 storage and accumulation (the bitwise contract).
+    #[default]
+    F32,
+    /// bf16-stored / f32-accumulated inference tier, validated by
+    /// distribution rather than bits.
+    Bf16,
+}
+
+impl Precision {
+    /// Parses a `--precision` / `DG_PRECISION` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f32" => Some(Precision::F32),
+            "bf16" => Some(Precision::Bf16),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (round-trips through [`Precision::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Bf16 => "bf16",
         }
     }
 }
@@ -617,6 +677,499 @@ pub fn gemm_nt_dot(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, th
     });
 }
 
+// ===================== bf16 inference tier =====================
+
+/// Rounds an f32 to its nearest bfloat16 representation, returned as the raw
+/// 16-bit pattern (the top half of the f32 bits). Round-to-nearest-even, the
+/// same rounding hardware bf16 units use. NaNs are quieted rather than
+/// rounded so a payload can never carry into the exponent and turn into Inf.
+#[inline]
+pub fn bf16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        return ((bits >> 16) | 0x0040) as u16;
+    }
+    // RNE: add half an ulp of the kept field, plus the tie-break bit.
+    let rounded = bits.wrapping_add(0x7FFF + ((bits >> 16) & 1));
+    (rounded >> 16) as u16
+}
+
+/// Widens a raw bf16 bit pattern back to f32 (exact — bf16 is a strict
+/// prefix of the f32 format).
+#[inline]
+pub fn bf16_from_bits(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// `bf16_from_bits(bf16_bits(x))`: the value an operand actually contributes
+/// once stored in bf16. Idempotent.
+#[inline]
+pub fn bf16_round(x: f32) -> f32 {
+    bf16_from_bits(bf16_bits(x))
+}
+
+/// Rounds `src` elementwise into a bf16 buffer (resized to match).
+pub fn pack_bf16(src: &[f32], dst: &mut Vec<u16>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&v| bf16_bits(v)));
+}
+
+/// [`pack_bt`] fused with bf16 rounding: packs `b` — an `n x k` row-major
+/// matrix — into `panel` as its bf16 transpose (`k x n` row-major `u16`).
+///
+/// # Panics
+/// Panics unless `b.len() >= n * k`.
+pub fn pack_bt_bf16(b: &[f32], n: usize, k: usize, panel: &mut Vec<u16>) {
+    assert!(b.len() >= n * k, "pack_bt_bf16 source too small");
+    panel.clear();
+    panel.resize(k * n, 0);
+    for j in 0..n {
+        let brow = &b[j * k..(j + 1) * k];
+        for (kk, &v) in brow.iter().enumerate() {
+            panel[kk * n + j] = bf16_bits(v);
+        }
+    }
+}
+
+/// True when the Native bf16 tier (AVX2 + FMA intrinsics) can run here.
+pub fn native_bf16_available() -> bool {
+    #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "x86")))]
+    {
+        false
+    }
+}
+
+/// Maps a requested tier to the bf16 tier that will actually run: `Native`
+/// resolves to `Portable` unless both AVX2 and FMA are available.
+pub fn resolve_bf16(kind: KernelKind) -> KernelKind {
+    match kind {
+        KernelKind::Native if !native_bf16_available() => KernelKind::Portable,
+        k => k,
+    }
+}
+
+/// bf16 counterpart of [`gemm_chunk`]: computes a contiguous chunk of output
+/// rows with both operands rounded to bf16 and all accumulation in f32.
+/// `b` is the pre-packed `u16` `[k, n]` operand; the strided `A` view is
+/// rounded into a per-`KC`-panel staging buffer (an `O(rows * kc)` pack
+/// amortized over `O(rows * kc * nc)` kernel work, which also absorbs the
+/// stride so the inner loops read `A` contiguously).
+///
+/// Determinism: per resolved tier, independent of thread count and blocking
+/// (panel seams are exact f32 store/reloads, and the `k0`-outer /
+/// `j0`-inner loop order only changes when a panel's chain segment runs,
+/// never its per-element order). Scalar and Portable are bitwise identical;
+/// Native (FMA) agrees in distribution only.
+///
+/// # Panics
+/// Panics when the A view or B would be read out of bounds.
+pub fn gemm_chunk_bf16(
+    kind: KernelKind,
+    a: &[f32],
+    rstride: usize,
+    kstride: usize,
+    b: &[u16],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    if n == 0 || out.is_empty() {
+        return;
+    }
+    debug_assert_eq!(out.len() % n, 0, "gemm_chunk_bf16 requires whole output rows");
+    let rows = out.len() / n;
+    if k == 0 {
+        if !accumulate {
+            out.fill(0.0);
+        }
+        return;
+    }
+    assert!(
+        (row0 + rows - 1) * rstride + (k - 1) * kstride < a.len(),
+        "gemm_chunk_bf16: A view out of bounds (rows {row0}..{} rstride {rstride} kstride {kstride} k {k} len {})",
+        row0 + rows,
+        a.len()
+    );
+    assert!(b.len() >= k * n, "gemm_chunk_bf16: B has {} elements, needs {}", b.len(), k * n);
+    let kind = resolve_bf16(kind);
+    // Rounded-A staging panel, reused across the j0 sweep of each k panel
+    // and across calls (thread-local: each pool worker stages its own rows,
+    // so no sharing — and sizing is per-call, so no cross-shape aliasing).
+    thread_local! {
+        static APANEL: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    APANEL.with(|cell| {
+        let mut apanel = cell.borrow_mut();
+        // Grow-only, no clear: every panel fully writes the `[rows, kc]` slots
+        // it later reads, so stale contents from a previous call are dead.
+        if apanel.len() < rows * KC.min(k) {
+            apanel.resize(rows * KC.min(k), 0.0);
+        }
+        for k0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - k0);
+            for i in 0..rows {
+                let base = (row0 + i) * rstride + k0 * kstride;
+                let dst = &mut apanel[i * kc..i * kc + kc];
+                for (t, d) in dst.iter_mut().enumerate() {
+                    *d = bf16_round(a[base + t * kstride]);
+                }
+            }
+            let acc = accumulate || k0 > 0;
+            for j0 in (0..n).step_by(NC) {
+                let nc = NC.min(n - j0);
+                let bsub = &b[k0 * n + j0..];
+                let osub = &mut out[j0..];
+                match kind {
+                    KernelKind::Scalar => bf16_chunk_scalar(&apanel, kc, bsub, n, osub, n, rows, nc, acc),
+                    KernelKind::Portable => bf16_chunk_portable(&apanel, kc, bsub, n, osub, n, rows, nc, acc),
+                    KernelKind::Native => {
+                        #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+                        // SAFETY: `resolve_bf16` returns Native only when AVX2
+                        // and FMA were detected at runtime; slice bounds were
+                        // asserted above and the panel offsets stay inside them.
+                        unsafe {
+                            avx2fma::bf16_chunk_fma(&apanel, kc, bsub, n, osub, n, rows, nc, acc)
+                        }
+                        #[cfg(not(any(target_arch = "x86_64", target_arch = "x86")))]
+                        unreachable!("Native bf16 resolves to Portable off x86")
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Scalar bf16 tier: the [`gemm_chunk_scalar`] loop over a rounded-A panel
+/// (`[rows, kc]` f32, contiguous) and a `u16` B panel widened per element.
+/// Separate mul and add — bitwise identical to the Portable bf16 tier.
+fn bf16_chunk_scalar(
+    a: &[f32],
+    kc: usize,
+    b: &[u16],
+    bstride: usize,
+    out: &mut [f32],
+    ostride: usize,
+    rows: usize,
+    nc: usize,
+    accumulate: bool,
+) {
+    for i in 0..rows {
+        let arow = &a[i * kc..(i + 1) * kc];
+        let orow = &mut out[i * ostride..i * ostride + nc];
+        if !accumulate {
+            orow.fill(0.0);
+        }
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * bstride..kk * bstride + nc];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bf16_from_bits(bv);
+            }
+        }
+    }
+}
+
+/// Portable bf16 tier: `MR x NR` register tiling over the rounded-A panel.
+fn bf16_chunk_portable(
+    a: &[f32],
+    kc: usize,
+    b: &[u16],
+    bstride: usize,
+    out: &mut [f32],
+    ostride: usize,
+    rows: usize,
+    nc: usize,
+    accumulate: bool,
+) {
+    let mut i = 0;
+    while i < rows {
+        let take = (rows - i).min(MR);
+        let apanel = &a[i * kc..];
+        let block = &mut out[i * ostride..];
+        match take {
+            4 => bf16_tile_rows::<4>(apanel, kc, b, bstride, block, ostride, nc, accumulate),
+            3 => bf16_tile_rows::<3>(apanel, kc, b, bstride, block, ostride, nc, accumulate),
+            2 => bf16_tile_rows::<2>(apanel, kc, b, bstride, block, ostride, nc, accumulate),
+            _ => bf16_tile_rows::<1>(apanel, kc, b, bstride, block, ostride, nc, accumulate),
+        }
+        i += take;
+    }
+}
+
+/// Portable bf16 strip kernel: same shape as [`tile_rows`], A read from the
+/// contiguous rounded panel, B widened from `u16` per strip. Mul and add
+/// stay separate ops so every lane matches the scalar bf16 chain bitwise.
+#[inline(always)]
+fn bf16_tile_rows<const R: usize>(
+    a: &[f32],
+    kc: usize,
+    b: &[u16],
+    bstride: usize,
+    out: &mut [f32],
+    ostride: usize,
+    nc: usize,
+    accumulate: bool,
+) {
+    let mut j = 0;
+    while j + NR <= nc {
+        let mut acc = [[0.0_f32; NR]; R];
+        if accumulate {
+            for (r, accr) in acc.iter_mut().enumerate() {
+                accr.copy_from_slice(&out[r * ostride + j..r * ostride + j + NR]);
+            }
+        }
+        for kk in 0..kc {
+            let braw: &[u16; NR] = b[kk * bstride + j..kk * bstride + j + NR].try_into().unwrap();
+            let mut bv = [0.0_f32; NR];
+            for (l, &h) in braw.iter().enumerate() {
+                bv[l] = bf16_from_bits(h);
+            }
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = a[r * kc + kk];
+                for (l, lane) in accr.iter_mut().enumerate() {
+                    *lane += av * bv[l];
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            out[r * ostride + j..r * ostride + j + NR].copy_from_slice(accr);
+        }
+        j += NR;
+    }
+    while j < nc {
+        for r in 0..R {
+            let mut s = if accumulate { out[r * ostride + j] } else { 0.0 };
+            for kk in 0..kc {
+                s += a[r * kc + kk] * bf16_from_bits(b[kk * bstride + j]);
+            }
+            out[r * ostride + j] = s;
+        }
+        j += 1;
+    }
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+mod avx2fma {
+    //! The Native bf16 tier: AVX2 + FMA. Unlike the f32 Native tier this one
+    //! *is* allowed `_mm256_fmadd_ps` — the bf16 family is validated by
+    //! distribution, not bits (module docs) — which doubles peak FLOPs on
+    //! cores with two FMA pipes. B is widened from `u16` in-register
+    //! (`_mm256_cvtepu16_epi32` + a 16-bit shift is an exact bf16 -> f32
+    //! conversion).
+
+    use super::{bf16_from_bits, MR, NR};
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::{
+        __m128i, __m256, _mm256_castsi256_ps, _mm256_cvtepu16_epi32, _mm256_fmadd_ps, _mm256_loadu_ps,
+        _mm256_set1_ps, _mm256_setzero_ps, _mm256_slli_epi32, _mm256_storeu_ps, _mm_loadu_si128,
+    };
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::{
+        __m128i, __m256, _mm256_castsi256_ps, _mm256_cvtepu16_epi32, _mm256_fmadd_ps, _mm256_loadu_ps,
+        _mm256_set1_ps, _mm256_setzero_ps, _mm256_slli_epi32, _mm256_storeu_ps, _mm_loadu_si128,
+    };
+
+    /// Widens 8 bf16 values to an f32 vector (exact).
+    ///
+    /// # Safety
+    /// `p` must be readable for 16 bytes.
+    #[inline(always)]
+    unsafe fn load_bf16x8(p: *const u16) -> __m256 {
+        let h = _mm_loadu_si128(p as *const __m128i);
+        _mm256_castsi256_ps(_mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(h)))
+    }
+
+    /// # Safety
+    /// AVX2 and FMA must be available; `a` must hold `rows * kc` panel
+    /// elements, the pre-offset `b` / `out` panels must cover `kc` / `rows`
+    /// rows of `bstride` / `ostride` pitch with `nc` live columns.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn bf16_chunk_fma(
+        a: &[f32],
+        kc: usize,
+        b: &[u16],
+        bstride: usize,
+        out: &mut [f32],
+        ostride: usize,
+        rows: usize,
+        nc: usize,
+        accumulate: bool,
+    ) {
+        let mut i = 0;
+        while i < rows {
+            let take = (rows - i).min(MR);
+            let apanel = &a[i * kc..];
+            let block = &mut out[i * ostride..];
+            match take {
+                4 => bf16_tile_fma::<4>(apanel, kc, b, bstride, block, ostride, nc, accumulate),
+                3 => bf16_tile_fma::<3>(apanel, kc, b, bstride, block, ostride, nc, accumulate),
+                2 => bf16_tile_fma::<2>(apanel, kc, b, bstride, block, ostride, nc, accumulate),
+                _ => bf16_tile_fma::<1>(apanel, kc, b, bstride, block, ostride, nc, accumulate),
+            }
+            i += take;
+        }
+    }
+
+    /// # Safety
+    /// Same contract as [`bf16_chunk_fma`]; additionally `out` must hold `R`
+    /// rows of `ostride` pitch (`nc` live columns each).
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn bf16_tile_fma<const R: usize>(
+        a: &[f32],
+        kc: usize,
+        b: &[u16],
+        bstride: usize,
+        out: &mut [f32],
+        ostride: usize,
+        nc: usize,
+        accumulate: bool,
+    ) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut j = 0;
+        // Double-width strips: 2*R independent FMA chains cover the FMA
+        // latency. Chain order per element is fixed (ascending k), so the
+        // tier is deterministic across thread counts and blocking even
+        // though it does not match the mul+add tiers bitwise.
+        while j + 2 * NR <= nc {
+            let mut acc0 = [_mm256_setzero_ps(); R];
+            let mut acc1 = [_mm256_setzero_ps(); R];
+            if accumulate {
+                for r in 0..R {
+                    acc0[r] = _mm256_loadu_ps(op.add(r * ostride + j));
+                    acc1[r] = _mm256_loadu_ps(op.add(r * ostride + j + NR));
+                }
+            }
+            for kk in 0..kc {
+                let bv0 = load_bf16x8(bp.add(kk * bstride + j));
+                let bv1 = load_bf16x8(bp.add(kk * bstride + j + NR));
+                for r in 0..R {
+                    let av = _mm256_set1_ps(*ap.add(r * kc + kk));
+                    acc0[r] = _mm256_fmadd_ps(av, bv0, acc0[r]);
+                    acc1[r] = _mm256_fmadd_ps(av, bv1, acc1[r]);
+                }
+            }
+            for r in 0..R {
+                _mm256_storeu_ps(op.add(r * ostride + j), acc0[r]);
+                _mm256_storeu_ps(op.add(r * ostride + j + NR), acc1[r]);
+            }
+            j += 2 * NR;
+        }
+        while j + NR <= nc {
+            let mut acc = [_mm256_setzero_ps(); R];
+            if accumulate {
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    *accr = _mm256_loadu_ps(op.add(r * ostride + j));
+                }
+            }
+            for kk in 0..kc {
+                let bv = load_bf16x8(bp.add(kk * bstride + j));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add(r * kc + kk));
+                    *accr = _mm256_fmadd_ps(av, bv, *accr);
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                _mm256_storeu_ps(op.add(r * ostride + j), *accr);
+            }
+            j += NR;
+        }
+        // Ragged column tail: `mul_add` keeps the one-rounding-per-MAC
+        // behavior of the vector lanes (with FMA enabled it compiles to
+        // vfmadd, not a libm call). Which columns land in the tail depends
+        // only on nc, never on threading, so determinism per tier holds.
+        while j < nc {
+            for r in 0..R {
+                let mut s = if accumulate { out[r * ostride + j] } else { 0.0 };
+                for kk in 0..kc {
+                    s = a[r * kc + kk].mul_add(bf16_from_bits(b[kk * bstride + j]), s);
+                }
+                out[r * ostride + j] = s;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Threaded bf16 `C[m,n] = A[m,k] · B[k,n]` (or `C += A·B` when
+/// `accumulate`); `b` is the pre-packed `u16` operand (see [`pack_bf16`]).
+/// Deterministic per resolved tier for every `threads` value.
+pub fn gemm_nn_bf16(
+    kind: KernelKind,
+    a: &[f32],
+    b: &[u16],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    threads: usize,
+    accumulate: bool,
+) {
+    parallel::run_row_chunks(out, n, threads, |row0, chunk| {
+        gemm_chunk_bf16(kind, a, k, 1, b, chunk, row0, k, n, accumulate);
+    });
+}
+
+/// Threaded bf16 `C[m,n] = A[k,m]ᵀ · B[k,n]` without materializing the
+/// transpose (strided A view, as [`gemm_tn`]).
+pub fn gemm_tn_bf16(
+    kind: KernelKind,
+    a: &[f32],
+    b: &[u16],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    accumulate: bool,
+) {
+    debug_assert_eq!(out.len(), m * n, "gemm_tn_bf16 output shape mismatch");
+    parallel::run_row_chunks(out, n, threads, |row0, chunk| {
+        gemm_chunk_bf16(kind, a, 1, m, b, chunk, row0, k, n, accumulate);
+    });
+}
+
+/// Threaded bf16 `C[m,n] = A[m,k] · (B[n,k])ᵀ` through a bf16-packed `Bᵀ`
+/// panel ([`pack_bt_bf16`], resized by this call). The bf16 family always
+/// packs — the pack doubles as the rounding pass, so there is no dot-path
+/// split like [`gemm_nt_dot`].
+pub fn gemm_nt_bf16(
+    kind: KernelKind,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    threads: usize,
+    panel: &mut Vec<u16>,
+) {
+    pack_bt_bf16(b, n, k, panel);
+    gemm_nt_bf16_packed(kind, a, panel, out, k, n, threads);
+}
+
+/// [`gemm_nt_bf16`] with the `Bᵀ` panel already packed ([`pack_bt_bf16`]) —
+/// for callers that cache weight panels across calls (the workspace's
+/// per-parameter packing cache) instead of re-rounding `B` every GEMM.
+pub fn gemm_nt_bf16_packed(
+    kind: KernelKind,
+    a: &[f32],
+    panel: &[u16],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    parallel::run_row_chunks(out, n, threads, |row0, chunk| {
+        gemm_chunk_bf16(kind, a, k, 1, panel, chunk, row0, k, n, false);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -817,5 +1370,148 @@ mod tests {
                 kind.name()
             );
         }
+    }
+
+    #[test]
+    fn precision_parse_round_trips() {
+        for p in [Precision::F32, Precision::Bf16] {
+            assert_eq!(Precision::parse(p.name()), Some(p));
+        }
+        assert_eq!(Precision::parse(" BF16 "), Some(Precision::Bf16));
+        assert_eq!(Precision::parse("fp16"), None);
+        assert_eq!(Precision::default(), Precision::F32);
+    }
+
+    #[test]
+    fn bf16_round_is_nearest_even_and_total() {
+        // Exactly representable values survive.
+        for v in [0.0_f32, -0.0, 1.0, -2.5, 256.0] {
+            assert_eq!(bf16_round(v).to_bits(), v.to_bits(), "{v} not preserved");
+        }
+        // 1 + 2^-9 is the exact midpoint between bf16(1.0) and the next
+        // bf16 up; RNE keeps the even mantissa (1.0).
+        assert_eq!(bf16_round(f32::from_bits(0x3F80_8000)), 1.0);
+        // The midpoint above an odd mantissa rounds up.
+        assert_eq!(bf16_round(f32::from_bits(0x3F81_8000)), f32::from_bits(0x3F82_0000));
+        // Just past a midpoint rounds up regardless of parity.
+        assert!(bf16_round(f32::from_bits(0x3F80_8001)) > 1.0);
+        // Idempotent, and specials stay themselves.
+        let r = bf16_round(std::f32::consts::PI);
+        assert_eq!(bf16_round(r), r);
+        assert!(bf16_round(f32::NAN).is_nan());
+        assert_eq!(bf16_round(f32::INFINITY), f32::INFINITY);
+        assert_eq!(bf16_round(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        // Overflow into the exponent is correct rounding, not corruption.
+        assert_eq!(bf16_round(f32::from_bits(0x7F7F_FFFF)), f32::INFINITY);
+    }
+
+    /// Scalar-tier bf16 GEMM on raw operands must equal f32 scalar GEMM on
+    /// pre-rounded operands bitwise: same chain, same values.
+    #[test]
+    fn bf16_scalar_equals_f32_on_prerounded_operands() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for &(m, k, n) in &[(5usize, 7usize, 9usize), (1, 13, 8), (4, 32, 8), (9, 0, 7)] {
+            let a = randv(&mut rng, m * k);
+            let b = randv(&mut rng, k * n);
+            let ar: Vec<f32> = a.iter().map(|&v| bf16_round(v)).collect();
+            let br: Vec<f32> = b.iter().map(|&v| bf16_round(v)).collect();
+            let mut want = vec![f32::NAN; m * n];
+            gemm_nn(KernelKind::Scalar, &ar, &br, &mut want, k, n, 1, false);
+            let mut b16 = Vec::new();
+            pack_bf16(&b, &mut b16);
+            let mut got = vec![f32::NAN; m * n];
+            gemm_nn_bf16(KernelKind::Scalar, &a, &b16, &mut got, k, n, 1, false);
+            assert!(
+                got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "bf16 scalar != f32-on-rounded at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    /// Scalar and Portable bf16 tiers are bitwise identical, thread- and
+    /// blocking-invariant (including shapes straddling the KC/NC seams);
+    /// the Native tier is bitwise self-consistent across thread counts.
+    #[test]
+    fn bf16_tier_determinism_contract() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(m, k, n) in &[(5usize, 7usize, 9usize), (3, KC + 7, NC + 5), (6, 2 * KC, 17), (13, 1, 1)] {
+            let a = randv(&mut rng, m * k);
+            let b = randv(&mut rng, k * n);
+            let mut b16 = Vec::new();
+            pack_bf16(&b, &mut b16);
+            let mut reference = vec![f32::NAN; m * n];
+            gemm_nn_bf16(KernelKind::Scalar, &a, &b16, &mut reference, k, n, 1, false);
+            for kind in [KernelKind::Scalar, KernelKind::Portable] {
+                for threads in [1usize, 2, 3, 16] {
+                    let mut out = vec![f32::NAN; m * n];
+                    gemm_nn_bf16(kind, &a, &b16, &mut out, k, n, threads, false);
+                    assert!(
+                        out.iter().zip(&reference).all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "bf16 {} t={threads} {m}x{k}x{n} diverged from scalar serial",
+                        kind.name()
+                    );
+                }
+            }
+            if native_bf16_available() {
+                let mut native1 = vec![f32::NAN; m * n];
+                gemm_nn_bf16(KernelKind::Native, &a, &b16, &mut native1, k, n, 1, false);
+                for threads in [2usize, 3, 16] {
+                    let mut out = vec![f32::NAN; m * n];
+                    gemm_nn_bf16(KernelKind::Native, &a, &b16, &mut out, k, n, threads, false);
+                    assert!(
+                        out.iter().zip(&native1).all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "bf16 native t={threads} {m}x{k}x{n} not thread-invariant"
+                    );
+                }
+                // And the FMA tier agrees with the mul+add tiers within
+                // accumulation tolerance (distribution-level contract).
+                let tol = 1e-3_f32 * (k as f32).max(1.0).sqrt();
+                assert!(
+                    native1.iter().zip(&reference).all(|(x, y)| (x - y).abs() <= tol * (1.0 + y.abs())),
+                    "bf16 native drifted past tolerance vs scalar at {m}x{k}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_accumulate_and_transpose_variants_match_reference() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let (m, k, n) = (6usize, 11usize, 10usize);
+        // tn: a is k x m, reference via explicit transpose of rounded a.
+        let a = randv(&mut rng, k * m);
+        let b = randv(&mut rng, k * n);
+        let init = randv(&mut rng, m * n);
+        let mut at = vec![0.0; m * k];
+        for r in 0..k {
+            for c in 0..m {
+                at[c * k + r] = bf16_round(a[r * m + c]);
+            }
+        }
+        let br: Vec<f32> = b.iter().map(|&v| bf16_round(v)).collect();
+        let mut want = init.clone();
+        gemm_nn(KernelKind::Scalar, &at, &br, &mut want, k, n, 1, true);
+        let mut b16 = Vec::new();
+        pack_bf16(&b, &mut b16);
+        let mut got = init.clone();
+        gemm_tn_bf16(KernelKind::Scalar, &a, &b16, &mut got, m, k, n, 2, true);
+        assert!(
+            got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "bf16 tn accumulate diverged"
+        );
+        // nt: b is n x k; reference is rounded-operand f32 nt.
+        let bnt = randv(&mut rng, n * k);
+        let ant = randv(&mut rng, m * k);
+        let antr: Vec<f32> = ant.iter().map(|&v| bf16_round(v)).collect();
+        let bntr: Vec<f32> = bnt.iter().map(|&v| bf16_round(v)).collect();
+        let mut want_nt = vec![f32::NAN; m * n];
+        gemm_nt_dot(&antr, &bntr, &mut want_nt, k, n, 1);
+        let mut panel = Vec::new();
+        let mut got_nt = vec![f32::NAN; m * n];
+        gemm_nt_bf16(KernelKind::Scalar, &ant, &bnt, &mut got_nt, k, n, 2, &mut panel);
+        assert!(
+            got_nt.iter().zip(&want_nt).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "bf16 nt diverged from rounded-operand dot reference"
+        );
     }
 }

@@ -88,13 +88,14 @@ impl Linear {
         g.add_row(xw, b)
     }
 
-    /// Like [`Linear::forward`], but loads the parameters as constants:
+    /// Like [`Linear::forward`], but loads the parameters as frozen leaves:
     /// gradients still flow through the op *to the input* but never reach the
     /// weights. Used when updating a generator through a frozen critic and at
-    /// inference time.
+    /// inference time (where the retained [`ParamId`] binding lets the bf16
+    /// tier cache the weight packing — see [`Graph::frozen_param`]).
     pub fn forward_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
-        let w = g.constant_copied(store.get(self.w));
-        let b = g.constant_copied(store.get(self.b));
+        let w = g.frozen_param(store, self.w);
+        let b = g.frozen_param(store, self.b);
         let xw = g.matmul(x, w);
         g.add_row(xw, b)
     }
@@ -274,10 +275,13 @@ impl LstmCell {
         self.step_with(g, w, b, x, state)
     }
 
-    /// Records one recurrence step with frozen parameters (inference).
+    /// Records one recurrence step with frozen parameters (inference). The
+    /// weights keep their [`ParamId`] binding ([`Graph::frozen_param`]) so
+    /// the bf16 tier packs the gate matrix once per workspace, not once per
+    /// timestep.
     pub fn step_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var, state: LstmState) -> LstmState {
-        let w = g.constant_copied(store.get(self.w));
-        let b = g.constant_copied(store.get(self.b));
+        let w = g.frozen_param(store, self.w);
+        let b = g.frozen_param(store, self.b);
         self.step_with(g, w, b, x, state)
     }
 

@@ -70,7 +70,7 @@ pub mod workspace;
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::graph::{Graph, PlanExecutor, Var};
-    pub use crate::kernels::KernelKind;
+    pub use crate::kernels::{KernelKind, Precision};
     pub use crate::layers::{Activation, Linear, LstmCell, LstmState, Mlp};
     pub use crate::optim::{Adam, Sgd};
     pub use crate::parallel::num_threads;

@@ -526,6 +526,125 @@ impl Tensor {
         kernels::gemm_tn(kind, &self.data, &other.data, &mut out.data, m, k, n, threads, false);
     }
 
+    /// [`Tensor::matmul_into`] through the bf16 inference family: both
+    /// operands are rounded to bf16 and accumulated in f32 (see the kernels
+    /// module docs, "The bf16 inference tier"). `scratch` receives the
+    /// packed `u16` B operand — pass the workspace's pooled scratch
+    /// ([`crate::workspace::Workspace::take_u16`]) to avoid a per-op
+    /// allocation. Deterministic per resolved tier, not bitwise-equal to the
+    /// f32 family.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension or output-shape mismatch.
+    pub fn matmul_into_bf16(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        threads: usize,
+        kind: KernelKind,
+        scratch: &mut Vec<u16>,
+    ) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, n) = (self.cols, other.cols);
+        assert_eq!(out.shape(), (self.rows, n), "matmul_into output shape mismatch");
+        kernels::pack_bf16(&other.data, scratch);
+        kernels::gemm_nn_bf16(kind, &self.data, scratch, &mut out.data, k, n, threads, false);
+    }
+
+    /// [`Tensor::matmul_into_bf16`] with `B` already packed to `u16`
+    /// (`[k, n]` row-major, [`kernels::pack_bf16`]) — the cached-weight path:
+    /// inference re-multiplies the same parameters every timestep, so the
+    /// workspace packs each one once and replays the panel here.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension, panel-size or output-shape mismatch.
+    pub fn matmul_into_bf16_packed(
+        &self,
+        packed: &[u16],
+        n: usize,
+        out: &mut Tensor,
+        threads: usize,
+        kind: KernelKind,
+    ) {
+        let k = self.cols;
+        assert!(packed.len() >= k * n, "matmul bf16 panel too small: {} < {k}x{n}", packed.len());
+        assert_eq!(out.shape(), (self.rows, n), "matmul_into output shape mismatch");
+        kernels::gemm_nn_bf16(kind, &self.data, packed, &mut out.data, k, n, threads, false);
+    }
+
+    /// [`Tensor::matmul_bt_into`] through the bf16 inference family. The
+    /// `u16` panel doubles as the rounding pass ([`kernels::pack_bt_bf16`]),
+    /// so the bf16 path always packs — there is no dot-path split.
+    ///
+    /// # Panics
+    /// Panics on a dimension or output-shape mismatch.
+    pub fn matmul_bt_into_bf16(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        threads: usize,
+        kind: KernelKind,
+        panel: &mut Vec<u16>,
+    ) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_bt dimension mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, n) = (self.cols, other.rows);
+        assert_eq!(out.shape(), (self.rows, n), "matmul_bt_into output shape mismatch");
+        kernels::gemm_nt_bf16(kind, &self.data, &other.data, &mut out.data, k, n, threads, panel);
+    }
+
+    /// [`Tensor::matmul_bt_into_bf16`] with the `Bᵀ` panel already packed
+    /// (`B[n, k]` stored as its `[k, n]` transpose,
+    /// [`kernels::pack_bt_bf16`]) — the cached-weight path (see
+    /// [`Tensor::matmul_into_bf16_packed`]).
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension, panel-size or output-shape mismatch.
+    pub fn matmul_bt_into_bf16_packed(
+        &self,
+        packed: &[u16],
+        n: usize,
+        out: &mut Tensor,
+        threads: usize,
+        kind: KernelKind,
+    ) {
+        let k = self.cols;
+        assert!(packed.len() >= k * n, "matmul_bt bf16 panel too small: {} < {k}x{n}", packed.len());
+        assert_eq!(out.shape(), (self.rows, n), "matmul_bt_into output shape mismatch");
+        kernels::gemm_nt_bf16_packed(kind, &self.data, packed, &mut out.data, k, n, threads);
+    }
+
+    /// [`Tensor::matmul_at_into`] through the bf16 inference family (see
+    /// [`Tensor::matmul_into_bf16`] for the scratch contract).
+    ///
+    /// # Panics
+    /// Panics on a dimension or output-shape mismatch.
+    pub fn matmul_at_into_bf16(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        threads: usize,
+        kind: KernelKind,
+        scratch: &mut Vec<u16>,
+    ) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_at dimension mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.cols, self.rows, other.cols);
+        assert_eq!(out.shape(), (m, n), "matmul_at_into output shape mismatch");
+        kernels::pack_bf16(&other.data, scratch);
+        kernels::gemm_tn_bf16(kind, &self.data, scratch, &mut out.data, m, k, n, threads, false);
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
         self.data.iter().sum()

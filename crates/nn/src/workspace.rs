@@ -24,6 +24,8 @@
 //! taken per cycle, so tensors adopted from outside (e.g. a fresh data batch
 //! passed to `Graph::constant`) cannot grow the pool without bound.
 
+use crate::kernels::{self, Precision};
+use crate::params::ParamId;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -42,6 +44,18 @@ pub struct WorkspaceStats {
     pub reclaimed: u64,
     /// Buffers dropped by cycle-boundary trimming.
     pub dropped: u64,
+}
+
+/// Memory layout of a cached bf16 weight packing (see
+/// [`Workspace::packed_bf16`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bf16Layout {
+    /// `[k, n]` row-major `u16` — the `B` operand of `MatMul` and the `W`
+    /// of `ConcatMatMul` ([`kernels::pack_bf16`]).
+    RowMajor,
+    /// `B[n, k]` packed as its `[k, n]` transpose — the `MatMulBT` panel
+    /// ([`kernels::pack_bt_bf16`]).
+    Transposed,
 }
 
 #[derive(Debug, Default)]
@@ -85,6 +99,19 @@ pub struct Workspace {
     pooling: bool,
     node_hint: usize,
     thread_override: Option<usize>,
+    /// GEMM numeric format for graphs executed against this workspace.
+    /// Defaults to [`Precision::F32`]; only inference paths (`dg-core`'s
+    /// `Sampler`) ever set [`Precision::Bf16`] — training code builds
+    /// default workspaces and therefore cannot dispatch the bf16 family.
+    precision: Precision,
+    /// Scratch for bf16-packed `B` operands, reused across ops (empty and
+    /// unused under `Precision::F32`).
+    u16_scratch: Vec<u16>,
+    /// Per-parameter bf16 weight packings ([`Workspace::packed_bf16`]).
+    /// Inference re-multiplies the same weights every timestep; without this
+    /// cache the `O(k*n)` pack would rival the GEMM itself at serving batch
+    /// sizes.
+    packed_bf16: HashMap<(ParamId, Bf16Layout), Vec<u16>>,
     stats: WorkspaceStats,
 }
 
@@ -102,6 +129,9 @@ impl Workspace {
             pooling: true,
             node_hint: 0,
             thread_override: None,
+            precision: Precision::F32,
+            u16_scratch: Vec::new(),
+            packed_bf16: HashMap::new(),
             stats: WorkspaceStats::default(),
         }
     }
@@ -129,6 +159,74 @@ impl Workspace {
     /// Current thread override, if any.
     pub fn thread_override(&self) -> Option<usize> {
         self.thread_override
+    }
+
+    /// Selects the GEMM numeric format for graphs executed against this
+    /// workspace. Inference-only: see [`Workspace::precision`].
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Sets the GEMM numeric format in place (same contract as
+    /// [`Workspace::with_precision`]). Switching format drops any cached
+    /// weight packings.
+    pub fn set_precision(&mut self, precision: Precision) {
+        if precision != self.precision {
+            self.packed_bf16.clear();
+        }
+        self.precision = precision;
+    }
+
+    /// The GEMM numeric format graphs executed against this workspace
+    /// dispatch. [`Precision::Bf16`] routes `MatMul`/`MatMulBT`/
+    /// `ConcatMatMul` forward evaluation through the bf16-stored /
+    /// f32-accumulated kernel family; everything else (elementwise ops,
+    /// backward passes — which inference never records) stays f32.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Borrows the pooled `u16` scratch buffer for a bf16 `B`-operand pack,
+    /// leaving an empty vec in its place ([`Workspace::put_u16`] returns
+    /// it). Swap-out rather than borrow so the caller can hold the scratch
+    /// across other `&mut self` pool calls.
+    pub fn take_u16(&mut self) -> Vec<u16> {
+        std::mem::take(&mut self.u16_scratch)
+    }
+
+    /// Returns the `u16` scratch taken by [`Workspace::take_u16`] (contents
+    /// are scratch — nothing reads them between ops).
+    pub fn put_u16(&mut self, buf: Vec<u16>) {
+        self.u16_scratch = buf;
+    }
+
+    /// The bf16 packing of parameter `id` in `layout`: packs `src` on the
+    /// first request and serves the cached panel afterwards.
+    ///
+    /// Contract: `src` must be the tensor bound to `id` for this
+    /// workspace's whole lifetime. That holds everywhere bf16 can run —
+    /// parameters are immutable during inference, and training (the only
+    /// thing that mutates them) builds default-F32 workspaces, so its
+    /// per-step updates can neither populate nor read this cache. Callers
+    /// that do swap models must use a fresh workspace (the `Sampler` builds
+    /// one per generation pass).
+    pub fn packed_bf16(&mut self, id: ParamId, layout: Bf16Layout, src: &Tensor) -> &[u16] {
+        self.packed_bf16.entry((id, layout)).or_insert_with(|| {
+            let mut buf = Vec::new();
+            match layout {
+                Bf16Layout::RowMajor => kernels::pack_bf16(src.as_slice(), &mut buf),
+                Bf16Layout::Transposed => {
+                    kernels::pack_bt_bf16(src.as_slice(), src.rows(), src.cols(), &mut buf)
+                }
+            }
+            buf
+        })
+    }
+
+    /// Number of weight packings currently cached (observability for tests).
+    pub fn packed_bf16_entries(&self) -> usize {
+        self.packed_bf16.len()
     }
 
     /// The thread override when set, `default` otherwise.
@@ -309,6 +407,20 @@ mod tests {
         ws.reclaim(b);
         ws.end_cycle();
         assert_eq!(ws.pooled_buffers(), 2);
+    }
+
+    #[test]
+    fn precision_defaults_to_f32_and_scratch_round_trips() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.precision(), Precision::F32, "training-safe default");
+        ws.set_precision(Precision::Bf16);
+        assert_eq!(ws.precision(), Precision::Bf16);
+        let ws2 = Workspace::new().with_precision(Precision::Bf16);
+        assert_eq!(ws2.precision(), Precision::Bf16);
+        let mut buf = ws.take_u16();
+        buf.resize(64, 7);
+        ws.put_u16(buf);
+        assert_eq!(ws.take_u16().len(), 64, "scratch capacity survives the round trip");
     }
 
     #[test]

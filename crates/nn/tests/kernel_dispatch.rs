@@ -6,8 +6,10 @@
 //! binary twice: once with the environment untouched (default dispatch) and
 //! once with `DG_KERNEL=scalar` (forced fallback) — both must pass.
 
-use dg_nn::gradcheck::check_kernel_equivalence_cycles;
-use dg_nn::kernels::{self, KernelKind};
+use dg_nn::gradcheck::{
+    check_bf16_kernel_equivalence, check_graph_precision_determinism, check_kernel_equivalence_cycles,
+};
+use dg_nn::kernels::{self, KernelKind, Precision};
 use dg_nn::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -65,5 +67,71 @@ fn equivalence_suite_passes_under_ambient_dispatch() {
         if let Some(err) = check_kernel_equivalence_cycles(m, k, n, &[1, 2, 8], 2, 3100 + i as u64) {
             panic!("{err}");
         }
+    }
+}
+
+#[test]
+fn precision_parse_round_trips_and_rejects_junk() {
+    for p in [Precision::F32, Precision::Bf16] {
+        assert_eq!(Precision::parse(p.name()), Some(p));
+        assert_eq!(Precision::parse(&p.name().to_ascii_uppercase()), Some(p));
+    }
+    assert_eq!(Precision::parse("  bf16 "), Some(Precision::Bf16));
+    for junk in ["", "f16", "fp32", "bfloat16", "half"] {
+        assert_eq!(Precision::parse(junk), None, "{junk:?} should not parse");
+    }
+}
+
+#[test]
+fn bf16_resolution_tracks_cpu_features() {
+    // Scalar and Portable always run as themselves; Native only survives
+    // resolution when the AVX2+FMA bf16 path exists on this host, and the
+    // ambient DG_KERNEL tier must resolve to something runnable.
+    assert_eq!(kernels::resolve_bf16(KernelKind::Scalar), KernelKind::Scalar);
+    assert_eq!(kernels::resolve_bf16(KernelKind::Portable), KernelKind::Portable);
+    let expect_native =
+        if kernels::native_bf16_available() { KernelKind::Native } else { KernelKind::Portable };
+    assert_eq!(kernels::resolve_bf16(KernelKind::Native), expect_native);
+    let ambient = kernels::resolve_bf16(kernels::active());
+    assert!(
+        ambient != KernelKind::Native || kernels::native_bf16_available(),
+        "ambient bf16 resolution picked Native without AVX2+FMA"
+    );
+}
+
+#[test]
+fn bf16_equivalence_suite_passes_under_ambient_dispatch() {
+    // The bf16 analogue of the f32 sweep above: same model-sized shape and a
+    // ragged one, checking the storage-only rounding anchor, Scalar/Portable
+    // bitwise identity across worker counts, and Native self-consistency.
+    for (i, (m, k, n)) in [(100usize, 200usize, 400usize), (11, 23, 37)].into_iter().enumerate() {
+        if let Some(err) = check_bf16_kernel_equivalence(m, k, n, &[1, 2, 8], 4100 + i as u64) {
+            panic!("{err}");
+        }
+    }
+}
+
+#[test]
+fn bf16_graph_execution_is_deterministic_under_ambient_dispatch() {
+    // A gate-shaped forward program (fused concat-matmul + tanh + a BT
+    // projection) run under Precision::Bf16: deterministic across worker
+    // counts and pooled-workspace reuse, and measurably different from the
+    // f32 execution (i.e. the switch reaches the kernels).
+    let mut rng = StdRng::seed_from_u64(5200);
+    let x = Tensor::randn(8, 12, 1.0, &mut rng);
+    let h = Tensor::randn(8, 6, 1.0, &mut rng);
+    let w_gates = Tensor::randn(18, 24, 0.5, &mut rng);
+    let w_head = Tensor::randn(9, 24, 0.5, &mut rng);
+    let program = move |g: &mut dg_nn::graph::Graph| {
+        let xv = g.constant(x.clone());
+        let hv = g.constant(h.clone());
+        let wv = g.constant(w_gates.clone());
+        let gates = g.concat_matmul(&[xv, hv], wv);
+        let act = g.tanh(gates);
+        let head = g.constant(w_head.clone());
+        g.matmul_bt(act, head)
+    };
+    if let Some(err) = check_graph_precision_determinism(program, 2, &[1, 2, 8], true) {
+        panic!("{err}");
     }
 }

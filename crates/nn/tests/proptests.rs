@@ -2,9 +2,15 @@
 //! checked against finite differences on random inputs, and algebraic
 //! tensor identities are verified.
 
-use dg_nn::gradcheck::{check_input_gradient, check_kernel_equivalence_cycles, check_workspace_determinism};
+use dg_nn::gradcheck::{
+    check_bf16_kernel_equivalence, check_input_gradient, check_kernel_equivalence_cycles,
+    check_workspace_determinism,
+};
 use dg_nn::graph::{Graph, Var};
+use dg_nn::kernels::{self, Precision};
+use dg_nn::params::ParamStore;
 use dg_nn::tensor::Tensor;
+use dg_nn::workspace::Workspace;
 use proptest::prelude::*;
 
 fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
@@ -240,5 +246,103 @@ proptest! {
         prop_assert_eq!(fused.1.as_slice(), unfused.1.as_slice());
         prop_assert_eq!(fused.2.as_slice(), unfused.2.as_slice());
         prop_assert_eq!(fused.3.as_slice(), unfused.3.as_slice());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bf16_tiers_are_deterministic_on_random_ragged_shapes(
+        m in 1usize..18,
+        k in 0usize..34,
+        n in 1usize..27,
+        seed in 0u64..1_000,
+    ) {
+        // The bf16 counterpart of the f32 tier sweep: Scalar and Portable
+        // must be bitwise identical to the serial scalar bf16 reference for
+        // every transpose variant and worker count, the scalar bf16 result
+        // must equal the f32 scalar kernel on pre-rounded operands, and the
+        // Native FMA tier must be bitwise self-consistent across threads.
+        let err = check_bf16_kernel_equivalence(m, k, n, &[1, 2, 3, 5, 8, 16], seed);
+        prop_assert!(err.is_none(), "{}", err.unwrap());
+    }
+
+    #[test]
+    fn bf16_rounding_is_idempotent_and_packing_is_elementwise(
+        vals in prop::collection::vec(-8.0f32..8.0, 1..64),
+    ) {
+        // bf16 is a storage format: re-rounding an already-rounded value is a
+        // no-op, decode(encode(x)) == round(x), and pack_bf16 is exactly the
+        // elementwise encoding.
+        for &v in &vals {
+            let once = kernels::bf16_round(v);
+            prop_assert_eq!(kernels::bf16_round(once).to_bits(), once.to_bits());
+            prop_assert_eq!(kernels::bf16_from_bits(kernels::bf16_bits(v)).to_bits(), once.to_bits());
+        }
+        let mut packed = Vec::new();
+        kernels::pack_bf16(&vals, &mut packed);
+        prop_assert_eq!(packed.len(), vals.len());
+        for (&bits, &v) in packed.iter().zip(&vals) {
+            prop_assert_eq!(bits, kernels::bf16_bits(v));
+        }
+    }
+
+    #[test]
+    fn bf16_bt_panel_is_the_rounded_transpose(b in arb_tensor(5, 7)) {
+        // pack_bt_bf16 lays an n x k row-major matrix out as a k x n bf16
+        // panel: panel[kk * n + nn] must be the rounded b[nn, kk].
+        let (n, k) = (b.rows(), b.cols());
+        let mut panel = Vec::new();
+        kernels::pack_bt_bf16(b.as_slice(), n, k, &mut panel);
+        prop_assert_eq!(panel.len(), k * n);
+        for nn in 0..n {
+            for kk in 0..k {
+                prop_assert_eq!(panel[kk * n + nn], kernels::bf16_bits(b.as_slice()[nn * k + kk]));
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_weight_cache_is_bitwise_invisible_across_reuse(
+        x in arb_tensor(3, 4),
+        h in arb_tensor(3, 3),
+        w_cm in arb_tensor(7, 6),
+        w_bt in arb_tensor(5, 6),
+    ) {
+        // The packed-weight cache keyed by ParamId (engaged via frozen_param)
+        // must produce bitwise identical bf16 results to the uncached path
+        // (plain constants, re-packed per call), across pooled-workspace
+        // reuse. This is the inference-tier contract behind Sampler::with_precision.
+        let mut store = ParamStore::new();
+        let id_cm = store.add("w_cm", w_cm.clone());
+        let id_bt = store.add("w_bt", w_bt.clone());
+        let run = |cached: bool, ws: Workspace| -> (Vec<f32>, Workspace) {
+            let mut g = Graph::with_workspace(ws);
+            let xv = g.constant(x.clone());
+            let hv = g.constant(h.clone());
+            let (wc, wb) = if cached {
+                (g.frozen_param(&store, id_cm), g.frozen_param(&store, id_bt))
+            } else {
+                (g.constant(w_cm.clone()), g.constant(w_bt.clone()))
+            };
+            let gates = g.concat_matmul(&[xv, hv], wc);
+            let act = g.tanh(gates);
+            let out = g.matmul_bt(act, wb);
+            let v = g.value(out).as_slice().to_vec();
+            (v, g.finish())
+        };
+        let mut ws_cached = Workspace::new().with_precision(Precision::Bf16);
+        let mut ws_plain = Workspace::new().with_precision(Precision::Bf16);
+        for cycle in 0..3 {
+            let (got, got_plain);
+            (got, ws_cached) = run(true, ws_cached);
+            (got_plain, ws_plain) = run(false, ws_plain);
+            for (a, b) in got.iter().zip(&got_plain) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "cycle {} diverged", cycle);
+            }
+        }
+        prop_assert_eq!(ws_cached.packed_bf16_entries(), 2);
+        prop_assert_eq!(ws_plain.packed_bf16_entries(), 0);
     }
 }

@@ -4,8 +4,10 @@
 //! has no network access to fetch them) and emits impls of the stub's
 //! value-tree traits. Supports non-generic named-field structs, tuple
 //! structs, unit structs, and externally-tagged enums with unit / tuple /
-//! struct variants. The only serde attribute honored is
-//! `#[serde(default)]`; other attributes are ignored.
+//! struct variants. The only serde attributes honored are
+//! `#[serde(default)]` and `#[serde(default = "path")]` (the named
+//! function is called for the fallback, as real serde does); other
+//! attributes are ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -23,7 +25,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 struct Field {
     name: String,
-    default: bool,
+    /// `None` — required field; `Some(None)` — `#[serde(default)]`;
+    /// `Some(Some(path))` — `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
 }
 
 enum VariantKind {
@@ -103,17 +107,32 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, body }
 }
 
-/// True when an attribute token group is `serde(... default ...)`.
-fn attr_is_serde_default(attr: &TokenTree) -> bool {
-    let TokenTree::Group(g) = attr else { return false };
+/// Parses a `serde(... default ...)` attribute group: `Some(None)` for a
+/// bare `default`, `Some(Some(path))` for `default = "path"`, `None` when
+/// the attribute carries no default at all.
+fn attr_serde_default(attr: &TokenTree) -> Option<Option<String>> {
+    let TokenTree::Group(g) = attr else { return None };
     let inner: Vec<TokenTree> = g.stream().into_iter().collect();
-    match (inner.first(), inner.get(1)) {
-        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => args
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
-        _ => false,
+    let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) = (inner.first(), inner.get(1)) else {
+        return None;
+    };
+    if id.to_string() != "serde" {
+        return None;
     }
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    for (j, t) in args.iter().enumerate() {
+        if matches!(t, TokenTree::Ident(id) if id.to_string() == "default") {
+            if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                (args.get(j + 1), args.get(j + 2))
+            {
+                if eq.as_char() == '=' {
+                    return Some(Some(lit.to_string().trim_matches('"').to_string()));
+                }
+            }
+            return Some(None);
+        }
+    }
+    None
 }
 
 /// Advances past the type after a field's `:` — to the token index just
@@ -146,10 +165,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let mut default = false;
+        let mut default = None;
         while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
-            if let Some(attr) = tokens.get(i + 1) {
-                default |= attr_is_serde_default(attr);
+            if let Some(d) = tokens.get(i + 1).and_then(attr_serde_default) {
+                default = Some(d);
             }
             i += 2;
         }
@@ -258,10 +277,10 @@ fn named_fields_from_object(ty: &str, fields: &[Field], obj_var: &str) -> String
     fields
         .iter()
         .map(|f| {
-            let fallback = if f.default {
-                "::std::default::Default::default()".to_string()
-            } else {
-                format!("::serde::missing_field(\"{}\", \"{}\")?", ty, f.name)
+            let fallback = match &f.default {
+                Some(Some(path)) => format!("{path}()"),
+                Some(None) => "::std::default::Default::default()".to_string(),
+                None => format!("::serde::missing_field(\"{}\", \"{}\")?", ty, f.name),
             };
             format!(
                 "{}: match ::serde::field({}, \"{}\") {{ \
