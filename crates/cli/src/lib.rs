@@ -230,10 +230,19 @@ pub fn usage() -> String {
      \x20           [--precision f32|bf16]                           inference tier (or env\n\
      \x20                                                            DG_PRECISION; serving only)\n\
      \x20           [--latency-window N=4096]                        stats retention bound\n\
+     \x20           [--shed-threshold N]                             queue depth past which\n\
+     \x20                                                            requests shed as overloaded\n\
+     \x20           [--default-deadline-ms N=30000]                  applied when a request\n\
+     \x20                                                            carries no deadline_ms\n\
+     \x20           [--heartbeat-every-ms N]                         decoupled from the reload\n\
+     \x20                                                            poller (default: reload rate)\n\
+     \x20           [--drain-timeout-ms N=10000]                     SIGTERM/SIGINT drain budget\n\
+     \x20           [--max-line-bytes N=1048576]                     wire request size cap\n\
      \x20           [--run-log <log.jsonl>]                          batched sampling service\n\
      \x20                                                            (line-delimited JSON)\n\
      \x20 sample    --addr <H:P> --attrs <attrs.json> [--seed S=0]\n\
-     \x20           [--id N=1] [--out <resp.json>]                   one-shot serving client\n\
+     \x20           [--id N=1] [--out <resp.json>]\n\
+     \x20           [--timeout-ms N=30000] [--deadline-ms N]         one-shot serving client\n\
      \n\
      exit codes: 2 usage/config, 3 I/O, 4 divergence abort, 5 bad input data\n"
         .to_string()

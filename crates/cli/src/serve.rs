@@ -25,13 +25,27 @@
 //! thread count. `seq` is the artifact sequence number that served the
 //! response, so clients observe hot-reloads. Rejected or unparsable requests
 //! get `error` set and empty `objects`; the connection stays usable.
+//!
+//! ## Overload, deadlines, health, drain
+//!
+//! The front end never blocks a connection on a full engine queue: past the
+//! admission threshold a request is answered immediately with
+//! `error: "overloaded"`. A request may carry `"deadline_ms"`; if it expires
+//! while queued the reply is `error: "deadline exceeded"` and the request
+//! never occupies a fused-pass slot. `{"health":true}` is a readiness probe:
+//! the reply carries `"health"` (`"ok"` / `"degraded"` / `"draining"`) and
+//! the serving `seq`, with no generation. Request lines longer than
+//! `--max-line-bytes` are consumed and answered with an error — one client
+//! cannot OOM the server. On SIGTERM/SIGINT the server stops accepting,
+//! finishes in-flight requests up to `--drain-timeout-ms`, emits a terminal
+//! heartbeat, and exits 0. See DESIGN.md §16 for the full failure model.
 
 use crate::{config_err, data_err, io_err, read_json, Args, CliError};
 use dg_io::ArtifactStore;
 use doppelganger::prelude::*;
 use doppelganger::telemetry::{ModelReloadEvent, ServingHeartbeatEvent};
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -49,12 +63,18 @@ pub struct WireRequest {
     pub seed: u64,
     /// Attribute rows to condition on, one synthetic object per row.
     pub attributes: Vec<Vec<dg_data::Value>>,
+    /// Client deadline, milliseconds from receipt. Expired-in-queue
+    /// requests are answered `error: "deadline exceeded"` without being
+    /// generated. Absent means "the server default".
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
 }
 
 /// One response line of the serving protocol.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct WireResponse {
-    /// The request's correlation id (0 when the request didn't parse).
+    /// The request's correlation id (0 only when the request was so
+    /// malformed no numeric `id` field could be salvaged from it).
     pub id: u64,
     /// Artifact sequence number of the release that generated this
     /// response, when the model came from a store.
@@ -68,48 +88,72 @@ pub struct WireResponse {
     /// reduced-precision tier.
     #[serde(default = "default_wire_precision")]
     pub precision: String,
-    /// Why the request was rejected; `null` on success.
+    /// Why the request was rejected; `null` on success. Structured values
+    /// the README documents: `"overloaded"`, `"deadline exceeded"`,
+    /// `"bad request: …"`, schema-validation messages.
     #[serde(default)]
     pub error: Option<String>,
+    /// Engine health (`"ok"` / `"degraded"` / `"draining"`); present only
+    /// on replies to the `{"health":true}` probe verb.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub health: Option<String>,
 }
 
 fn default_wire_precision() -> String {
     "f32".to_string()
 }
 
+fn error_response(id: u64, precision: String, error: String) -> WireResponse {
+    WireResponse {
+        id,
+        seq: None,
+        objects: Vec::new(),
+        latency_ms: 0.0,
+        precision,
+        error: Some(error),
+        health: None,
+    }
+}
+
 /// Serves one protocol line: parse, validate, generate (or explain why not).
 fn serve_line(engine: &BatchEngine, line: &str) -> WireResponse {
     let precision = engine.precision().name().to_string();
-    let req: WireRequest = match serde_json::from_str(line.trim()) {
-        Ok(r) => r,
-        Err(e) => {
-            return WireResponse {
-                id: 0,
-                seq: None,
-                objects: Vec::new(),
-                latency_ms: 0.0,
-                precision,
-                error: Some(format!("bad request: {e}")),
-            }
-        }
+    // Parse to a Value first so a malformed request still yields its
+    // numeric `id` for a correlatable error reply.
+    let value: serde_json::Value = match serde_json::from_str(line.trim()) {
+        Ok(v) => v,
+        Err(e) => return error_response(0, precision, format!("bad request: {e}")),
     };
-    match engine.sample_blocking(SampleRequest { attribute_rows: req.attributes, seed: req.seed }) {
+    let id = value.get("id").and_then(serde_json::Value::as_u64).unwrap_or(0);
+    // The readiness probe verb: no generation, just state.
+    if value.get("health").and_then(serde_json::Value::as_bool) == Some(true) {
+        return WireResponse {
+            id,
+            seq: engine.loaded_seq(),
+            objects: Vec::new(),
+            latency_ms: 0.0,
+            precision,
+            error: None,
+            health: Some(engine.health().name().to_string()),
+        };
+    }
+    let req: WireRequest = match serde_json::from_value(value) {
+        Ok(r) => r,
+        Err(e) => return error_response(id, precision, format!("bad request: {e}")),
+    };
+    let deadline = req.deadline_ms.map(Duration::from_millis);
+    let sample = SampleRequest { attribute_rows: req.attributes, seed: req.seed };
+    match engine.sample_with_deadline(sample, deadline) {
         Ok(resp) => WireResponse {
-            id: req.id,
+            id,
             seq: resp.seq,
             objects: resp.objects,
             latency_ms: resp.latency_ms,
             precision: resp.precision.name().to_string(),
             error: None,
+            health: None,
         },
-        Err(e) => WireResponse {
-            id: req.id,
-            seq: None,
-            objects: Vec::new(),
-            latency_ms: 0.0,
-            precision,
-            error: Some(e),
-        },
+        Err(e) => error_response(id, precision, e.to_string()),
     }
 }
 
@@ -118,6 +162,53 @@ fn emit(log: &Mutex<Option<RunLog>>, event: &RunEvent) {
         l.emit(event);
     }
 }
+
+fn heartbeat_event(engine: &BatchEngine, started: Instant) -> RunEvent {
+    let s = engine.stats();
+    RunEvent::ServingHeartbeat(ServingHeartbeatEvent {
+        elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+        requests: s.requests,
+        batches: s.batches,
+        samples: s.samples,
+        rejected: s.rejected,
+        p50_ms: s.p50_ms,
+        p99_ms: s.p99_ms,
+        precision: s.precision,
+        health: s.health,
+        shed: s.shed,
+        deadline_expired: s.deadline_expired,
+        pass_panics: s.pass_panics,
+    })
+}
+
+/// Set by the SIGTERM/SIGINT handler; the accept and worker loops poll it.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+fn signaled() -> bool {
+    SIGNALED.load(Ordering::Relaxed)
+}
+
+/// Registers SIGTERM/SIGINT handlers that flip [`SIGNALED`] — the graceful
+/// drain trigger. Declares the libc `signal` symbol std already links; the
+/// handler only stores to an atomic, which is async-signal-safe.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 pub(crate) fn cmd_publish(args: &Args) -> Result<String, CliError> {
     let model_path = args.required("model")?;
@@ -163,6 +254,14 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
                 .ok_or_else(|| config_err(format!("invalid precision '{s}' (expected f32 or bf16)")))?,
             None => Precision::F32,
         };
+    // DG_SERVE_FAULT is the chaos hook for the fault-injection harness —
+    // never set in production. A bad plan is a config error up front.
+    let faults = match std::env::var("DG_SERVE_FAULT") {
+        Ok(s) if !s.trim().is_empty() => {
+            ServeFaultPlan::parse(&s).map_err(|e| config_err(format!("invalid DG_SERVE_FAULT '{s}': {e}")))?
+        }
+        _ => ServeFaultPlan::default(),
+    };
     let store_dir = args.required("store")?;
     let family = args.get_or("family", "model").to_string();
     let store =
@@ -182,10 +281,19 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
         max_wait_us: args.num_or("max-wait-us", defaults.max_wait_us)?,
         latency_window: args.num_or("latency-window", defaults.latency_window)?,
         precision,
+        shed_threshold: args.num_or("shed-threshold", defaults.shed_threshold)?,
+        default_deadline_ms: args.num_or("default-deadline-ms", defaults.default_deadline_ms)?,
+        faults,
     };
     let engine = Arc::new(BatchEngine::new(sampler, config));
     let max_requests = args.num_or("max-requests", 0u64)?;
     let reload_every_ms = args.num_or("reload-every-ms", 0u64)?;
+    // Heartbeats default to the reload cadence but stand alone: a
+    // pinned-release server (--reload-every-ms 0) still emits liveness
+    // telemetry when --heartbeat-every-ms is set.
+    let heartbeat_every_ms = args.num_or("heartbeat-every-ms", reload_every_ms)?;
+    let drain_timeout_ms = args.num_or("drain-timeout-ms", 5_000u64)?;
+    let max_line_bytes = args.num_or("max-line-bytes", 1_048_576usize)?;
 
     let log = match args.options.get("run-log") {
         Some(path) => {
@@ -203,23 +311,36 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
         }),
     );
 
+    SIGNALED.store(false, Ordering::SeqCst);
+    install_signal_handlers();
     let stop = Arc::new(AtomicBool::new(false));
     let served = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
 
-    // Hot-reload poller: follow the store's `latest` pointer, install new
-    // releases atomically (in-flight fused passes finish on the release
-    // they snapshotted), and heartbeat the engine counters into the run log.
+    // Hot-reload poller: follow the store's `latest` pointer and install
+    // new releases atomically (in-flight fused passes finish on the
+    // release they snapshotted). Consecutive failures back off the poll
+    // interval exponentially — deterministic, jitter-free, capped at 64x —
+    // and the next success snaps back to the base cadence.
     let poller = (reload_every_ms > 0).then(|| {
         let engine = Arc::clone(&engine);
         let stop = Arc::clone(&stop);
         let log = Arc::clone(&log);
         let family = family.clone();
         std::thread::spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
-                std::thread::sleep(Duration::from_millis(reload_every_ms));
+            let mut consecutive: u32 = 0;
+            'poll: loop {
+                let interval = reload_every_ms.saturating_mul(1u64 << consecutive.min(6));
+                let wake = Instant::now() + Duration::from_millis(interval);
+                while Instant::now() < wake {
+                    if stop.load(Ordering::Relaxed) || signaled() {
+                        break 'poll;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
                 match engine.reload(&store, &family) {
                     Ok(r) => {
+                        consecutive = 0;
                         if r.reloaded || !r.skipped.is_empty() {
                             emit(
                                 &log,
@@ -232,34 +353,41 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
                         }
                     }
                     // Resolution failed outright; the previous release
-                    // keeps serving.
-                    Err(e) => emit(
-                        &log,
-                        &RunEvent::ModelReload(ModelReloadEvent {
-                            reloaded: false,
-                            seq: engine.loaded_seq(),
-                            skipped: vec![e.to_string()],
-                        }),
-                    ),
+                    // keeps serving (health degrades until a poll works).
+                    Err(e) => {
+                        consecutive += 1;
+                        emit(
+                            &log,
+                            &RunEvent::ModelReload(ModelReloadEvent {
+                                reloaded: false,
+                                seq: engine.loaded_seq(),
+                                skipped: vec![e.to_string()],
+                            }),
+                        );
+                    }
                 }
-                let s = engine.stats();
-                emit(
-                    &log,
-                    &RunEvent::ServingHeartbeat(ServingHeartbeatEvent {
-                        elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
-                        requests: s.requests,
-                        batches: s.batches,
-                        samples: s.samples,
-                        rejected: s.rejected,
-                        p50_ms: s.p50_ms,
-                        p99_ms: s.p99_ms,
-                        precision: s.precision.clone(),
-                    }),
-                );
             }
         })
     });
 
+    // Liveness heartbeats, decoupled from reload polling.
+    let heartbeat = (heartbeat_every_ms > 0).then(|| {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let log = Arc::clone(&log);
+        std::thread::spawn(move || loop {
+            let wake = Instant::now() + Duration::from_millis(heartbeat_every_ms);
+            while Instant::now() < wake {
+                if stop.load(Ordering::Relaxed) || signaled() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            emit(&log, &heartbeat_event(&engine, started));
+        })
+    });
+
+    let mut drained = true;
     if args.flag("stdio") {
         // stdout carries responses, so the ready line goes to stderr.
         eprintln!(
@@ -269,6 +397,9 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
         let stdin = std::io::stdin();
         let mut out = BufWriter::new(std::io::stdout());
         for line in stdin.lock().lines() {
+            if signaled() {
+                break;
+            }
             let line = line.map_err(|e| io_err(format!("reading stdin: {e}")))?;
             if line.trim().is_empty() {
                 continue;
@@ -287,6 +418,9 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
     } else {
         let addr = args.get_or("addr", "127.0.0.1:0");
         let listener = TcpListener::bind(addr).map_err(|e| io_err(format!("binding {addr}: {e}")))?;
+        // Non-blocking accept so the loop can observe SIGTERM/--max-requests
+        // instead of parking in accept(2) forever.
+        listener.set_nonblocking(true).map_err(|e| io_err(format!("configuring listener: {e}")))?;
         let local = listener.local_addr().map_err(|e| io_err(e.to_string()))?;
         // The ready line is a contract: scripts parse the bound address off
         // it (ports are usually OS-assigned via --addr 127.0.0.1:0).
@@ -295,102 +429,203 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
             engine.precision().name()
         );
         std::io::stdout().flush().ok();
-        let mut handlers = Vec::new();
-        for conn in listener.incoming() {
-            if stop.load(Ordering::Relaxed) {
-                break;
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !stop.load(Ordering::Relaxed) && !signaled() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets may inherit the listener's
+                    // non-blocking mode; force blocking + per-read timeouts.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let engine = Arc::clone(&engine);
+                    let served = Arc::clone(&served);
+                    let stop = Arc::clone(&stop);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_conn(stream, engine, served, stop, max_requests, max_line_bytes)
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
             }
-            let Ok(stream) = conn else { continue };
-            let engine = Arc::clone(&engine);
-            let served = Arc::clone(&served);
-            let stop = Arc::clone(&stop);
-            handlers.push(std::thread::spawn(move || {
-                handle_conn(stream, engine, served, stop, max_requests, local)
-            }));
+            handlers.retain(|h| !h.is_finished());
         }
+        // Drain: stop admitting work, let in-flight requests finish up to
+        // the deadline, then leave stragglers behind (they hold nothing the
+        // exit path needs).
+        engine.begin_drain();
+        stop.store(true, Ordering::Relaxed);
+        let deadline = Instant::now() + Duration::from_millis(drain_timeout_ms.max(1));
+        while handlers.iter().any(|h| !h.is_finished()) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        drained = !handlers.iter().any(|h| !h.is_finished());
         for h in handlers {
-            let _ = h.join();
+            if h.is_finished() {
+                let _ = h.join();
+            }
         }
     }
 
+    engine.begin_drain();
     stop.store(true, Ordering::Relaxed);
+    if let Some(h) = heartbeat {
+        let _ = h.join();
+    }
     if let Some(p) = poller {
         let _ = p.join();
     }
     let stats = engine.stats();
-    emit(
-        &log,
-        &RunEvent::ServingHeartbeat(ServingHeartbeatEvent {
-            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
-            requests: stats.requests,
-            batches: stats.batches,
-            samples: stats.samples,
-            rejected: stats.rejected,
-            p50_ms: stats.p50_ms,
-            p99_ms: stats.p99_ms,
-            precision: stats.precision.clone(),
-        }),
-    );
+    // Terminal heartbeat: the run log's last word, carrying the drain state.
+    emit(&log, &heartbeat_event(&engine, started));
     engine.shutdown();
+    let drain_note = if drained { "" } else { "; drain timeout elapsed with connections still open" };
     Ok(format!(
-        "served {} requests in {} fused passes ({} samples, {} rejected, {} reloads, precision {}, p50 {:.2} ms, p99 {:.2} ms)",
+        "served {} requests in {} fused passes ({} samples, {} rejected, {} shed, {} deadline-expired, {} pass panics, {} reloads, precision {}, health {}, p50 {:.2} ms, p99 {:.2} ms){drain_note}",
         stats.requests,
         stats.batches,
         stats.samples,
         stats.rejected,
+        stats.shed,
+        stats.deadline_expired,
+        stats.pass_panics,
         stats.reloads,
         stats.precision,
+        stats.health,
         stats.p50_ms,
         stats.p99_ms
     ))
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineOutcome {
+    /// A complete line is in the buffer.
+    Line,
+    /// A line exceeded the byte cap; it was consumed and discarded.
+    TooLong,
+    /// The read timed out mid-line; the partial prefix stays buffered.
+    Timeout,
+    /// The peer closed the connection.
+    Eof,
+    /// Unrecoverable transport error.
+    Failed,
+}
+
+/// Reads one newline-terminated line into `buf` (which may already hold a
+/// partial prefix from an earlier timeout), enforcing a `max`-byte cap so a
+/// client streaming an endless line cannot grow server memory without
+/// bound. An oversized line is consumed through its newline (`discarding`
+/// spans timeouts) and reported as [`LineOutcome::TooLong`] exactly once —
+/// the connection stays line-synchronized and usable.
+fn read_bounded_line(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    discarding: &mut bool,
+    max: usize,
+) -> LineOutcome {
+    loop {
+        let (saw_newline, consumed) = {
+            let available = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return LineOutcome::Timeout
+                }
+                Err(_) => return LineOutcome::Failed,
+            };
+            if available.is_empty() {
+                return LineOutcome::Eof;
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(p) => {
+                    if !*discarding {
+                        buf.extend_from_slice(&available[..p]);
+                    }
+                    (true, p + 1)
+                }
+                None => {
+                    if !*discarding {
+                        buf.extend_from_slice(available);
+                    }
+                    (false, available.len())
+                }
+            }
+        };
+        reader.consume(consumed);
+        if saw_newline {
+            if *discarding || buf.len() > max {
+                *discarding = false;
+                buf.clear();
+                return LineOutcome::TooLong;
+            }
+            return LineOutcome::Line;
+        }
+        if buf.len() > max {
+            buf.clear();
+            *discarding = true;
+        }
+    }
+}
+
 /// One TCP connection: read request lines, write response lines. Short read
 /// timeouts keep the handler responsive to shutdown instead of blocking
-/// forever on an idle connection.
+/// forever on an idle (or wedged) connection.
 fn handle_conn(
     stream: TcpStream,
     engine: Arc<BatchEngine>,
     served: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     max_requests: u64,
-    wake: SocketAddr,
+    max_line_bytes: usize,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    let write_response = |writer: &mut BufWriter<TcpStream>, resp: &WireResponse| {
+        let Ok(json) = serde_json::to_string(resp) else { return false };
+        writeln!(writer, "{json}").and_then(|_| writer.flush()).is_ok()
+    };
     loop {
-        if stop.load(Ordering::Relaxed) {
+        if stop.load(Ordering::Relaxed) || signaled() {
             return;
         }
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed the connection
-            Ok(_) => {
-                if !line.trim().is_empty() {
-                    let resp = serve_line(&engine, &line);
-                    let Ok(json) = serde_json::to_string(&resp) else { return };
-                    if writeln!(writer, "{json}").and_then(|_| writer.flush()).is_err() {
-                        return;
-                    }
-                    if max_requests > 0 && served.fetch_add(1, Ordering::Relaxed) + 1 >= max_requests {
-                        stop.store(true, Ordering::Relaxed);
-                        // Unblock the accept loop so the server can exit.
-                        let _ = TcpStream::connect(wake);
-                        return;
-                    }
+        match read_bounded_line(&mut reader, &mut buf, &mut discarding, max_line_bytes) {
+            LineOutcome::Timeout => continue,
+            LineOutcome::Eof | LineOutcome::Failed => return,
+            LineOutcome::TooLong => {
+                let resp = error_response(
+                    0,
+                    engine.precision().name().to_string(),
+                    format!("bad request: line exceeds --max-line-bytes ({max_line_bytes})"),
+                );
+                if !write_response(&mut writer, &resp) {
+                    return;
                 }
-                line.clear();
             }
-            // A timeout mid-line leaves the partial bytes in `line`; the
-            // next read appends the rest.
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
+            LineOutcome::Line => {
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                buf.clear();
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let resp = serve_line(&engine, &line);
+                if !write_response(&mut writer, &resp) {
+                    return;
+                }
+                let n = served.fetch_add(1, Ordering::Relaxed) + 1;
+                if max_requests > 0 && n >= max_requests {
+                    // The accept loop polls `stop`; no wake-up needed.
+                    stop.store(true, Ordering::Relaxed);
+                    return;
+                }
             }
-            Err(_) => return,
         }
     }
 }
@@ -401,8 +636,18 @@ pub(crate) fn cmd_sample(args: &Args) -> Result<String, CliError> {
     let attributes: Vec<Vec<dg_data::Value>> = read_json(attrs_path)?;
     let seed = args.num_or("seed", 0u64)?;
     let id = args.num_or("id", 1u64)?;
-    let timeout_ms = args.num_or("connect-timeout-ms", 10_000u64)?;
-    let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    let connect_timeout_ms = args.num_or("connect-timeout-ms", 10_000u64)?;
+    // How long to wait for the response line before giving up — a wedged
+    // server becomes an I/O-error exit, never an indefinite hang. 0
+    // disables the bound.
+    let timeout_ms = args.num_or("timeout-ms", 30_000u64)?;
+    let deadline_ms = match args.options.get("deadline-ms") {
+        Some(v) => Some(
+            v.parse::<u64>().map_err(|_| config_err(format!("invalid value for --deadline-ms: '{v}'")))?,
+        ),
+        None => None,
+    };
+    let deadline = Instant::now() + Duration::from_millis(connect_timeout_ms);
     // The server may still be binding; retry until the deadline.
     let stream = loop {
         match TcpStream::connect(addr) {
@@ -415,16 +660,23 @@ pub(crate) fn cmd_sample(args: &Args) -> Result<String, CliError> {
             }
         }
     };
-    let req = WireRequest { id, seed, attributes };
+    stream
+        .set_read_timeout((timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)))
+        .map_err(|e| io_err(format!("configuring socket: {e}")))?;
+    let req = WireRequest { id, seed, attributes, deadline_ms };
     let json = serde_json::to_string(&req).map_err(|e| data_err(format!("serializing request: {e}")))?;
     let mut writer = BufWriter::new(stream.try_clone().map_err(|e| io_err(e.to_string()))?);
     writeln!(writer, "{json}")
         .and_then(|_| writer.flush())
         .map_err(|e| io_err(format!("sending request to {addr}: {e}")))?;
     let mut line = String::new();
-    BufReader::new(stream)
-        .read_line(&mut line)
-        .map_err(|e| io_err(format!("reading response from {addr}: {e}")))?;
+    BufReader::new(stream).read_line(&mut line).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut {
+            io_err(format!("timed out after {timeout_ms} ms waiting for a response from {addr}"))
+        } else {
+            io_err(format!("reading response from {addr}: {e}"))
+        }
+    })?;
     if line.trim().is_empty() {
         return Err(io_err(format!("{addr} closed the connection without responding")));
     }
@@ -464,6 +716,10 @@ mod tests {
         dg_cfg.head_hidden = 8;
         dg_cfg.batch_size = 4;
         DoppelGanger::new(&data, dg_cfg, &mut rng)
+    }
+
+    fn wire_req(id: u64, seed: u64, attributes: Vec<Vec<Value>>) -> WireRequest {
+        WireRequest { id, seed, attributes, deadline_ms: None }
     }
 
     #[test]
@@ -511,7 +767,7 @@ mod tests {
     #[test]
     fn wire_protocol_serves_echoes_ids_and_explains_rejections() {
         let engine = BatchEngine::new(Sampler::new(tiny_model(4)), ServeConfig::default());
-        let req = WireRequest { id: 7, seed: 42, attributes: vec![vec![Value::Cat(0)], vec![Value::Cat(1)]] };
+        let req = wire_req(7, 42, vec![vec![Value::Cat(0)], vec![Value::Cat(1)]]);
         let resp = serve_line(&engine, &serde_json::to_string(&req).unwrap());
         assert_eq!(resp.id, 7);
         assert_eq!(resp.objects.len(), 2);
@@ -529,10 +785,105 @@ mod tests {
         assert!(garbage.error.is_some());
         assert!(garbage.objects.is_empty());
 
-        let wrong_arity =
-            WireRequest { id: 8, seed: 1, attributes: vec![vec![Value::Cat(0), Value::Cat(1)]] };
+        let wrong_arity = wire_req(8, 1, vec![vec![Value::Cat(0), Value::Cat(1)]]);
         let rejected = serve_line(&engine, &serde_json::to_string(&wrong_arity).unwrap());
         assert_eq!(rejected.id, 8);
         assert!(rejected.error.is_some());
+    }
+
+    #[test]
+    fn serve_line_salvages_the_id_from_malformed_requests() {
+        let engine = BatchEngine::new(Sampler::new(tiny_model(5)), ServeConfig::default());
+        // Parsable JSON, unparsable WireRequest: the id must survive.
+        let resp = serve_line(&engine, r#"{"id": 41, "attributes": "nope"}"#);
+        assert_eq!(resp.id, 41, "error replies must stay correlatable");
+        assert!(resp.error.as_deref().unwrap_or("").starts_with("bad request:"));
+        // Missing attributes entirely.
+        let resp = serve_line(&engine, r#"{"id": 42, "seed": 1}"#);
+        assert_eq!(resp.id, 42);
+        assert!(resp.error.is_some());
+        // Non-numeric id cannot be salvaged; 0 is the documented fallback.
+        let resp = serve_line(&engine, r#"{"id": "seven"}"#);
+        assert_eq!(resp.id, 0);
+        assert!(resp.error.is_some());
+        // Not JSON at all.
+        let resp = serve_line(&engine, "{ not json");
+        assert_eq!(resp.id, 0);
+        assert!(resp.error.is_some());
+    }
+
+    #[test]
+    fn health_verb_reports_state_without_generating() {
+        let engine = BatchEngine::new(Sampler::new(tiny_model(6)), ServeConfig::default());
+        let resp = serve_line(&engine, r#"{"id": 9, "health": true}"#);
+        assert_eq!(resp.id, 9);
+        assert_eq!(resp.health.as_deref(), Some("ok"));
+        assert!(resp.error.is_none());
+        assert!(resp.objects.is_empty());
+        assert_eq!(engine.stats().requests, 0, "a probe must not generate");
+        engine.begin_drain();
+        let resp = serve_line(&engine, r#"{"health": true}"#);
+        assert_eq!(resp.health.as_deref(), Some("draining"));
+        // Ordinary responses never carry (or serialize) the health field.
+        let ok =
+            serve_line(&engine, &serde_json::to_string(&wire_req(1, 2, vec![vec![Value::Cat(0)]])).unwrap());
+        assert!(ok.health.is_none());
+        assert!(!serde_json::to_string(&ok).unwrap().contains("\"health\""));
+    }
+
+    #[test]
+    fn empty_attributes_request_serves_an_empty_object_list() {
+        let engine = BatchEngine::new(Sampler::new(tiny_model(7)), ServeConfig::default());
+        let resp = serve_line(&engine, &serde_json::to_string(&wire_req(3, 0, Vec::new())).unwrap());
+        assert_eq!(resp.id, 3);
+        assert!(resp.error.is_none(), "{:?}", resp.error);
+        assert!(resp.objects.is_empty());
+    }
+
+    #[test]
+    fn overloaded_and_deadline_errors_surface_as_wire_phrases() {
+        // Wedge pass 0 so the queue (depth 2, unbatched) backs up.
+        let cfg = ServeConfig {
+            queue_depth: 2,
+            max_fused_requests: 1,
+            faults: ServeFaultPlan { stall_on_pass: Some(0), stall_ms: 400, ..ServeFaultPlan::default() },
+            ..ServeConfig::default()
+        };
+        let engine = BatchEngine::new(Sampler::new(tiny_model(8)), cfg);
+        let row = vec![vec![Value::Cat(0)]];
+        let wedge = engine.try_submit(SampleRequest { attribute_rows: row.clone(), seed: 0 }, None).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // A 1ms client deadline behind the 400ms stall: admitted (a queue
+        // slot is free), but the bounded wait expires long before a pass
+        // slot opens up.
+        let mut req = wire_req(12, 3, row.clone());
+        req.deadline_ms = Some(1);
+        let resp = serve_line(&engine, &serde_json::to_string(&req).unwrap());
+        assert_eq!(resp.id, 12);
+        assert_eq!(resp.error.as_deref(), Some("deadline exceeded"));
+        // Fill the queue, then overflow it through the wire path: the
+        // overflow is shed immediately instead of blocking the handler.
+        let _parked =
+            engine.try_submit(SampleRequest { attribute_rows: row.clone(), seed: 1 }, None).unwrap();
+        let resp = serve_line(&engine, &serde_json::to_string(&wire_req(11, 2, row)).unwrap());
+        assert_eq!(resp.id, 11);
+        assert_eq!(resp.error.as_deref(), Some("overloaded"));
+        drop(wedge);
+    }
+
+    #[test]
+    fn bounded_line_reader_discards_oversized_lines_and_stays_synchronized() {
+        let payload = format!("{}\n{}\n", "x".repeat(64), r#"{"health":true}"#);
+        let mut reader = std::io::BufReader::new(payload.as_bytes());
+        let mut buf = Vec::new();
+        let mut discarding = false;
+        // The 64-byte line overflows a 16-byte cap: reported once, consumed
+        // fully, and the next line parses normally.
+        assert_eq!(read_bounded_line(&mut reader, &mut buf, &mut discarding, 16), LineOutcome::TooLong);
+        assert!(buf.is_empty() && !discarding);
+        assert_eq!(read_bounded_line(&mut reader, &mut buf, &mut discarding, 16), LineOutcome::Line);
+        assert_eq!(String::from_utf8_lossy(&buf), r#"{"health":true}"#);
+        buf.clear();
+        assert_eq!(read_bounded_line(&mut reader, &mut buf, &mut discarding, 16), LineOutcome::Eof);
     }
 }

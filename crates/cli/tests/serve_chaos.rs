@@ -1,0 +1,352 @@
+//! Process-level serving chaos: the `dg serve` half of the overload-safety
+//! contract (the engine half lives in `crates/core/tests/serve_faults.rs`).
+//!
+//! Drives a real server binary through the wire-layer fault points — torn
+//! request lines, oversized lines, an injected generation panic, a wedged
+//! server vs. a client timeout, and a SIGTERM mid-stream under concurrent
+//! load — and requires structured error replies, byte-identical recovery,
+//! and a clean drain: exit code 0, a terminal `draining` heartbeat, and no
+//! client cut off without a prior response line.
+
+use dg_cli::{WireRequest, WireResponse};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dg-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn dg(args: &[&str], dir: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dg")).args(args).current_dir(dir).output().expect("spawn dg")
+}
+
+fn dg_ok(args: &[&str], dir: &Path) -> String {
+    let out = dg(args, dir);
+    assert!(out.status.success(), "dg {args:?} failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Kills the serve child if the test panics before its clean exit.
+struct ChildGuard(Option<Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if let Some(mut c) = self.0.take() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// Publishes one trained release and returns the ground-truth object bytes
+/// for the canonical `(attrs.json, seed 7)` request against it.
+fn setup_release(dir: &Path) -> String {
+    dg_ok(&["demo", "--out", "data.json", "--objects", "16", "--length", "10"], dir);
+    dg_ok(&["train", "--data", "data.json", "--out", "a.json", "--iterations", "2", "--batch", "8"], dir);
+    let rows: Vec<Vec<dg_data::Value>> = vec![vec![dg_data::Value::Cat(0)], vec![dg_data::Value::Cat(1)]];
+    std::fs::write(dir.join("attrs.json"), serde_json::to_string(&rows).unwrap()).unwrap();
+    dg_ok(
+        &[
+            "generate",
+            "--model",
+            "a.json",
+            "--out",
+            "cond_a.json",
+            "--conditioned",
+            "attrs.json",
+            "--seed",
+            "7",
+        ],
+        dir,
+    );
+    dg_ok(&["publish", "--model", "a.json", "--store", "store", "--family", "model"], dir);
+    let ds: dg_data::Dataset =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("cond_a.json")).unwrap()).unwrap();
+    serde_json::to_string(&ds.objects).unwrap()
+}
+
+/// Spawns `dg serve` with `extra` args (and optional chaos env), waits for
+/// the ready line, and returns the guard, the bound address, and the
+/// child's stdout reader — which the caller must keep alive, or the
+/// server's final report hits a closed pipe.
+fn spawn_serve(
+    dir: &Path,
+    extra: &[&str],
+    fault: Option<&str>,
+) -> (ChildGuard, String, BufReader<std::process::ChildStdout>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dg"));
+    cmd.args(["serve", "--store", "store", "--family", "model", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .current_dir(dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some(plan) = fault {
+        cmd.env("DG_SERVE_FAULT", plan);
+    }
+    let mut child = ChildGuard(Some(cmd.spawn().expect("spawn dg serve")));
+    let mut child_out = BufReader::new(child.0.as_mut().unwrap().stdout.take().unwrap());
+    let mut ready = String::new();
+    child_out.read_line(&mut ready).unwrap();
+    let addr = ready
+        .split("listening on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in ready line {ready:?}"))
+        .to_string();
+    (child, addr, child_out)
+}
+
+fn request_line(id: u64) -> String {
+    let rows: Vec<Vec<dg_data::Value>> = vec![vec![dg_data::Value::Cat(0)], vec![dg_data::Value::Cat(1)]];
+    serde_json::to_string(&WireRequest { id, seed: 7, attributes: rows, deadline_ms: None }).unwrap()
+}
+
+fn read_response(reader: &mut impl BufRead) -> WireResponse {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    serde_json::from_str(line.trim()).unwrap_or_else(|e| panic!("bad response line {line:?}: {e}"))
+}
+
+#[test]
+fn torn_and_oversized_lines_keep_the_connection_synchronized() {
+    let dir = tmpdir("torn");
+    let want_a = setup_release(&dir);
+    let (mut child, addr, _server_out) =
+        spawn_serve(&dir, &["--max-requests", "4", "--max-line-bytes", "4096"], None);
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // A torn request: half a line, a stall spanning several server read
+    // timeouts, then the rest. The server must reassemble it.
+    let line = request_line(1);
+    let (head, tail) = line.split_at(line.len() / 2);
+    writer.write_all(head.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    writer.write_all(tail.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let resp = read_response(&mut reader);
+    assert_eq!(resp.id, 1);
+    assert!(resp.error.is_none(), "{:?}", resp.error);
+    assert_eq!(serde_json::to_string(&resp.objects).unwrap(), want_a, "torn request must serve correctly");
+
+    // An oversized line: consumed, answered with a structured error, and
+    // the connection stays usable for the next request.
+    writeln!(writer, "{{\"id\":2,\"junk\":\"{}\"}}", "x".repeat(8192)).unwrap();
+    writer.flush().unwrap();
+    let resp = read_response(&mut reader);
+    assert!(
+        resp.error.as_deref().unwrap_or("").contains("max-line-bytes"),
+        "oversized lines must be rejected with the cap named: {:?}",
+        resp.error
+    );
+
+    // An empty-attributes request is valid and serves an empty object list.
+    let empty: Vec<Vec<dg_data::Value>> = Vec::new();
+    writeln!(
+        writer,
+        "{}",
+        serde_json::to_string(&WireRequest { id: 3, seed: 0, attributes: empty, deadline_ms: None }).unwrap()
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    let resp = read_response(&mut reader);
+    assert_eq!(resp.id, 3);
+    assert!(resp.error.is_none(), "{:?}", resp.error);
+    assert!(resp.objects.is_empty());
+
+    // The health probe verb answers without generating.
+    writeln!(writer, "{{\"id\":4,\"health\":true}}").unwrap();
+    writer.flush().unwrap();
+    let resp = read_response(&mut reader);
+    assert_eq!(resp.id, 4);
+    assert_eq!(resp.health.as_deref(), Some("ok"));
+    assert!(resp.objects.is_empty());
+
+    // Still synchronized: a final ordinary request completes the budget.
+    writeln!(writer, "{}", request_line(5)).unwrap();
+    writer.flush().unwrap();
+    let resp = read_response(&mut reader);
+    assert_eq!(resp.id, 5);
+    assert_eq!(serde_json::to_string(&resp.objects).unwrap(), want_a);
+    drop(writer);
+
+    let status = child.0.take().unwrap().wait().expect("wait");
+    assert!(status.success(), "dg serve exited with {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_pass_panic_surfaces_as_structured_error_and_serving_recovers() {
+    let dir = tmpdir("panic");
+    let want_a = setup_release(&dir);
+    let (mut child, addr, _server_out) = spawn_serve(&dir, &["--max-requests", "2"], Some("panic_on_pass=0"));
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // Pass 0 panics: a structured error reply, not a dead connection.
+    writeln!(writer, "{}", request_line(1)).unwrap();
+    writer.flush().unwrap();
+    let resp = read_response(&mut reader);
+    assert_eq!(resp.id, 1);
+    assert!(resp.error.as_deref().unwrap_or("").contains("generation pass panicked"), "{:?}", resp.error);
+    assert!(resp.objects.is_empty());
+
+    // The batcher survived: the next request is byte-identical to the
+    // offline ground truth for the serving release.
+    writeln!(writer, "{}", request_line(2)).unwrap();
+    writer.flush().unwrap();
+    let resp = read_response(&mut reader);
+    assert_eq!(resp.id, 2);
+    assert!(resp.error.is_none(), "{:?}", resp.error);
+    assert_eq!(serde_json::to_string(&resp.objects).unwrap(), want_a, "post-panic bytes diverged");
+    drop(writer);
+
+    let status = child.0.take().unwrap().wait().expect("wait");
+    assert!(status.success(), "dg serve exited with {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sample_times_out_with_an_io_error_against_a_wedged_server() {
+    let dir = tmpdir("wedge");
+    setup_release(&dir);
+    // Wedge the first pass far past the client timeout.
+    let (_child, addr, _server_out) = spawn_serve(&dir, &[], Some("stall_on_pass=0,stall_ms=20000"));
+    let started = Instant::now();
+    let out =
+        dg(&["sample", "--addr", &addr, "--attrs", "attrs.json", "--seed", "7", "--timeout-ms", "500"], &dir);
+    assert!(!out.status.success(), "a wedged server must not look like success");
+    assert_eq!(out.status.code(), Some(3), "a response timeout is an I/O error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("timed out after 500 ms"), "{stderr}");
+    assert!(started.elapsed() < Duration::from_secs(15), "the client must give up, not ride out the stall");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigterm_drains_streaming_clients_and_exits_zero() {
+    const CLIENTS: usize = 8;
+    let dir = tmpdir("drain");
+    setup_release(&dir);
+    // Heartbeats decoupled from reloads: the poller is off entirely.
+    let (mut child, addr, _server_out) = spawn_serve(
+        &dir,
+        &[
+            "--reload-every-ms",
+            "0",
+            "--heartbeat-every-ms",
+            "50",
+            "--drain-timeout-ms",
+            "5000",
+            "--run-log",
+            "serve.jsonl",
+        ],
+        None,
+    );
+    let pid = child.0.as_ref().unwrap().id();
+
+    // A wedged client: connects, sends half a line, never finishes. It must
+    // not hold the drain hostage.
+    let wedged = TcpStream::connect(&addr).expect("connect wedged client");
+    {
+        let mut w = wedged.try_clone().unwrap();
+        w.write_all(b"{\"id\":999, \"seed\":").unwrap();
+        w.flush().unwrap();
+    }
+
+    // Streaming clients: request/response in a loop until the server goes
+    // away. Every line read must parse as a response; the count of valid
+    // responses per client is the "no reset without a response" evidence.
+    let responses: Arc<Vec<AtomicU64>> = Arc::new((0..CLIENTS).map(|_| AtomicU64::new(0)).collect());
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            let responses = Arc::clone(&responses);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(&addr).expect("connect streaming client");
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                for i in 0..10_000u64 {
+                    let id = (c as u64 + 1) * 10_000 + i;
+                    if writeln!(writer, "{}", request_line(id)).and_then(|_| writer.flush()).is_err() {
+                        break;
+                    }
+                    let mut line = String::new();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                    let resp: WireResponse = serde_json::from_str(line.trim())
+                        .unwrap_or_else(|e| panic!("client {c}: undecodable response {line:?}: {e}"));
+                    assert_eq!(resp.id, id, "client {c}: response correlation broke mid-stream");
+                    if resp.error.is_none() {
+                        responses[c].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // SIGTERM only once every client has at least one response in hand —
+    // the drain then happens genuinely mid-stream.
+    let arm_deadline = Instant::now() + Duration::from_secs(60);
+    while responses.iter().any(|r| r.load(Ordering::Relaxed) == 0) {
+        assert!(Instant::now() < arm_deadline, "clients never got first responses");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    assert_eq!(unsafe { kill(pid as i32, 15) }, 0, "sending SIGTERM failed");
+
+    // The server must exit 0 well within the drain timeout.
+    let exit_deadline = Instant::now() + Duration::from_secs(20);
+    let status = loop {
+        if let Some(status) = child.0.as_mut().unwrap().try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < exit_deadline, "dg serve did not exit after SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    child.0.take();
+    assert!(status.success(), "drain must exit 0, got {status:?}");
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    for (c, r) in responses.iter().enumerate() {
+        assert!(r.load(Ordering::Relaxed) >= 1, "client {c} saw a reset without any response");
+    }
+
+    // The wedged client's socket was closed by the drain, not left open.
+    let mut probe = [0u8; 1];
+    let mut w = wedged;
+    w.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    assert_eq!(w.read(&mut probe).unwrap_or(0), 0, "the drained server must close the wedged client");
+
+    // Terminal heartbeat: the run log's last word reports `draining`.
+    let log = std::fs::read_to_string(dir.join("serve.jsonl")).unwrap();
+    let last_heartbeat = log
+        .lines()
+        .rfind(|l| l.contains("\"ServingHeartbeat\""))
+        .unwrap_or_else(|| panic!("no heartbeat in:\n{log}"));
+    assert!(
+        last_heartbeat.contains("\"health\":\"draining\""),
+        "terminal heartbeat must report draining: {last_heartbeat}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -159,7 +159,7 @@ fn serve_switches_releases_atomically_when_the_pointer_advances() {
     let mut writer = stream;
 
     // Before the pointer advances: release 1, bytes of cond_a.
-    let req = WireRequest { id: 1, seed: 7, attributes: rows.clone() };
+    let req = WireRequest { id: 1, seed: 7, attributes: rows.clone(), deadline_ms: None };
     let resp = send(&mut writer, &mut reader, &req);
     assert_eq!(resp.seq, Some(1), "first response must come from release 1");
     assert_eq!(serde_json::to_string(&resp.objects).unwrap(), want_a, "release-1 bytes diverged");
@@ -178,8 +178,11 @@ fn serve_switches_releases_atomically_when_the_pointer_advances() {
         assert!(Instant::now() < deadline, "server never picked up release 2");
         sent += 1;
         assert!(sent < MAX_REQUESTS, "request budget exhausted before the reload landed");
-        let resp =
-            send(&mut writer, &mut reader, &WireRequest { id: sent, seed: 7, attributes: rows.clone() });
+        let resp = send(
+            &mut writer,
+            &mut reader,
+            &WireRequest { id: sent, seed: 7, attributes: rows.clone(), deadline_ms: None },
+        );
         let got = serde_json::to_string(&resp.objects).unwrap();
         match resp.seq {
             Some(1) => assert_eq!(got, want_a, "in-flight response mixed releases"),
@@ -195,8 +198,11 @@ fn serve_switches_releases_atomically_when_the_pointer_advances() {
     // Exhaust --max-requests so the server exits on its own.
     while sent < MAX_REQUESTS {
         sent += 1;
-        let resp =
-            send(&mut writer, &mut reader, &WireRequest { id: sent, seed: 7, attributes: rows.clone() });
+        let resp = send(
+            &mut writer,
+            &mut reader,
+            &WireRequest { id: sent, seed: 7, attributes: rows.clone(), deadline_ms: None },
+        );
         assert_eq!(resp.seq, Some(2), "release 2 must keep serving after the reload");
     }
     drop(writer);
@@ -274,7 +280,7 @@ fn serve_runs_the_bf16_tier_when_asked_and_echoes_it() {
     let stream = TcpStream::connect(&addr).expect("connect to dg serve");
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut writer = stream;
-    let req = WireRequest { id: 1, seed: 7, attributes: rows.clone() };
+    let req = WireRequest { id: 1, seed: 7, attributes: rows.clone(), deadline_ms: None };
     let first = send(&mut writer, &mut reader, &req);
     assert!(first.error.is_none(), "{:?}", first.error);
     assert_eq!(first.precision, "bf16", "response must echo the active tier");

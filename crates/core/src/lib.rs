@@ -69,7 +69,9 @@ pub mod prelude {
     };
     pub use crate::rng::{SharedRng, TrainRng};
     pub use crate::sampler::{ReloadReport, SampleRequest, Sampler, SamplerError};
-    pub use crate::serve::{BatchEngine, LatencyRing, ServeConfig, ServeStats};
+    pub use crate::serve::{
+        BatchEngine, LatencyRing, ServeConfig, ServeError, ServeFaultPlan, ServeHealth, ServeStats,
+    };
     pub use crate::telemetry::{
         DivergencePolicy, FitOutcome, FitReport, RunEvent, RunLog, TrainError, TrainMonitor, Watchdog,
         WatchdogConfig,

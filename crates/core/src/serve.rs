@@ -1,13 +1,21 @@
 //! In-process serving engine: a bounded request queue draining into fused
-//! generation passes, with atomic hot-reload and request/batch/latency
-//! counters.
+//! generation passes, with atomic hot-reload, admission control, panic
+//! isolation, and request/batch/latency counters.
 //!
 //! [`BatchEngine`] sits between a transport (the `dg serve` socket/stdio
 //! front end, the serving bench) and a [`Sampler`]:
 //!
-//! * callers submit [`SampleRequest`]s into a bounded queue
-//!   (backpressure: a full queue blocks the submitter, it never grows
-//!   unbounded);
+//! * callers submit [`SampleRequest`]s into a bounded queue — blocking
+//!   ([`BatchEngine::submit`], backpressure) or shedding
+//!   ([`BatchEngine::try_submit`], admission control: past
+//!   [`ServeConfig::shed_threshold`] the engine answers
+//!   [`ServeError::Overloaded`] immediately instead of wedging the
+//!   caller);
+//! * every request may carry a client deadline: expired requests are
+//!   dropped **at dequeue** with [`ServeError::DeadlineExceeded`] so they
+//!   never occupy a fused-pass slot, and every waiting path uses a
+//!   bounded `recv_timeout` (default [`ServeConfig::default_deadline_ms`])
+//!   — no submitter can hang forever;
 //! * a single batcher thread drains whatever is queued — up to
 //!   [`ServeConfig::max_fused_requests`] requests /
 //!   [`ServeConfig::max_fused_rows`] rows, optionally holding the pass
@@ -15,6 +23,11 @@
 //!   stragglers — and serves them in **one** fused
 //!   [`Sampler::sample_fused`] pass, so concurrent callers share graph
 //!   recordings and wide GEMMs instead of queuing per-request passes;
+//! * each fused pass runs under `catch_unwind`: a panic converts to
+//!   per-request [`ServeError::PassPanicked`] replies and a `pass_panics`
+//!   counter, and the batcher keeps serving later passes. Engine locks
+//!   tolerate poisoning, so a panicked pass can never cascade into
+//!   poisoned-mutex panics on unrelated requests;
 //! * request latencies feed a bounded [`LatencyRing`] (window size
 //!   [`ServeConfig::latency_window`]), so [`ServeStats`] percentiles are
 //!   sliding-window estimates and engine memory stays constant over
@@ -27,7 +40,13 @@
 //!   [`BatchEngine::reload`] swaps the engine's [`Sampler`] atomically,
 //!   in-flight passes finish against the release they started with, and
 //!   every later pass picks up the new one — the hot-reload atomicity
-//!   contract `dg serve` exposes.
+//!   contract `dg serve` exposes. Reload failures degrade
+//!   [`ServeHealth`] (and successes recover it) without ever unloading
+//!   the release that is already serving;
+//! * a seeded, test-only [`ServeFaultPlan`] can inject a panic or stall
+//!   into generation pass *k* and an `ENOSPC`-style store error into
+//!   reload poll *k* — the serving analogue of `dg_io::FaultPlan`,
+//!   driving the `serve_faults` sweep that proves all of the above.
 //!
 //! Fusion never changes bytes: each request's output depends only on its
 //! own `(attribute_rows, seed)` and the loaded release (see the
@@ -37,12 +56,199 @@
 use crate::model::DoppelGanger;
 use crate::sampler::{ReloadReport, SampleRequest, Sampler, SamplerError};
 use dg_data::TimeSeriesObject;
-use dg_io::{ArtifactStore, Backend};
+use dg_io::{ArtifactStore, Backend, StoreError};
 use dg_nn::kernels::Precision;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+///
+/// Engine state (sampler handle, latency ring) stays consistent across a
+/// panicked fused pass — the pass mutates nothing under these locks — so
+/// poisoning carries no information here and must not cascade one panic
+/// into failures on every later request.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Why the engine did not deliver a successful response.
+///
+/// `Display` renders the stable wire-facing phrases (`"overloaded"`,
+/// `"deadline exceeded"`, …) that `dg serve` puts in the `error` field and
+/// the README documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control shed the request: the queue was at or past
+    /// [`ServeConfig::shed_threshold`].
+    Overloaded,
+    /// The request's deadline expired while it was queued, or the caller's
+    /// bounded wait ran out before a response arrived.
+    DeadlineExceeded,
+    /// The request failed validation against the serving release's schema.
+    Invalid(String),
+    /// The engine has shut down.
+    Stopped,
+    /// The fused pass this request rode in panicked; the engine isolated
+    /// the panic and kept serving.
+    PassPanicked(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "overloaded"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::Invalid(msg) => write!(f, "{msg}"),
+            ServeError::Stopped => write!(f, "serving engine stopped"),
+            ServeError::PassPanicked(msg) => write!(f, "generation pass panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Coarse engine health, surfaced in heartbeats and the `{"health":true}`
+/// wire verb so load balancers can probe readiness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ServeHealth {
+    /// Serving normally.
+    Ok = 0,
+    /// Still serving the last good release, but the most recent reload
+    /// poll(s) failed. Recovers to [`ServeHealth::Ok`] on the next
+    /// successful poll.
+    Degraded = 1,
+    /// Shutting down: no longer accepting work, finishing what is in
+    /// flight. Terminal — a draining engine never reports another state.
+    Draining = 2,
+}
+
+impl ServeHealth {
+    /// The lowercase wire/telemetry name (`"ok"` / `"degraded"` /
+    /// `"draining"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeHealth::Ok => "ok",
+            ServeHealth::Degraded => "degraded",
+            ServeHealth::Draining => "draining",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => ServeHealth::Degraded,
+            2 => ServeHealth::Draining,
+            _ => ServeHealth::Ok,
+        }
+    }
+}
+
+/// Deterministic fault injection for the serving path — the serving
+/// analogue of `dg_io::FaultPlan`, and test-only in the same sense: an
+/// inert (default) plan is free, and nothing in production wiring sets a
+/// non-inert one except the `DG_SERVE_FAULT` chaos hook in `dg serve`.
+///
+/// Pass indices count fused generation passes the batcher *attempts*
+/// (0-based); poll indices count [`BatchEngine::reload`] calls.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    /// Panic inside fused generation pass `k` (after any stall). The
+    /// panic fires inside the batcher's `catch_unwind` scope, exactly
+    /// where a real generation bug would.
+    pub panic_on_pass: Option<u64>,
+    /// Stall fused generation pass `k` for [`ServeFaultPlan::stall_ms`]
+    /// before generating — wedges the batcher deterministically so
+    /// overload/deadline paths can be exercised.
+    pub stall_on_pass: Option<u64>,
+    /// Stall duration for `stall_on_pass`, milliseconds.
+    pub stall_ms: u64,
+    /// Fail reload poll `k` with an `ENOSPC`-style [`StoreError`] before
+    /// any store I/O happens.
+    pub reload_fail_on_poll: Option<u64>,
+    /// Fail every reload poll `>= k` — for driving the backoff/Degraded
+    /// path rather than a single blip.
+    pub reload_fail_from: Option<u64>,
+}
+
+impl ServeFaultPlan {
+    /// Whether the plan injects nothing.
+    pub fn is_inert(&self) -> bool {
+        self.panic_on_pass.is_none()
+            && self.stall_on_pass.is_none()
+            && self.reload_fail_on_poll.is_none()
+            && self.reload_fail_from.is_none()
+    }
+
+    /// A plan with a pseudo-random panic pass and reload-failure poll in
+    /// `[0, horizon)`, fully determined by `seed` (splitmix64 — stable
+    /// across platforms and runs).
+    pub fn seeded(seed: u64, horizon: u64) -> Self {
+        fn splitmix64(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+            x ^ (x >> 31)
+        }
+        let h = horizon.max(1);
+        ServeFaultPlan {
+            panic_on_pass: Some(splitmix64(seed) % h),
+            reload_fail_on_poll: Some(splitmix64(seed.wrapping_add(1)) % h),
+            ..ServeFaultPlan::default()
+        }
+    }
+
+    /// Parses the `DG_SERVE_FAULT` syntax: comma-separated `key=value`
+    /// pairs over the plan's field names, e.g.
+    /// `panic_on_pass=2,reload_fail_from=0` or
+    /// `stall_on_pass=0,stall_ms=400`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut plan = ServeFaultPlan::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) =
+                part.split_once('=').ok_or_else(|| format!("expected key=value, got '{part}'"))?;
+            let v: u64 =
+                value.trim().parse().map_err(|_| format!("invalid number '{}' in '{part}'", value.trim()))?;
+            match key.trim() {
+                "panic_on_pass" => plan.panic_on_pass = Some(v),
+                "stall_on_pass" => plan.stall_on_pass = Some(v),
+                "stall_ms" => plan.stall_ms = v,
+                "reload_fail_on_poll" => plan.reload_fail_on_poll = Some(v),
+                "reload_fail_from" => plan.reload_fail_from = Some(v),
+                other => return Err(format!("unknown fault key '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Applies pass-scoped faults for pass index `pass`. Called inside the
+    /// batcher's `catch_unwind` scope; may sleep and may panic.
+    fn apply_pass(&self, pass: u64) {
+        if self.stall_on_pass == Some(pass) && self.stall_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.stall_ms));
+        }
+        if self.panic_on_pass == Some(pass) {
+            panic!("injected serving fault: generation pass {pass}");
+        }
+    }
+
+    /// The injected failure for reload poll `poll`, if the plan has one.
+    fn injected_reload_failure(&self, poll: u64) -> Option<SamplerError> {
+        let hit =
+            self.reload_fail_on_poll == Some(poll) || self.reload_fail_from.is_some_and(|from| poll >= from);
+        hit.then(|| {
+            SamplerError::Store(StoreError::new(
+                "reload",
+                Path::new("<injected>"),
+                dg_io::ErrorKind::NoSpace,
+                format!("injected serving fault: reload poll {poll}"),
+            ))
+        })
+    }
+}
 
 /// Tuning knobs for a [`BatchEngine`].
 #[derive(Debug, Clone)]
@@ -53,7 +259,8 @@ pub struct ServeConfig {
     pub max_fused_requests: usize,
     /// Maximum total rows (synthetic objects) per fused pass.
     pub max_fused_rows: usize,
-    /// Bound of the request queue; submitters block when it is full.
+    /// Bound of the request queue; [`BatchEngine::submit`] blocks when it
+    /// is full.
     pub queue_depth: usize,
     /// How long (microseconds) the batcher keeps gathering once at least
     /// one request is in hand, waiting for more requests to fuse. `0`
@@ -72,6 +279,18 @@ pub struct ServeConfig {
     /// distribution rather than bitwise (see `DESIGN.md` §14). Only
     /// serving reads this; training never constructs a [`BatchEngine`].
     pub precision: Precision,
+    /// Queue occupancy at which [`BatchEngine::try_submit`] sheds instead
+    /// of enqueuing. `0` (the default) means "the queue bound itself":
+    /// shed only when the queue is actually full.
+    pub shed_threshold: usize,
+    /// Upper bound (milliseconds) on how long [`BatchEngine::sample_blocking`]
+    /// and deadline-less [`BatchEngine::sample_with_deadline`] calls wait
+    /// for a response before returning [`ServeError::DeadlineExceeded`].
+    /// The backstop that turns "server wedged" into a structured error.
+    pub default_deadline_ms: u64,
+    /// Fault injection for the serving path. Inert by default; see
+    /// [`ServeFaultPlan`].
+    pub faults: ServeFaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +302,9 @@ impl Default for ServeConfig {
             max_wait_us: 0,
             latency_window: 4096,
             precision: Precision::F32,
+            shed_threshold: 0,
+            default_deadline_ms: 30_000,
+            faults: ServeFaultPlan::default(),
         }
     }
 }
@@ -118,6 +340,12 @@ pub struct ServeStats {
     pub samples: u64,
     /// Requests rejected at validation.
     pub rejected: u64,
+    /// Requests shed by admission control (queue past the threshold).
+    pub shed: u64,
+    /// Requests whose client deadline expired while they were queued.
+    pub deadline_expired: u64,
+    /// Fused passes that panicked (isolated; the engine kept serving).
+    pub pass_panics: u64,
     /// Hot-reloads that installed a different release.
     pub reloads: u64,
     /// Median request latency over the retained window, milliseconds.
@@ -127,6 +355,8 @@ pub struct ServeStats {
     pub p99_ms: f64,
     /// Numeric precision generation passes run at (`"f32"` / `"bf16"`).
     pub precision: String,
+    /// Engine health (`"ok"` / `"degraded"` / `"draining"`).
+    pub health: String,
     /// Capacity of the latency window the percentiles estimate over.
     pub latency_window: usize,
     /// Latency observations currently retained (≤ `latency_window`).
@@ -135,8 +365,11 @@ pub struct ServeStats {
 
 struct Job {
     req: SampleRequest,
-    reply: mpsc::Sender<SampleResponse>,
+    reply: mpsc::Sender<Result<SampleResponse, ServeError>>,
     enqueued: Instant,
+    /// Client deadline; checked at dequeue so an expired request never
+    /// occupies a fused-pass slot.
+    deadline: Option<Instant>,
 }
 
 /// A bounded ring of the most recent latency observations.
@@ -205,16 +438,33 @@ struct Inner {
     batches: AtomicU64,
     samples: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    pass_panics: AtomicU64,
     reloads: AtomicU64,
+    /// Jobs sent to the batcher but not yet dequeued — the occupancy
+    /// admission control sheds on. Incremented before a send, decremented
+    /// by the batcher on receive, so it never underflows.
+    queued: AtomicU64,
+    /// Fused passes *attempted* (0-based index the fault plan keys on).
+    passes: AtomicU64,
+    /// Reload polls attempted (0-based index the fault plan keys on).
+    reload_polls: AtomicU64,
+    /// Consecutive reload failures; resets on success.
+    reload_failures: AtomicU64,
+    health: AtomicU8,
     latencies: Mutex<LatencyRing>,
+    faults: ServeFaultPlan,
 }
 
 /// The request-coalescing serving engine. See the module docs for the
-/// queue/fusion/hot-reload contract.
+/// queue/fusion/hot-reload/fault contract.
 pub struct BatchEngine {
     tx: Mutex<Option<SyncSender<Job>>>,
     inner: Arc<Inner>,
     worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    shed_threshold: u64,
+    default_deadline: Duration,
 }
 
 impl BatchEngine {
@@ -229,10 +479,20 @@ impl BatchEngine {
             batches: AtomicU64::new(0),
             samples: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            pass_panics: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            passes: AtomicU64::new(0),
+            reload_polls: AtomicU64::new(0),
+            reload_failures: AtomicU64::new(0),
+            health: AtomicU8::new(ServeHealth::Ok as u8),
             latencies: Mutex::new(LatencyRing::new(config.latency_window)),
+            faults: config.faults.clone(),
         });
-        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let queue_depth = config.queue_depth.max(1);
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
         let worker = {
             let inner = Arc::clone(&inner);
             let max_reqs = config.max_fused_requests.max(1);
@@ -240,71 +500,213 @@ impl BatchEngine {
             let max_wait = Duration::from_micros(config.max_wait_us);
             std::thread::spawn(move || batcher_loop(rx, inner, max_reqs, max_rows, max_wait))
         };
-        BatchEngine { tx: Mutex::new(Some(tx)), inner, worker: Mutex::new(Some(worker)) }
+        let shed_threshold = match config.shed_threshold {
+            0 => queue_depth as u64,
+            t => (t as u64).min(queue_depth as u64),
+        };
+        BatchEngine {
+            tx: Mutex::new(Some(tx)),
+            inner,
+            worker: Mutex::new(Some(worker)),
+            shed_threshold,
+            default_deadline: Duration::from_millis(config.default_deadline_ms.max(1)),
+        }
     }
 
     /// The precision generation passes run at.
     pub fn precision(&self) -> Precision {
-        self.inner.sampler.lock().unwrap().precision()
+        lock_unpoisoned(&self.inner.sampler).precision()
+    }
+
+    fn validate(&self, req: &SampleRequest) -> Result<(), ServeError> {
+        let sampler = lock_unpoisoned(&self.inner.sampler);
+        if let Err(e) = sampler.validate_rows(&req.attribute_rows) {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Invalid(e));
+        }
+        Ok(())
     }
 
     /// Validates and enqueues `req`, returning the channel its response
-    /// will arrive on. Blocks while the queue is full (backpressure).
-    pub fn submit(&self, req: SampleRequest) -> Result<Receiver<SampleResponse>, String> {
-        {
-            let sampler = self.inner.sampler.lock().unwrap();
-            if let Err(e) = sampler.validate_rows(&req.attribute_rows) {
-                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(e);
-            }
-        }
+    /// will arrive on. Blocks while the queue is full (backpressure) —
+    /// transports that must never block should use
+    /// [`BatchEngine::try_submit`].
+    pub fn submit(
+        &self,
+        req: SampleRequest,
+    ) -> Result<Receiver<Result<SampleResponse, ServeError>>, ServeError> {
+        self.validate(&req)?;
         let (reply, rx) = mpsc::channel();
-        let job = Job { req, reply, enqueued: Instant::now() };
-        let tx = self.tx.lock().unwrap().clone();
-        match tx {
-            Some(tx) => tx.send(job).map_err(|_| "serving engine stopped".to_string())?,
-            None => return Err("serving engine stopped".to_string()),
+        let job = Job { req, reply, enqueued: Instant::now(), deadline: None };
+        let tx = lock_unpoisoned(&self.tx).clone();
+        let Some(tx) = tx else { return Err(ServeError::Stopped) };
+        self.inner.queued.fetch_add(1, Ordering::Relaxed);
+        if tx.send(job).is_err() {
+            self.inner.queued.fetch_sub(1, Ordering::Relaxed);
+            return Err(ServeError::Stopped);
         }
         Ok(rx)
     }
 
-    /// Submits `req` and waits for its response.
-    pub fn sample_blocking(&self, req: SampleRequest) -> Result<SampleResponse, String> {
+    /// Validates and enqueues `req` **without blocking**: if the queue
+    /// occupancy is at or past the shed threshold (or the queue itself is
+    /// full), the request is shed with [`ServeError::Overloaded`] and the
+    /// `shed` counter ticks. `deadline` (relative to now) rides with the
+    /// job and is checked at dequeue.
+    pub fn try_submit(
+        &self,
+        req: SampleRequest,
+        deadline: Option<Duration>,
+    ) -> Result<Receiver<Result<SampleResponse, ServeError>>, ServeError> {
+        self.validate(&req)?;
+        if self.inner.queued.load(Ordering::Relaxed) >= self.shed_threshold {
+            self.inner.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded);
+        }
+        let now = Instant::now();
+        let (reply, rx) = mpsc::channel();
+        let job = Job { req, reply, enqueued: now, deadline: deadline.map(|d| now + d) };
+        let tx = lock_unpoisoned(&self.tx).clone();
+        let Some(tx) = tx else { return Err(ServeError::Stopped) };
+        self.inner.queued.fetch_add(1, Ordering::Relaxed);
+        match tx.try_send(job) {
+            Ok(()) => Ok(rx),
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.inner.queued.fetch_sub(1, Ordering::Relaxed);
+                self.inner.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded)
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.inner.queued.fetch_sub(1, Ordering::Relaxed);
+                Err(ServeError::Stopped)
+            }
+        }
+    }
+
+    fn await_reply(
+        &self,
+        rx: Receiver<Result<SampleResponse, ServeError>>,
+        wait: Duration,
+    ) -> Result<SampleResponse, ServeError> {
+        match rx.recv_timeout(wait) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Stopped),
+        }
+    }
+
+    /// Submits `req` (blocking admission) and waits for its response,
+    /// bounded by [`ServeConfig::default_deadline_ms`] — never an
+    /// infinite hang, even against a wedged batcher.
+    pub fn sample_blocking(&self, req: SampleRequest) -> Result<SampleResponse, ServeError> {
         let rx = self.submit(req)?;
-        rx.recv().map_err(|_| "serving engine stopped".to_string())
+        self.await_reply(rx, self.default_deadline)
+    }
+
+    /// Submits `req` with admission control (shedding, never blocking)
+    /// and waits up to `deadline` (default
+    /// [`ServeConfig::default_deadline_ms`]) for its response. The
+    /// deadline also rides with the queued job: if it expires before the
+    /// batcher dequeues the request, the request is dropped with
+    /// [`ServeError::DeadlineExceeded`] instead of wasting a fused-pass
+    /// slot.
+    pub fn sample_with_deadline(
+        &self,
+        req: SampleRequest,
+        deadline: Option<Duration>,
+    ) -> Result<SampleResponse, ServeError> {
+        let wait = deadline.unwrap_or(self.default_deadline);
+        let rx = self.try_submit(req, deadline)?;
+        self.await_reply(rx, wait)
     }
 
     /// Atomically installs the newest valid release of `family` from
     /// `store`, if it differs from the one currently serving. In-flight
     /// fused passes complete against the release they snapshotted.
+    ///
+    /// Failures degrade [`BatchEngine::health`] (the previous release
+    /// keeps serving); the next success recovers it. A draining engine
+    /// never leaves `Draining`.
     pub fn reload<B: Backend>(
         &self,
         store: &ArtifactStore<B>,
         family: &str,
     ) -> Result<ReloadReport, SamplerError> {
-        let mut sampler = self.inner.sampler.lock().unwrap();
-        let report = sampler.reload(store, family)?;
-        if report.reloaded {
-            self.inner.reloads.fetch_add(1, Ordering::Relaxed);
+        let poll = self.inner.reload_polls.fetch_add(1, Ordering::Relaxed);
+        let result = match self.inner.faults.injected_reload_failure(poll) {
+            Some(err) => Err(err),
+            None => lock_unpoisoned(&self.inner.sampler).reload(store, family),
+        };
+        match &result {
+            Ok(report) => {
+                if report.reloaded {
+                    self.inner.reloads.fetch_add(1, Ordering::Relaxed);
+                }
+                self.inner.reload_failures.store(0, Ordering::Relaxed);
+                let _ = self.inner.health.compare_exchange(
+                    ServeHealth::Degraded as u8,
+                    ServeHealth::Ok as u8,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+            Err(_) => {
+                self.inner.reload_failures.fetch_add(1, Ordering::Relaxed);
+                let _ = self.inner.health.compare_exchange(
+                    ServeHealth::Ok as u8,
+                    ServeHealth::Degraded as u8,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
         }
-        Ok(report)
+        result
     }
 
     /// Installs a model directly (tests, in-process embedding).
+    ///
+    /// `reloads` counts **changes of serving release**, matching
+    /// [`BatchEngine::reload`]'s `report.reloaded` semantics: installing
+    /// over an untagged sampler (the initial install) or re-installing
+    /// the identical `(model, seq)` does not inflate the counter.
     pub fn install(&self, model: Arc<DoppelGanger>, seq: Option<u64>) {
-        self.inner.sampler.lock().unwrap().install(model, seq);
-        self.inner.reloads.fetch_add(1, Ordering::Relaxed);
+        let mut sampler = lock_unpoisoned(&self.inner.sampler);
+        let had_release = sampler.loaded_seq().is_some();
+        let changed = sampler.loaded_seq() != seq || !Arc::ptr_eq(&sampler.model_arc(), &model);
+        sampler.install(model, seq);
+        if had_release && changed {
+            self.inner.reloads.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Sequence number of the release currently serving, if any.
     pub fn loaded_seq(&self) -> Option<u64> {
-        self.inner.sampler.lock().unwrap().loaded_seq()
+        lock_unpoisoned(&self.inner.sampler).loaded_seq()
+    }
+
+    /// Current engine health.
+    pub fn health(&self) -> ServeHealth {
+        ServeHealth::from_u8(self.inner.health.load(Ordering::Relaxed))
+    }
+
+    /// Marks the engine as draining (terminal): heartbeats and health
+    /// probes report `"draining"` from here on. Does not itself stop the
+    /// batcher — call [`BatchEngine::shutdown`] once in-flight work is
+    /// done.
+    pub fn begin_drain(&self) {
+        self.inner.health.store(ServeHealth::Draining as u8, Ordering::Relaxed);
+    }
+
+    /// Consecutive failed reload polls (0 after any success) — the input
+    /// to the front end's deterministic backoff.
+    pub fn consecutive_reload_failures(&self) -> u64 {
+        self.inner.reload_failures.load(Ordering::Relaxed)
     }
 
     /// A point-in-time snapshot of the engine's counters.
     pub fn stats(&self) -> ServeStats {
         let (lat, window, held) = {
-            let ring = self.inner.latencies.lock().unwrap();
+            let ring = lock_unpoisoned(&self.inner.latencies);
             (ring.sorted(), ring.capacity(), ring.len())
         };
         ServeStats {
@@ -312,10 +714,14 @@ impl BatchEngine {
             batches: self.inner.batches.load(Ordering::Relaxed),
             samples: self.inner.samples.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
+            pass_panics: self.inner.pass_panics.load(Ordering::Relaxed),
             reloads: self.inner.reloads.load(Ordering::Relaxed),
             p50_ms: percentile(&lat, 0.50),
             p99_ms: percentile(&lat, 0.99),
             precision: self.precision().name().to_string(),
+            health: self.health().name().to_string(),
             latency_window: window,
             latency_samples: held,
         }
@@ -323,8 +729,8 @@ impl BatchEngine {
 
     /// Stops accepting requests, drains the queue, and joins the batcher.
     pub fn shutdown(&self) {
-        drop(self.tx.lock().unwrap().take());
-        if let Some(handle) = self.worker.lock().unwrap().take() {
+        drop(lock_unpoisoned(&self.tx).take());
+        if let Some(handle) = lock_unpoisoned(&self.worker).take() {
             let _ = handle.join();
         }
     }
@@ -336,8 +742,19 @@ impl Drop for BatchEngine {
     }
 }
 
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn batcher_loop(rx: Receiver<Job>, inner: Arc<Inner>, max_reqs: usize, max_rows: usize, max_wait: Duration) {
     while let Ok(first) = rx.recv() {
+        inner.queued.fetch_sub(1, Ordering::Relaxed);
         // The gather window opens when the first request of a pass arrives:
         // with `max_wait` zero the loop only drains what is already queued
         // (the minimum-latency mode); otherwise it blocks up to the
@@ -348,6 +765,7 @@ fn batcher_loop(rx: Receiver<Job>, inner: Arc<Inner>, max_reqs: usize, max_rows:
         while jobs.len() < max_reqs && rows < max_rows {
             match rx.try_recv() {
                 Ok(job) => {
+                    inner.queued.fetch_sub(1, Ordering::Relaxed);
                     rows += job.req.rows();
                     jobs.push(job);
                 }
@@ -360,6 +778,7 @@ fn batcher_loop(rx: Receiver<Job>, inner: Arc<Inner>, max_reqs: usize, max_rows:
                     }
                     match rx.recv_timeout(deadline - now) {
                         Ok(job) => {
+                            inner.queued.fetch_sub(1, Ordering::Relaxed);
                             rows += job.req.rows();
                             jobs.push(job);
                         }
@@ -370,21 +789,55 @@ fn batcher_loop(rx: Receiver<Job>, inner: Arc<Inner>, max_reqs: usize, max_rows:
                 }
             }
         }
+        // Client deadlines are enforced at dequeue: an expired request gets
+        // a structured reply and never occupies a fused-pass slot.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if job.deadline.is_some_and(|d| now >= d) {
+                inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+            } else {
+                live.push(job);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
         // ONE model snapshot per fused pass: a concurrent reload swaps the
         // engine's sampler but cannot touch this pass.
-        let snapshot = inner.sampler.lock().unwrap().clone();
+        let pass = inner.passes.fetch_add(1, Ordering::Relaxed);
+        let snapshot = lock_unpoisoned(&inner.sampler).clone();
         let seq = snapshot.loaded_seq();
         let precision = snapshot.precision();
-        let reqs: Vec<SampleRequest> = jobs.iter().map(|j| j.req.clone()).collect();
-        let outs = snapshot.sample_fused(&reqs);
-        inner.batches.fetch_add(1, Ordering::Relaxed);
-        for (job, objects) in jobs.into_iter().zip(outs) {
-            let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
-            inner.requests.fetch_add(1, Ordering::Relaxed);
-            inner.samples.fetch_add(objects.len() as u64, Ordering::Relaxed);
-            inner.latencies.lock().unwrap().push(latency_ms);
-            // A caller that gave up on its receiver is not an engine error.
-            let _ = job.reply.send(SampleResponse { seq, objects, latency_ms, precision });
+        let reqs: Vec<SampleRequest> = live.iter().map(|j| j.req.clone()).collect();
+        // Panic isolation: a pass that panics (a generation bug, or an
+        // injected fault) converts to per-request errors; the batcher and
+        // every later pass keep serving.
+        let outs = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            inner.faults.apply_pass(pass);
+            snapshot.sample_fused(&reqs)
+        }));
+        match outs {
+            Ok(outs) => {
+                inner.batches.fetch_add(1, Ordering::Relaxed);
+                for (job, objects) in live.into_iter().zip(outs) {
+                    let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+                    inner.requests.fetch_add(1, Ordering::Relaxed);
+                    inner.samples.fetch_add(objects.len() as u64, Ordering::Relaxed);
+                    lock_unpoisoned(&inner.latencies).push(latency_ms);
+                    // A caller that gave up on its receiver is not an
+                    // engine error.
+                    let _ = job.reply.send(Ok(SampleResponse { seq, objects, latency_ms, precision }));
+                }
+            }
+            Err(payload) => {
+                inner.pass_panics.fetch_add(1, Ordering::Relaxed);
+                let msg = panic_message(payload.as_ref());
+                for job in live {
+                    let _ = job.reply.send(Err(ServeError::PassPanicked(msg.clone())));
+                }
+            }
         }
     }
 }
@@ -439,6 +892,7 @@ mod tests {
         let stats = engine.stats();
         assert_eq!((stats.requests, stats.samples), (1, 5));
         assert!(stats.batches >= 1);
+        assert_eq!(stats.health, "ok");
     }
 
     #[test]
@@ -465,7 +919,7 @@ mod tests {
     fn invalid_requests_are_rejected_before_the_queue() {
         let engine = BatchEngine::new(Sampler::new(tiny_model(52)), ServeConfig::default());
         let bad = SampleRequest { attribute_rows: vec![vec![Value::Cat(0), Value::Cat(1)]], seed: 1 };
-        assert!(engine.submit(bad).is_err());
+        assert!(matches!(engine.submit(bad), Err(ServeError::Invalid(_))));
         assert_eq!(engine.stats().rejected, 1);
         // The engine still serves after a rejection.
         assert_eq!(engine.sample_blocking(req(1, 2)).unwrap().objects.len(), 1);
@@ -492,6 +946,25 @@ mod tests {
     }
 
     #[test]
+    fn install_counts_changes_of_release_not_the_initial_install() {
+        let engine = BatchEngine::new(Sampler::new(tiny_model(53)), ServeConfig::default());
+        assert_eq!(engine.stats().reloads, 0);
+        let m = Arc::new(tiny_model(54));
+        // Initial tagged install on an untagged sampler: not a reload.
+        engine.install(Arc::clone(&m), Some(1));
+        assert_eq!(engine.stats().reloads, 0, "initial install must not inflate reloads");
+        // Re-installing the identical release: still not a change.
+        engine.install(Arc::clone(&m), Some(1));
+        assert_eq!(engine.stats().reloads, 0, "identical re-install must not inflate reloads");
+        // A different seq of a different model: a real change.
+        engine.install(Arc::new(tiny_model(55)), Some(2));
+        assert_eq!(engine.stats().reloads, 1);
+        // Same model object under a new seq is still a release change.
+        engine.install(Arc::clone(&m), Some(3));
+        assert_eq!(engine.stats().reloads, 2);
+    }
+
+    #[test]
     fn unbatched_mode_serves_one_request_per_pass() {
         let cfg = ServeConfig { max_fused_requests: 1, ..ServeConfig::default() };
         let engine = Arc::new(BatchEngine::new(Sampler::new(tiny_model(55)), cfg));
@@ -512,7 +985,130 @@ mod tests {
     fn shutdown_rejects_new_requests() {
         let engine = BatchEngine::new(Sampler::new(tiny_model(56)), ServeConfig::default());
         engine.shutdown();
-        assert!(engine.submit(req(1, 1)).is_err());
+        assert_eq!(engine.submit(req(1, 1)).unwrap_err(), ServeError::Stopped);
+        assert_eq!(engine.try_submit(req(1, 1), None).unwrap_err(), ServeError::Stopped);
+    }
+
+    #[test]
+    fn try_submit_sheds_with_overloaded_instead_of_blocking() {
+        // Pass 0 stalls long enough for the submission storm below to pile
+        // into a deliberately tiny queue; blocking `submit` would wedge
+        // here, `try_submit` must shed.
+        let cfg = ServeConfig {
+            queue_depth: 2,
+            max_fused_requests: 1,
+            faults: ServeFaultPlan { stall_on_pass: Some(0), stall_ms: 300, ..ServeFaultPlan::default() },
+            ..ServeConfig::default()
+        };
+        let engine = BatchEngine::new(Sampler::new(tiny_model(57)), cfg);
+        // Wedge the batcher in pass 0.
+        let first = engine.try_submit(req(1, 0), None).unwrap();
+        // Give the batcher time to dequeue the wedge request.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut accepted = Vec::new();
+        let mut shed = 0u64;
+        for i in 0..8u64 {
+            match engine.try_submit(req(1, 10 + i), None) {
+                Ok(rx) => accepted.push(rx),
+                Err(ServeError::Overloaded) => shed += 1,
+                Err(other) => panic!("unexpected admission error: {other:?}"),
+            }
+        }
+        assert!(shed > 0, "a full queue must shed");
+        assert_eq!(engine.stats().shed, shed);
+        // Everything admitted (and the wedged request) still completes.
+        assert!(engine.await_reply(first, Duration::from_secs(10)).is_ok());
+        for rx in accepted {
+            assert!(engine.await_reply(rx, Duration::from_secs(10)).is_ok());
+        }
+    }
+
+    #[test]
+    fn expired_client_deadlines_are_dropped_at_dequeue_without_a_pass_slot() {
+        // Pass 0 stalls; requests queued behind it with a 1ms deadline must
+        // come back `deadline exceeded` without ever being generated.
+        let cfg = ServeConfig {
+            max_fused_requests: 1,
+            faults: ServeFaultPlan { stall_on_pass: Some(0), stall_ms: 250, ..ServeFaultPlan::default() },
+            ..ServeConfig::default()
+        };
+        let engine = BatchEngine::new(Sampler::new(tiny_model(58)), cfg);
+        let wedge = engine.try_submit(req(1, 0), None).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let doomed = engine
+            .sample_with_deadline(req(1, 1), Some(Duration::from_millis(1)))
+            .expect_err("a 1ms deadline behind a 250ms stall cannot be met");
+        assert_eq!(doomed, ServeError::DeadlineExceeded);
+        assert!(engine.await_reply(wedge, Duration::from_secs(10)).is_ok());
+        // Wait for the batcher to reach (and drop) the expired job.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.stats().deadline_expired == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.deadline_expired, 1, "the expired job must be dropped at dequeue");
+        // Only the wedge request was actually generated.
+        assert_eq!(stats.requests, 1);
+    }
+
+    #[test]
+    fn an_injected_pass_panic_is_isolated_and_the_engine_keeps_serving() {
+        let model = tiny_model(59);
+        let cfg = ServeConfig {
+            max_fused_requests: 1,
+            faults: ServeFaultPlan { panic_on_pass: Some(0), ..ServeFaultPlan::default() },
+            ..ServeConfig::default()
+        };
+        let engine = BatchEngine::new(Sampler::new(model.clone()), cfg);
+        let poisoned = engine.sample_blocking(req(2, 7)).unwrap_err();
+        assert!(matches!(poisoned, ServeError::PassPanicked(_)), "{poisoned:?}");
+        // The batcher survived: the next pass serves, byte-identical to a
+        // direct sampler call, and stats remain reachable (no poisoned
+        // mutex cascade).
+        let r = req(3, 8);
+        let served = engine.sample_blocking(r.clone()).unwrap();
+        let direct = Sampler::new(model).sample_threaded(&r, 1);
+        assert_eq!(
+            serde_json::to_string(&served.objects).unwrap(),
+            serde_json::to_string(&direct).unwrap(),
+            "post-panic responses must still be byte-identical to ground truth"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.pass_panics, 1);
+        assert_eq!(stats.requests, 1, "the panicked request must not count as served");
+        assert_eq!(stats.health, "ok", "an isolated pass panic is not a health transition");
+    }
+
+    #[test]
+    fn drain_is_terminal_and_visible_in_stats() {
+        let engine = BatchEngine::new(Sampler::new(tiny_model(60)), ServeConfig::default());
+        assert_eq!(engine.health(), ServeHealth::Ok);
+        engine.begin_drain();
+        assert_eq!(engine.health(), ServeHealth::Draining);
+        assert_eq!(engine.stats().health, "draining");
+        // Draining does not refuse in-flight work by itself.
+        assert!(engine.sample_blocking(req(1, 1)).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_parses_round_trips_and_rejects_unknown_keys() {
+        assert!(ServeFaultPlan::parse("").unwrap().is_inert());
+        let plan = ServeFaultPlan::parse("panic_on_pass=2, stall_on_pass=1, stall_ms=40").unwrap();
+        assert_eq!(plan.panic_on_pass, Some(2));
+        assert_eq!(plan.stall_on_pass, Some(1));
+        assert_eq!(plan.stall_ms, 40);
+        assert!(!plan.is_inert());
+        let plan = ServeFaultPlan::parse("reload_fail_on_poll=0,reload_fail_from=3").unwrap();
+        assert_eq!(plan.reload_fail_on_poll, Some(0));
+        assert_eq!(plan.reload_fail_from, Some(3));
+        assert!(ServeFaultPlan::parse("panic_on_pass=x").is_err());
+        assert!(ServeFaultPlan::parse("frobnicate=1").is_err());
+        assert!(ServeFaultPlan::parse("panic_on_pass").is_err());
+        // Seeded plans are deterministic and land inside the horizon.
+        let a = ServeFaultPlan::seeded(7, 5);
+        assert_eq!(a, ServeFaultPlan::seeded(7, 5));
+        assert!(a.panic_on_pass.unwrap() < 5 && a.reload_fail_on_poll.unwrap() < 5);
+        assert_ne!(a, ServeFaultPlan::seeded(8, 5));
     }
 
     #[test]

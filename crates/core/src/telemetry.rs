@@ -94,10 +94,31 @@ pub struct ServingHeartbeatEvent {
     /// reduced-precision tier existed still parse.
     #[serde(default = "default_precision")]
     pub precision: String,
+    /// Engine health at heartbeat time (`"ok"` / `"degraded"` /
+    /// `"draining"`). Defaults to `"ok"` when absent, so logs written
+    /// before the health state existed still parse.
+    #[serde(default = "default_health")]
+    pub health: String,
+    /// Requests shed at admission because the queue was past the shed
+    /// threshold. Defaults keep pre-admission-control logs parsing.
+    #[serde(default)]
+    pub shed: u64,
+    /// Requests dropped at dequeue because their deadline had already
+    /// expired while queued.
+    #[serde(default)]
+    pub deadline_expired: u64,
+    /// Fused generation passes that panicked and were isolated to their
+    /// own requests.
+    #[serde(default)]
+    pub pass_panics: u64,
 }
 
 fn default_precision() -> String {
     "f32".to_string()
+}
+
+fn default_health() -> String {
+    "ok".to_string()
 }
 
 /// A hot-reload attempt by the serving engine.

@@ -1,0 +1,303 @@
+//! Serving fault enumeration: the engine-level half of the overload-safety
+//! contract (ISSUE 9, the serving analogue of `fault_resume.rs`).
+//!
+//! For every injectable serving fault point — a panic inside fused
+//! generation pass *k*, an `ENOSPC`-style failure of reload poll *k*, a
+//! stalled pass backing the queue up into admission control, expired
+//! client deadlines riding a wedged queue — every submitted request must
+//! terminate with either a correct response (byte-identical to a direct
+//! sampler call against the serving release) or a structured
+//! [`ServeError`], within a bounded wait. No hangs, no dead batcher, no
+//! poisoned-mutex cascade, and health transitions (`ok` → `degraded` →
+//! `ok`, `draining` terminal) must track reload outcomes exactly.
+
+use dg_io::{ArtifactStore, MemBackend};
+use doppelganger::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tiny_model(seed: u64) -> DoppelGanger {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = dg_datasets::SineConfig { num_objects: 12, length: 10, periods: vec![3, 5], noise_sigma: 0.05 };
+    let data = dg_datasets::sine::generate(&cfg, &mut rng);
+    let mut dg_cfg = DgConfig::quick().with_recommended_s(10);
+    dg_cfg.attr_hidden = 6;
+    dg_cfg.lstm_hidden = 6;
+    dg_cfg.head_hidden = 6;
+    dg_cfg.batch_size = 4;
+    DoppelGanger::new(&data, dg_cfg, &mut rng)
+}
+
+fn req(n: usize, seed: u64) -> SampleRequest {
+    SampleRequest { attribute_rows: (0..n).map(|k| vec![dg_data::Value::Cat(k % 2)]).collect(), seed }
+}
+
+fn bytes(objects: &[dg_data::TimeSeriesObject]) -> String {
+    serde_json::to_string(objects).unwrap()
+}
+
+/// Panic sweep: for every pass index k in a short horizon, exactly the
+/// requests riding pass k fail with `PassPanicked`, every other request
+/// stays byte-identical to a direct sampler call, and the batcher
+/// survives to serve the full sequence.
+#[test]
+fn pass_panic_sweep_isolates_exactly_the_faulted_pass() {
+    const HORIZON: u64 = 4;
+    let model = tiny_model(31);
+    let ground_truth = Sampler::new(model.clone());
+    for k in 0..HORIZON {
+        let cfg = ServeConfig {
+            // One request per pass so pass index == submission index.
+            max_fused_requests: 1,
+            faults: ServeFaultPlan { panic_on_pass: Some(k), ..ServeFaultPlan::default() },
+            ..ServeConfig::default()
+        };
+        let engine = BatchEngine::new(Sampler::new(model.clone()), cfg);
+        for i in 0..HORIZON {
+            let r = req(2, 100 + i);
+            match engine.sample_blocking(r.clone()) {
+                Ok(resp) => {
+                    assert_ne!(i, k, "the faulted pass cannot produce a response");
+                    assert_eq!(
+                        bytes(&resp.objects),
+                        bytes(&ground_truth.sample_threaded(&r, 1)),
+                        "post-fault responses must stay byte-identical (fault pass {k}, request {i})"
+                    );
+                }
+                Err(ServeError::PassPanicked(msg)) => {
+                    assert_eq!(i, k, "only pass {k} is faulted, but request {i} panicked: {msg}");
+                    assert!(msg.contains("injected serving fault"), "{msg}");
+                }
+                Err(other) => panic!("fault pass {k}, request {i}: unexpected error {other:?}"),
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.pass_panics, 1, "fault pass {k}");
+        assert_eq!(stats.requests, HORIZON - 1, "fault pass {k}");
+        assert_eq!(stats.health, "ok", "an isolated panic is not a health transition");
+    }
+}
+
+/// A concurrent storm against a panicking first pass: every client
+/// terminates within its bounded wait with a response or a structured
+/// error, and the engine keeps serving afterwards.
+#[test]
+fn concurrent_clients_survive_a_panicked_pass_without_hanging() {
+    let model = tiny_model(32);
+    let cfg = ServeConfig {
+        faults: ServeFaultPlan { panic_on_pass: Some(0), ..ServeFaultPlan::default() },
+        ..ServeConfig::default()
+    };
+    let engine = Arc::new(BatchEngine::new(Sampler::new(model.clone()), cfg));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..8u64)
+        .map(|i| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || engine.sample_with_deadline(req(2, i), Some(Duration::from_secs(10))))
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut panicked = 0u64;
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(_) => ok += 1,
+            Err(ServeError::PassPanicked(_)) => panicked += 1,
+            Err(other) => panic!("unexpected error under panic fault: {other:?}"),
+        }
+    }
+    assert!(started.elapsed() < Duration::from_secs(10), "no client may hang");
+    assert!(panicked >= 1, "pass 0 panicked; someone rode it");
+    assert_eq!(ok + panicked, 8, "every client terminates exactly once");
+    // The batcher survived the storm.
+    let r = req(3, 999);
+    let after = engine.sample_blocking(r.clone()).unwrap();
+    assert_eq!(bytes(&after.objects), bytes(&Sampler::new(model).sample_threaded(&r, 1)));
+}
+
+/// Reload blip: one failed poll degrades health without unloading the
+/// serving release; the next successful poll recovers health and installs
+/// the newer release atomically.
+#[test]
+fn reload_failure_degrades_health_and_recovery_restores_it() {
+    let m1 = tiny_model(33);
+    let m2 = tiny_model(34);
+    let store = ArtifactStore::open(MemBackend::new(), "store").unwrap();
+    store.put_numbered("m", 1, m1.to_json().as_bytes()).unwrap();
+    let (sampler, load) = Sampler::from_store(&store, "m").unwrap();
+    assert_eq!(load.seq, 1);
+    let ground_m1 = sampler.clone();
+    let cfg = ServeConfig {
+        faults: ServeFaultPlan { reload_fail_on_poll: Some(1), ..ServeFaultPlan::default() },
+        ..ServeConfig::default()
+    };
+    let engine = BatchEngine::new(sampler, cfg);
+
+    // Poll 0: clean, nothing new to load.
+    assert!(engine.reload(&store, "m").unwrap().seq == 1);
+    assert_eq!(engine.health(), ServeHealth::Ok);
+
+    // Poll 1: injected ENOSPC. Health degrades; the old release serves on.
+    store.put_numbered("m", 2, m2.to_json().as_bytes()).unwrap();
+    let err = engine.reload(&store, "m").unwrap_err();
+    assert!(err.to_string().contains("injected serving fault"), "{err}");
+    assert_eq!(engine.health(), ServeHealth::Degraded);
+    assert_eq!(engine.consecutive_reload_failures(), 1);
+    assert_eq!(engine.loaded_seq(), Some(1), "a failed poll must not unload the serving release");
+    let r = req(3, 7);
+    let during = engine.sample_blocking(r.clone()).unwrap();
+    assert_eq!(during.seq, Some(1));
+    assert_eq!(bytes(&during.objects), bytes(&ground_m1.sample_threaded(&r, 1)));
+
+    // Poll 2: clean again — recovery installs seq 2 and restores health.
+    let report = engine.reload(&store, "m").unwrap();
+    assert!(report.reloaded);
+    assert_eq!(report.seq, 2);
+    assert_eq!(engine.health(), ServeHealth::Ok);
+    assert_eq!(engine.consecutive_reload_failures(), 0);
+    assert_eq!(engine.stats().reloads, 1);
+    let (ground_m2, _) = Sampler::from_store(&store, "m").unwrap();
+    let after = engine.sample_blocking(r.clone()).unwrap();
+    assert_eq!(after.seq, Some(2));
+    assert_eq!(bytes(&after.objects), bytes(&ground_m2.sample_threaded(&r, 1)));
+}
+
+/// Sustained reload failure: consecutive-failure count climbs (the front
+/// end's backoff input), health stays degraded, serving continues — and a
+/// draining engine never reports anything but `draining` again.
+#[test]
+fn sustained_reload_failure_counts_up_and_drain_stays_terminal() {
+    let m1 = tiny_model(35);
+    let store = ArtifactStore::open(MemBackend::new(), "store").unwrap();
+    store.put_numbered("m", 1, m1.to_json().as_bytes()).unwrap();
+    let (sampler, _) = Sampler::from_store(&store, "m").unwrap();
+    let cfg = ServeConfig {
+        faults: ServeFaultPlan { reload_fail_from: Some(0), ..ServeFaultPlan::default() },
+        ..ServeConfig::default()
+    };
+    let engine = BatchEngine::new(sampler, cfg);
+    for expected in 1..=3u64 {
+        assert!(engine.reload(&store, "m").is_err());
+        assert_eq!(engine.consecutive_reload_failures(), expected);
+        assert_eq!(engine.health(), ServeHealth::Degraded);
+    }
+    assert_eq!(engine.sample_blocking(req(1, 1)).unwrap().seq, Some(1));
+    engine.begin_drain();
+    assert_eq!(engine.health(), ServeHealth::Draining);
+    // Further reload outcomes (failures here) must not leave Draining.
+    assert!(engine.reload(&store, "m").is_err());
+    assert_eq!(engine.health(), ServeHealth::Draining, "draining is terminal");
+}
+
+/// Overload storm against a wedged pass: every submission terminates
+/// immediately with admission (`Ok`) or `Overloaded` — never a block —
+/// and everything admitted completes once the stall clears.
+#[test]
+fn overload_storm_sheds_cleanly_and_admitted_work_completes() {
+    let cfg = ServeConfig {
+        queue_depth: 2,
+        max_fused_requests: 1,
+        faults: ServeFaultPlan { stall_on_pass: Some(0), stall_ms: 300, ..ServeFaultPlan::default() },
+        ..ServeConfig::default()
+    };
+    let engine = Arc::new(BatchEngine::new(Sampler::new(tiny_model(36)), cfg));
+    let wedge = engine.try_submit(req(1, 0), None).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let admission = Instant::now();
+    let mut accepted = Vec::new();
+    let mut shed = 0u64;
+    for i in 0..16u64 {
+        match engine.try_submit(req(1, 10 + i), None) {
+            Ok(rx) => accepted.push(rx),
+            Err(ServeError::Overloaded) => shed += 1,
+            Err(other) => panic!("unexpected admission error: {other:?}"),
+        }
+    }
+    assert!(
+        admission.elapsed() < Duration::from_millis(250),
+        "admission control must answer during the stall, not after it"
+    );
+    assert!(shed > 0, "a depth-2 queue cannot absorb 16 submissions");
+    assert_eq!(engine.stats().shed, shed);
+    let deadline = Duration::from_secs(10);
+    assert!(wedge.recv_timeout(deadline).unwrap().is_ok());
+    for rx in accepted {
+        assert!(rx.recv_timeout(deadline).unwrap().is_ok(), "admitted work must complete");
+    }
+}
+
+/// Expired and live deadlines mixed in one dequeue: the expired ones are
+/// dropped without a pass slot, the live ones are served byte-identically.
+#[test]
+fn mixed_deadlines_drop_expired_and_serve_live_requests() {
+    let model = tiny_model(37);
+    let cfg = ServeConfig {
+        faults: ServeFaultPlan { stall_on_pass: Some(0), stall_ms: 250, ..ServeFaultPlan::default() },
+        ..ServeConfig::default()
+    };
+    let engine = BatchEngine::new(Sampler::new(model.clone()), cfg);
+    let wedge = engine.try_submit(req(1, 0), None).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    // Three requests that cannot survive the stall, two that can.
+    let doomed: Vec<_> = (0..3u64)
+        .map(|i| engine.try_submit(req(1, 10 + i), Some(Duration::from_millis(1))).unwrap())
+        .collect();
+    let live: Vec<_> = (0..2u64).map(|i| (i, engine.try_submit(req(2, 20 + i), None).unwrap())).collect();
+    let deadline = Duration::from_secs(10);
+    assert!(wedge.recv_timeout(deadline).unwrap().is_ok());
+    for rx in doomed {
+        assert_eq!(rx.recv_timeout(deadline).unwrap().unwrap_err(), ServeError::DeadlineExceeded);
+    }
+    let ground_truth = Sampler::new(model);
+    for (i, rx) in live {
+        let resp = rx.recv_timeout(deadline).unwrap().unwrap();
+        assert_eq!(bytes(&resp.objects), bytes(&ground_truth.sample_threaded(&req(2, 20 + i), 1)));
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.deadline_expired, 3);
+    assert_eq!(stats.requests, 3, "wedge + two live requests; expired ones never generate");
+}
+
+/// Seeded sweep: a handful of seeded plans (panic pass + reload-fail poll
+/// drawn deterministically) each leave the engine fully functional — every
+/// request and poll terminates with a response or structured error, and
+/// the engine serves byte-identical output afterwards.
+#[test]
+fn seeded_fault_plans_always_leave_a_serving_engine_behind() {
+    const HORIZON: u64 = 4;
+    let model = tiny_model(38);
+    let store = ArtifactStore::open(MemBackend::new(), "store").unwrap();
+    store.put_numbered("m", 1, model.to_json().as_bytes()).unwrap();
+    for seed in 0..6u64 {
+        let plan = ServeFaultPlan::seeded(seed, HORIZON);
+        assert_eq!(plan, ServeFaultPlan::seeded(seed, HORIZON), "plans must be deterministic");
+        let (sampler, _) = Sampler::from_store(&store, "m").unwrap();
+        let ground_truth = sampler.clone();
+        let cfg = ServeConfig { max_fused_requests: 1, faults: plan, ..ServeConfig::default() };
+        let engine = BatchEngine::new(sampler, cfg);
+        let mut panics = 0u64;
+        for i in 0..HORIZON {
+            match engine.sample_blocking(req(1, i)) {
+                Ok(_) => {}
+                Err(ServeError::PassPanicked(_)) => panics += 1,
+                Err(other) => panic!("seed {seed}, request {i}: unexpected error {other:?}"),
+            }
+            // Interleave reload polls; they either succeed or fail with the
+            // injected error, never hang or unload the release.
+            match engine.reload(&store, "m") {
+                Ok(report) => assert_eq!(report.seq, 1),
+                Err(e) => assert!(e.to_string().contains("injected serving fault"), "seed {seed}: {e}"),
+            }
+            assert_eq!(engine.loaded_seq(), Some(1));
+        }
+        assert_eq!(panics, 1, "seed {seed}: exactly the planned pass panics");
+        let r = req(3, 555);
+        let after = engine.sample_blocking(r.clone()).unwrap();
+        assert_eq!(
+            bytes(&after.objects),
+            bytes(&ground_truth.sample_threaded(&r, 1)),
+            "seed {seed}: post-sweep responses must be byte-identical"
+        );
+    }
+}

@@ -32,6 +32,45 @@ impl Value {
         }
     }
 
+    /// Object-field lookup, matching `serde_json::Value::get(&str)`:
+    /// `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|obj| field(obj, key))
+    }
+
+    /// The value as a `u64` if it is a non-negative integer number,
+    /// matching `serde_json::Value::as_u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(s) => s.parse::<u64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(s) => s.parse::<i64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool` if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {
             Value::Array(items) => Some(items),
@@ -115,6 +154,19 @@ pub fn variant(v: &Value) -> Option<(&str, &Value)> {
 }
 
 // ---- std impls ---------------------------------------------------------
+
+// `Value` round-trips through itself, so `from_str::<Value>` /
+// `from_value::<T>` work like the real crate's.
+impl Serialize for Value {
+    fn to_stub_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_stub_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
 
 macro_rules! int_impl {
     ($($t:ty),*) => {$(

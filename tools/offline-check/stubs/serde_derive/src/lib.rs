@@ -5,9 +5,10 @@
 //! value-tree traits. Supports non-generic named-field structs, tuple
 //! structs, unit structs, and externally-tagged enums with unit / tuple /
 //! struct variants. The only serde attributes honored are
-//! `#[serde(default)]` and `#[serde(default = "path")]` (the named
-//! function is called for the fallback, as real serde does); other
-//! attributes are ignored.
+//! `#[serde(default)]`, `#[serde(default = "path")]` (the named
+//! function is called for the fallback, as real serde does), and
+//! `#[serde(skip_serializing_if = "path")]` (the predicate gates the
+//! field's presence in serialized output); other attributes are ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -28,6 +29,9 @@ struct Field {
     /// `None` — required field; `Some(None)` — `#[serde(default)]`;
     /// `Some(Some(path))` — `#[serde(default = "path")]`.
     default: Option<Option<String>>,
+    /// `#[serde(skip_serializing_if = "path")]`: the predicate that, when
+    /// true of the field value, omits the field from serialized output.
+    skip_serializing_if: Option<String>,
 }
 
 enum VariantKind {
@@ -107,10 +111,9 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, body }
 }
 
-/// Parses a `serde(... default ...)` attribute group: `Some(None)` for a
-/// bare `default`, `Some(Some(path))` for `default = "path"`, `None` when
-/// the attribute carries no default at all.
-fn attr_serde_default(attr: &TokenTree) -> Option<Option<String>> {
+/// The argument tokens of a `#[serde(...)]` attribute's parenthesized
+/// group, or `None` when the attribute is not a `serde` one.
+fn serde_attr_args(attr: &TokenTree) -> Option<Vec<TokenTree>> {
     let TokenTree::Group(g) = attr else { return None };
     let inner: Vec<TokenTree> = g.stream().into_iter().collect();
     let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) = (inner.first(), inner.get(1)) else {
@@ -119,17 +122,39 @@ fn attr_serde_default(attr: &TokenTree) -> Option<Option<String>> {
     if id.to_string() != "serde" {
         return None;
     }
-    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    Some(args.stream().into_iter().collect())
+}
+
+/// The `= "literal"` value following `args[j]`, unquoted.
+fn attr_eq_str(args: &[TokenTree], j: usize) -> Option<String> {
+    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) = (args.get(j + 1), args.get(j + 2)) {
+        if eq.as_char() == '=' {
+            return Some(lit.to_string().trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+/// Parses a `serde(... default ...)` attribute group: `Some(None)` for a
+/// bare `default`, `Some(Some(path))` for `default = "path"`, `None` when
+/// the attribute carries no default at all.
+fn attr_serde_default(attr: &TokenTree) -> Option<Option<String>> {
+    let args = serde_attr_args(attr)?;
     for (j, t) in args.iter().enumerate() {
         if matches!(t, TokenTree::Ident(id) if id.to_string() == "default") {
-            if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
-                (args.get(j + 1), args.get(j + 2))
-            {
-                if eq.as_char() == '=' {
-                    return Some(Some(lit.to_string().trim_matches('"').to_string()));
-                }
-            }
-            return Some(None);
+            return Some(attr_eq_str(&args, j));
+        }
+    }
+    None
+}
+
+/// Parses `serde(... skip_serializing_if = "path" ...)` into the predicate
+/// path, `None` when absent.
+fn attr_serde_skip(attr: &TokenTree) -> Option<String> {
+    let args = serde_attr_args(attr)?;
+    for (j, t) in args.iter().enumerate() {
+        if matches!(t, TokenTree::Ident(id) if id.to_string() == "skip_serializing_if") {
+            return attr_eq_str(&args, j);
         }
     }
     None
@@ -166,9 +191,13 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut i = 0;
     while i < tokens.len() {
         let mut default = None;
+        let mut skip_serializing_if = None;
         while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             if let Some(d) = tokens.get(i + 1).and_then(attr_serde_default) {
                 default = Some(d);
+            }
+            if let Some(s) = tokens.get(i + 1).and_then(attr_serde_skip) {
+                skip_serializing_if = Some(s);
             }
             i += 2;
         }
@@ -188,7 +217,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         i += 1; // name
         i += 1; // ':'
         i = skip_type(&tokens, i);
-        fields.push(Field { name, default });
+        fields.push(Field { name, default, skip_serializing_if });
     }
     fields
 }
@@ -259,18 +288,46 @@ fn str_from(s: &str) -> String {
 }
 
 fn named_fields_to_object(fields: &[Field], access_prefix: &str) -> String {
-    let entries: Vec<String> = fields
+    if fields.iter().all(|f| f.skip_serializing_if.is_none()) {
+        let entries: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "({}, ::serde::Serialize::to_stub_value(&{}{}))",
+                    str_from(&f.name),
+                    access_prefix,
+                    f.name
+                )
+            })
+            .collect();
+        return format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "));
+    }
+    // At least one field is conditional: build the object imperatively so
+    // skipped fields are simply never pushed.
+    let stmts: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
-                "({}, ::serde::Serialize::to_stub_value(&{}{}))",
-                str_from(&f.name),
-                access_prefix,
-                f.name
-            )
+            let access = format!("{access_prefix}{}", f.name);
+            let push = format!(
+                "__fields.push(({}, ::serde::Serialize::to_stub_value(&{access})));",
+                str_from(&f.name)
+            );
+            match &f.skip_serializing_if {
+                // Struct fields (`self.x`) need `&`; enum-variant bindings
+                // are already references.
+                Some(path) => {
+                    let arg = if access_prefix.is_empty() { access } else { format!("&{access}") };
+                    format!("if !{path}({arg}) {{ {push} }}")
+                }
+                None => push,
+            }
         })
         .collect();
-    format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+    format!(
+        "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+           ::std::vec::Vec::new(); {} ::serde::Value::Object(__fields) }}",
+        stmts.join(" ")
+    )
 }
 
 fn named_fields_from_object(ty: &str, fields: &[Field], obj_var: &str) -> String {

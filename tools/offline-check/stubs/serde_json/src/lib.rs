@@ -3,9 +3,9 @@
 //! `from_str`. Numbers round-trip bit-exactly (shortest-repr printing, raw
 //! text kept until the target type parses it).
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize};
 
-pub use serde::Error;
+pub use serde::{Error, Value};
 
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
@@ -28,6 +28,10 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
         return Err(Error::custom(format!("trailing characters at offset {}", p.pos)));
     }
     T::from_stub_value(&v)
+}
+
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_stub_value(&value)
 }
 
 // ---- rendering ---------------------------------------------------------
