@@ -24,6 +24,15 @@
 //! go) against a 250 µs window at the same concurrencies: the window
 //! trades bounded added latency for wider fused passes.
 //!
+//! The **plan-cache** dimension compares the generation plan cache
+//! (serving default: record the frozen rollout once per chunk shape,
+//! replay it with rebound noise on every later pass — DESIGN.md §17)
+//! against the `DG_PLAN_CACHE=off` escape hatch that re-records every
+//! pass. The cache is bitwise-invisible (property-tested), so this
+//! comparison too is pure throughput/latency; it runs on the smoke-size
+//! model, where per-pass graph recording is the dominant cost the cache
+//! exists to eliminate.
+//!
 //! Set `DG_BENCH_SMOKE=1` for a fast low-rep pass (used by the CI smoke
 //! step that jq-asserts the report fields).
 
@@ -71,6 +80,20 @@ struct PrecisionRow {
 }
 
 #[derive(Serialize)]
+struct PlanCacheRow {
+    concurrency: usize,
+    cached: ModeStats,
+    uncached: ModeStats,
+    /// `cached.samples_per_sec / uncached.samples_per_sec` — what replaying
+    /// recorded plans buys over re-recording every pass.
+    speedup_cached: f64,
+    /// Plan-cache hits/misses accumulated over the cached leg (chunk
+    /// granularity; the uncached leg counts nothing by contract).
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Serialize)]
 struct GatherRow {
     concurrency: usize,
     max_wait_us: u64,
@@ -108,9 +131,12 @@ struct Report {
     samples_per_sec: f64,
     /// Headline bf16 payoff: `speedup_bf16` at concurrency 16.
     speedup_bf16: f64,
+    /// Headline plan-cache payoff: `speedup_cached` at concurrency 16.
+    speedup_cached: f64,
     concurrency: Vec<ConcurrencyRow>,
     precision: Vec<PrecisionRow>,
     gather_window: Vec<GatherRow>,
+    plan_cache: Vec<PlanCacheRow>,
     fidelity: FidelityBlock,
 }
 
@@ -253,6 +279,35 @@ fn main() {
         }
     }
 
+    // Plan cache on (the serving default) vs the DG_PLAN_CACHE=off escape
+    // hatch, everything else equal. Toggling through the shared Arc works
+    // because engines clone the sampler handle, not the cache.
+    println!();
+    let mut plan_cache = Vec::new();
+    for &clients in &[4usize, 16] {
+        sampler.set_plan_cache_enabled(false);
+        let uncached = run_mode(&sampler, true, clients, reqs_per_client, rows, Precision::F32, 0);
+        sampler.set_plan_cache_enabled(true);
+        let before = sampler.plan_stats();
+        let cached = run_mode(&sampler, true, clients, reqs_per_client, rows, Precision::F32, 0);
+        let after = sampler.plan_stats();
+        let (hits, misses) = (after.0 - before.0, after.1 - before.1);
+        let speedup_cached = cached.samples_per_sec / uncached.samples_per_sec.max(1e-9);
+        println!(
+            "c={clients:<3} cached {:>8.0} samples/s ({} hits / {} misses)   uncached {:>8.0} samples/s   \
+             cached speedup {speedup_cached:>5.2}x",
+            cached.samples_per_sec, hits, misses, uncached.samples_per_sec,
+        );
+        plan_cache.push(PlanCacheRow {
+            concurrency: clients,
+            cached,
+            uncached,
+            speedup_cached,
+            hits,
+            misses,
+        });
+    }
+
     // Fidelity gate: a same-seed dataset from each tier, compared by
     // distribution exactly as the paper compares generated vs real data.
     let objects = if smoke { 64 } else { 256 };
@@ -284,6 +339,7 @@ fn main() {
 
     let headline = concurrency.iter().find(|r| r.concurrency == 4).expect("concurrency-4 row");
     let bf16_headline = precision.iter().find(|r| r.concurrency == 16).expect("concurrency-16 row");
+    let cache_headline = plan_cache.iter().find(|r| r.concurrency == 16).expect("concurrency-16 row");
     let report = Report {
         worker_threads: threads,
         rows_per_request: rows,
@@ -293,9 +349,11 @@ fn main() {
         p99_ms: headline.batched.p99_ms,
         samples_per_sec: headline.batched.samples_per_sec,
         speedup_bf16: bf16_headline.speedup_bf16,
+        speedup_cached: cache_headline.speedup_cached,
         concurrency,
         precision,
         gather_window,
+        plan_cache,
         fidelity,
     };
     let dir = results_dir();

@@ -178,6 +178,8 @@ fn heartbeat_event(engine: &BatchEngine, started: Instant) -> RunEvent {
         shed: s.shed,
         deadline_expired: s.deadline_expired,
         pass_panics: s.pass_panics,
+        plan_cache_hits: s.plan_cache_hits,
+        plan_cache_misses: s.plan_cache_misses,
     })
 }
 
@@ -272,6 +274,16 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
         eprintln!("warning: skipped {}: {}", s.path.display(), s.reason);
     }
     let seq = load.seq;
+    // --plan-cache wins over the DG_PLAN_CACHE environment fallback (which
+    // the sampler itself reads at construction); both are escape hatches —
+    // the cache is on by default and bitwise-invisible to responses.
+    if let Some(v) = args.options.get("plan-cache") {
+        match v.as_str() {
+            "on" | "1" | "true" => sampler.set_plan_cache_enabled(true),
+            "off" | "0" | "false" => sampler.set_plan_cache_enabled(false),
+            other => return Err(config_err(format!("invalid plan-cache '{other}' (expected on or off)"))),
+        }
+    }
 
     let defaults = ServeConfig::default();
     let config = ServeConfig {
@@ -483,7 +495,7 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
     engine.shutdown();
     let drain_note = if drained { "" } else { "; drain timeout elapsed with connections still open" };
     Ok(format!(
-        "served {} requests in {} fused passes ({} samples, {} rejected, {} shed, {} deadline-expired, {} pass panics, {} reloads, precision {}, health {}, p50 {:.2} ms, p99 {:.2} ms){drain_note}",
+        "served {} requests in {} fused passes ({} samples, {} rejected, {} shed, {} deadline-expired, {} pass panics, {} reloads, plan cache {} hits / {} misses, precision {}, health {}, p50 {:.2} ms, p99 {:.2} ms){drain_note}",
         stats.requests,
         stats.batches,
         stats.samples,
@@ -492,6 +504,8 @@ pub(crate) fn cmd_serve(args: &Args) -> Result<String, CliError> {
         stats.deadline_expired,
         stats.pass_panics,
         stats.reloads,
+        stats.plan_cache_hits,
+        stats.plan_cache_misses,
         stats.precision,
         stats.health,
         stats.p50_ms,

@@ -48,6 +48,19 @@ fn ground_truth_objects(dir: &Path, name: &str) -> String {
     serde_json::to_string(&ds.objects).unwrap()
 }
 
+/// Extracts an unsigned JSON field from a raw log/summary line without a
+/// full parse (keeps the test independent of serde_json Value support).
+fn u64_field(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat).unwrap_or_else(|| panic!("no {key} field in {line:?}"));
+    line[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|e| panic!("bad {key} value in {line:?}: {e}"))
+}
+
 fn send(writer: &mut impl Write, reader: &mut impl BufRead, req: &WireRequest) -> WireResponse {
     writeln!(writer, "{}", serde_json::to_string(req).unwrap()).unwrap();
     writer.flush().unwrap();
@@ -217,6 +230,106 @@ fn serve_switches_releases_atomically_when_the_pointer_advances() {
         "no reload event in:\n{log}"
     );
     assert!(log.lines().any(|l| l.contains("\"ServingHeartbeat\"")), "no heartbeat in:\n{log}");
+    // Every response above was golden-byte-checked with the plan cache on
+    // (its default); the terminal heartbeat must show the repeats actually
+    // replayed cached plans — including across the reload boundary.
+    let final_hb =
+        log.lines().filter(|l| l.contains("\"ServingHeartbeat\"")).next_back().expect("terminal heartbeat");
+    let hits = u64_field(final_hb, "plan_cache_hits");
+    let misses = u64_field(final_hb, "plan_cache_misses");
+    assert!(hits > 0, "repeat same-shape requests must replay cached plans:\n{final_hb}");
+    assert!(misses >= 1, "the first pass of a shape must record a plan:\n{final_hb}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_plan_cache_off_serves_identical_bytes_and_counts_nothing() {
+    let dir = tmpdir("planoff");
+    dg_ok(&["demo", "--out", "data.json", "--objects", "16", "--length", "10"], &dir);
+    dg_ok(&["train", "--data", "data.json", "--out", "a.json", "--iterations", "2", "--batch", "8"], &dir);
+    let rows: Vec<Vec<dg_data::Value>> = vec![vec![dg_data::Value::Cat(0)], vec![dg_data::Value::Cat(1)]];
+    std::fs::write(dir.join("attrs.json"), serde_json::to_string(&rows).unwrap()).unwrap();
+    dg_ok(
+        &[
+            "generate",
+            "--model",
+            "a.json",
+            "--out",
+            "cond_a.json",
+            "--conditioned",
+            "attrs.json",
+            "--seed",
+            "7",
+        ],
+        &dir,
+    );
+    let want = ground_truth_objects(&dir, "cond_a.json");
+    dg_ok(&["publish", "--model", "a.json", "--store", "store", "--family", "model"], &dir);
+
+    // The --plan-cache off escape hatch: responses stay golden-byte
+    // identical (the cache is bitwise-invisible either way) and the
+    // counters prove no plan was recorded or replayed.
+    let mut child = ChildGuard(Some(
+        Command::new(env!("CARGO_BIN_EXE_dg"))
+            .args([
+                "serve",
+                "--store",
+                "store",
+                "--family",
+                "model",
+                "--addr",
+                "127.0.0.1:0",
+                "--plan-cache",
+                "off",
+                "--max-requests",
+                "3",
+            ])
+            .current_dir(&dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn dg serve"),
+    ));
+    let mut child_out = BufReader::new(child.0.as_mut().unwrap().stdout.take().unwrap());
+    let mut ready = String::new();
+    child_out.read_line(&mut ready).unwrap();
+    let addr = ready
+        .split("listening on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in ready line {ready:?}"))
+        .to_string();
+
+    let stream = TcpStream::connect(&addr).expect("connect to dg serve");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    for id in 1..=3u64 {
+        let resp = send(
+            &mut writer,
+            &mut reader,
+            &WireRequest { id, seed: 7, attributes: rows.clone(), deadline_ms: None },
+        );
+        assert!(resp.error.is_none(), "{:?}", resp.error);
+        assert_eq!(
+            serde_json::to_string(&resp.objects).unwrap(),
+            want,
+            "cache-off serving must stay golden-byte identical (request {id})"
+        );
+    }
+    drop(writer);
+
+    let status = child.0.take().unwrap().wait().expect("wait for dg serve");
+    assert!(status.success(), "dg serve exited with {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut child_out, &mut rest).unwrap();
+    let summary = rest
+        .lines()
+        .find(|l| l.contains("plan cache"))
+        .unwrap_or_else(|| panic!("no plan-cache summary in {rest:?}"));
+    assert!(
+        summary.contains("plan cache 0 hits / 0 misses"),
+        "a disabled cache must count nothing: {summary:?}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -374,7 +374,7 @@ impl DoppelGanger {
         note = "generation moved to the sampler subsystem; use `dg_core::sampler::Sampler::generate_encoded`"
     )]
     pub fn generate_encoded<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> (Tensor, Tensor, Tensor) {
-        crate::sampler::encoded_rollout(self, n, rng, dg_nn::kernels::Precision::F32)
+        crate::sampler::encoded_rollout(self, None, n, rng, dg_nn::kernels::Precision::F32)
     }
 
     /// Generates `n` synthetic objects (decoded).
@@ -383,7 +383,7 @@ impl DoppelGanger {
         note = "generation moved to the sampler subsystem; use `dg_core::sampler::Sampler::generate`"
     )]
     pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<TimeSeriesObject> {
-        let (a, m, f) = crate::sampler::encoded_rollout(self, n, rng, dg_nn::kernels::Precision::F32);
+        let (a, m, f) = crate::sampler::encoded_rollout(self, None, n, rng, dg_nn::kernels::Precision::F32);
         self.encoder.decode(&a, &m, &f)
     }
 
@@ -402,6 +402,7 @@ impl DoppelGanger {
     ) -> Vec<TimeSeriesObject> {
         crate::sampler::conditioned_rollout(
             self,
+            None,
             attribute_rows,
             rng,
             dg_nn::parallel::num_threads(),

@@ -361,6 +361,12 @@ pub struct ServeStats {
     pub latency_window: usize,
     /// Latency observations currently retained (≤ `latency_window`).
     pub latency_samples: usize,
+    /// Generation-plan cache hits: fused passes (per row-chunk) that
+    /// replayed an already-recorded tape instead of re-recording it.
+    pub plan_cache_hits: u64,
+    /// Generation-plan cache misses: row-chunks that recorded a fresh
+    /// tape (first sighting of a shape, or cache disabled/evicted).
+    pub plan_cache_misses: u64,
 }
 
 struct Job {
@@ -709,6 +715,7 @@ impl BatchEngine {
             let ring = lock_unpoisoned(&self.inner.latencies);
             (ring.sorted(), ring.capacity(), ring.len())
         };
+        let (plan_hits, plan_misses) = lock_unpoisoned(&self.inner.sampler).plan_stats();
         ServeStats {
             requests: self.inner.requests.load(Ordering::Relaxed),
             batches: self.inner.batches.load(Ordering::Relaxed),
@@ -724,6 +731,8 @@ impl BatchEngine {
             health: self.health().name().to_string(),
             latency_window: window,
             latency_samples: held,
+            plan_cache_hits: plan_hits,
+            plan_cache_misses: plan_misses,
         }
     }
 
@@ -759,7 +768,16 @@ fn batcher_loop(rx: Receiver<Job>, inner: Arc<Inner>, max_reqs: usize, max_rows:
         // with `max_wait` zero the loop only drains what is already queued
         // (the minimum-latency mode); otherwise it blocks up to the
         // remaining window for stragglers to widen the fused pass.
-        let deadline = (max_wait > Duration::ZERO).then(|| Instant::now() + max_wait);
+        //
+        // Single-client fast path: when nothing else is queued behind the
+        // first request, holding the window open can only add latency — a
+        // lone client pays `max_wait` for a fusion that never happens. The
+        // `queued` gauge is incremented before the channel send, so a
+        // racing submitter is seen here at worst one pass early (it rides
+        // the next pass at minimum latency, exactly as if it had arrived a
+        // moment later).
+        let others_queued = inner.queued.load(Ordering::Relaxed) > 0;
+        let deadline = (max_wait > Duration::ZERO && others_queued).then(|| Instant::now() + max_wait);
         let mut jobs = vec![first];
         let mut rows = jobs[0].req.rows();
         while jobs.len() < max_reqs && rows < max_rows {
@@ -1175,7 +1193,11 @@ mod tests {
     fn gather_window_fuses_a_steady_trickle_into_fewer_passes() {
         // A generous window: requests submitted one-by-one from separate
         // threads land inside a single gather window with high probability.
-        let cfg = ServeConfig { max_wait_us: 200_000, ..ServeConfig::default() };
+        // Pass 0 is stalled so the trickle piles up behind it — the
+        // single-client fast path would otherwise race the first request
+        // through alone before any straggler is queued.
+        let faults = ServeFaultPlan { stall_on_pass: Some(0), stall_ms: 80, ..Default::default() };
+        let cfg = ServeConfig { max_wait_us: 200_000, faults, ..ServeConfig::default() };
         let engine = Arc::new(BatchEngine::new(Sampler::new(tiny_model(58)), cfg));
         let handles: Vec<_> = (0..6)
             .map(|i| {
@@ -1196,6 +1218,41 @@ mod tests {
             "a 200ms gather window must coalesce a 5ms-spaced trickle (got {} passes)",
             stats.batches
         );
+    }
+
+    #[test]
+    fn lone_request_skips_the_gather_window() {
+        // With a huge gather window configured, a single client must still
+        // be served at minimum latency: nothing else is queued, so the
+        // batcher has nothing to wait for.
+        let cfg = ServeConfig { max_wait_us: 2_000_000, ..ServeConfig::default() };
+        let engine = BatchEngine::new(Sampler::new(tiny_model(60)), cfg);
+        let start = Instant::now();
+        let resp = engine.sample_blocking(req(1, 7)).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(resp.objects.len(), 1);
+        assert!(
+            elapsed < Duration::from_millis(1_000),
+            "a lone request must not sit out the 2s gather window (took {elapsed:?})"
+        );
+    }
+
+    #[test]
+    fn stats_expose_plan_cache_hits_and_misses() {
+        let engine = BatchEngine::new(Sampler::new(tiny_model(61)), ServeConfig::default());
+        let r = req(3, 11);
+        engine.sample_blocking(r.clone()).unwrap();
+        let after_first = engine.stats();
+        assert!(after_first.plan_cache_misses >= 1, "first pass of a shape records a plan");
+        engine.sample_blocking(r).unwrap();
+        let after_second = engine.stats();
+        assert!(
+            after_second.plan_cache_hits > after_first.plan_cache_hits,
+            "a repeat same-shape pass must replay the cached plan (stats: {after_second:?})"
+        );
+        // The counters ride the JSON stats surface the CLI and CI consume.
+        let json = serde_json::to_string(&after_second).unwrap();
+        assert!(json.contains("\"plan_cache_hits\"") && json.contains("\"plan_cache_misses\""));
     }
 
     #[test]

@@ -111,6 +111,15 @@ pub struct ServingHeartbeatEvent {
     /// own requests.
     #[serde(default)]
     pub pass_panics: u64,
+    /// Generation-plan cache hits so far: row-chunks served by replaying
+    /// an already-recorded tape. Defaults keep pre-plan-cache logs
+    /// parsing.
+    #[serde(default)]
+    pub plan_cache_hits: u64,
+    /// Generation-plan cache misses so far: row-chunks that recorded a
+    /// fresh tape.
+    #[serde(default)]
+    pub plan_cache_misses: u64,
 }
 
 fn default_precision() -> String {

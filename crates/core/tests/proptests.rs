@@ -202,3 +202,70 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The generation-plan cache contract: a sampler replaying recorded
+    /// tapes must serve byte-for-byte what a cache-disabled sampler records
+    /// fresh — across repeated reuse cycles, worker thread counts, both
+    /// precision tiers, and a hot-reload boundary (where cached plans are
+    /// re-synced in place instead of re-recorded).
+    #[test]
+    fn plan_cache_replay_is_bitwise_invisible(
+        seed in 0u64..500,
+        sizes in prop::collection::vec((1usize..9, 0u64..100_000), 1..4),
+        threads in 1usize..=8,
+        bf16 in any::<bool>(),
+    ) {
+        use dg_nn::kernels::Precision;
+        let data = make_dataset(seed, 3, 2, 6, 8);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF5);
+        let m1 = DoppelGanger::new(&data, tiny_config(2, true, true), &mut rng);
+        let m2 = DoppelGanger::new(&data, tiny_config(2, true, true), &mut rng);
+        let precision = if bf16 { Precision::Bf16 } else { Precision::F32 };
+
+        let store = dg_io::ArtifactStore::open(dg_io::MemBackend::new(), "store").unwrap();
+        store.put_numbered("m", 1, m1.to_json().as_bytes()).unwrap();
+        let (cached, _) = Sampler::from_store(&store, "m").unwrap();
+        let mut cached = cached.with_precision(precision);
+        cached.set_plan_cache_enabled(true);
+        let (plain, _) = Sampler::from_store(&store, "m").unwrap();
+        let mut plain = plain.with_precision(precision);
+        plain.set_plan_cache_enabled(false);
+
+        let reqs: Vec<SampleRequest> = sizes
+            .iter()
+            .map(|&(n, rseed)| SampleRequest {
+                attribute_rows: (0..n).map(|k| vec![Value::Cat(k % 3)]).collect(),
+                seed: rseed,
+            })
+            .collect();
+        let bytes = |objs: &Vec<Vec<TimeSeriesObject>>| serde_json::to_string(objs).unwrap();
+
+        // Repeated reuse cycles: the first pass of each chunk shape records
+        // a plan, every later pass replays it.
+        for round in 0..3u64 {
+            let shifted: Vec<SampleRequest> =
+                reqs.iter().map(|r| SampleRequest { seed: r.seed ^ round, ..r.clone() }).collect();
+            prop_assert_eq!(
+                bytes(&cached.sample_fused_threaded(&shifted, threads)),
+                bytes(&plain.sample_fused_threaded(&shifted, threads)),
+                "cached replay diverged on round {}", round
+            );
+        }
+        let (hits, misses) = cached.plan_stats();
+        prop_assert!(hits > 0, "repeat passes must replay ({} hits / {} misses)", hits, misses);
+        prop_assert_eq!(plain.plan_stats(), (0, 0));
+
+        // Hot-reload boundary: plans re-synced to the new release must
+        // serve exactly what a fresh record of the new weights serves.
+        store.put_numbered("m", 2, m2.to_json().as_bytes()).unwrap();
+        prop_assert!(cached.reload(&store, "m").unwrap().reloaded);
+        prop_assert!(plain.reload(&store, "m").unwrap().reloaded);
+        prop_assert_eq!(
+            bytes(&cached.sample_fused_threaded(&reqs, threads)),
+            bytes(&plain.sample_fused_threaded(&reqs, threads))
+        );
+    }
+}

@@ -341,6 +341,73 @@ pub fn check_graph_precision_determinism(
     None
 }
 
+/// Checks the plan-replay contract: a tape recorded once with rebindable
+/// input slots ([`Graph::input_slot`]) and replayed via
+/// [`crate::graph::PlanExecutor`] must produce **bitwise** identical output
+/// to re-recording the graph from scratch for every input set, at every
+/// worker count in `thread_counts`, under `precision`.
+///
+/// `program` records the computation, calling `g.input_slot(...)` once per
+/// tensor of the given input set (in order) and returning the output var.
+/// `input_sets[0]` is the recording set; every set (including a repeat of
+/// the first — cache-reuse cycle) is then bound, replayed and compared
+/// against an eager re-record. Returns the first discrepancy, or `None`.
+pub fn check_plan_replay_equivalence(
+    program: impl Fn(&mut Graph, &[Tensor]) -> Var,
+    input_sets: &[Vec<Tensor>],
+    thread_counts: &[usize],
+    precision: kernels::Precision,
+) -> Option<String> {
+    let first = input_sets.first()?;
+    for &threads in thread_counts {
+        let fresh = |set: &[Tensor]| -> Vec<f32> {
+            let mut g = Graph::with_workspace(
+                Workspace::new().with_precision(precision).with_thread_override(threads),
+            );
+            let out = program(&mut g, set);
+            g.value(out).as_slice().to_vec()
+        };
+
+        let mut g =
+            Graph::with_workspace(Workspace::new().with_precision(precision).with_thread_override(threads));
+        let out = program(&mut g, first);
+        let mut exec = g.into_executor();
+        if exec.input_slots() != first.len() {
+            return Some(format!(
+                "program registered {} input slots for {} input tensors",
+                exec.input_slots(),
+                first.len()
+            ));
+        }
+        // Replay every set twice: the second pass reuses warmed caches
+        // (pooled buffers, frozen f32 panels, bf16 packings).
+        for cycle in 0..2 {
+            for (si, set) in input_sets.iter().enumerate() {
+                for (i, t) in set.iter().enumerate() {
+                    exec.set_input_slot(i, t);
+                }
+                exec.run();
+                let want = fresh(set);
+                let got = exec.value(out).as_slice();
+                if got.len() != want.len() {
+                    return Some(format!(
+                        "threads={threads} precision={precision:?} set={si} cycle={cycle}: {} values, expected {}",
+                        got.len(),
+                        want.len()
+                    ));
+                }
+                if let Some(i) = (0..got.len()).find(|&i| got[i].to_bits() != want[i].to_bits()) {
+                    return Some(format!(
+                        "threads={threads} precision={precision:?} set={si} cycle={cycle}: replay diverged from re-record at element {i}: {} vs {}",
+                        got[i], want[i]
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Checks that executing `program` out of a pooled, reused [`Workspace`] is
 /// **bitwise** identical to fresh allocation, across consecutive reuse
 /// `cycles` and every worker count in `thread_counts`.
@@ -548,6 +615,36 @@ mod tests {
             true,
         );
         assert!(err.is_none(), "{}", err.unwrap());
+    }
+
+    #[test]
+    fn plan_replay_matches_rerecording_for_a_frozen_net() {
+        use crate::kernels::Precision;
+        use crate::params::ParamStore;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", Tensor::randn(4, 6, 0.5, &mut rng));
+        let w2 = store.add("w2", Tensor::randn(3, 6, 0.5, &mut rng));
+        let b = store.add("b", Tensor::randn(1, 3, 0.5, &mut rng));
+        let sets: Vec<Vec<Tensor>> = (0..3).map(|_| vec![Tensor::randn(5, 4, 1.0, &mut rng)]).collect();
+        for precision in [Precision::F32, Precision::Bf16] {
+            let err = check_plan_replay_equivalence(
+                |g, inputs| {
+                    let x = g.input_slot(inputs[0].clone());
+                    let wv1 = g.frozen_param(&store, w1);
+                    let h = g.matmul(x, wv1);
+                    let t = g.tanh(h);
+                    let wv2 = g.frozen_param(&store, w2);
+                    let y = g.matmul_bt(t, wv2);
+                    let bv = g.frozen_param(&store, b);
+                    g.add_row(y, bv)
+                },
+                &sets,
+                &[1, 2, 4, 8],
+                precision,
+            );
+            assert!(err.is_none(), "{}", err.unwrap());
+        }
     }
 
     #[test]

@@ -118,6 +118,12 @@ pub struct Plan {
     nodes: Vec<PlanNode>,
     /// Operand arena for variable-arity ops (`ConcatCols`).
     parts: Vec<Var>,
+    /// Rebindable input slots, in registration order ([`Graph::input_slot`]).
+    /// Each entry is a constant leaf whose value a [`PlanExecutor`] may
+    /// overwrite between replays ([`PlanExecutor::set_input_slot`]), so
+    /// per-request data (noise draws, conditioning attributes) binds into an
+    /// already-recorded tape instead of forcing a re-record.
+    inputs: Vec<Var>,
 }
 
 impl Plan {
@@ -164,7 +170,7 @@ impl Graph {
     pub fn with_workspace(ws: Workspace) -> Self {
         let hint = ws.node_hint();
         Graph {
-            plan: Plan { nodes: Vec::with_capacity(hint), parts: Vec::new() },
+            plan: Plan { nodes: Vec::with_capacity(hint), parts: Vec::new(), inputs: Vec::new() },
             values: Vec::with_capacity(hint),
             grads: Vec::with_capacity(hint),
             taken: Vec::new(),
@@ -192,7 +198,13 @@ impl Graph {
     /// replay the recorded plan on fresh leaf values without re-recording.
     pub fn into_executor(self) -> PlanExecutor {
         debug_assert!(self.taken.is_empty(), "cannot build an executor from a graph with consumed values");
-        PlanExecutor { plan: self.plan, values: self.values, grads: self.grads, ws: self.ws }
+        let mut ws = self.ws;
+        // Frozen parameter leaves are immutable for the executor's life
+        // (every rebind path clears the cache), so their f32 `MatMulBT`
+        // panels can be packed once and replayed. Eager training graphs
+        // never enable this — their parameters change every step.
+        ws.enable_frozen_panels();
+        PlanExecutor { plan: self.plan, values: self.values, grads: self.grads, ws }
     }
 
     /// Read-only access to the backing workspace (pool statistics etc.).
@@ -318,6 +330,18 @@ impl Graph {
     /// inspecting input gradients, e.g. in tests and saliency probes).
     pub fn input(&mut self, value: Tensor) -> Var {
         self.push(Op::Leaf { param: None }, value, true)
+    }
+
+    /// Records a *rebindable* constant leaf: identical to [`Graph::constant`]
+    /// during eager evaluation, but additionally registered in the plan's
+    /// input-slot list so a [`PlanExecutor`] built from this graph can
+    /// overwrite its value between replays ([`PlanExecutor::set_input_slot`]).
+    /// Slots are numbered in registration order — callers bind them in the
+    /// same order they were recorded.
+    pub fn input_slot(&mut self, value: Tensor) -> Var {
+        let v = self.push(Op::Leaf { param: None }, value, false);
+        self.plan.inputs.push(v);
+        v
     }
 
     /// Records a parameter leaf bound to `id`, copying the current value
@@ -596,14 +620,57 @@ impl PlanExecutor {
         self.values[v.0].copy_from(value);
     }
 
+    /// Number of rebindable input slots registered during recording
+    /// ([`Graph::input_slot`]).
+    pub fn input_slots(&self) -> usize {
+        self.plan.inputs.len()
+    }
+
+    /// Recorded shape of input slot `i` (registration order).
+    pub fn input_slot_shape(&self, i: usize) -> (usize, usize) {
+        self.plan.shape(self.plan.inputs[i])
+    }
+
+    /// Binds `value` into input slot `i` (registration order) ahead of the
+    /// next [`PlanExecutor::run`].
+    ///
+    /// # Panics
+    /// Panics if the shape differs from the recording — slot shapes are
+    /// baked into the plan.
+    pub fn set_input_slot(&mut self, i: usize, value: &Tensor) {
+        let v = self.plan.inputs[i];
+        assert_eq!(self.plan.shape(v), value.shape(), "input slot {i} shape mismatch (recorded vs bound)");
+        self.values[v.0].copy_from(value);
+    }
+
     /// Reloads every parameter leaf from `store` (e.g. after an optimizer
-    /// step).
+    /// step or a serving hot-reload). Drops cached per-parameter weight
+    /// packings (bf16 and frozen f32 panels): they were derived from the
+    /// old values.
     pub fn refresh_params(&mut self, store: &ParamStore) {
+        self.ws.clear_param_caches();
         for (node, val) in self.plan.nodes.iter().zip(&mut self.values) {
             if let Op::Leaf { param: Some(id) } = node.op {
                 val.copy_from(store.get(id));
             }
         }
+    }
+
+    /// Like [`PlanExecutor::refresh_params`], but validates first that every
+    /// parameter leaf resolves in `store` with its recorded shape. Returns
+    /// `false` (leaving the executor untouched) when any leaf is missing or
+    /// differently shaped — the caller should re-record against the new
+    /// model instead of replaying a stale plan.
+    pub fn try_refresh_params(&mut self, store: &ParamStore) -> bool {
+        for node in &self.plan.nodes {
+            if let Op::Leaf { param: Some(id) } = node.op {
+                if id.0 >= store.len() || store.get(id).shape() != (node.rows, node.cols) {
+                    return false;
+                }
+            }
+        }
+        self.refresh_params(store);
+        true
     }
 
     /// Recomputes every non-leaf value in place from the current leaf
@@ -697,6 +764,20 @@ fn leaf_param(nodes: &[PlanNode], v: Var) -> Option<ParamId> {
     }
 }
 
+/// The parameter bound to `v` when `v` is a *frozen* parameter leaf
+/// ([`Graph::frozen_param`]: bound to a `ParamId` but excluded from
+/// gradient flow). This is the key under which the workspace caches f32
+/// `MatMulBT` panels — trainable parameter leaves must never match, since
+/// the optimizer mutates them between steps while a cached panel would not
+/// notice.
+fn leaf_frozen_param(nodes: &[PlanNode], v: Var) -> Option<ParamId> {
+    let node = nodes.get(v.0)?;
+    match node.op {
+        Op::Leaf { param } if !node.needs_grad => param,
+        _ => None,
+    }
+}
+
 /// Evaluates one non-leaf op into `out` (correctly shaped; contents may be
 /// stale — every rule fully overwrites it), reading operands from `values`.
 /// Shared by eager recording and plan replay, so both paths run identical
@@ -750,9 +831,23 @@ fn eval_op_into(
                     ws.put_u16(panel);
                 }
             } else {
-                let mut panel = ws.take_raw(va.cols(), vb.rows());
-                va.matmul_bt_into_with_panel(vb, out, th, &mut panel);
-                ws.reclaim(panel);
+                // Frozen parameter operands inside a replayed plan hit the
+                // workspace's f32 panel cache: the `O(k*n)` `pack_bt` is
+                // paid once per plan life instead of once per call. Gated on
+                // the same `PACK_MIN_ROWS` condition the fresh-pack entry
+                // points use, so cached and fresh paths run the identical
+                // kernel chain (bitwise-equal outputs).
+                let use_panel = va.rows() >= kernels::PACK_MIN_ROWS && va.cols() * vb.rows() > 0;
+                let frozen =
+                    (use_panel && ws.frozen_panels()).then(|| leaf_frozen_param(nodes, *b)).flatten();
+                if let Some(id) = frozen {
+                    let panel = ws.packed_f32(id, vb);
+                    va.matmul_bt_into_f32_packed(panel, vb.rows(), out, th, kernels::active());
+                } else {
+                    let mut panel = ws.take_raw(va.cols(), vb.rows());
+                    va.matmul_bt_into_with_panel(vb, out, th, &mut panel);
+                    ws.reclaim(panel);
+                }
             }
         }
         Op::Add(a, b) => {
@@ -1860,5 +1955,132 @@ mod tests {
             cached.iter().zip(&uncached).all(|(a, b)| a.to_bits() == b.to_bits()),
             "cached weight packing must be bitwise invisible"
         );
+    }
+
+    /// Records `x @ w1 @ w2^T + b` with `x` in a rebindable slot and returns
+    /// `(executor, out_var)`.
+    fn slot_net(store: &ParamStore, ids: (ParamId, ParamId, ParamId), x0: &Tensor) -> (PlanExecutor, Var) {
+        let mut g = Graph::with_workspace(Workspace::new());
+        let x = g.input_slot(x0.clone());
+        let w1 = g.frozen_param(store, ids.0);
+        let w2 = g.frozen_param(store, ids.1);
+        let b = g.frozen_param(store, ids.2);
+        let h = g.matmul(x, w1);
+        let y = g.matmul_bt(h, w2);
+        let out = g.add_row(y, b);
+        (g.into_executor(), out)
+    }
+
+    /// The same net recorded eagerly from scratch (the reference bytes).
+    fn slot_net_fresh(store: &ParamStore, ids: (ParamId, ParamId, ParamId), x0: &Tensor) -> Vec<f32> {
+        let mut g = Graph::new();
+        let x = g.constant(x0.clone());
+        let w1 = g.frozen_param(store, ids.0);
+        let w2 = g.frozen_param(store, ids.1);
+        let b = g.frozen_param(store, ids.2);
+        let h = g.matmul(x, w1);
+        let y = g.matmul_bt(h, w2);
+        let out = g.add_row(y, b);
+        g.value(out).as_slice().to_vec()
+    }
+
+    #[test]
+    fn input_slots_replay_bitwise_matches_rerecording_and_pack_panels_once() {
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", wavy(5, 7, 0.1));
+        let w2 = store.add("w2", wavy(4, 7, 0.2));
+        let b = store.add("b", wavy(1, 4, 0.3));
+        let ids = (w1, w2, b);
+
+        let x0 = wavy(3, 5, 0.4);
+        let (mut exec, out) = slot_net(&store, ids, &x0);
+        assert_eq!(exec.input_slots(), 1);
+        assert_eq!(exec.input_slot_shape(0), (3, 5));
+        // The recording itself already holds the right bytes for x0.
+        assert_eq!(exec.value(out).as_slice(), slot_net_fresh(&store, ids, &x0).as_slice());
+
+        for round in 0..4 {
+            let x = wavy(3, 5, 1.0 + round as f32);
+            exec.set_input_slot(0, &x);
+            exec.run();
+            let fresh = slot_net_fresh(&store, ids, &x);
+            assert!(
+                exec.value(out).as_slice().iter().zip(&fresh).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "replayed bytes must be bitwise identical to re-recording (round {round})"
+            );
+        }
+        // One MatMulBT against one frozen param: exactly one cached panel,
+        // packed on the first replay and reused thereafter.
+        assert_eq!(exec.ws.packed_f32_entries(), 1, "frozen A*B^T panel should be packed exactly once");
+    }
+
+    #[test]
+    fn f32_panel_cache_stays_off_in_eager_graphs() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", wavy(4, 7, 0.2));
+        let mut g = Graph::new();
+        let x = g.constant(wavy(3, 7, 0.4));
+        let wv = g.frozen_param(&store, w);
+        let _ = g.matmul_bt(x, wv);
+        assert_eq!(
+            g.workspace().packed_f32_entries(),
+            0,
+            "eager recording must not populate the frozen panel cache"
+        );
+    }
+
+    #[test]
+    fn refresh_params_drops_cached_panels_and_replays_new_weights() {
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", wavy(5, 7, 0.1));
+        let w2 = store.add("w2", wavy(4, 7, 0.2));
+        let b = store.add("b", wavy(1, 4, 0.3));
+        let ids = (w1, w2, b);
+        let x = wavy(3, 5, 0.4);
+
+        let (mut exec, out) = slot_net(&store, ids, &x);
+        exec.run();
+        assert_eq!(exec.ws.packed_f32_entries(), 1);
+
+        // Mutate the frozen weights (a hot-reload) and refresh: the stale
+        // panel must be dropped and the replay must match a fresh recording
+        // against the new store.
+        *store.get_mut(w2) = wavy(4, 7, 9.9);
+        exec.refresh_params(&store);
+        assert_eq!(exec.ws.packed_f32_entries(), 0, "refresh_params must drop stale panels");
+        exec.set_input_slot(0, &x);
+        exec.run();
+        let fresh = slot_net_fresh(&store, ids, &x);
+        assert!(
+            exec.value(out).as_slice().iter().zip(&fresh).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "post-refresh replay must match re-recording against the new weights"
+        );
+    }
+
+    #[test]
+    fn try_refresh_params_rejects_shape_and_id_mismatches() {
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", wavy(5, 7, 0.1));
+        let w2 = store.add("w2", wavy(4, 7, 0.2));
+        let b = store.add("b", wavy(1, 4, 0.3));
+        let x = wavy(3, 5, 0.4);
+        let (mut exec, out) = slot_net(&store, (w1, w2, b), &x);
+        let before = exec.value(out).as_slice().to_vec();
+
+        // Same ids, different shape: must refuse and leave values untouched.
+        let mut reshaped = ParamStore::new();
+        reshaped.add("w1", wavy(5, 7, 0.1));
+        reshaped.add("w2", wavy(4, 8, 0.2));
+        reshaped.add("b", wavy(1, 4, 0.3));
+        assert!(!exec.try_refresh_params(&reshaped));
+        assert_eq!(exec.value(out).as_slice(), before.as_slice());
+
+        // Fewer params than the recorded ids: must refuse, not panic.
+        let mut short = ParamStore::new();
+        short.add("w1", wavy(5, 7, 0.1));
+        assert!(!exec.try_refresh_params(&short));
+
+        // Compatible store: accepted.
+        assert!(exec.try_refresh_params(&store));
     }
 }

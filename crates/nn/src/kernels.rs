@@ -157,7 +157,7 @@ impl KernelKind {
 /// family every training/eval/checkpoint path uses; [`Precision::Bf16`] is
 /// the inference-only reduced-precision family (module docs, "The bf16
 /// inference tier"). Only generation paths may select `Bf16`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Precision {
     /// Full-precision f32 storage and accumulation (the bitwise contract).
     #[default]
@@ -649,7 +649,24 @@ pub fn gemm_nt_packed(
     panel: &mut [f32],
 ) {
     pack_bt(b, n, k, panel);
-    let panel = &*panel;
+    gemm_nt_prepacked(kind, a, panel, out, k, n, threads);
+}
+
+/// [`gemm_nt_packed`] over a panel the caller already packed with
+/// [`pack_bt`] — the replay path for frozen weights, where the `O(k·n)`
+/// pack is paid once per plan life instead of once per call. Runs the
+/// exact multiply loop `gemm_nt_packed` runs after its pack, so the output
+/// is bitwise identical to packing fresh.
+pub fn gemm_nt_prepacked(
+    kind: KernelKind,
+    a: &[f32],
+    panel: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    debug_assert_eq!(panel.len(), k * n, "gemm_nt_prepacked panel length mismatch");
     parallel::run_row_chunks(out, n, threads, |row0, chunk| {
         gemm_chunk(kind, a, k, 1, panel, chunk, row0, k, n, false);
     });

@@ -91,8 +91,9 @@ impl Linear {
     /// Like [`Linear::forward`], but loads the parameters as frozen leaves:
     /// gradients still flow through the op *to the input* but never reach the
     /// weights. Used when updating a generator through a frozen critic and at
-    /// inference time (where the retained [`ParamId`] binding lets the bf16
-    /// tier cache the weight packing — see [`Graph::frozen_param`]).
+    /// inference time, where the retained [`ParamId`] binding lets the bf16
+    /// tier cache the weight packing and lets cached generation plans cache
+    /// frozen f32 `pack_bt` panels — see [`Graph::frozen_param`].
     pub fn forward_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
         let w = g.frozen_param(store, self.w);
         let b = g.frozen_param(store, self.b);
@@ -277,7 +278,8 @@ impl LstmCell {
 
     /// Records one recurrence step with frozen parameters (inference). The
     /// weights keep their [`ParamId`] binding ([`Graph::frozen_param`]) so
-    /// the bf16 tier packs the gate matrix once per workspace, not once per
+    /// the bf16 tier — and the f32 panel cache inside recorded generation
+    /// plans — packs the gate matrix once per workspace, not once per
     /// timestep.
     pub fn step_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var, state: LstmState) -> LstmState {
         let w = g.frozen_param(store, self.w);

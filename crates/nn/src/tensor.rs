@@ -443,6 +443,31 @@ impl Tensor {
         self.bt_impl(other, out, threads, kernels::active(), use_panel.then_some(panel));
     }
 
+    /// [`Tensor::matmul_bt_into`] against a `Bᵀ` panel that was already
+    /// packed with [`crate::kernels::pack_bt`] (shape `(self.cols, b_rows)`
+    /// flattened) — the frozen-weight replay path, where the workspace
+    /// caches the packed panel per [`crate::params::ParamId`] so the pack
+    /// is paid once per plan life. Callers must take the packed path under
+    /// the same `rows >= PACK_MIN_ROWS` condition the fresh-pack entry
+    /// points use; the multiply itself is bitwise identical to
+    /// [`Tensor::matmul_bt_into_with_panel`].
+    ///
+    /// # Panics
+    /// Panics on a panel-length or output-shape mismatch.
+    pub fn matmul_bt_into_f32_packed(
+        &self,
+        panel: &[f32],
+        b_rows: usize,
+        out: &mut Tensor,
+        threads: usize,
+        kind: KernelKind,
+    ) {
+        let (k, n) = (self.cols, b_rows);
+        assert_eq!(panel.len(), k * n, "matmul_bt_into_f32_packed panel length mismatch");
+        assert_eq!(out.shape(), (self.rows, n), "matmul_bt_into_f32_packed output shape mismatch");
+        kernels::gemm_nt_prepacked(kind, &self.data, panel, &mut out.data, k, n, threads);
+    }
+
     fn bt_impl(
         &self,
         other: &Tensor,

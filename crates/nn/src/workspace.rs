@@ -112,6 +112,16 @@ pub struct Workspace {
     /// cache the `O(k*n)` pack would rival the GEMM itself at serving batch
     /// sizes.
     packed_bf16: HashMap<(ParamId, Bf16Layout), Vec<u16>>,
+    /// Per-parameter f32 `MatMulBT` panel packings ([`Workspace::packed_f32`]):
+    /// `B[n, k]` stored as its `[k, n]` transpose via [`kernels::pack_bt`].
+    /// Only consulted when [`Workspace::frozen_panels`] is on — i.e. inside a
+    /// replayed [`crate::graph::PlanExecutor`], where *frozen* parameters are
+    /// immutable for the plan's life. Training never enables the flag, so its
+    /// per-step weight updates can neither populate nor read this cache.
+    packed_f32: HashMap<ParamId, Vec<f32>>,
+    /// Whether frozen-parameter f32 panel caching is active (enabled by
+    /// `Graph::into_executor`, never by the eager training path).
+    frozen_panels: bool,
     stats: WorkspaceStats,
 }
 
@@ -132,6 +142,8 @@ impl Workspace {
             precision: Precision::F32,
             u16_scratch: Vec::new(),
             packed_bf16: HashMap::new(),
+            packed_f32: HashMap::new(),
+            frozen_panels: false,
             stats: WorkspaceStats::default(),
         }
     }
@@ -173,7 +185,7 @@ impl Workspace {
     /// weight packings.
     pub fn set_precision(&mut self, precision: Precision) {
         if precision != self.precision {
-            self.packed_bf16.clear();
+            self.clear_param_caches();
         }
         self.precision = precision;
     }
@@ -227,6 +239,50 @@ impl Workspace {
     /// Number of weight packings currently cached (observability for tests).
     pub fn packed_bf16_entries(&self) -> usize {
         self.packed_bf16.len()
+    }
+
+    /// Enables the frozen-parameter f32 panel cache for this workspace.
+    /// Called by `Graph::into_executor` only: a `PlanExecutor`'s frozen
+    /// parameters are immutable until `refresh_params` (which clears the
+    /// cache), so their `pack_bt` panels can be packed once per plan life.
+    pub fn enable_frozen_panels(&mut self) {
+        self.frozen_panels = true;
+    }
+
+    /// True when frozen-parameter f32 panel caching is active.
+    pub fn frozen_panels(&self) -> bool {
+        self.frozen_panels
+    }
+
+    /// The f32 `MatMulBT` panel packing of frozen parameter `id`: packs
+    /// `src` (the `B[n, k]` operand, stored as its `[k, n]` transpose) on
+    /// the first request and serves the cached panel afterwards.
+    ///
+    /// Contract: `src` must be the tensor bound to `id` for the cache's
+    /// whole life — guaranteed because only frozen (non-trainable) parameter
+    /// leaves inside a `PlanExecutor` reach this path, and every parameter
+    /// rebind (`refresh_params`, precision switch) clears the cache via
+    /// [`Workspace::clear_param_caches`].
+    pub fn packed_f32(&mut self, id: ParamId, src: &Tensor) -> &[f32] {
+        self.packed_f32.entry(id).or_insert_with(|| {
+            let mut panel = vec![0.0f32; src.rows() * src.cols()];
+            kernels::pack_bt(src.as_slice(), src.rows(), src.cols(), &mut panel);
+            panel
+        })
+    }
+
+    /// Number of f32 panel packings currently cached (observability for
+    /// tests).
+    pub fn packed_f32_entries(&self) -> usize {
+        self.packed_f32.len()
+    }
+
+    /// Drops every cached per-parameter packing (bf16 and f32). Must be
+    /// called whenever the tensors behind the cached `ParamId`s may have
+    /// changed: `PlanExecutor::refresh_params` and precision switches.
+    pub fn clear_param_caches(&mut self) {
+        self.packed_bf16.clear();
+        self.packed_f32.clear();
     }
 
     /// The thread override when set, `default` otherwise.

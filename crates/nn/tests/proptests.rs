@@ -4,7 +4,7 @@
 
 use dg_nn::gradcheck::{
     check_bf16_kernel_equivalence, check_input_gradient, check_kernel_equivalence_cycles,
-    check_workspace_determinism,
+    check_plan_replay_equivalence, check_workspace_determinism,
 };
 use dg_nn::graph::{Graph, Var};
 use dg_nn::kernels::{self, Precision};
@@ -344,5 +344,58 @@ proptest! {
         }
         prop_assert_eq!(ws_cached.packed_bf16_entries(), 2);
         prop_assert_eq!(ws_plain.packed_bf16_entries(), 0);
+    }
+}
+
+/// A deterministic pseudo-random tensor (splitmix-style) so replay tests can
+/// derive per-shape weights and inputs from a proptest-chosen seed without
+/// threading `rand` through strategy composition.
+fn tensor_from_seed(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5_4A32_D192_ED03);
+    let data = (0..rows * cols)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The generation-plan replay contract: a tape recorded once through
+    /// input slots and frozen parameters, then replayed with fresh slot
+    /// bindings, must be bitwise identical to re-recording the whole graph
+    /// per call — across random ragged shapes, worker counts 1..8, both
+    /// precision tiers, and repeated reuse cycles of the same executor
+    /// (which also proves the cached f32 `pack_bt` panels are invisible).
+    #[test]
+    fn plan_replay_is_bitwise_identical_to_rerecording_on_random_shapes(
+        m in 1usize..9,
+        k in 1usize..11,
+        h in 1usize..10,
+        bf16 in any::<bool>(),
+        seed in 0u64..1_000,
+    ) {
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", tensor_from_seed(k, h, seed ^ 0xA1));
+        let b1 = store.add("b1", tensor_from_seed(1, h, seed ^ 0xA2));
+        let w2 = store.add("w2", tensor_from_seed(k, h, seed ^ 0xA3));
+        let program = |g: &mut Graph, xs: &[Tensor]| {
+            let x = g.input_slot(xs[0].clone());
+            let w1v = g.frozen_param(&store, w1);
+            let b1v = g.frozen_param(&store, b1);
+            let w2v = g.frozen_param(&store, w2);
+            let pre = g.matmul(x, w1v);
+            let pre = g.add_row(pre, b1v);
+            let act = g.tanh(pre);
+            g.matmul_bt(act, w2v)
+        };
+        let input_sets: Vec<Vec<Tensor>> =
+            (0..3).map(|i| vec![tensor_from_seed(m, k, seed ^ (0xB0 + i))]).collect();
+        let precision = if bf16 { Precision::Bf16 } else { Precision::F32 };
+        let err = check_plan_replay_equivalence(program, &input_sets, &[1, 2, 4, 8], precision);
+        prop_assert!(err.is_none(), "{}", err.unwrap());
     }
 }
